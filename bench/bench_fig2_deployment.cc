@@ -1,0 +1,63 @@
+// Regenerates Figure 2: "An example Lite-GPU deployment. Each NVIDIA H100
+// GPU is replaced with four Lite-GPUs, featuring better hardware yield and
+// higher bandwidth-to-compute." — as the quantitative comparison the diagram
+// illustrates.
+
+#include <cstdio>
+
+#include "src/hw/catalog.h"
+#include "src/silicon/cost.h"
+#include "src/silicon/shoreline.h"
+#include "src/silicon/wafer.h"
+#include "src/silicon/yield.h"
+#include "src/util/format.h"
+#include "src/util/table.h"
+#include "src/util/units.h"
+
+int main() {
+  using namespace litegpu;
+
+  std::printf("=== Figure 2: one H100 -> four Lite-GPUs ===\n\n");
+
+  GpuSpec h100 = H100();
+  GpuSpec lite = Lite();
+  WaferSpec wafer;
+  DefectSpec defects;
+
+  Table table({"Property", "1x H100", "4x Lite", "Ratio"});
+  auto row = [&](const std::string& name, double h, double l, int digits = 2) {
+    table.AddRow({name, FormatDouble(h, digits), FormatDouble(l, digits),
+                  FormatDouble(h > 0 ? l / h : 0.0, 2)});
+  };
+
+  row("TFLOPS total", h100.flops / kTFLOPS, 4.0 * lite.flops / kTFLOPS, 0);
+  row("HBM capacity (GB)", h100.mem_capacity_bytes / kGB, 4.0 * lite.mem_capacity_bytes / kGB,
+      0);
+  row("HBM bandwidth (GB/s)", h100.mem_bw_bytes_per_s / kGBps,
+      4.0 * lite.mem_bw_bytes_per_s / kGBps, 0);
+  row("Net bandwidth (GB/s)", h100.net_bw_bytes_per_s / kGBps,
+      4.0 * lite.net_bw_bytes_per_s / kGBps, 1);
+  row("Die area (mm^2)", h100.die_area_mm2, 4.0 * lite.die_area_mm2, 1);
+  row("Shoreline (mm)", DiePerimeterMm(h100.die_area_mm2),
+      4.0 * DiePerimeterMm(lite.die_area_mm2), 1);
+  row("Die yield (Murphy)", DieYield(YieldModel::kMurphy, defects, h100.die_area_mm2),
+      DieYield(YieldModel::kMurphy, defects, lite.die_area_mm2), 3);
+  row("Power density (W/mm^2)", h100.PowerDensityWPerMm2(), lite.PowerDensityWPerMm2(), 2);
+  std::printf("%s\n", table.ToText().c_str());
+
+  SplitCostReport cost = CompareSplitCost(wafer, YieldModel::kMurphy, defects,
+                                          GpuBillOfMaterials{}, 4);
+  std::printf("Economics (Murphy yield, d0=%.2f/cm^2, $%.0f wafer):\n",
+              defects.density_per_cm2, wafer.wafer_cost_usd);
+  std::printf("  dies/wafer:        %llu (H100-class) vs %llu (Lite)\n",
+              static_cast<unsigned long long>(cost.big_dies_per_wafer),
+              static_cast<unsigned long long>(cost.lite_dies_per_wafer));
+  std::printf("  die yield:         %.3f vs %.3f  -> gain %.2fx (paper: ~1.8x)\n",
+              cost.big_die_yield, cost.lite_die_yield, cost.yield_gain);
+  std::printf("  packaged GPU cost: $%.0f vs 4 x $%.0f = $%.0f  -> ratio %.2f "
+              "(paper: ~50%% cheaper silicon)\n",
+              cost.big_gpu_usd, cost.lite_gpu_usd, cost.lite_total_usd, cost.cost_ratio);
+  std::printf("  shoreline per FLOP: %.2fx (quartering doubles aggregate perimeter)\n",
+              ShorelineGain(4));
+  return 0;
+}

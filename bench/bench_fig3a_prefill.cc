@@ -1,0 +1,46 @@
+// Regenerates Figure 3a: prompt-prefill throughput efficiency
+// (normalized tokens/s/SM) for Llama3-70B, GPT3-175B, Llama3-405B on
+// {H100, Lite, Lite+NetBW, Lite+NetBW+FLOPS} clusters.
+//
+// Search per the paper: TTFT <= 1 s, prompt = 1500 tokens, sweep batch and
+// GPU count, keep the configuration with the highest tokens/s/SM, normalize
+// to the H100 cluster per model.
+
+#include <cstdio>
+
+#include "src/core/experiments.h"
+#include "src/hw/catalog.h"
+#include "src/util/format.h"
+
+int main() {
+  using namespace litegpu;
+
+  std::vector<GpuSpec> gpus = {H100(), Lite(), LiteNetBw(), LiteNetBwFlops()};
+  SearchOptions options;
+
+  auto entries = RunPrefillStudy(CaseStudyModels(), gpus, options);
+  std::printf("%s\n",
+              Fig3ToText(entries, "=== Figure 3a: prefill, normalized tokens/s/SM ===")
+                  .c_str());
+
+  // The bar series exactly as plotted (models on the x axis, one series per
+  // GPU type).
+  std::printf("Bar series (normalized to H100 per model):\n");
+  for (const auto& gpu : gpus) {
+    std::printf("  %-18s", gpu.name.c_str());
+    for (const auto& e : entries) {
+      if (e.gpu_name == gpu.name) {
+        std::printf("  %s=%s", e.model_name.c_str(),
+                    FormatDouble(e.normalized_vs_h100, 3).c_str());
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nPaper caption checks:\n"
+      "  - all configurations similar for the smaller model\n"
+      "  - plain Lite degrades as models grow (collectives -> network bound)\n"
+      "  - +NetBW compensates; +FLOPS overclock improves further\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Engine micro-benchmarks (google-benchmark): how fast the modeling library
+// itself is. A full Figure-3 study runs thousands of roofline evaluations;
+// these benchmarks keep the cost of one evaluation and one search visible.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/search.h"
+#include "src/hw/catalog.h"
+#include "src/llm/stages.h"
+#include "src/roofline/engine.h"
+#include "src/roofline/inference.h"
+
+namespace {
+
+using namespace litegpu;
+
+void BM_BuildModelWork(benchmark::State& state) {
+  TransformerSpec model = Llama3_405B();
+  TpPlan plan = MakeTpPlan(model, 8).value();
+  PassShape shape{64, 1, 1755};
+  for (auto _ : state) {
+    ModelWork work = BuildModelWork(model, plan, Phase::kDecode, shape);
+    benchmark::DoNotOptimize(work.TotalFlops());
+  }
+}
+BENCHMARK(BM_BuildModelWork);
+
+void BM_EvaluatePassDecode(benchmark::State& state) {
+  TransformerSpec model = Llama3_405B();
+  TpPlan plan = MakeTpPlan(model, 8).value();
+  ModelWork work = BuildModelWork(model, plan, Phase::kDecode, {64, 1, 1755});
+  EngineParams params;
+  GpuSpec gpu = H100();
+  for (auto _ : state) {
+    PassTiming timing = EvaluatePass(work, gpu, plan.degree, params);
+    benchmark::DoNotOptimize(timing.total_s);
+  }
+}
+BENCHMARK(BM_EvaluatePassDecode);
+
+void BM_EvaluateDecodeEndToEnd(benchmark::State& state) {
+  TransformerSpec model = Llama3_70B();
+  TpPlan plan = MakeTpPlan(model, 8).value();
+  WorkloadParams workload;
+  EngineParams engine;
+  GpuSpec gpu = H100();
+  for (auto _ : state) {
+    DecodeResult r = EvaluateDecode(model, gpu, plan, 128, workload, engine);
+    benchmark::DoNotOptimize(r.tokens_per_s_per_sm);
+  }
+}
+BENCHMARK(BM_EvaluateDecodeEndToEnd);
+
+void BM_SearchDecode(benchmark::State& state) {
+  TransformerSpec model = CaseStudyModels()[state.range(0)];
+  SearchOptions options;
+  GpuSpec gpu = Lite();
+  for (auto _ : state) {
+    DecodeSearchResult r = SearchDecode(model, gpu, options);
+    benchmark::DoNotOptimize(r.found);
+  }
+}
+BENCHMARK(BM_SearchDecode)->DenseRange(0, 2);
+
+void BM_SearchPrefill(benchmark::State& state) {
+  TransformerSpec model = CaseStudyModels()[state.range(0)];
+  SearchOptions options;
+  GpuSpec gpu = Lite();
+  for (auto _ : state) {
+    PrefillSearchResult r = SearchPrefill(model, gpu, options);
+    benchmark::DoNotOptimize(r.found);
+  }
+}
+BENCHMARK(BM_SearchPrefill)->DenseRange(0, 2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

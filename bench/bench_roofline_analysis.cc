@@ -1,0 +1,50 @@
+// Roofline diagnostics behind Figure 3: per-stage operational intensity,
+// attainable vs achieved FLOPS, and bound classification for prefill and
+// decode on H100 and the Lite variants. This is the "why" view of the
+// headline bars.
+
+#include <cstdio>
+
+#include "src/hw/catalog.h"
+#include "src/roofline/report.h"
+#include "src/util/format.h"
+
+int main() {
+  using namespace litegpu;
+
+  TransformerSpec model = Llama3_70B();
+  EngineParams params;
+
+  struct Case {
+    const char* title;
+    GpuSpec gpu;
+    int degree;
+    Phase phase;
+    PassShape shape;
+  };
+  const Case cases[] = {
+      {"H100 x4, decode (batch 256, ctx 1756)", H100(), 4, Phase::kDecode, {256, 1, 1755}},
+      {"Lite+MemBW x8, decode (batch 256, ctx 1756)", LiteMemBw(), 8, Phase::kDecode,
+       {256, 1, 1755}},
+      {"H100 x4, prefill (batch 8, 1500 tokens)", H100(), 4, Phase::kPrefill, {8, 1500, 0}},
+      {"Lite+NetBW+FLOPS x16, prefill (batch 8)", LiteNetBwFlops(), 16, Phase::kPrefill,
+       {8, 1500, 0}},
+  };
+
+  for (const auto& c : cases) {
+    auto plan = MakeTpPlan(model, c.degree);
+    if (!plan) {
+      continue;
+    }
+    std::printf("=== %s on %s ===\n", c.title, model.name.c_str());
+    ModelWork work = BuildModelWork(model, *plan, c.phase, c.shape);
+    auto points = AnalyzePass(work, c.gpu, c.degree, params);
+    std::printf("%s\n", RooflineReportToText(points, c.gpu, params).c_str());
+  }
+
+  std::printf("Reading: decode stages sit far left of the ridge (memory-bound; the\n"
+              "Lite+MemBW ridge moves LEFT because bandwidth doubled), while prefill\n"
+              "GEMMs sit right of it (compute-bound; the +FLOPS ridge moves right).\n"
+              "This is exactly the shoreline-allocation logic of Table 1.\n");
+  return 0;
+}

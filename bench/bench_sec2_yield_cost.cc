@@ -1,0 +1,68 @@
+// Section-2 claims, swept across yield models and defect densities:
+//   "the yield rate can be increased by 1.8x when a H100-like compute die
+//    area is reduced by 1/4th, corresponding to almost 50% reduction in
+//    manufacturing cost"
+
+#include <cstdio>
+
+#include "src/silicon/cost.h"
+#include "src/silicon/wafer.h"
+#include "src/silicon/yield.h"
+#include "src/util/format.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace litegpu;
+
+  constexpr double kH100DieMm2 = 814.0;
+  WaferSpec wafer;
+
+  std::printf("=== Section 2: yield gain & cost reduction from quartering an "
+              "H100-class die ===\n\n");
+
+  const YieldModel kModels[] = {YieldModel::kPoisson, YieldModel::kMurphy, YieldModel::kSeeds,
+                                YieldModel::kNegativeBinomial};
+
+  Table table({"Defect d0 (/cm^2)", "Model", "Y(814mm^2)", "Y(203.5mm^2)", "Yield gain",
+               "KGD cost ratio (4xLite / H100)"});
+  for (double d0 : {0.05, 0.08, 0.10, 0.15, 0.20}) {
+    for (YieldModel model : kModels) {
+      DefectSpec defects;
+      defects.density_per_cm2 = d0;
+      double y_big = DieYield(model, defects, kH100DieMm2);
+      double y_small = DieYield(model, defects, kH100DieMm2 / 4.0);
+      double big_cost = KnownGoodDieCost(wafer, model, defects, kH100DieMm2);
+      double small_cost = KnownGoodDieCost(wafer, model, defects, kH100DieMm2 / 4.0);
+      table.AddRow({FormatDouble(d0, 2), ToString(model), FormatDouble(y_big, 3),
+                    FormatDouble(y_small, 3), FormatDouble(y_small / y_big, 2) + "x",
+                    FormatDouble(4.0 * small_cost / big_cost, 3)});
+    }
+    table.AddSeparator();
+  }
+  std::printf("%s\n", table.ToText().c_str());
+
+  DefectSpec defects;  // d0 = 0.10
+  std::printf("Paper calibration point (Murphy, d0=0.10/cm^2):\n");
+  std::printf("  yield gain %.2fx (paper: 1.8x), cost ratio %.2f (paper: ~0.5)\n\n",
+              YieldGainFromSplit(YieldModel::kMurphy, defects, kH100DieMm2, 4),
+              4.0 * KnownGoodDieCost(wafer, YieldModel::kMurphy, defects, kH100DieMm2 / 4.0) /
+                  KnownGoodDieCost(wafer, YieldModel::kMurphy, defects, kH100DieMm2));
+
+  std::printf("Split sweep (Murphy, d0=0.10/cm^2):\n");
+  Table split_table({"Split", "Die mm^2", "Yield", "Gain", "Dies/wafer",
+                     "KGD cost ratio vs monolithic"});
+  double base_cost = KnownGoodDieCost(wafer, YieldModel::kMurphy, defects, kH100DieMm2);
+  for (int split : {1, 2, 4, 8, 16}) {
+    double area = kH100DieMm2 / split;
+    double cost = KnownGoodDieCost(wafer, YieldModel::kMurphy, defects, area);
+    split_table.AddRow(
+        {std::to_string(split), FormatDouble(area, 1),
+         FormatDouble(DieYield(YieldModel::kMurphy, defects, area), 3),
+         FormatDouble(YieldGainFromSplit(YieldModel::kMurphy, defects, kH100DieMm2, split), 2) +
+             "x",
+         std::to_string(DiesPerWaferSquare(wafer, area)),
+         FormatDouble(split * cost / base_cost, 3)});
+  }
+  std::printf("%s", split_table.ToText().c_str());
+  return 0;
+}

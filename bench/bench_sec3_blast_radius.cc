@@ -1,0 +1,77 @@
+// Section-3 fault-tolerance study: blast radius and hot-spare economics of
+// H100 vs Lite clusters serving the same capacity, via closed forms and the
+// Monte-Carlo availability simulator.
+
+#include <cstdio>
+
+#include "src/hw/catalog.h"
+#include "src/reliability/failure_model.h"
+#include "src/reliability/mc_sim.h"
+#include "src/util/format.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace litegpu;
+
+  std::printf("=== Section 3: fault tolerance — blast radius & hot spares ===\n\n");
+
+  FailureParams failure;
+
+  // One serving fleet: 4 instances of Llama3-70B-class capacity; an H100
+  // instance spans 8 GPUs, the Lite equivalent spans 32.
+  struct Fleet {
+    GpuSpec gpu;
+    int gpus_per_instance;
+    int num_instances;
+  };
+  const Fleet fleets[] = {{H100(), 8, 4}, {Lite(), 32, 4}};
+
+  std::printf("Per-device failure characteristics:\n");
+  Table device_table({"GPU", "Die mm^2", "AFR", "Failures/yr (fleet)",
+                      "Blast radius (FLOPS lost per failure)"});
+  for (const auto& f : fleets) {
+    int fleet_gpus = f.gpus_per_instance * f.num_instances;
+    device_table.AddRow(
+        {f.gpu.name, FormatDouble(f.gpu.die_area_mm2, 1),
+         HumanPercent(GpuAfr(f.gpu, failure)),
+         FormatDouble(ClusterFailuresPerYear(f.gpu, fleet_gpus, failure), 2),
+         HumanPercent(BlastRadiusFraction(fleet_gpus))});
+  }
+  std::printf("%s\n", device_table.ToText().c_str());
+
+  std::printf("Instance availability vs hot spares (closed form + Monte-Carlo, 200 sim-years):\n");
+  Table table({"Fleet", "Spares", "Spare cost share", "Closed-form avail",
+               "MC avail", "MC failures/yr", "Unmasked"});
+  for (const auto& f : fleets) {
+    for (int spares : {0, 1, 2, 4}) {
+      double closed = InstanceAvailabilityWithSpares(f.gpu, f.gpus_per_instance,
+                                                     f.num_instances, spares, failure);
+      McSimConfig config;
+      config.gpus_per_instance = f.gpus_per_instance;
+      config.num_instances = f.num_instances;
+      config.num_spares = spares;
+      config.sim_years = 200.0;
+      config.failure = failure;
+      McSimResult mc = SimulateAvailability(f.gpu, config);
+      double fleet_gpus = f.gpus_per_instance * f.num_instances;
+      table.AddRow({f.gpu.name + " " + std::to_string(f.num_instances) + "x" +
+                        std::to_string(f.gpus_per_instance),
+                    std::to_string(spares), HumanPercent(spares / fleet_gpus),
+                    FormatDouble(closed, 5), FormatDouble(mc.instance_availability, 5),
+                    FormatDouble(mc.failures_per_year, 2),
+                    std::to_string(mc.unmasked_failures)});
+    }
+    table.AddSeparator();
+  }
+  std::printf("%s\n", table.ToText().c_str());
+
+  std::printf(
+      "Takeaways (paper Section 3):\n"
+      "  - one Lite failure removes 4x less capacity (smaller blast radius), but\n"
+      "    the software blast radius (whole instance down) dominates either way;\n"
+      "  - a Lite spare costs 1/4 of an H100 spare, so equal-budget sparing buys\n"
+      "    4x more spares -> higher availability per spare dollar;\n"
+      "  - more devices => more failure events: the Lite fleet must rely on its\n"
+      "    cheap spares and fast activation to win.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Regenerates Table 1: GPU configurations.
+//
+// Paper values (changed parameters relative to plain Lite highlighted by the
+// paper in color; here spelled out in the derivation notes column).
+
+#include <cstdio>
+
+#include "src/hw/catalog.h"
+#include "src/util/format.h"
+#include "src/util/table.h"
+#include "src/util/units.h"
+
+int main() {
+  using namespace litegpu;
+
+  std::printf("=== Table 1: GPU configurations ===\n\n");
+  Table table({"GPU type", "TFLOPS", "Cap. GB", "Mem BW GB/s", "Net BW GB/s", "#Max GPUs",
+               "SMs", "Die mm^2", "TDP W"});
+  for (const auto& g : Table1Configs()) {
+    table.AddRow({g.name, FormatDouble(g.flops / kTFLOPS, 0),
+                  FormatDouble(g.mem_capacity_bytes / kGB, 0),
+                  FormatDouble(g.mem_bw_bytes_per_s / kGBps, 0),
+                  FormatDouble(g.net_bw_bytes_per_s / kGBps, 1), std::to_string(g.max_gpus),
+                  std::to_string(g.sm_count), FormatDouble(g.die_area_mm2, 1),
+                  FormatDouble(g.tdp_watts, 0)});
+  }
+  std::printf("%s\n", table.ToText().c_str());
+
+  std::printf("Derivation notes:\n");
+  std::printf("  Lite               = H100 / 4 on every axis (die, FLOPS, HBM, net)\n");
+  std::printf("  Lite+NetBW         = Lite with network 112.5 -> 225 GB/s (shoreline)\n");
+  std::printf("  Lite+NetBW+FLOPS   = +10%% clock (easier cooling); HBM shoreline traded\n");
+  std::printf("                       to the NIC: mem BW 838 -> 419 GB/s\n");
+  std::printf("  Lite+MemBW         = Lite with HBM 838 -> 1675 GB/s (2x shoreline)\n");
+  std::printf("  Lite+MemBW+NetBW   = both upgrades\n");
+
+  std::printf("\nDerived ratios (per paper Section 2):\n");
+  Table ratios({"GPU type", "FLOPS/SM (G)", "MemBW/FLOP (B)", "NetBW/FLOP (B)",
+                "W/mm^2"});
+  for (const auto& g : Table1Configs()) {
+    ratios.AddRow({g.name, FormatDouble(g.FlopsPerSm() / 1e9, 2),
+                   FormatDouble(g.MemBwPerFlop(), 5), FormatDouble(g.NetBwPerFlop(), 5),
+                   FormatDouble(g.PowerDensityWPerMm2(), 3)});
+  }
+  std::printf("%s", ratios.ToText().c_str());
+  return 0;
+}

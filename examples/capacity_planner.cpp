@@ -1,0 +1,51 @@
+// Capacity planning with the ClusterDesigner: the whole-paper roll-up.
+//
+// For one model, compare decode-serving instances built from every Table-1
+// GPU on performance, manufacturing cost, network cost, power, reliability,
+// and the bottom line ($/Mtok and J/token) -- the "performance per $-cost"
+// analysis Section 4 calls the primary metric for cloud operators.
+
+#include <cstdio>
+
+#include "src/core/designer.h"
+#include "src/hw/catalog.h"
+#include "src/util/format.h"
+
+using namespace litegpu;
+
+int main() {
+  for (const auto& model : CaseStudyModels()) {
+    DesignInputs inputs;
+    inputs.model = model;
+
+    std::printf("=== %s decode serving: Table-1 GPU comparison ===\n", model.name.c_str());
+    auto reports = CompareClusters(Table1Configs(), inputs);
+    std::printf("%s\n", ClusterComparisonToText(reports).c_str());
+
+    // Headline ratios vs H100.
+    const ClusterDesignReport* h100 = nullptr;
+    for (const auto& r : reports) {
+      if (r.gpu_name == "H100" && r.feasible) {
+        h100 = &r;
+      }
+    }
+    if (h100 != nullptr) {
+      for (const auto& r : reports) {
+        if (!r.feasible || r.gpu_name == "H100") {
+          continue;
+        }
+        std::printf("  %-18s perf/SM %.2fx, $/Mtok %.2fx, J/token %.2fx vs H100\n",
+                    r.gpu_name.c_str(),
+                    r.tokens_per_s_per_sm / h100->tokens_per_s_per_sm,
+                    r.usd_per_mtok / h100->usd_per_mtok,
+                    r.joules_per_token / h100->joules_per_token);
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("Note: dollar figures are manufacturing-derived with a uniform market\n"
+              "multiplier; treat the RATIOS as the result, per DESIGN.md. The paper\n"
+              "defers absolute TCO and so do we.\n");
+  return 0;
+}

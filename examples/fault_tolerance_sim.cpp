@@ -1,0 +1,61 @@
+// Hot-spare policy exploration (paper Section 3, fault tolerance).
+//
+// Question: serving N model instances, how should a fixed spare BUDGET be
+// spent -- few expensive H100 spares or many cheap Lite spares? Runs the
+// Monte-Carlo availability simulator across spare budgets and reports
+// availability, unmasked failures, and the capacity overhead of sparing.
+
+#include <cstdio>
+
+#include "src/hw/catalog.h"
+#include "src/reliability/failure_model.h"
+#include "src/reliability/mc_sim.h"
+#include "src/util/format.h"
+#include "src/util/table.h"
+
+using namespace litegpu;
+
+int main() {
+  std::printf("Hot-spare exploration: 8 Llama3-70B instances, 300 simulated years\n\n");
+
+  FailureParams failure;
+  std::printf("Device AFR: H100 %s, Lite %s (area-scaled + per-device floor)\n\n",
+              HumanPercent(GpuAfr(H100(), failure)).c_str(),
+              HumanPercent(GpuAfr(Lite(), failure)).c_str());
+
+  struct Fleet {
+    GpuSpec gpu;
+    int gpus_per_instance;
+    double spare_unit_cost;  // in H100-equivalents
+  };
+  const Fleet fleets[] = {{H100(), 8, 1.0}, {Lite(), 32, 0.25}};
+
+  Table table({"Fleet", "Spare budget (H100-equiv)", "Spares bought", "Availability",
+               "Downtime (min/yr/inst)", "Unmasked failures", "Spare overhead"});
+  for (const auto& fleet : fleets) {
+    for (double budget : {0.0, 0.25, 0.5, 1.0, 2.0}) {
+      int spares = static_cast<int>(budget / fleet.spare_unit_cost + 1e-9);
+      McSimConfig config;
+      config.gpus_per_instance = fleet.gpus_per_instance;
+      config.num_instances = 8;
+      config.num_spares = spares;
+      config.sim_years = 300.0;
+      config.failure = failure;
+      McSimResult r = SimulateAvailability(fleet.gpu, config);
+      double downtime_min = (1.0 - r.instance_availability) * 365.25 * 24.0 * 60.0;
+      double fleet_gpus = fleet.gpus_per_instance * 8.0;
+      table.AddRow({fleet.gpu.name, FormatDouble(budget, 2), std::to_string(spares),
+                    FormatDouble(r.instance_availability, 5), FormatDouble(downtime_min, 1),
+                    std::to_string(r.unmasked_failures),
+                    HumanPercent(spares / fleet_gpus)});
+    }
+    table.AddSeparator();
+  }
+  std::printf("%s\n", table.ToText().c_str());
+
+  std::printf("Reading: a quarter-H100 budget already buys one Lite spare (enough to\n"
+              "mask nearly all failures), while the H100 fleet needs a full-GPU budget\n"
+              "for its first spare. 'This reduces the proportional overhead of\n"
+              "including spare Lite-GPUs' -- Section 3.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Fine-grained power management (paper Section 3, power management).
+//
+// Walks the DVFS model: efficiency vs frequency, the granularity advantage
+// of per-Lite-GPU control on a realistic diurnal load, and the
+// overclock-vs-more-GPUs decision for peak hours.
+
+#include <cstdio>
+
+#include "src/hw/catalog.h"
+#include "src/power/cooling.h"
+#include "src/power/dvfs.h"
+#include "src/sched/power_sched.h"
+#include "src/util/format.h"
+#include "src/util/table.h"
+
+using namespace litegpu;
+
+int main() {
+  std::printf("=== DVFS characteristics (Lite-GPU, 165 W nominal) ===\n\n");
+  DvfsModel dvfs;
+  dvfs.nominal_power_watts = Lite().tdp_watts;
+
+  Table curve({"Frequency", "Power", "Rel. throughput", "Rel. efficiency"});
+  for (double f : {0.4, 0.6, 0.8, 1.0, 1.1, 1.25}) {
+    curve.AddRow({FormatDouble(f, 2), HumanPower(PowerAtFrequency(dvfs, f)),
+                  FormatDouble(f, 2), FormatDouble(RelativeEfficiency(dvfs, f), 2)});
+  }
+  std::printf("%s\n", curve.ToText().c_str());
+
+  std::printf("=== Granularity on a diurnal load (equal fleet capacity) ===\n\n");
+  auto trace = DiurnalLoadTrace(96);
+  for (double& l : trace) {
+    l *= 0.45;  // a lightly-loaded fleet is where granularity shows
+  }
+  Table sched({"Fleet", "Policy", "Avg power", "kWh/day"});
+  DvfsModel h100_dvfs;
+  h100_dvfs.nominal_power_watts = H100().tdp_watts;
+  for (PowerPolicy policy :
+       {PowerPolicy::kAllDvfs, PowerPolicy::kPowerOffIdle, PowerPolicy::kHybrid}) {
+    PowerScheduleResult h =
+        RunPowerSchedule(H100(), 8, trace, policy, h100_dvfs, 1.0 / 8.0);
+    PowerScheduleResult l = RunPowerSchedule(Lite(), 32, trace, policy, dvfs, 4.0 / 32.0);
+    sched.AddRow({"H100 x8", ToString(policy), HumanPower(h.average_power_watts),
+                  FormatDouble(h.energy_per_day_joules / 3.6e6, 1)});
+    sched.AddRow({"Lite x32", ToString(policy), HumanPower(l.average_power_watts),
+                  FormatDouble(l.energy_per_day_joules / 3.6e6, 1)});
+  }
+  std::printf("%s\n", sched.ToText().c_str());
+
+  std::printf("=== Peak serving: overclock vs more devices ===\n\n");
+  Table peak({"Peak demand", "Overclock 32 Lites", "Activate extra Lites", "Winner"});
+  for (double fraction : {1.05, 1.10, 1.25, 1.50}) {
+    PeakServingComparison cmp = ComparePeakServing(Lite(), 32, fraction, dvfs, 12.0);
+    std::string oc = cmp.overclock_feasible ? HumanPower(cmp.overclock_power_watts)
+                                            : "infeasible (cooling/DVFS)";
+    std::string winner =
+        !cmp.overclock_feasible ? "more devices"
+        : (cmp.overclock_power_watts < cmp.extra_devices_power_watts ? "overclock"
+                                                                     : "more devices");
+    peak.AddRow({HumanPercent(fraction - 1.0, 0) + " above nominal", oc,
+                 HumanPower(cmp.extra_devices_power_watts), winner});
+  }
+  std::printf("%s\n", peak.ToText().c_str());
+
+  std::printf("Cooling headroom makes the overclock option real for Lite-GPUs only:\n");
+  for (const auto& g : {H100(), Lite()}) {
+    std::printf("  %-5s sustainable clock multiplier %.2fx (%s)\n", g.name.c_str(),
+                SustainableClockMultiplier(g), ToString(RequiredRegime(g)).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,165 @@
+#include "src/core/search.h"
+
+#include <algorithm>
+
+#include "src/llm/footprint.h"
+
+namespace litegpu {
+
+namespace {
+
+// Largest batch in [1, upper] with predicate(batch) true, assuming the
+// predicate is monotone (true then false as batch grows). Returns 0 when
+// even batch 1 fails.
+template <typename Pred>
+int LargestFeasibleBatch(int upper, const Pred& predicate) {
+  if (upper <= 0 || !predicate(1)) {
+    return 0;
+  }
+  // Exponential probe.
+  int lo = 1;
+  int hi = 1;
+  while (hi < upper && predicate(std::min(hi * 2, upper))) {
+    hi = std::min(hi * 2, upper);
+    lo = hi;
+    if (hi == upper) {
+      return upper;
+    }
+  }
+  hi = std::min(hi * 2, upper);
+  // Invariant: predicate(lo) true; predicate(hi+1 side) false or hi==upper.
+  while (lo < hi) {
+    int mid = lo + (hi - lo + 1) / 2;
+    if (predicate(mid)) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+PrefillSearchResult SearchPrefill(const TransformerSpec& model, const GpuSpec& gpu,
+                                  const SearchOptions& options) {
+  PrefillSearchResult out;
+  for (int degree : FeasibleTpDegrees(model, gpu.max_gpus, options.kv_policy)) {
+    auto plan = MakeTpPlan(model, degree, options.kv_policy);
+    if (!plan) {
+      continue;
+    }
+    int upper = options.max_batch;
+    if (options.workload.enforce_memory_capacity) {
+      upper = std::min(upper, MaxBatchForCapacity(model, *plan, options.workload.prompt_tokens,
+                                                  options.workload.prompt_tokens,
+                                                  gpu.mem_capacity_bytes));
+    }
+    auto meets = [&](int batch) {
+      PrefillResult r = EvaluatePrefill(model, gpu, *plan, batch, options.workload, options.engine);
+      return r.feasible && r.meets_slo;
+    };
+    int best_batch = LargestFeasibleBatch(upper, meets);
+    if (best_batch == 0) {
+      continue;
+    }
+    PrefillPoint point;
+    point.tp_degree = degree;
+    point.batch = best_batch;
+    point.result =
+        EvaluatePrefill(model, gpu, *plan, best_batch, options.workload, options.engine);
+    out.per_degree.push_back(point);
+    if (!out.found ||
+        point.result.tokens_per_s_per_sm > out.best.result.tokens_per_s_per_sm) {
+      out.best = point;
+      out.found = true;
+    }
+  }
+  return out;
+}
+
+DecodeSearchResult SearchDecode(const TransformerSpec& model, const GpuSpec& gpu,
+                                const SearchOptions& options) {
+  DecodeSearchResult out;
+  int max_context = options.workload.prompt_tokens + options.workload.output_tokens;
+  for (int degree : FeasibleTpDegrees(model, gpu.max_gpus, options.kv_policy)) {
+    auto plan = MakeTpPlan(model, degree, options.kv_policy);
+    if (!plan) {
+      continue;
+    }
+    int upper = options.max_batch;
+    if (options.workload.enforce_memory_capacity) {
+      upper = std::min(upper, MaxBatchForCapacity(model, *plan, 1, max_context,
+                                                  gpu.mem_capacity_bytes));
+    }
+    auto meets = [&](int batch) {
+      DecodeResult r = EvaluateDecode(model, gpu, *plan, batch, options.workload, options.engine);
+      return r.feasible && r.meets_slo;
+    };
+    int best_batch = LargestFeasibleBatch(upper, meets);
+    if (best_batch == 0) {
+      continue;
+    }
+    DecodePoint point;
+    point.tp_degree = degree;
+    point.batch = best_batch;
+    point.result =
+        EvaluateDecode(model, gpu, *plan, best_batch, options.workload, options.engine);
+    out.per_degree.push_back(point);
+    if (!out.found ||
+        point.result.tokens_per_s_per_sm > out.best.result.tokens_per_s_per_sm) {
+      out.best = point;
+      out.found = true;
+    }
+  }
+  return out;
+}
+
+std::optional<PrefillPoint> BruteForcePrefillBest(const TransformerSpec& model,
+                                                  const GpuSpec& gpu,
+                                                  const SearchOptions& options,
+                                                  int batch_limit) {
+  std::optional<PrefillPoint> best;
+  for (int degree : FeasibleTpDegrees(model, gpu.max_gpus, options.kv_policy)) {
+    auto plan = MakeTpPlan(model, degree, options.kv_policy);
+    if (!plan) {
+      continue;
+    }
+    for (int batch = 1; batch <= batch_limit; ++batch) {
+      PrefillResult r =
+          EvaluatePrefill(model, gpu, *plan, batch, options.workload, options.engine);
+      if (!r.feasible || !r.meets_slo) {
+        continue;
+      }
+      if (!best || r.tokens_per_s_per_sm > best->result.tokens_per_s_per_sm) {
+        best = PrefillPoint{degree, batch, r};
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<DecodePoint> BruteForceDecodeBest(const TransformerSpec& model,
+                                                const GpuSpec& gpu,
+                                                const SearchOptions& options,
+                                                int batch_limit) {
+  std::optional<DecodePoint> best;
+  for (int degree : FeasibleTpDegrees(model, gpu.max_gpus, options.kv_policy)) {
+    auto plan = MakeTpPlan(model, degree, options.kv_policy);
+    if (!plan) {
+      continue;
+    }
+    for (int batch = 1; batch <= batch_limit; ++batch) {
+      DecodeResult r = EvaluateDecode(model, gpu, *plan, batch, options.workload, options.engine);
+      if (!r.feasible || !r.meets_slo) {
+        continue;
+      }
+      if (!best || r.tokens_per_s_per_sm > best->result.tokens_per_s_per_sm) {
+        best = DecodePoint{degree, batch, r};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace litegpu

@@ -1,0 +1,75 @@
+// Configuration search, as in the paper: "The search sweeps all possible
+// batch sizes and number of GPUs for each GPU type... we normalize the
+// throughput for each configuration using the number of SMs... For each GPU
+// type, we plot the configuration with the highest throughput per SM."
+//
+// Throughput/SM is monotone increasing in batch for a fixed TP degree (step
+// latency is affine in batch with a positive intercept), so per degree the
+// optimum is the largest batch that satisfies memory capacity and the SLO;
+// we find it by exponential + binary search and verify against brute force
+// in tests.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/hw/gpu_spec.h"
+#include "src/llm/model.h"
+#include "src/llm/parallel.h"
+#include "src/roofline/inference.h"
+
+namespace litegpu {
+
+struct SearchOptions {
+  WorkloadParams workload;
+  EngineParams engine;
+  KvShardPolicy kv_policy = KvShardPolicy::kReplicate;
+  // Upper bound on swept batch size (safety net when capacity enforcement
+  // is off; real searches terminate on SLO first).
+  int max_batch = 65536;
+};
+
+struct PrefillPoint {
+  int tp_degree = 0;
+  int batch = 0;
+  PrefillResult result;
+};
+
+struct DecodePoint {
+  int tp_degree = 0;
+  int batch = 0;
+  DecodeResult result;
+};
+
+struct PrefillSearchResult {
+  bool found = false;
+  PrefillPoint best;
+  // Best point per TP degree (degrees with no feasible batch are omitted).
+  std::vector<PrefillPoint> per_degree;
+};
+
+struct DecodeSearchResult {
+  bool found = false;
+  DecodePoint best;
+  std::vector<DecodePoint> per_degree;
+};
+
+PrefillSearchResult SearchPrefill(const TransformerSpec& model, const GpuSpec& gpu,
+                                  const SearchOptions& options);
+
+DecodeSearchResult SearchDecode(const TransformerSpec& model, const GpuSpec& gpu,
+                                const SearchOptions& options);
+
+// Reference implementations that exhaustively sweep every batch in
+// [1, limit]; used by tests to validate the fast search.
+std::optional<PrefillPoint> BruteForcePrefillBest(const TransformerSpec& model,
+                                                  const GpuSpec& gpu,
+                                                  const SearchOptions& options,
+                                                  int batch_limit);
+std::optional<DecodePoint> BruteForceDecodeBest(const TransformerSpec& model,
+                                                const GpuSpec& gpu,
+                                                const SearchOptions& options,
+                                                int batch_limit);
+
+}  // namespace litegpu

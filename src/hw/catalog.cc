@@ -1,0 +1,156 @@
+#include "src/hw/catalog.h"
+
+#include "src/util/units.h"
+
+namespace litegpu {
+
+GpuSpec H100() {
+  GpuSpec g;
+  g.name = "H100";
+  g.flops = 2000.0 * kTFLOPS;  // Table 1; FP8 dense
+  g.sm_count = 132;
+  g.clock_ghz = 1.83;
+  g.mem_capacity_bytes = 80.0 * kGB;
+  g.mem_bw_bytes_per_s = 3352.0 * kGBps;
+  g.net_bw_bytes_per_s = 450.0 * kGBps;
+  g.max_gpus = 8;
+  g.die_area_mm2 = 814.0;
+  g.dies_per_package = 1;
+  g.tdp_watts = 700.0;
+  g.transistors_billion = 80.0;
+  g.year = 2022;
+  return g;
+}
+
+namespace {
+
+// Shared base for all Lite variants: H100 scaled to 1/4 on every axis.
+GpuSpec LiteBase() {
+  GpuSpec g = H100();
+  g.name = "Lite";
+  g.flops = 500.0 * kTFLOPS;
+  g.sm_count = 33;
+  g.mem_capacity_bytes = 20.0 * kGB;
+  g.mem_bw_bytes_per_s = 838.0 * kGBps;
+  g.net_bw_bytes_per_s = 112.5 * kGBps;
+  g.max_gpus = 32;
+  g.die_area_mm2 = 814.0 / 4.0;
+  // Slightly under a proportional 175 W: small dies run cooler, cutting
+  // thermally-driven leakage, and skip the multi-die interface power.
+  g.tdp_watts = 165.0;
+  g.transistors_billion = 20.0;
+  g.year = 0;  // hypothetical part
+  return g;
+}
+
+}  // namespace
+
+GpuSpec Lite() { return LiteBase(); }
+
+GpuSpec LiteNetBw() {
+  GpuSpec g = LiteBase();
+  g.name = "Lite+NetBW";
+  g.net_bw_bytes_per_s = 225.0 * kGBps;
+  return g;
+}
+
+GpuSpec LiteNetBwFlops() {
+  GpuSpec g = LiteBase();
+  g.name = "Lite+NetBW+FLOPS";
+  g.flops = 550.0 * kTFLOPS;  // 10% overclock enabled by easier cooling
+  g.clock_ghz = 2.01;
+  g.mem_bw_bytes_per_s = 419.0 * kGBps;  // Table 1: shoreline traded away from HBM
+  g.net_bw_bytes_per_s = 225.0 * kGBps;
+  return g;
+}
+
+GpuSpec LiteMemBw() {
+  GpuSpec g = LiteBase();
+  g.name = "Lite+MemBW";
+  g.mem_bw_bytes_per_s = 1675.0 * kGBps;  // 2x via the extra shoreline
+  return g;
+}
+
+GpuSpec LiteMemBwNetBw() {
+  GpuSpec g = LiteBase();
+  g.name = "Lite+MemBW+NetBW";
+  g.mem_bw_bytes_per_s = 1675.0 * kGBps;
+  g.net_bw_bytes_per_s = 225.0 * kGBps;
+  return g;
+}
+
+std::vector<GpuSpec> Table1Configs() {
+  return {H100(), Lite(), LiteNetBw(), LiteNetBwFlops(), LiteMemBw(), LiteMemBwNetBw()};
+}
+
+GpuSpec V100() {
+  GpuSpec g;
+  g.name = "V100";
+  g.flops = 125.0 * kTFLOPS;  // FP16 tensor
+  g.sm_count = 80;
+  g.clock_ghz = 1.53;
+  g.mem_capacity_bytes = 32.0 * kGB;
+  g.mem_bw_bytes_per_s = 900.0 * kGBps;
+  g.net_bw_bytes_per_s = 150.0 * kGBps;
+  g.max_gpus = 8;
+  g.die_area_mm2 = 815.0;
+  g.dies_per_package = 1;
+  g.tdp_watts = 300.0;
+  g.transistors_billion = 21.1;
+  g.year = 2017;
+  return g;
+}
+
+GpuSpec A100() {
+  GpuSpec g;
+  g.name = "A100";
+  g.flops = 312.0 * kTFLOPS;  // FP16 tensor
+  g.sm_count = 108;
+  g.clock_ghz = 1.41;
+  g.mem_capacity_bytes = 80.0 * kGB;
+  g.mem_bw_bytes_per_s = 2039.0 * kGBps;
+  g.net_bw_bytes_per_s = 300.0 * kGBps;
+  g.max_gpus = 8;
+  g.die_area_mm2 = 826.0;
+  g.dies_per_package = 1;
+  g.tdp_watts = 400.0;
+  g.transistors_billion = 54.2;
+  g.year = 2020;
+  return g;
+}
+
+GpuSpec B200() {
+  GpuSpec g;
+  g.name = "B200";
+  g.flops = 4500.0 * kTFLOPS;  // FP8 dense
+  g.sm_count = 2 * 132;        // two reticle-class dies
+  g.clock_ghz = 1.8;
+  g.mem_capacity_bytes = 192.0 * kGB;
+  g.mem_bw_bytes_per_s = 8000.0 * kGBps;
+  g.net_bw_bytes_per_s = 900.0 * kGBps;
+  g.max_gpus = 8;
+  g.die_area_mm2 = 2.0 * 800.0;
+  g.dies_per_package = 2;
+  g.tdp_watts = 1000.0;
+  g.transistors_billion = 208.0;
+  g.year = 2024;
+  return g;
+}
+
+std::vector<GpuSpec> HistoricalGenerations() { return {V100(), A100(), H100(), B200()}; }
+
+std::optional<GpuSpec> FindGpu(const std::string& name) {
+  for (const auto& g : Table1Configs()) {
+    if (g.name == name) {
+      return g;
+    }
+  }
+  for (const auto& g : HistoricalGenerations()) {
+    if (g.name == name) {
+      return g;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace litegpu

@@ -1,0 +1,36 @@
+// GPU catalog: the six Table-1 case-study parts plus four historical
+// datacenter generations (V100..B200) for the Figure-1 evolution study.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/hw/gpu_spec.h"
+
+namespace litegpu {
+
+// --- Table 1 of the paper (verbatim parameters) ---
+GpuSpec H100();
+GpuSpec Lite();                 // 1/4-scale H100
+GpuSpec LiteNetBw();            // "Lite+NetBW": net 112.5 -> 225 GB/s
+GpuSpec LiteNetBwFlops();       // "Lite+NetBW+FLOPS": +10% FLOPS, mem BW 838 -> 419
+GpuSpec LiteMemBw();            // "Lite+MemBW": mem 838 -> 1675 GB/s
+GpuSpec LiteMemBwNetBw();       // "Lite+MemBW+NetBW": both upgrades
+
+// All six Table-1 rows in the paper's order.
+std::vector<GpuSpec> Table1Configs();
+
+// --- historical generations (Figure 1) ---
+GpuSpec V100();
+GpuSpec A100();
+GpuSpec B200();
+
+// V100, A100, H100, B200 in chronological order.
+std::vector<GpuSpec> HistoricalGenerations();
+
+// Lookup by name across the full catalog; nullopt if not found.
+std::optional<GpuSpec> FindGpu(const std::string& name);
+
+}  // namespace litegpu

@@ -1,0 +1,42 @@
+#include "src/hw/gpu_spec.h"
+
+namespace litegpu {
+
+double GpuSpec::FlopsPerSm() const {
+  return sm_count > 0 ? flops / static_cast<double>(sm_count) : 0.0;
+}
+
+double GpuSpec::MemBwPerFlop() const { return flops > 0.0 ? mem_bw_bytes_per_s / flops : 0.0; }
+
+double GpuSpec::NetBwPerFlop() const { return flops > 0.0 ? net_bw_bytes_per_s / flops : 0.0; }
+
+double GpuSpec::PowerDensityWPerMm2() const {
+  return die_area_mm2 > 0.0 ? tdp_watts / die_area_mm2 : 0.0;
+}
+
+std::string GpuSpec::Validate() const {
+  if (name.empty()) {
+    return "missing name";
+  }
+  if (flops <= 0.0) {
+    return "flops must be positive";
+  }
+  if (sm_count <= 0) {
+    return "sm_count must be positive";
+  }
+  if (mem_capacity_bytes <= 0.0) {
+    return "mem_capacity_bytes must be positive";
+  }
+  if (mem_bw_bytes_per_s <= 0.0) {
+    return "mem_bw_bytes_per_s must be positive";
+  }
+  if (net_bw_bytes_per_s < 0.0) {
+    return "net_bw_bytes_per_s must be non-negative";
+  }
+  if (max_gpus <= 0) {
+    return "max_gpus must be positive";
+  }
+  return "";
+}
+
+}  // namespace litegpu

@@ -1,0 +1,53 @@
+// GPU hardware description used throughout the library.
+//
+// Table 1 of the paper is the canonical source for the case-study entries;
+// historical parts (V100..B200) carry extra fields used by the Figure-1
+// evolution bench and the silicon/power models.
+
+#pragma once
+
+#include <string>
+
+namespace litegpu {
+
+struct GpuSpec {
+  std::string name;
+
+  // --- compute ---
+  double flops = 0.0;     // dense FLOP/s at the modeled precision (FP8 here)
+  int sm_count = 0;       // streaming multiprocessors
+  double clock_ghz = 0.0; // sustained boost clock
+
+  // --- memory ---
+  double mem_capacity_bytes = 0.0;
+  double mem_bw_bytes_per_s = 0.0;
+
+  // --- network (per-GPU injection bandwidth, unidirectional) ---
+  double net_bw_bytes_per_s = 0.0;
+
+  // --- cluster scoping (Table 1 "#Max GPUs": the largest cluster the paper's
+  // search sweeps for this part) ---
+  int max_gpus = 1;
+
+  // --- physical (silicon/power models) ---
+  double die_area_mm2 = 0.0;   // total compute silicon in the package
+  int dies_per_package = 1;
+  double tdp_watts = 0.0;
+  double transistors_billion = 0.0;
+  int year = 0;
+
+  // --- derived ratios ---
+  double FlopsPerSm() const;
+  // Memory bytes/s per FLOP/s: the decode-phase figure of merit.
+  double MemBwPerFlop() const;
+  // Network bytes/s per FLOP/s: the collective-phase figure of merit.
+  double NetBwPerFlop() const;
+  // W per mm^2 of compute die: drives the cooling model.
+  double PowerDensityWPerMm2() const;
+
+  // Sanity checks (positive capacities, SM count, ...). Returns an empty
+  // string when valid, else a description of the first problem.
+  std::string Validate() const;
+};
+
+}  // namespace litegpu

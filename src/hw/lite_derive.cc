@@ -1,0 +1,59 @@
+#include "src/hw/lite_derive.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/units.h"
+
+namespace litegpu {
+
+std::string LiteDeriveResult::ToString() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "%s: %.0f TFLOPS, %.0f GB, %.0f GB/s mem, %.1f GB/s net, %d SMs, "
+                "shoreline %.1f/%.1f mm (%s)",
+                gpu.name.c_str(), gpu.flops / kTFLOPS, gpu.mem_capacity_bytes / kGB,
+                gpu.mem_bw_bytes_per_s / kGBps, gpu.net_bw_bytes_per_s / kGBps, gpu.sm_count,
+                shoreline_demand_mm, shoreline_available_mm,
+                shoreline_feasible ? "feasible" : "INFEASIBLE");
+  return buffer;
+}
+
+LiteDeriveResult DeriveLite(const GpuSpec& base, const LiteDeriveOptions& options,
+                            const ShorelineTech& tech) {
+  LiteDeriveResult result;
+  GpuSpec& g = result.gpu;
+  g = base;
+
+  double inv = 1.0 / static_cast<double>(options.split);
+  g.flops = base.flops * inv * options.overclock;
+  g.sm_count = std::max(1, static_cast<int>(std::lround(base.sm_count * inv)));
+  g.clock_ghz = base.clock_ghz * options.overclock;
+  g.mem_capacity_bytes = base.mem_capacity_bytes * inv;
+  g.mem_bw_bytes_per_s = base.mem_bw_bytes_per_s * inv * options.mem_bw_multiplier;
+  g.net_bw_bytes_per_s = base.net_bw_bytes_per_s * inv * options.net_bw_multiplier;
+  g.die_area_mm2 = base.die_area_mm2 * inv;
+  g.dies_per_package = 1;
+  g.transistors_billion = base.transistors_billion * inv;
+  g.max_gpus = base.max_gpus * options.max_gpus_multiplier;
+
+  // Power: proportional share of the base TDP, then the DVFS penalty for any
+  // overclock (P ~ f^alpha around the nominal point).
+  g.tdp_watts =
+      base.tdp_watts * inv * std::pow(options.overclock, options.overclock_power_exponent);
+
+  char name[128];
+  std::snprintf(name, sizeof(name), "%s/%d x%.1fmem x%.1fnet x%.2fclk", base.name.c_str(),
+                options.split, options.mem_bw_multiplier, options.net_bw_multiplier,
+                options.overclock);
+  g.name = name;
+
+  result.shoreline_available_mm = DiePerimeterMm(g.die_area_mm2) * 0.85;
+  result.shoreline_demand_mm = (g.mem_bw_bytes_per_s / kGB) / tech.hbm_gbps_per_mm +
+                               (g.net_bw_bytes_per_s / kGB) / tech.cpo_gbps_per_mm;
+  result.shoreline_feasible = BandwidthFeasible(g.die_area_mm2, g.mem_bw_bytes_per_s,
+                                                g.net_bw_bytes_per_s, tech);
+  return result;
+}
+
+}  // namespace litegpu

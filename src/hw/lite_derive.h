@@ -1,0 +1,49 @@
+// Lite-GPU derivation: build a fractional-scale GPU from a base part and
+// customize it, validating the result against silicon feasibility.
+//
+// This is the programmatic form of the paper's Section-2/Table-1 process:
+// take H100, scale to 1/split on every axis, then spend the extra shoreline
+// on memory bandwidth, network bandwidth, or trade one for the other, and
+// optionally overclock (smaller dies cool better).
+
+#pragma once
+
+#include <string>
+
+#include "src/hw/gpu_spec.h"
+#include "src/silicon/shoreline.h"
+
+namespace litegpu {
+
+struct LiteDeriveOptions {
+  // Replace 1 base GPU with this many Lite-GPUs (area, FLOPS, memory, net
+  // all scale by 1/split).
+  int split = 4;
+  // Multiplier on the scaled memory bandwidth (2.0 -> "Lite+MemBW").
+  double mem_bw_multiplier = 1.0;
+  // Multiplier on the scaled network bandwidth (2.0 -> "Lite+NetBW").
+  double net_bw_multiplier = 1.0;
+  // Clock/FLOPS overclock from improved cooling (1.1 -> "+FLOPS").
+  double overclock = 1.0;
+  // Power scaling exponent for overclocking: P ~ f^alpha (2.2 is a common
+  // DVFS fit; exposed for the power studies).
+  double overclock_power_exponent = 2.2;
+  // Max cluster size for the derived part (Table 1 scales 8 -> 32).
+  int max_gpus_multiplier = 4;
+};
+
+struct LiteDeriveResult {
+  GpuSpec gpu;
+  bool shoreline_feasible = false;
+  // Shoreline length (mm) demanded vs available at the modeled densities.
+  double shoreline_demand_mm = 0.0;
+  double shoreline_available_mm = 0.0;
+  std::string ToString() const;
+};
+
+// Derives a Lite-GPU from `base`. The result's name records the options,
+// e.g. "H100/4 x1.0mem x2.0net x1.1clk".
+LiteDeriveResult DeriveLite(const GpuSpec& base, const LiteDeriveOptions& options,
+                            const ShorelineTech& tech = ShorelineTech{});
+
+}  // namespace litegpu

@@ -1,0 +1,73 @@
+#include "src/llm/footprint.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace litegpu {
+
+double PerLayerWeightBytesPerGpu(const TransformerSpec& model, const TpPlan& plan) {
+  double h = model.d_model;
+  double dh = model.d_head;
+  double wb = model.bytes_per_weight;
+  double t = plan.degree;
+  double qkv = h * dh * (plan.q_heads_per_gpu + 2.0 * plan.kv_heads_per_gpu) * wb;
+  double out_proj = (plan.q_heads_per_gpu * dh) * h * wb;
+  double ffn = static_cast<double>(model.ffn_matrices) * h *
+               (static_cast<double>(model.d_ff) / t) * wb;
+  return qkv + out_proj + ffn;
+}
+
+double EmbeddingWeightBytesPerGpu(const TransformerSpec& model, const TpPlan& plan) {
+  return static_cast<double>(model.vocab_size) * static_cast<double>(model.d_model) *
+         model.bytes_per_weight / plan.degree;
+}
+
+double WeightBytesPerGpu(const TransformerSpec& model, const TpPlan& plan) {
+  double embed = EmbeddingWeightBytesPerGpu(model, plan);
+  double lm_head = embed;
+  return embed + lm_head +
+         static_cast<double>(model.num_layers) * PerLayerWeightBytesPerGpu(model, plan);
+}
+
+double KvBytesPerTokenPerGpu(const TransformerSpec& model, const TpPlan& plan) {
+  return static_cast<double>(model.num_layers) * plan.kv_heads_per_gpu *
+         static_cast<double>(model.d_head) * 2.0 * model.bytes_per_kv;
+}
+
+double ActWorkspaceBytesPerGpu(const TransformerSpec& model, const TpPlan& plan, int batch,
+                               int new_tokens) {
+  double widest = std::max(static_cast<double>(model.d_model),
+                           static_cast<double>(model.d_ff) / plan.degree *
+                               std::max(1, model.ffn_matrices - 1));
+  return 2.0 * static_cast<double>(batch) * static_cast<double>(new_tokens) * widest *
+         model.bytes_per_act;
+}
+
+double MemoryNeededPerGpu(const TransformerSpec& model, const TpPlan& plan, int batch,
+                          int new_tokens, int max_context) {
+  double weights = WeightBytesPerGpu(model, plan);
+  double kv = static_cast<double>(batch) * static_cast<double>(max_context) *
+              KvBytesPerTokenPerGpu(model, plan);
+  double acts = ActWorkspaceBytesPerGpu(model, plan, batch, new_tokens);
+  return weights + kv + acts;
+}
+
+int MaxBatchForCapacity(const TransformerSpec& model, const TpPlan& plan, int new_tokens,
+                        int max_context, double hbm_capacity_bytes,
+                        const FootprintParams& params) {
+  double budget = hbm_capacity_bytes * params.usable_fraction;
+  if (MemoryNeededPerGpu(model, plan, 1, new_tokens, max_context) > budget) {
+    return 0;
+  }
+  // Memory is affine in batch: weights + batch * per_seq.
+  double weights = WeightBytesPerGpu(model, plan);
+  double per_seq = static_cast<double>(max_context) * KvBytesPerTokenPerGpu(model, plan) +
+                   ActWorkspaceBytesPerGpu(model, plan, 1, new_tokens);
+  if (per_seq <= 0.0) {
+    return 1;
+  }
+  double max_batch = (budget - weights) / per_seq;
+  return std::max(1, static_cast<int>(std::floor(max_batch)));
+}
+
+}  // namespace litegpu

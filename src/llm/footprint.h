@@ -1,0 +1,48 @@
+// Per-GPU memory footprint under tensor parallelism: weights, KV cache,
+// activation workspace — and the largest batch that fits a given HBM.
+
+#pragma once
+
+#include "src/llm/model.h"
+#include "src/llm/parallel.h"
+
+namespace litegpu {
+
+// Parameter bytes resident on each GPU. Linear weights shard 1/degree;
+// KV projection weights follow the plan's effective KV heads (replication
+// keeps whole heads resident).
+double WeightBytesPerGpu(const TransformerSpec& model, const TpPlan& plan);
+
+// One transformer layer's weights on each GPU (building block for pipeline
+// sharding, where a GPU holds only its stage's layers).
+double PerLayerWeightBytesPerGpu(const TransformerSpec& model, const TpPlan& plan);
+
+// Embedding table (== LM head) shard on each GPU.
+double EmbeddingWeightBytesPerGpu(const TransformerSpec& model, const TpPlan& plan);
+
+// KV-cache bytes per sequence token on each GPU. Under replication this
+// stops shrinking once degree exceeds the KV-head count.
+double KvBytesPerTokenPerGpu(const TransformerSpec& model, const TpPlan& plan);
+
+// Activation workspace for one in-flight pass (double-buffered widest
+// tensor); small relative to weights/KV but kept for honesty.
+double ActWorkspaceBytesPerGpu(const TransformerSpec& model, const TpPlan& plan, int batch,
+                               int new_tokens);
+
+struct FootprintParams {
+  // Fraction of HBM the allocator may use (framework/fragmentation reserve).
+  double usable_fraction = 0.95;
+};
+
+// Total per-GPU bytes for serving `batch` sequences of up to `max_context`
+// tokens with `new_tokens` processed per pass.
+double MemoryNeededPerGpu(const TransformerSpec& model, const TpPlan& plan, int batch,
+                          int new_tokens, int max_context);
+
+// Largest batch that fits in `hbm_capacity_bytes`; 0 if even batch 1 does
+// not fit (e.g. weights alone exceed capacity).
+int MaxBatchForCapacity(const TransformerSpec& model, const TpPlan& plan, int new_tokens,
+                        int max_context, double hbm_capacity_bytes,
+                        const FootprintParams& params = FootprintParams{});
+
+}  // namespace litegpu

@@ -1,0 +1,206 @@
+#include "src/net/topology.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/format.h"
+#include "src/util/table.h"
+#include "src/util/units.h"
+
+namespace litegpu {
+
+namespace {
+
+// Energy and dollars for one link end moving `bw` bytes/s at `util`.
+double LinkEndPower(double bw_bytes_per_s, double util, const LinkTechSpec& link) {
+  return bw_bytes_per_s * util * 8.0 * link.pj_per_bit * kPicojoule;
+}
+
+double LinkEndCost(double bw_bytes_per_s, const LinkTechSpec& link) {
+  return bw_bytes_per_s * 8.0 / 1e9 * link.usd_per_gbps;
+}
+
+double SwitchPortPower(double bw_bytes_per_s, double util, const SwitchTechSpec& sw) {
+  return bw_bytes_per_s * util * 8.0 * sw.pj_per_bit * kPicojoule;
+}
+
+}  // namespace
+
+std::string ToString(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kDirectConnectGroups:
+      return "direct-connect groups";
+    case TopologyKind::kTorus2D:
+      return "2D torus (switchless)";
+    case TopologyKind::kFlatSwitched:
+      return "flat packet-switched";
+    case TopologyKind::kLeafSpine:
+      return "leaf-spine packet-switched";
+    case TopologyKind::kFlatCircuitSwitched:
+      return "flat circuit-switched";
+  }
+  return "unknown";
+}
+
+TopologyReport BuildDirectConnectGroups(const FabricRequirements& req, int group_size,
+                                        const LinkTechSpec& link) {
+  TopologyReport r;
+  r.kind = TopologyKind::kDirectConnectGroups;
+  r.num_gpus = req.num_gpus;
+  int groups = (req.num_gpus + group_size - 1) / group_size;
+  int links_per_group = group_size * (group_size - 1) / 2;
+  r.num_links = groups * links_per_group;
+  r.num_switches = 0;
+  r.num_switch_ports = 0;
+  r.num_transceivers = 2 * r.num_links;
+  // Each GPU splits its injection bandwidth across (group_size-1) peers.
+  double per_link_bw =
+      group_size > 1 ? req.per_gpu_bw_bytes_per_s / (group_size - 1) : 0.0;
+  r.capex_usd = 2.0 * r.num_links * LinkEndCost(per_link_bw, link);
+  r.power_watts = 2.0 * r.num_links * LinkEndPower(per_link_bw, req.avg_utilization, link);
+  r.max_switch_hops = 0;
+  r.max_hop_latency_s = 2.0 * 5e-9;  // serialization at both ends only
+  r.any_to_any = false;
+  r.network_blast_radius_gpus = group_size;
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer), "%d groups of %d, full mesh inside each", groups,
+                group_size);
+  r.description = buffer;
+  return r;
+}
+
+TopologyReport BuildTorus2D(const FabricRequirements& req, const LinkTechSpec& link) {
+  TopologyReport r;
+  r.kind = TopologyKind::kTorus2D;
+  r.num_gpus = req.num_gpus;
+  int side = std::max(2, static_cast<int>(std::lround(std::sqrt(req.num_gpus))));
+  int rows = side;
+  int cols = (req.num_gpus + rows - 1) / rows;
+  // Torus: every node has 4 links; each link shared by 2 nodes -> 2N links.
+  r.num_links = 2 * rows * cols;
+  r.num_switches = 0;
+  r.num_switch_ports = 0;
+  r.num_transceivers = 2 * r.num_links;
+  double per_link_bw = req.per_gpu_bw_bytes_per_s / 4.0;
+  r.capex_usd = 2.0 * r.num_links * LinkEndCost(per_link_bw, link);
+  r.power_watts = 2.0 * r.num_links * LinkEndPower(per_link_bw, req.avg_utilization, link);
+  // Worst-case shortest path: half the ring in each dimension.
+  int max_hops = rows / 2 + cols / 2;
+  r.max_switch_hops = 0;
+  r.max_hop_latency_s = max_hops * (link.max_reach_m / 2.0e8 + 50e-9);
+  r.any_to_any = true;  // via multi-hop forwarding
+  // Bisection: cutting the torus in half severs 2 links per row (wrap +
+  // direct), both directions.
+  r.bisection_bw_bytes_per_s = 2.0 * rows * per_link_bw;
+  r.network_blast_radius_gpus = 1;  // a dead node only strands itself
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer), "%dx%d torus, %d max hops", rows, cols, max_hops);
+  r.description = buffer;
+  return r;
+}
+
+TopologyReport BuildFlatSwitched(const FabricRequirements& req, const SwitchTechSpec& sw,
+                                 const LinkTechSpec& link) {
+  TopologyReport r;
+  r.kind = TopologyKind::kFlatSwitched;
+  r.num_gpus = req.num_gpus;
+  // Parallel switch planes: each GPU takes one port on every plane; planes
+  // added until per-GPU bandwidth is met, switches added per plane until
+  // ports suffice.
+  int planes = std::max(
+      1, static_cast<int>(std::ceil(req.per_gpu_bw_bytes_per_s / sw.port_bw_bytes_per_s)));
+  int switches_per_plane =
+      std::max(1, static_cast<int>(std::ceil(static_cast<double>(req.num_gpus) / sw.radix)));
+  r.num_switches = planes * switches_per_plane;
+  r.num_links = planes * req.num_gpus;  // one GPU->switch link per plane
+  r.num_switch_ports = r.num_links;     // GPU-facing ports
+  // If a plane needs several switches, interconnect them pairwise (small
+  // clusters here; modeling a full mesh between plane switches).
+  if (switches_per_plane > 1) {
+    int inter = planes * switches_per_plane * (switches_per_plane - 1) / 2;
+    r.num_links += inter;
+    r.num_switch_ports += 2 * inter;
+  }
+  r.num_transceivers = 2 * r.num_links;
+  double per_link_bw = req.per_gpu_bw_bytes_per_s / planes;
+  r.capex_usd = 2.0 * r.num_links * LinkEndCost(per_link_bw, link) +
+                r.num_switch_ports * sw.usd_per_port;
+  r.power_watts =
+      2.0 * r.num_links * LinkEndPower(per_link_bw, req.avg_utilization, link) +
+      r.num_switch_ports * SwitchPortPower(per_link_bw, req.avg_utilization, sw);
+  r.max_switch_hops = switches_per_plane > 1 ? 2 : 1;
+  r.max_hop_latency_s = r.max_switch_hops * sw.latency_s;
+  r.any_to_any = true;
+  r.network_blast_radius_gpus =
+      switches_per_plane > 1 ? req.num_gpus / switches_per_plane : req.num_gpus;
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer), "%d plane(s) x %d switch(es), radix %d", planes,
+                switches_per_plane, sw.radix);
+  r.description = buffer;
+  return r;
+}
+
+TopologyReport BuildLeafSpine(const FabricRequirements& req, const SwitchTechSpec& sw,
+                              const LinkTechSpec& link) {
+  TopologyReport r;
+  r.kind = TopologyKind::kLeafSpine;
+  r.num_gpus = req.num_gpus;
+  int planes = std::max(
+      1, static_cast<int>(std::ceil(req.per_gpu_bw_bytes_per_s / sw.port_bw_bytes_per_s)));
+  int down_per_leaf = sw.radix / 2;
+  int leaves = std::max(
+      1, static_cast<int>(std::ceil(static_cast<double>(req.num_gpus) / down_per_leaf)));
+  int spines =
+      std::max(1, static_cast<int>(std::ceil(static_cast<double>(leaves * down_per_leaf) /
+                                             sw.radix)));
+  leaves *= planes;
+  spines *= planes;
+  r.num_switches = leaves + spines;
+  int gpu_links = planes * req.num_gpus;
+  int uplink_links = leaves * down_per_leaf;  // non-blocking: up == down
+  r.num_links = gpu_links + uplink_links;
+  r.num_switch_ports = gpu_links + 2 * uplink_links;  // leaf-down + leaf-up + spine
+  r.num_transceivers = 2 * r.num_links;
+  double per_link_bw = req.per_gpu_bw_bytes_per_s / planes;
+  r.capex_usd = 2.0 * r.num_links * LinkEndCost(per_link_bw, link) +
+                r.num_switch_ports * sw.usd_per_port;
+  r.power_watts =
+      2.0 * r.num_links * LinkEndPower(per_link_bw, req.avg_utilization, link) +
+      r.num_switch_ports * SwitchPortPower(per_link_bw, req.avg_utilization, sw);
+  r.max_switch_hops = 3;  // leaf -> spine -> leaf
+  r.max_hop_latency_s = 3.0 * sw.latency_s;
+  r.any_to_any = true;
+  r.network_blast_radius_gpus = std::min(req.num_gpus, down_per_leaf);
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer), "%d leaves + %d spines, radix %d", leaves, spines,
+                sw.radix);
+  r.description = buffer;
+  return r;
+}
+
+TopologyReport BuildFlatCircuitSwitched(const FabricRequirements& req,
+                                        const SwitchTechSpec& sw, const LinkTechSpec& link) {
+  TopologyReport r = BuildFlatSwitched(req, sw, link);
+  r.kind = TopologyKind::kFlatCircuitSwitched;
+  // Circuit fabric is single-hop by construction (circuits, no multi-switch
+  // forwarding); the radix covers the cluster sizes studied here.
+  r.max_switch_hops = 1;
+  r.max_hop_latency_s = sw.latency_s + sw.reconfig_s;
+  return r;
+}
+
+std::string TopologyComparisonToText(const std::vector<TopologyReport>& reports) {
+  Table table({"Topology", "Layout", "Links", "Switches", "Ports", "Capex $", "Power",
+               "Max hops", "Latency", "Any-to-any", "Net blast radius"});
+  for (const auto& r : reports) {
+    table.AddRow({ToString(r.kind), r.description, std::to_string(r.num_links),
+                  std::to_string(r.num_switches), std::to_string(r.num_switch_ports),
+                  FormatDouble(r.capex_usd, 0), HumanPower(r.power_watts),
+                  std::to_string(r.max_switch_hops), HumanTime(r.max_hop_latency_s),
+                  r.any_to_any ? "yes" : "no",
+                  std::to_string(r.network_blast_radius_gpus) + " GPUs"});
+  }
+  return table.ToText();
+}
+
+}  // namespace litegpu

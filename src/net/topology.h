@@ -1,0 +1,91 @@
+// Cluster-network topology models (paper Section 3, "Network management"):
+//   1. direct-connect groups ("build a direct-connect topology within that
+//      group of Lite-GPUs and leave the remaining network as is")
+//   2. flat single-stage switched network
+//   3. two-tier (leaf-spine) switched network
+//   4. flat optical circuit-switched network (Sirius-class)
+// Each model reports component counts, cost, power, latency, and the
+// flexibility/blast-radius properties the paper discusses.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/net/params.h"
+
+namespace litegpu {
+
+// What the GPUs demand from the fabric.
+struct FabricRequirements {
+  int num_gpus = 32;
+  // Injection bandwidth each GPU must be able to source/sink.
+  double per_gpu_bw_bytes_per_s = 0.0;
+  // Average utilization of that bandwidth (for energy accounting).
+  double avg_utilization = 0.3;
+};
+
+enum class TopologyKind {
+  kDirectConnectGroups,
+  kTorus2D,
+  kFlatSwitched,
+  kLeafSpine,
+  kFlatCircuitSwitched,
+};
+
+std::string ToString(TopologyKind kind);
+
+struct TopologyReport {
+  TopologyKind kind = TopologyKind::kFlatSwitched;
+  std::string description;
+
+  int num_gpus = 0;
+  int num_links = 0;          // point-to-point cables/fibers
+  int num_switches = 0;
+  int num_switch_ports = 0;   // total ports across all switches
+  int num_transceivers = 0;   // link ends (GPU side + switch side)
+
+  double capex_usd = 0.0;     // links + switch ports
+  double power_watts = 0.0;   // at avg_utilization
+  double max_hop_latency_s = 0.0;  // worst-case GPU-to-GPU fabric latency
+  int max_switch_hops = 0;
+
+  // Can any GPU talk to any other at full rate (fault-tolerance and
+  // flexible placement, Section 3)? Direct-connect groups cannot.
+  bool any_to_any = false;
+  // GPUs that lose connectivity/capacity together when one group/switch
+  // element fails (network blast radius).
+  int network_blast_radius_gpus = 0;
+  // Worst-case cut bandwidth between cluster halves (filled by topologies
+  // where it is meaningful; 0 otherwise).
+  double bisection_bw_bytes_per_s = 0.0;
+};
+
+// 1. Fully-connected groups of `group_size` GPUs (e.g. the 4 Lite-GPUs that
+// replace one H100); inter-group traffic uses the pre-existing scale-out
+// network and is out of scope, as in the paper.
+TopologyReport BuildDirectConnectGroups(const FabricRequirements& req, int group_size,
+                                        const LinkTechSpec& link);
+
+// 1b. Switchless 2D torus (TPU-style): every GPU wires to 4 neighbors; no
+// switches, any-to-any via multi-hop forwarding (average ~sqrt(N)/2 hops).
+// `bisection_bw_bytes_per_s` is filled for this topology.
+TopologyReport BuildTorus2D(const FabricRequirements& req, const LinkTechSpec& link);
+
+// 2. One stage of packet switches; requires num_gpus <= radix per switch
+// domain, larger clusters get multiple parallel switch planes.
+TopologyReport BuildFlatSwitched(const FabricRequirements& req, const SwitchTechSpec& sw,
+                                 const LinkTechSpec& link);
+
+// 3. Non-blocking two-tier leaf-spine packet network.
+TopologyReport BuildLeafSpine(const FabricRequirements& req, const SwitchTechSpec& sw,
+                              const LinkTechSpec& link);
+
+// 4. Flat optical circuit switch (high radix, passive data path).
+TopologyReport BuildFlatCircuitSwitched(const FabricRequirements& req,
+                                        const SwitchTechSpec& sw, const LinkTechSpec& link);
+
+// Renders the reports side by side.
+std::string TopologyComparisonToText(const std::vector<TopologyReport>& reports);
+
+}  // namespace litegpu

@@ -1,0 +1,26 @@
+#include "src/power/cluster_energy.h"
+
+#include "src/util/units.h"
+
+namespace litegpu {
+
+ClusterPowerBreakdown ClusterPower(const GpuSpec& gpu, int num_gpus,
+                                   const ClusterPowerParams& params) {
+  ClusterPowerBreakdown out;
+  DvfsModel dvfs = params.MakeDvfs(gpu);
+  // Utilization maps to effective frequency demand for dynamic power.
+  out.gpu_watts = PowerAtFrequency(dvfs, params.gpu_utilization) * num_gpus;
+  out.network_watts = gpu.net_bw_bytes_per_s * params.network_utilization * 8.0 *
+                      params.network_pj_per_bit * kPicojoule * num_gpus;
+  out.cooling_watts = CoolingOverheadWatts(gpu, num_gpus, params.cooling);
+  return out;
+}
+
+double EnergyPerToken(const ClusterPowerBreakdown& power, double tokens_per_s) {
+  if (tokens_per_s <= 0.0) {
+    return 0.0;
+  }
+  return power.TotalWatts() / tokens_per_s;
+}
+
+}  // namespace litegpu

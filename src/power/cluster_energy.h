@@ -1,0 +1,42 @@
+// Cluster-level energy accounting: GPUs + network + cooling, and the
+// energy-per-token figure the paper's efficiency arguments turn on.
+
+#pragma once
+
+#include "src/hw/gpu_spec.h"
+#include "src/power/cooling.h"
+#include "src/power/dvfs.h"
+
+namespace litegpu {
+
+struct ClusterPowerBreakdown {
+  double gpu_watts = 0.0;
+  double network_watts = 0.0;
+  double cooling_watts = 0.0;
+  double TotalWatts() const { return gpu_watts + network_watts + cooling_watts; }
+};
+
+struct ClusterPowerParams {
+  // Average utilization of GPU compute (scales dynamic power).
+  double gpu_utilization = 0.7;
+  // Network energy per bit (link ends + fabric), J/bit.
+  double network_pj_per_bit = 10.0;
+  // Average fraction of per-GPU network bandwidth in use.
+  double network_utilization = 0.3;
+  CoolingThresholds cooling;
+  DvfsModel MakeDvfs(const GpuSpec& gpu) const {
+    DvfsModel m;
+    m.nominal_power_watts = gpu.tdp_watts;
+    return m;
+  }
+};
+
+// Power of `num_gpus` GPUs serving at the given utilization, including their
+// fabric and cooling overhead.
+ClusterPowerBreakdown ClusterPower(const GpuSpec& gpu, int num_gpus,
+                                   const ClusterPowerParams& params = {});
+
+// Joules per token for a deployment producing `tokens_per_s`.
+double EnergyPerToken(const ClusterPowerBreakdown& power, double tokens_per_s);
+
+}  // namespace litegpu

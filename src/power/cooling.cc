@@ -1,0 +1,67 @@
+#include "src/power/cooling.h"
+
+#include <algorithm>
+
+namespace litegpu {
+
+std::string ToString(CoolingRegime regime) {
+  switch (regime) {
+    case CoolingRegime::kPassiveAir:
+      return "passive-air";
+    case CoolingRegime::kForcedAir:
+      return "forced-air";
+    case CoolingRegime::kLiquidCold:
+      return "liquid-cold-plate";
+    case CoolingRegime::kImmersion:
+      return "immersion";
+  }
+  return "unknown";
+}
+
+CoolingRegime RequiredRegime(const GpuSpec& gpu, const CoolingThresholds& thresholds) {
+  if (gpu.tdp_watts <= thresholds.passive_air_max_w) {
+    return CoolingRegime::kPassiveAir;
+  }
+  if (gpu.tdp_watts <= thresholds.forced_air_max_w) {
+    return CoolingRegime::kForcedAir;
+  }
+  if (gpu.tdp_watts <= thresholds.liquid_max_w) {
+    return CoolingRegime::kLiquidCold;
+  }
+  return CoolingRegime::kImmersion;
+}
+
+bool RackStaysOnAir(const GpuSpec& gpu, int gpus_per_rack,
+                    const CoolingThresholds& thresholds) {
+  CoolingRegime regime = RequiredRegime(gpu, thresholds);
+  if (regime != CoolingRegime::kPassiveAir && regime != CoolingRegime::kForcedAir) {
+    return false;
+  }
+  return gpu.tdp_watts * gpus_per_rack <= thresholds.air_rack_max_w;
+}
+
+double CoolingOverheadWatts(const GpuSpec& gpu, int num_gpus,
+                            const CoolingThresholds& thresholds) {
+  double it_power = gpu.tdp_watts * num_gpus;
+  switch (RequiredRegime(gpu, thresholds)) {
+    case CoolingRegime::kPassiveAir:
+    case CoolingRegime::kForcedAir:
+      return it_power * thresholds.air_overhead;
+    case CoolingRegime::kLiquidCold:
+      return it_power * thresholds.liquid_overhead;
+    case CoolingRegime::kImmersion:
+      return it_power * thresholds.immersion_overhead;
+  }
+  return 0.0;
+}
+
+double SustainableClockMultiplier(const GpuSpec& gpu, const CoolingThresholds& thresholds) {
+  // Headroom against the forced-air envelope maps linearly to extra clock,
+  // capped: a part at half the envelope can hold ~+15%; a part at or above
+  // it holds nominal only.
+  double headroom = 1.0 - gpu.tdp_watts / thresholds.forced_air_max_w;
+  double bonus = std::clamp(headroom, 0.0, 0.5) * 0.3;
+  return 1.0 + std::min(bonus, 0.15);
+}
+
+}  // namespace litegpu

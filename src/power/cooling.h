@@ -1,0 +1,53 @@
+// Cooling-regime model (paper Sections 2-3: "Smaller single-die GPUs can be
+// air-cooled separately and even sustain higher clock frequencies without
+// requiring advanced cooling"; Section 3 datacenter management: lighter rack
+// cooling "can eliminate the need for liquid cooling racks").
+
+#pragma once
+
+#include <string>
+
+#include "src/hw/gpu_spec.h"
+
+namespace litegpu {
+
+enum class CoolingRegime {
+  kPassiveAir,    // heatsink + chassis airflow
+  kForcedAir,     // dedicated high-static-pressure airflow
+  kLiquidCold,    // direct-to-chip cold plates
+  kImmersion,     // immersion / rear-door liquid at rack scale
+};
+
+std::string ToString(CoolingRegime regime);
+
+struct CoolingThresholds {
+  // Per-package TDP limits for each regime (W).
+  double passive_air_max_w = 150.0;
+  double forced_air_max_w = 400.0;
+  double liquid_max_w = 1200.0;
+  // Rack-level heat limit before the rack itself needs liquid (W).
+  double air_rack_max_w = 40000.0;
+  // Cooling overhead (PUE-like multiplier on IT power) per regime.
+  double air_overhead = 0.15;
+  double liquid_overhead = 0.08;
+  double immersion_overhead = 0.05;
+};
+
+// Regime required by one GPU package.
+CoolingRegime RequiredRegime(const GpuSpec& gpu, const CoolingThresholds& thresholds = {});
+
+// Whether a rack holding `gpus_per_rack` such GPUs can stay on air cooling.
+bool RackStaysOnAir(const GpuSpec& gpu, int gpus_per_rack,
+                    const CoolingThresholds& thresholds = {});
+
+// Cooling power overhead (W) for a cluster of `num_gpus` of `gpu`.
+double CoolingOverheadWatts(const GpuSpec& gpu, int num_gpus,
+                            const CoolingThresholds& thresholds = {});
+
+// Sustainable clock multiplier from thermal headroom: packages well below
+// the forced-air limit can hold boost clocks ("sustain higher clock
+// frequencies"); a simple linear headroom model capped at +15%.
+double SustainableClockMultiplier(const GpuSpec& gpu,
+                                  const CoolingThresholds& thresholds = {});
+
+}  // namespace litegpu

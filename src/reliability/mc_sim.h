@@ -1,0 +1,43 @@
+// Monte-Carlo availability simulator for model-serving clusters with hot
+// spares (paper Section 3, "Fault-tolerance").
+//
+// The cluster serves `num_instances` model instances, each spanning
+// `gpus_per_instance` GPUs (the software blast radius: one member failing
+// takes the instance offline, as in today's serving stacks). `num_spares`
+// spare GPUs can replace a failed member after an activation delay.
+// Failures are exponential per active GPU; repairs are exponential with the
+// configured MTTR; repaired devices rejoin the spare pool.
+
+#pragma once
+
+#include <cstdint>
+
+#include "src/hw/gpu_spec.h"
+#include "src/reliability/failure_model.h"
+
+namespace litegpu {
+
+struct McSimConfig {
+  int gpus_per_instance = 8;
+  int num_instances = 4;
+  int num_spares = 0;
+  double sim_years = 20.0;
+  uint64_t seed = 0x5EEDED;
+  FailureParams failure;
+};
+
+struct McSimResult {
+  // Time-weighted fraction of instances up.
+  double instance_availability = 0.0;
+  // Time-weighted fraction of cluster capacity served (instances up / total).
+  double capacity_fraction = 0.0;
+  uint64_t num_failures = 0;
+  // Failures that found no free spare (suffered full MTTR).
+  uint64_t unmasked_failures = 0;
+  // Expected failures/year observed (sanity vs closed form).
+  double failures_per_year = 0.0;
+};
+
+McSimResult SimulateAvailability(const GpuSpec& gpu, const McSimConfig& config);
+
+}  // namespace litegpu

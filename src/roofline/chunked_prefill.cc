@@ -1,0 +1,117 @@
+#include "src/roofline/chunked_prefill.h"
+
+#include <algorithm>
+
+namespace litegpu {
+
+namespace {
+
+// Merges a prefill-chunk pass and a decode pass into one fused step's work.
+// FLOPs, activations, KV traffic, and collective payloads add; weights are
+// streamed once and shared by both (the point of piggybacking).
+ModelWork FuseWork(const ModelWork& prefill, const ModelWork& decode) {
+  ModelWork fused = prefill;
+  for (size_t i = 0; i < fused.layer_stages.size() && i < decode.layer_stages.size(); ++i) {
+    StageWork& f = fused.layer_stages[i];
+    const StageWork& d = decode.layer_stages[i];
+    f.flops += d.flops;
+    f.act_bytes += d.act_bytes;
+    f.kv_bytes += d.kv_bytes;
+    f.allreduce_bytes += d.allreduce_bytes;
+    f.weight_bytes = std::max(f.weight_bytes, d.weight_bytes);
+  }
+  fused.embedding.flops += decode.embedding.flops;
+  fused.embedding.act_bytes += decode.embedding.act_bytes;
+  fused.embedding.weight_bytes += decode.embedding.weight_bytes;
+  fused.lm_head.flops += decode.lm_head.flops;
+  fused.lm_head.act_bytes += decode.lm_head.act_bytes;
+  fused.lm_head.weight_bytes =
+      std::max(fused.lm_head.weight_bytes, decode.lm_head.weight_bytes);
+  return fused;
+}
+
+}  // namespace
+
+FusedStepResult EvaluateFusedStep(const TransformerSpec& model, const GpuSpec& gpu,
+                                  const TpPlan& plan, const ChunkedPrefillConfig& config,
+                                  int prefill_context, const WorkloadParams& workload,
+                                  const EngineParams& engine) {
+  FusedStepResult result;
+  int max_context = workload.prompt_tokens + workload.output_tokens;
+
+  PassShape decode_shape;
+  decode_shape.batch = config.decode_batch;
+  decode_shape.new_tokens = 1;
+  decode_shape.context_tokens = max_context - 1;
+  ModelWork decode = BuildModelWork(model, plan, Phase::kDecode, decode_shape);
+  result.decode_only_s = EvaluatePass(decode, gpu, plan.degree, engine).total_s;
+
+  PassShape chunk_shape;
+  chunk_shape.batch = 1;
+  chunk_shape.new_tokens = config.chunk_tokens;
+  chunk_shape.context_tokens = prefill_context;
+  ModelWork chunk = BuildModelWork(model, plan, Phase::kPrefill, chunk_shape);
+
+  ModelWork fused = FuseWork(chunk, decode);
+  PassTiming timing = EvaluatePass(fused, gpu, plan.degree, engine);
+  result.step_s = timing.total_s;
+  result.bound = timing.DominantBound();
+  result.tbt_inflation =
+      result.decode_only_s > 0.0 ? result.step_s / result.decode_only_s : 0.0;
+  result.prefill_tokens_per_s =
+      result.step_s > 0.0 ? config.chunk_tokens / result.step_s : 0.0;
+  return result;
+}
+
+int MaxChunkForSlo(const TransformerSpec& model, const GpuSpec& gpu, const TpPlan& plan,
+                   int decode_batch, const WorkloadParams& workload,
+                   const EngineParams& engine) {
+  auto step_meets = [&](int chunk) {
+    ChunkedPrefillConfig config;
+    config.chunk_tokens = chunk;
+    config.decode_batch = decode_batch;
+    FusedStepResult r = EvaluateFusedStep(model, gpu, plan, config,
+                                          workload.prompt_tokens, workload, engine);
+    return r.step_s <= workload.tbt_slo_s;
+  };
+  if (!step_meets(1)) {
+    return 0;
+  }
+  int lo = 1;
+  int hi = workload.prompt_tokens;
+  if (step_meets(hi)) {
+    return hi;
+  }
+  while (lo < hi - 1) {
+    int mid = lo + (hi - lo) / 2;
+    if (step_meets(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double ChunkedPrefillLatency(const TransformerSpec& model, const GpuSpec& gpu,
+                             const TpPlan& plan, int decode_batch,
+                             const WorkloadParams& workload, const EngineParams& engine) {
+  int chunk = MaxChunkForSlo(model, gpu, plan, decode_batch, workload, engine);
+  if (chunk <= 0) {
+    return -1.0;
+  }
+  double total = 0.0;
+  int processed = 0;
+  while (processed < workload.prompt_tokens) {
+    ChunkedPrefillConfig config;
+    config.chunk_tokens = std::min(chunk, workload.prompt_tokens - processed);
+    config.decode_batch = decode_batch;
+    FusedStepResult r =
+        EvaluateFusedStep(model, gpu, plan, config, processed, workload, engine);
+    total += r.step_s;
+    processed += config.chunk_tokens;
+  }
+  return total;
+}
+
+}  // namespace litegpu

@@ -1,0 +1,54 @@
+// Chunked prefill with piggybacked decodes (SARATHI-style, paper ref [4]).
+//
+// The paper's workload-management section argues Lite clusters should mask
+// network/memory overheads by exploiting the pipelined, predictable nature
+// of LLM inference. Chunked prefill is the canonical instance: split a
+// prompt into chunks and run each chunk fused with the ongoing decode batch,
+// so the compute-hungry prefill fills the bubbles of the memory-bound
+// decode. This models the fused-step roofline and the resulting TBT
+// inflation / prefill throughput trade-off.
+
+#pragma once
+
+#include "src/hw/gpu_spec.h"
+#include "src/llm/model.h"
+#include "src/llm/parallel.h"
+#include "src/roofline/engine.h"
+#include "src/roofline/inference.h"
+
+namespace litegpu {
+
+struct ChunkedPrefillConfig {
+  int chunk_tokens = 512;   // prompt tokens processed per fused step
+  int decode_batch = 64;    // ongoing decode sequences riding along
+};
+
+struct FusedStepResult {
+  double step_s = 0.0;           // one fused (chunk + decode) step
+  double decode_only_s = 0.0;    // the same decode batch without the chunk
+  double tbt_inflation = 0.0;    // step_s / decode_only_s
+  double prefill_tokens_per_s = 0.0;  // chunk throughput while decoding
+  Bound bound = Bound::kCompute;
+};
+
+// One fused step: a prefill chunk (at the given running context) plus a
+// decode step for `decode_batch` sequences at full context.
+FusedStepResult EvaluateFusedStep(const TransformerSpec& model, const GpuSpec& gpu,
+                                  const TpPlan& plan, const ChunkedPrefillConfig& config,
+                                  int prefill_context, const WorkloadParams& workload,
+                                  const EngineParams& engine);
+
+// Largest chunk that keeps the fused step under the TBT SLO (0 when even a
+// minimal chunk breaks it).
+int MaxChunkForSlo(const TransformerSpec& model, const GpuSpec& gpu, const TpPlan& plan,
+                   int decode_batch, const WorkloadParams& workload,
+                   const EngineParams& engine);
+
+// End-to-end time to prefill a whole prompt in SLO-respecting chunks while
+// the decode batch keeps running (the "free" prefill capacity of a decode
+// cluster).
+double ChunkedPrefillLatency(const TransformerSpec& model, const GpuSpec& gpu,
+                             const TpPlan& plan, int decode_batch,
+                             const WorkloadParams& workload, const EngineParams& engine);
+
+}  // namespace litegpu

@@ -1,0 +1,123 @@
+#include "src/roofline/engine.h"
+
+#include <algorithm>
+
+namespace litegpu {
+
+std::string ToString(OverlapScope scope) {
+  switch (scope) {
+    case OverlapScope::kNone:
+      return "serialized";
+    case OverlapScope::kStage:
+      return "stage-overlap";
+    case OverlapScope::kLayer:
+      return "layer-overlap";
+  }
+  return "unknown";
+}
+
+std::string ToString(Bound bound) {
+  switch (bound) {
+    case Bound::kCompute:
+      return "compute";
+    case Bound::kMemory:
+      return "memory";
+    case Bound::kNetwork:
+      return "network";
+    case Bound::kOverhead:
+      return "overhead";
+  }
+  return "unknown";
+}
+
+StageTiming EvaluateStage(const StageWork& work, const GpuSpec& gpu, int tp_degree,
+                          const EngineParams& params) {
+  StageTiming t;
+  t.name = work.name;
+  double flops = gpu.flops * params.compute_efficiency;
+  double mem_bw = gpu.mem_bw_bytes_per_s * params.memory_efficiency;
+  t.compute_s = flops > 0.0 ? work.flops / flops : 0.0;
+  t.memory_s = mem_bw > 0.0 ? work.HbmBytes() / mem_bw : 0.0;
+  if (work.allreduce_bytes > 0.0 && tp_degree > 1) {
+    LinkModel link{gpu.net_bw_bytes_per_s, params.network_latency_s};
+    t.network_s = AllReduceTime(work.allreduce_bytes, tp_degree, link, params.collective_algo);
+  }
+  t.overhead_s = params.stage_overhead_s;
+  if (params.overlap == OverlapScope::kNone) {
+    t.total_s = t.compute_s + t.memory_s + t.network_s + t.overhead_s;
+  } else {
+    t.total_s = std::max({t.compute_s, t.memory_s, t.network_s}) + t.overhead_s;
+  }
+  if (t.compute_s >= t.memory_s && t.compute_s >= t.network_s) {
+    t.bound = Bound::kCompute;
+  } else if (t.memory_s >= t.network_s) {
+    t.bound = Bound::kMemory;
+  } else {
+    t.bound = Bound::kNetwork;
+  }
+  if (t.overhead_s > std::max({t.compute_s, t.memory_s, t.network_s})) {
+    t.bound = Bound::kOverhead;
+  }
+  return t;
+}
+
+Bound PassTiming::DominantBound() const {
+  double best = compute_s;
+  Bound bound = Bound::kCompute;
+  if (memory_s > best) {
+    best = memory_s;
+    bound = Bound::kMemory;
+  }
+  if (network_s > best) {
+    best = network_s;
+    bound = Bound::kNetwork;
+  }
+  if (overhead_s > best) {
+    bound = Bound::kOverhead;
+  }
+  return bound;
+}
+
+PassTiming EvaluatePass(const ModelWork& work, const GpuSpec& gpu, int tp_degree,
+                        const EngineParams& params) {
+  PassTiming pass;
+  pass.num_layers = work.num_layers;
+  pass.layer_stages.reserve(work.layer_stages.size());
+  double layer_compute = 0.0;
+  double layer_memory = 0.0;
+  double layer_network = 0.0;
+  double layer_overhead = 0.0;
+  double layer_stage_total = 0.0;
+  for (const auto& stage : work.layer_stages) {
+    StageTiming t = EvaluateStage(stage, gpu, tp_degree, params);
+    layer_compute += t.compute_s;
+    layer_memory += t.memory_s;
+    layer_network += t.network_s;
+    layer_overhead += t.overhead_s;
+    layer_stage_total += t.total_s;
+    pass.compute_s += t.compute_s * work.num_layers;
+    pass.memory_s += t.memory_s * work.num_layers;
+    pass.network_s += t.network_s * work.num_layers;
+    pass.overhead_s += t.overhead_s * work.num_layers;
+    pass.layer_stages.push_back(std::move(t));
+  }
+  double layer_total;
+  if (params.overlap == OverlapScope::kLayer) {
+    layer_total = std::max({layer_compute, layer_memory, layer_network}) + layer_overhead;
+  } else {
+    layer_total = layer_stage_total;
+  }
+  pass.total_s += layer_total * work.num_layers;
+  pass.embedding = EvaluateStage(work.embedding, gpu, tp_degree, params);
+  pass.lm_head = EvaluateStage(work.lm_head, gpu, tp_degree, params);
+  for (const StageTiming* t : {&pass.embedding, &pass.lm_head}) {
+    pass.total_s += t->total_s;
+    pass.compute_s += t->compute_s;
+    pass.memory_s += t->memory_s;
+    pass.network_s += t->network_s;
+    pass.overhead_s += t->overhead_s;
+  }
+  return pass;
+}
+
+}  // namespace litegpu

@@ -1,0 +1,74 @@
+#include "src/roofline/inference.h"
+
+namespace litegpu {
+
+namespace {
+
+double TokensPerSmDenominator(const GpuSpec& gpu, const TpPlan& plan) {
+  return static_cast<double>(plan.degree) * static_cast<double>(gpu.sm_count);
+}
+
+}  // namespace
+
+PrefillResult EvaluatePrefill(const TransformerSpec& model, const GpuSpec& gpu,
+                              const TpPlan& plan, int batch, const WorkloadParams& workload,
+                              const EngineParams& engine) {
+  PrefillResult result;
+  if (batch <= 0) {
+    return result;
+  }
+  result.memory_needed_bytes =
+      MemoryNeededPerGpu(model, plan, batch, workload.prompt_tokens, workload.prompt_tokens);
+  if (workload.enforce_memory_capacity &&
+      result.memory_needed_bytes > gpu.mem_capacity_bytes * FootprintParams{}.usable_fraction) {
+    return result;
+  }
+  result.feasible = true;
+
+  PassShape shape;
+  shape.batch = batch;
+  shape.new_tokens = workload.prompt_tokens;
+  shape.context_tokens = 0;
+  ModelWork work = BuildModelWork(model, plan, Phase::kPrefill, shape);
+  result.timing = EvaluatePass(work, gpu, plan.degree, engine);
+  result.ttft_s = result.timing.total_s;
+  result.meets_slo = result.ttft_s <= workload.ttft_slo_s;
+  if (result.ttft_s > 0.0) {
+    result.tokens_per_s =
+        static_cast<double>(batch) * static_cast<double>(workload.prompt_tokens) / result.ttft_s;
+    result.tokens_per_s_per_sm = result.tokens_per_s / TokensPerSmDenominator(gpu, plan);
+  }
+  return result;
+}
+
+DecodeResult EvaluateDecode(const TransformerSpec& model, const GpuSpec& gpu,
+                            const TpPlan& plan, int batch, const WorkloadParams& workload,
+                            const EngineParams& engine) {
+  DecodeResult result;
+  if (batch <= 0) {
+    return result;
+  }
+  int max_context = workload.prompt_tokens + workload.output_tokens;
+  result.memory_needed_bytes = MemoryNeededPerGpu(model, plan, batch, 1, max_context);
+  if (workload.enforce_memory_capacity &&
+      result.memory_needed_bytes > gpu.mem_capacity_bytes * FootprintParams{}.usable_fraction) {
+    return result;
+  }
+  result.feasible = true;
+
+  PassShape shape;
+  shape.batch = batch;
+  shape.new_tokens = 1;
+  shape.context_tokens = max_context - 1;  // worst-case final step
+  ModelWork work = BuildModelWork(model, plan, Phase::kDecode, shape);
+  result.timing = EvaluatePass(work, gpu, plan.degree, engine);
+  result.tbt_s = result.timing.total_s;
+  result.meets_slo = result.tbt_s <= workload.tbt_slo_s;
+  if (result.tbt_s > 0.0) {
+    result.tokens_per_s = static_cast<double>(batch) / result.tbt_s;
+    result.tokens_per_s_per_sm = result.tokens_per_s / TokensPerSmDenominator(gpu, plan);
+  }
+  return result;
+}
+
+}  // namespace litegpu

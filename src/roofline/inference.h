@@ -1,0 +1,60 @@
+// LLM-inference-level evaluation on top of the roofline engine: TTFT for the
+// prefill phase, TBT for the decode phase, throughput, and the paper's
+// figure-of-merit tokens/s/SM. Phases are evaluated on separate clusters
+// (Splitwise-style phase splitting, as the paper assumes in Section 4).
+
+#pragma once
+
+#include "src/hw/gpu_spec.h"
+#include "src/llm/footprint.h"
+#include "src/llm/model.h"
+#include "src/llm/parallel.h"
+#include "src/roofline/engine.h"
+
+namespace litegpu {
+
+struct WorkloadParams {
+  // Median production prompt length used by the paper (Splitwise coding).
+  int prompt_tokens = 1500;
+  // Output tokens generated per request; decode SLO must hold through the
+  // final (longest-context) step.
+  int output_tokens = 256;
+  double ttft_slo_s = 1.0;    // time-to-first-token constraint
+  double tbt_slo_s = 0.050;   // time-between-tokens constraint
+  // Enforce that weights + KV cache fit in HBM (physical deployments need
+  // this; disable to reproduce idealized capacity studies).
+  bool enforce_memory_capacity = true;
+};
+
+struct PrefillResult {
+  bool feasible = false;       // memory fit (when enforced) and valid plan
+  bool meets_slo = false;      // ttft <= SLO
+  double ttft_s = 0.0;         // one prefill pass over the whole batch
+  double tokens_per_s = 0.0;   // batch * prompt_tokens / ttft
+  double tokens_per_s_per_sm = 0.0;
+  double memory_needed_bytes = 0.0;  // per GPU
+  PassTiming timing;
+};
+
+struct DecodeResult {
+  bool feasible = false;
+  bool meets_slo = false;      // worst-case (final-context) TBT <= SLO
+  double tbt_s = 0.0;          // per-token step latency at final context
+  double tokens_per_s = 0.0;   // batch / tbt
+  double tokens_per_s_per_sm = 0.0;
+  double memory_needed_bytes = 0.0;  // per GPU
+  PassTiming timing;
+};
+
+// Prefill: one pass over `batch` prompts of prompt_tokens each.
+PrefillResult EvaluatePrefill(const TransformerSpec& model, const GpuSpec& gpu,
+                              const TpPlan& plan, int batch, const WorkloadParams& workload,
+                              const EngineParams& engine);
+
+// Decode: one token step for `batch` sequences at the worst-case context
+// (prompt + output tokens).
+DecodeResult EvaluateDecode(const TransformerSpec& model, const GpuSpec& gpu,
+                            const TpPlan& plan, int batch, const WorkloadParams& workload,
+                            const EngineParams& engine);
+
+}  // namespace litegpu

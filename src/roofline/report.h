@@ -1,0 +1,37 @@
+// Roofline reporting: operational-intensity analysis and textual "roofline
+// plots" for a pass — the diagnostic view behind Figure 3 (which stages are
+// compute/memory/network bound on which GPU, and by how much).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/hw/gpu_spec.h"
+#include "src/llm/stages.h"
+#include "src/roofline/engine.h"
+
+namespace litegpu {
+
+struct RooflinePoint {
+  std::string stage;
+  double operational_intensity = 0.0;  // FLOP per HBM byte
+  double attainable_flops = 0.0;       // min(peak, OI * mem_bw)
+  double achieved_flops = 0.0;         // stage FLOPs / stage time
+  double efficiency = 0.0;             // achieved / peak
+  Bound bound = Bound::kCompute;
+  double time_share = 0.0;             // share of the whole pass time
+};
+
+// The classic machine-balance point: OI below this is memory-bound.
+double RidgeIntensity(const GpuSpec& gpu, const EngineParams& params = {});
+
+// Per-stage roofline placement for a pass.
+std::vector<RooflinePoint> AnalyzePass(const ModelWork& work, const GpuSpec& gpu,
+                                       int tp_degree, const EngineParams& params = {});
+
+// Renders the analysis as a table plus a log-scale ASCII roofline sketch.
+std::string RooflineReportToText(const std::vector<RooflinePoint>& points,
+                                 const GpuSpec& gpu, const EngineParams& params = {});
+
+}  // namespace litegpu

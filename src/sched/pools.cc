@@ -1,0 +1,42 @@
+#include "src/sched/pools.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace litegpu {
+
+std::string PoolPlan::ToString() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "prefill %d inst (%d GPUs, %.2fx) + decode %d inst (%d GPUs, %.2fx) = %d GPUs",
+                prefill_instances, prefill_gpus, prefill_overprovision, decode_instances,
+                decode_gpus, decode_overprovision, total_gpus);
+  return buffer;
+}
+
+PoolPlan SizePools(const PoolDemand& demand, const InstanceCapacity& capacity) {
+  PoolPlan plan;
+  if (capacity.prefill_tokens_per_s <= 0.0 || capacity.decode_tokens_per_s <= 0.0) {
+    return plan;
+  }
+  double prefill_demand =
+      demand.requests_per_s * demand.prompt_tokens * demand.provisioning_headroom;
+  double decode_demand =
+      demand.requests_per_s * demand.output_tokens * demand.provisioning_headroom;
+
+  plan.prefill_instances =
+      std::max(1, static_cast<int>(std::ceil(prefill_demand / capacity.prefill_tokens_per_s)));
+  plan.decode_instances =
+      std::max(1, static_cast<int>(std::ceil(decode_demand / capacity.decode_tokens_per_s)));
+  plan.prefill_gpus = plan.prefill_instances * capacity.prefill_gpus;
+  plan.decode_gpus = plan.decode_instances * capacity.decode_gpus;
+  plan.total_gpus = plan.prefill_gpus + plan.decode_gpus;
+  plan.prefill_overprovision =
+      plan.prefill_instances * capacity.prefill_tokens_per_s /
+      (demand.requests_per_s * demand.prompt_tokens);
+  plan.decode_overprovision = plan.decode_instances * capacity.decode_tokens_per_s /
+                              (demand.requests_per_s * demand.output_tokens);
+  return plan;
+}
+
+}  // namespace litegpu

@@ -1,0 +1,44 @@
+// Splitwise-style phase-split pool sizing (paper Sections 3-4: different
+// inference phases run on differently-customized clusters). Given a request
+// rate and the measured per-instance capacities, size the prefill and decode
+// pools, quantified at H100 vs Lite granularity.
+
+#pragma once
+
+#include <string>
+
+namespace litegpu {
+
+struct PoolDemand {
+  double requests_per_s = 10.0;
+  int prompt_tokens = 1500;
+  int output_tokens = 256;
+  // Headroom multiplier over the mean demand (burst absorption).
+  double provisioning_headroom = 1.25;
+};
+
+struct InstanceCapacity {
+  // Best-config throughput of ONE instance (from core::ConfigSearch).
+  double prefill_tokens_per_s = 0.0;
+  double decode_tokens_per_s = 0.0;
+  int prefill_gpus = 0;  // GPUs per prefill instance
+  int decode_gpus = 0;   // GPUs per decode instance
+};
+
+struct PoolPlan {
+  int prefill_instances = 0;
+  int decode_instances = 0;
+  int prefill_gpus = 0;
+  int decode_gpus = 0;
+  int total_gpus = 0;
+  // Provisioned / demanded capacity per pool (>= headroom by construction;
+  // larger means quantization waste).
+  double prefill_overprovision = 0.0;
+  double decode_overprovision = 0.0;
+  std::string ToString() const;
+};
+
+// Sizes both pools for the demand; instance counts round up.
+PoolPlan SizePools(const PoolDemand& demand, const InstanceCapacity& capacity);
+
+}  // namespace litegpu

@@ -1,0 +1,112 @@
+#include "src/sched/power_sched.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace litegpu {
+
+std::vector<double> DiurnalLoadTrace(int intervals_per_day) {
+  // Smooth day/night curve with a morning ramp and evening peak, floored at
+  // 15% (overnight background traffic); peaks at 1.0.
+  std::vector<double> trace(intervals_per_day);
+  for (int i = 0; i < intervals_per_day; ++i) {
+    double hour = 24.0 * i / intervals_per_day;
+    double base = 0.575 - 0.425 * std::cos((hour - 3.0) / 24.0 * 2.0 * M_PI);
+    double evening_bump = 0.12 * std::exp(-0.5 * std::pow((hour - 20.0) / 2.0, 2.0));
+    trace[i] = std::clamp(base + evening_bump, 0.15, 1.0);
+  }
+  return trace;
+}
+
+std::string ToString(PowerPolicy policy) {
+  switch (policy) {
+    case PowerPolicy::kAllDvfs:
+      return "all-on DVFS";
+    case PowerPolicy::kPowerOffIdle:
+      return "power-off idle devices";
+    case PowerPolicy::kHybrid:
+      return "power-off + DVFS";
+  }
+  return "unknown";
+}
+
+PowerScheduleResult RunPowerSchedule(const GpuSpec& gpu, int num_devices,
+                                     const std::vector<double>& load_trace,
+                                     PowerPolicy policy, const DvfsModel& dvfs,
+                                     double min_active_fraction) {
+  PowerScheduleResult result;
+  result.policy = policy;
+  if (num_devices <= 0 || load_trace.empty()) {
+    return result;
+  }
+  (void)gpu;  // capacity normalization folds the spec into dvfs.nominal_power
+
+  double total_power = 0.0;
+  double served = 0.0;
+  double demanded = 0.0;
+  int min_active = std::max(1, static_cast<int>(std::ceil(min_active_fraction * num_devices)));
+
+  for (double load : load_trace) {
+    load = std::clamp(load, 0.0, 1.0);
+    demanded += load;
+    double interval_power = 0.0;
+    double interval_served = 0.0;
+    switch (policy) {
+      case PowerPolicy::kAllDvfs: {
+        // Every device runs at frequency = load (floored by the DVFS range).
+        double f = FrequencyForLoad(dvfs, load);
+        interval_power = num_devices * PowerAtFrequency(dvfs, f);
+        interval_served = std::min(1.0, f);
+        break;
+      }
+      case PowerPolicy::kPowerOffIdle: {
+        // Just enough devices at nominal clocks; the quantum is one device.
+        int active =
+            std::max(min_active, static_cast<int>(std::ceil(load * num_devices - 1e-9)));
+        active = std::min(active, num_devices);
+        interval_power = active * PowerAtFrequency(dvfs, 1.0);
+        interval_served = std::min(load, static_cast<double>(active) / num_devices);
+        break;
+      }
+      case PowerPolicy::kHybrid: {
+        int active =
+            std::max(min_active, static_cast<int>(std::ceil(load * num_devices - 1e-9)));
+        active = std::min(active, num_devices);
+        // The active set down-clocks to exactly meet the load.
+        double per_device_load =
+            active > 0 ? load * num_devices / active : 0.0;
+        double f = FrequencyForLoad(dvfs, per_device_load);
+        interval_power = active * PowerAtFrequency(dvfs, f);
+        interval_served =
+            std::min(load, f * static_cast<double>(active) / num_devices);
+        break;
+      }
+    }
+    total_power += interval_power;
+    result.peak_power_watts = std::max(result.peak_power_watts, interval_power);
+    served += std::min(interval_served, load);
+  }
+
+  double intervals = static_cast<double>(load_trace.size());
+  result.average_power_watts = total_power / intervals;
+  result.energy_per_day_joules = result.average_power_watts * 86400.0;
+  result.service_level = demanded > 0.0 ? served / demanded : 1.0;
+  return result;
+}
+
+PeakServingComparison ComparePeakServing(const GpuSpec& gpu, int num_devices,
+                                         double peak_fraction, const DvfsModel& dvfs,
+                                         double network_overhead_per_device_watts) {
+  (void)gpu;
+  PeakServingComparison out;
+  out.overclock_feasible = peak_fraction <= dvfs.max_frequency_scale;
+  if (out.overclock_feasible) {
+    out.overclock_power_watts = num_devices * PowerAtFrequency(dvfs, peak_fraction);
+  }
+  int total_devices = static_cast<int>(std::ceil(num_devices * peak_fraction - 1e-9));
+  out.extra_devices_power_watts =
+      total_devices * (PowerAtFrequency(dvfs, 1.0) + network_overhead_per_device_watts);
+  return out;
+}
+
+}  // namespace litegpu

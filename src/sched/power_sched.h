@@ -1,0 +1,61 @@
+// Power-aware scheduling under a varying load (paper Section 3, power
+// management): compare serving a diurnal load on
+//   (a) an H100 cluster, down-clocking every (large) GPU together,
+//   (b) an H100 cluster, powering whole GPUs off,
+//   (c) a Lite cluster, powering quarter-GPUs off + DVFS on the remainder,
+// plus the peak-serving question: overclock Lite-GPUs vs spin up more.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/hw/gpu_spec.h"
+#include "src/power/dvfs.h"
+
+namespace litegpu {
+
+// A normalized load trace: fraction of cluster peak throughput demanded per
+// interval (equal-length intervals).
+std::vector<double> DiurnalLoadTrace(int intervals_per_day = 24);
+
+enum class PowerPolicy {
+  kAllDvfs,       // all devices on, clocks follow load (coarse granularity)
+  kPowerOffIdle,  // power off whole devices; the rest run at nominal
+  kHybrid,        // power off devices AND down-clock the remainder
+};
+
+std::string ToString(PowerPolicy policy);
+
+struct PowerScheduleResult {
+  PowerPolicy policy = PowerPolicy::kAllDvfs;
+  double average_power_watts = 0.0;
+  double peak_power_watts = 0.0;
+  double energy_per_day_joules = 0.0;
+  // Served / demanded throughput (1.0 = no SLO violations).
+  double service_level = 1.0;
+};
+
+// Simulates the trace on `num_devices` devices of `gpu`, each contributing
+// 1/num_devices of cluster peak throughput at nominal clocks. The idle floor
+// models devices that cannot power off (e.g. hosting resident weights):
+// at least `min_active_fraction` devices stay on.
+PowerScheduleResult RunPowerSchedule(const GpuSpec& gpu, int num_devices,
+                                     const std::vector<double>& load_trace,
+                                     PowerPolicy policy, const DvfsModel& dvfs,
+                                     double min_active_fraction = 0.125);
+
+// Peak handling: serve `peak_fraction` (>1) of nominal capacity either by
+// overclocking all devices or by activating `extra_devices` more; returns
+// the cluster power for each option (the paper asks which is cheaper).
+struct PeakServingComparison {
+  double overclock_power_watts = 0.0;
+  double extra_devices_power_watts = 0.0;
+  bool overclock_feasible = false;  // within the DVFS max frequency
+};
+
+PeakServingComparison ComparePeakServing(const GpuSpec& gpu, int num_devices,
+                                         double peak_fraction, const DvfsModel& dvfs,
+                                         double network_overhead_per_device_watts = 0.0);
+
+}  // namespace litegpu

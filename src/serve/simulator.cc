@@ -1,0 +1,183 @@
+#include "src/serve/simulator.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace litegpu {
+
+namespace {
+
+enum class EventKind { kPrefillDone, kDecodeStepDone };
+
+struct Event {
+  double time_s = 0.0;
+  EventKind kind = EventKind::kPrefillDone;
+  int instance = 0;
+  bool operator>(const Event& other) const { return time_s > other.time_s; }
+};
+
+struct PrefillInstance {
+  bool busy = false;
+  std::vector<int> batch;  // request indices being prefilled
+  double busy_time = 0.0;
+};
+
+struct DecodeInstance {
+  std::vector<int> remaining;      // output tokens left per active sequence
+  std::vector<int> request_index;  // parallel array for bookkeeping
+  double current_step_started = 0.0;
+  double current_step_duration = 0.0;
+  bool stepping = false;
+  double busy_time = 0.0;
+  double batch_time_product = 0.0;  // integral of batch over busy time
+};
+
+}  // namespace
+
+ServeMetrics RunServeSimulation(const std::vector<Request>& requests,
+                                const ServeClusterConfig& config,
+                                const ServeCallbacks& callbacks) {
+  ServeMetrics metrics;
+  if (!callbacks.prefill_time || !callbacks.decode_step_time ||
+      config.prefill_instances <= 0 || config.decode_instances <= 0) {
+    return metrics;
+  }
+
+  std::vector<PrefillInstance> prefill(config.prefill_instances);
+  std::vector<DecodeInstance> decode(config.decode_instances);
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  std::deque<int> prefill_queue;  // request indices
+  std::deque<int> decode_queue;   // request indices (prefilled, awaiting decode)
+
+  size_t next_arrival = 0;
+  double now = 0.0;
+
+  auto try_start_prefill = [&](double t) {
+    for (int i = 0; i < config.prefill_instances; ++i) {
+      if (prefill[i].busy || prefill_queue.empty()) {
+        continue;
+      }
+      int batch = std::min<int>(callbacks.max_prefill_batch,
+                                static_cast<int>(prefill_queue.size()));
+      prefill[i].batch.clear();
+      for (int b = 0; b < batch; ++b) {
+        prefill[i].batch.push_back(prefill_queue.front());
+        prefill_queue.pop_front();
+      }
+      double duration = callbacks.prefill_time(batch);
+      prefill[i].busy = true;
+      prefill[i].busy_time += duration;
+      events.push({t + duration, EventKind::kPrefillDone, i});
+    }
+  };
+
+  auto try_start_decode_step = [&](double t) {
+    for (int i = 0; i < config.decode_instances; ++i) {
+      DecodeInstance& inst = decode[i];
+      if (inst.stepping) {
+        continue;
+      }
+      // Admit waiting sequences at the step boundary.
+      while (!decode_queue.empty() &&
+             static_cast<int>(inst.remaining.size()) < callbacks.max_decode_batch) {
+        int req = decode_queue.front();
+        decode_queue.pop_front();
+        inst.remaining.push_back(std::max(1, requests[req].output_tokens));
+        inst.request_index.push_back(req);
+      }
+      if (inst.remaining.empty()) {
+        continue;
+      }
+      int batch = static_cast<int>(inst.remaining.size());
+      double duration = callbacks.decode_step_time(batch);
+      inst.stepping = true;
+      inst.current_step_started = t;
+      inst.current_step_duration = duration;
+      inst.busy_time += duration;
+      inst.batch_time_product += batch * duration;
+      events.push({t + duration, EventKind::kDecodeStepDone, i});
+    }
+  };
+
+  for (;;) {
+    double arrival_t = next_arrival < requests.size() ? requests[next_arrival].arrival_s
+                                                      : std::numeric_limits<double>::max();
+    double event_t =
+        events.empty() ? std::numeric_limits<double>::max() : events.top().time_s;
+    if (arrival_t == std::numeric_limits<double>::max() &&
+        event_t == std::numeric_limits<double>::max()) {
+      break;
+    }
+
+    if (arrival_t <= event_t) {
+      now = arrival_t;
+      if (now <= config.horizon_s) {
+        prefill_queue.push_back(static_cast<int>(next_arrival));
+        ++metrics.admitted_requests;
+      }
+      ++next_arrival;
+      try_start_prefill(now);
+      continue;
+    }
+
+    Event event = events.top();
+    events.pop();
+    now = event.time_s;
+
+    if (event.kind == EventKind::kPrefillDone) {
+      PrefillInstance& inst = prefill[event.instance];
+      for (int req : inst.batch) {
+        metrics.ttft_s.Add(now - requests[req].arrival_s);
+        decode_queue.push_back(req);
+      }
+      inst.batch.clear();
+      inst.busy = false;
+      try_start_prefill(now);
+      try_start_decode_step(now);
+    } else {
+      DecodeInstance& inst = decode[event.instance];
+      metrics.tbt_s.Add(inst.current_step_duration);
+      inst.stepping = false;
+      // Every active sequence emitted one token this step.
+      metrics.output_tokens += static_cast<double>(inst.remaining.size());
+      for (size_t s = 0; s < inst.remaining.size();) {
+        if (--inst.remaining[s] == 0) {
+          ++metrics.completed_requests;
+          metrics.makespan_s = now;
+          inst.remaining[s] = inst.remaining.back();
+          inst.remaining.pop_back();
+          inst.request_index[s] = inst.request_index.back();
+          inst.request_index.pop_back();
+        } else {
+          ++s;
+        }
+      }
+      try_start_decode_step(now);
+    }
+  }
+
+  metrics.makespan_s = std::max(metrics.makespan_s, now);
+  if (metrics.makespan_s > 0.0) {
+    metrics.decode_tokens_per_s = metrics.output_tokens / metrics.makespan_s;
+    double prefill_busy = 0.0;
+    for (const auto& p : prefill) {
+      prefill_busy += p.busy_time;
+    }
+    metrics.prefill_utilization =
+        prefill_busy / (config.prefill_instances * metrics.makespan_s);
+    double decode_busy = 0.0;
+    double batch_product = 0.0;
+    for (const auto& d : decode) {
+      decode_busy += d.busy_time;
+      batch_product += d.batch_time_product;
+    }
+    metrics.decode_utilization = decode_busy / (config.decode_instances * metrics.makespan_s);
+    metrics.mean_decode_batch = decode_busy > 0.0 ? batch_product / decode_busy : 0.0;
+  }
+  return metrics;
+}
+
+}  // namespace litegpu

@@ -1,0 +1,54 @@
+// Discrete-event simulator for a phase-split LLM serving cluster.
+//
+// Prefill instances batch queued prompts and run one prefill pass at a time;
+// completed prompts hand off to decode instances, which run continuous
+// batching: every step emits one token per active sequence, new sequences
+// join at step boundaries, finished sequences leave. Step/pass latencies are
+// supplied as callbacks (typically from roofline::EvaluatePrefill/Decode),
+// which is how the analytic Figure-3 capacities get validated end-to-end
+// (bench_validation_serve).
+
+#pragma once
+
+#include <functional>
+
+#include "src/serve/workload.h"
+#include "src/util/stats.h"
+
+namespace litegpu {
+
+struct ServeCallbacks {
+  // Seconds for one prefill pass over `batch` prompts.
+  std::function<double(int batch)> prefill_time;
+  // Seconds for one decode step at the given running batch.
+  std::function<double(int batch)> decode_step_time;
+  int max_prefill_batch = 8;
+  int max_decode_batch = 256;
+};
+
+struct ServeClusterConfig {
+  int prefill_instances = 1;
+  int decode_instances = 1;
+  // Stop admitting new work after this simulated time; in-flight requests
+  // drain (metrics cover admitted requests only).
+  double horizon_s = 1e9;
+};
+
+struct ServeMetrics {
+  SampleSet ttft_s;            // queue wait + prefill pass, per request
+  SampleSet tbt_s;             // decode step durations (per step sample)
+  int completed_requests = 0;
+  int admitted_requests = 0;
+  double output_tokens = 0.0;
+  double makespan_s = 0.0;     // last completion time
+  double decode_tokens_per_s = 0.0;
+  double prefill_utilization = 0.0;  // busy time / (instances * makespan)
+  double decode_utilization = 0.0;
+  double mean_decode_batch = 0.0;    // time-weighted
+};
+
+ServeMetrics RunServeSimulation(const std::vector<Request>& requests,
+                                const ServeClusterConfig& config,
+                                const ServeCallbacks& callbacks);
+
+}  // namespace litegpu

@@ -1,0 +1,61 @@
+#include "src/serve/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace litegpu {
+
+namespace {
+
+int SampleLength(Rng& rng, int median, double sigma) {
+  if (sigma <= 0.0) {
+    return median;
+  }
+  double value = rng.LogNormal(std::log(static_cast<double>(median)), sigma);
+  return std::max(1, static_cast<int>(std::lround(value)));
+}
+
+}  // namespace
+
+std::vector<Request> GenerateWorkload(const WorkloadSpec& spec) {
+  std::vector<Request> requests;
+  Rng rng(spec.seed);
+  double t = 0.0;
+  int id = 0;
+  if (spec.arrival_rate_per_s <= 0.0) {
+    return requests;
+  }
+  for (;;) {
+    t += rng.Exponential(spec.arrival_rate_per_s);
+    if (t >= spec.duration_s) {
+      break;
+    }
+    Request r;
+    r.id = id++;
+    r.arrival_s = t;
+    r.prompt_tokens = SampleLength(rng, spec.median_prompt_tokens, spec.prompt_sigma);
+    r.output_tokens = SampleLength(rng, spec.median_output_tokens, spec.output_sigma);
+    requests.push_back(r);
+  }
+  return requests;
+}
+
+double TotalPromptTokens(const std::vector<Request>& requests) {
+  double total = 0.0;
+  for (const auto& r : requests) {
+    total += r.prompt_tokens;
+  }
+  return total;
+}
+
+double TotalOutputTokens(const std::vector<Request>& requests) {
+  double total = 0.0;
+  for (const auto& r : requests) {
+    total += r.output_tokens;
+  }
+  return total;
+}
+
+}  // namespace litegpu

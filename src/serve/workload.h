@@ -1,0 +1,37 @@
+// Synthetic request workload generator. Substitutes for the production
+// traces the paper's SLOs come from (Splitwise [40]): Poisson arrivals and
+// lognormal prompt/output lengths with the paper's median prompt of 1500
+// tokens.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace litegpu {
+
+struct Request {
+  int id = 0;
+  double arrival_s = 0.0;
+  int prompt_tokens = 1500;
+  int output_tokens = 256;
+};
+
+struct WorkloadSpec {
+  double arrival_rate_per_s = 10.0;
+  double duration_s = 300.0;
+  int median_prompt_tokens = 1500;   // paper: reported production median
+  double prompt_sigma = 0.0;         // lognormal sigma; 0 = constant (paper)
+  int median_output_tokens = 256;
+  double output_sigma = 0.0;
+  uint64_t seed = 0xC0FFEE;
+};
+
+// Requests sorted by arrival time.
+std::vector<Request> GenerateWorkload(const WorkloadSpec& spec);
+
+// Totals used for capacity planning.
+double TotalPromptTokens(const std::vector<Request>& requests);
+double TotalOutputTokens(const std::vector<Request>& requests);
+
+}  // namespace litegpu

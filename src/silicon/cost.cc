@@ -1,0 +1,67 @@
+#include "src/silicon/cost.h"
+
+#include <cmath>
+
+namespace litegpu {
+
+double KnownGoodDieCost(const WaferSpec& wafer, YieldModel model, const DefectSpec& defects,
+                        double die_area_mm2) {
+  uint64_t gross = DiesPerWaferSquare(wafer, die_area_mm2);
+  if (gross == 0) {
+    return 0.0;
+  }
+  double yield = DieYield(model, defects, die_area_mm2);
+  double good = static_cast<double>(gross) * yield;
+  if (good <= 0.0) {
+    return 0.0;
+  }
+  return wafer.wafer_cost_usd / good;
+}
+
+double PackagedGpuCost(const WaferSpec& wafer, YieldModel model, const DefectSpec& defects,
+                       const GpuBillOfMaterials& bom) {
+  double die_area_each = bom.die_area_mm2 / static_cast<double>(bom.dies_per_package);
+  double silicon = static_cast<double>(bom.dies_per_package) *
+                   KnownGoodDieCost(wafer, model, defects, die_area_each);
+  double memory = bom.hbm_gb * bom.packaging.hbm_usd_per_gb;
+  double package = bom.packaging.base_usd;
+  if (bom.packaging.advanced) {
+    package += bom.packaging.advanced_usd_per_mm2 * bom.die_area_mm2 *
+               bom.packaging.interposer_overhead;
+  }
+  double yield = bom.packaging.assembly_yield > 0.0 ? bom.packaging.assembly_yield : 1.0;
+  return (silicon + memory + package) / yield;
+}
+
+SplitCostReport CompareSplitCost(const WaferSpec& wafer, YieldModel model,
+                                 const DefectSpec& defects, const GpuBillOfMaterials& big,
+                                 int split) {
+  SplitCostReport report;
+  report.big_gpu_usd = PackagedGpuCost(wafer, model, defects, big);
+  report.big_die_yield =
+      DieYield(model, defects, big.die_area_mm2 / static_cast<double>(big.dies_per_package));
+  report.big_dies_per_wafer = DiesPerWaferSquare(
+      wafer, big.die_area_mm2 / static_cast<double>(big.dies_per_package));
+
+  GpuBillOfMaterials lite = big;
+  lite.die_area_mm2 = big.die_area_mm2 / static_cast<double>(split);
+  lite.dies_per_package = 1;
+  lite.hbm_gb = big.hbm_gb / static_cast<double>(split);
+  // A single small die does not need a CoWoS-class interposer; it also uses a
+  // proportionally cheaper substrate and assembles at higher yield.
+  lite.packaging.advanced = false;
+  lite.packaging.base_usd = big.packaging.base_usd / static_cast<double>(split);
+  lite.packaging.assembly_yield =
+      std::min(1.0, big.packaging.assembly_yield + 0.01);
+
+  report.lite_gpu_usd = PackagedGpuCost(wafer, model, defects, lite);
+  report.lite_total_usd = report.lite_gpu_usd * static_cast<double>(split);
+  report.cost_ratio = report.big_gpu_usd > 0.0 ? report.lite_total_usd / report.big_gpu_usd : 0.0;
+  report.lite_die_yield = DieYield(model, defects, lite.die_area_mm2);
+  report.yield_gain =
+      report.big_die_yield > 0.0 ? report.lite_die_yield / report.big_die_yield : 0.0;
+  report.lite_dies_per_wafer = DiesPerWaferSquare(wafer, lite.die_area_mm2);
+  return report;
+}
+
+}  // namespace litegpu

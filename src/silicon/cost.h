@@ -1,0 +1,70 @@
+// Manufacturing-cost model: wafer -> known-good-die -> packaged GPU.
+//
+// Dollar figures are parametric with documented public-estimate defaults; the
+// paper's argument is about *ratios* (Lite vs large-die GPU), which are robust
+// to the absolute calibration.
+
+#pragma once
+
+#include <cstdint>
+
+#include "src/silicon/wafer.h"
+#include "src/silicon/yield.h"
+
+namespace litegpu {
+
+// Packaging/assembly cost parameters.
+struct PackagingSpec {
+  // Base assembly/substrate cost for a simple single-die package.
+  double base_usd = 150.0;
+  // Advanced-packaging (CoWoS-class interposer) cost per mm^2 of interposer.
+  // Only charged when `advanced` is set; the interposer is sized as
+  // die area * interposer_overhead.
+  double advanced_usd_per_mm2 = 0.30;
+  double interposer_overhead = 2.2;
+  // Whether the package needs 2.5D/3D advanced packaging (large multi-die
+  // GPUs: yes; Lite-GPU single small die: no).
+  bool advanced = true;
+  // Packaging/assembly yield (a packaged part can fail test even with good
+  // dies); advanced packages run lower.
+  double assembly_yield = 0.98;
+  // HBM stack cost per GB (public estimates are $8-$15/GB for HBM3).
+  double hbm_usd_per_gb = 12.0;
+};
+
+struct GpuBillOfMaterials {
+  double die_area_mm2 = 814.0;  // compute silicon per package
+  int dies_per_package = 1;
+  double hbm_gb = 80.0;
+  PackagingSpec packaging;
+};
+
+// Cost of one known-good compute die of the given area.
+double KnownGoodDieCost(const WaferSpec& wafer, YieldModel model, const DefectSpec& defects,
+                        double die_area_mm2);
+
+// Full manufacturing cost of one packaged GPU: compute dice + HBM + packaging,
+// divided by assembly yield.
+double PackagedGpuCost(const WaferSpec& wafer, YieldModel model, const DefectSpec& defects,
+                       const GpuBillOfMaterials& bom);
+
+// Cost comparison used by Figure 2 / bench_sec2: replacing one `big` GPU with
+// `split` Lite-GPUs, each carrying area/split compute silicon and hbm/split
+// memory in a cheap (non-advanced) package.
+struct SplitCostReport {
+  double big_gpu_usd = 0.0;
+  double lite_gpu_usd = 0.0;       // one Lite-GPU
+  double lite_total_usd = 0.0;     // `split` Lite-GPUs
+  double cost_ratio = 0.0;         // lite_total / big
+  double big_die_yield = 0.0;
+  double lite_die_yield = 0.0;
+  double yield_gain = 0.0;         // lite_die_yield / big_die_yield
+  uint64_t big_dies_per_wafer = 0;
+  uint64_t lite_dies_per_wafer = 0;
+};
+
+SplitCostReport CompareSplitCost(const WaferSpec& wafer, YieldModel model,
+                                 const DefectSpec& defects, const GpuBillOfMaterials& big,
+                                 int split);
+
+}  // namespace litegpu

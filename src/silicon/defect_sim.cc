@@ -1,0 +1,131 @@
+#include "src/silicon/defect_sim.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "src/util/rng.h"
+
+namespace litegpu {
+
+namespace {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+// Draws the defect map for one wafer (coordinates centered on the wafer).
+std::vector<Point> DrawDefects(const DefectSimConfig& config, Rng& rng) {
+  double radius = config.wafer.diameter_mm / 2.0;
+  double area_cm2 = M_PI * radius * radius / 100.0;
+  double mean_defects = config.defect_density_per_cm2 * area_cm2;
+
+  auto uniform_point = [&]() {
+    // Rejection-sample a uniform point in the disk.
+    for (;;) {
+      double x = rng.Uniform(-radius, radius);
+      double y = rng.Uniform(-radius, radius);
+      if (x * x + y * y <= radius * radius) {
+        return Point{x, y};
+      }
+    }
+  };
+
+  std::vector<Point> defects;
+  if (config.cluster_mean_size <= 0.0) {
+    uint64_t n = rng.Poisson(mean_defects);
+    defects.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      defects.push_back(uniform_point());
+    }
+    return defects;
+  }
+
+  // Clustered: Poisson number of clusters, each a Gaussian clump.
+  double mean_clusters = mean_defects / config.cluster_mean_size;
+  uint64_t clusters = rng.Poisson(mean_clusters);
+  for (uint64_t c = 0; c < clusters; ++c) {
+    Point center = uniform_point();
+    uint64_t size = 1 + rng.Poisson(config.cluster_mean_size - 1.0);
+    for (uint64_t i = 0; i < size; ++i) {
+      defects.push_back({center.x + rng.Normal(0.0, config.cluster_radius_mm),
+                         center.y + rng.Normal(0.0, config.cluster_radius_mm)});
+    }
+  }
+  return defects;
+}
+
+// Counts total and defect-free dies on one wafer for the given die size.
+void CountDies(const DefectSimConfig& config, const std::vector<Point>& defects,
+               double die_side_mm, uint64_t* total, uint64_t* good) {
+  double usable_radius = config.wafer.diameter_mm / 2.0 - config.wafer.edge_exclusion_mm;
+  double pitch = die_side_mm + config.wafer.scribe_mm;
+  auto inside = [&](double x, double y) {
+    return x * x + y * y <= usable_radius * usable_radius;
+  };
+
+  // Hash of grid cells containing at least one defect.
+  std::unordered_set<long long> dirty;
+  auto key = [&](long i, long j) {
+    return (static_cast<long long>(i) << 32) ^ (static_cast<long long>(j) & 0xffffffffLL);
+  };
+  for (const auto& d : defects) {
+    long i = static_cast<long>(std::floor(d.x / pitch));
+    long j = static_cast<long>(std::floor(d.y / pitch));
+    dirty.insert(key(i, j));
+  }
+
+  long max_index = static_cast<long>(std::ceil(usable_radius / pitch)) + 1;
+  for (long i = -max_index; i < max_index; ++i) {
+    for (long j = -max_index; j < max_index; ++j) {
+      double x0 = i * pitch;
+      double y0 = j * pitch;
+      double x1 = x0 + pitch;
+      double y1 = y0 + pitch;
+      if (!(inside(x0, y0) && inside(x1, y0) && inside(x0, y1) && inside(x1, y1))) {
+        continue;
+      }
+      ++*total;
+      if (dirty.find(key(i, j)) == dirty.end()) {
+        ++*good;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+DefectSimResult SimulateWaferYield(const DefectSimConfig& config, double die_area_mm2) {
+  DefectSimResult result;
+  Rng rng(config.seed);
+  double side = std::sqrt(die_area_mm2);
+  double total_defects = 0.0;
+  for (int w = 0; w < config.num_wafers; ++w) {
+    auto defects = DrawDefects(config, rng);
+    total_defects += static_cast<double>(defects.size());
+    uint64_t total = 0;
+    uint64_t good = 0;
+    CountDies(config, defects, side, &total, &good);
+    result.total_dies += total;
+    result.good_dies += good;
+    result.per_wafer_yield.push_back(
+        total > 0 ? static_cast<double>(good) / static_cast<double>(total) : 0.0);
+  }
+  result.yield = result.total_dies > 0 ? static_cast<double>(result.good_dies) /
+                                             static_cast<double>(result.total_dies)
+                                       : 0.0;
+  result.defects_per_wafer_mean =
+      config.num_wafers > 0 ? total_defects / config.num_wafers : 0.0;
+  return result;
+}
+
+double SimulatedSplitYieldGain(const DefectSimConfig& config, double die_area_mm2,
+                               int split) {
+  // Same seed => same defect maps for both die sizes (paired comparison).
+  DefectSimResult big = SimulateWaferYield(config, die_area_mm2);
+  DefectSimResult small =
+      SimulateWaferYield(config, die_area_mm2 / static_cast<double>(split));
+  return big.yield > 0.0 ? small.yield / big.yield : 0.0;
+}
+
+}  // namespace litegpu

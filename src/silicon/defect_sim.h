@@ -1,0 +1,50 @@
+// Monte-Carlo defect-map wafer simulation.
+//
+// Validates the analytic yield models: scatter point defects over a wafer
+// (uniform Poisson field, or clustered — defects arrive in Gaussian clumps,
+// which is what Murphy/negative-binomial approximate), dice it into a grid,
+// and count defect-free dies. Also produces the Figure-2 style intuition:
+// the SAME defect map yields very differently when diced into large vs
+// small dies.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/silicon/wafer.h"
+#include "src/silicon/yield.h"
+
+namespace litegpu {
+
+struct DefectSimConfig {
+  WaferSpec wafer;
+  double defect_density_per_cm2 = 0.1;
+  // 0 = pure Poisson field; > 0 draws defects in clusters of this mean size
+  // scattered with this radius (mm) — models the spatial correlation real
+  // fabs see.
+  double cluster_mean_size = 0.0;
+  double cluster_radius_mm = 5.0;
+  uint64_t seed = 0xD1E5;
+  int num_wafers = 32;
+};
+
+struct DefectSimResult {
+  uint64_t total_dies = 0;
+  uint64_t good_dies = 0;
+  double yield = 0.0;
+  double defects_per_wafer_mean = 0.0;
+  // Per-wafer yields (for variance analysis).
+  std::vector<double> per_wafer_yield;
+};
+
+// Simulates dicing the wafers into square dies of `die_area_mm2` and counts
+// dies containing zero defects.
+DefectSimResult SimulateWaferYield(const DefectSimConfig& config, double die_area_mm2);
+
+// Convenience: yield ratio between quarter dies and full dies measured on
+// the SAME simulated defect maps (paired comparison; low variance).
+double SimulatedSplitYieldGain(const DefectSimConfig& config, double die_area_mm2,
+                               int split);
+
+}  // namespace litegpu

@@ -1,0 +1,62 @@
+#include "src/silicon/wafer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace litegpu {
+
+uint64_t DiesPerWafer(const WaferSpec& wafer, double die_width_mm, double die_height_mm) {
+  double usable_diameter = wafer.diameter_mm - 2.0 * wafer.edge_exclusion_mm;
+  if (usable_diameter <= 0.0 || die_width_mm <= 0.0 || die_height_mm <= 0.0) {
+    return 0;
+  }
+  double w = die_width_mm + wafer.scribe_mm;
+  double h = die_height_mm + wafer.scribe_mm;
+  double area = w * h;
+  double d = usable_diameter;
+  if (w > d || h > d) {
+    return 0;
+  }
+  double gross = (M_PI * d * d / 4.0) / area - (M_PI * d) / std::sqrt(2.0 * area);
+  if (gross < 0.0) {
+    return 0;
+  }
+  return static_cast<uint64_t>(gross);
+}
+
+uint64_t DiesPerWaferSquare(const WaferSpec& wafer, double die_area_mm2) {
+  double side = std::sqrt(std::max(die_area_mm2, 0.0));
+  return DiesPerWafer(wafer, side, side);
+}
+
+uint64_t DiesPerWaferExactGrid(const WaferSpec& wafer, double die_width_mm,
+                               double die_height_mm) {
+  double usable_radius = (wafer.diameter_mm - 2.0 * wafer.edge_exclusion_mm) / 2.0;
+  if (usable_radius <= 0.0 || die_width_mm <= 0.0 || die_height_mm <= 0.0) {
+    return 0;
+  }
+  double w = die_width_mm + wafer.scribe_mm;
+  double h = die_height_mm + wafer.scribe_mm;
+  // Grid anchored at wafer center; a die counts if all four corners are
+  // within the usable radius.
+  auto inside = [&](double x, double y) {
+    return x * x + y * y <= usable_radius * usable_radius;
+  };
+  uint64_t count = 0;
+  long max_i = static_cast<long>(std::ceil(usable_radius / w)) + 1;
+  long max_j = static_cast<long>(std::ceil(usable_radius / h)) + 1;
+  for (long i = -max_i; i < max_i; ++i) {
+    for (long j = -max_j; j < max_j; ++j) {
+      double x0 = static_cast<double>(i) * w;
+      double y0 = static_cast<double>(j) * h;
+      double x1 = x0 + w;
+      double y1 = y0 + h;
+      if (inside(x0, y0) && inside(x1, y0) && inside(x0, y1) && inside(x1, y1)) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace litegpu

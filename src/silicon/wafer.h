@@ -1,0 +1,40 @@
+// Wafer geometry: how many die candidates fit on a wafer.
+//
+// Used by the Section-2 / Figure-2 economics: quartering an H100-class die
+// yields MORE than 4x the dies per wafer because smaller dies waste less area
+// at the wafer edge and to the "squares in a circle" packing loss.
+
+#pragma once
+
+#include <cstdint>
+
+namespace litegpu {
+
+// A manufacturing wafer. Defaults model a standard 300 mm leading-edge wafer.
+struct WaferSpec {
+  double diameter_mm = 300.0;
+  // Ring at the wafer edge unusable for full dies.
+  double edge_exclusion_mm = 3.0;
+  // Scribe-line (saw street) width added around each die.
+  double scribe_mm = 0.2;
+  // Dollar cost of one processed wafer (leading-edge logic node, public
+  // estimates for N4/N5 are in the $14k-$18k range).
+  double wafer_cost_usd = 16000.0;
+};
+
+// Number of whole die candidates (good + bad) on the wafer, for a rectangular
+// die of the given dimensions, using the standard analytical approximation
+//   DPW = pi*(d/2)^2 / A  -  pi*d / sqrt(2*A)
+// adjusted for edge exclusion and scribe overhead. Returns 0 when the die
+// does not fit at all.
+uint64_t DiesPerWafer(const WaferSpec& wafer, double die_width_mm, double die_height_mm);
+
+// Convenience overload for a square die of the given area (mm^2).
+uint64_t DiesPerWaferSquare(const WaferSpec& wafer, double die_area_mm2);
+
+// Exact count by exhaustively placing rectangles on a grid; slower but used
+// in tests to bound the analytic approximation.
+uint64_t DiesPerWaferExactGrid(const WaferSpec& wafer, double die_width_mm,
+                               double die_height_mm);
+
+}  // namespace litegpu

@@ -1,0 +1,52 @@
+#include "src/silicon/yield.h"
+
+#include <cmath>
+
+namespace litegpu {
+
+std::string ToString(YieldModel model) {
+  switch (model) {
+    case YieldModel::kPoisson:
+      return "poisson";
+    case YieldModel::kMurphy:
+      return "murphy";
+    case YieldModel::kSeeds:
+      return "seeds";
+    case YieldModel::kNegativeBinomial:
+      return "negative-binomial";
+  }
+  return "unknown";
+}
+
+double DieYield(YieldModel model, const DefectSpec& defects, double die_area_mm2) {
+  double area_cm2 = die_area_mm2 / 100.0;
+  double ad = area_cm2 * defects.density_per_cm2;
+  if (ad <= 0.0) {
+    return 1.0;
+  }
+  switch (model) {
+    case YieldModel::kPoisson:
+      return std::exp(-ad);
+    case YieldModel::kMurphy: {
+      double term = (1.0 - std::exp(-ad)) / ad;
+      return term * term;
+    }
+    case YieldModel::kSeeds:
+      return 1.0 / (1.0 + ad);
+    case YieldModel::kNegativeBinomial:
+      return std::pow(1.0 + ad / defects.cluster_alpha, -defects.cluster_alpha);
+  }
+  return 0.0;
+}
+
+double YieldGainFromSplit(YieldModel model, const DefectSpec& defects, double area_mm2,
+                          int split) {
+  if (split <= 0 || area_mm2 <= 0.0) {
+    return 1.0;
+  }
+  double y_full = DieYield(model, defects, area_mm2);
+  double y_small = DieYield(model, defects, area_mm2 / static_cast<double>(split));
+  return y_small / y_full;
+}
+
+}  // namespace litegpu

@@ -1,0 +1,43 @@
+// Defect-limited die yield models.
+//
+// The paper's Section 2 claim — "the yield rate can be increased by 1.8x when
+// a H100-like compute die area is reduced by 1/4th, corresponding to almost
+// 50% reduction in manufacturing cost [36]" — rests on classic yield theory
+// (refs [19] Gupta/Lathrop 1972, [53] Teets 1996). We implement the four
+// standard models so the claim can be checked under each.
+
+#pragma once
+
+#include <string>
+
+namespace litegpu {
+
+enum class YieldModel {
+  kPoisson,           // Y = exp(-A*D)
+  kMurphy,            // Y = ((1 - exp(-A*D)) / (A*D))^2
+  kSeeds,             // Y = 1 / (1 + A*D)
+  kNegativeBinomial,  // Y = (1 + A*D/alpha)^(-alpha)
+};
+
+std::string ToString(YieldModel model);
+
+// Process defect characteristics.
+struct DefectSpec {
+  // Defect density in defects per cm^2. Public estimates for mature
+  // leading-edge logic nodes are ~0.05-0.15 /cm^2; 0.1 reproduces the
+  // paper's 1.8x claim under Murphy's model.
+  double density_per_cm2 = 0.1;
+  // Clustering parameter for the negative-binomial model (typical 2-5).
+  double cluster_alpha = 3.0;
+};
+
+// Fraction of dies with zero killer defects, in (0, 1].
+// `die_area_mm2` is the compute-die area in mm^2.
+double DieYield(YieldModel model, const DefectSpec& defects, double die_area_mm2);
+
+// Yield improvement factor when a die of `area_mm2` is split into
+// `split` equal smaller dies: DieYield(area/split) / DieYield(area).
+double YieldGainFromSplit(YieldModel model, const DefectSpec& defects, double area_mm2,
+                          int split);
+
+}  // namespace litegpu

@@ -1,0 +1,74 @@
+#include "src/util/flags.h"
+
+#include <cstdlib>
+
+namespace litegpu {
+
+Flags Flags::Parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positionals_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--key value` when the next token is not itself a flag; else a switch.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags.values_[body] = argv[i + 1];
+      ++i;
+    } else {
+      flags.values_[body] = "true";
+    }
+  }
+  return flags;
+}
+
+bool Flags::Has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Flags::GetString(const std::string& key, const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Flags::GetDouble(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  double value = std::strtod(it->second.c_str(), &end);
+  return (end != nullptr && *end == '\0') ? value : fallback;
+}
+
+int Flags::GetInt(const std::string& key, int fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  long value = std::strtol(it->second.c_str(), &end, 10);
+  return (end != nullptr && *end == '\0') ? static_cast<int>(value) : fallback;
+}
+
+bool Flags::GetBool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "no" || v == "off") {
+    return false;
+  }
+  return fallback;
+}
+
+}  // namespace litegpu

@@ -1,0 +1,36 @@
+// Minimal command-line flag parsing for the CLI tool and bench binaries.
+// Supports `--key=value`, `--key value`, bare `--switch`, and positional
+// arguments (the first positional is conventionally the subcommand).
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace litegpu {
+
+class Flags {
+ public:
+  // Parses argv (argv[0] skipped). Unknown flags are kept; validation is
+  // the caller's job via Has()/typed getters.
+  static Flags Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key, const std::string& fallback = "") const;
+  // Returns fallback (and sets ok=false if provided) on missing/parse error.
+  double GetDouble(const std::string& key, double fallback) const;
+  int GetInt(const std::string& key, int fallback) const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+  std::string Subcommand() const {
+    return positionals_.empty() ? "" : positionals_.front();
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace litegpu

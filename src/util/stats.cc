@@ -1,0 +1,130 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace litegpu {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void SampleSet::Add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void SampleSet::SortIfNeeded() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double s = 0.0;
+  for (double x : samples_) {
+    s += x;
+  }
+  return s / static_cast<double>(samples_.size());
+}
+
+double SampleSet::min() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  SortIfNeeded();
+  return samples_.front();
+}
+
+double SampleSet::max() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  SortIfNeeded();
+  return samples_.back();
+}
+
+double SampleSet::Quantile(double q) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  SortIfNeeded();
+  q = std::clamp(q, 0.0, 1.0);
+  double pos = q * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets == 0 ? 1 : buckets, 0) {}
+
+void Histogram::Add(double x) {
+  double span = hi_ - lo_;
+  size_t n = counts_.size();
+  size_t index;
+  if (span <= 0.0 || x < lo_) {
+    index = 0;
+  } else if (x >= hi_) {
+    index = n - 1;
+  } else {
+    index = static_cast<size_t>((x - lo_) / span * static_cast<double>(n));
+    index = std::min(index, n - 1);
+  }
+  ++counts_[index];
+  ++total_;
+}
+
+double Histogram::bucket_lo(size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_hi(size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i + 1) / static_cast<double>(counts_.size());
+}
+
+std::string Histogram::ToAscii(size_t width) const {
+  size_t max_count = 0;
+  for (size_t c : counts_) {
+    max_count = std::max(max_count, c);
+  }
+  std::string out;
+  char line[128];
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    size_t bar = max_count ? counts_[i] * width / max_count : 0;
+    std::snprintf(line, sizeof(line), "[%10.4g, %10.4g) %8zu ", bucket_lo(i), bucket_hi(i),
+                  counts_[i]);
+    out += line;
+    out.append(bar, '#');
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace litegpu

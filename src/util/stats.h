@@ -1,0 +1,84 @@
+// Summary statistics used by the Monte-Carlo reliability simulator and the
+// discrete-event serving simulator (TTFT/TBT percentiles, utilization, ...).
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace litegpu {
+
+// Streaming mean/variance via Welford's algorithm; O(1) memory.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Stores all samples; supports exact quantiles. Suitable for the sample
+// counts our simulators produce (<= millions).
+class SampleSet {
+ public:
+  void Add(double x);
+  void Reserve(size_t n) { samples_.reserve(n); }
+
+  size_t count() const { return samples_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  // Linear-interpolated quantile, q in [0,1]. Returns 0 for empty sets.
+  double Quantile(double q) const;
+  double Median() const { return Quantile(0.5); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void SortIfNeeded() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+// first/last bucket. Used for availability and latency distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+  size_t bucket_count() const { return counts_.size(); }
+  size_t bucket(size_t i) const { return counts_[i]; }
+  double bucket_lo(size_t i) const;
+  double bucket_hi(size_t i) const;
+  size_t total() const { return total_; }
+
+  // Renders a one-line-per-bucket ASCII bar chart (max `width` chars of bar).
+  std::string ToAscii(size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace litegpu

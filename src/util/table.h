@@ -1,0 +1,48 @@
+// Minimal text table and CSV rendering, used by every bench binary to print
+// the paper's tables/figure series in a stable, diff-friendly format.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace litegpu {
+
+enum class Align { kLeft, kRight };
+
+// A simple column-aligned text table. Cells are strings; callers format
+// numbers with the helpers in format.h so units stay explicit.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds one row. Rows shorter than the header are right-padded with "".
+  void AddRow(std::vector<std::string> cells);
+
+  // Appends a horizontal separator after the last added row.
+  void AddSeparator();
+
+  // Sets alignment for a column (default: kLeft for col 0, kRight otherwise).
+  void SetAlign(size_t column, Align align);
+
+  // Renders with box-drawing separators suitable for terminals/logs.
+  std::string ToText() const;
+
+  // Renders as RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return headers_.size(); }
+  const std::vector<std::string>& row(size_t i) const { return rows_[i]; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<size_t> separator_after_;  // row indices followed by a rule
+  std::vector<Align> aligns_;
+};
+
+// Escapes a single CSV cell.
+std::string CsvEscape(const std::string& cell);
+
+}  // namespace litegpu

@@ -1,0 +1,53 @@
+// Unit helpers for the litegpu modeling library.
+//
+// All quantities in the library are carried as plain doubles in SI base units:
+// seconds, bytes, bytes/second, FLOP, FLOP/second, watts, joules, dollars,
+// square millimeters (die geometry is the one domain where mm^2 is the natural
+// base unit; we keep it to match how the silicon literature reports numbers).
+// These constexpr factors keep call sites readable and conversion-bug free.
+
+#pragma once
+
+namespace litegpu {
+
+// --- data sizes (decimal, matching vendor datasheets) ---
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+inline constexpr double kTB = 1e12;
+
+// --- binary data sizes (used for memory capacity when explicitly binary) ---
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+// --- compute ---
+inline constexpr double kGFLOPS = 1e9;
+inline constexpr double kTFLOPS = 1e12;
+inline constexpr double kPFLOPS = 1e15;
+
+// --- time ---
+inline constexpr double kNanosecond = 1e-9;
+inline constexpr double kMicrosecond = 1e-6;
+inline constexpr double kMillisecond = 1e-3;
+inline constexpr double kSecond = 1.0;
+inline constexpr double kMinute = 60.0;
+inline constexpr double kHour = 3600.0;
+inline constexpr double kDay = 86400.0;
+inline constexpr double kYear = 365.0 * kDay;
+
+// --- bandwidth ---
+inline constexpr double kGBps = 1e9;   // bytes per second
+inline constexpr double kTBps = 1e12;  // bytes per second
+inline constexpr double kGbps = 1e9 / 8.0;
+inline constexpr double kTbps = 1e12 / 8.0;
+inline constexpr double kPbps = 1e15 / 8.0;
+
+// --- power / energy ---
+inline constexpr double kWatt = 1.0;
+inline constexpr double kKilowatt = 1e3;
+inline constexpr double kMegawatt = 1e6;
+inline constexpr double kJoule = 1.0;
+inline constexpr double kPicojoule = 1e-12;
+
+}  // namespace litegpu

@@ -1,0 +1,133 @@
+// Coverage for the smaller public surfaces not exercised elsewhere:
+// string renderers, enum names, and formatting paths that bench binaries
+// rely on for stable output.
+
+#include <gtest/gtest.h>
+
+#include "src/hw/catalog.h"
+#include "src/hw/lite_derive.h"
+#include "src/llm/parallel.h"
+#include "src/roofline/engine.h"
+#include "src/sched/pools.h"
+#include "src/silicon/yield.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace litegpu {
+namespace {
+
+TEST(ApiSurface, EnumToStringNames) {
+  EXPECT_EQ(ToString(YieldModel::kMurphy), "murphy");
+  EXPECT_EQ(ToString(YieldModel::kNegativeBinomial), "negative-binomial");
+  EXPECT_EQ(ToString(Phase::kPrefill), "prefill");
+  EXPECT_EQ(ToString(Phase::kDecode), "decode");
+  EXPECT_EQ(ToString(Bound::kCompute), "compute");
+  EXPECT_EQ(ToString(Bound::kMemory), "memory");
+  EXPECT_EQ(ToString(Bound::kNetwork), "network");
+  EXPECT_EQ(ToString(Bound::kOverhead), "overhead");
+  EXPECT_EQ(ToString(OverlapScope::kNone), "serialized");
+  EXPECT_EQ(ToString(OverlapScope::kStage), "stage-overlap");
+  EXPECT_EQ(ToString(OverlapScope::kLayer), "layer-overlap");
+  EXPECT_EQ(ToString(CollectiveAlgo::kRing), "ring");
+  EXPECT_EQ(ToString(CollectiveAlgo::kAuto), "auto");
+}
+
+TEST(ApiSurface, TpPlanToStringMentionsPolicyAndDegree) {
+  auto plan = MakeTpPlan(Llama3_70B(), 16).value();
+  std::string s = plan.ToString();
+  EXPECT_NE(s.find("tp16"), std::string::npos);
+  EXPECT_NE(s.find("rep=2"), std::string::npos);
+  EXPECT_NE(s.find("replicate"), std::string::npos);
+}
+
+TEST(ApiSurface, LiteDeriveToStringMentionsFeasibility) {
+  LiteDeriveOptions options;
+  std::string s = DeriveLite(H100(), options).ToString();
+  EXPECT_NE(s.find("feasible"), std::string::npos);
+  EXPECT_NE(s.find("TFLOPS"), std::string::npos);
+}
+
+TEST(ApiSurface, PoolPlanToStringContainsCounts) {
+  PoolDemand demand;
+  InstanceCapacity capacity;
+  capacity.prefill_tokens_per_s = 10000.0;
+  capacity.decode_tokens_per_s = 10000.0;
+  capacity.prefill_gpus = 2;
+  capacity.decode_gpus = 4;
+  std::string s = SizePools(demand, capacity).ToString();
+  EXPECT_NE(s.find("prefill"), std::string::npos);
+  EXPECT_NE(s.find("decode"), std::string::npos);
+  EXPECT_NE(s.find("GPUs"), std::string::npos);
+}
+
+TEST(ApiSurface, TableAlignmentControlsPadding) {
+  Table t({"col"});
+  t.SetAlign(0, Align::kRight);
+  t.AddRow({"x"});
+  t.AddRow({"wider"});
+  std::string text = t.ToText();
+  // Right-aligned: "x" is padded on the left within its cell.
+  EXPECT_NE(text.find("|     x |"), std::string::npos);
+  t.SetAlign(0, Align::kLeft);
+  text = t.ToText();
+  EXPECT_NE(text.find("| x     |"), std::string::npos);
+  // Out-of-range column index is ignored, not UB.
+  t.SetAlign(99, Align::kRight);
+}
+
+TEST(ApiSurface, TableSeparatorRendersRule) {
+  Table t({"a"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  std::string text = t.ToText();
+  // header rule + top + separator + bottom = 4 rules.
+  size_t rules = 0;
+  for (size_t pos = text.find("+-"); pos != std::string::npos;
+       pos = text.find("+-", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_GE(rules, 4u);
+}
+
+TEST(ApiSurface, HistogramAsciiHasOneLinePerBucket) {
+  Histogram h(0.0, 4.0, 4);
+  for (double x : {0.5, 1.5, 1.6, 2.5, 3.5, 3.6, 3.7}) {
+    h.Add(x);
+  }
+  std::string art = h.ToAscii(10);
+  size_t lines = 0;
+  for (char c : art) {
+    if (c == '\n') {
+      ++lines;
+    }
+  }
+  EXPECT_EQ(lines, 4u);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(ApiSurface, RunningStatSumAndSampleAccess) {
+  RunningStat s;
+  s.Add(1.0);
+  s.Add(2.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 3.0);
+  SampleSet set;
+  set.Reserve(4);
+  set.Add(3.0);
+  set.Add(1.0);
+  EXPECT_EQ(set.count(), 2u);
+  EXPECT_DOUBLE_EQ(set.min(), 1.0);
+  EXPECT_DOUBLE_EQ(set.max(), 3.0);
+  EXPECT_DOUBLE_EQ(set.mean(), 2.0);
+}
+
+TEST(ApiSurface, GpuSpecRatiosOnDegenerateInputs) {
+  GpuSpec g;
+  EXPECT_DOUBLE_EQ(g.FlopsPerSm(), 0.0);
+  EXPECT_DOUBLE_EQ(g.MemBwPerFlop(), 0.0);
+  EXPECT_DOUBLE_EQ(g.NetBwPerFlop(), 0.0);
+  EXPECT_DOUBLE_EQ(g.PowerDensityWPerMm2(), 0.0);
+}
+
+}  // namespace
+}  // namespace litegpu

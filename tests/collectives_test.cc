@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "src/collectives/cost.h"
+#include "src/util/units.h"
+
+namespace litegpu {
+namespace {
+
+LinkModel NvlinkClass() { return {450.0 * kGBps, 0.7e-6}; }
+LinkModel OpticalClass() { return {112.5 * kGBps, 1.5e-6}; }
+
+// --- all-reduce ---
+
+TEST(AllReduce, ZeroForSingleGpuOrEmptyPayload) {
+  EXPECT_DOUBLE_EQ(AllReduceTime(1e6, 1, NvlinkClass()), 0.0);
+  EXPECT_DOUBLE_EQ(AllReduceTime(0.0, 8, NvlinkClass()), 0.0);
+}
+
+TEST(AllReduce, RingMatchesClosedForm) {
+  LinkModel link{100.0 * kGBps, 1e-6};
+  double payload = 8.0 * kMB;
+  int n = 8;
+  double expected = 2.0 * 7.0 * 1e-6 + 2.0 * 7.0 / 8.0 * payload / (100.0 * kGBps);
+  EXPECT_NEAR(AllReduceTime(payload, n, link, CollectiveAlgo::kRing), expected, 1e-12);
+}
+
+TEST(AllReduce, HalvingDoublingMatchesClosedForm) {
+  LinkModel link{100.0 * kGBps, 1e-6};
+  double payload = 8.0 * kMB;
+  int n = 8;  // power of two: 2*log2(8) = 6 steps
+  double expected = 6.0 * 1e-6 + 2.0 * 7.0 / 8.0 * payload / (100.0 * kGBps);
+  EXPECT_NEAR(
+      AllReduceTime(payload, n, link, CollectiveAlgo::kRecursiveHalvingDoubling),
+      expected, 1e-12);
+}
+
+TEST(AllReduce, AutoPicksMinimum) {
+  LinkModel link = OpticalClass();
+  for (double payload : {1.0 * kKB, 100.0 * kKB, 10.0 * kMB}) {
+    for (int n : {2, 4, 8, 16, 32}) {
+      double ring = AllReduceTime(payload, n, link, CollectiveAlgo::kRing);
+      double tree =
+          AllReduceTime(payload, n, link, CollectiveAlgo::kRecursiveHalvingDoubling);
+      double automatic = AllReduceTime(payload, n, link, CollectiveAlgo::kAuto);
+      EXPECT_DOUBLE_EQ(automatic, std::min(ring, tree));
+    }
+  }
+}
+
+TEST(AllReduce, TreeWinsForSmallPayloadsLargeN) {
+  LinkModel link = OpticalClass();
+  double small = 4.0 * kKB;
+  double ring = AllReduceTime(small, 32, link, CollectiveAlgo::kRing);
+  double tree = AllReduceTime(small, 32, link, CollectiveAlgo::kRecursiveHalvingDoubling);
+  EXPECT_LT(tree, ring);
+}
+
+TEST(AllReduce, MonotoneInPayload) {
+  LinkModel link = OpticalClass();
+  double prev = 0.0;
+  for (double payload = 1e3; payload <= 1e9; payload *= 2.0) {
+    double t = AllReduceTime(payload, 16, link);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(AllReduce, DecreasingInBandwidth) {
+  double payload = 4.0 * kMB;
+  double prev = 1e9;
+  for (double bw = 50.0; bw <= 1600.0; bw *= 2.0) {
+    LinkModel link{bw * kGBps, 1.5e-6};
+    double t = AllReduceTime(payload, 16, link);
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(AllReduce, ApproachesBandwidthBoundAsAlphaVanishes) {
+  // With alpha=0 the ring time is exactly 2(n-1)/n * S / BW.
+  LinkModel link{200.0 * kGBps, 0.0};
+  double payload = 64.0 * kMB;
+  int n = 32;
+  double expected = 2.0 * 31.0 / 32.0 * payload / (200.0 * kGBps);
+  EXPECT_NEAR(AllReduceTime(payload, n, link, CollectiveAlgo::kRing), expected, 1e-15);
+}
+
+TEST(AllReduce, NonPowerOfTwoPaysExtraRounds) {
+  LinkModel link{100.0 * kGBps, 1e-6};
+  double p6 = AllReduceTime(1e5, 6, link, CollectiveAlgo::kRecursiveHalvingDoubling);
+  double p8 = AllReduceTime(1e5, 8, link, CollectiveAlgo::kRecursiveHalvingDoubling);
+  // n=6: 2*ceil(log2 6)=6 steps + 2 extra = 8 alphas; n=8: 6 alphas; but n=8
+  // moves slightly more bytes (7/8 vs 5/6 fraction) -- latency term dominates
+  // at this payload.
+  EXPECT_GT(p6, p8);
+}
+
+// --- other collectives ---
+
+TEST(AllGather, HalfOfAllReduceBandwidthTerm) {
+  LinkModel link{100.0 * kGBps, 0.0};
+  double payload = 10.0 * kMB;
+  int n = 8;
+  double ag = AllGatherTime(payload, n, link, CollectiveAlgo::kRing);
+  double ar = AllReduceTime(payload, n, link, CollectiveAlgo::kRing);
+  EXPECT_NEAR(ar, 2.0 * ag, 1e-12);
+}
+
+TEST(ReduceScatter, SymmetricToAllGather) {
+  LinkModel link = OpticalClass();
+  EXPECT_DOUBLE_EQ(ReduceScatterTime(5e6, 16, link), AllGatherTime(5e6, 16, link));
+}
+
+TEST(Broadcast, LogarithmicSteps) {
+  LinkModel link{100.0 * kGBps, 1e-6};
+  double payload = 1.0 * kMB;
+  double t8 = BroadcastTime(payload, 8, link);
+  double expected = 3.0 * (1e-6 + payload / (100.0 * kGBps));
+  EXPECT_NEAR(t8, expected, 1e-12);
+}
+
+TEST(AllToAll, ScalesWithPeers) {
+  LinkModel link = OpticalClass();
+  double t4 = AllToAllTime(8e6, 4, link);
+  double t16 = AllToAllTime(8e6, 16, link);
+  EXPECT_GT(t16, t4);
+}
+
+TEST(BusBandwidth, PerfectRingReportsLinkBandwidth) {
+  LinkModel link{300.0 * kGBps, 0.0};
+  double busbw = AllReduceBusBandwidth(128.0 * kMB, 16, link, CollectiveAlgo::kRing);
+  EXPECT_NEAR(busbw, 300.0 * kGBps, 1.0);
+}
+
+TEST(BusBandwidth, DegradesWithLatencyForSmallPayloads) {
+  LinkModel link{300.0 * kGBps, 2e-6};
+  double small = AllReduceBusBandwidth(16.0 * kKB, 16, link);
+  double large = AllReduceBusBandwidth(256.0 * kMB, 16, link);
+  EXPECT_LT(small, 0.5 * large);
+}
+
+// --- property sweep: auto algorithm never loses ---
+
+class AllReduceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllReduceSweep, AutoNeverWorseThanEither) {
+  int n = GetParam();
+  LinkModel link = OpticalClass();
+  for (double payload = 512.0; payload <= 1e9; payload *= 8.0) {
+    double automatic = AllReduceTime(payload, n, link, CollectiveAlgo::kAuto);
+    EXPECT_LE(automatic, AllReduceTime(payload, n, link, CollectiveAlgo::kRing) + 1e-15);
+    EXPECT_LE(automatic,
+              AllReduceTime(payload, n, link, CollectiveAlgo::kRecursiveHalvingDoubling) +
+                  1e-15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GpuCounts, AllReduceSweep,
+                         ::testing::Values(2, 3, 4, 6, 8, 12, 16, 24, 32, 96));
+
+}  // namespace
+}  // namespace litegpu

@@ -1,0 +1,101 @@
+// Monte-Carlo defect-map simulation vs the analytic yield models — the
+// key Section-2 numbers must hold under simulated wafers, not just formulas.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/silicon/defect_sim.h"
+#include "src/silicon/wafer.h"
+#include "src/silicon/yield.h"
+
+namespace litegpu {
+namespace {
+
+constexpr double kH100DieMm2 = 814.0;
+
+DefectSimConfig BaseConfig() {
+  DefectSimConfig config;
+  config.num_wafers = 48;
+  return config;
+}
+
+TEST(DefectSim, UniformFieldMatchesPoissonYield) {
+  DefectSimConfig config = BaseConfig();
+  for (double area : {100.0, 200.0, 400.0, kH100DieMm2}) {
+    DefectSimResult r = SimulateWaferYield(config, area);
+    DefectSpec defects;
+    defects.density_per_cm2 = config.defect_density_per_cm2;
+    double analytic = DieYield(YieldModel::kPoisson, defects, area);
+    EXPECT_NEAR(r.yield, analytic, 0.05) << "area " << area;
+  }
+}
+
+TEST(DefectSim, DefectCountMatchesDensity) {
+  DefectSimConfig config = BaseConfig();
+  DefectSimResult r = SimulateWaferYield(config, 400.0);
+  double wafer_cm2 = M_PI * 150.0 * 150.0 / 100.0;
+  EXPECT_NEAR(r.defects_per_wafer_mean, 0.1 * wafer_cm2, 0.1 * 0.1 * wafer_cm2);
+}
+
+TEST(DefectSim, DieCountConsistentWithAnalyticFormula) {
+  DefectSimConfig config = BaseConfig();
+  DefectSimResult r = SimulateWaferYield(config, kH100DieMm2);
+  uint64_t per_wafer = r.total_dies / config.num_wafers;
+  uint64_t analytic = DiesPerWaferSquare(config.wafer, kH100DieMm2);
+  EXPECT_NEAR(static_cast<double>(per_wafer), static_cast<double>(analytic),
+              0.25 * analytic + 3.0);
+}
+
+TEST(DefectSim, PaperClaimYieldGainUnderSimulation) {
+  // Section 2's 1.8x claim should reproduce on simulated uniform-defect
+  // wafers (Poisson gain at these parameters is ~1.84).
+  DefectSimConfig config = BaseConfig();
+  double gain = SimulatedSplitYieldGain(config, kH100DieMm2, 4);
+  EXPECT_NEAR(gain, 1.8, 0.25);
+}
+
+TEST(DefectSim, ClusteringRaisesYieldAbovePoisson) {
+  // Clustered defects concentrate damage in fewer dies: yield must exceed
+  // the Poisson prediction (the reason Murphy/NB models exist).
+  DefectSimConfig clustered = BaseConfig();
+  clustered.cluster_mean_size = 5.0;
+  clustered.cluster_radius_mm = 3.0;
+  DefectSimResult r = SimulateWaferYield(clustered, kH100DieMm2);
+  DefectSpec defects;
+  defects.density_per_cm2 = clustered.defect_density_per_cm2;
+  double poisson = DieYield(YieldModel::kPoisson, defects, kH100DieMm2);
+  EXPECT_GT(r.yield, poisson);
+}
+
+TEST(DefectSim, Deterministic) {
+  DefectSimConfig config = BaseConfig();
+  config.num_wafers = 8;
+  DefectSimResult a = SimulateWaferYield(config, 400.0);
+  DefectSimResult b = SimulateWaferYield(config, 400.0);
+  EXPECT_EQ(a.good_dies, b.good_dies);
+  EXPECT_EQ(a.total_dies, b.total_dies);
+}
+
+TEST(DefectSim, HigherDensityLowersYield) {
+  DefectSimConfig low = BaseConfig();
+  low.defect_density_per_cm2 = 0.05;
+  DefectSimConfig high = BaseConfig();
+  high.defect_density_per_cm2 = 0.3;
+  EXPECT_GT(SimulateWaferYield(low, kH100DieMm2).yield,
+            SimulateWaferYield(high, kH100DieMm2).yield);
+}
+
+TEST(DefectSim, PerWaferYieldsPopulated) {
+  DefectSimConfig config = BaseConfig();
+  config.num_wafers = 10;
+  DefectSimResult r = SimulateWaferYield(config, 400.0);
+  ASSERT_EQ(r.per_wafer_yield.size(), 10u);
+  for (double y : r.per_wafer_yield) {
+    EXPECT_GE(y, 0.0);
+    EXPECT_LE(y, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace litegpu

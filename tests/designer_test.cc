@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "src/core/designer.h"
+#include "src/hw/catalog.h"
+
+namespace litegpu {
+namespace {
+
+DesignInputs DefaultInputs() {
+  DesignInputs inputs;
+  inputs.model = Llama3_70B();
+  return inputs;
+}
+
+TEST(Designer, H100ReportComplete) {
+  ClusterDesignReport r = DesignCluster(H100(), DefaultInputs());
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GT(r.tokens_per_s, 0.0);
+  EXPECT_GT(r.gpu_capex_usd, 0.0);
+  EXPECT_GT(r.power.TotalWatts(), 0.0);
+  EXPECT_GT(r.joules_per_token, 0.0);
+  EXPECT_GT(r.usd_per_mtok, 0.0);
+  EXPECT_GT(r.availability_no_spares, 0.99);
+  EXPECT_GT(r.availability_one_spare, r.availability_no_spares);
+}
+
+TEST(Designer, LiteCapexPerInstanceCheaperPerToken) {
+  // The paper's bottom line: even at matched performance, Lite clusters win
+  // on performance per dollar because the silicon is cheaper.
+  DesignInputs inputs = DefaultInputs();
+  ClusterDesignReport h100 = DesignCluster(H100(), inputs);
+  ClusterDesignReport lite = DesignCluster(LiteMemBw(), inputs);
+  ASSERT_TRUE(h100.feasible);
+  ASSERT_TRUE(lite.feasible);
+  EXPECT_LT(lite.usd_per_mtok, h100.usd_per_mtok);
+}
+
+TEST(Designer, NetworkCapexShareSmallForH100GrowsForLite) {
+  // Section 2: "networking costs are only a small fraction compared to the
+  // GPU costs today. While the cost of networking should increase, we
+  // expect the net gains to be positive."
+  DesignInputs inputs = DefaultInputs();
+  ClusterDesignReport h100 = DesignCluster(H100(), inputs);
+  ClusterDesignReport lite = DesignCluster(Lite(), inputs);
+  ASSERT_TRUE(h100.feasible && lite.feasible);
+  double h100_share = h100.network_capex_usd / h100.gpu_capex_usd;
+  double lite_share = lite.network_capex_usd / lite.gpu_capex_usd;
+  EXPECT_LT(h100_share, 0.15);       // small fraction today
+  EXPECT_GT(lite_share, h100_share);  // networking share grows with Lite
+  EXPECT_LT(lite.total_capex_usd, h100.total_capex_usd);  // net gain positive
+}
+
+TEST(Designer, BlastRadiusSmallerForLite) {
+  DesignInputs inputs = DefaultInputs();
+  ClusterDesignReport h100 = DesignCluster(H100(), inputs);
+  ClusterDesignReport lite = DesignCluster(Lite(), inputs);
+  ASSERT_TRUE(h100.feasible && lite.feasible);
+  EXPECT_LT(lite.blast_radius_fraction, h100.blast_radius_fraction);
+}
+
+TEST(Designer, InfeasibleModelHandled) {
+  DesignInputs inputs = DefaultInputs();
+  inputs.search.workload.tbt_slo_s = 1e-9;
+  ClusterDesignReport r = DesignCluster(H100(), inputs);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Designer, ComparisonTableRenders) {
+  DesignInputs inputs = DefaultInputs();
+  auto reports = CompareClusters({H100(), Lite(), LiteMemBw()}, inputs);
+  ASSERT_EQ(reports.size(), 3u);
+  std::string text = ClusterComparisonToText(reports);
+  EXPECT_NE(text.find("H100"), std::string::npos);
+  EXPECT_NE(text.find("Lite+MemBW"), std::string::npos);
+  EXPECT_NE(text.find("$ / Mtok"), std::string::npos);
+}
+
+TEST(Designer, AmortizationScalesUsdPerMtok) {
+  DesignInputs two = DefaultInputs();
+  two.amortization_years = 2.0;
+  DesignInputs four = DefaultInputs();
+  four.amortization_years = 4.0;
+  ClusterDesignReport a = DesignCluster(H100(), two);
+  ClusterDesignReport b = DesignCluster(H100(), four);
+  ASSERT_TRUE(a.feasible && b.feasible);
+  EXPECT_NEAR(a.usd_per_mtok, 2.0 * b.usd_per_mtok, 1e-6 * a.usd_per_mtok);
+}
+
+}  // namespace
+}  // namespace litegpu

@@ -1,0 +1,249 @@
+// End-to-end reproduction checks for Figure 3: the *shape* claims from the
+// paper's captions must hold on the full catalog -> search -> normalize
+// pipeline.
+//
+// Decode is checked in two modes: with the physical HBM-capacity constraint
+// (deployable configurations) and with idealized capacity, which is the
+// abstraction under which the paper's Figure-3b claims (e.g. Lite+MemBW
+// exceeding H100 even for Llama3-405B) hold; see EXPERIMENTS.md.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/core/experiments.h"
+#include "src/hw/catalog.h"
+
+namespace litegpu {
+namespace {
+
+using EntryMap = std::map<std::pair<std::string, std::string>, Fig3Entry>;
+
+EntryMap ToMap(const std::vector<Fig3Entry>& entries) {
+  EntryMap map;
+  for (const auto& e : entries) {
+    map[{e.model_name, e.gpu_name}] = e;
+  }
+  return map;
+}
+
+std::vector<GpuSpec> PrefillGpus() {
+  return {H100(), Lite(), LiteNetBw(), LiteNetBwFlops()};
+}
+
+std::vector<GpuSpec> DecodeGpus() {
+  return {H100(), Lite(), LiteMemBw(), LiteMemBwNetBw()};
+}
+
+class Fig3Test : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SearchOptions options;
+    prefill_ = new EntryMap(ToMap(RunPrefillStudy(CaseStudyModels(), PrefillGpus(), options)));
+    decode_ = new EntryMap(ToMap(RunDecodeStudy(CaseStudyModels(), DecodeGpus(), options)));
+    SearchOptions ideal = options;
+    ideal.workload.enforce_memory_capacity = false;
+    decode_ideal_ =
+        new EntryMap(ToMap(RunDecodeStudy(CaseStudyModels(), DecodeGpus(), ideal)));
+  }
+  static void TearDownTestSuite() {
+    delete prefill_;
+    delete decode_;
+    delete decode_ideal_;
+    prefill_ = nullptr;
+    decode_ = nullptr;
+    decode_ideal_ = nullptr;
+  }
+
+  static const Fig3Entry& P(const std::string& model, const std::string& gpu) {
+    return prefill_->at({model, gpu});
+  }
+  static const Fig3Entry& D(const std::string& model, const std::string& gpu) {
+    return decode_->at({model, gpu});
+  }
+  static const Fig3Entry& DI(const std::string& model, const std::string& gpu) {
+    return decode_ideal_->at({model, gpu});
+  }
+
+  static EntryMap* prefill_;
+  static EntryMap* decode_;
+  static EntryMap* decode_ideal_;
+};
+
+EntryMap* Fig3Test::prefill_ = nullptr;
+EntryMap* Fig3Test::decode_ = nullptr;
+EntryMap* Fig3Test::decode_ideal_ = nullptr;
+
+const char* const kModels[] = {"Llama3-70B", "GPT3-175B", "Llama3-405B"};
+
+// --- Figure 3a (prefill) ---
+
+TEST_F(Fig3Test, PrefillAllConfigurationsFound) {
+  for (const char* model : kModels) {
+    for (const auto& gpu : PrefillGpus()) {
+      EXPECT_TRUE(P(model, gpu.name).found) << model << "/" << gpu.name;
+    }
+  }
+}
+
+TEST_F(Fig3Test, PrefillH100NormalizedIsOne) {
+  for (const char* model : kModels) {
+    EXPECT_NEAR(P(model, "H100").normalized_vs_h100, 1.0, 1e-12) << model;
+  }
+}
+
+// "All configurations perform similarly" for the small model.
+TEST_F(Fig3Test, PrefillAllSimilarForLlama70B) {
+  for (const auto& gpu : PrefillGpus()) {
+    double norm = P("Llama3-70B", gpu.name).normalized_vs_h100;
+    EXPECT_GT(norm, 0.8) << gpu.name;
+    EXPECT_LT(norm, 1.25) << gpu.name;
+  }
+}
+
+// "As the model sizes grow, the Lite cluster underperforms due to increased
+// collectives causing network bottlenecks."
+TEST_F(Fig3Test, PrefillLiteDegradesWithModelSize) {
+  double small = P("Llama3-70B", "Lite").normalized_vs_h100;
+  double large = P("Llama3-405B", "Lite").normalized_vs_h100;
+  EXPECT_LT(large, small);
+  EXPECT_LT(large, 0.95);
+}
+
+// "Increasing the network bandwidth compensates the increased network
+// demand."
+TEST_F(Fig3Test, PrefillNetBwCompensates) {
+  for (const char* model : kModels) {
+    EXPECT_GE(P(model, "Lite+NetBW").normalized_vs_h100,
+              P(model, "Lite").normalized_vs_h100 - 1e-9)
+        << model;
+  }
+  EXPECT_GT(P("Llama3-405B", "Lite+NetBW").normalized_vs_h100,
+            P("Llama3-405B", "Lite").normalized_vs_h100);
+  // Under stage-scope overlap the recovery is partial (the out_proj
+  // all-reduce cannot hide behind its small GEMM); layer-scope overlap
+  // pushes this to ~1.0 -- see bench_ablation_overlap.
+  EXPECT_GT(P("Llama3-405B", "Lite+NetBW").normalized_vs_h100, 0.8);
+}
+
+// "Overclocking improves performance further as prefill workloads are
+// compute-bound."
+TEST_F(Fig3Test, PrefillOverclockImprovesFurther) {
+  for (const char* model : kModels) {
+    EXPECT_GT(P(model, "Lite+NetBW+FLOPS").normalized_vs_h100,
+              P(model, "Lite+NetBW").normalized_vs_h100)
+        << model;
+  }
+}
+
+TEST_F(Fig3Test, PrefillIsComputeBoundOnH100) {
+  for (const char* model : kModels) {
+    EXPECT_EQ(P(model, "H100").dominant_bound, Bound::kCompute) << model;
+  }
+}
+
+// --- Figure 3b (decode) ---
+
+TEST_F(Fig3Test, DecodeAllConfigurationsFound) {
+  for (const char* model : kModels) {
+    for (const auto& gpu : DecodeGpus()) {
+      EXPECT_TRUE(D(model, gpu.name).found) << model << "/" << gpu.name;
+      EXPECT_TRUE(DI(model, gpu.name).found) << model << "/" << gpu.name;
+    }
+  }
+}
+
+TEST_F(Fig3Test, DecodeH100NormalizedIsOne) {
+  for (const char* model : kModels) {
+    EXPECT_NEAR(D(model, "H100").normalized_vs_h100, 1.0, 1e-12) << model;
+    EXPECT_NEAR(DI(model, "H100").normalized_vs_h100, 1.0, 1e-12) << model;
+  }
+}
+
+// "As model sizes and thus the number of required GPUs grow, the Lite
+// cluster underperforms due to increased memory access intensities."
+TEST_F(Fig3Test, DecodeLiteUnderperformsAndDegradesWithSize) {
+  for (const char* model : kModels) {
+    EXPECT_LT(D(model, "Lite").normalized_vs_h100, 1.0) << model;
+    EXPECT_LT(DI(model, "Lite").normalized_vs_h100, 1.0) << model;
+  }
+  EXPECT_LT(D("Llama3-405B", "Lite").normalized_vs_h100,
+            D("Llama3-70B", "Lite").normalized_vs_h100);
+  EXPECT_LT(DI("Llama3-405B", "Lite").normalized_vs_h100,
+            DI("Llama3-70B", "Lite").normalized_vs_h100);
+}
+
+// "The degradation is worse with GPT-3 due to it having more KV-heads
+// resulting in proportionally longer memory-bound stages." (holds in the
+// paper's idealized-capacity abstraction)
+TEST_F(Fig3Test, DecodeGpt3DegradesMoreThanLlama70B) {
+  EXPECT_LT(DI("GPT3-175B", "Lite").normalized_vs_h100,
+            DI("Llama3-70B", "Lite").normalized_vs_h100);
+}
+
+// "As Lite-GPUs utilize their available shoreline for more memory bandwidth,
+// performance improves and exceeds the current H100 cluster."
+TEST_F(Fig3Test, DecodeMemBwImprovesOverLite) {
+  for (const char* model : kModels) {
+    EXPECT_GT(D(model, "Lite+MemBW").normalized_vs_h100,
+              D(model, "Lite").normalized_vs_h100)
+        << model;
+    EXPECT_GT(DI(model, "Lite+MemBW").normalized_vs_h100,
+              DI(model, "Lite").normalized_vs_h100)
+        << model;
+  }
+}
+
+TEST_F(Fig3Test, DecodeMemBwExceedsH100IdealizedAllModels) {
+  for (const char* model : kModels) {
+    EXPECT_GT(DI(model, "Lite+MemBW").normalized_vs_h100, 1.0) << model;
+  }
+}
+
+TEST_F(Fig3Test, DecodeMemBwNetBwExceedsH100DeployableForGqaAndMha) {
+  // Under the physical capacity constraint the 405B case stays below H100
+  // (KV replication at TP=32 eats the capacity); the other two exceed it.
+  EXPECT_GT(D("Llama3-70B", "Lite+MemBW+NetBW").normalized_vs_h100, 1.0);
+  EXPECT_GT(D("GPT3-175B", "Lite+MemBW+NetBW").normalized_vs_h100, 1.0);
+}
+
+TEST_F(Fig3Test, DecodeIsMemoryBoundOnH100) {
+  for (const char* model : kModels) {
+    EXPECT_EQ(D(model, "H100").dominant_bound, Bound::kMemory) << model;
+  }
+}
+
+TEST_F(Fig3Test, DecodeLatenciesMeetSlo) {
+  for (const char* model : kModels) {
+    for (const auto& gpu : DecodeGpus()) {
+      const auto& e = D(model, gpu.name);
+      if (e.found) {
+        EXPECT_LE(e.latency_s, 0.050 + 1e-9) << model << "/" << gpu.name;
+      }
+    }
+  }
+}
+
+TEST_F(Fig3Test, PrefillLatenciesMeetSlo) {
+  for (const char* model : kModels) {
+    for (const auto& gpu : PrefillGpus()) {
+      const auto& e = P(model, gpu.name);
+      if (e.found) {
+        EXPECT_LE(e.latency_s, 1.0 + 1e-9) << model << "/" << gpu.name;
+      }
+    }
+  }
+}
+
+TEST_F(Fig3Test, TableRendersEveryRow) {
+  SearchOptions options;
+  auto entries = RunDecodeStudy(CaseStudyModels(), DecodeGpus(), options);
+  std::string text = Fig3ToText(entries, "fig3b");
+  for (const char* model : kModels) {
+    EXPECT_NE(text.find(model), std::string::npos);
+  }
+  EXPECT_NE(text.find("Lite+MemBW+NetBW"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace litegpu

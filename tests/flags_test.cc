@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "src/util/flags.h"
+
+namespace litegpu {
+namespace {
+
+Flags ParseArgs(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags::Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Flags, KeyEqualsValue) {
+  Flags f = ParseArgs({"--model=Llama3-70B", "--tbt=0.05"});
+  EXPECT_EQ(f.GetString("model"), "Llama3-70B");
+  EXPECT_DOUBLE_EQ(f.GetDouble("tbt", 0.0), 0.05);
+}
+
+TEST(Flags, KeySpaceValue) {
+  Flags f = ParseArgs({"--gpu", "H100", "--batch", "128"});
+  EXPECT_EQ(f.GetString("gpu"), "H100");
+  EXPECT_EQ(f.GetInt("batch", 0), 128);
+}
+
+TEST(Flags, BareSwitchIsTrue) {
+  Flags f = ParseArgs({"--ideal-capacity", "--verbose"});
+  EXPECT_TRUE(f.GetBool("ideal-capacity"));
+  EXPECT_TRUE(f.GetBool("verbose"));
+  EXPECT_FALSE(f.GetBool("absent"));
+}
+
+TEST(Flags, SwitchFollowedByFlagStaysSwitch) {
+  Flags f = ParseArgs({"--quiet", "--model=X"});
+  EXPECT_TRUE(f.GetBool("quiet"));
+  EXPECT_EQ(f.GetString("model"), "X");
+}
+
+TEST(Flags, PositionalsAndSubcommand) {
+  Flags f = ParseArgs({"search", "--gpu", "Lite", "extra"});
+  EXPECT_EQ(f.Subcommand(), "search");
+  ASSERT_EQ(f.positionals().size(), 2u);
+  EXPECT_EQ(f.positionals()[1], "extra");
+}
+
+TEST(Flags, FallbacksOnMissingAndMalformed) {
+  Flags f = ParseArgs({"--count=abc", "--rate=1.5x"});
+  EXPECT_EQ(f.GetInt("count", 7), 7);
+  EXPECT_DOUBLE_EQ(f.GetDouble("rate", 2.5), 2.5);
+  EXPECT_EQ(f.GetInt("missing", -1), -1);
+  EXPECT_EQ(f.GetString("missing", "dflt"), "dflt");
+}
+
+TEST(Flags, BoolSpellings) {
+  Flags f = ParseArgs({"--a=yes", "--b=0", "--c=off", "--d=1", "--e=maybe"});
+  EXPECT_TRUE(f.GetBool("a"));
+  EXPECT_FALSE(f.GetBool("b", true));
+  EXPECT_FALSE(f.GetBool("c", true));
+  EXPECT_TRUE(f.GetBool("d"));
+  EXPECT_TRUE(f.GetBool("e", true));  // unparsable -> fallback
+}
+
+TEST(Flags, HasDistinguishesPresence) {
+  Flags f = ParseArgs({"--present=x"});
+  EXPECT_TRUE(f.Has("present"));
+  EXPECT_FALSE(f.Has("absent"));
+}
+
+TEST(Flags, EmptyArgv) {
+  Flags f = ParseArgs({});
+  EXPECT_EQ(f.Subcommand(), "");
+  EXPECT_TRUE(f.positionals().empty());
+}
+
+}  // namespace
+}  // namespace litegpu

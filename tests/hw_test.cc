@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "src/hw/catalog.h"
+#include "src/hw/lite_derive.h"
+#include "src/util/units.h"
+
+namespace litegpu {
+namespace {
+
+// --- Table 1 verbatim checks ---
+
+TEST(Catalog, H100MatchesTable1) {
+  GpuSpec g = H100();
+  EXPECT_DOUBLE_EQ(g.flops, 2000.0 * kTFLOPS);
+  EXPECT_DOUBLE_EQ(g.mem_capacity_bytes, 80.0 * kGB);
+  EXPECT_DOUBLE_EQ(g.mem_bw_bytes_per_s, 3352.0 * kGBps);
+  EXPECT_DOUBLE_EQ(g.net_bw_bytes_per_s, 450.0 * kGBps);
+  EXPECT_EQ(g.max_gpus, 8);
+  EXPECT_EQ(g.sm_count, 132);
+}
+
+TEST(Catalog, LiteMatchesTable1) {
+  GpuSpec g = Lite();
+  EXPECT_DOUBLE_EQ(g.flops, 500.0 * kTFLOPS);
+  EXPECT_DOUBLE_EQ(g.mem_capacity_bytes, 20.0 * kGB);
+  EXPECT_DOUBLE_EQ(g.mem_bw_bytes_per_s, 838.0 * kGBps);
+  EXPECT_DOUBLE_EQ(g.net_bw_bytes_per_s, 112.5 * kGBps);
+  EXPECT_EQ(g.max_gpus, 32);
+  EXPECT_EQ(g.sm_count, 33);
+}
+
+TEST(Catalog, LiteVariantsMatchTable1) {
+  EXPECT_DOUBLE_EQ(LiteNetBw().net_bw_bytes_per_s, 225.0 * kGBps);
+  EXPECT_DOUBLE_EQ(LiteNetBw().mem_bw_bytes_per_s, 838.0 * kGBps);
+
+  EXPECT_DOUBLE_EQ(LiteNetBwFlops().flops, 550.0 * kTFLOPS);
+  EXPECT_DOUBLE_EQ(LiteNetBwFlops().mem_bw_bytes_per_s, 419.0 * kGBps);
+  EXPECT_DOUBLE_EQ(LiteNetBwFlops().net_bw_bytes_per_s, 225.0 * kGBps);
+
+  EXPECT_DOUBLE_EQ(LiteMemBw().mem_bw_bytes_per_s, 1675.0 * kGBps);
+  EXPECT_DOUBLE_EQ(LiteMemBw().net_bw_bytes_per_s, 112.5 * kGBps);
+
+  EXPECT_DOUBLE_EQ(LiteMemBwNetBw().mem_bw_bytes_per_s, 1675.0 * kGBps);
+  EXPECT_DOUBLE_EQ(LiteMemBwNetBw().net_bw_bytes_per_s, 225.0 * kGBps);
+}
+
+TEST(Catalog, Table1HasSixRowsInPaperOrder) {
+  auto configs = Table1Configs();
+  ASSERT_EQ(configs.size(), 6u);
+  EXPECT_EQ(configs[0].name, "H100");
+  EXPECT_EQ(configs[1].name, "Lite");
+  EXPECT_EQ(configs[2].name, "Lite+NetBW");
+  EXPECT_EQ(configs[3].name, "Lite+NetBW+FLOPS");
+  EXPECT_EQ(configs[4].name, "Lite+MemBW");
+  EXPECT_EQ(configs[5].name, "Lite+MemBW+NetBW");
+}
+
+TEST(Catalog, AllEntriesValidate) {
+  for (const auto& g : Table1Configs()) {
+    EXPECT_EQ(g.Validate(), "") << g.name;
+  }
+  for (const auto& g : HistoricalGenerations()) {
+    EXPECT_EQ(g.Validate(), "") << g.name;
+  }
+}
+
+TEST(Catalog, MaxClusterSmCountsMatch) {
+  // 8 H100s and 32 Lites expose the same total SM count (paper Section 4).
+  EXPECT_EQ(H100().sm_count * H100().max_gpus, Lite().sm_count * Lite().max_gpus + 0);
+}
+
+TEST(Catalog, FindGpuWorks) {
+  EXPECT_TRUE(FindGpu("H100").has_value());
+  EXPECT_TRUE(FindGpu("Lite+MemBW").has_value());
+  EXPECT_TRUE(FindGpu("V100").has_value());
+  EXPECT_FALSE(FindGpu("H200").has_value());
+}
+
+TEST(Catalog, HistoricalGenerationsChronological) {
+  auto gens = HistoricalGenerations();
+  ASSERT_EQ(gens.size(), 4u);
+  for (size_t i = 1; i < gens.size(); ++i) {
+    EXPECT_GT(gens[i].year, gens[i - 1].year);
+    EXPECT_GT(gens[i].transistors_billion, gens[i - 1].transistors_billion);
+  }
+}
+
+// --- derived ratios ---
+
+TEST(GpuSpec, LiteHasSameFlopsPerSmAsH100) {
+  EXPECT_NEAR(Lite().FlopsPerSm(), H100().FlopsPerSm(), 0.01 * H100().FlopsPerSm());
+}
+
+TEST(GpuSpec, LiteMemBwDoublesBandwidthToCompute) {
+  // Section 2: "yielding a cluster with 2x the bandwidth-to-compute ratio".
+  // Table 1 rounds 2x838 to 1675 GB/s, so allow the rounding error.
+  EXPECT_NEAR(LiteMemBw().MemBwPerFlop() / H100().MemBwPerFlop(), 2.0, 0.01);
+}
+
+TEST(GpuSpec, LitePowerDensityLowerThanH100) {
+  EXPECT_LT(Lite().PowerDensityWPerMm2(), H100().PowerDensityWPerMm2());
+}
+
+TEST(GpuSpec, ValidateRejectsBadSpecs) {
+  GpuSpec g = H100();
+  g.flops = 0.0;
+  EXPECT_NE(g.Validate(), "");
+  g = H100();
+  g.name.clear();
+  EXPECT_NE(g.Validate(), "");
+  g = H100();
+  g.sm_count = -1;
+  EXPECT_NE(g.Validate(), "");
+}
+
+// --- Lite derivation ---
+
+TEST(LiteDerive, QuarterScaleMatchesTable1Lite) {
+  LiteDeriveOptions options;  // split 4, no multipliers
+  LiteDeriveResult r = DeriveLite(H100(), options);
+  EXPECT_DOUBLE_EQ(r.gpu.flops, 500.0 * kTFLOPS);
+  EXPECT_DOUBLE_EQ(r.gpu.mem_capacity_bytes, 20.0 * kGB);
+  EXPECT_DOUBLE_EQ(r.gpu.mem_bw_bytes_per_s, 838.0 * kGBps);
+  EXPECT_DOUBLE_EQ(r.gpu.net_bw_bytes_per_s, 112.5 * kGBps);
+  EXPECT_EQ(r.gpu.sm_count, 33);
+  EXPECT_EQ(r.gpu.max_gpus, 32);
+  EXPECT_TRUE(r.shoreline_feasible);
+}
+
+TEST(LiteDerive, MemBwVariantFeasible) {
+  LiteDeriveOptions options;
+  options.mem_bw_multiplier = 2.0;
+  LiteDeriveResult r = DeriveLite(H100(), options);
+  EXPECT_DOUBLE_EQ(r.gpu.mem_bw_bytes_per_s, 1676.0 * kGBps);
+  EXPECT_TRUE(r.shoreline_feasible);
+}
+
+TEST(LiteDerive, ExtremeBandwidthInfeasible) {
+  LiteDeriveOptions options;
+  options.mem_bw_multiplier = 20.0;
+  options.net_bw_multiplier = 20.0;
+  LiteDeriveResult r = DeriveLite(H100(), options);
+  EXPECT_FALSE(r.shoreline_feasible);
+}
+
+TEST(LiteDerive, OverclockRaisesPowerSuperlinearly) {
+  LiteDeriveOptions base;
+  LiteDeriveOptions oc = base;
+  oc.overclock = 1.1;
+  double p0 = DeriveLite(H100(), base).gpu.tdp_watts;
+  double p1 = DeriveLite(H100(), oc).gpu.tdp_watts;
+  EXPECT_GT(p1 / p0, 1.1);  // superlinear in frequency
+  EXPECT_LT(p1 / p0, 1.4);
+}
+
+TEST(LiteDerive, SplitTwoGivesHalfScale) {
+  LiteDeriveOptions options;
+  options.split = 2;
+  options.max_gpus_multiplier = 2;
+  LiteDeriveResult r = DeriveLite(H100(), options);
+  EXPECT_DOUBLE_EQ(r.gpu.flops, 1000.0 * kTFLOPS);
+  EXPECT_EQ(r.gpu.sm_count, 66);
+  EXPECT_EQ(r.gpu.max_gpus, 16);
+}
+
+TEST(LiteDerive, FourLitesMatchOneH100Aggregate) {
+  LiteDeriveOptions options;
+  LiteDeriveResult r = DeriveLite(H100(), options);
+  GpuSpec h = H100();
+  EXPECT_NEAR(4.0 * r.gpu.flops, h.flops, 1e-3);
+  EXPECT_NEAR(4.0 * r.gpu.mem_capacity_bytes, h.mem_capacity_bytes, 1e-3);
+  EXPECT_NEAR(4.0 * r.gpu.mem_bw_bytes_per_s, h.mem_bw_bytes_per_s, 1e-3);
+}
+
+}  // namespace
+}  // namespace litegpu

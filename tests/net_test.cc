@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "src/hw/catalog.h"
+#include "src/net/params.h"
+#include "src/net/topology.h"
+#include "src/util/units.h"
+
+namespace litegpu {
+namespace {
+
+FabricRequirements LiteFabric() {
+  FabricRequirements req;
+  req.num_gpus = 32;
+  req.per_gpu_bw_bytes_per_s = 112.5 * kGBps;
+  req.avg_utilization = 0.3;
+  return req;
+}
+
+// --- technology parameters ---
+
+TEST(NetParams, CpoBeatsPluggableOnEnergy) {
+  // The paper's co-packaged-optics premise: much better power efficiency
+  // than pluggable optics.
+  EXPECT_LT(CpoLink().pj_per_bit, 0.5 * PluggableLink().pj_per_bit);
+}
+
+TEST(NetParams, CpoReachBeatsCopper) {
+  EXPECT_GT(CpoLink().max_reach_m, 10.0 * CopperLink().max_reach_m);
+}
+
+TEST(NetParams, CircuitSwitchClaims) {
+  // Paper Section 3 / ref [6]: (i) >50% better energy efficiency,
+  // (ii) lower latency, (iii) more ports at high bandwidth.
+  SwitchTechSpec packet = PacketSwitch();
+  SwitchTechSpec circuit = CircuitSwitch();
+  EXPECT_LT(circuit.pj_per_bit, 0.5 * packet.pj_per_bit);
+  EXPECT_LT(circuit.latency_s, packet.latency_s);
+  EXPECT_GT(circuit.radix, packet.radix);
+  EXPECT_GE(circuit.port_bw_bytes_per_s, packet.port_bw_bytes_per_s);
+}
+
+// --- direct-connect groups ---
+
+TEST(Topology, DirectConnectGroupCounts) {
+  TopologyReport r = BuildDirectConnectGroups(LiteFabric(), 4, CpoLink());
+  // 8 groups x C(4,2)=6 links.
+  EXPECT_EQ(r.num_links, 48);
+  EXPECT_EQ(r.num_switches, 0);
+  EXPECT_EQ(r.num_transceivers, 96);
+  EXPECT_FALSE(r.any_to_any);
+  EXPECT_EQ(r.network_blast_radius_gpus, 4);
+}
+
+TEST(Topology, DirectConnectCheapestButInflexible) {
+  FabricRequirements req = LiteFabric();
+  TopologyReport direct = BuildDirectConnectGroups(req, 4, CpoLink());
+  TopologyReport flat = BuildFlatSwitched(req, PacketSwitch(), CpoLink());
+  EXPECT_LT(direct.capex_usd, flat.capex_usd);
+  EXPECT_LT(direct.power_watts, flat.power_watts);
+  EXPECT_FALSE(direct.any_to_any);
+  EXPECT_TRUE(flat.any_to_any);
+}
+
+// --- 2D torus ---
+
+TEST(Topology, TorusStructure) {
+  FabricRequirements req = LiteFabric();  // 32 GPUs
+  TopologyReport r = BuildTorus2D(req, CpoLink());
+  // 6x6 grid covers 32 (rounded to sqrt side): links = 2 * rows * cols.
+  EXPECT_EQ(r.num_switches, 0);
+  EXPECT_GT(r.num_links, 2 * req.num_gpus - 8);
+  EXPECT_TRUE(r.any_to_any);
+  EXPECT_EQ(r.network_blast_radius_gpus, 1);
+  EXPECT_GT(r.bisection_bw_bytes_per_s, 0.0);
+}
+
+TEST(Topology, TorusCheaperThanLeafSpine) {
+  FabricRequirements req = LiteFabric();
+  req.num_gpus = 256;
+  TopologyReport torus = BuildTorus2D(req, CpoLink());
+  TopologyReport ls = BuildLeafSpine(req, PacketSwitch(), CpoLink());
+  EXPECT_LT(torus.capex_usd, ls.capex_usd);
+  EXPECT_LT(torus.power_watts, ls.power_watts);
+}
+
+TEST(Topology, TorusHopLatencyGrowsWithScale) {
+  FabricRequirements small = LiteFabric();
+  FabricRequirements big = LiteFabric();
+  big.num_gpus = 1024;
+  TopologyReport a = BuildTorus2D(small, CpoLink());
+  TopologyReport b = BuildTorus2D(big, CpoLink());
+  EXPECT_GT(b.max_hop_latency_s, a.max_hop_latency_s);
+}
+
+TEST(Topology, TorusBisectionScalesWithSide) {
+  FabricRequirements a = LiteFabric();
+  a.num_gpus = 64;
+  FabricRequirements b = LiteFabric();
+  b.num_gpus = 256;
+  double bis_a = BuildTorus2D(a, CpoLink()).bisection_bw_bytes_per_s;
+  double bis_b = BuildTorus2D(b, CpoLink()).bisection_bw_bytes_per_s;
+  EXPECT_NEAR(bis_b / bis_a, 2.0, 0.3);  // side doubles
+}
+
+// --- switched fabrics ---
+
+TEST(Topology, FlatSwitchedPortMath) {
+  FabricRequirements req = LiteFabric();
+  TopologyReport r = BuildFlatSwitched(req, PacketSwitch(), CpoLink());
+  // 112.5 GB/s per GPU over 100 GB/s ports -> 2 planes; 32 <= radix 64 ->
+  // 1 switch per plane.
+  EXPECT_EQ(r.num_switches, 2);
+  EXPECT_EQ(r.num_links, 64);
+  EXPECT_EQ(r.num_switch_ports, 64);
+  EXPECT_EQ(r.max_switch_hops, 1);
+}
+
+TEST(Topology, LeafSpineHasThreeHops) {
+  TopologyReport r = BuildLeafSpine(LiteFabric(), PacketSwitch(), CpoLink());
+  EXPECT_EQ(r.max_switch_hops, 3);
+  EXPECT_GT(r.num_switches, 2);
+  EXPECT_TRUE(r.any_to_any);
+}
+
+TEST(Topology, LeafSpineCostsMoreThanFlat) {
+  FabricRequirements req = LiteFabric();
+  TopologyReport flat = BuildFlatSwitched(req, PacketSwitch(), CpoLink());
+  TopologyReport ls = BuildLeafSpine(req, PacketSwitch(), CpoLink());
+  EXPECT_GT(ls.capex_usd, flat.capex_usd);
+  EXPECT_GT(ls.num_links, flat.num_links);
+}
+
+TEST(Topology, CircuitSwitchedSingleHopLowPower) {
+  FabricRequirements req = LiteFabric();
+  TopologyReport circuit = BuildFlatCircuitSwitched(req, CircuitSwitch(), CpoLink());
+  TopologyReport packet = BuildFlatSwitched(req, PacketSwitch(), CpoLink());
+  EXPECT_EQ(circuit.max_switch_hops, 1);
+  EXPECT_LT(circuit.power_watts, packet.power_watts);
+  EXPECT_LT(circuit.max_hop_latency_s, packet.max_hop_latency_s);
+}
+
+TEST(Topology, PaperClaimCircuitSavesHalfTheEnergyAtScale) {
+  FabricRequirements req = LiteFabric();
+  req.num_gpus = 512;
+  TopologyReport packet = BuildLeafSpine(req, PacketSwitch(), CpoLink());
+  TopologyReport circuit = BuildFlatCircuitSwitched(req, CircuitSwitch(), CpoLink());
+  EXPECT_LT(circuit.power_watts, 0.5 * packet.power_watts);
+}
+
+TEST(Topology, PowerScalesWithUtilization) {
+  FabricRequirements lo = LiteFabric();
+  lo.avg_utilization = 0.1;
+  FabricRequirements hi = LiteFabric();
+  hi.avg_utilization = 0.9;
+  TopologyReport a = BuildFlatSwitched(lo, PacketSwitch(), CpoLink());
+  TopologyReport b = BuildFlatSwitched(hi, PacketSwitch(), CpoLink());
+  EXPECT_NEAR(b.power_watts / a.power_watts, 9.0, 1e-6);
+}
+
+TEST(Topology, ComparisonTableRendersAllKinds) {
+  FabricRequirements req = LiteFabric();
+  std::vector<TopologyReport> reports = {
+      BuildDirectConnectGroups(req, 4, CpoLink()),
+      BuildFlatSwitched(req, PacketSwitch(), CpoLink()),
+      BuildLeafSpine(req, PacketSwitch(), CpoLink()),
+      BuildFlatCircuitSwitched(req, CircuitSwitch(), CpoLink()),
+  };
+  std::string text = TopologyComparisonToText(reports);
+  EXPECT_NE(text.find("direct-connect"), std::string::npos);
+  EXPECT_NE(text.find("leaf-spine"), std::string::npos);
+  EXPECT_NE(text.find("circuit"), std::string::npos);
+}
+
+TEST(Topology, LargerClustersNeedMoreGear) {
+  FabricRequirements small = LiteFabric();
+  FabricRequirements big = LiteFabric();
+  big.num_gpus = 256;
+  for (auto build : {BuildFlatSwitched, BuildLeafSpine}) {
+    TopologyReport a = build(small, PacketSwitch(), CpoLink());
+    TopologyReport b = build(big, PacketSwitch(), CpoLink());
+    EXPECT_GT(b.num_links, a.num_links);
+    EXPECT_GT(b.capex_usd, a.capex_usd);
+  }
+}
+
+}  // namespace
+}  // namespace litegpu

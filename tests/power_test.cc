@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "src/hw/catalog.h"
+#include "src/power/cluster_energy.h"
+#include "src/power/cooling.h"
+#include "src/power/dvfs.h"
+
+namespace litegpu {
+namespace {
+
+// --- DVFS ---
+
+TEST(Dvfs, NominalPowerAtUnitFrequency) {
+  DvfsModel m;
+  EXPECT_DOUBLE_EQ(PowerAtFrequency(m, 1.0), m.nominal_power_watts);
+}
+
+TEST(Dvfs, PowerMonotoneInFrequency) {
+  DvfsModel m;
+  double prev = 0.0;
+  for (double f = m.min_frequency_scale; f <= m.max_frequency_scale; f += 0.05) {
+    double p = PowerAtFrequency(m, f);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Dvfs, StaticFloorAtMinFrequency) {
+  DvfsModel m;
+  double p = PowerAtFrequency(m, m.min_frequency_scale);
+  EXPECT_GT(p, m.nominal_power_watts * m.static_fraction);
+  EXPECT_LT(p, m.nominal_power_watts * 0.6);
+}
+
+TEST(Dvfs, ClampsOutOfRange) {
+  DvfsModel m;
+  EXPECT_DOUBLE_EQ(PowerAtFrequency(m, 0.0), PowerAtFrequency(m, m.min_frequency_scale));
+  EXPECT_DOUBLE_EQ(PowerAtFrequency(m, 5.0), PowerAtFrequency(m, m.max_frequency_scale));
+}
+
+TEST(Dvfs, SuperlinearOverclockCost) {
+  DvfsModel m;
+  double p125 = PowerAtFrequency(m, 1.25);
+  // 25% more throughput should cost well more than 25% more power.
+  EXPECT_GT(p125 / m.nominal_power_watts, 1.3);
+}
+
+TEST(Dvfs, EfficiencyPeaksBelowNominal) {
+  DvfsModel m;
+  // Down-clocked operation is more efficient per unit of work.
+  EXPECT_GT(RelativeEfficiency(m, 0.6), 1.0);
+  EXPECT_NEAR(RelativeEfficiency(m, 1.0), 1.0, 1e-12);
+  EXPECT_LT(RelativeEfficiency(m, 1.25), 1.0);
+}
+
+TEST(Dvfs, FrequencyForLoadClamped) {
+  DvfsModel m;
+  EXPECT_DOUBLE_EQ(FrequencyForLoad(m, 0.0), m.min_frequency_scale);
+  EXPECT_DOUBLE_EQ(FrequencyForLoad(m, 0.7), 0.7);
+  EXPECT_DOUBLE_EQ(FrequencyForLoad(m, 2.0), m.max_frequency_scale);
+}
+
+// --- cooling ---
+
+TEST(Cooling, H100NeedsLiquidLiteNeedsAir) {
+  // Paper Section 2: "Smaller single-die GPUs can be air-cooled".
+  EXPECT_EQ(RequiredRegime(H100()), CoolingRegime::kLiquidCold);
+  EXPECT_EQ(RequiredRegime(Lite()), CoolingRegime::kForcedAir);
+  EXPECT_EQ(RequiredRegime(B200()), CoolingRegime::kLiquidCold);
+}
+
+TEST(Cooling, LiteRackStaysOnAirH100RackDoesNot) {
+  // Paper Section 3: "This can eliminate the need for liquid cooling racks".
+  EXPECT_TRUE(RackStaysOnAir(Lite(), 32));
+  EXPECT_FALSE(RackStaysOnAir(H100(), 8));
+}
+
+TEST(Cooling, OverheadLowerForLiquid) {
+  CoolingThresholds t;
+  double air = CoolingOverheadWatts(Lite(), 32, t);
+  double liquid = CoolingOverheadWatts(H100(), 8, t);
+  // Same order of IT power (5.28 vs 5.6 kW); liquid overhead fraction is
+  // smaller even though H100 IT power is higher.
+  EXPECT_NEAR(air / (Lite().tdp_watts * 32), t.air_overhead, 1e-12);
+  EXPECT_NEAR(liquid / (H100().tdp_watts * 8), t.liquid_overhead, 1e-12);
+}
+
+TEST(Cooling, LiteGetsOverclockHeadroomH100DoesNot) {
+  // Paper: Lite-GPUs "can even sustain higher clock frequencies".
+  EXPECT_GT(SustainableClockMultiplier(Lite()), 1.05);
+  EXPECT_DOUBLE_EQ(SustainableClockMultiplier(H100()), 1.0);
+}
+
+// --- cluster energy ---
+
+TEST(ClusterEnergy, BreakdownPositiveAndAdditive) {
+  ClusterPowerBreakdown p = ClusterPower(Lite(), 32);
+  EXPECT_GT(p.gpu_watts, 0.0);
+  EXPECT_GT(p.network_watts, 0.0);
+  EXPECT_GT(p.cooling_watts, 0.0);
+  EXPECT_NEAR(p.TotalWatts(), p.gpu_watts + p.network_watts + p.cooling_watts, 1e-9);
+}
+
+TEST(ClusterEnergy, ScalesWithDeviceCount) {
+  ClusterPowerBreakdown one = ClusterPower(Lite(), 1);
+  ClusterPowerBreakdown many = ClusterPower(Lite(), 32);
+  EXPECT_NEAR(many.TotalWatts(), 32.0 * one.TotalWatts(), 1e-6 * many.TotalWatts());
+}
+
+TEST(ClusterEnergy, EnergyPerTokenInverseInThroughput) {
+  ClusterPowerBreakdown p = ClusterPower(H100(), 8);
+  double slow = EnergyPerToken(p, 1000.0);
+  double fast = EnergyPerToken(p, 10000.0);
+  EXPECT_NEAR(slow, 10.0 * fast, 1e-9);
+  EXPECT_DOUBLE_EQ(EnergyPerToken(p, 0.0), 0.0);
+}
+
+TEST(ClusterEnergy, EquivalentClustersComparable) {
+  // 32 Lites vs 8 H100s at the same utilization: total GPU power within
+  // ~10% (Lite trades a small TDP discount against more network ends).
+  ClusterPowerBreakdown lite = ClusterPower(Lite(), 32);
+  ClusterPowerBreakdown h100 = ClusterPower(H100(), 8);
+  EXPECT_NEAR(lite.gpu_watts, h100.gpu_watts, 0.12 * h100.gpu_watts);
+  EXPECT_GT(lite.network_watts, h100.network_watts * 0.9);
+}
+
+}  // namespace
+}  // namespace litegpu

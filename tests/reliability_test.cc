@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/hw/catalog.h"
+#include "src/reliability/failure_model.h"
+#include "src/reliability/mc_sim.h"
+
+namespace litegpu {
+namespace {
+
+// --- closed-form failure model ---
+
+TEST(FailureModel, ReferenceAfrReproduced) {
+  FailureParams params;
+  EXPECT_NEAR(GpuAfr(H100(), params), params.reference_afr, 1e-12);
+}
+
+TEST(FailureModel, LiteAfrBetweenFloorAndReference) {
+  FailureParams params;
+  double lite = GpuAfr(Lite(), params);
+  EXPECT_GT(lite, params.per_device_floor_afr);
+  EXPECT_LT(lite, params.reference_afr);
+  // Area component scales 1/4 but the device floor does not.
+  double expected =
+      params.per_device_floor_afr + (params.reference_afr - params.per_device_floor_afr) / 4.0;
+  EXPECT_NEAR(lite, expected, 1e-12);
+}
+
+TEST(FailureModel, LiteFleetHasMoreFailuresSmallerBlast) {
+  FailureParams params;
+  double h100_fleet = ClusterFailuresPerYear(H100(), 8, params);
+  double lite_fleet = ClusterFailuresPerYear(Lite(), 32, params);
+  // More devices -> more failure events...
+  EXPECT_GT(lite_fleet, h100_fleet);
+  // ...but each removes 4x less of the cluster.
+  EXPECT_NEAR(BlastRadiusFraction(32), BlastRadiusFraction(8) / 4.0, 1e-12);
+}
+
+TEST(FailureModel, AvailabilityDecreasesWithInstanceSize) {
+  FailureParams params;
+  double prev = 1.0;
+  for (int k : {1, 2, 4, 8, 16, 32}) {
+    double a = InstanceAvailabilityNoSpares(Lite(), k, params);
+    EXPECT_LT(a, prev);
+    EXPECT_GT(a, 0.9);
+    prev = a;
+  }
+}
+
+TEST(FailureModel, SparesImproveAvailability) {
+  FailureParams params;
+  double none = InstanceAvailabilityWithSpares(Lite(), 32, 4, 0, params);
+  double one = InstanceAvailabilityWithSpares(Lite(), 32, 4, 1, params);
+  double four = InstanceAvailabilityWithSpares(Lite(), 32, 4, 4, params);
+  EXPECT_GT(one, none);
+  EXPECT_GE(four, one);
+}
+
+TEST(FailureModel, SpareActivationBoundsAvailability) {
+  // With ample spares, downtime per failure ~ activation time only.
+  FailureParams params;
+  double a = InstanceAvailabilityWithSpares(H100(), 8, 1, 8, params);
+  double lambda_h = GpuAfr(H100(), params) / 8766.0;
+  double activation_h = params.spare_activation_minutes / 60.0;
+  double expected = std::pow(1.0 / (1.0 + lambda_h * activation_h), 8);
+  EXPECT_NEAR(a, expected, 1e-6);
+}
+
+// --- Monte-Carlo simulator ---
+
+TEST(McSim, FailureRateMatchesClosedForm) {
+  McSimConfig config;
+  config.gpus_per_instance = 8;
+  config.num_instances = 4;
+  config.sim_years = 500.0;
+  McSimResult r = SimulateAvailability(H100(), config);
+  double expected = ClusterFailuresPerYear(H100(), 32, config.failure);
+  EXPECT_NEAR(r.failures_per_year, expected, 0.15 * expected);
+}
+
+TEST(McSim, AvailabilityMatchesClosedFormNoSpares) {
+  McSimConfig config;
+  config.gpus_per_instance = 8;
+  config.num_instances = 4;
+  config.num_spares = 0;
+  config.sim_years = 500.0;
+  McSimResult r = SimulateAvailability(H100(), config);
+  double expected = InstanceAvailabilityNoSpares(H100(), 8, config.failure);
+  EXPECT_NEAR(r.instance_availability, expected, 0.002);
+}
+
+TEST(McSim, AvailabilityMatchesClosedFormWithSpares) {
+  McSimConfig config;
+  config.gpus_per_instance = 32;
+  config.num_instances = 4;
+  config.num_spares = 2;
+  config.sim_years = 500.0;
+  McSimResult r = SimulateAvailability(Lite(), config);
+  double expected =
+      InstanceAvailabilityWithSpares(Lite(), 32, 4, 2, config.failure);
+  EXPECT_NEAR(r.instance_availability, expected, 0.002);
+}
+
+TEST(McSim, Deterministic) {
+  McSimConfig config;
+  config.sim_years = 50.0;
+  McSimResult a = SimulateAvailability(Lite(), config);
+  McSimResult b = SimulateAvailability(Lite(), config);
+  EXPECT_EQ(a.num_failures, b.num_failures);
+  EXPECT_DOUBLE_EQ(a.instance_availability, b.instance_availability);
+}
+
+TEST(McSim, SparesReduceUnmaskedFailures) {
+  McSimConfig none;
+  none.gpus_per_instance = 8;
+  none.num_instances = 4;
+  none.num_spares = 0;
+  none.sim_years = 200.0;
+  McSimConfig spared = none;
+  spared.num_spares = 2;
+  McSimResult a = SimulateAvailability(H100(), none);
+  McSimResult b = SimulateAvailability(H100(), spared);
+  EXPECT_EQ(a.unmasked_failures, a.num_failures);  // no spares: all unmasked
+  EXPECT_LT(b.unmasked_failures, a.unmasked_failures / 10 + 5);
+  EXPECT_GT(b.instance_availability, a.instance_availability);
+}
+
+TEST(McSim, EqualBudgetSparingFavorsLite) {
+  // One H100 spare budget buys four Lite spares; compare fleets of equal
+  // capacity (4 instances each) at equal spare budget.
+  McSimConfig h100_config;
+  h100_config.gpus_per_instance = 8;
+  h100_config.num_instances = 4;
+  h100_config.num_spares = 1;  // one H100
+  h100_config.sim_years = 300.0;
+  McSimConfig lite_config;
+  lite_config.gpus_per_instance = 32;
+  lite_config.num_instances = 4;
+  lite_config.num_spares = 4;  // same dollars in Lite spares
+  lite_config.sim_years = 300.0;
+  McSimResult h100 = SimulateAvailability(H100(), h100_config);
+  McSimResult lite = SimulateAvailability(Lite(), lite_config);
+  // Both should mask essentially all failures; Lite must be at least
+  // competitive despite 4x the device count.
+  EXPECT_GT(lite.instance_availability, 0.999);
+  EXPECT_GT(h100.instance_availability, 0.999);
+  EXPECT_NEAR(lite.instance_availability, h100.instance_availability, 0.0005);
+}
+
+}  // namespace
+}  // namespace litegpu

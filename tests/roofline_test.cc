@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "src/hw/catalog.h"
+#include "src/roofline/engine.h"
+#include "src/roofline/inference.h"
+#include "src/util/units.h"
+
+namespace litegpu {
+namespace {
+
+EngineParams DefaultEngine() { return EngineParams{}; }
+
+// --- stage evaluation ---
+
+TEST(Engine, ComputeBoundStage) {
+  StageWork w;
+  w.name = "gemm";
+  w.flops = 1e12;       // 0.5 ms on H100
+  w.weight_bytes = 1e6; // negligible
+  StageTiming t = EvaluateStage(w, H100(), 1, DefaultEngine());
+  EXPECT_EQ(t.bound, Bound::kCompute);
+  EXPECT_NEAR(t.compute_s, 0.5e-3, 1e-9);
+  EXPECT_NEAR(t.total_s, t.compute_s + t.overhead_s, 1e-12);
+}
+
+TEST(Engine, MemoryBoundStage) {
+  StageWork w;
+  w.name = "scan";
+  w.flops = 1e9;
+  w.weight_bytes = 33.52 * kGB;  // 10 ms on H100 HBM
+  StageTiming t = EvaluateStage(w, H100(), 1, DefaultEngine());
+  EXPECT_EQ(t.bound, Bound::kMemory);
+  EXPECT_NEAR(t.memory_s, 10e-3, 1e-6);
+}
+
+TEST(Engine, NetworkBoundStage) {
+  StageWork w;
+  w.name = "sync";
+  w.allreduce_bytes = 100.0 * kMB;
+  StageTiming t = EvaluateStage(w, Lite(), 32, DefaultEngine());
+  EXPECT_EQ(t.bound, Bound::kNetwork);
+  EXPECT_GT(t.network_s, 0.0);
+}
+
+TEST(Engine, NoCollectiveAtDegreeOne) {
+  StageWork w;
+  w.allreduce_bytes = 100.0 * kMB;
+  StageTiming t = EvaluateStage(w, Lite(), 1, DefaultEngine());
+  EXPECT_DOUBLE_EQ(t.network_s, 0.0);
+}
+
+TEST(Engine, OverlapTakesMaxSerializedTakesSum) {
+  StageWork w;
+  w.flops = 1e12;        // 0.5ms compute on H100
+  w.weight_bytes = 1.676 * kGB;  // 0.5ms memory
+  EngineParams overlap = DefaultEngine();
+  overlap.overlap = OverlapScope::kStage;
+  EngineParams serial = DefaultEngine();
+  serial.overlap = OverlapScope::kNone;
+  StageTiming a = EvaluateStage(w, H100(), 1, overlap);
+  StageTiming b = EvaluateStage(w, H100(), 1, serial);
+  EXPECT_NEAR(a.total_s - a.overhead_s, 0.5e-3, 1e-6);
+  EXPECT_NEAR(b.total_s - b.overhead_s, 1.0e-3, 1e-6);
+}
+
+TEST(Engine, LayerOverlapHidesCollectivesBehindAdjacentStages) {
+  // At TP=32, the out_proj all-reduce exceeds its own tiny GEMM but fits
+  // under the layer's total compute; layer-scope overlap must hide it.
+  TransformerSpec model = Llama3_405B();
+  auto plan = MakeTpPlan(model, 32).value();
+  ModelWork work = BuildModelWork(model, plan, Phase::kPrefill, {8, 1500, 0});
+  EngineParams stage_scope;
+  stage_scope.overlap = OverlapScope::kStage;
+  EngineParams layer_scope;
+  layer_scope.overlap = OverlapScope::kLayer;
+  GpuSpec gpu = LiteNetBw();
+  PassTiming a = EvaluatePass(work, gpu, plan.degree, stage_scope);
+  PassTiming b = EvaluatePass(work, gpu, plan.degree, layer_scope);
+  EXPECT_LT(b.total_s, a.total_s);
+  EngineParams none;
+  none.overlap = OverlapScope::kNone;
+  PassTiming c = EvaluatePass(work, gpu, plan.degree, none);
+  EXPECT_GT(c.total_s, a.total_s);
+}
+
+TEST(Engine, EfficiencyScalesTimes) {
+  StageWork w;
+  w.flops = 1e12;
+  EngineParams params = DefaultEngine();
+  params.compute_efficiency = 0.5;
+  StageTiming t = EvaluateStage(w, H100(), 1, params);
+  EXPECT_NEAR(t.compute_s, 1.0e-3, 1e-9);
+}
+
+TEST(Engine, OverheadBoundForTinyStages) {
+  StageWork w;
+  w.flops = 1e3;
+  StageTiming t = EvaluateStage(w, H100(), 1, DefaultEngine());
+  EXPECT_EQ(t.bound, Bound::kOverhead);
+}
+
+// --- pass evaluation ---
+
+TEST(Engine, PassAggregatesLayers) {
+  TransformerSpec model = Llama3_70B();
+  auto plan = MakeTpPlan(model, 8).value();
+  ModelWork work = BuildModelWork(model, plan, Phase::kDecode, {8, 1, 1499});
+  PassTiming pass = EvaluatePass(work, H100(), 8, DefaultEngine());
+  double manual = pass.embedding.total_s + pass.lm_head.total_s;
+  for (const auto& s : pass.layer_stages) {
+    manual += s.total_s * work.num_layers;
+  }
+  EXPECT_NEAR(pass.total_s, manual, 1e-9);
+  EXPECT_EQ(pass.num_layers, model.num_layers);
+}
+
+TEST(Engine, DecodePassMemoryBoundOnH100) {
+  TransformerSpec model = Llama3_70B();
+  auto plan = MakeTpPlan(model, 8).value();
+  ModelWork work = BuildModelWork(model, plan, Phase::kDecode, {64, 1, 1499});
+  PassTiming pass = EvaluatePass(work, H100(), 8, DefaultEngine());
+  EXPECT_EQ(pass.DominantBound(), Bound::kMemory);
+}
+
+TEST(Engine, PrefillPassComputeBoundOnH100) {
+  TransformerSpec model = Llama3_70B();
+  auto plan = MakeTpPlan(model, 8).value();
+  ModelWork work = BuildModelWork(model, plan, Phase::kPrefill, {1, 1500, 0});
+  PassTiming pass = EvaluatePass(work, H100(), 8, DefaultEngine());
+  EXPECT_EQ(pass.DominantBound(), Bound::kCompute);
+}
+
+// --- inference-level ---
+
+TEST(Inference, PrefillTtftUnderOneSecondOnH100) {
+  TransformerSpec model = Llama3_70B();
+  auto plan = MakeTpPlan(model, 8).value();
+  WorkloadParams workload;
+  PrefillResult r = EvaluatePrefill(model, H100(), plan, 1, workload, DefaultEngine());
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.meets_slo);
+  // 2*70e9*1500 FLOPs over 8 H100s at peak ~ 13 ms; allow overheads.
+  EXPECT_GT(r.ttft_s, 5e-3);
+  EXPECT_LT(r.ttft_s, 100e-3);
+}
+
+TEST(Inference, PrefillThroughputAccountsWholeBatch) {
+  TransformerSpec model = Llama3_70B();
+  auto plan = MakeTpPlan(model, 8).value();
+  WorkloadParams workload;
+  PrefillResult r = EvaluatePrefill(model, H100(), plan, 4, workload, DefaultEngine());
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.tokens_per_s, 4.0 * 1500.0 / r.ttft_s, 1e-6);
+}
+
+TEST(Inference, DecodeTbtGrowsWithBatch) {
+  TransformerSpec model = Llama3_70B();
+  auto plan = MakeTpPlan(model, 8).value();
+  WorkloadParams workload;
+  double prev = 0.0;
+  for (int batch : {1, 8, 64, 256}) {
+    DecodeResult r = EvaluateDecode(model, H100(), plan, batch, workload, DefaultEngine());
+    ASSERT_TRUE(r.feasible) << batch;
+    EXPECT_GT(r.tbt_s, prev);
+    prev = r.tbt_s;
+  }
+}
+
+TEST(Inference, DecodeThroughputPerSmMonotoneInBatch) {
+  // The search exploits this monotonicity; verify it on a real model.
+  TransformerSpec model = Llama3_70B();
+  auto plan = MakeTpPlan(model, 8).value();
+  WorkloadParams workload;
+  double prev = 0.0;
+  for (int batch = 1; batch <= 512; batch *= 2) {
+    DecodeResult r = EvaluateDecode(model, H100(), plan, batch, workload, DefaultEngine());
+    ASSERT_TRUE(r.feasible) << batch;
+    EXPECT_GT(r.tokens_per_s_per_sm, prev) << batch;
+    prev = r.tokens_per_s_per_sm;
+  }
+}
+
+TEST(Inference, CapacityEnforcementRejectsOversizedBatch) {
+  TransformerSpec model = Llama3_405B();
+  auto plan = MakeTpPlan(model, 32).value();
+  WorkloadParams workload;
+  DecodeResult r = EvaluateDecode(model, Lite(), plan, 100000, workload, DefaultEngine());
+  EXPECT_FALSE(r.feasible);
+  workload.enforce_memory_capacity = false;
+  r = EvaluateDecode(model, Lite(), plan, 100000, workload, DefaultEngine());
+  EXPECT_TRUE(r.feasible);
+}
+
+TEST(Inference, WeightsDontFitMeansInfeasibleEvenBatchOne) {
+  TransformerSpec model = Llama3_405B();
+  auto plan = MakeTpPlan(model, 8).value();  // 50 GB of weights per GPU
+  WorkloadParams workload;
+  DecodeResult r = EvaluateDecode(model, Lite(), plan, 1, workload, DefaultEngine());
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Inference, MoreNetworkBandwidthNeverHurtsDecode) {
+  TransformerSpec model = Llama3_405B();
+  auto plan = MakeTpPlan(model, 32).value();
+  WorkloadParams workload;
+  DecodeResult base = EvaluateDecode(model, Lite(), plan, 64, workload, DefaultEngine());
+  DecodeResult boosted =
+      EvaluateDecode(model, LiteMemBwNetBw(), plan, 64, workload, DefaultEngine());
+  ASSERT_TRUE(base.feasible);
+  ASSERT_TRUE(boosted.feasible);
+  EXPECT_LE(boosted.tbt_s, base.tbt_s);
+}
+
+TEST(Inference, OverclockSpeedsUpPrefill) {
+  // Batch 8 keeps prefill firmly compute-bound, where the +FLOPS part wins
+  // despite its halved HBM bandwidth (Table 1 trades shoreline to the NIC).
+  TransformerSpec model = Llama3_70B();
+  auto plan = MakeTpPlan(model, 8).value();
+  WorkloadParams workload;
+  PrefillResult base = EvaluatePrefill(model, LiteNetBw(), plan, 8, workload, DefaultEngine());
+  PrefillResult oc =
+      EvaluatePrefill(model, LiteNetBwFlops(), plan, 8, workload, DefaultEngine());
+  ASSERT_TRUE(base.feasible);
+  ASSERT_TRUE(oc.feasible);
+  EXPECT_LT(oc.ttft_s, base.ttft_s);
+}
+
+}  // namespace
+}  // namespace litegpu

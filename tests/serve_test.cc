@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/serve/simulator.h"
+#include "src/serve/workload.h"
+
+namespace litegpu {
+namespace {
+
+// --- workload generation ---
+
+TEST(Workload, PoissonArrivalRate) {
+  WorkloadSpec spec;
+  spec.arrival_rate_per_s = 50.0;
+  spec.duration_s = 200.0;
+  auto requests = GenerateWorkload(spec);
+  EXPECT_NEAR(static_cast<double>(requests.size()), 10000.0, 300.0);
+  for (size_t i = 1; i < requests.size(); ++i) {
+    EXPECT_GE(requests[i].arrival_s, requests[i - 1].arrival_s);
+  }
+}
+
+TEST(Workload, ConstantLengthsWhenSigmaZero) {
+  WorkloadSpec spec;
+  spec.duration_s = 10.0;
+  auto requests = GenerateWorkload(spec);
+  for (const auto& r : requests) {
+    EXPECT_EQ(r.prompt_tokens, spec.median_prompt_tokens);
+    EXPECT_EQ(r.output_tokens, spec.median_output_tokens);
+  }
+}
+
+TEST(Workload, LognormalMedianRoughlyPreserved) {
+  WorkloadSpec spec;
+  spec.arrival_rate_per_s = 100.0;
+  spec.duration_s = 100.0;
+  spec.prompt_sigma = 0.8;
+  auto requests = GenerateWorkload(spec);
+  std::vector<int> prompts;
+  for (const auto& r : requests) {
+    prompts.push_back(r.prompt_tokens);
+  }
+  std::sort(prompts.begin(), prompts.end());
+  double median = prompts[prompts.size() / 2];
+  EXPECT_NEAR(median, 1500.0, 150.0);
+}
+
+TEST(Workload, Deterministic) {
+  WorkloadSpec spec;
+  spec.duration_s = 50.0;
+  auto a = GenerateWorkload(spec);
+  auto b = GenerateWorkload(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival_s, b[i].arrival_s);
+  }
+}
+
+TEST(Workload, TokenTotals) {
+  WorkloadSpec spec;
+  spec.duration_s = 20.0;
+  auto requests = GenerateWorkload(spec);
+  EXPECT_DOUBLE_EQ(TotalPromptTokens(requests),
+                   1500.0 * static_cast<double>(requests.size()));
+  EXPECT_DOUBLE_EQ(TotalOutputTokens(requests),
+                   256.0 * static_cast<double>(requests.size()));
+}
+
+// --- simulator ---
+
+ServeCallbacks SimpleCallbacks(double prefill_s = 0.1, double per_seq_step_s = 1e-4,
+                               double base_step_s = 5e-3) {
+  ServeCallbacks cb;
+  cb.prefill_time = [prefill_s](int batch) { return prefill_s * std::sqrt(batch); };
+  cb.decode_step_time = [per_seq_step_s, base_step_s](int batch) {
+    return base_step_s + per_seq_step_s * batch;
+  };
+  cb.max_prefill_batch = 8;
+  cb.max_decode_batch = 64;
+  return cb;
+}
+
+std::vector<Request> FixedRequests(int n, double spacing_s, int output_tokens = 32) {
+  std::vector<Request> requests;
+  for (int i = 0; i < n; ++i) {
+    Request r;
+    r.id = i;
+    r.arrival_s = i * spacing_s;
+    r.prompt_tokens = 1500;
+    r.output_tokens = output_tokens;
+    requests.push_back(r);
+  }
+  return requests;
+}
+
+TEST(Simulator, ConservationAllRequestsComplete) {
+  auto requests = FixedRequests(100, 0.05);
+  ServeClusterConfig config;
+  config.prefill_instances = 2;
+  config.decode_instances = 1;
+  ServeMetrics m = RunServeSimulation(requests, config, SimpleCallbacks());
+  EXPECT_EQ(m.admitted_requests, 100);
+  EXPECT_EQ(m.completed_requests, 100);
+  EXPECT_DOUBLE_EQ(m.output_tokens, 100.0 * 32.0);
+}
+
+TEST(Simulator, TtftIncludesQueueingAndPrefill) {
+  // One prefill instance, all arrive at t=0: later batches wait.
+  auto requests = FixedRequests(16, 0.0);
+  ServeClusterConfig config;
+  config.prefill_instances = 1;
+  config.decode_instances = 1;
+  ServeCallbacks cb = SimpleCallbacks(0.1);
+  cb.max_prefill_batch = 8;
+  ServeMetrics m = RunServeSimulation(requests, config, cb);
+  // Work-conserving: the first arrival prefills alone (0.1 s); the rest
+  // queue behind it and batch up, paying queueing delay on top.
+  EXPECT_NEAR(m.ttft_s.min(), 0.1, 1e-6);
+  EXPECT_GT(m.ttft_s.max(), 0.3);
+}
+
+TEST(Simulator, ThroughputMatchesStepModel) {
+  // Saturated decode at max batch 64: step = 5ms + 64*0.1ms = 11.4ms ->
+  // 64/0.0114 ~ 5614 tokens/s. A long run amortizes ramp-up/drain.
+  auto requests = FixedRequests(2000, 0.001, 64);
+  ServeClusterConfig config;
+  config.prefill_instances = 8;
+  config.decode_instances = 1;
+  ServeMetrics m = RunServeSimulation(requests, config, SimpleCallbacks());
+  EXPECT_GT(m.mean_decode_batch, 55.0);
+  EXPECT_NEAR(m.decode_tokens_per_s, 64.0 / 0.0114, 300.0);
+}
+
+TEST(Simulator, MoreDecodeInstancesFinishFaster) {
+  auto requests = FixedRequests(256, 0.0, 64);
+  ServeClusterConfig one;
+  one.prefill_instances = 4;
+  one.decode_instances = 1;
+  ServeClusterConfig two = one;
+  two.decode_instances = 2;
+  ServeMetrics a = RunServeSimulation(requests, one, SimpleCallbacks());
+  ServeMetrics b = RunServeSimulation(requests, two, SimpleCallbacks());
+  EXPECT_EQ(a.completed_requests, 256);
+  EXPECT_EQ(b.completed_requests, 256);
+  EXPECT_LT(b.makespan_s, a.makespan_s);
+}
+
+TEST(Simulator, TbtSamplesMatchCallback) {
+  // A single request decodes alone: every step is base + 1 * per_seq, and
+  // there are exactly output_tokens steps.
+  auto requests = FixedRequests(1, 0.0, 16);
+  ServeClusterConfig config;
+  config.prefill_instances = 1;
+  config.decode_instances = 1;
+  ServeCallbacks cb = SimpleCallbacks();
+  ServeMetrics m = RunServeSimulation(requests, config, cb);
+  EXPECT_EQ(m.tbt_s.count(), 16u);
+  EXPECT_NEAR(m.tbt_s.max(), 0.0051, 1e-12);
+  EXPECT_NEAR(m.tbt_s.min(), 0.0051, 1e-12);
+}
+
+TEST(Simulator, HorizonStopsAdmission) {
+  auto requests = FixedRequests(100, 0.1);
+  ServeClusterConfig config;
+  config.prefill_instances = 2;
+  config.decode_instances = 1;
+  config.horizon_s = 4.95;  // admit ~50
+  ServeMetrics m = RunServeSimulation(requests, config, SimpleCallbacks());
+  EXPECT_EQ(m.admitted_requests, 50);
+  EXPECT_EQ(m.completed_requests, 50);
+}
+
+TEST(Simulator, UtilizationBounded) {
+  auto requests = FixedRequests(64, 0.05);
+  ServeClusterConfig config;
+  config.prefill_instances = 2;
+  config.decode_instances = 2;
+  ServeMetrics m = RunServeSimulation(requests, config, SimpleCallbacks());
+  EXPECT_GT(m.prefill_utilization, 0.0);
+  EXPECT_LE(m.prefill_utilization, 1.0 + 1e-9);
+  EXPECT_GT(m.decode_utilization, 0.0);
+  EXPECT_LE(m.decode_utilization, 1.0 + 1e-9);
+}
+
+TEST(Simulator, EmptyConfigReturnsEmptyMetrics) {
+  auto requests = FixedRequests(10, 0.1);
+  ServeClusterConfig config;
+  config.prefill_instances = 0;
+  ServeMetrics m = RunServeSimulation(requests, config, SimpleCallbacks());
+  EXPECT_EQ(m.completed_requests, 0);
+}
+
+}  // namespace
+}  // namespace litegpu

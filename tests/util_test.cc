@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/util/format.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+#include "src/util/units.h"
+
+namespace litegpu {
+namespace {
+
+// --- format ---
+
+TEST(Format, FormatDoubleBasic) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.0, 0), "3");
+  EXPECT_EQ(FormatDouble(-2.5, 1), "-2.5");
+}
+
+TEST(Format, FormatDoubleTrimsNegativeZero) {
+  EXPECT_EQ(FormatDouble(-0.0001, 2), "0.00");
+}
+
+TEST(Format, HumanBytes) {
+  EXPECT_EQ(HumanBytes(3.352e12), "3.35 TB");
+  EXPECT_EQ(HumanBytes(80e9), "80.00 GB");
+  EXPECT_EQ(HumanBytes(512), "512.00 B");
+}
+
+TEST(Format, HumanBandwidth) { EXPECT_EQ(HumanBandwidth(450e9), "450.00 GB/s"); }
+
+TEST(Format, HumanFlops) { EXPECT_EQ(HumanFlops(2e15), "2.00 PFLOPS"); }
+
+TEST(Format, HumanTimePicksUnits) {
+  EXPECT_EQ(HumanTime(1.5), "1.50 s");
+  EXPECT_EQ(HumanTime(0.05), "50.00 ms");
+  EXPECT_EQ(HumanTime(31e-6), "31.00 us");
+  EXPECT_EQ(HumanTime(2e-9), "2.00 ns");
+}
+
+TEST(Format, HumanPower) { EXPECT_EQ(HumanPower(35000), "35.00 kW"); }
+
+TEST(Format, HumanPercent) { EXPECT_EQ(HumanPercent(0.1234), "12.34%"); }
+
+TEST(Units, Consistency) {
+  EXPECT_DOUBLE_EQ(kTFLOPS, 1000.0 * kGFLOPS);
+  EXPECT_DOUBLE_EQ(kGB, 1e9);
+  EXPECT_DOUBLE_EQ(kGiB, 1073741824.0);
+  EXPECT_DOUBLE_EQ(kHour, 60.0 * kMinute);
+  EXPECT_DOUBLE_EQ(kGbps * 8.0, kGB);
+}
+
+// --- table ---
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"beta", "22"});
+  std::string text = t.ToText();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_columns(), 2u);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"only"});
+  EXPECT_EQ(t.row(0).size(), 3u);
+  EXPECT_EQ(t.row(0)[1], "");
+}
+
+TEST(Table, CsvEscaping) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Table, ToCsvRoundTrip) {
+  Table t({"k", "v"});
+  t.AddRow({"x,y", "1"});
+  std::string csv = t.ToCsv();
+  EXPECT_EQ(csv, "k,v\n\"x,y\",1\n");
+}
+
+// --- stats ---
+
+TEST(RunningStat, MeanAndVariance) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.571428571, 1e-6);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(SampleSet, Quantiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(s.Median(), 50.5);
+  EXPECT_NEAR(s.Quantile(0.95), 95.05, 1e-9);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 100.0);
+}
+
+TEST(SampleSet, QuantileClampsOutOfRange) {
+  SampleSet s;
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(-1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(2.0), 5.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);
+  h.Add(9.9);
+  h.Add(-5.0);   // clamps to first
+  h.Add(100.0);  // clamps to last
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(9), 10.0);
+}
+
+// --- rng ---
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextDoubleInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanCloseToCenter) {
+  Rng rng(3);
+  RunningStat s;
+  for (int i = 0; i < 100000; ++i) {
+    s.Add(rng.Uniform(10.0, 20.0));
+  }
+  EXPECT_NEAR(s.mean(), 15.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  RunningStat s;
+  for (int i = 0; i < 200000; ++i) {
+    s.Add(rng.Exponential(4.0));
+  }
+  EXPECT_NEAR(s.mean(), 0.25, 0.005);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  RunningStat s;
+  for (int i = 0; i < 200000; ++i) {
+    s.Add(rng.Normal(5.0, 2.0));
+  }
+  EXPECT_NEAR(s.mean(), 5.0, 0.03);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.03);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge) {
+  Rng rng(17);
+  RunningStat small;
+  RunningStat large;
+  for (int i = 0; i < 50000; ++i) {
+    small.Add(static_cast<double>(rng.Poisson(3.0)));
+    large.Add(static_cast<double>(rng.Poisson(100.0)));
+  }
+  EXPECT_NEAR(small.mean(), 3.0, 0.05);
+  EXPECT_NEAR(large.mean(), 100.0, 0.5);
+}
+
+TEST(Rng, NextBelowUnbiasedCoverage) {
+  Rng rng(19);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.NextBelow(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace litegpu

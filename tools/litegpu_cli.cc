@@ -1,0 +1,208 @@
+// litegpu — command-line front end for the modeling library.
+//
+//   litegpu fig3a [--ideal-capacity]            regenerate Figure 3a
+//   litegpu fig3b [--ideal-capacity]            regenerate Figure 3b
+//   litegpu search --model M --gpu G [...]      best config for one pair
+//   litegpu design --model M                    Table-1 cluster comparison
+//   litegpu yield [--d0 X] [--area A]           Section-2 silicon economics
+//   litegpu derive --split N [--mem X] [--net X] [--clock X]
+//                                               custom Lite-GPU + feasibility
+//   litegpu list                                catalog contents
+//
+// Common flags: --prompt N --output N --ttft S --tbt S --kv-ideal
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/designer.h"
+#include "src/core/experiments.h"
+#include "src/core/search.h"
+#include "src/hw/catalog.h"
+#include "src/hw/lite_derive.h"
+#include "src/silicon/cost.h"
+#include "src/silicon/wafer.h"
+#include "src/silicon/yield.h"
+#include "src/util/flags.h"
+#include "src/util/format.h"
+#include "src/util/table.h"
+#include "src/util/units.h"
+
+namespace litegpu {
+namespace {
+
+SearchOptions OptionsFromFlags(const Flags& flags) {
+  SearchOptions options;
+  options.workload.prompt_tokens = flags.GetInt("prompt", 1500);
+  options.workload.output_tokens = flags.GetInt("output", 256);
+  options.workload.ttft_slo_s = flags.GetDouble("ttft", 1.0);
+  options.workload.tbt_slo_s = flags.GetDouble("tbt", 0.050);
+  options.workload.enforce_memory_capacity = !flags.GetBool("ideal-capacity", false);
+  if (flags.GetBool("kv-ideal", false)) {
+    options.kv_policy = KvShardPolicy::kIdealShard;
+  }
+  return options;
+}
+
+int RunFig3(const Flags& flags, bool prefill) {
+  SearchOptions options = OptionsFromFlags(flags);
+  if (prefill) {
+    auto entries = RunPrefillStudy(CaseStudyModels(),
+                                   {H100(), Lite(), LiteNetBw(), LiteNetBwFlops()}, options);
+    std::printf("%s", Fig3ToText(entries, "Figure 3a: prefill").c_str());
+  } else {
+    auto entries = RunDecodeStudy(CaseStudyModels(),
+                                  {H100(), Lite(), LiteMemBw(), LiteMemBwNetBw()}, options);
+    std::printf("%s", Fig3ToText(entries, "Figure 3b: decode").c_str());
+  }
+  return 0;
+}
+
+int RunSearch(const Flags& flags) {
+  auto model = FindModel(flags.GetString("model", "Llama3-70B"));
+  auto gpu = FindGpu(flags.GetString("gpu", "H100"));
+  if (!model || !gpu) {
+    std::fprintf(stderr, "unknown --model or --gpu (try `litegpu list`)\n");
+    return 1;
+  }
+  SearchOptions options = OptionsFromFlags(flags);
+  DecodeSearchResult decode = SearchDecode(*model, *gpu, options);
+  PrefillSearchResult prefill = SearchPrefill(*model, *gpu, options);
+  std::printf("%s on %s:\n", model->name.c_str(), gpu->name.c_str());
+  if (prefill.found) {
+    std::printf("  prefill: TP=%d batch=%d TTFT=%s -> %.2f tokens/s/SM\n",
+                prefill.best.tp_degree, prefill.best.batch,
+                HumanTime(prefill.best.result.ttft_s).c_str(),
+                prefill.best.result.tokens_per_s_per_sm);
+  } else {
+    std::printf("  prefill: no feasible configuration\n");
+  }
+  if (decode.found) {
+    std::printf("  decode:  TP=%d batch=%d TBT=%s -> %.2f tokens/s/SM\n",
+                decode.best.tp_degree, decode.best.batch,
+                HumanTime(decode.best.result.tbt_s).c_str(),
+                decode.best.result.tokens_per_s_per_sm);
+    std::printf("  per-degree frontier:\n");
+    for (const auto& p : decode.per_degree) {
+      std::printf("    TP=%-3d batch=%-5d TBT=%-10s %.2f tokens/s/SM\n", p.tp_degree,
+                  p.batch, HumanTime(p.result.tbt_s).c_str(),
+                  p.result.tokens_per_s_per_sm);
+    }
+  } else {
+    std::printf("  decode:  no feasible configuration\n");
+  }
+  return 0;
+}
+
+int RunDesign(const Flags& flags) {
+  auto model = FindModel(flags.GetString("model", "Llama3-70B"));
+  if (!model) {
+    std::fprintf(stderr, "unknown --model\n");
+    return 1;
+  }
+  DesignInputs inputs;
+  inputs.model = *model;
+  inputs.search = OptionsFromFlags(flags);
+  auto reports = CompareClusters(Table1Configs(), inputs);
+  std::printf("%s", ClusterComparisonToText(reports).c_str());
+  return 0;
+}
+
+int RunYield(const Flags& flags) {
+  WaferSpec wafer;
+  DefectSpec defects;
+  defects.density_per_cm2 = flags.GetDouble("d0", 0.1);
+  double area = flags.GetDouble("area", 814.0);
+  int split = flags.GetInt("split", 4);
+  Table table({"Model", "Yield(full)", "Yield(1/" + std::to_string(split) + ")", "Gain",
+               "KGD cost ratio"});
+  for (auto model : {YieldModel::kPoisson, YieldModel::kMurphy, YieldModel::kSeeds,
+                     YieldModel::kNegativeBinomial}) {
+    double big = KnownGoodDieCost(wafer, model, defects, area);
+    double small = KnownGoodDieCost(wafer, model, defects, area / split);
+    table.AddRow({ToString(model), FormatDouble(DieYield(model, defects, area), 3),
+                  FormatDouble(DieYield(model, defects, area / split), 3),
+                  FormatDouble(YieldGainFromSplit(model, defects, area, split), 2) + "x",
+                  big > 0.0 ? FormatDouble(split * small / big, 3) : "-"});
+  }
+  std::printf("die %.1f mm^2, d0 %.2f/cm^2, split %d\n%s", area, defects.density_per_cm2,
+              split, table.ToText().c_str());
+  return 0;
+}
+
+int RunDerive(const Flags& flags) {
+  LiteDeriveOptions options;
+  options.split = flags.GetInt("split", 4);
+  options.mem_bw_multiplier = flags.GetDouble("mem", 1.0);
+  options.net_bw_multiplier = flags.GetDouble("net", 1.0);
+  options.overclock = flags.GetDouble("clock", 1.0);
+  options.max_gpus_multiplier = options.split;
+  auto base = FindGpu(flags.GetString("base", "H100"));
+  if (!base) {
+    std::fprintf(stderr, "unknown --base GPU\n");
+    return 1;
+  }
+  LiteDeriveResult result = DeriveLite(*base, options);
+  std::printf("%s\n", result.ToString().c_str());
+  return result.shoreline_feasible ? 0 : 2;
+}
+
+int RunList() {
+  std::printf("GPUs:\n");
+  for (const auto& g : Table1Configs()) {
+    std::printf("  %-18s %4.0f TFLOPS %5.0f GB/s mem %6.1f GB/s net, max %d\n",
+                g.name.c_str(), g.flops / kTFLOPS, g.mem_bw_bytes_per_s / kGBps,
+                g.net_bw_bytes_per_s / kGBps, g.max_gpus);
+  }
+  for (const auto& g : HistoricalGenerations()) {
+    std::printf("  %-18s (%d)\n", g.name.c_str(), g.year);
+  }
+  std::printf("Models:\n");
+  for (const auto& m : {Llama3_8B(), Llama3_70B(), Gpt3_175B(), Llama3_405B()}) {
+    std::printf("  %-12s %3d layers, d_model %5d, %3d heads / %2d KV heads\n",
+                m.name.c_str(), m.num_layers, m.d_model, m.num_heads, m.num_kv_heads);
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: litegpu <fig3a|fig3b|search|design|yield|derive|list> [flags]\n"
+               "  search:  --model M --gpu G [--prompt N --output N --ttft S --tbt S]\n"
+               "  design:  --model M\n"
+               "  yield:   [--d0 X --area A --split N]\n"
+               "  derive:  [--base G --split N --mem X --net X --clock X]\n"
+               "  fig3*:   [--ideal-capacity] [--kv-ideal]\n");
+  return 64;
+}
+
+int Main(int argc, const char* const* argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  std::string cmd = flags.Subcommand();
+  if (cmd == "fig3a") {
+    return RunFig3(flags, /*prefill=*/true);
+  }
+  if (cmd == "fig3b") {
+    return RunFig3(flags, /*prefill=*/false);
+  }
+  if (cmd == "search") {
+    return RunSearch(flags);
+  }
+  if (cmd == "design") {
+    return RunDesign(flags);
+  }
+  if (cmd == "yield") {
+    return RunYield(flags);
+  }
+  if (cmd == "derive") {
+    return RunDerive(flags);
+  }
+  if (cmd == "list") {
+    return RunList();
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace litegpu
+
+int main(int argc, char** argv) { return litegpu::Main(argc, argv); }
