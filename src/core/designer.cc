@@ -2,6 +2,7 @@
 
 #include "src/util/format.h"
 #include "src/util/table.h"
+#include "src/util/thread_pool.h"
 #include "src/util/units.h"
 
 namespace litegpu {
@@ -69,12 +70,15 @@ ClusterDesignReport DesignCluster(const GpuSpec& gpu, const DesignInputs& inputs
 
 std::vector<ClusterDesignReport> CompareClusters(const std::vector<GpuSpec>& gpus,
                                                  const DesignInputs& inputs) {
-  std::vector<ClusterDesignReport> reports;
-  reports.reserve(gpus.size());
-  for (const auto& gpu : gpus) {
-    reports.push_back(DesignCluster(gpu, inputs));
-  }
-  return reports;
+  // One worker per GPU type. Inner searches are forced serial not for
+  // determinism (they are bit-identical at any thread count by contract)
+  // but to avoid each one spinning up a transient hw-wide pool under an
+  // already-parallel fan-out.
+  DesignInputs per_design = inputs;
+  per_design.search.threads = 1;
+  return ParallelMap<ClusterDesignReport>(
+      inputs.threads, static_cast<int>(gpus.size()),
+      [&](int i) { return DesignCluster(gpus[static_cast<size_t>(i)], per_design); });
 }
 
 std::string ClusterComparisonToText(const std::vector<ClusterDesignReport>& reports) {

@@ -44,6 +44,10 @@ struct DesignInputs {
   FailureParams failure;
   // Deployment horizon for amortizing capex into $/token.
   double amortization_years = 4.0;
+  // Worker threads for CompareClusters' per-GPU fan-out (search.threads
+  // governs the per-degree fan-out when DesignCluster is called directly).
+  // <= 0 uses the hardware concurrency; 1 restores the serial path.
+  int threads = 0;
 };
 
 struct ClusterDesignReport {

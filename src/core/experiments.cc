@@ -4,6 +4,7 @@
 
 #include "src/util/format.h"
 #include "src/util/table.h"
+#include "src/util/thread_pool.h"
 
 namespace litegpu {
 
@@ -26,62 +27,98 @@ void NormalizeAgainstBaseline(std::vector<Fig3Entry>& entries, size_t num_gpus,
   }
 }
 
+// Shared driver for both studies: fan out one worker per (model, gpu) pair,
+// collect entries in pair order (model-major, matching the serial loops),
+// then normalize. Per-pair searches run serially inside the fan-out — not
+// for determinism (they are bit-identical at any thread count by contract)
+// but so each pair doesn't spin up its own transient hw-wide pool under an
+// already-parallel fan-out.
+template <typename RunPair>
+std::vector<Fig3Entry> RunStudy(const std::vector<TransformerSpec>& models,
+                                const std::vector<GpuSpec>& gpus,
+                                const ExperimentOptions& options,
+                                const std::string& baseline_name, const RunPair& run_pair) {
+  SearchOptions per_pair = options.search;
+  per_pair.threads = 1;
+  int num_pairs = static_cast<int>(models.size() * gpus.size());
+  std::vector<Fig3Entry> entries =
+      ParallelMap<Fig3Entry>(options.threads, num_pairs, [&](int i) {
+        const auto& model = models[static_cast<size_t>(i) / gpus.size()];
+        const auto& gpu = gpus[static_cast<size_t>(i) % gpus.size()];
+        Fig3Entry e;
+        e.model_name = model.name;
+        e.gpu_name = gpu.name;
+        run_pair(model, gpu, per_pair, e);
+        return e;
+      });
+  NormalizeAgainstBaseline(entries, gpus.size(), baseline_name);
+  return entries;
+}
+
 }  // namespace
+
+std::vector<Fig3Entry> RunPrefillStudy(const std::vector<TransformerSpec>& models,
+                                       const std::vector<GpuSpec>& gpus,
+                                       const ExperimentOptions& options,
+                                       const std::string& baseline_name) {
+  return RunStudy(models, gpus, options, baseline_name,
+                  [](const TransformerSpec& model, const GpuSpec& gpu,
+                     const SearchOptions& search_options, Fig3Entry& e) {
+                    PrefillSearchResult search = SearchPrefill(model, gpu, search_options);
+                    if (!search.found) {
+                      return;
+                    }
+                    e.found = true;
+                    e.tp_degree = search.best.tp_degree;
+                    e.batch = search.best.batch;
+                    e.latency_s = search.best.result.ttft_s;
+                    e.tokens_per_s = search.best.result.tokens_per_s;
+                    e.tokens_per_s_per_sm = search.best.result.tokens_per_s_per_sm;
+                    e.dominant_bound = search.best.result.timing.DominantBound();
+                    e.memory_needed_bytes = search.best.result.memory_needed_bytes;
+                  });
+}
+
+std::vector<Fig3Entry> RunDecodeStudy(const std::vector<TransformerSpec>& models,
+                                      const std::vector<GpuSpec>& gpus,
+                                      const ExperimentOptions& options,
+                                      const std::string& baseline_name) {
+  return RunStudy(models, gpus, options, baseline_name,
+                  [](const TransformerSpec& model, const GpuSpec& gpu,
+                     const SearchOptions& search_options, Fig3Entry& e) {
+                    DecodeSearchResult search = SearchDecode(model, gpu, search_options);
+                    if (!search.found) {
+                      return;
+                    }
+                    e.found = true;
+                    e.tp_degree = search.best.tp_degree;
+                    e.batch = search.best.batch;
+                    e.latency_s = search.best.result.tbt_s;
+                    e.tokens_per_s = search.best.result.tokens_per_s;
+                    e.tokens_per_s_per_sm = search.best.result.tokens_per_s_per_sm;
+                    e.dominant_bound = search.best.result.timing.DominantBound();
+                    e.memory_needed_bytes = search.best.result.memory_needed_bytes;
+                  });
+}
 
 std::vector<Fig3Entry> RunPrefillStudy(const std::vector<TransformerSpec>& models,
                                        const std::vector<GpuSpec>& gpus,
                                        const SearchOptions& options,
                                        const std::string& baseline_name) {
-  std::vector<Fig3Entry> entries;
-  for (const auto& model : models) {
-    for (const auto& gpu : gpus) {
-      Fig3Entry e;
-      e.model_name = model.name;
-      e.gpu_name = gpu.name;
-      PrefillSearchResult search = SearchPrefill(model, gpu, options);
-      if (search.found) {
-        e.found = true;
-        e.tp_degree = search.best.tp_degree;
-        e.batch = search.best.batch;
-        e.latency_s = search.best.result.ttft_s;
-        e.tokens_per_s = search.best.result.tokens_per_s;
-        e.tokens_per_s_per_sm = search.best.result.tokens_per_s_per_sm;
-        e.dominant_bound = search.best.result.timing.DominantBound();
-        e.memory_needed_bytes = search.best.result.memory_needed_bytes;
-      }
-      entries.push_back(e);
-    }
-  }
-  NormalizeAgainstBaseline(entries, gpus.size(), baseline_name);
-  return entries;
+  ExperimentOptions experiment;
+  experiment.search = options;
+  experiment.threads = options.threads;
+  return RunPrefillStudy(models, gpus, experiment, baseline_name);
 }
 
 std::vector<Fig3Entry> RunDecodeStudy(const std::vector<TransformerSpec>& models,
                                       const std::vector<GpuSpec>& gpus,
                                       const SearchOptions& options,
                                       const std::string& baseline_name) {
-  std::vector<Fig3Entry> entries;
-  for (const auto& model : models) {
-    for (const auto& gpu : gpus) {
-      Fig3Entry e;
-      e.model_name = model.name;
-      e.gpu_name = gpu.name;
-      DecodeSearchResult search = SearchDecode(model, gpu, options);
-      if (search.found) {
-        e.found = true;
-        e.tp_degree = search.best.tp_degree;
-        e.batch = search.best.batch;
-        e.latency_s = search.best.result.tbt_s;
-        e.tokens_per_s = search.best.result.tokens_per_s;
-        e.tokens_per_s_per_sm = search.best.result.tokens_per_s_per_sm;
-        e.dominant_bound = search.best.result.timing.DominantBound();
-        e.memory_needed_bytes = search.best.result.memory_needed_bytes;
-      }
-      entries.push_back(e);
-    }
-  }
-  NormalizeAgainstBaseline(entries, gpus.size(), baseline_name);
-  return entries;
+  ExperimentOptions experiment;
+  experiment.search = options;
+  experiment.threads = options.threads;
+  return RunDecodeStudy(models, gpus, experiment, baseline_name);
 }
 
 std::string Fig3ToText(const std::vector<Fig3Entry>& entries, const std::string& title) {

@@ -14,6 +14,14 @@
 
 namespace litegpu {
 
+struct ExperimentOptions {
+  SearchOptions search;
+  // Worker threads for the (model, GPU) fan-out. <= 0 uses the hardware
+  // concurrency; 1 restores the serial path. Per-pair searches run serially
+  // inside the fan-out, so results are bit-identical at any thread count.
+  int threads = 0;
+};
+
 struct Fig3Entry {
   std::string model_name;
   std::string gpu_name;
@@ -33,10 +41,20 @@ struct Fig3Entry {
 // against the gpu named `baseline_name`.
 std::vector<Fig3Entry> RunPrefillStudy(const std::vector<TransformerSpec>& models,
                                        const std::vector<GpuSpec>& gpus,
-                                       const SearchOptions& options,
+                                       const ExperimentOptions& options,
                                        const std::string& baseline_name = "H100");
 
 // Decode study (Figure 3b): {H100, Lite, Lite+MemBW, Lite+MemBW+NetBW}.
+std::vector<Fig3Entry> RunDecodeStudy(const std::vector<TransformerSpec>& models,
+                                      const std::vector<GpuSpec>& gpus,
+                                      const ExperimentOptions& options,
+                                      const std::string& baseline_name = "H100");
+
+// Convenience overloads: wrap SearchOptions, inheriting its threads knob.
+std::vector<Fig3Entry> RunPrefillStudy(const std::vector<TransformerSpec>& models,
+                                       const std::vector<GpuSpec>& gpus,
+                                       const SearchOptions& options,
+                                       const std::string& baseline_name = "H100");
 std::vector<Fig3Entry> RunDecodeStudy(const std::vector<TransformerSpec>& models,
                                       const std::vector<GpuSpec>& gpus,
                                       const SearchOptions& options,

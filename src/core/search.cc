@@ -1,8 +1,10 @@
 #include "src/core/search.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "src/llm/footprint.h"
+#include "src/util/thread_pool.h"
 
 namespace litegpu {
 
@@ -39,39 +41,83 @@ int LargestFeasibleBatch(int upper, const Pred& predicate) {
   return lo;
 }
 
+// Best prefill point for one TP degree, or nullopt when no batch is feasible.
+// Pure function of its arguments: safe to run for different degrees on
+// different workers.
+std::optional<PrefillPoint> PrefillBestForDegree(const TransformerSpec& model,
+                                                 const GpuSpec& gpu,
+                                                 const SearchOptions& options, int degree) {
+  auto plan = MakeTpPlan(model, degree, options.kv_policy);
+  if (!plan) {
+    return std::nullopt;
+  }
+  int upper = options.max_batch;
+  if (options.workload.enforce_memory_capacity) {
+    upper = std::min(upper, MaxBatchForCapacity(model, *plan, options.workload.prompt_tokens,
+                                                options.workload.prompt_tokens,
+                                                gpu.mem_capacity_bytes));
+  }
+  auto meets = [&](int batch) {
+    PrefillResult r = EvaluatePrefill(model, gpu, *plan, batch, options.workload, options.engine);
+    return r.feasible && r.meets_slo;
+  };
+  int best_batch = LargestFeasibleBatch(upper, meets);
+  if (best_batch == 0) {
+    return std::nullopt;
+  }
+  PrefillPoint point;
+  point.tp_degree = degree;
+  point.batch = best_batch;
+  point.result = EvaluatePrefill(model, gpu, *plan, best_batch, options.workload, options.engine);
+  return point;
+}
+
+std::optional<DecodePoint> DecodeBestForDegree(const TransformerSpec& model, const GpuSpec& gpu,
+                                               const SearchOptions& options, int degree) {
+  auto plan = MakeTpPlan(model, degree, options.kv_policy);
+  if (!plan) {
+    return std::nullopt;
+  }
+  int max_context = options.workload.prompt_tokens + options.workload.output_tokens;
+  int upper = options.max_batch;
+  if (options.workload.enforce_memory_capacity) {
+    upper = std::min(upper,
+                     MaxBatchForCapacity(model, *plan, 1, max_context, gpu.mem_capacity_bytes));
+  }
+  auto meets = [&](int batch) {
+    DecodeResult r = EvaluateDecode(model, gpu, *plan, batch, options.workload, options.engine);
+    return r.feasible && r.meets_slo;
+  };
+  int best_batch = LargestFeasibleBatch(upper, meets);
+  if (best_batch == 0) {
+    return std::nullopt;
+  }
+  DecodePoint point;
+  point.tp_degree = degree;
+  point.batch = best_batch;
+  point.result = EvaluateDecode(model, gpu, *plan, best_batch, options.workload, options.engine);
+  return point;
+}
+
 }  // namespace
 
 PrefillSearchResult SearchPrefill(const TransformerSpec& model, const GpuSpec& gpu,
                                   const SearchOptions& options) {
   PrefillSearchResult out;
-  for (int degree : FeasibleTpDegrees(model, gpu.max_gpus, options.kv_policy)) {
-    auto plan = MakeTpPlan(model, degree, options.kv_policy);
-    if (!plan) {
+  std::vector<int> degrees = FeasibleTpDegrees(model, gpu.max_gpus, options.kv_policy);
+  // Fan out per degree; combine in degree order so the result is identical
+  // to the serial sweep at any thread count.
+  auto points = ParallelMap<std::optional<PrefillPoint>>(
+      options.threads, static_cast<int>(degrees.size()),
+      [&](int i) { return PrefillBestForDegree(model, gpu, options, degrees[i]); });
+  for (const auto& point : points) {
+    if (!point) {
       continue;
     }
-    int upper = options.max_batch;
-    if (options.workload.enforce_memory_capacity) {
-      upper = std::min(upper, MaxBatchForCapacity(model, *plan, options.workload.prompt_tokens,
-                                                  options.workload.prompt_tokens,
-                                                  gpu.mem_capacity_bytes));
-    }
-    auto meets = [&](int batch) {
-      PrefillResult r = EvaluatePrefill(model, gpu, *plan, batch, options.workload, options.engine);
-      return r.feasible && r.meets_slo;
-    };
-    int best_batch = LargestFeasibleBatch(upper, meets);
-    if (best_batch == 0) {
-      continue;
-    }
-    PrefillPoint point;
-    point.tp_degree = degree;
-    point.batch = best_batch;
-    point.result =
-        EvaluatePrefill(model, gpu, *plan, best_batch, options.workload, options.engine);
-    out.per_degree.push_back(point);
+    out.per_degree.push_back(*point);
     if (!out.found ||
-        point.result.tokens_per_s_per_sm > out.best.result.tokens_per_s_per_sm) {
-      out.best = point;
+        point->result.tokens_per_s_per_sm > out.best.result.tokens_per_s_per_sm) {
+      out.best = *point;
       out.found = true;
     }
   }
@@ -81,34 +127,18 @@ PrefillSearchResult SearchPrefill(const TransformerSpec& model, const GpuSpec& g
 DecodeSearchResult SearchDecode(const TransformerSpec& model, const GpuSpec& gpu,
                                 const SearchOptions& options) {
   DecodeSearchResult out;
-  int max_context = options.workload.prompt_tokens + options.workload.output_tokens;
-  for (int degree : FeasibleTpDegrees(model, gpu.max_gpus, options.kv_policy)) {
-    auto plan = MakeTpPlan(model, degree, options.kv_policy);
-    if (!plan) {
+  std::vector<int> degrees = FeasibleTpDegrees(model, gpu.max_gpus, options.kv_policy);
+  auto points = ParallelMap<std::optional<DecodePoint>>(
+      options.threads, static_cast<int>(degrees.size()),
+      [&](int i) { return DecodeBestForDegree(model, gpu, options, degrees[i]); });
+  for (const auto& point : points) {
+    if (!point) {
       continue;
     }
-    int upper = options.max_batch;
-    if (options.workload.enforce_memory_capacity) {
-      upper = std::min(upper, MaxBatchForCapacity(model, *plan, 1, max_context,
-                                                  gpu.mem_capacity_bytes));
-    }
-    auto meets = [&](int batch) {
-      DecodeResult r = EvaluateDecode(model, gpu, *plan, batch, options.workload, options.engine);
-      return r.feasible && r.meets_slo;
-    };
-    int best_batch = LargestFeasibleBatch(upper, meets);
-    if (best_batch == 0) {
-      continue;
-    }
-    DecodePoint point;
-    point.tp_degree = degree;
-    point.batch = best_batch;
-    point.result =
-        EvaluateDecode(model, gpu, *plan, best_batch, options.workload, options.engine);
-    out.per_degree.push_back(point);
+    out.per_degree.push_back(*point);
     if (!out.found ||
-        point.result.tokens_per_s_per_sm > out.best.result.tokens_per_s_per_sm) {
-      out.best = point;
+        point->result.tokens_per_s_per_sm > out.best.result.tokens_per_s_per_sm) {
+      out.best = *point;
       out.found = true;
     }
   }
@@ -119,21 +149,34 @@ std::optional<PrefillPoint> BruteForcePrefillBest(const TransformerSpec& model,
                                                   const GpuSpec& gpu,
                                                   const SearchOptions& options,
                                                   int batch_limit) {
+  std::vector<int> degrees = FeasibleTpDegrees(model, gpu.max_gpus, options.kv_policy);
+  // Each worker exhaustively scans one degree; the serial tie-breaking
+  // (earlier degree wins, then earlier batch) is preserved by combining the
+  // per-degree bests in degree order with a strict comparison.
+  auto points = ParallelMap<std::optional<PrefillPoint>>(
+      options.threads, static_cast<int>(degrees.size()), [&](int i) {
+        std::optional<PrefillPoint> best;
+        auto plan = MakeTpPlan(model, degrees[i], options.kv_policy);
+        if (!plan) {
+          return best;
+        }
+        for (int batch = 1; batch <= batch_limit; ++batch) {
+          PrefillResult r =
+              EvaluatePrefill(model, gpu, *plan, batch, options.workload, options.engine);
+          if (!r.feasible || !r.meets_slo) {
+            continue;
+          }
+          if (!best || r.tokens_per_s_per_sm > best->result.tokens_per_s_per_sm) {
+            best = PrefillPoint{degrees[i], batch, r};
+          }
+        }
+        return best;
+      });
   std::optional<PrefillPoint> best;
-  for (int degree : FeasibleTpDegrees(model, gpu.max_gpus, options.kv_policy)) {
-    auto plan = MakeTpPlan(model, degree, options.kv_policy);
-    if (!plan) {
-      continue;
-    }
-    for (int batch = 1; batch <= batch_limit; ++batch) {
-      PrefillResult r =
-          EvaluatePrefill(model, gpu, *plan, batch, options.workload, options.engine);
-      if (!r.feasible || !r.meets_slo) {
-        continue;
-      }
-      if (!best || r.tokens_per_s_per_sm > best->result.tokens_per_s_per_sm) {
-        best = PrefillPoint{degree, batch, r};
-      }
+  for (const auto& point : points) {
+    if (point &&
+        (!best || point->result.tokens_per_s_per_sm > best->result.tokens_per_s_per_sm)) {
+      best = point;
     }
   }
   return best;
@@ -143,20 +186,31 @@ std::optional<DecodePoint> BruteForceDecodeBest(const TransformerSpec& model,
                                                 const GpuSpec& gpu,
                                                 const SearchOptions& options,
                                                 int batch_limit) {
+  std::vector<int> degrees = FeasibleTpDegrees(model, gpu.max_gpus, options.kv_policy);
+  auto points = ParallelMap<std::optional<DecodePoint>>(
+      options.threads, static_cast<int>(degrees.size()), [&](int i) {
+        std::optional<DecodePoint> best;
+        auto plan = MakeTpPlan(model, degrees[i], options.kv_policy);
+        if (!plan) {
+          return best;
+        }
+        for (int batch = 1; batch <= batch_limit; ++batch) {
+          DecodeResult r =
+              EvaluateDecode(model, gpu, *plan, batch, options.workload, options.engine);
+          if (!r.feasible || !r.meets_slo) {
+            continue;
+          }
+          if (!best || r.tokens_per_s_per_sm > best->result.tokens_per_s_per_sm) {
+            best = DecodePoint{degrees[i], batch, r};
+          }
+        }
+        return best;
+      });
   std::optional<DecodePoint> best;
-  for (int degree : FeasibleTpDegrees(model, gpu.max_gpus, options.kv_policy)) {
-    auto plan = MakeTpPlan(model, degree, options.kv_policy);
-    if (!plan) {
-      continue;
-    }
-    for (int batch = 1; batch <= batch_limit; ++batch) {
-      DecodeResult r = EvaluateDecode(model, gpu, *plan, batch, options.workload, options.engine);
-      if (!r.feasible || !r.meets_slo) {
-        continue;
-      }
-      if (!best || r.tokens_per_s_per_sm > best->result.tokens_per_s_per_sm) {
-        best = DecodePoint{degree, batch, r};
-      }
+  for (const auto& point : points) {
+    if (point &&
+        (!best || point->result.tokens_per_s_per_sm > best->result.tokens_per_s_per_sm)) {
+      best = point;
     }
   }
   return best;

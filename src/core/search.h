@@ -28,6 +28,10 @@ struct SearchOptions {
   // Upper bound on swept batch size (safety net when capacity enforcement
   // is off; real searches terminate on SLO first).
   int max_batch = 65536;
+  // Worker threads for the per-degree fan-out. <= 0 uses the hardware
+  // concurrency; 1 restores the serial path. Results are bit-identical at
+  // any thread count.
+  int threads = 0;
 };
 
 struct PrefillPoint {

@@ -1,9 +1,11 @@
 #include "src/reliability/mc_sim.h"
 
+#include <algorithm>
 #include <queue>
 #include <vector>
 
 #include "src/util/rng.h"
+#include "src/util/thread_pool.h"
 
 namespace litegpu {
 
@@ -20,11 +22,18 @@ struct Event {
   bool operator>(const Event& other) const { return time_h > other.time_h; }
 };
 
-}  // namespace
+struct TrialResult {
+  double up_time_weighted = 0.0;
+  uint64_t num_failures = 0;
+  uint64_t unmasked_failures = 0;
+};
 
-McSimResult SimulateAvailability(const GpuSpec& gpu, const McSimConfig& config) {
-  McSimResult result;
-  Rng rng(config.seed);
+// One independent cluster replica simulated over the full horizon with its
+// own RNG stream. Pure function of (gpu, config, seed): trials can run on
+// any worker in any order and aggregate deterministically.
+TrialResult RunTrial(const GpuSpec& gpu, const McSimConfig& config, uint64_t seed) {
+  TrialResult result;
+  Rng rng(seed);
 
   const double lambda = GpuAfr(gpu, config.failure) / kHoursPerYear;  // per GPU-hour
   const double repair_rate = 1.0 / config.failure.mttr_hours;
@@ -117,12 +126,41 @@ McSimResult SimulateAvailability(const GpuSpec& gpu, const McSimConfig& config) 
     }
   }
 
-  double denom = horizon_h * config.num_instances;
+  result.up_time_weighted = up_time_weighted;
+  return result;
+}
+
+}  // namespace
+
+McSimResult SimulateAvailability(const GpuSpec& gpu, const McSimConfig& config) {
+  int num_trials = std::max(config.num_trials, 1);
+  // Trial 0 keeps config.seed so the single-trial default matches the
+  // original serial simulator bit for bit; later trials re-mix through
+  // SplitMix64 (a plain additive step would hand 3 of trial i's 4 xoshiro
+  // state words to trial i+1, correlating "independent" replicas).
+  std::vector<TrialResult> trials = ParallelMap<TrialResult>(
+      config.threads, num_trials, [&](int i) {
+        uint64_t seed =
+            i == 0 ? config.seed
+                   : SplitMix64(config.seed ^ (0xA3EC647659359ACDULL *
+                                               static_cast<uint64_t>(i))).Next();
+        return RunTrial(gpu, config, seed);
+      });
+
+  McSimResult result;
+  double up_time_weighted = 0.0;
+  for (const TrialResult& trial : trials) {
+    up_time_weighted += trial.up_time_weighted;
+    result.num_failures += trial.num_failures;
+    result.unmasked_failures += trial.unmasked_failures;
+  }
+  const double horizon_h = config.sim_years * kHoursPerYear;
+  double denom = horizon_h * config.num_instances * num_trials;
   result.instance_availability = denom > 0.0 ? up_time_weighted / denom : 0.0;
   result.capacity_fraction = result.instance_availability;
+  double total_years = config.sim_years * num_trials;
   result.failures_per_year =
-      config.sim_years > 0.0 ? static_cast<double>(result.num_failures) / config.sim_years
-                             : 0.0;
+      total_years > 0.0 ? static_cast<double>(result.num_failures) / total_years : 0.0;
   return result;
 }
 

@@ -24,6 +24,15 @@ struct McSimConfig {
   double sim_years = 20.0;
   uint64_t seed = 0x5EEDED;
   FailureParams failure;
+  // Independent cluster replicas, each simulated for `sim_years` with its
+  // own RNG stream derived from `seed` (trial 0 uses `seed` itself, so the
+  // single-trial default reproduces the original serial simulator).
+  // Results aggregate over trials in index order.
+  int num_trials = 1;
+  // Worker threads sharding the trials. <= 0 uses the hardware concurrency;
+  // 1 restores the serial path. Because every trial owns its RNG stream,
+  // results are bit-identical at any thread count.
+  int threads = 0;
 };
 
 struct McSimResult {

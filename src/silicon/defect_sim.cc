@@ -67,7 +67,10 @@ void CountDies(const DefectSimConfig& config, const std::vector<Point>& defects,
   // Hash of grid cells containing at least one defect.
   std::unordered_set<long long> dirty;
   auto key = [&](long i, long j) {
-    return (static_cast<long long>(i) << 32) ^ (static_cast<long long>(j) & 0xffffffffLL);
+    // Shift in unsigned space: i can be negative (left half of the wafer)
+    // and shifting a negative value is UB before C++20.
+    return static_cast<long long>((static_cast<unsigned long long>(i) << 32) ^
+                                  (static_cast<unsigned long long>(j) & 0xffffffffULL));
   };
   for (const auto& d : defects) {
     long i = static_cast<long>(std::floor(d.x / pitch));

@@ -111,6 +111,52 @@ TEST(McSim, Deterministic) {
   EXPECT_DOUBLE_EQ(a.instance_availability, b.instance_availability);
 }
 
+TEST(McSim, ShardedTrialsBitIdenticalAtAnyThreadCount) {
+  McSimConfig serial;
+  serial.gpus_per_instance = 32;
+  serial.num_instances = 4;
+  serial.num_spares = 2;
+  serial.sim_years = 20.0;
+  serial.num_trials = 8;
+  serial.threads = 1;
+  McSimResult base = SimulateAvailability(Lite(), serial);
+  for (int threads : {2, 4, 8}) {
+    McSimConfig sharded = serial;
+    sharded.threads = threads;
+    McSimResult r = SimulateAvailability(Lite(), sharded);
+    EXPECT_EQ(r.num_failures, base.num_failures) << threads;
+    EXPECT_EQ(r.unmasked_failures, base.unmasked_failures) << threads;
+    // Bitwise equality, not EXPECT_DOUBLE_EQ: aggregation order is fixed.
+    EXPECT_EQ(r.instance_availability, base.instance_availability) << threads;
+    EXPECT_EQ(r.failures_per_year, base.failures_per_year) << threads;
+  }
+}
+
+TEST(McSim, SingleTrialMatchesOriginalSerialSimulator) {
+  // num_trials=1 must reproduce the pre-sharding simulator: trial 0 seeds
+  // the RNG with config.seed directly.
+  McSimConfig config;
+  config.sim_years = 50.0;
+  McSimResult a = SimulateAvailability(Lite(), config);
+  McSimConfig explicit_trials = config;
+  explicit_trials.num_trials = 1;
+  explicit_trials.threads = 4;
+  McSimResult b = SimulateAvailability(Lite(), explicit_trials);
+  EXPECT_EQ(a.num_failures, b.num_failures);
+  EXPECT_EQ(a.instance_availability, b.instance_availability);
+}
+
+TEST(McSim, MoreTrialsTightenAgreementWithClosedForm) {
+  McSimConfig config;
+  config.gpus_per_instance = 8;
+  config.num_instances = 4;
+  config.sim_years = 100.0;
+  config.num_trials = 8;
+  McSimResult r = SimulateAvailability(H100(), config);
+  double expected = InstanceAvailabilityNoSpares(H100(), 8, config.failure);
+  EXPECT_NEAR(r.instance_availability, expected, 0.002);
+}
+
 TEST(McSim, SparesReduceUnmaskedFailures) {
   McSimConfig none;
   none.gpus_per_instance = 8;

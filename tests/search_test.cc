@@ -116,6 +116,52 @@ TEST(Search, IdealShardPolicyNeverWorseForDecode) {
   EXPECT_GE(b.best.result.tokens_per_s_per_sm, a.best.result.tokens_per_s_per_sm);
 }
 
+TEST(Search, MultiThreadedSweepIsBitIdenticalToSerial) {
+  for (const auto& model : CaseStudyModels()) {
+    SearchOptions serial = FastOptions();
+    serial.threads = 1;
+    SearchOptions parallel = FastOptions();
+    parallel.threads = 4;
+    DecodeSearchResult a = SearchDecode(model, Lite(), serial);
+    DecodeSearchResult b = SearchDecode(model, Lite(), parallel);
+    ASSERT_EQ(a.found, b.found) << model.name;
+    ASSERT_EQ(a.per_degree.size(), b.per_degree.size()) << model.name;
+    for (size_t i = 0; i < a.per_degree.size(); ++i) {
+      EXPECT_EQ(a.per_degree[i].tp_degree, b.per_degree[i].tp_degree);
+      EXPECT_EQ(a.per_degree[i].batch, b.per_degree[i].batch);
+      EXPECT_EQ(a.per_degree[i].result.tokens_per_s_per_sm,
+                b.per_degree[i].result.tokens_per_s_per_sm);  // bitwise
+    }
+    EXPECT_EQ(a.best.tp_degree, b.best.tp_degree) << model.name;
+    EXPECT_EQ(a.best.batch, b.best.batch) << model.name;
+    EXPECT_EQ(a.best.result.tokens_per_s_per_sm, b.best.result.tokens_per_s_per_sm);
+
+    PrefillSearchResult pa = SearchPrefill(model, Lite(), serial);
+    PrefillSearchResult pb = SearchPrefill(model, Lite(), parallel);
+    ASSERT_EQ(pa.found, pb.found) << model.name;
+    EXPECT_EQ(pa.best.tp_degree, pb.best.tp_degree) << model.name;
+    EXPECT_EQ(pa.best.batch, pb.best.batch) << model.name;
+    EXPECT_EQ(pa.best.result.tokens_per_s_per_sm, pb.best.result.tokens_per_s_per_sm);
+  }
+}
+
+TEST(Search, MultiThreadedBruteForceMatchesSerial) {
+  TransformerSpec model = Llama3_8B();
+  SearchOptions serial;
+  serial.workload.tbt_slo_s = 0.004;
+  serial.max_batch = 256;
+  serial.threads = 1;
+  SearchOptions parallel = serial;
+  parallel.threads = 4;
+  auto a = BruteForceDecodeBest(model, H100(), serial, 256);
+  auto b = BruteForceDecodeBest(model, H100(), parallel, 256);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->tp_degree, b->tp_degree);
+  EXPECT_EQ(a->batch, b->batch);
+  EXPECT_EQ(a->result.tokens_per_s_per_sm, b->result.tokens_per_s_per_sm);
+}
+
 TEST(Search, CapacityOffAllowsLargerBatches) {
   TransformerSpec model = Llama3_70B();
   SearchOptions on = FastOptions();

@@ -1,0 +1,136 @@
+#include "src/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace litegpu {
+namespace {
+
+TEST(ResolveThreads, PositivePassesThrough) {
+  EXPECT_EQ(ResolveThreads(1), 1);
+  EXPECT_EQ(ResolveThreads(7), 7);
+}
+
+TEST(ResolveThreads, NonPositiveUsesHardwareConcurrency) {
+  EXPECT_GE(ResolveThreads(0), 1);
+  EXPECT_GE(ResolveThreads(-3), 1);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](int i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) {
+    EXPECT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ResultsCollectedInIndexOrder) {
+  auto squares = ParallelMap<int>(4, 256, [](int i) { return i * i; });
+  ASSERT_EQ(squares.size(), 256u);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(squares[i], i * i);
+  }
+}
+
+TEST(ThreadPool, OneVsManyThreadsProduceIdenticalResults) {
+  auto work = [](int i) { return 1.0 / (i + 1.0) * (i % 7); };
+  auto serial = ParallelMap<double>(1, 500, work);
+  auto parallel = ParallelMap<double>(8, 500, work);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << i;  // bitwise, not approximate
+  }
+}
+
+TEST(ThreadPool, SubmitFutureResolves) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  auto a = pool.Submit([&] { ran.fetch_add(1); });
+  auto b = pool.Submit([&] { ran.fetch_add(1); });
+  a.get();
+  b.get();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexException) {
+  ThreadPool pool(4);
+  // Indices 100 and 400 both throw; the lowest must win deterministically
+  // even though a later index may fail first on another worker.
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    try {
+      pool.ParallelFor(500, [](int i) {
+        if (i == 100 || i == 400) {
+          throw std::runtime_error("index " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "index 100");
+    }
+  }
+}
+
+TEST(ThreadPool, OtherIndicesStillRunWhenOneThrows) {
+  // Serial and pooled paths share the semantics: all indices execute, the
+  // lowest-index exception propagates afterwards.
+  for (int threads : {1, 4}) {
+    std::vector<std::atomic<int>> hits(64);
+    try {
+      ParallelFor(threads, 64, [&](int i) {
+        hits[i].fetch_add(1);
+        if (i == 7 || i == 40) {
+          throw std::runtime_error("index " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "index 7") << threads;
+    }
+    int total = 0;
+    for (const auto& hit : hits) {
+      total += hit.load();
+    }
+    EXPECT_EQ(total, 64) << threads;
+  }
+}
+
+TEST(ThreadPool, HandlesEmptyAndSingleRanges) {
+  int calls = 0;
+  ParallelFor(4, 0, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(4, 1, [&](int i) {
+    EXPECT_EQ(i, 0);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, MoreThreadsThanWork) {
+  auto out = ParallelMap<int>(16, 3, [](int i) { return i + 1; });
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossParallelFors) {
+  ThreadPool pool(3);
+  long total = 0;
+  for (int round = 0; round < 20; ++round) {
+    std::vector<int> values(100);
+    pool.ParallelFor(100, [&](int i) { values[i] = i; });
+    total += std::accumulate(values.begin(), values.end(), 0L);
+  }
+  EXPECT_EQ(total, 20L * (99 * 100 / 2));
+}
+
+}  // namespace
+}  // namespace litegpu

@@ -10,6 +10,7 @@
 //   litegpu list                                catalog contents
 //
 // Common flags: --prompt N --output N --ttft S --tbt S --kv-ideal
+//               --threads N (sweep workers; 0 = all cores, 1 = serial)
 
 #include <cstdio>
 #include <string>
@@ -40,6 +41,8 @@ SearchOptions OptionsFromFlags(const Flags& flags) {
   if (flags.GetBool("kv-ideal", false)) {
     options.kv_policy = KvShardPolicy::kIdealShard;
   }
+  // 0 = hardware concurrency; 1 = serial. Identical results either way.
+  options.threads = flags.GetInt("threads", 0);
   return options;
 }
 
@@ -102,6 +105,7 @@ int RunDesign(const Flags& flags) {
   DesignInputs inputs;
   inputs.model = *model;
   inputs.search = OptionsFromFlags(flags);
+  inputs.threads = inputs.search.threads;
   auto reports = CompareClusters(Table1Configs(), inputs);
   std::printf("%s", ClusterComparisonToText(reports).c_str());
   return 0;
@@ -171,7 +175,8 @@ int Usage() {
                "  design:  --model M\n"
                "  yield:   [--d0 X --area A --split N]\n"
                "  derive:  [--base G --split N --mem X --net X --clock X]\n"
-               "  fig3*:   [--ideal-capacity] [--kv-ideal]\n");
+               "  fig3*:   [--ideal-capacity] [--kv-ideal]\n"
+               "  common:  [--threads N]  sweep workers (0 = all cores, 1 = serial)\n");
   return 64;
 }
 
