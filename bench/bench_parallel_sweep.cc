@@ -65,7 +65,7 @@ std::vector<Fig3Entry> SweepScenarioGrid(const std::vector<TransformerSpec>& mod
     ExperimentOptions options;
     options.search.workload.prompt_tokens = prompts[static_cast<size_t>(i) / slos.size()];
     options.search.workload.tbt_slo_s = slos[static_cast<size_t>(i) % slos.size()];
-    options.threads = 1;  // inner studies serial; the grid is the fan-out
+    options.exec.threads = 1;  // inner studies serial; the grid is the fan-out
     return RunDecodeStudy(models, gpus, options);
   });
   std::vector<Fig3Entry> all;
@@ -125,9 +125,9 @@ int Main(int argc, const char* const* argv) {
   config.num_spares = 2;
   config.sim_years = years;
   config.num_trials = trials;
-  config.threads = 1;
+  config.exec.threads = 1;
   McSimConfig sharded = config;
-  sharded.threads = threads;
+  sharded.exec.threads = threads;
 
   McSimResult serial_mc;
   McSimResult parallel_mc;

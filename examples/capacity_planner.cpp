@@ -7,19 +7,24 @@
 
 #include <cstdio>
 
-#include "src/core/designer.h"
-#include "src/hw/catalog.h"
+#include "src/core/runner.h"
+#include "src/core/scenario.h"
 #include "src/util/format.h"
 
 using namespace litegpu;
 
 int main() {
-  for (const auto& model : CaseStudyModels()) {
-    DesignInputs inputs;
-    inputs.model = model;
+  // One declarative scenario covers all three case-study models (the empty
+  // model list defaults to them); the Runner produces a Table-1 comparison
+  // per model.
+  auto scenario = ScenarioBuilder(StudyKind::kDesign).Name("capacity-planner").Build();
+  RunReport report = Runner().Run(*scenario);
+  const auto& design = std::get<DesignStudyReport>(report.payload);
 
-    std::printf("=== %s decode serving: Table-1 GPU comparison ===\n", model.name.c_str());
-    auto reports = CompareClusters(Table1Configs(), inputs);
+  for (const auto& per_model : design.per_model) {
+    const auto& reports = per_model.clusters;
+    std::printf("=== %s decode serving: Table-1 GPU comparison ===\n",
+                per_model.model.c_str());
     std::printf("%s\n", ClusterComparisonToText(reports).c_str());
 
     // Headline ratios vs H100.

@@ -2,11 +2,13 @@
 // ~40 lines. Shows the three core API layers:
 //   1. pick hardware (catalog or DeriveLite)
 //   2. pick a model and a tensor-parallel plan
-//   3. evaluate (roofline) or search (best config under SLOs)
+//   3. evaluate (roofline) directly, or declare a Scenario and let the
+//      Runner search for the best config under SLOs
 
 #include <cstdio>
 
-#include "src/core/search.h"
+#include "src/core/runner.h"
+#include "src/core/scenario.h"
 #include "src/hw/catalog.h"
 #include "src/util/format.h"
 
@@ -35,24 +37,31 @@ int main() {
               ToString(step.timing.DominantBound()).c_str(), step.tokens_per_s,
               step.tokens_per_s_per_sm, HumanBytes(step.memory_needed_bytes).c_str());
 
-  // 3b. Search: the best configuration under the paper's SLOs.
-  SearchOptions options;
-  DecodeSearchResult best = SearchDecode(model, gpu, options);
-  if (best.found) {
+  // 3b. Search via the Scenario API: declare WHAT to run, let the Runner
+  // drive the engines. The same Scenario could be loaded from a JSON file
+  // (see examples/scenarios/) or executed by `litegpu run`.
+  auto scenario = ScenarioBuilder(StudyKind::kSearch)
+                      .Name("quickstart")
+                      .Model(model.name)
+                      .Gpu(gpu.name)
+                      .TtftSlo(1.0)
+                      .TbtSlo(0.050)
+                      .Build();
+  RunReport report = Runner().Run(*scenario);
+  const auto& pair = std::get<SearchStudyReport>(report.payload).pairs.front();
+  if (pair.decode.found) {
     std::printf("\nBest decode config under TBT<=50ms: TP=%d, batch=%d -> "
                 "%.2f tokens/s/SM (TBT %s)\n",
-                best.best.tp_degree, best.best.batch,
-                best.best.result.tokens_per_s_per_sm,
-                HumanTime(best.best.result.tbt_s).c_str());
+                pair.decode.best.tp_degree, pair.decode.best.batch,
+                pair.decode.best.result.tokens_per_s_per_sm,
+                HumanTime(pair.decode.best.result.tbt_s).c_str());
   }
-
-  PrefillSearchResult prefill = SearchPrefill(model, gpu, options);
-  if (prefill.found) {
+  if (pair.prefill.found) {
     std::printf("Best prefill config under TTFT<=1s:   TP=%d, batch=%d -> "
                 "%.2f tokens/s/SM (TTFT %s)\n",
-                prefill.best.tp_degree, prefill.best.batch,
-                prefill.best.result.tokens_per_s_per_sm,
-                HumanTime(prefill.best.result.ttft_s).c_str());
+                pair.prefill.best.tp_degree, pair.prefill.best.batch,
+                pair.prefill.best.result.tokens_per_s_per_sm,
+                HumanTime(pair.prefill.best.result.ttft_s).c_str());
   }
   return 0;
 }

@@ -75,9 +75,10 @@ std::vector<ClusterDesignReport> CompareClusters(const std::vector<GpuSpec>& gpu
   // but to avoid each one spinning up a transient hw-wide pool under an
   // already-parallel fan-out.
   DesignInputs per_design = inputs;
-  per_design.search.threads = 1;
+  per_design.search.exec.threads = 1;
+  per_design.search.threads = 0;
   return ParallelMap<ClusterDesignReport>(
-      inputs.threads, static_cast<int>(gpus.size()),
+      EffectiveThreads(inputs.exec, inputs.threads), static_cast<int>(gpus.size()),
       [&](int i) { return DesignCluster(gpus[static_cast<size_t>(i)], per_design); });
 }
 
@@ -99,6 +100,44 @@ std::string ClusterComparisonToText(const std::vector<ClusterDesignReport>& repo
                   FormatDouble(r.usd_per_mtok, 3)});
   }
   return table.ToText();
+}
+
+Json ToJson(const ClusterDesignReport& r) {
+  Json j = Json::Object();
+  j.Set("gpu", r.gpu_name).Set("feasible", r.feasible);
+  if (!r.feasible) {
+    return j;
+  }
+  j.Set("tp_degree", r.tp_degree)
+      .Set("batch", r.batch)
+      .Set("tokens_per_s", r.tokens_per_s)
+      .Set("tokens_per_s_per_sm", r.tokens_per_s_per_sm)
+      .Set("gpu_capex_usd", r.gpu_capex_usd)
+      .Set("network_capex_usd", r.network_capex_usd)
+      .Set("total_capex_usd", r.total_capex_usd);
+  Json power = Json::Object();
+  power.Set("gpu_watts", r.power.gpu_watts)
+      .Set("network_watts", r.power.network_watts)
+      .Set("cooling_watts", r.power.cooling_watts)
+      .Set("total_watts", r.power.TotalWatts());
+  j.Set("power", std::move(power))
+      .Set("joules_per_token", r.joules_per_token)
+      .Set("instance_afr", r.instance_afr)
+      .Set("blast_radius_fraction", r.blast_radius_fraction)
+      .Set("availability_no_spares", r.availability_no_spares)
+      .Set("availability_one_spare", r.availability_one_spare)
+      .Set("usd_per_mtok", r.usd_per_mtok);
+  return j;
+}
+
+Json ClusterComparisonToJson(const std::vector<ClusterDesignReport>& reports) {
+  Json rows = Json::Array();
+  for (const auto& r : reports) {
+    rows.Append(ToJson(r));
+  }
+  Json j = Json::Object();
+  j.Set("clusters", std::move(rows));
+  return j;
 }
 
 }  // namespace litegpu

@@ -44,9 +44,13 @@ struct DesignInputs {
   FailureParams failure;
   // Deployment horizon for amortizing capex into $/token.
   double amortization_years = 4.0;
-  // Worker threads for CompareClusters' per-GPU fan-out (search.threads
-  // governs the per-degree fan-out when DesignCluster is called directly).
-  // <= 0 uses the hardware concurrency; 1 restores the serial path.
+  // Worker threads for CompareClusters' per-GPU fan-out. search.exec only
+  // governs the per-degree fan-out when DesignCluster is called directly —
+  // CompareClusters forces the inner searches serial (see the nesting note
+  // in src/util/exec_policy.h).
+  ExecPolicy exec;
+  // DEPRECATED alias for exec.threads, kept one PR for source compatibility;
+  // a non-zero value here overrides exec.threads.
   int threads = 0;
 };
 
@@ -87,5 +91,9 @@ ClusterDesignReport DesignCluster(const GpuSpec& gpu, const DesignInputs& inputs
 std::vector<ClusterDesignReport> CompareClusters(const std::vector<GpuSpec>& gpus,
                                                  const DesignInputs& inputs);
 std::string ClusterComparisonToText(const std::vector<ClusterDesignReport>& reports);
+
+// Structured forms of the designer output.
+Json ToJson(const ClusterDesignReport& report);
+Json ClusterComparisonToJson(const std::vector<ClusterDesignReport>& reports);
 
 }  // namespace litegpu

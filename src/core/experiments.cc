@@ -39,10 +39,12 @@ std::vector<Fig3Entry> RunStudy(const std::vector<TransformerSpec>& models,
                                 const ExperimentOptions& options,
                                 const std::string& baseline_name, const RunPair& run_pair) {
   SearchOptions per_pair = options.search;
-  per_pair.threads = 1;
+  per_pair.exec.threads = 1;
+  per_pair.threads = 0;
   int num_pairs = static_cast<int>(models.size() * gpus.size());
   std::vector<Fig3Entry> entries =
-      ParallelMap<Fig3Entry>(options.threads, num_pairs, [&](int i) {
+      ParallelMap<Fig3Entry>(EffectiveThreads(options.exec, options.threads), num_pairs,
+                             [&](int i) {
         const auto& model = models[static_cast<size_t>(i) / gpus.size()];
         const auto& gpu = gpus[static_cast<size_t>(i) % gpus.size()];
         Fig3Entry e;
@@ -107,6 +109,7 @@ std::vector<Fig3Entry> RunPrefillStudy(const std::vector<TransformerSpec>& model
                                        const std::string& baseline_name) {
   ExperimentOptions experiment;
   experiment.search = options;
+  experiment.exec = options.exec;
   experiment.threads = options.threads;
   return RunPrefillStudy(models, gpus, experiment, baseline_name);
 }
@@ -117,6 +120,7 @@ std::vector<Fig3Entry> RunDecodeStudy(const std::vector<TransformerSpec>& models
                                       const std::string& baseline_name) {
   ExperimentOptions experiment;
   experiment.search = options;
+  experiment.exec = options.exec;
   experiment.threads = options.threads;
   return RunDecodeStudy(models, gpus, experiment, baseline_name);
 }
@@ -143,6 +147,28 @@ std::string Fig3ToText(const std::vector<Fig3Entry>& entries, const std::string&
   std::ostringstream os;
   os << title << "\n" << table.ToText();
   return os.str();
+}
+
+Json Fig3ToJson(const std::vector<Fig3Entry>& entries, const std::string& title) {
+  Json rows = Json::Array();
+  for (const auto& e : entries) {
+    Json row = Json::Object();
+    row.Set("model", e.model_name).Set("gpu", e.gpu_name).Set("found", e.found);
+    if (e.found) {
+      row.Set("tp_degree", e.tp_degree)
+          .Set("batch", e.batch)
+          .Set("latency_s", e.latency_s)
+          .Set("tokens_per_s", e.tokens_per_s)
+          .Set("tokens_per_s_per_sm", e.tokens_per_s_per_sm)
+          .Set("normalized", e.normalized_vs_h100)
+          .Set("bound", ToString(e.dominant_bound))
+          .Set("memory_needed_bytes", e.memory_needed_bytes);
+    }
+    rows.Append(std::move(row));
+  }
+  Json j = Json::Object();
+  j.Set("title", title).Set("entries", std::move(rows));
+  return j;
 }
 
 }  // namespace litegpu

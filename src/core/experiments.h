@@ -16,9 +16,12 @@ namespace litegpu {
 
 struct ExperimentOptions {
   SearchOptions search;
-  // Worker threads for the (model, GPU) fan-out. <= 0 uses the hardware
-  // concurrency; 1 restores the serial path. Per-pair searches run serially
-  // inside the fan-out, so results are bit-identical at any thread count.
+  // Worker threads for the (model, GPU) fan-out; per-pair searches run
+  // serially inside it regardless of search.exec (see the nesting note in
+  // src/util/exec_policy.h).
+  ExecPolicy exec;
+  // DEPRECATED alias for exec.threads, kept one PR for source compatibility;
+  // a non-zero value here overrides exec.threads.
   int threads = 0;
 };
 
@@ -50,7 +53,8 @@ std::vector<Fig3Entry> RunDecodeStudy(const std::vector<TransformerSpec>& models
                                       const ExperimentOptions& options,
                                       const std::string& baseline_name = "H100");
 
-// Convenience overloads: wrap SearchOptions, inheriting its threads knob.
+// Convenience overloads: wrap SearchOptions, inheriting its ExecPolicy (and
+// legacy threads alias) for the pair fan-out.
 std::vector<Fig3Entry> RunPrefillStudy(const std::vector<TransformerSpec>& models,
                                        const std::vector<GpuSpec>& gpus,
                                        const SearchOptions& options,
@@ -62,5 +66,9 @@ std::vector<Fig3Entry> RunDecodeStudy(const std::vector<TransformerSpec>& models
 
 // Renders a study as the paper-style table (one row per model x GPU).
 std::string Fig3ToText(const std::vector<Fig3Entry>& entries, const std::string& title);
+
+// Structured form of a study: {"title": ..., "entries": [...]} with one
+// object per (model, GPU) pair.
+Json Fig3ToJson(const std::vector<Fig3Entry>& entries, const std::string& title);
 
 }  // namespace litegpu

@@ -1,0 +1,402 @@
+#include "src/core/runner.h"
+
+#include <sstream>
+#include <utility>
+
+#include "src/hw/catalog.h"
+#include "src/silicon/cost.h"
+#include "src/silicon/wafer.h"
+#include "src/util/format.h"
+#include "src/util/table.h"
+#include "src/util/thread_pool.h"
+
+namespace litegpu {
+
+namespace {
+
+RunReport ErrorReport(const Scenario& scenario, std::string message) {
+  RunReport report;
+  report.scenario_name = scenario.name;
+  report.study = scenario.study;
+  report.ok = false;
+  report.error = std::move(message);
+  return report;
+}
+
+SearchStudyReport RunSearchStudy(const Scenario& s) {
+  SearchStudyReport out;
+  SearchOptions options = s.MakeSearchOptions();
+  for (const std::string& model_name : s.ResolvedModels()) {
+    for (const std::string& gpu_name : s.ResolvedGpus()) {
+      // Names were validated before dispatch.
+      TransformerSpec model = *FindModel(model_name);
+      GpuSpec gpu = *FindGpu(gpu_name);
+      SearchStudyReport::Pair pair;
+      pair.model = model_name;
+      pair.gpu = gpu_name;
+      pair.prefill = SearchPrefill(model, gpu, options);
+      pair.decode = SearchDecode(model, gpu, options);
+      out.pairs.push_back(std::move(pair));
+    }
+  }
+  return out;
+}
+
+Fig3StudyReport RunFig3Study(const Scenario& s, bool prefill) {
+  Fig3StudyReport out;
+  out.title = prefill ? "Figure 3a: prefill" : "Figure 3b: decode";
+  std::vector<TransformerSpec> models;
+  for (const std::string& name : s.ResolvedModels()) {
+    models.push_back(*FindModel(name));
+  }
+  std::vector<GpuSpec> gpus;
+  for (const std::string& name : s.ResolvedGpus()) {
+    gpus.push_back(*FindGpu(name));
+  }
+  ExperimentOptions options;
+  options.search = s.MakeSearchOptions();
+  options.exec = s.exec;
+  out.entries = prefill ? RunPrefillStudy(models, gpus, options, s.baseline_gpu)
+                        : RunDecodeStudy(models, gpus, options, s.baseline_gpu);
+  return out;
+}
+
+DesignStudyReport RunDesignStudy(const Scenario& s) {
+  DesignStudyReport out;
+  std::vector<GpuSpec> gpus;
+  for (const std::string& name : s.ResolvedGpus()) {
+    gpus.push_back(*FindGpu(name));
+  }
+  for (const std::string& model_name : s.ResolvedModels()) {
+    DesignInputs inputs;
+    inputs.model = *FindModel(model_name);
+    inputs.search = s.MakeSearchOptions();
+    inputs.hbm_usd_per_gb = s.design.hbm_usd_per_gb;
+    inputs.gpu_price_multiplier = s.design.gpu_price_multiplier;
+    inputs.amortization_years = s.design.amortization_years;
+    inputs.yield_model = s.design.yield_model;
+    inputs.exec = s.exec;
+    DesignStudyReport::PerModel per_model;
+    per_model.model = model_name;
+    per_model.clusters = CompareClusters(gpus, inputs);
+    out.per_model.push_back(std::move(per_model));
+  }
+  return out;
+}
+
+McSimStudyReport RunMcSimStudy(const Scenario& s) {
+  McSimStudyReport out;
+  out.gpu = s.ResolvedGpus().front();
+  out.knobs = s.mcsim;
+  McSimConfig config;
+  config.gpus_per_instance = s.mcsim.gpus_per_instance;
+  config.num_instances = s.mcsim.num_instances;
+  config.num_spares = s.mcsim.num_spares;
+  config.sim_years = s.mcsim.sim_years;
+  config.seed = s.mcsim.seed;
+  config.num_trials = s.mcsim.num_trials;
+  config.exec = s.exec;
+  out.result = SimulateAvailability(*FindGpu(out.gpu), config);
+  return out;
+}
+
+YieldStudyReport RunYieldStudy(const Scenario& s) {
+  YieldStudyReport out;
+  out.knobs = s.yield;
+  WaferSpec wafer;
+  DefectSpec defects;
+  defects.density_per_cm2 = s.yield.defect_density_per_cm2;
+  defects.cluster_alpha = s.yield.cluster_alpha;
+  double area = s.yield.die_area_mm2;
+  int split = s.yield.split;
+  for (auto model : {YieldModel::kPoisson, YieldModel::kMurphy, YieldModel::kSeeds,
+                     YieldModel::kNegativeBinomial}) {
+    YieldStudyReport::Row row;
+    row.model = model;
+    row.yield_full = DieYield(model, defects, area);
+    row.yield_split = DieYield(model, defects, area / split);
+    row.gain = YieldGainFromSplit(model, defects, area, split);
+    double big = KnownGoodDieCost(wafer, model, defects, area);
+    double small = KnownGoodDieCost(wafer, model, defects, area / split);
+    row.kgd_cost_ratio = big > 0.0 ? split * small / big : 0.0;
+    out.rows.push_back(row);
+  }
+  return out;
+}
+
+DeriveStudyReport RunDeriveStudy(const Scenario& s) {
+  DeriveStudyReport out;
+  LiteDeriveOptions options;
+  options.split = s.derive.split;
+  options.mem_bw_multiplier = s.derive.mem_bw_multiplier;
+  options.net_bw_multiplier = s.derive.net_bw_multiplier;
+  options.overclock = s.derive.overclock;
+  options.max_gpus_multiplier = s.derive.split;
+  out.result = DeriveLite(*FindGpu(s.derive.base_gpu), options);
+  return out;
+}
+
+}  // namespace
+
+RunReport Runner::Run(const Scenario& scenario) const {
+  Scenario s = scenario;
+  if (override_exec_) {
+    s.exec = exec_;
+  }
+  std::string problem = s.Validate();
+  if (!problem.empty()) {
+    return ErrorReport(s, problem);
+  }
+  RunReport report;
+  report.scenario_name = s.name;
+  report.study = s.study;
+  report.ok = true;
+  switch (s.study) {
+    case StudyKind::kSearch:
+      report.payload = RunSearchStudy(s);
+      break;
+    case StudyKind::kFig3a:
+      report.payload = RunFig3Study(s, /*prefill=*/true);
+      break;
+    case StudyKind::kFig3b:
+      report.payload = RunFig3Study(s, /*prefill=*/false);
+      break;
+    case StudyKind::kDesign:
+      report.payload = RunDesignStudy(s);
+      break;
+    case StudyKind::kMcSim:
+      report.payload = RunMcSimStudy(s);
+      break;
+    case StudyKind::kYield:
+      report.payload = RunYieldStudy(s);
+      break;
+    case StudyKind::kDerive:
+      report.payload = RunDeriveStudy(s);
+      break;
+  }
+  return report;
+}
+
+std::vector<RunReport> RunScenarios(const std::vector<Scenario>& scenarios,
+                                    const ExecPolicy& exec) {
+  // One worker per scenario; sweeps inside each scenario run serial so
+  // nested fan-outs don't each spin up a hardware-wide pool (see the
+  // nesting note in src/util/exec_policy.h). Reports collect in scenario
+  // order, so the batch is bit-identical at any thread count.
+  return ParallelMap<RunReport>(
+      exec.threads, static_cast<int>(scenarios.size()), [&](int i) {
+        Scenario serial = scenarios[static_cast<size_t>(i)];
+        serial.exec.threads = 1;
+        return Runner().Run(serial);
+      });
+}
+
+// --- rendering --------------------------------------------------------------
+
+namespace {
+
+std::string SearchStudyToText(const SearchStudyReport& report) {
+  std::ostringstream os;
+  for (const auto& pair : report.pairs) {
+    os << pair.model << " on " << pair.gpu << ":\n";
+    if (pair.prefill.found) {
+      os << "  prefill: TP=" << pair.prefill.best.tp_degree
+         << " batch=" << pair.prefill.best.batch
+         << " TTFT=" << HumanTime(pair.prefill.best.result.ttft_s) << " -> "
+         << FormatDouble(pair.prefill.best.result.tokens_per_s_per_sm, 2)
+         << " tokens/s/SM\n";
+    } else {
+      os << "  prefill: no feasible configuration\n";
+    }
+    if (pair.decode.found) {
+      os << "  decode:  TP=" << pair.decode.best.tp_degree
+         << " batch=" << pair.decode.best.batch
+         << " TBT=" << HumanTime(pair.decode.best.result.tbt_s) << " -> "
+         << FormatDouble(pair.decode.best.result.tokens_per_s_per_sm, 2)
+         << " tokens/s/SM\n";
+      os << "  per-degree frontier:\n";
+      for (const auto& p : pair.decode.per_degree) {
+        os << "    TP=" << p.tp_degree << " batch=" << p.batch
+           << " TBT=" << HumanTime(p.result.tbt_s) << " "
+           << FormatDouble(p.result.tokens_per_s_per_sm, 2) << " tokens/s/SM\n";
+      }
+    } else {
+      os << "  decode:  no feasible configuration\n";
+    }
+  }
+  return os.str();
+}
+
+Json SearchStudyToJson(const SearchStudyReport& report) {
+  Json pairs = Json::Array();
+  for (const auto& pair : report.pairs) {
+    Json j = Json::Object();
+    j.Set("model", pair.model)
+        .Set("gpu", pair.gpu)
+        .Set("prefill", ToJson(pair.prefill))
+        .Set("decode", ToJson(pair.decode));
+    pairs.Append(std::move(j));
+  }
+  Json j = Json::Object();
+  j.Set("pairs", std::move(pairs));
+  return j;
+}
+
+std::string DesignStudyToText(const DesignStudyReport& report) {
+  std::ostringstream os;
+  for (const auto& per_model : report.per_model) {
+    os << "=== " << per_model.model << " decode serving ===\n"
+       << ClusterComparisonToText(per_model.clusters);
+  }
+  return os.str();
+}
+
+Json DesignStudyToJson(const DesignStudyReport& report) {
+  Json models = Json::Array();
+  for (const auto& per_model : report.per_model) {
+    Json j = ClusterComparisonToJson(per_model.clusters);
+    j.Set("model", per_model.model);
+    models.Append(std::move(j));
+  }
+  Json j = Json::Object();
+  j.Set("models", std::move(models));
+  return j;
+}
+
+std::string McSimStudyToText(const McSimStudyReport& report) {
+  std::ostringstream os;
+  os << "Monte-Carlo availability: " << report.gpu << ", "
+     << report.knobs.num_instances << " instances x " << report.knobs.gpus_per_instance
+     << " GPUs, " << report.knobs.num_spares << " spares, "
+     << FormatDouble(report.knobs.sim_years, 1) << " years x " << report.knobs.num_trials
+     << " trials\n";
+  os << "  instance availability: " << FormatDouble(report.result.instance_availability, 6)
+     << "\n  capacity fraction:     " << FormatDouble(report.result.capacity_fraction, 6)
+     << "\n  failures:              " << report.result.num_failures << " ("
+     << report.result.unmasked_failures << " unmasked, "
+     << FormatDouble(report.result.failures_per_year, 3) << "/year)\n";
+  return os.str();
+}
+
+Json McSimStudyToJson(const McSimStudyReport& report) {
+  Json config = Json::Object();
+  config.Set("gpus_per_instance", report.knobs.gpus_per_instance)
+      .Set("num_instances", report.knobs.num_instances)
+      .Set("num_spares", report.knobs.num_spares)
+      .Set("sim_years", report.knobs.sim_years)
+      .Set("seed", report.knobs.seed)
+      .Set("num_trials", report.knobs.num_trials);
+  Json j = Json::Object();
+  j.Set("gpu", report.gpu)
+      .Set("config", std::move(config))
+      .Set("result", ToJson(report.result));
+  return j;
+}
+
+std::string YieldStudyToText(const YieldStudyReport& report) {
+  const auto& k = report.knobs;
+  Table table({"Model", "Yield(full)", "Yield(1/" + std::to_string(k.split) + ")", "Gain",
+               "KGD cost ratio"});
+  for (const auto& row : report.rows) {
+    table.AddRow({ToString(row.model), FormatDouble(row.yield_full, 3),
+                  FormatDouble(row.yield_split, 3), FormatDouble(row.gain, 2) + "x",
+                  row.kgd_cost_ratio > 0.0 ? FormatDouble(row.kgd_cost_ratio, 3) : "-"});
+  }
+  std::ostringstream os;
+  os << "die " << FormatDouble(k.die_area_mm2, 1) << " mm^2, d0 "
+     << FormatDouble(k.defect_density_per_cm2, 2) << "/cm^2, split " << k.split << "\n"
+     << table.ToText();
+  return os.str();
+}
+
+Json YieldStudyToJson(const YieldStudyReport& report) {
+  const auto& k = report.knobs;
+  Json rows = Json::Array();
+  for (const auto& row : report.rows) {
+    Json r = Json::Object();
+    r.Set("model", ToString(row.model))
+        .Set("yield_full", row.yield_full)
+        .Set("yield_split", row.yield_split)
+        .Set("gain", row.gain)
+        .Set("kgd_cost_ratio", row.kgd_cost_ratio);
+    rows.Append(std::move(r));
+  }
+  Json j = Json::Object();
+  j.Set("die_area_mm2", k.die_area_mm2)
+      .Set("defect_density_per_cm2", k.defect_density_per_cm2)
+      .Set("split", k.split)
+      .Set("rows", std::move(rows));
+  return j;
+}
+
+}  // namespace
+
+std::string RunReport::ToText() const {
+  std::ostringstream os;
+  if (!scenario_name.empty()) {
+    os << "# scenario: " << scenario_name << " (" << litegpu::ToString(study) << ")\n";
+  }
+  if (!ok) {
+    os << "error: " << error << "\n";
+    return os.str();
+  }
+  switch (study) {
+    case StudyKind::kSearch:
+      os << SearchStudyToText(std::get<SearchStudyReport>(payload));
+      break;
+    case StudyKind::kFig3a:
+    case StudyKind::kFig3b: {
+      const auto& fig3 = std::get<Fig3StudyReport>(payload);
+      os << Fig3ToText(fig3.entries, fig3.title);
+      break;
+    }
+    case StudyKind::kDesign:
+      os << DesignStudyToText(std::get<DesignStudyReport>(payload));
+      break;
+    case StudyKind::kMcSim:
+      os << McSimStudyToText(std::get<McSimStudyReport>(payload));
+      break;
+    case StudyKind::kYield:
+      os << YieldStudyToText(std::get<YieldStudyReport>(payload));
+      break;
+    case StudyKind::kDerive:
+      os << std::get<DeriveStudyReport>(payload).result.ToString() << "\n";
+      break;
+  }
+  return os.str();
+}
+
+Json RunReport::ToJson() const {
+  Json j = Json::Object();
+  j.Set("scenario", scenario_name).Set("study", litegpu::ToString(study)).Set("ok", ok);
+  if (!ok) {
+    j.Set("error", error);
+    return j;
+  }
+  switch (study) {
+    case StudyKind::kSearch:
+      j.Set("report", SearchStudyToJson(std::get<SearchStudyReport>(payload)));
+      break;
+    case StudyKind::kFig3a:
+    case StudyKind::kFig3b: {
+      const auto& fig3 = std::get<Fig3StudyReport>(payload);
+      j.Set("report", Fig3ToJson(fig3.entries, fig3.title));
+      break;
+    }
+    case StudyKind::kDesign:
+      j.Set("report", DesignStudyToJson(std::get<DesignStudyReport>(payload)));
+      break;
+    case StudyKind::kMcSim:
+      j.Set("report", McSimStudyToJson(std::get<McSimStudyReport>(payload)));
+      break;
+    case StudyKind::kYield:
+      j.Set("report", YieldStudyToJson(std::get<YieldStudyReport>(payload)));
+      break;
+    case StudyKind::kDerive:
+      j.Set("report", std::get<DeriveStudyReport>(payload).result.ToJson());
+      break;
+  }
+  return j;
+}
+
+}  // namespace litegpu

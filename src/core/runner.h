@@ -1,0 +1,118 @@
+// Runner: executes Scenarios against the existing engines and returns a
+// uniform RunReport — the second half of the Scenario -> Runner -> RunReport
+// pipeline. One entry point covers every study the paper's argument spans;
+// the CLI, the examples, and future workload backends all plug in here
+// instead of hand-wiring per-engine option structs.
+
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/core/designer.h"
+#include "src/core/experiments.h"
+#include "src/core/scenario.h"
+#include "src/core/search.h"
+#include "src/hw/lite_derive.h"
+#include "src/reliability/mc_sim.h"
+#include "src/util/exec_policy.h"
+#include "src/util/json.h"
+
+namespace litegpu {
+
+// --- per-study payloads -----------------------------------------------------
+
+struct SearchStudyReport {
+  struct Pair {
+    std::string model;
+    std::string gpu;
+    PrefillSearchResult prefill;
+    DecodeSearchResult decode;
+  };
+  std::vector<Pair> pairs;
+};
+
+struct Fig3StudyReport {
+  std::string title;
+  std::vector<Fig3Entry> entries;
+};
+
+struct DesignStudyReport {
+  // One Table-1 comparison per model in the scenario's (resolved) list.
+  struct PerModel {
+    std::string model;
+    std::vector<ClusterDesignReport> clusters;
+  };
+  std::vector<PerModel> per_model;
+};
+
+struct McSimStudyReport {
+  std::string gpu;
+  McSimKnobs knobs;
+  McSimResult result;
+};
+
+struct YieldStudyReport {
+  struct Row {
+    YieldModel model = YieldModel::kMurphy;
+    double yield_full = 0.0;
+    double yield_split = 0.0;
+    double gain = 0.0;
+    // split * KGD(area/split) / KGD(area); 0 when the full die doesn't fit.
+    double kgd_cost_ratio = 0.0;
+  };
+  YieldKnobs knobs;
+  std::vector<Row> rows;
+};
+
+struct DeriveStudyReport {
+  LiteDeriveResult result;
+};
+
+// --- the uniform result -----------------------------------------------------
+
+struct RunReport {
+  std::string scenario_name;
+  StudyKind study = StudyKind::kSearch;
+  bool ok = false;
+  std::string error;  // set when !ok (validation or lookup failure)
+
+  // Tagged union: exactly the alternative matching `study` is engaged when
+  // ok (monostate otherwise).
+  std::variant<std::monostate, SearchStudyReport, Fig3StudyReport, DesignStudyReport,
+               McSimStudyReport, YieldStudyReport, DeriveStudyReport>
+      payload;
+
+  // Human-readable rendering (the paper-style tables the CLI prints).
+  std::string ToText() const;
+  // Structured rendering: {"scenario": ..., "study": ..., "ok": ...,
+  // "report": {study-specific body}}.
+  Json ToJson() const;
+};
+
+// --- the runner -------------------------------------------------------------
+
+class Runner {
+ public:
+  // Runs with each scenario's own ExecPolicy.
+  Runner() = default;
+  // Overrides every scenario's ExecPolicy (the CLI's --threads).
+  explicit Runner(const ExecPolicy& exec) : exec_(exec), override_exec_(true) {}
+
+  // Validates and dispatches. Never throws; failures come back as
+  // ok == false with `error` set.
+  RunReport Run(const Scenario& scenario) const;
+
+ private:
+  ExecPolicy exec_;
+  bool override_exec_ = false;
+};
+
+// Runs a batch, fanning the scenarios out across `exec` workers on the
+// thread pool (each scenario's inner sweeps run serial inside the fan-out).
+// Reports come back in scenario order, bit-identical at any thread count.
+std::vector<RunReport> RunScenarios(const std::vector<Scenario>& scenarios,
+                                    const ExecPolicy& exec = {});
+
+}  // namespace litegpu

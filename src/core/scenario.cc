@@ -1,0 +1,717 @@
+#include "src/core/scenario.h"
+
+#include <algorithm>
+
+#include "src/hw/catalog.h"
+
+namespace litegpu {
+
+std::string ToString(StudyKind kind) {
+  switch (kind) {
+    case StudyKind::kSearch:
+      return "search";
+    case StudyKind::kFig3a:
+      return "fig3a";
+    case StudyKind::kFig3b:
+      return "fig3b";
+    case StudyKind::kDesign:
+      return "design";
+    case StudyKind::kMcSim:
+      return "mcsim";
+    case StudyKind::kYield:
+      return "yield";
+    case StudyKind::kDerive:
+      return "derive";
+  }
+  return "unknown";
+}
+
+std::optional<StudyKind> ParseStudyKind(const std::string& name) {
+  for (StudyKind kind : {StudyKind::kSearch, StudyKind::kFig3a, StudyKind::kFig3b,
+                         StudyKind::kDesign, StudyKind::kMcSim, StudyKind::kYield,
+                         StudyKind::kDerive}) {
+    if (name == ToString(kind)) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+std::optional<YieldModel> ParseYieldModel(const std::string& name) {
+  for (YieldModel model : {YieldModel::kPoisson, YieldModel::kMurphy, YieldModel::kSeeds,
+                           YieldModel::kNegativeBinomial}) {
+    if (name == ToString(model)) {
+      return model;
+    }
+  }
+  return std::nullopt;
+}
+
+bool UsesPerfSearch(StudyKind study) {
+  return study == StudyKind::kSearch || study == StudyKind::kFig3a ||
+         study == StudyKind::kFig3b || study == StudyKind::kDesign;
+}
+
+}  // namespace
+
+std::vector<std::string> Scenario::ResolvedModels() const {
+  if (!models.empty()) {
+    return models;
+  }
+  switch (study) {
+    case StudyKind::kMcSim:
+    case StudyKind::kYield:
+    case StudyKind::kDerive:
+      return {};
+    default: {
+      std::vector<std::string> names;
+      for (const auto& m : CaseStudyModels()) {
+        names.push_back(m.name);
+      }
+      return names;
+    }
+  }
+}
+
+std::vector<std::string> Scenario::ResolvedGpus() const {
+  if (!gpus.empty()) {
+    return gpus;
+  }
+  switch (study) {
+    case StudyKind::kFig3a:
+      return {H100().name, Lite().name, LiteNetBw().name, LiteNetBwFlops().name};
+    case StudyKind::kFig3b:
+      return {H100().name, Lite().name, LiteMemBw().name, LiteMemBwNetBw().name};
+    case StudyKind::kDesign: {
+      std::vector<std::string> names;
+      for (const auto& g : Table1Configs()) {
+        names.push_back(g.name);
+      }
+      return names;
+    }
+    case StudyKind::kSearch:
+    case StudyKind::kMcSim:
+      return {H100().name};
+    case StudyKind::kYield:
+    case StudyKind::kDerive:
+      return {};
+  }
+  return {};
+}
+
+SearchOptions Scenario::MakeSearchOptions() const {
+  SearchOptions options;
+  options.workload = workload;
+  options.kv_policy = kv_policy;
+  options.max_batch = max_batch;
+  options.exec = exec;
+  return options;
+}
+
+std::string Scenario::Validate() const {
+  if (UsesPerfSearch(study)) {
+    if (workload.prompt_tokens <= 0) {
+      return "workload.prompt_tokens must be positive";
+    }
+    if (workload.output_tokens <= 0) {
+      return "workload.output_tokens must be positive";
+    }
+    if (workload.ttft_slo_s <= 0.0) {
+      return "workload.ttft_slo_s must be positive";
+    }
+    if (workload.tbt_slo_s <= 0.0) {
+      return "workload.tbt_slo_s must be positive";
+    }
+    if (max_batch < 1) {
+      return "max_batch must be >= 1";
+    }
+    for (const std::string& name : ResolvedModels()) {
+      if (!FindModel(name)) {
+        return "unknown model '" + name + "' (try `litegpu list`)";
+      }
+    }
+  }
+  if (study == StudyKind::kYield || study == StudyKind::kDerive) {
+    // These studies read their own knob blocks; accepting models/gpus here
+    // would silently ignore them (derive targets derive.base_gpu).
+    if (!models.empty() || !gpus.empty()) {
+      return "study '" + litegpu::ToString(study) + "' does not take models/gpus lists";
+    }
+  } else {
+    std::vector<std::string> resolved = ResolvedGpus();
+    if (resolved.empty()) {
+      return "scenario needs at least one GPU";
+    }
+    for (const std::string& name : resolved) {
+      if (!FindGpu(name)) {
+        return "unknown GPU '" + name + "' (try `litegpu list`)";
+      }
+    }
+    if ((study == StudyKind::kFig3a || study == StudyKind::kFig3b) &&
+        std::find(resolved.begin(), resolved.end(), baseline_gpu) == resolved.end()) {
+      return "baseline_gpu '" + baseline_gpu + "' is not in the scenario's GPU list";
+    }
+  }
+  switch (study) {
+    case StudyKind::kMcSim:
+      if (!models.empty()) {
+        return "study 'mcsim' does not take a models list";
+      }
+      if (gpus.size() > 1) {
+        return "study 'mcsim' simulates exactly one GPU type (got " +
+               std::to_string(gpus.size()) + ")";
+      }
+      if (mcsim.gpus_per_instance < 1 || mcsim.num_instances < 1) {
+        return "mcsim instance shape must be positive";
+      }
+      if (mcsim.num_spares < 0) {
+        return "mcsim.num_spares must be >= 0";
+      }
+      if (mcsim.sim_years <= 0.0) {
+        return "mcsim.sim_years must be positive";
+      }
+      if (mcsim.num_trials < 1) {
+        return "mcsim.num_trials must be >= 1";
+      }
+      break;
+    case StudyKind::kYield:
+      if (yield.die_area_mm2 <= 0.0) {
+        return "yield.die_area_mm2 must be positive";
+      }
+      if (yield.defect_density_per_cm2 < 0.0) {
+        return "yield.defect_density_per_cm2 must be >= 0";
+      }
+      if (yield.split < 1) {
+        return "yield.split must be >= 1";
+      }
+      break;
+    case StudyKind::kDerive:
+      if (!FindGpu(derive.base_gpu)) {
+        return "unknown derive.base_gpu '" + derive.base_gpu + "'";
+      }
+      if (derive.split < 1) {
+        return "derive.split must be >= 1";
+      }
+      if (derive.mem_bw_multiplier <= 0.0 || derive.net_bw_multiplier <= 0.0 ||
+          derive.overclock <= 0.0) {
+        return "derive multipliers must be positive";
+      }
+      break;
+    case StudyKind::kDesign:
+      if (design.hbm_usd_per_gb < 0.0 || design.gpu_price_multiplier <= 0.0 ||
+          design.amortization_years <= 0.0) {
+        return "design economics knobs must be positive";
+      }
+      break;
+    default:
+      break;
+  }
+  return "";
+}
+
+// --- JSON serialization -----------------------------------------------------
+
+Json ScenarioToJson(const Scenario& s) {
+  Json j = Json::Object();
+  if (!s.name.empty()) {
+    j.Set("name", s.name);
+  }
+  j.Set("study", ToString(s.study));
+  if (!s.models.empty()) {
+    Json arr = Json::Array();
+    for (const auto& m : s.models) {
+      arr.Append(m);
+    }
+    j.Set("models", std::move(arr));
+  }
+  if (!s.gpus.empty()) {
+    Json arr = Json::Array();
+    for (const auto& g : s.gpus) {
+      arr.Append(g);
+    }
+    j.Set("gpus", std::move(arr));
+  }
+  j.Set("baseline_gpu", s.baseline_gpu);
+
+  Json workload = Json::Object();
+  workload.Set("prompt_tokens", s.workload.prompt_tokens)
+      .Set("output_tokens", s.workload.output_tokens)
+      .Set("ttft_slo_s", s.workload.ttft_slo_s)
+      .Set("tbt_slo_s", s.workload.tbt_slo_s)
+      .Set("enforce_memory_capacity", s.workload.enforce_memory_capacity);
+  j.Set("workload", std::move(workload));
+  j.Set("kv_policy", ToString(s.kv_policy));
+  j.Set("max_batch", s.max_batch);
+
+  switch (s.study) {
+    case StudyKind::kDesign: {
+      Json design = Json::Object();
+      design.Set("hbm_usd_per_gb", s.design.hbm_usd_per_gb)
+          .Set("gpu_price_multiplier", s.design.gpu_price_multiplier)
+          .Set("amortization_years", s.design.amortization_years)
+          .Set("yield_model", ToString(s.design.yield_model));
+      j.Set("design", std::move(design));
+      break;
+    }
+    case StudyKind::kMcSim: {
+      Json mcsim = Json::Object();
+      mcsim.Set("gpus_per_instance", s.mcsim.gpus_per_instance)
+          .Set("num_instances", s.mcsim.num_instances)
+          .Set("num_spares", s.mcsim.num_spares)
+          .Set("sim_years", s.mcsim.sim_years)
+          .Set("seed", s.mcsim.seed)
+          .Set("num_trials", s.mcsim.num_trials);
+      j.Set("mcsim", std::move(mcsim));
+      break;
+    }
+    case StudyKind::kYield: {
+      Json yield = Json::Object();
+      yield.Set("defect_density_per_cm2", s.yield.defect_density_per_cm2)
+          .Set("cluster_alpha", s.yield.cluster_alpha)
+          .Set("die_area_mm2", s.yield.die_area_mm2)
+          .Set("split", s.yield.split);
+      j.Set("yield", std::move(yield));
+      break;
+    }
+    case StudyKind::kDerive: {
+      Json derive = Json::Object();
+      derive.Set("base_gpu", s.derive.base_gpu)
+          .Set("split", s.derive.split)
+          .Set("mem_bw_multiplier", s.derive.mem_bw_multiplier)
+          .Set("net_bw_multiplier", s.derive.net_bw_multiplier)
+          .Set("overclock", s.derive.overclock);
+      j.Set("derive", std::move(derive));
+      break;
+    }
+    default:
+      break;
+  }
+
+  Json exec = Json::Object();
+  exec.Set("threads", s.exec.threads);
+  j.Set("exec", std::move(exec));
+  return j;
+}
+
+namespace {
+
+// Fails on keys outside `allowed`, so scenario-file typos surface instead of
+// silently falling back to defaults (the same contract as
+// Flags::UnknownFlagCheck on the CLI).
+bool CheckKeys(const Json& obj, const std::vector<std::string>& allowed,
+               const std::string& where, std::string* error) {
+  for (const auto& member : obj.members()) {
+    if (std::find(allowed.begin(), allowed.end(), member.first) == allowed.end()) {
+      if (error != nullptr) {
+        *error = "unknown key '" + member.first + "' in " + where;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+// Strict field readers: absent keys keep the caller's default, but a
+// present key with the wrong JSON type is an error — a mistyped value must
+// not silently fall back (same fail-loudly contract as CheckKeys).
+bool TypeError(const std::string& key, const std::string& where, const char* expected,
+               std::string* error) {
+  if (error != nullptr) {
+    *error = "'" + key + "' in " + where + " must be " + expected;
+  }
+  return false;
+}
+
+bool ReadDouble(const Json& obj, const std::string& key, const std::string& where,
+                double& out, std::string* error) {
+  const Json* v = obj.Find(key);
+  if (v == nullptr) {
+    return true;
+  }
+  if (v->type() != Json::Type::kNumber) {
+    return TypeError(key, where, "a number", error);
+  }
+  out = v->AsDouble();
+  return true;
+}
+
+bool ReadInt(const Json& obj, const std::string& key, const std::string& where, int& out,
+             std::string* error) {
+  const Json* v = obj.Find(key);
+  if (v == nullptr) {
+    return true;
+  }
+  if (v->type() != Json::Type::kNumber) {
+    return TypeError(key, where, "a number", error);
+  }
+  out = v->AsInt();
+  return true;
+}
+
+bool ReadUint64(const Json& obj, const std::string& key, const std::string& where,
+                uint64_t& out, std::string* error) {
+  const Json* v = obj.Find(key);
+  if (v == nullptr) {
+    return true;
+  }
+  if (v->type() != Json::Type::kNumber) {
+    return TypeError(key, where, "a number", error);
+  }
+  out = v->AsUint64(out);
+  return true;
+}
+
+bool ReadBool(const Json& obj, const std::string& key, const std::string& where, bool& out,
+              std::string* error) {
+  const Json* v = obj.Find(key);
+  if (v == nullptr) {
+    return true;
+  }
+  if (v->type() != Json::Type::kBool) {
+    return TypeError(key, where, "true or false", error);
+  }
+  out = v->AsBool();
+  return true;
+}
+
+bool ReadString(const Json& obj, const std::string& key, const std::string& where,
+                std::string& out, std::string* error) {
+  const Json* v = obj.Find(key);
+  if (v == nullptr) {
+    return true;
+  }
+  if (v->type() != Json::Type::kString) {
+    return TypeError(key, where, "a string", error);
+  }
+  out = v->AsString();
+  return true;
+}
+
+bool ReadNames(const Json& obj, const std::string& key, std::vector<std::string>& out,
+               std::string* error) {
+  const Json* arr = obj.Find(key);
+  if (arr == nullptr) {
+    return true;
+  }
+  if (!arr->is_array()) {
+    if (error != nullptr) {
+      *error = "'" + key + "' must be an array of names";
+    }
+    return false;
+  }
+  for (const Json& e : arr->elements()) {
+    if (e.type() != Json::Type::kString) {
+      if (error != nullptr) {
+        *error = "'" + key + "' entries must be strings";
+      }
+      return false;
+    }
+    out.push_back(e.AsString());
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Scenario> ScenarioFromJson(const Json& json, std::string* error) {
+  if (!json.is_object()) {
+    if (error != nullptr) {
+      *error = "scenario must be a JSON object";
+    }
+    return std::nullopt;
+  }
+  if (!CheckKeys(json,
+                 {"name", "study", "models", "gpus", "baseline_gpu", "workload",
+                  "kv_policy", "max_batch", "design", "mcsim", "yield", "derive", "exec"},
+                 "scenario", error)) {
+    return std::nullopt;
+  }
+
+  Scenario s;
+  if (!ReadString(json, "name", "scenario", s.name, error)) {
+    return std::nullopt;
+  }
+  std::string study_name;
+  if (!ReadString(json, "study", "scenario", study_name, error)) {
+    return std::nullopt;
+  }
+  if (study_name.empty()) {
+    if (error != nullptr) {
+      *error = "scenario is missing required key 'study'";
+    }
+    return std::nullopt;
+  }
+  auto study = ParseStudyKind(study_name);
+  if (!study) {
+    if (error != nullptr) {
+      *error = "unknown study '" + study_name +
+               "' (expected search|fig3a|fig3b|design|mcsim|yield|derive)";
+    }
+    return std::nullopt;
+  }
+  s.study = *study;
+
+  if (!ReadNames(json, "models", s.models, error) ||
+      !ReadNames(json, "gpus", s.gpus, error) ||
+      !ReadString(json, "baseline_gpu", "scenario", s.baseline_gpu, error)) {
+    return std::nullopt;
+  }
+
+  if (const Json* workload = json.Find("workload")) {
+    if (!CheckKeys(*workload,
+                   {"prompt_tokens", "output_tokens", "ttft_slo_s", "tbt_slo_s",
+                    "enforce_memory_capacity"},
+                   "workload", error) ||
+        !ReadInt(*workload, "prompt_tokens", "workload", s.workload.prompt_tokens, error) ||
+        !ReadInt(*workload, "output_tokens", "workload", s.workload.output_tokens, error) ||
+        !ReadDouble(*workload, "ttft_slo_s", "workload", s.workload.ttft_slo_s, error) ||
+        !ReadDouble(*workload, "tbt_slo_s", "workload", s.workload.tbt_slo_s, error) ||
+        !ReadBool(*workload, "enforce_memory_capacity", "workload",
+                  s.workload.enforce_memory_capacity, error)) {
+      return std::nullopt;
+    }
+  }
+
+  if (const Json* policy = json.Find("kv_policy")) {
+    auto parsed = ParseKvShardPolicy(policy->AsString());
+    if (!parsed) {
+      if (error != nullptr) {
+        *error = "unknown kv_policy '" + policy->AsString() +
+                 "' (expected replicate|ideal-shard)";
+      }
+      return std::nullopt;
+    }
+    s.kv_policy = *parsed;
+  }
+  if (!ReadInt(json, "max_batch", "scenario", s.max_batch, error)) {
+    return std::nullopt;
+  }
+
+  if (const Json* design = json.Find("design")) {
+    if (!CheckKeys(*design,
+                   {"hbm_usd_per_gb", "gpu_price_multiplier", "amortization_years",
+                    "yield_model"},
+                   "design", error) ||
+        !ReadDouble(*design, "hbm_usd_per_gb", "design", s.design.hbm_usd_per_gb, error) ||
+        !ReadDouble(*design, "gpu_price_multiplier", "design",
+                    s.design.gpu_price_multiplier, error) ||
+        !ReadDouble(*design, "amortization_years", "design", s.design.amortization_years,
+                    error)) {
+      return std::nullopt;
+    }
+    if (const Json* ym = design->Find("yield_model")) {
+      auto parsed = ParseYieldModel(ym->AsString());
+      if (!parsed) {
+        if (error != nullptr) {
+          *error = "unknown yield_model '" + ym->AsString() + "'";
+        }
+        return std::nullopt;
+      }
+      s.design.yield_model = *parsed;
+    }
+  }
+
+  if (const Json* mcsim = json.Find("mcsim")) {
+    if (!CheckKeys(*mcsim,
+                   {"gpus_per_instance", "num_instances", "num_spares", "sim_years",
+                    "seed", "num_trials"},
+                   "mcsim", error) ||
+        !ReadInt(*mcsim, "gpus_per_instance", "mcsim", s.mcsim.gpus_per_instance, error) ||
+        !ReadInt(*mcsim, "num_instances", "mcsim", s.mcsim.num_instances, error) ||
+        !ReadInt(*mcsim, "num_spares", "mcsim", s.mcsim.num_spares, error) ||
+        !ReadDouble(*mcsim, "sim_years", "mcsim", s.mcsim.sim_years, error) ||
+        !ReadUint64(*mcsim, "seed", "mcsim", s.mcsim.seed, error) ||
+        !ReadInt(*mcsim, "num_trials", "mcsim", s.mcsim.num_trials, error)) {
+      return std::nullopt;
+    }
+  }
+
+  if (const Json* yield = json.Find("yield")) {
+    if (!CheckKeys(*yield,
+                   {"defect_density_per_cm2", "cluster_alpha", "die_area_mm2", "split"},
+                   "yield", error) ||
+        !ReadDouble(*yield, "defect_density_per_cm2", "yield",
+                    s.yield.defect_density_per_cm2, error) ||
+        !ReadDouble(*yield, "cluster_alpha", "yield", s.yield.cluster_alpha, error) ||
+        !ReadDouble(*yield, "die_area_mm2", "yield", s.yield.die_area_mm2, error) ||
+        !ReadInt(*yield, "split", "yield", s.yield.split, error)) {
+      return std::nullopt;
+    }
+  }
+
+  if (const Json* derive = json.Find("derive")) {
+    if (!CheckKeys(*derive,
+                   {"base_gpu", "split", "mem_bw_multiplier", "net_bw_multiplier",
+                    "overclock"},
+                   "derive", error) ||
+        !ReadString(*derive, "base_gpu", "derive", s.derive.base_gpu, error) ||
+        !ReadInt(*derive, "split", "derive", s.derive.split, error) ||
+        !ReadDouble(*derive, "mem_bw_multiplier", "derive", s.derive.mem_bw_multiplier,
+                    error) ||
+        !ReadDouble(*derive, "net_bw_multiplier", "derive", s.derive.net_bw_multiplier,
+                    error) ||
+        !ReadDouble(*derive, "overclock", "derive", s.derive.overclock, error)) {
+      return std::nullopt;
+    }
+  }
+
+  if (const Json* exec = json.Find("exec")) {
+    if (!CheckKeys(*exec, {"threads"}, "exec", error) ||
+        !ReadInt(*exec, "threads", "exec", s.exec.threads, error)) {
+      return std::nullopt;
+    }
+  }
+  return s;
+}
+
+bool operator==(const Scenario& a, const Scenario& b) {
+  return ScenarioToJson(a) == ScenarioToJson(b);
+}
+
+namespace {
+
+// Accepts one scenario object, a top-level array, or {"scenarios": [...]}.
+std::optional<std::vector<Scenario>> ScenariosFromJson(const Json& json,
+                                                       std::string* error) {
+  const Json* list = nullptr;
+  if (json.is_array()) {
+    list = &json;
+  } else if (json.is_object() && json.Find("scenarios") != nullptr) {
+    if (!CheckKeys(json, {"scenarios"}, "scenario batch", error)) {
+      return std::nullopt;
+    }
+    list = json.Find("scenarios");
+    if (!list->is_array()) {
+      if (error != nullptr) {
+        *error = "'scenarios' must be an array";
+      }
+      return std::nullopt;
+    }
+  }
+
+  std::vector<Scenario> scenarios;
+  if (list == nullptr) {
+    auto one = ScenarioFromJson(json, error);
+    if (!one) {
+      return std::nullopt;
+    }
+    scenarios.push_back(std::move(*one));
+  } else {
+    for (const Json& entry : list->elements()) {
+      auto one = ScenarioFromJson(entry, error);
+      if (!one) {
+        return std::nullopt;
+      }
+      scenarios.push_back(std::move(*one));
+    }
+  }
+  if (scenarios.empty()) {
+    if (error != nullptr) {
+      *error = "no scenarios in input";
+    }
+    return std::nullopt;
+  }
+  return scenarios;
+}
+
+}  // namespace
+
+std::optional<std::vector<Scenario>> ParseScenarios(const std::string& text,
+                                                    std::string* error) {
+  auto json = Json::Parse(text, error);
+  if (!json) {
+    return std::nullopt;
+  }
+  return ScenariosFromJson(*json, error);
+}
+
+std::optional<std::vector<Scenario>> LoadScenarioFile(const std::string& path,
+                                                      std::string* error) {
+  auto json = Json::ParseFile(path, error);
+  if (!json) {
+    return std::nullopt;
+  }
+  return ScenariosFromJson(*json, error);
+}
+
+// --- builder ----------------------------------------------------------------
+
+ScenarioBuilder& ScenarioBuilder::Name(const std::string& name) {
+  scenario_.name = name;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::Model(const std::string& model) {
+  scenario_.models.push_back(model);
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::Gpu(const std::string& gpu) {
+  scenario_.gpus.push_back(gpu);
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::Baseline(const std::string& gpu) {
+  scenario_.baseline_gpu = gpu;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::PromptTokens(int n) {
+  scenario_.workload.prompt_tokens = n;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::OutputTokens(int n) {
+  scenario_.workload.output_tokens = n;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::TtftSlo(double seconds) {
+  scenario_.workload.ttft_slo_s = seconds;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::TbtSlo(double seconds) {
+  scenario_.workload.tbt_slo_s = seconds;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::EnforceMemoryCapacity(bool on) {
+  scenario_.workload.enforce_memory_capacity = on;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::KvPolicy(KvShardPolicy policy) {
+  scenario_.kv_policy = policy;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::MaxBatch(int n) {
+  scenario_.max_batch = n;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::Threads(int n) {
+  scenario_.exec.threads = n;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::Design(const DesignKnobs& knobs) {
+  scenario_.design = knobs;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::McSim(const McSimKnobs& knobs) {
+  scenario_.mcsim = knobs;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::Yield(const YieldKnobs& knobs) {
+  scenario_.yield = knobs;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::Derive(const DeriveKnobs& knobs) {
+  scenario_.derive = knobs;
+  return *this;
+}
+
+std::optional<Scenario> ScenarioBuilder::Build(std::string* error) const {
+  std::string problem = scenario_.Validate();
+  if (!problem.empty()) {
+    if (error != nullptr) {
+      *error = problem;
+    }
+    return std::nullopt;
+  }
+  return scenario_;
+}
+
+}  // namespace litegpu

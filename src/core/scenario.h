@@ -1,0 +1,173 @@
+// Scenario: the declarative front door to every study the library runs.
+//
+// The paper's whole-cluster argument spans five engine surfaces (search,
+// Figure-3 studies, cluster designer, Monte-Carlo reliability, yield/derive
+// helpers). A Scenario describes WHAT to run — study kind, model(s), GPU
+// list, workload/SLOs, KV policy, silicon/power/reliability knobs — as a
+// value that can be built fluently in code or loaded from a JSON file, the
+// way simulation platforms describe platforms+workloads as data. The Runner
+// (src/core/runner.h) executes it and returns a uniform RunReport.
+//
+// Scenario files are plain JSON (comments and trailing commas tolerated);
+// every field is optional and defaults to the paper's setup. See
+// examples/scenarios/*.json for one file per study kind.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/search.h"
+#include "src/hw/gpu_spec.h"
+#include "src/hw/lite_derive.h"
+#include "src/llm/model.h"
+#include "src/reliability/mc_sim.h"
+#include "src/silicon/yield.h"
+#include "src/util/exec_policy.h"
+#include "src/util/json.h"
+
+namespace litegpu {
+
+// The studies a Scenario can request, mirroring the CLI subcommands.
+enum class StudyKind {
+  kSearch,  // best config per (model, GPU) pair, prefill + decode
+  kFig3a,   // paper Figure 3a prefill study
+  kFig3b,   // paper Figure 3b decode study
+  kDesign,  // Table-1 cluster comparison (perf/cost/power/reliability)
+  kMcSim,   // Monte-Carlo availability simulation
+  kYield,   // Section-2 die-yield / known-good-die economics
+  kDerive,  // custom Lite-GPU derivation + shoreline feasibility
+};
+
+std::string ToString(StudyKind kind);
+std::optional<StudyKind> ParseStudyKind(const std::string& name);
+
+// Knobs only the design study reads (subset of DesignInputs the scenario
+// layer exposes; the rest keep their documented defaults).
+struct DesignKnobs {
+  double hbm_usd_per_gb = 12.0;
+  double gpu_price_multiplier = 8.0;
+  double amortization_years = 4.0;
+  YieldModel yield_model = YieldModel::kMurphy;
+};
+
+// Knobs only the mcsim study reads (the sweep shape of McSimConfig; failure
+// parameters keep their defaults).
+struct McSimKnobs {
+  int gpus_per_instance = 8;
+  int num_instances = 4;
+  int num_spares = 0;
+  double sim_years = 20.0;
+  uint64_t seed = 0x5EEDED;
+  int num_trials = 1;
+};
+
+// Knobs only the yield study reads.
+struct YieldKnobs {
+  double defect_density_per_cm2 = 0.1;
+  double cluster_alpha = 3.0;
+  double die_area_mm2 = 814.0;
+  int split = 4;
+};
+
+// Knobs only the derive study reads (mirrors LiteDeriveOptions plus the
+// base part's catalog name).
+struct DeriveKnobs {
+  std::string base_gpu = "H100";
+  int split = 4;
+  double mem_bw_multiplier = 1.0;
+  double net_bw_multiplier = 1.0;
+  double overclock = 1.0;
+};
+
+struct Scenario {
+  // Optional label echoed into the RunReport (handy for batches).
+  std::string name;
+  StudyKind study = StudyKind::kSearch;
+
+  // Model/GPU catalog names. Empty lists mean the study's canonical set:
+  // the three case-study models; fig3a/fig3b use the paper's four-GPU
+  // lineups, design uses the full Table 1, search/mcsim use {H100}.
+  std::vector<std::string> models;
+  std::vector<std::string> gpus;
+  // Fig3 normalization baseline (must be in the resolved GPU list).
+  std::string baseline_gpu = "H100";
+
+  // Shared workload/engine knobs (search, fig3*, design).
+  WorkloadParams workload;
+  KvShardPolicy kv_policy = KvShardPolicy::kReplicate;
+  int max_batch = 65536;
+
+  // Study-specific knobs.
+  DesignKnobs design;
+  McSimKnobs mcsim;
+  YieldKnobs yield;
+  DeriveKnobs derive;
+
+  ExecPolicy exec;
+
+  // Returns "" when the scenario is runnable, else a description of the
+  // first problem (unknown model/GPU name, non-positive SLO, ...).
+  std::string Validate() const;
+
+  // The model/GPU lists with study defaults applied (still names; the
+  // Runner resolves them against the catalog).
+  std::vector<std::string> ResolvedModels() const;
+  std::vector<std::string> ResolvedGpus() const;
+
+  // The SearchOptions this scenario implies for the perf studies.
+  SearchOptions MakeSearchOptions() const;
+};
+
+// Scenarios compare equal iff they serialize identically.
+bool operator==(const Scenario& a, const Scenario& b);
+inline bool operator!=(const Scenario& a, const Scenario& b) { return !(a == b); }
+
+// JSON round trip. ScenarioFromJson is tolerant of missing fields (they
+// default) but rejects unknown top-level keys, bad enum spellings, and
+// mistyped values, so typos in scenario files fail loudly.
+Json ScenarioToJson(const Scenario& scenario);
+std::optional<Scenario> ScenarioFromJson(const Json& json, std::string* error = nullptr);
+
+// Parses scenario text: a single scenario object, a top-level array of
+// them, or {"scenarios": [...]}.
+std::optional<std::vector<Scenario>> ParseScenarios(const std::string& text,
+                                                    std::string* error = nullptr);
+std::optional<std::vector<Scenario>> LoadScenarioFile(const std::string& path,
+                                                      std::string* error = nullptr);
+
+// Fluent builder. Setters return *this for chaining; Build() validates and
+// returns nullopt (with `error` describing why) for unrunnable scenarios.
+class ScenarioBuilder {
+ public:
+  explicit ScenarioBuilder(StudyKind study) { scenario_.study = study; }
+
+  ScenarioBuilder& Name(const std::string& name);
+  ScenarioBuilder& Model(const std::string& model);  // appends
+  ScenarioBuilder& Gpu(const std::string& gpu);      // appends
+  ScenarioBuilder& Baseline(const std::string& gpu);
+  ScenarioBuilder& PromptTokens(int n);
+  ScenarioBuilder& OutputTokens(int n);
+  ScenarioBuilder& TtftSlo(double seconds);
+  ScenarioBuilder& TbtSlo(double seconds);
+  ScenarioBuilder& EnforceMemoryCapacity(bool on);
+  ScenarioBuilder& KvPolicy(KvShardPolicy policy);
+  ScenarioBuilder& MaxBatch(int n);
+  ScenarioBuilder& Threads(int n);
+  ScenarioBuilder& Design(const DesignKnobs& knobs);
+  ScenarioBuilder& McSim(const McSimKnobs& knobs);
+  ScenarioBuilder& Yield(const YieldKnobs& knobs);
+  ScenarioBuilder& Derive(const DeriveKnobs& knobs);
+
+  // The scenario built so far, unvalidated.
+  const Scenario& Peek() const { return scenario_; }
+  // Validates; nullopt + error message when Scenario::Validate fails.
+  std::optional<Scenario> Build(std::string* error = nullptr) const;
+
+ private:
+  Scenario scenario_;
+};
+
+}  // namespace litegpu

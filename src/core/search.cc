@@ -108,7 +108,7 @@ PrefillSearchResult SearchPrefill(const TransformerSpec& model, const GpuSpec& g
   // Fan out per degree; combine in degree order so the result is identical
   // to the serial sweep at any thread count.
   auto points = ParallelMap<std::optional<PrefillPoint>>(
-      options.threads, static_cast<int>(degrees.size()),
+      EffectiveThreads(options.exec, options.threads), static_cast<int>(degrees.size()),
       [&](int i) { return PrefillBestForDegree(model, gpu, options, degrees[i]); });
   for (const auto& point : points) {
     if (!point) {
@@ -129,7 +129,7 @@ DecodeSearchResult SearchDecode(const TransformerSpec& model, const GpuSpec& gpu
   DecodeSearchResult out;
   std::vector<int> degrees = FeasibleTpDegrees(model, gpu.max_gpus, options.kv_policy);
   auto points = ParallelMap<std::optional<DecodePoint>>(
-      options.threads, static_cast<int>(degrees.size()),
+      EffectiveThreads(options.exec, options.threads), static_cast<int>(degrees.size()),
       [&](int i) { return DecodeBestForDegree(model, gpu, options, degrees[i]); });
   for (const auto& point : points) {
     if (!point) {
@@ -154,7 +154,8 @@ std::optional<PrefillPoint> BruteForcePrefillBest(const TransformerSpec& model,
   // (earlier degree wins, then earlier batch) is preserved by combining the
   // per-degree bests in degree order with a strict comparison.
   auto points = ParallelMap<std::optional<PrefillPoint>>(
-      options.threads, static_cast<int>(degrees.size()), [&](int i) {
+      EffectiveThreads(options.exec, options.threads), static_cast<int>(degrees.size()),
+      [&](int i) {
         std::optional<PrefillPoint> best;
         auto plan = MakeTpPlan(model, degrees[i], options.kv_policy);
         if (!plan) {
@@ -188,7 +189,8 @@ std::optional<DecodePoint> BruteForceDecodeBest(const TransformerSpec& model,
                                                 int batch_limit) {
   std::vector<int> degrees = FeasibleTpDegrees(model, gpu.max_gpus, options.kv_policy);
   auto points = ParallelMap<std::optional<DecodePoint>>(
-      options.threads, static_cast<int>(degrees.size()), [&](int i) {
+      EffectiveThreads(options.exec, options.threads), static_cast<int>(degrees.size()),
+      [&](int i) {
         std::optional<DecodePoint> best;
         auto plan = MakeTpPlan(model, degrees[i], options.kv_policy);
         if (!plan) {
@@ -215,5 +217,52 @@ std::optional<DecodePoint> BruteForceDecodeBest(const TransformerSpec& model,
   }
   return best;
 }
+
+namespace {
+
+Json PointToJson(const PrefillPoint& p) {
+  Json j = Json::Object();
+  j.Set("tp_degree", p.tp_degree)
+      .Set("batch", p.batch)
+      .Set("ttft_s", p.result.ttft_s)
+      .Set("tokens_per_s", p.result.tokens_per_s)
+      .Set("tokens_per_s_per_sm", p.result.tokens_per_s_per_sm)
+      .Set("memory_needed_bytes", p.result.memory_needed_bytes)
+      .Set("bound", ToString(p.result.timing.DominantBound()));
+  return j;
+}
+
+Json PointToJson(const DecodePoint& p) {
+  Json j = Json::Object();
+  j.Set("tp_degree", p.tp_degree)
+      .Set("batch", p.batch)
+      .Set("tbt_s", p.result.tbt_s)
+      .Set("tokens_per_s", p.result.tokens_per_s)
+      .Set("tokens_per_s_per_sm", p.result.tokens_per_s_per_sm)
+      .Set("memory_needed_bytes", p.result.memory_needed_bytes)
+      .Set("bound", ToString(p.result.timing.DominantBound()));
+  return j;
+}
+
+template <typename Result>
+Json SearchResultToJson(const Result& result) {
+  Json j = Json::Object();
+  j.Set("found", result.found);
+  if (result.found) {
+    j.Set("best", PointToJson(result.best));
+  }
+  Json frontier = Json::Array();
+  for (const auto& point : result.per_degree) {
+    frontier.Append(PointToJson(point));
+  }
+  j.Set("per_degree", std::move(frontier));
+  return j;
+}
+
+}  // namespace
+
+Json ToJson(const PrefillSearchResult& result) { return SearchResultToJson(result); }
+
+Json ToJson(const DecodeSearchResult& result) { return SearchResultToJson(result); }
 
 }  // namespace litegpu

@@ -18,6 +18,8 @@
 #include "src/llm/model.h"
 #include "src/llm/parallel.h"
 #include "src/roofline/inference.h"
+#include "src/util/exec_policy.h"
+#include "src/util/json.h"
 
 namespace litegpu {
 
@@ -28,9 +30,10 @@ struct SearchOptions {
   // Upper bound on swept batch size (safety net when capacity enforcement
   // is off; real searches terminate on SLO first).
   int max_batch = 65536;
-  // Worker threads for the per-degree fan-out. <= 0 uses the hardware
-  // concurrency; 1 restores the serial path. Results are bit-identical at
-  // any thread count.
+  // Worker threads for the per-degree fan-out (see src/util/exec_policy.h).
+  ExecPolicy exec;
+  // DEPRECATED alias for exec.threads, kept one PR for source compatibility;
+  // a non-zero value here overrides exec.threads.
   int threads = 0;
 };
 
@@ -64,6 +67,10 @@ PrefillSearchResult SearchPrefill(const TransformerSpec& model, const GpuSpec& g
 
 DecodeSearchResult SearchDecode(const TransformerSpec& model, const GpuSpec& gpu,
                                 const SearchOptions& options);
+
+// Structured forms of the search results (best + per-degree frontier).
+Json ToJson(const PrefillSearchResult& result);
+Json ToJson(const DecodeSearchResult& result);
 
 // Reference implementations that exhaustively sweep every batch in
 // [1, limit]; used by tests to validate the fast search.

@@ -19,6 +19,26 @@ std::string LiteDeriveResult::ToString() const {
   return buffer;
 }
 
+Json LiteDeriveResult::ToJson() const {
+  Json spec = Json::Object();
+  spec.Set("name", gpu.name)
+      .Set("flops", gpu.flops)
+      .Set("sm_count", gpu.sm_count)
+      .Set("clock_ghz", gpu.clock_ghz)
+      .Set("mem_capacity_bytes", gpu.mem_capacity_bytes)
+      .Set("mem_bw_bytes_per_s", gpu.mem_bw_bytes_per_s)
+      .Set("net_bw_bytes_per_s", gpu.net_bw_bytes_per_s)
+      .Set("max_gpus", gpu.max_gpus)
+      .Set("die_area_mm2", gpu.die_area_mm2)
+      .Set("tdp_watts", gpu.tdp_watts);
+  Json j = Json::Object();
+  j.Set("gpu", std::move(spec))
+      .Set("shoreline_feasible", shoreline_feasible)
+      .Set("shoreline_demand_mm", shoreline_demand_mm)
+      .Set("shoreline_available_mm", shoreline_available_mm);
+  return j;
+}
+
 LiteDeriveResult DeriveLite(const GpuSpec& base, const LiteDeriveOptions& options,
                             const ShorelineTech& tech) {
   LiteDeriveResult result;

@@ -12,6 +12,7 @@
 
 #include "src/hw/gpu_spec.h"
 #include "src/silicon/shoreline.h"
+#include "src/util/json.h"
 
 namespace litegpu {
 
@@ -39,6 +40,7 @@ struct LiteDeriveResult {
   double shoreline_demand_mm = 0.0;
   double shoreline_available_mm = 0.0;
   std::string ToString() const;
+  Json ToJson() const;
 };
 
 // Derives a Lite-GPU from `base`. The result's name records the options,

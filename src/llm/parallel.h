@@ -24,6 +24,10 @@ enum class KvShardPolicy {
   kIdealShard,
 };
 
+// "replicate" / "ideal-shard" (the spellings scenario files use).
+std::string ToString(KvShardPolicy policy);
+std::optional<KvShardPolicy> ParseKvShardPolicy(const std::string& name);
+
 struct TpPlan {
   int degree = 1;
   double q_heads_per_gpu = 0.0;

@@ -139,7 +139,7 @@ McSimResult SimulateAvailability(const GpuSpec& gpu, const McSimConfig& config) 
   // SplitMix64 (a plain additive step would hand 3 of trial i's 4 xoshiro
   // state words to trial i+1, correlating "independent" replicas).
   std::vector<TrialResult> trials = ParallelMap<TrialResult>(
-      config.threads, num_trials, [&](int i) {
+      EffectiveThreads(config.exec, config.threads), num_trials, [&](int i) {
         uint64_t seed =
             i == 0 ? config.seed
                    : SplitMix64(config.seed ^ (0xA3EC647659359ACDULL *
@@ -162,6 +162,16 @@ McSimResult SimulateAvailability(const GpuSpec& gpu, const McSimConfig& config) 
   result.failures_per_year =
       total_years > 0.0 ? static_cast<double>(result.num_failures) / total_years : 0.0;
   return result;
+}
+
+Json ToJson(const McSimResult& result) {
+  Json j = Json::Object();
+  j.Set("instance_availability", result.instance_availability)
+      .Set("capacity_fraction", result.capacity_fraction)
+      .Set("num_failures", result.num_failures)
+      .Set("unmasked_failures", result.unmasked_failures)
+      .Set("failures_per_year", result.failures_per_year);
+  return j;
 }
 
 }  // namespace litegpu

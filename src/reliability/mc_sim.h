@@ -14,6 +14,8 @@
 
 #include "src/hw/gpu_spec.h"
 #include "src/reliability/failure_model.h"
+#include "src/util/exec_policy.h"
+#include "src/util/json.h"
 
 namespace litegpu {
 
@@ -29,9 +31,12 @@ struct McSimConfig {
   // single-trial default reproduces the original serial simulator).
   // Results aggregate over trials in index order.
   int num_trials = 1;
-  // Worker threads sharding the trials. <= 0 uses the hardware concurrency;
-  // 1 restores the serial path. Because every trial owns its RNG stream,
-  // results are bit-identical at any thread count.
+  // Worker threads sharding the trials (see src/util/exec_policy.h).
+  // Because every trial owns its RNG stream, results are bit-identical at
+  // any thread count.
+  ExecPolicy exec;
+  // DEPRECATED alias for exec.threads, kept one PR for source compatibility;
+  // a non-zero value here overrides exec.threads.
   int threads = 0;
 };
 
@@ -48,5 +53,8 @@ struct McSimResult {
 };
 
 McSimResult SimulateAvailability(const GpuSpec& gpu, const McSimConfig& config);
+
+// Structured form of a simulation result.
+Json ToJson(const McSimResult& result);
 
 }  // namespace litegpu

@@ -1,0 +1,48 @@
+// ExecPolicy: the one shared knob for how design-space sweeps execute.
+//
+// Every parallel surface in the library (per-TP-degree search, the Figure-3
+// catalog studies, CompareClusters, the Monte-Carlo trials, and
+// RunScenarios batches) takes its worker count from an embedded ExecPolicy
+// instead of a per-struct `threads` field. This file is the single place
+// that documents the semantics and the deprecated-alias precedence:
+//
+//   * `threads <= 0`  — use the hardware concurrency (the default).
+//   * `threads == 1`  — the exact serial path, no pool.
+//   * `threads >= 2`  — that many workers.
+//   Results are bit-identical at any thread count (sweeps write only
+//   per-index slots and combine in index order).
+//
+// Nesting: a parallel driver forces the sweeps *inside* its fan-out serial
+// (e.g. CompareClusters runs one worker per GPU and pins each inner
+// search's threads to 1) — not for determinism, which holds regardless, but
+// so nested sweeps don't each spin up a transient hardware-wide pool. So
+// for the composite drivers exactly one ExecPolicy governs:
+// `ExperimentOptions::exec` for the studies (the embedded
+// `SearchOptions::exec` is overridden to serial per pair),
+// `DesignInputs::exec` for CompareClusters (`DesignInputs::search.exec`
+// only applies when DesignCluster is called directly), and the
+// RunScenarios argument for scenario batches.
+//
+// Migration: the old `int threads` fields on SearchOptions /
+// ExperimentOptions / DesignInputs / McSimConfig still compile for one PR
+// as deprecated aliases. Precedence: a NON-ZERO legacy `threads` wins over
+// `exec.threads` (zero is indistinguishable from "never touched"); new
+// code should set only `exec.threads`.
+
+#pragma once
+
+namespace litegpu {
+
+struct ExecPolicy {
+  // Worker threads for the sweep fan-out. <= 0 uses the hardware
+  // concurrency; 1 restores the serial path.
+  int threads = 0;
+};
+
+// Resolves an options struct that still carries a deprecated `threads`
+// alias next to its ExecPolicy (see precedence note above).
+inline int EffectiveThreads(const ExecPolicy& exec, int deprecated_threads) {
+  return deprecated_threads != 0 ? deprecated_threads : exec.threads;
+}
+
+}  // namespace litegpu

@@ -1,10 +1,34 @@
 #include "src/util/flags.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 namespace litegpu {
 
-Flags Flags::Parse(int argc, const char* const* argv) {
+namespace {
+
+// Classic edit distance, small strings only (flag names).
+size_t EditDistance(const std::string& a, const std::string& b) {
+  std::vector<size_t> prev(b.size() + 1);
+  std::vector<size_t> curr(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) {
+    prev[j] = j;
+  }
+  for (size_t i = 1; i <= a.size(); ++i) {
+    curr[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t substitute = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, substitute});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
+
+Flags Flags::Parse(int argc, const char* const* argv,
+                   const std::vector<std::string>& switches) {
   Flags flags;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -18,8 +42,10 @@ Flags Flags::Parse(int argc, const char* const* argv) {
       flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
       continue;
     }
-    // `--key value` when the next token is not itself a flag; else a switch.
-    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+    // `--key value` when the next token is not itself a flag and the key is
+    // not a declared boolean switch; else a bare switch.
+    bool is_switch = std::find(switches.begin(), switches.end(), body) != switches.end();
+    if (!is_switch && i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       flags.values_[body] = argv[i + 1];
       ++i;
     } else {
@@ -30,6 +56,32 @@ Flags Flags::Parse(int argc, const char* const* argv) {
 }
 
 bool Flags::Has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Flags::UnknownFlagCheck(const std::vector<std::string>& allowed) const {
+  for (const auto& entry : values_) {
+    const std::string& key = entry.first;
+    if (std::find(allowed.begin(), allowed.end(), key) != allowed.end()) {
+      continue;
+    }
+    std::string message = "unknown flag --" + key;
+    // Suggest the closest allowed flag when it is plausibly a typo (within
+    // 2 edits, e.g. --thread -> --threads, --mdoel -> --model).
+    size_t best_distance = 3;
+    const std::string* best = nullptr;
+    for (const auto& candidate : allowed) {
+      size_t d = EditDistance(key, candidate);
+      if (d < best_distance) {
+        best_distance = d;
+        best = &candidate;
+      }
+    }
+    if (best != nullptr) {
+      message += " (did you mean --" + *best + "?)";
+    }
+    return message;
+  }
+  return "";
+}
 
 std::string Flags::GetString(const std::string& key, const std::string& fallback) const {
   auto it = values_.find(key);
@@ -54,6 +106,16 @@ int Flags::GetInt(const std::string& key, int fallback) const {
   char* end = nullptr;
   long value = std::strtol(it->second.c_str(), &end, 10);
   return (end != nullptr && *end == '\0') ? static_cast<int>(value) : fallback;
+}
+
+uint64_t Flags::GetUint64(const std::string& key, uint64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty() || it->second[0] == '-') {
+    return fallback;
+  }
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(it->second.c_str(), &end, 10);
+  return (end != nullptr && *end == '\0') ? static_cast<uint64_t>(value) : fallback;
 }
 
 bool Flags::GetBool(const std::string& key, bool fallback) const {

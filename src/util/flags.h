@@ -4,6 +4,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -13,15 +14,25 @@ namespace litegpu {
 class Flags {
  public:
   // Parses argv (argv[0] skipped). Unknown flags are kept; validation is
-  // the caller's job via Has()/typed getters.
-  static Flags Parse(int argc, const char* const* argv);
+  // the caller's job via Has()/typed getters and UnknownFlagCheck.
+  // Keys in `switches` are known booleans: they never consume the next
+  // token as a value, so `--json file.txt` keeps file.txt positional.
+  static Flags Parse(int argc, const char* const* argv,
+                     const std::vector<std::string>& switches = {});
 
   bool Has(const std::string& key) const;
   std::string GetString(const std::string& key, const std::string& fallback = "") const;
   // Returns fallback (and sets ok=false if provided) on missing/parse error.
   double GetDouble(const std::string& key, double fallback) const;
   int GetInt(const std::string& key, int fallback) const;
+  uint64_t GetUint64(const std::string& key, uint64_t fallback) const;
   bool GetBool(const std::string& key, bool fallback = false) const;
+
+  // Rejects typos: returns "" when every parsed flag key is in `allowed`,
+  // else a message naming the first unknown flag — with a "did you mean"
+  // suggestion when an allowed spelling is close. Callers print the message
+  // and exit nonzero.
+  std::string UnknownFlagCheck(const std::vector<std::string>& allowed) const;
 
   const std::vector<std::string>& positionals() const { return positionals_; }
   std::string Subcommand() const {

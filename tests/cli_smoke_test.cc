@@ -1,0 +1,120 @@
+// End-to-end smoke test for the litegpu CLI: executes the real binary on
+// the checked-in examples/scenarios/*.json files and parses the JSON it
+// prints. Paths are injected by CMake (LITEGPU_CLI_PATH / LITEGPU_SCENARIO_DIR).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include "src/util/json.h"
+
+#ifndef LITEGPU_CLI_PATH
+#error "LITEGPU_CLI_PATH must be defined by the build"
+#endif
+#ifndef LITEGPU_SCENARIO_DIR
+#error "LITEGPU_SCENARIO_DIR must be defined by the build"
+#endif
+
+namespace litegpu {
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string stdout_text;
+};
+
+CommandResult RunCommand(const std::string& args) {
+  CommandResult result;
+  std::string command = std::string(LITEGPU_CLI_PATH) + " " + args + " 2>/dev/null";
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    return result;
+  }
+  std::array<char, 4096> buffer;
+  size_t n = 0;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.stdout_text.append(buffer.data(), n);
+  }
+  int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string ScenarioPath(const std::string& name) {
+  return std::string(LITEGPU_SCENARIO_DIR) + "/" + name;
+}
+
+TEST(CliSmoke, RunExecutesEveryCheckedInScenarioAsJson) {
+  // One file per study kind; every report must be valid JSON with ok=true.
+  for (const char* file : {"fig3a.json", "fig3b.json", "search.json", "design.json",
+                           "mcsim.json", "yield.json", "derive.json"}) {
+    CommandResult result = RunCommand("run " + ScenarioPath(file) + " --json");
+    EXPECT_EQ(result.exit_code, 0) << file;
+    std::string error;
+    auto parsed = Json::Parse(result.stdout_text, &error);
+    ASSERT_TRUE(parsed.has_value()) << file << ": " << error;
+    EXPECT_TRUE(parsed->GetBool("ok", false)) << file;
+    EXPECT_NE(parsed->Find("report"), nullptr) << file;
+  }
+}
+
+TEST(CliSmoke, JsonFlagBeforePositionalStillWorks) {
+  CommandResult result = RunCommand("run --json " + ScenarioPath("yield.json"));
+  EXPECT_EQ(result.exit_code, 0);
+  auto parsed = Json::Parse(result.stdout_text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->GetBool("ok", false));
+}
+
+TEST(CliSmoke, RunExecutesTheBatchSuite) {
+  CommandResult result = RunCommand("run " + ScenarioPath("paper_suite.json") + " --json");
+  EXPECT_EQ(result.exit_code, 0);
+  auto parsed = Json::Parse(result.stdout_text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->is_array());
+  EXPECT_EQ(parsed->size(), 4u);
+  for (const Json& report : parsed->elements()) {
+    EXPECT_TRUE(report.GetBool("ok", false));
+  }
+}
+
+TEST(CliSmoke, JsonFlagOnEverySubcommandEmitsParsableJson) {
+  for (const char* args :
+       {"search --model Llama3-8B --gpu H100 --max-batch 64 --json",
+        "fig3a --json", "fig3b --json", "design --model Llama3-70B --json",
+        "yield --json", "derive --split 4 --json", "mcsim --trials 1 --years 5 --json",
+        "list --json"}) {
+    CommandResult result = RunCommand(args);
+    EXPECT_EQ(result.exit_code, 0) << args;
+    std::string error;
+    auto parsed = Json::Parse(result.stdout_text, &error);
+    EXPECT_TRUE(parsed.has_value()) << args << ": " << error;
+  }
+}
+
+TEST(CliSmoke, TextModeStillPrintsTables) {
+  CommandResult result = RunCommand("run " + ScenarioPath("fig3a.json"));
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.stdout_text.find("Figure 3a"), std::string::npos);
+  EXPECT_NE(result.stdout_text.find("Llama3-70B"), std::string::npos);
+}
+
+TEST(CliSmoke, UnknownFlagsAreRejectedWithSuggestion) {
+  CommandResult typo = RunCommand("search --thread 4");
+  EXPECT_EQ(typo.exit_code, 64);
+  CommandResult typo2 = RunCommand("fig3a --mdoel Llama3-70B");
+  EXPECT_EQ(typo2.exit_code, 64);
+  // Valid spellings still pass.
+  CommandResult ok = RunCommand("yield --split 2");
+  EXPECT_EQ(ok.exit_code, 0);
+}
+
+TEST(CliSmoke, RunReportsMissingAndMalformedFiles) {
+  EXPECT_EQ(RunCommand("run /nonexistent.json").exit_code, 1);
+  EXPECT_EQ(RunCommand("run").exit_code, 64);
+}
+
+}  // namespace
+}  // namespace litegpu

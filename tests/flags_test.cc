@@ -71,5 +71,48 @@ TEST(Flags, EmptyArgv) {
   EXPECT_TRUE(f.positionals().empty());
 }
 
+TEST(Flags, DeclaredSwitchesDoNotConsumePositionals) {
+  std::vector<const char*> args = {"prog", "run", "--json", "scenario.json"};
+  Flags f = Flags::Parse(static_cast<int>(args.size()), args.data(), {"json"});
+  EXPECT_TRUE(f.GetBool("json"));
+  ASSERT_EQ(f.positionals().size(), 2u);
+  EXPECT_EQ(f.positionals()[1], "scenario.json");
+  // Without the declaration the old greedy behavior still applies.
+  Flags greedy = Flags::Parse(static_cast<int>(args.size()), args.data());
+  EXPECT_EQ(greedy.GetString("json"), "scenario.json");
+}
+
+TEST(Flags, GetUint64HandlesFullRange) {
+  Flags f = ParseArgs({"--seed=18446744073709551615", "--neg=-1", "--bad=12x"});
+  EXPECT_EQ(f.GetUint64("seed", 0), 18446744073709551615ull);
+  EXPECT_EQ(f.GetUint64("neg", 7), 7u);   // negative -> fallback
+  EXPECT_EQ(f.GetUint64("bad", 7), 7u);   // malformed -> fallback
+  EXPECT_EQ(f.GetUint64("absent", 3), 3u);
+}
+
+TEST(Flags, UnknownFlagCheckAcceptsAllowedSet) {
+  Flags f = ParseArgs({"--model=X", "--threads", "4", "--json"});
+  EXPECT_EQ(f.UnknownFlagCheck({"model", "threads", "json", "unused"}), "");
+  EXPECT_EQ(ParseArgs({}).UnknownFlagCheck({}), "");
+}
+
+TEST(Flags, UnknownFlagCheckNamesTheTypoWithSuggestion) {
+  Flags f = ParseArgs({"--thread", "4"});
+  std::string message = f.UnknownFlagCheck({"threads", "model"});
+  EXPECT_NE(message.find("--thread"), std::string::npos);
+  EXPECT_NE(message.find("did you mean --threads"), std::string::npos);
+
+  Flags f2 = ParseArgs({"--mdoel=Llama3-70B"});
+  std::string message2 = f2.UnknownFlagCheck({"model", "gpu"});
+  EXPECT_NE(message2.find("did you mean --model"), std::string::npos);
+}
+
+TEST(Flags, UnknownFlagCheckSkipsSuggestionWhenNothingIsClose) {
+  Flags f = ParseArgs({"--frobnicate"});
+  std::string message = f.UnknownFlagCheck({"model", "gpu"});
+  EXPECT_NE(message.find("--frobnicate"), std::string::npos);
+  EXPECT_EQ(message.find("did you mean"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace litegpu

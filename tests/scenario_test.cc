@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "src/core/scenario.h"
+#include "src/hw/catalog.h"
+
+namespace litegpu {
+namespace {
+
+TEST(StudyKind, RoundTripsThroughNames) {
+  for (StudyKind kind : {StudyKind::kSearch, StudyKind::kFig3a, StudyKind::kFig3b,
+                         StudyKind::kDesign, StudyKind::kMcSim, StudyKind::kYield,
+                         StudyKind::kDerive}) {
+    auto parsed = ParseStudyKind(ToString(kind));
+    ASSERT_TRUE(parsed.has_value()) << ToString(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(ParseStudyKind("fig3c").has_value());
+}
+
+TEST(ScenarioBuilder, BuildsValidDefaultScenarios) {
+  for (StudyKind kind : {StudyKind::kSearch, StudyKind::kFig3a, StudyKind::kFig3b,
+                         StudyKind::kDesign, StudyKind::kMcSim, StudyKind::kYield,
+                         StudyKind::kDerive}) {
+    std::string error;
+    auto scenario = ScenarioBuilder(kind).Build(&error);
+    EXPECT_TRUE(scenario.has_value()) << ToString(kind) << ": " << error;
+  }
+}
+
+TEST(ScenarioBuilder, RejectsUnknownModel) {
+  std::string error;
+  auto scenario = ScenarioBuilder(StudyKind::kSearch).Model("NotAModel").Build(&error);
+  EXPECT_FALSE(scenario.has_value());
+  EXPECT_NE(error.find("unknown model"), std::string::npos);
+}
+
+TEST(ScenarioBuilder, RejectsUnknownGpu) {
+  std::string error;
+  auto scenario = ScenarioBuilder(StudyKind::kFig3b).Gpu("H100").Gpu("H1000").Build(&error);
+  EXPECT_FALSE(scenario.has_value());
+  EXPECT_NE(error.find("unknown GPU"), std::string::npos);
+}
+
+TEST(ScenarioBuilder, RejectsNonPositiveSlos) {
+  std::string error;
+  EXPECT_FALSE(ScenarioBuilder(StudyKind::kSearch).TbtSlo(0.0).Build(&error).has_value());
+  EXPECT_NE(error.find("tbt_slo_s"), std::string::npos);
+  EXPECT_FALSE(
+      ScenarioBuilder(StudyKind::kFig3a).TtftSlo(-1.0).Build(&error).has_value());
+  EXPECT_NE(error.find("ttft_slo_s"), std::string::npos);
+  EXPECT_FALSE(
+      ScenarioBuilder(StudyKind::kSearch).PromptTokens(0).Build(&error).has_value());
+}
+
+TEST(ScenarioBuilder, RejectsBaselineOutsideGpuList) {
+  std::string error;
+  auto scenario =
+      ScenarioBuilder(StudyKind::kFig3a).Gpu("Lite").Baseline("H100").Build(&error);
+  EXPECT_FALSE(scenario.has_value());
+  EXPECT_NE(error.find("baseline_gpu"), std::string::npos);
+}
+
+TEST(ScenarioBuilder, RejectsBadStudyKnobs) {
+  std::string error;
+  McSimKnobs mcsim;
+  mcsim.num_trials = 0;
+  EXPECT_FALSE(ScenarioBuilder(StudyKind::kMcSim).McSim(mcsim).Build(&error).has_value());
+  EXPECT_NE(error.find("num_trials"), std::string::npos);
+
+  DeriveKnobs derive;
+  derive.base_gpu = "Nope";
+  EXPECT_FALSE(
+      ScenarioBuilder(StudyKind::kDerive).Derive(derive).Build(&error).has_value());
+  EXPECT_NE(error.find("base_gpu"), std::string::npos);
+
+  YieldKnobs yield;
+  yield.die_area_mm2 = -5.0;
+  EXPECT_FALSE(ScenarioBuilder(StudyKind::kYield).Yield(yield).Build(&error).has_value());
+  EXPECT_NE(error.find("die_area_mm2"), std::string::npos);
+}
+
+TEST(Scenario, ResolvedListsApplyStudyDefaults) {
+  Scenario fig3a = ScenarioBuilder(StudyKind::kFig3a).Peek();
+  EXPECT_EQ(fig3a.ResolvedModels().size(), CaseStudyModels().size());
+  EXPECT_EQ(fig3a.ResolvedGpus().size(), 4u);
+  EXPECT_EQ(fig3a.ResolvedGpus().front(), "H100");
+
+  Scenario design = ScenarioBuilder(StudyKind::kDesign).Peek();
+  EXPECT_EQ(design.ResolvedGpus().size(), Table1Configs().size());
+
+  Scenario search = ScenarioBuilder(StudyKind::kSearch).Gpu("Lite").Peek();
+  ASSERT_EQ(search.ResolvedGpus().size(), 1u);
+  EXPECT_EQ(search.ResolvedGpus().front(), "Lite");
+}
+
+TEST(Scenario, JsonRoundTripPreservesEquality) {
+  McSimKnobs mcsim;
+  mcsim.gpus_per_instance = 32;
+  mcsim.num_trials = 7;
+  mcsim.seed = 0xDEADBEEFull;
+  for (const Scenario& original :
+       {*ScenarioBuilder(StudyKind::kFig3a).Name("a").PromptTokens(2048).Build(),
+        *ScenarioBuilder(StudyKind::kSearch)
+             .Model("Llama3-70B")
+             .Gpu("Lite+MemBW")
+             .KvPolicy(KvShardPolicy::kIdealShard)
+             .TbtSlo(0.025)
+             .Threads(4)
+             .Build(),
+        *ScenarioBuilder(StudyKind::kMcSim).Gpu("Lite").McSim(mcsim).Build(),
+        *ScenarioBuilder(StudyKind::kYield).Build(),
+        *ScenarioBuilder(StudyKind::kDerive).Build(),
+        *ScenarioBuilder(StudyKind::kDesign).Model("GPT3-175B").Build()}) {
+    Json j = ScenarioToJson(original);
+    std::string error;
+    auto restored = ScenarioFromJson(j, &error);
+    ASSERT_TRUE(restored.has_value()) << error;
+    EXPECT_TRUE(*restored == original) << ScenarioToJson(*restored).Dump();
+    // And through the text form too.
+    auto reparsed = Json::Parse(j.Dump());
+    ASSERT_TRUE(reparsed.has_value());
+    auto restored2 = ScenarioFromJson(*reparsed, &error);
+    ASSERT_TRUE(restored2.has_value()) << error;
+    EXPECT_TRUE(*restored2 == original);
+  }
+}
+
+TEST(Scenario, FromJsonRejectsUnknownKeysAndBadEnums) {
+  std::string error;
+  auto bad_key = Json::Parse(R"({"study": "search", "modles": ["Llama3-70B"]})");
+  ASSERT_TRUE(bad_key.has_value());
+  EXPECT_FALSE(ScenarioFromJson(*bad_key, &error).has_value());
+  EXPECT_NE(error.find("modles"), std::string::npos);
+
+  auto bad_study = Json::Parse(R"({"study": "fig4"})");
+  EXPECT_FALSE(ScenarioFromJson(*bad_study, &error).has_value());
+  EXPECT_NE(error.find("unknown study"), std::string::npos);
+
+  auto no_study = Json::Parse(R"({"name": "x"})");
+  EXPECT_FALSE(ScenarioFromJson(*no_study, &error).has_value());
+  EXPECT_NE(error.find("study"), std::string::npos);
+
+  auto bad_policy = Json::Parse(R"({"study": "search", "kv_policy": "mirror"})");
+  EXPECT_FALSE(ScenarioFromJson(*bad_policy, &error).has_value());
+  EXPECT_NE(error.find("kv_policy"), std::string::npos);
+
+  auto bad_nested =
+      Json::Parse(R"({"study": "yield", "yield": {"defect_densty": 0.2}})");
+  EXPECT_FALSE(ScenarioFromJson(*bad_nested, &error).has_value());
+  EXPECT_NE(error.find("defect_densty"), std::string::npos);
+}
+
+TEST(Scenario, FromJsonRejectsMistypedValues) {
+  std::string error;
+  // A string where a number is expected must not silently fall back to the
+  // default workload.
+  auto str_num =
+      Json::Parse(R"({"study": "fig3a", "workload": {"prompt_tokens": "3000"}})");
+  ASSERT_TRUE(str_num.has_value());
+  EXPECT_FALSE(ScenarioFromJson(*str_num, &error).has_value());
+  EXPECT_NE(error.find("prompt_tokens"), std::string::npos);
+  EXPECT_NE(error.find("number"), std::string::npos);
+
+  auto num_bool = Json::Parse(
+      R"({"study": "search", "workload": {"enforce_memory_capacity": 1}})");
+  EXPECT_FALSE(ScenarioFromJson(*num_bool, &error).has_value());
+  EXPECT_NE(error.find("enforce_memory_capacity"), std::string::npos);
+
+  auto num_name = Json::Parse(R"({"study": "search", "name": 7})");
+  EXPECT_FALSE(ScenarioFromJson(*num_name, &error).has_value());
+
+  auto str_threads = Json::Parse(R"({"study": "yield", "exec": {"threads": "four"}})");
+  EXPECT_FALSE(ScenarioFromJson(*str_threads, &error).has_value());
+  EXPECT_NE(error.find("threads"), std::string::npos);
+}
+
+TEST(ScenarioBuilder, RejectsListsTheStudyWouldIgnore) {
+  std::string error;
+  // mcsim simulates one GPU type and no models.
+  EXPECT_FALSE(ScenarioBuilder(StudyKind::kMcSim)
+                   .Gpu("H100")
+                   .Gpu("Lite")
+                   .Build(&error)
+                   .has_value());
+  EXPECT_NE(error.find("exactly one GPU"), std::string::npos);
+  EXPECT_FALSE(
+      ScenarioBuilder(StudyKind::kMcSim).Model("Llama3-70B").Build(&error).has_value());
+  // yield/derive read their own knob blocks, not the model/GPU lists.
+  EXPECT_FALSE(ScenarioBuilder(StudyKind::kYield).Gpu("Lite").Build(&error).has_value());
+  EXPECT_NE(error.find("does not take"), std::string::npos);
+  EXPECT_FALSE(
+      ScenarioBuilder(StudyKind::kDerive).Model("Llama3-70B").Build(&error).has_value());
+}
+
+TEST(Scenario, FromJsonDefaultsMissingFields) {
+  auto minimal = Json::Parse(R"({"study": "fig3b"})");
+  ASSERT_TRUE(minimal.has_value());
+  auto scenario = ScenarioFromJson(*minimal);
+  ASSERT_TRUE(scenario.has_value());
+  EXPECT_EQ(scenario->workload.prompt_tokens, 1500);
+  EXPECT_DOUBLE_EQ(scenario->workload.tbt_slo_s, 0.050);
+  EXPECT_EQ(scenario->baseline_gpu, "H100");
+  EXPECT_EQ(scenario->exec.threads, 0);
+  EXPECT_TRUE(scenario->Validate().empty());
+}
+
+TEST(Scenario, ParseScenariosAcceptsSingleArrayAndWrappedForms) {
+  auto single = ParseScenarios(R"({"study": "yield"})");
+  ASSERT_TRUE(single.has_value());
+  EXPECT_EQ(single->size(), 1u);
+
+  auto array = ParseScenarios(R"([{"study": "yield"}, {"study": "derive"}])");
+  ASSERT_TRUE(array.has_value());
+  EXPECT_EQ(array->size(), 2u);
+
+  auto wrapped = ParseScenarios(R"({"scenarios": [{"study": "fig3a"}]})");
+  ASSERT_TRUE(wrapped.has_value());
+  EXPECT_EQ(wrapped->size(), 1u);
+  EXPECT_EQ(wrapped->front().study, StudyKind::kFig3a);
+
+  std::string error;
+  EXPECT_FALSE(ParseScenarios(R"({"scenarios": []})", &error).has_value());
+  EXPECT_FALSE(ParseScenarios("not json", &error).has_value());
+}
+
+TEST(Scenario, MakeSearchOptionsCarriesWorkloadAndExec) {
+  Scenario s = ScenarioBuilder(StudyKind::kSearch)
+                   .PromptTokens(2000)
+                   .TbtSlo(0.030)
+                   .KvPolicy(KvShardPolicy::kIdealShard)
+                   .MaxBatch(128)
+                   .Threads(3)
+                   .Peek();
+  SearchOptions options = s.MakeSearchOptions();
+  EXPECT_EQ(options.workload.prompt_tokens, 2000);
+  EXPECT_DOUBLE_EQ(options.workload.tbt_slo_s, 0.030);
+  EXPECT_EQ(options.kv_policy, KvShardPolicy::kIdealShard);
+  EXPECT_EQ(options.max_batch, 128);
+  EXPECT_EQ(options.exec.threads, 3);
+  EXPECT_EQ(options.threads, 0);  // deprecated alias untouched
+}
+
+}  // namespace
+}  // namespace litegpu

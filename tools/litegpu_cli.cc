@@ -1,9 +1,11 @@
 // litegpu — command-line front end for the modeling library.
 //
+//   litegpu run <scenario.json>... [--json]     execute scenario file(s)
 //   litegpu fig3a [--ideal-capacity]            regenerate Figure 3a
 //   litegpu fig3b [--ideal-capacity]            regenerate Figure 3b
 //   litegpu search --model M --gpu G [...]      best config for one pair
 //   litegpu design --model M                    Table-1 cluster comparison
+//   litegpu mcsim [--spares N] [--trials N]     Monte-Carlo availability
 //   litegpu yield [--d0 X] [--area A]           Section-2 silicon economics
 //   litegpu derive --split N [--mem X] [--net X] [--clock X]
 //                                               custom Lite-GPU + feasibility
@@ -11,146 +13,271 @@
 //
 // Common flags: --prompt N --output N --ttft S --tbt S --kv-ideal
 //               --threads N (sweep workers; 0 = all cores, 1 = serial)
+//               --json (structured report on stdout)
+//
+// Every subcommand builds a Scenario and executes it through the Runner
+// (src/core/scenario.h, src/core/runner.h); `run` loads the same Scenario
+// from a JSON file instead. Unknown flags are rejected with a hint.
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
-#include "src/core/designer.h"
-#include "src/core/experiments.h"
-#include "src/core/search.h"
+#include "src/core/runner.h"
+#include "src/core/scenario.h"
 #include "src/hw/catalog.h"
-#include "src/hw/lite_derive.h"
-#include "src/silicon/cost.h"
-#include "src/silicon/wafer.h"
-#include "src/silicon/yield.h"
 #include "src/util/flags.h"
-#include "src/util/format.h"
-#include "src/util/table.h"
+#include "src/util/json.h"
 #include "src/util/units.h"
 
 namespace litegpu {
 namespace {
 
-SearchOptions OptionsFromFlags(const Flags& flags) {
-  SearchOptions options;
-  options.workload.prompt_tokens = flags.GetInt("prompt", 1500);
-  options.workload.output_tokens = flags.GetInt("output", 256);
-  options.workload.ttft_slo_s = flags.GetDouble("ttft", 1.0);
-  options.workload.tbt_slo_s = flags.GetDouble("tbt", 0.050);
-  options.workload.enforce_memory_capacity = !flags.GetBool("ideal-capacity", false);
-  if (flags.GetBool("kv-ideal", false)) {
-    options.kv_policy = KvShardPolicy::kIdealShard;
+constexpr int kUsageError = 64;
+
+// Flags shared by the perf studies (search/fig3*/design).
+const std::vector<std::string> kWorkloadFlags = {"prompt", "output", "ttft", "tbt",
+                                                 "ideal-capacity", "kv-ideal", "max-batch"};
+const std::vector<std::string> kCommonFlags = {"threads", "json"};
+
+std::vector<std::string> AllowedFlags(std::vector<std::string> own, bool workload = true) {
+  own.insert(own.end(), kCommonFlags.begin(), kCommonFlags.end());
+  if (workload) {
+    own.insert(own.end(), kWorkloadFlags.begin(), kWorkloadFlags.end());
   }
-  // 0 = hardware concurrency; 1 = serial. Identical results either way.
-  options.threads = flags.GetInt("threads", 0);
-  return options;
+  return own;
+}
+
+// Returns nonzero exit code on unknown flags, else 0.
+int CheckFlags(const Flags& flags, const std::vector<std::string>& allowed) {
+  std::string problem = flags.UnknownFlagCheck(allowed);
+  if (!problem.empty()) {
+    std::fprintf(stderr, "litegpu: %s\n", problem.c_str());
+    return kUsageError;
+  }
+  return 0;
+}
+
+void ApplyWorkloadFlags(const Flags& flags, ScenarioBuilder& builder) {
+  builder.PromptTokens(flags.GetInt("prompt", 1500))
+      .OutputTokens(flags.GetInt("output", 256))
+      .TtftSlo(flags.GetDouble("ttft", 1.0))
+      .TbtSlo(flags.GetDouble("tbt", 0.050))
+      .EnforceMemoryCapacity(!flags.GetBool("ideal-capacity", false))
+      .MaxBatch(flags.GetInt("max-batch", 65536))
+      .Threads(flags.GetInt("threads", 0));
+  if (flags.GetBool("kv-ideal", false)) {
+    builder.KvPolicy(KvShardPolicy::kIdealShard);
+  }
+}
+
+// Runs one built scenario and prints the report; shared exit-code policy.
+int Execute(const ScenarioBuilder& builder, const Flags& flags) {
+  std::string error;
+  auto scenario = builder.Build(&error);
+  if (!scenario) {
+    std::fprintf(stderr, "litegpu: %s\n", error.c_str());
+    return 1;
+  }
+  RunReport report = Runner().Run(*scenario);
+  if (flags.GetBool("json", false)) {
+    std::printf("%s\n", report.ToJson().Dump().c_str());
+  } else {
+    std::printf("%s", report.ToText().c_str());
+  }
+  if (!report.ok) {
+    std::fprintf(stderr, "litegpu: %s\n", report.error.c_str());
+    return 1;
+  }
+  // derive keeps its historical exit contract: 2 when the part is
+  // shoreline-infeasible (scripts branch on it).
+  if (report.study == StudyKind::kDerive &&
+      !std::get<DeriveStudyReport>(report.payload).result.shoreline_feasible) {
+    return 2;
+  }
+  return 0;
+}
+
+int RunScenarioFiles(const Flags& flags) {
+  if (int rc = CheckFlags(flags, AllowedFlags({}, /*workload=*/false))) {
+    return rc;
+  }
+  std::vector<std::string> files(flags.positionals().begin() + 1,
+                                 flags.positionals().end());
+  if (files.empty()) {
+    std::fprintf(stderr, "usage: litegpu run <scenario.json>... [--json] [--threads N]\n");
+    return kUsageError;
+  }
+  std::vector<Scenario> scenarios;
+  for (const std::string& path : files) {
+    std::string error;
+    auto loaded = LoadScenarioFile(path, &error);
+    if (!loaded) {
+      std::fprintf(stderr, "litegpu: %s: %s\n", path.c_str(), error.c_str());
+      return 1;
+    }
+    scenarios.insert(scenarios.end(), loaded->begin(), loaded->end());
+  }
+
+  std::vector<RunReport> reports;
+  if (scenarios.size() == 1) {
+    Scenario only = scenarios.front();
+    if (flags.Has("threads")) {
+      only.exec.threads = flags.GetInt("threads", 0);
+    }
+    reports.push_back(Runner().Run(only));
+  } else {
+    ExecPolicy exec;
+    exec.threads = flags.GetInt("threads", 0);
+    reports = RunScenarios(scenarios, exec);
+  }
+
+  bool all_ok = true;
+  if (flags.GetBool("json", false)) {
+    if (reports.size() == 1) {
+      std::printf("%s\n", reports.front().ToJson().Dump().c_str());
+    } else {
+      Json batch = Json::Array();
+      for (const auto& report : reports) {
+        batch.Append(report.ToJson());
+      }
+      std::printf("%s\n", batch.Dump().c_str());
+    }
+  } else {
+    for (const auto& report : reports) {
+      std::printf("%s\n", report.ToText().c_str());
+    }
+  }
+  for (const auto& report : reports) {
+    if (!report.ok) {
+      std::fprintf(stderr, "litegpu: scenario '%s': %s\n", report.scenario_name.c_str(),
+                   report.error.c_str());
+      all_ok = false;
+    }
+  }
+  return all_ok ? 0 : 1;
 }
 
 int RunFig3(const Flags& flags, bool prefill) {
-  SearchOptions options = OptionsFromFlags(flags);
-  if (prefill) {
-    auto entries = RunPrefillStudy(CaseStudyModels(),
-                                   {H100(), Lite(), LiteNetBw(), LiteNetBwFlops()}, options);
-    std::printf("%s", Fig3ToText(entries, "Figure 3a: prefill").c_str());
-  } else {
-    auto entries = RunDecodeStudy(CaseStudyModels(),
-                                  {H100(), Lite(), LiteMemBw(), LiteMemBwNetBw()}, options);
-    std::printf("%s", Fig3ToText(entries, "Figure 3b: decode").c_str());
+  if (int rc = CheckFlags(flags, AllowedFlags({"baseline"}))) {
+    return rc;
   }
-  return 0;
+  ScenarioBuilder builder(prefill ? StudyKind::kFig3a : StudyKind::kFig3b);
+  ApplyWorkloadFlags(flags, builder);
+  builder.Baseline(flags.GetString("baseline", "H100"));
+  return Execute(builder, flags);
 }
 
 int RunSearch(const Flags& flags) {
-  auto model = FindModel(flags.GetString("model", "Llama3-70B"));
-  auto gpu = FindGpu(flags.GetString("gpu", "H100"));
-  if (!model || !gpu) {
-    std::fprintf(stderr, "unknown --model or --gpu (try `litegpu list`)\n");
-    return 1;
+  if (int rc = CheckFlags(flags, AllowedFlags({"model", "gpu"}))) {
+    return rc;
   }
-  SearchOptions options = OptionsFromFlags(flags);
-  DecodeSearchResult decode = SearchDecode(*model, *gpu, options);
-  PrefillSearchResult prefill = SearchPrefill(*model, *gpu, options);
-  std::printf("%s on %s:\n", model->name.c_str(), gpu->name.c_str());
-  if (prefill.found) {
-    std::printf("  prefill: TP=%d batch=%d TTFT=%s -> %.2f tokens/s/SM\n",
-                prefill.best.tp_degree, prefill.best.batch,
-                HumanTime(prefill.best.result.ttft_s).c_str(),
-                prefill.best.result.tokens_per_s_per_sm);
-  } else {
-    std::printf("  prefill: no feasible configuration\n");
-  }
-  if (decode.found) {
-    std::printf("  decode:  TP=%d batch=%d TBT=%s -> %.2f tokens/s/SM\n",
-                decode.best.tp_degree, decode.best.batch,
-                HumanTime(decode.best.result.tbt_s).c_str(),
-                decode.best.result.tokens_per_s_per_sm);
-    std::printf("  per-degree frontier:\n");
-    for (const auto& p : decode.per_degree) {
-      std::printf("    TP=%-3d batch=%-5d TBT=%-10s %.2f tokens/s/SM\n", p.tp_degree,
-                  p.batch, HumanTime(p.result.tbt_s).c_str(),
-                  p.result.tokens_per_s_per_sm);
-    }
-  } else {
-    std::printf("  decode:  no feasible configuration\n");
-  }
-  return 0;
+  ScenarioBuilder builder(StudyKind::kSearch);
+  ApplyWorkloadFlags(flags, builder);
+  builder.Model(flags.GetString("model", "Llama3-70B"))
+      .Gpu(flags.GetString("gpu", "H100"));
+  return Execute(builder, flags);
 }
 
 int RunDesign(const Flags& flags) {
-  auto model = FindModel(flags.GetString("model", "Llama3-70B"));
-  if (!model) {
-    std::fprintf(stderr, "unknown --model\n");
-    return 1;
+  if (int rc = CheckFlags(flags, AllowedFlags({"model", "hbm-cost", "price-multiplier",
+                                               "amortization-years"}))) {
+    return rc;
   }
-  DesignInputs inputs;
-  inputs.model = *model;
-  inputs.search = OptionsFromFlags(flags);
-  inputs.threads = inputs.search.threads;
-  auto reports = CompareClusters(Table1Configs(), inputs);
-  std::printf("%s", ClusterComparisonToText(reports).c_str());
-  return 0;
+  ScenarioBuilder builder(StudyKind::kDesign);
+  ApplyWorkloadFlags(flags, builder);
+  builder.Model(flags.GetString("model", "Llama3-70B"));
+  DesignKnobs knobs;
+  knobs.hbm_usd_per_gb = flags.GetDouble("hbm-cost", knobs.hbm_usd_per_gb);
+  knobs.gpu_price_multiplier =
+      flags.GetDouble("price-multiplier", knobs.gpu_price_multiplier);
+  knobs.amortization_years =
+      flags.GetDouble("amortization-years", knobs.amortization_years);
+  builder.Design(knobs);
+  return Execute(builder, flags);
+}
+
+int RunMcSim(const Flags& flags) {
+  if (int rc = CheckFlags(flags, AllowedFlags({"gpu", "gpus-per-instance", "instances",
+                                               "spares", "years", "seed", "trials"},
+                                              /*workload=*/false))) {
+    return rc;
+  }
+  ScenarioBuilder builder(StudyKind::kMcSim);
+  builder.Gpu(flags.GetString("gpu", "H100")).Threads(flags.GetInt("threads", 0));
+  McSimKnobs knobs;
+  knobs.gpus_per_instance = flags.GetInt("gpus-per-instance", knobs.gpus_per_instance);
+  knobs.num_instances = flags.GetInt("instances", knobs.num_instances);
+  knobs.num_spares = flags.GetInt("spares", knobs.num_spares);
+  knobs.sim_years = flags.GetDouble("years", knobs.sim_years);
+  knobs.seed = flags.GetUint64("seed", knobs.seed);
+  knobs.num_trials = flags.GetInt("trials", knobs.num_trials);
+  builder.McSim(knobs);
+  return Execute(builder, flags);
 }
 
 int RunYield(const Flags& flags) {
-  WaferSpec wafer;
-  DefectSpec defects;
-  defects.density_per_cm2 = flags.GetDouble("d0", 0.1);
-  double area = flags.GetDouble("area", 814.0);
-  int split = flags.GetInt("split", 4);
-  Table table({"Model", "Yield(full)", "Yield(1/" + std::to_string(split) + ")", "Gain",
-               "KGD cost ratio"});
-  for (auto model : {YieldModel::kPoisson, YieldModel::kMurphy, YieldModel::kSeeds,
-                     YieldModel::kNegativeBinomial}) {
-    double big = KnownGoodDieCost(wafer, model, defects, area);
-    double small = KnownGoodDieCost(wafer, model, defects, area / split);
-    table.AddRow({ToString(model), FormatDouble(DieYield(model, defects, area), 3),
-                  FormatDouble(DieYield(model, defects, area / split), 3),
-                  FormatDouble(YieldGainFromSplit(model, defects, area, split), 2) + "x",
-                  big > 0.0 ? FormatDouble(split * small / big, 3) : "-"});
+  if (int rc =
+          CheckFlags(flags, AllowedFlags({"d0", "area", "split", "cluster-alpha"},
+                                         /*workload=*/false))) {
+    return rc;
   }
-  std::printf("die %.1f mm^2, d0 %.2f/cm^2, split %d\n%s", area, defects.density_per_cm2,
-              split, table.ToText().c_str());
-  return 0;
+  ScenarioBuilder builder(StudyKind::kYield);
+  YieldKnobs knobs;
+  knobs.defect_density_per_cm2 = flags.GetDouble("d0", knobs.defect_density_per_cm2);
+  knobs.die_area_mm2 = flags.GetDouble("area", knobs.die_area_mm2);
+  knobs.split = flags.GetInt("split", knobs.split);
+  knobs.cluster_alpha = flags.GetDouble("cluster-alpha", knobs.cluster_alpha);
+  builder.Yield(knobs);
+  return Execute(builder, flags);
 }
 
 int RunDerive(const Flags& flags) {
-  LiteDeriveOptions options;
-  options.split = flags.GetInt("split", 4);
-  options.mem_bw_multiplier = flags.GetDouble("mem", 1.0);
-  options.net_bw_multiplier = flags.GetDouble("net", 1.0);
-  options.overclock = flags.GetDouble("clock", 1.0);
-  options.max_gpus_multiplier = options.split;
-  auto base = FindGpu(flags.GetString("base", "H100"));
-  if (!base) {
-    std::fprintf(stderr, "unknown --base GPU\n");
-    return 1;
+  if (int rc = CheckFlags(flags, AllowedFlags({"base", "split", "mem", "net", "clock"},
+                                              /*workload=*/false))) {
+    return rc;
   }
-  LiteDeriveResult result = DeriveLite(*base, options);
-  std::printf("%s\n", result.ToString().c_str());
-  return result.shoreline_feasible ? 0 : 2;
+  ScenarioBuilder builder(StudyKind::kDerive);
+  DeriveKnobs knobs;
+  knobs.base_gpu = flags.GetString("base", knobs.base_gpu);
+  knobs.split = flags.GetInt("split", knobs.split);
+  knobs.mem_bw_multiplier = flags.GetDouble("mem", knobs.mem_bw_multiplier);
+  knobs.net_bw_multiplier = flags.GetDouble("net", knobs.net_bw_multiplier);
+  knobs.overclock = flags.GetDouble("clock", knobs.overclock);
+  builder.Derive(knobs);
+  return Execute(builder, flags);
 }
 
-int RunList() {
+int RunList(const Flags& flags) {
+  if (int rc = CheckFlags(flags, {"json"})) {
+    return rc;
+  }
+  if (flags.GetBool("json", false)) {
+    Json gpus = Json::Array();
+    for (const auto& g : Table1Configs()) {
+      Json j = Json::Object();
+      j.Set("name", g.name)
+          .Set("flops", g.flops)
+          .Set("mem_bw_bytes_per_s", g.mem_bw_bytes_per_s)
+          .Set("net_bw_bytes_per_s", g.net_bw_bytes_per_s)
+          .Set("max_gpus", g.max_gpus);
+      gpus.Append(std::move(j));
+    }
+    Json models = Json::Array();
+    for (const auto& m : {Llama3_8B(), Llama3_70B(), Gpt3_175B(), Llama3_405B()}) {
+      Json j = Json::Object();
+      j.Set("name", m.name)
+          .Set("num_layers", m.num_layers)
+          .Set("d_model", m.d_model)
+          .Set("num_heads", m.num_heads)
+          .Set("num_kv_heads", m.num_kv_heads);
+      models.Append(std::move(j));
+    }
+    Json j = Json::Object();
+    j.Set("gpus", std::move(gpus)).Set("models", std::move(models));
+    std::printf("%s\n", j.Dump().c_str());
+    return 0;
+  }
   std::printf("GPUs:\n");
   for (const auto& g : Table1Configs()) {
     std::printf("  %-18s %4.0f TFLOPS %5.0f GB/s mem %6.1f GB/s net, max %d\n",
@@ -169,20 +296,30 @@ int RunList() {
 }
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: litegpu <fig3a|fig3b|search|design|yield|derive|list> [flags]\n"
-               "  search:  --model M --gpu G [--prompt N --output N --ttft S --tbt S]\n"
-               "  design:  --model M\n"
-               "  yield:   [--d0 X --area A --split N]\n"
-               "  derive:  [--base G --split N --mem X --net X --clock X]\n"
-               "  fig3*:   [--ideal-capacity] [--kv-ideal]\n"
-               "  common:  [--threads N]  sweep workers (0 = all cores, 1 = serial)\n");
-  return 64;
+  std::fprintf(
+      stderr,
+      "usage: litegpu <run|fig3a|fig3b|search|design|mcsim|yield|derive|list> [flags]\n"
+      "  run:     <scenario.json>...  execute declarative scenario file(s)\n"
+      "  search:  --model M --gpu G [--prompt N --output N --ttft S --tbt S]\n"
+      "  design:  --model M [--hbm-cost X --price-multiplier X --amortization-years X]\n"
+      "  mcsim:   [--gpu G --gpus-per-instance N --instances N --spares N\n"
+      "            --years X --seed N --trials N]\n"
+      "  yield:   [--d0 X --area A --split N --cluster-alpha X]\n"
+      "  derive:  [--base G --split N --mem X --net X --clock X]\n"
+      "  fig3*:   [--ideal-capacity] [--kv-ideal] [--baseline G]\n"
+      "  common:  [--threads N]  sweep workers (0 = all cores, 1 = serial)\n"
+      "           [--json]      structured report on stdout\n");
+  return kUsageError;
 }
 
 int Main(int argc, const char* const* argv) {
-  Flags flags = Flags::Parse(argc, argv);
+  // Declared boolean switches never swallow a following positional
+  // (`litegpu run --json scenario.json` keeps the file positional).
+  Flags flags = Flags::Parse(argc, argv, {"json", "kv-ideal", "ideal-capacity"});
   std::string cmd = flags.Subcommand();
+  if (cmd == "run") {
+    return RunScenarioFiles(flags);
+  }
   if (cmd == "fig3a") {
     return RunFig3(flags, /*prefill=*/true);
   }
@@ -195,6 +332,9 @@ int Main(int argc, const char* const* argv) {
   if (cmd == "design") {
     return RunDesign(flags);
   }
+  if (cmd == "mcsim") {
+    return RunMcSim(flags);
+  }
   if (cmd == "yield") {
     return RunYield(flags);
   }
@@ -202,7 +342,7 @@ int Main(int argc, const char* const* argv) {
     return RunDerive(flags);
   }
   if (cmd == "list") {
-    return RunList();
+    return RunList(flags);
   }
   return Usage();
 }
