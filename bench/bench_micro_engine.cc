@@ -1,12 +1,23 @@
 // Engine micro-benchmarks (google-benchmark): how fast the modeling library
 // itself is. A full Figure-3 study runs thousands of roofline evaluations;
-// these benchmarks keep the cost of one evaluation and one search visible.
+// these benchmarks keep the cost of one evaluation and one search visible,
+// and the PerfModel pair quantifies what its memoization buys on the hot
+// path.
+//
+// `bench_micro_engine --json` skips the harness and emits one JSON object
+// with the PerfModel cache counters observed while running the searches the
+// studies run; it exits nonzero when the hot path stops hitting the cache
+// (CI's cache-effectiveness smoke check).
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
 
 #include "src/core/search.h"
 #include "src/hw/catalog.h"
 #include "src/llm/stages.h"
+#include "src/perf/model.h"
 #include "src/roofline/engine.h"
 #include "src/roofline/inference.h"
 
@@ -73,6 +84,73 @@ void BM_SearchPrefill(benchmark::State& state) {
 }
 BENCHMARK(BM_SearchPrefill)->DenseRange(0, 2);
 
+// The memoization pair: a cold PerfModel pays the full roofline evaluation,
+// a warm one answers the same decode query from its cache. The ratio is the
+// hot-path speedup the serve simulator and the search's final re-evaluation
+// see on repeated (batch, context) queries.
+void BM_PerfModelDecodeCold(benchmark::State& state) {
+  TransformerSpec model = Llama3_70B();
+  TpPlan plan = MakeTpPlan(model, 8).value();
+  WorkloadParams workload;
+  GpuSpec gpu = H100();
+  for (auto _ : state) {
+    PerfModel perf(model, gpu, plan, workload);
+    DecodeResult r = perf.Decode(128);
+    benchmark::DoNotOptimize(r.tokens_per_s_per_sm);
+  }
+}
+BENCHMARK(BM_PerfModelDecodeCold);
+
+void BM_PerfModelDecodeWarm(benchmark::State& state) {
+  TransformerSpec model = Llama3_70B();
+  TpPlan plan = MakeTpPlan(model, 8).value();
+  WorkloadParams workload;
+  GpuSpec gpu = H100();
+  PerfModel perf(model, gpu, plan, workload);
+  benchmark::DoNotOptimize(perf.Decode(128).tokens_per_s_per_sm);  // populate
+  for (auto _ : state) {
+    DecodeResult r = perf.Decode(128);
+    benchmark::DoNotOptimize(r.tokens_per_s_per_sm);
+  }
+}
+BENCHMARK(BM_PerfModelDecodeWarm);
+
+// --json: cache-effectiveness smoke check (no gbench harness). Runs the
+// same searches the studies run and reports the process-wide PerfModel
+// cache counters; exit 1 when nothing hits the cache.
+int CacheSmokeJson() {
+  ResetGlobalPerfCacheStats();
+  SearchOptions options;
+  for (const TransformerSpec& model : CaseStudyModels()) {
+    benchmark::DoNotOptimize(SearchDecode(model, Lite(), options).found);
+    benchmark::DoNotOptimize(SearchPrefill(model, Lite(), options).found);
+  }
+  PerfCacheStats stats = GlobalPerfCacheStats();
+  std::printf("{\n"
+              "  \"evaluations\": %llu,\n"
+              "  \"cache_hits\": %llu,\n"
+              "  \"cache_misses\": %llu,\n"
+              "  \"cache_hit_rate\": %.6f\n"
+              "}\n",
+              static_cast<unsigned long long>(stats.hits + stats.misses),
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses), stats.HitRate());
+  return stats.HitRate() > 0.0 ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      return CacheSmokeJson();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

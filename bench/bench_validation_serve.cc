@@ -1,17 +1,17 @@
 // Validation V1: the analytic Figure-3 capacities vs the discrete-event
 // serving simulator. We take the search's best decode/prefill configurations
-// for H100 and Lite+MemBW, build a phase-split cluster from them, drive it
-// with a Poisson workload at increasing fractions of the predicted capacity,
-// and check that (a) measured throughput tracks the analytic number and
-// (b) latency SLOs hold below capacity and collapse above it.
+// for H100 and Lite+MemBW, build a phase-split cluster from them through the
+// PerfModel-backed callbacks (the same path the `serve` study uses), drive
+// it with a Poisson workload at increasing fractions of the predicted
+// capacity, and check that (a) measured throughput tracks the analytic
+// number and (b) latency SLOs hold below capacity and collapse above it.
 
 #include <cmath>
 #include <cstdio>
-#include <functional>
 
 #include "src/core/search.h"
 #include "src/hw/catalog.h"
-#include "src/roofline/inference.h"
+#include "src/perf/model.h"
 #include "src/serve/simulator.h"
 #include "src/serve/workload.h"
 #include "src/util/format.h"
@@ -43,18 +43,10 @@ int main() {
                 gpu.name.c_str(), decode.best.tp_degree, decode.best.batch, decode_cap,
                 prefill.best.tp_degree, prefill.best.batch, prefill_cap);
 
-    ServeCallbacks callbacks;
-    callbacks.max_prefill_batch = prefill.best.batch;
-    callbacks.max_decode_batch = decode.best.batch;
-    callbacks.prefill_time = [&](int batch) {
-      return EvaluatePrefill(model, gpu, prefill_plan, batch, options.workload,
-                             options.engine)
-          .ttft_s;
-    };
-    callbacks.decode_step_time = [&](int batch) {
-      return EvaluateDecode(model, gpu, decode_plan, batch, options.workload, options.engine)
-          .tbt_s;
-    };
+    PerfModel prefill_model(model, gpu, prefill_plan, options.workload, options.engine);
+    PerfModel decode_model(model, gpu, decode_plan, options.workload, options.engine);
+    ServeCallbacks callbacks = MakePerfModelCallbacks(
+        prefill_model, decode_model, prefill.best.batch, decode.best.batch);
 
     // Request rate that saturates decode: capacity / output tokens.
     WorkloadSpec base;
@@ -89,8 +81,14 @@ int main() {
     std::printf("%s\n", table.ToText().c_str());
   }
 
+  PerfCacheStats cache = GlobalPerfCacheStats();
   std::printf("Expectation: ratio ~1.0 at every load below saturation (the simulator\n"
               "reproduces the analytic capacity), TBT p99 <= 50 ms, and TTFT well under\n"
               "1 s until the prefill pool saturates.\n");
+  std::printf("PerfModel cache: %llu hits / %llu misses (%.1f%% hit rate) — the\n"
+              "simulator's per-event latency queries collapse onto one roofline\n"
+              "evaluation per distinct batch.\n",
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses), 100.0 * cache.HitRate());
   return 0;
 }

@@ -10,6 +10,7 @@
 
 #include "src/core/search.h"
 #include "src/hw/catalog.h"
+#include "src/perf/model.h"
 #include "src/sched/pools.h"
 #include "src/util/format.h"
 #include "src/util/table.h"
@@ -21,18 +22,20 @@ namespace {
 InstanceCapacity MeasureCapacity(const TransformerSpec& model, const GpuSpec& prefill_gpu,
                                  const GpuSpec& decode_gpu) {
   SearchOptions options;
-  InstanceCapacity capacity;
   PrefillSearchResult p = SearchPrefill(model, prefill_gpu, options);
   DecodeSearchResult d = SearchDecode(model, decode_gpu, options);
-  if (p.found) {
-    capacity.prefill_tokens_per_s = p.best.result.tokens_per_s;
-    capacity.prefill_gpus = p.best.tp_degree;
+  if (!p.found || !d.found) {
+    return InstanceCapacity{};
   }
-  if (d.found) {
-    capacity.decode_tokens_per_s = d.best.result.tokens_per_s;
-    capacity.decode_gpus = d.best.tp_degree;
-  }
-  return capacity;
+  // Capacities come from the PerfModels of the searched best configurations
+  // — the same analytic layer the serve study and the simulator consume.
+  PerfModel prefill(model, prefill_gpu,
+                    MakeTpPlan(model, p.best.tp_degree, options.kv_policy).value(),
+                    options.workload, options.engine);
+  PerfModel decode(model, decode_gpu,
+                   MakeTpPlan(model, d.best.tp_degree, options.kv_policy).value(),
+                   options.workload, options.engine);
+  return CapacityFromPerfModels(prefill, p.best.batch, decode, d.best.batch);
 }
 
 }  // namespace

@@ -76,9 +76,8 @@ std::vector<ClusterDesignReport> CompareClusters(const std::vector<GpuSpec>& gpu
   // already-parallel fan-out.
   DesignInputs per_design = inputs;
   per_design.search.exec.threads = 1;
-  per_design.search.threads = 0;
   return ParallelMap<ClusterDesignReport>(
-      EffectiveThreads(inputs.exec, inputs.threads), static_cast<int>(gpus.size()),
+      EffectiveThreads(inputs.exec), static_cast<int>(gpus.size()),
       [&](int i) { return DesignCluster(gpus[static_cast<size_t>(i)], per_design); });
 }
 

@@ -49,9 +49,6 @@ struct DesignInputs {
   // CompareClusters forces the inner searches serial (see the nesting note
   // in src/util/exec_policy.h).
   ExecPolicy exec;
-  // DEPRECATED alias for exec.threads, kept one PR for source compatibility;
-  // a non-zero value here overrides exec.threads.
-  int threads = 0;
 };
 
 struct ClusterDesignReport {

@@ -40,10 +40,9 @@ std::vector<Fig3Entry> RunStudy(const std::vector<TransformerSpec>& models,
                                 const std::string& baseline_name, const RunPair& run_pair) {
   SearchOptions per_pair = options.search;
   per_pair.exec.threads = 1;
-  per_pair.threads = 0;
   int num_pairs = static_cast<int>(models.size() * gpus.size());
   std::vector<Fig3Entry> entries =
-      ParallelMap<Fig3Entry>(EffectiveThreads(options.exec, options.threads), num_pairs,
+      ParallelMap<Fig3Entry>(EffectiveThreads(options.exec), num_pairs,
                              [&](int i) {
         const auto& model = models[static_cast<size_t>(i) / gpus.size()];
         const auto& gpu = gpus[static_cast<size_t>(i) % gpus.size()];
@@ -110,7 +109,6 @@ std::vector<Fig3Entry> RunPrefillStudy(const std::vector<TransformerSpec>& model
   ExperimentOptions experiment;
   experiment.search = options;
   experiment.exec = options.exec;
-  experiment.threads = options.threads;
   return RunPrefillStudy(models, gpus, experiment, baseline_name);
 }
 
@@ -121,7 +119,6 @@ std::vector<Fig3Entry> RunDecodeStudy(const std::vector<TransformerSpec>& models
   ExperimentOptions experiment;
   experiment.search = options;
   experiment.exec = options.exec;
-  experiment.threads = options.threads;
   return RunDecodeStudy(models, gpus, experiment, baseline_name);
 }
 

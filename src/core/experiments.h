@@ -20,9 +20,6 @@ struct ExperimentOptions {
   // serially inside it regardless of search.exec (see the nesting note in
   // src/util/exec_policy.h).
   ExecPolicy exec;
-  // DEPRECATED alias for exec.threads, kept one PR for source compatibility;
-  // a non-zero value here overrides exec.threads.
-  int threads = 0;
 };
 
 struct Fig3Entry {
@@ -53,8 +50,8 @@ std::vector<Fig3Entry> RunDecodeStudy(const std::vector<TransformerSpec>& models
                                       const ExperimentOptions& options,
                                       const std::string& baseline_name = "H100");
 
-// Convenience overloads: wrap SearchOptions, inheriting its ExecPolicy (and
-// legacy threads alias) for the pair fan-out.
+// Convenience overloads: wrap SearchOptions, inheriting its ExecPolicy for
+// the pair fan-out.
 std::vector<Fig3Entry> RunPrefillStudy(const std::vector<TransformerSpec>& models,
                                        const std::vector<GpuSpec>& gpus,
                                        const SearchOptions& options,

@@ -1,9 +1,15 @@
 #include "src/core/runner.h"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <utility>
 
 #include "src/hw/catalog.h"
+#include "src/perf/model.h"
+#include "src/sched/pools.h"
+#include "src/serve/simulator.h"
+#include "src/serve/workload.h"
 #include "src/silicon/cost.h"
 #include "src/silicon/wafer.h"
 #include "src/util/format.h"
@@ -124,6 +130,105 @@ YieldStudyReport RunYieldStudy(const Scenario& s) {
   return out;
 }
 
+// Runs the end-to-end serving simulation for the scenario's (model, GPU)
+// pair: search the best phase configurations, build PerfModels for them,
+// size the pools, generate the Poisson workload, and drive the discrete-
+// event simulator through the PerfModel-backed callbacks. Fails (non-empty
+// *error) when no feasible configuration exists under the SLOs.
+ServeStudyReport RunServeStudy(const Scenario& s, std::string* error) {
+  ServeStudyReport out;
+  out.model = s.ResolvedModels().front();
+  out.gpu = s.ResolvedGpus().front();
+  out.knobs = s.serve;
+
+  TransformerSpec model = *FindModel(out.model);
+  GpuSpec gpu = *FindGpu(out.gpu);
+  SearchOptions options = s.MakeSearchOptions();
+
+  PrefillSearchResult prefill = SearchPrefill(model, gpu, options);
+  DecodeSearchResult decode = SearchDecode(model, gpu, options);
+  if (!prefill.found || !decode.found) {
+    *error = "no feasible " + std::string(!prefill.found ? "prefill" : "decode") +
+             " configuration for " + out.model + " on " + out.gpu +
+             " under the scenario's SLOs";
+    return out;
+  }
+  out.prefill_tp = prefill.best.tp_degree;
+  out.prefill_batch = prefill.best.batch;
+  out.prefill_capacity_tok_s = prefill.best.result.tokens_per_s;
+  out.decode_tp = decode.best.tp_degree;
+  out.decode_batch = decode.best.batch;
+  out.decode_capacity_tok_s = decode.best.result.tokens_per_s;
+
+  TpPlan prefill_plan = MakeTpPlan(model, out.prefill_tp, options.kv_policy).value();
+  TpPlan decode_plan = MakeTpPlan(model, out.decode_tp, options.kv_policy).value();
+  PerfModel prefill_model(model, gpu, prefill_plan, options.workload, options.engine);
+  PerfModel decode_model(model, gpu, decode_plan, options.workload, options.engine);
+  ServeCallbacks callbacks = MakePerfModelCallbacks(prefill_model, decode_model,
+                                                    out.prefill_batch, out.decode_batch);
+
+  out.decode_instances = s.serve.decode_instances;
+  // Offered load: explicit rate, or `load` x the decode pool's analytic
+  // capacity converted to requests/s.
+  out.arrival_rate_per_s =
+      s.serve.arrival_rate_per_s > 0.0
+          ? s.serve.arrival_rate_per_s
+          : s.serve.load * out.decode_capacity_tok_s * out.decode_instances /
+                s.workload.output_tokens;
+  out.analytic_tokens_per_s = out.arrival_rate_per_s * s.workload.output_tokens;
+
+  if (s.serve.prefill_instances > 0) {
+    out.prefill_instances = s.serve.prefill_instances;
+  } else {
+    // Auto-size the prefill pool for its own token demand via the shared
+    // pool-sizing helper (headroom keeps decode the bottleneck under test).
+    PoolDemand demand;
+    demand.requests_per_s = out.arrival_rate_per_s;
+    demand.prompt_tokens = s.workload.prompt_tokens;
+    demand.output_tokens = s.workload.output_tokens;
+    InstanceCapacity capacity = CapacityFromPerfModels(prefill_model, out.prefill_batch,
+                                                       decode_model, out.decode_batch);
+    out.prefill_instances = std::max(1, SizePools(demand, capacity).prefill_instances);
+  }
+  out.total_gpus =
+      out.prefill_instances * out.prefill_tp + out.decode_instances * out.decode_tp;
+
+  WorkloadSpec spec;
+  spec.arrival_rate_per_s = out.arrival_rate_per_s;
+  spec.duration_s = s.serve.horizon_s;
+  spec.median_prompt_tokens = s.workload.prompt_tokens;
+  spec.prompt_sigma = s.serve.prompt_sigma;
+  spec.median_output_tokens = s.workload.output_tokens;
+  spec.output_sigma = s.serve.output_sigma;
+  spec.seed = s.serve.seed;
+  std::vector<Request> requests = GenerateWorkload(spec);
+
+  ServeClusterConfig cluster;
+  cluster.prefill_instances = out.prefill_instances;
+  cluster.decode_instances = out.decode_instances;
+  cluster.horizon_s = s.serve.horizon_s;
+  ServeMetrics metrics = RunServeSimulation(requests, cluster, callbacks);
+
+  out.admitted_requests = metrics.admitted_requests;
+  out.completed_requests = metrics.completed_requests;
+  out.in_flight_at_horizon = metrics.in_flight_at_horizon;
+  out.ttft_p50_s = metrics.ttft_s.Median();
+  out.ttft_p95_s = metrics.ttft_s.P95();
+  out.ttft_p99_s = metrics.ttft_s.P99();
+  out.tbt_p50_s = metrics.tbt_s.Median();
+  out.tbt_p95_s = metrics.tbt_s.P95();
+  out.tbt_p99_s = metrics.tbt_s.P99();
+  out.goodput_tokens_per_s = metrics.decode_tokens_per_s;
+  out.capacity_agreement = out.analytic_tokens_per_s > 0.0
+                               ? out.goodput_tokens_per_s / out.analytic_tokens_per_s
+                               : 0.0;
+  out.prefill_utilization = metrics.prefill_utilization;
+  out.decode_utilization = metrics.decode_utilization;
+  out.mean_decode_batch = metrics.mean_decode_batch;
+  out.makespan_s = metrics.makespan_s;
+  return out;
+}
+
 DeriveStudyReport RunDeriveStudy(const Scenario& s) {
   DeriveStudyReport out;
   LiteDeriveOptions options;
@@ -173,6 +278,15 @@ RunReport Runner::Run(const Scenario& scenario) const {
     case StudyKind::kDerive:
       report.payload = RunDeriveStudy(s);
       break;
+    case StudyKind::kServe: {
+      std::string serve_error;
+      ServeStudyReport serve = RunServeStudy(s, &serve_error);
+      if (!serve_error.empty()) {
+        return ErrorReport(s, serve_error);
+      }
+      report.payload = std::move(serve);
+      break;
+    }
   }
   return report;
 }
@@ -329,6 +443,80 @@ Json YieldStudyToJson(const YieldStudyReport& report) {
   return j;
 }
 
+std::string ServeStudyToText(const ServeStudyReport& r) {
+  std::ostringstream os;
+  os << "Serving simulation: " << r.model << " on " << r.gpu << "\n"
+     << "  prefill: TP=" << r.prefill_tp << " batch<=" << r.prefill_batch << " ("
+     << FormatDouble(r.prefill_capacity_tok_s, 0) << " tok/s/inst) x "
+     << r.prefill_instances << " instances\n"
+     << "  decode:  TP=" << r.decode_tp << " batch<=" << r.decode_batch << " ("
+     << FormatDouble(r.decode_capacity_tok_s, 0) << " tok/s/inst) x "
+     << r.decode_instances << " instances  [" << r.total_gpus << " GPUs total]\n"
+     << "  offered: " << FormatDouble(r.arrival_rate_per_s, 2) << " req/s over "
+     << HumanTime(r.knobs.horizon_s) << " horizon ("
+     << FormatDouble(r.analytic_tokens_per_s, 0) << " decode tok/s analytic)\n";
+  Table table({"Requests", "Completed", "In-flight@H", "TTFT p50/p99", "TBT p50/p99",
+               "Goodput tok/s", "Analytic", "Ratio", "Util p/d", "Mean batch"});
+  table.AddRow({std::to_string(r.admitted_requests), std::to_string(r.completed_requests),
+                std::to_string(r.in_flight_at_horizon),
+                HumanTime(r.ttft_p50_s) + " / " + HumanTime(r.ttft_p99_s),
+                HumanTime(r.tbt_p50_s) + " / " + HumanTime(r.tbt_p99_s),
+                FormatDouble(r.goodput_tokens_per_s, 0),
+                FormatDouble(r.analytic_tokens_per_s, 0),
+                FormatDouble(r.capacity_agreement, 3),
+                FormatDouble(r.prefill_utilization, 2) + " / " +
+                    FormatDouble(r.decode_utilization, 2),
+                FormatDouble(r.mean_decode_batch, 0)});
+  os << table.ToText();
+  return os.str();
+}
+
+Json ServeStudyToJson(const ServeStudyReport& r) {
+  Json config = Json::Object();
+  config.Set("load", r.knobs.load)
+      .Set("arrival_rate_per_s", r.arrival_rate_per_s)
+      .Set("horizon_s", r.knobs.horizon_s)
+      .Set("prompt_sigma", r.knobs.prompt_sigma)
+      .Set("output_sigma", r.knobs.output_sigma)
+      .Set("seed", r.knobs.seed);
+  Json prefill = Json::Object();
+  prefill.Set("tp_degree", r.prefill_tp)
+      .Set("batch", r.prefill_batch)
+      .Set("capacity_tokens_per_s", r.prefill_capacity_tok_s)
+      .Set("instances", r.prefill_instances)
+      .Set("utilization", r.prefill_utilization);
+  Json decode = Json::Object();
+  decode.Set("tp_degree", r.decode_tp)
+      .Set("batch", r.decode_batch)
+      .Set("capacity_tokens_per_s", r.decode_capacity_tok_s)
+      .Set("instances", r.decode_instances)
+      .Set("utilization", r.decode_utilization)
+      .Set("mean_batch", r.mean_decode_batch);
+  Json latency = Json::Object();
+  latency.Set("ttft_p50_s", r.ttft_p50_s)
+      .Set("ttft_p95_s", r.ttft_p95_s)
+      .Set("ttft_p99_s", r.ttft_p99_s)
+      .Set("tbt_p50_s", r.tbt_p50_s)
+      .Set("tbt_p95_s", r.tbt_p95_s)
+      .Set("tbt_p99_s", r.tbt_p99_s);
+  Json j = Json::Object();
+  j.Set("model", r.model)
+      .Set("gpu", r.gpu)
+      .Set("config", std::move(config))
+      .Set("prefill", std::move(prefill))
+      .Set("decode", std::move(decode))
+      .Set("total_gpus", r.total_gpus)
+      .Set("admitted_requests", r.admitted_requests)
+      .Set("completed_requests", r.completed_requests)
+      .Set("in_flight_at_horizon", r.in_flight_at_horizon)
+      .Set("latency", std::move(latency))
+      .Set("goodput_tokens_per_s", r.goodput_tokens_per_s)
+      .Set("analytic_tokens_per_s", r.analytic_tokens_per_s)
+      .Set("capacity_agreement", r.capacity_agreement)
+      .Set("makespan_s", r.makespan_s);
+  return j;
+}
+
 }  // namespace
 
 std::string RunReport::ToText() const {
@@ -362,6 +550,9 @@ std::string RunReport::ToText() const {
     case StudyKind::kDerive:
       os << std::get<DeriveStudyReport>(payload).result.ToString() << "\n";
       break;
+    case StudyKind::kServe:
+      os << ServeStudyToText(std::get<ServeStudyReport>(payload));
+      break;
   }
   return os.str();
 }
@@ -394,6 +585,9 @@ Json RunReport::ToJson() const {
       break;
     case StudyKind::kDerive:
       j.Set("report", std::get<DeriveStudyReport>(payload).result.ToJson());
+      break;
+    case StudyKind::kServe:
+      j.Set("report", ServeStudyToJson(std::get<ServeStudyReport>(payload)));
       break;
   }
   return j;

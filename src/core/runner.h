@@ -70,6 +70,43 @@ struct DeriveStudyReport {
   LiteDeriveResult result;
 };
 
+// End-to-end serving study: the PerfModel-backed discrete-event simulation
+// of the searched best prefill/decode configurations, with the analytic
+// capacity cross-check the paper's claim rests on.
+struct ServeStudyReport {
+  std::string model;
+  std::string gpu;
+  ServeKnobs knobs;
+
+  // Chosen analytic configurations (from the PerfModel-backed search).
+  int prefill_tp = 0;
+  int prefill_batch = 0;
+  double prefill_capacity_tok_s = 0.0;  // per instance
+  int decode_tp = 0;
+  int decode_batch = 0;
+  double decode_capacity_tok_s = 0.0;   // per instance
+
+  // Deployment actually simulated.
+  int prefill_instances = 0;
+  int decode_instances = 0;
+  int total_gpus = 0;
+  double arrival_rate_per_s = 0.0;
+
+  // Measured end-to-end.
+  int admitted_requests = 0;
+  int completed_requests = 0;
+  int in_flight_at_horizon = 0;  // admitted but unfinished when the horizon passed
+  double ttft_p50_s = 0.0, ttft_p95_s = 0.0, ttft_p99_s = 0.0;
+  double tbt_p50_s = 0.0, tbt_p95_s = 0.0, tbt_p99_s = 0.0;
+  double goodput_tokens_per_s = 0.0;   // decode tokens/s over the makespan
+  double analytic_tokens_per_s = 0.0;  // offered decode-token demand
+  double capacity_agreement = 0.0;     // goodput / analytic (the cross-check)
+  double prefill_utilization = 0.0;
+  double decode_utilization = 0.0;
+  double mean_decode_batch = 0.0;
+  double makespan_s = 0.0;
+};
+
 // --- the uniform result -----------------------------------------------------
 
 struct RunReport {
@@ -81,7 +118,7 @@ struct RunReport {
   // Tagged union: exactly the alternative matching `study` is engaged when
   // ok (monostate otherwise).
   std::variant<std::monostate, SearchStudyReport, Fig3StudyReport, DesignStudyReport,
-               McSimStudyReport, YieldStudyReport, DeriveStudyReport>
+               McSimStudyReport, YieldStudyReport, DeriveStudyReport, ServeStudyReport>
       payload;
 
   // Human-readable rendering (the paper-style tables the CLI prints).

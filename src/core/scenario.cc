@@ -22,6 +22,8 @@ std::string ToString(StudyKind kind) {
       return "yield";
     case StudyKind::kDerive:
       return "derive";
+    case StudyKind::kServe:
+      return "serve";
   }
   return "unknown";
 }
@@ -29,7 +31,7 @@ std::string ToString(StudyKind kind) {
 std::optional<StudyKind> ParseStudyKind(const std::string& name) {
   for (StudyKind kind : {StudyKind::kSearch, StudyKind::kFig3a, StudyKind::kFig3b,
                          StudyKind::kDesign, StudyKind::kMcSim, StudyKind::kYield,
-                         StudyKind::kDerive}) {
+                         StudyKind::kDerive, StudyKind::kServe}) {
     if (name == ToString(kind)) {
       return kind;
     }
@@ -51,7 +53,8 @@ std::optional<YieldModel> ParseYieldModel(const std::string& name) {
 
 bool UsesPerfSearch(StudyKind study) {
   return study == StudyKind::kSearch || study == StudyKind::kFig3a ||
-         study == StudyKind::kFig3b || study == StudyKind::kDesign;
+         study == StudyKind::kFig3b || study == StudyKind::kDesign ||
+         study == StudyKind::kServe;
 }
 
 }  // namespace
@@ -65,6 +68,9 @@ std::vector<std::string> Scenario::ResolvedModels() const {
     case StudyKind::kYield:
     case StudyKind::kDerive:
       return {};
+    case StudyKind::kServe:
+      // The serving simulation runs one model end-to-end.
+      return {Llama3_70B().name};
     default: {
       std::vector<std::string> names;
       for (const auto& m : CaseStudyModels()) {
@@ -93,6 +99,7 @@ std::vector<std::string> Scenario::ResolvedGpus() const {
     }
     case StudyKind::kSearch:
     case StudyKind::kMcSim:
+    case StudyKind::kServe:
       return {H100().name};
     case StudyKind::kYield:
     case StudyKind::kDerive:
@@ -205,6 +212,34 @@ std::string Scenario::Validate() const {
         return "design economics knobs must be positive";
       }
       break;
+    case StudyKind::kServe:
+      if (ResolvedModels().size() != 1) {
+        return "study 'serve' simulates exactly one model (got " +
+               std::to_string(ResolvedModels().size()) + ")";
+      }
+      if (ResolvedGpus().size() != 1) {
+        return "study 'serve' simulates exactly one GPU type (got " +
+               std::to_string(ResolvedGpus().size()) + ")";
+      }
+      if (serve.load <= 0.0 && serve.arrival_rate_per_s <= 0.0) {
+        return "serve needs a positive load fraction or arrival_rate_per_s";
+      }
+      if (serve.arrival_rate_per_s < 0.0) {
+        return "serve.arrival_rate_per_s must be >= 0";
+      }
+      if (serve.horizon_s <= 0.0) {
+        return "serve.horizon_s must be positive";
+      }
+      if (serve.prefill_instances < 0) {
+        return "serve.prefill_instances must be >= 0 (0 = auto-size)";
+      }
+      if (serve.decode_instances < 1) {
+        return "serve.decode_instances must be >= 1";
+      }
+      if (serve.prompt_sigma < 0.0 || serve.output_sigma < 0.0) {
+        return "serve length sigmas must be >= 0";
+      }
+      break;
     default:
       break;
   }
@@ -283,6 +318,19 @@ Json ScenarioToJson(const Scenario& s) {
           .Set("net_bw_multiplier", s.derive.net_bw_multiplier)
           .Set("overclock", s.derive.overclock);
       j.Set("derive", std::move(derive));
+      break;
+    }
+    case StudyKind::kServe: {
+      Json serve = Json::Object();
+      serve.Set("load", s.serve.load)
+          .Set("arrival_rate_per_s", s.serve.arrival_rate_per_s)
+          .Set("horizon_s", s.serve.horizon_s)
+          .Set("prefill_instances", s.serve.prefill_instances)
+          .Set("decode_instances", s.serve.decode_instances)
+          .Set("prompt_sigma", s.serve.prompt_sigma)
+          .Set("output_sigma", s.serve.output_sigma)
+          .Set("seed", s.serve.seed);
+      j.Set("serve", std::move(serve));
       break;
     }
     default:
@@ -424,7 +472,8 @@ std::optional<Scenario> ScenarioFromJson(const Json& json, std::string* error) {
   }
   if (!CheckKeys(json,
                  {"name", "study", "models", "gpus", "baseline_gpu", "workload",
-                  "kv_policy", "max_batch", "design", "mcsim", "yield", "derive", "exec"},
+                  "kv_policy", "max_batch", "design", "mcsim", "yield", "derive", "serve",
+                  "exec"},
                  "scenario", error)) {
     return std::nullopt;
   }
@@ -447,7 +496,7 @@ std::optional<Scenario> ScenarioFromJson(const Json& json, std::string* error) {
   if (!study) {
     if (error != nullptr) {
       *error = "unknown study '" + study_name +
-               "' (expected search|fig3a|fig3b|design|mcsim|yield|derive)";
+               "' (expected search|fig3a|fig3b|design|mcsim|yield|derive|serve)";
     }
     return std::nullopt;
   }
@@ -553,6 +602,24 @@ std::optional<Scenario> ScenarioFromJson(const Json& json, std::string* error) {
         !ReadDouble(*derive, "net_bw_multiplier", "derive", s.derive.net_bw_multiplier,
                     error) ||
         !ReadDouble(*derive, "overclock", "derive", s.derive.overclock, error)) {
+      return std::nullopt;
+    }
+  }
+
+  if (const Json* serve = json.Find("serve")) {
+    if (!CheckKeys(*serve,
+                   {"load", "arrival_rate_per_s", "horizon_s", "prefill_instances",
+                    "decode_instances", "prompt_sigma", "output_sigma", "seed"},
+                   "serve", error) ||
+        !ReadDouble(*serve, "load", "serve", s.serve.load, error) ||
+        !ReadDouble(*serve, "arrival_rate_per_s", "serve", s.serve.arrival_rate_per_s,
+                    error) ||
+        !ReadDouble(*serve, "horizon_s", "serve", s.serve.horizon_s, error) ||
+        !ReadInt(*serve, "prefill_instances", "serve", s.serve.prefill_instances, error) ||
+        !ReadInt(*serve, "decode_instances", "serve", s.serve.decode_instances, error) ||
+        !ReadDouble(*serve, "prompt_sigma", "serve", s.serve.prompt_sigma, error) ||
+        !ReadDouble(*serve, "output_sigma", "serve", s.serve.output_sigma, error) ||
+        !ReadUint64(*serve, "seed", "serve", s.serve.seed, error)) {
       return std::nullopt;
     }
   }
@@ -700,6 +767,10 @@ ScenarioBuilder& ScenarioBuilder::Yield(const YieldKnobs& knobs) {
 }
 ScenarioBuilder& ScenarioBuilder::Derive(const DeriveKnobs& knobs) {
   scenario_.derive = knobs;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::Serve(const ServeKnobs& knobs) {
+  scenario_.serve = knobs;
   return *this;
 }
 

@@ -39,6 +39,7 @@ enum class StudyKind {
   kMcSim,   // Monte-Carlo availability simulation
   kYield,   // Section-2 die-yield / known-good-die economics
   kDerive,  // custom Lite-GPU derivation + shoreline feasibility
+  kServe,   // end-to-end discrete-event serving vs the analytic capacity
 };
 
 std::string ToString(StudyKind kind);
@@ -82,6 +83,27 @@ struct DeriveKnobs {
   double overclock = 1.0;
 };
 
+// Knobs only the serve study reads. The request mix takes its median
+// prompt/output lengths from the scenario's shared workload block; these
+// knobs shape arrivals, pool sizes, and the admission horizon. The study
+// runs one model on one GPU type (like mcsim); prefill/decode instance
+// configurations come from the PerfModel-backed search.
+struct ServeKnobs {
+  // Offered load as a fraction of the decode pool's analytic capacity;
+  // ignored when arrival_rate_per_s is set explicitly.
+  double load = 0.8;
+  double arrival_rate_per_s = 0.0;  // requests/s; 0 = derive from `load`
+  // Admission horizon: arrivals are generated (and admitted) up to this
+  // simulated time; admitted-but-unfinished requests drain and are counted
+  // as in_flight_at_horizon.
+  double horizon_s = 60.0;
+  int prefill_instances = 0;  // 0 = auto-size from the analytic capacities
+  int decode_instances = 1;
+  double prompt_sigma = 0.0;  // lognormal sigma; 0 = constant lengths
+  double output_sigma = 0.0;
+  uint64_t seed = 0xC0FFEE;
+};
+
 struct Scenario {
   // Optional label echoed into the RunReport (handy for batches).
   std::string name;
@@ -105,6 +127,7 @@ struct Scenario {
   McSimKnobs mcsim;
   YieldKnobs yield;
   DeriveKnobs derive;
+  ServeKnobs serve;
 
   ExecPolicy exec;
 
@@ -160,6 +183,7 @@ class ScenarioBuilder {
   ScenarioBuilder& McSim(const McSimKnobs& knobs);
   ScenarioBuilder& Yield(const YieldKnobs& knobs);
   ScenarioBuilder& Derive(const DeriveKnobs& knobs);
+  ScenarioBuilder& Serve(const ServeKnobs& knobs);
 
   // The scenario built so far, unvalidated.
   const Scenario& Peek() const { return scenario_; }

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "src/llm/footprint.h"
+#include "src/perf/model.h"
 #include "src/util/thread_pool.h"
 
 namespace litegpu {
@@ -43,7 +44,9 @@ int LargestFeasibleBatch(int upper, const Pred& predicate) {
 
 // Best prefill point for one TP degree, or nullopt when no batch is feasible.
 // Pure function of its arguments: safe to run for different degrees on
-// different workers.
+// different workers. Evaluations go through a per-degree PerfModel, so the
+// final re-evaluation of the chosen batch is a cache hit instead of a third
+// full roofline pass.
 std::optional<PrefillPoint> PrefillBestForDegree(const TransformerSpec& model,
                                                  const GpuSpec& gpu,
                                                  const SearchOptions& options, int degree) {
@@ -57,8 +60,9 @@ std::optional<PrefillPoint> PrefillBestForDegree(const TransformerSpec& model,
                                                 options.workload.prompt_tokens,
                                                 gpu.mem_capacity_bytes));
   }
+  PerfModel perf(model, gpu, *plan, options.workload, options.engine);
   auto meets = [&](int batch) {
-    PrefillResult r = EvaluatePrefill(model, gpu, *plan, batch, options.workload, options.engine);
+    PrefillResult r = perf.Prefill(batch);
     return r.feasible && r.meets_slo;
   };
   int best_batch = LargestFeasibleBatch(upper, meets);
@@ -68,7 +72,7 @@ std::optional<PrefillPoint> PrefillBestForDegree(const TransformerSpec& model,
   PrefillPoint point;
   point.tp_degree = degree;
   point.batch = best_batch;
-  point.result = EvaluatePrefill(model, gpu, *plan, best_batch, options.workload, options.engine);
+  point.result = perf.Prefill(best_batch);
   return point;
 }
 
@@ -84,8 +88,9 @@ std::optional<DecodePoint> DecodeBestForDegree(const TransformerSpec& model, con
     upper = std::min(upper,
                      MaxBatchForCapacity(model, *plan, 1, max_context, gpu.mem_capacity_bytes));
   }
+  PerfModel perf(model, gpu, *plan, options.workload, options.engine);
   auto meets = [&](int batch) {
-    DecodeResult r = EvaluateDecode(model, gpu, *plan, batch, options.workload, options.engine);
+    DecodeResult r = perf.Decode(batch);
     return r.feasible && r.meets_slo;
   };
   int best_batch = LargestFeasibleBatch(upper, meets);
@@ -95,7 +100,7 @@ std::optional<DecodePoint> DecodeBestForDegree(const TransformerSpec& model, con
   DecodePoint point;
   point.tp_degree = degree;
   point.batch = best_batch;
-  point.result = EvaluateDecode(model, gpu, *plan, best_batch, options.workload, options.engine);
+  point.result = perf.Decode(best_batch);
   return point;
 }
 
@@ -108,7 +113,7 @@ PrefillSearchResult SearchPrefill(const TransformerSpec& model, const GpuSpec& g
   // Fan out per degree; combine in degree order so the result is identical
   // to the serial sweep at any thread count.
   auto points = ParallelMap<std::optional<PrefillPoint>>(
-      EffectiveThreads(options.exec, options.threads), static_cast<int>(degrees.size()),
+      EffectiveThreads(options.exec), static_cast<int>(degrees.size()),
       [&](int i) { return PrefillBestForDegree(model, gpu, options, degrees[i]); });
   for (const auto& point : points) {
     if (!point) {
@@ -129,7 +134,7 @@ DecodeSearchResult SearchDecode(const TransformerSpec& model, const GpuSpec& gpu
   DecodeSearchResult out;
   std::vector<int> degrees = FeasibleTpDegrees(model, gpu.max_gpus, options.kv_policy);
   auto points = ParallelMap<std::optional<DecodePoint>>(
-      EffectiveThreads(options.exec, options.threads), static_cast<int>(degrees.size()),
+      EffectiveThreads(options.exec), static_cast<int>(degrees.size()),
       [&](int i) { return DecodeBestForDegree(model, gpu, options, degrees[i]); });
   for (const auto& point : points) {
     if (!point) {
@@ -154,7 +159,7 @@ std::optional<PrefillPoint> BruteForcePrefillBest(const TransformerSpec& model,
   // (earlier degree wins, then earlier batch) is preserved by combining the
   // per-degree bests in degree order with a strict comparison.
   auto points = ParallelMap<std::optional<PrefillPoint>>(
-      EffectiveThreads(options.exec, options.threads), static_cast<int>(degrees.size()),
+      EffectiveThreads(options.exec), static_cast<int>(degrees.size()),
       [&](int i) {
         std::optional<PrefillPoint> best;
         auto plan = MakeTpPlan(model, degrees[i], options.kv_policy);
@@ -189,7 +194,7 @@ std::optional<DecodePoint> BruteForceDecodeBest(const TransformerSpec& model,
                                                 int batch_limit) {
   std::vector<int> degrees = FeasibleTpDegrees(model, gpu.max_gpus, options.kv_policy);
   auto points = ParallelMap<std::optional<DecodePoint>>(
-      EffectiveThreads(options.exec, options.threads), static_cast<int>(degrees.size()),
+      EffectiveThreads(options.exec), static_cast<int>(degrees.size()),
       [&](int i) {
         std::optional<DecodePoint> best;
         auto plan = MakeTpPlan(model, degrees[i], options.kv_policy);

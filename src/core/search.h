@@ -32,9 +32,6 @@ struct SearchOptions {
   int max_batch = 65536;
   // Worker threads for the per-degree fan-out (see src/util/exec_policy.h).
   ExecPolicy exec;
-  // DEPRECATED alias for exec.threads, kept one PR for source compatibility;
-  // a non-zero value here overrides exec.threads.
-  int threads = 0;
 };
 
 struct PrefillPoint {

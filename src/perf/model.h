@@ -1,0 +1,112 @@
+// PerfModel: the one analytic cost interface every study consumes.
+//
+// The library previously had two ways to price the same forward pass: the
+// search/designer hot loops called roofline::EvaluatePrefill/Decode directly,
+// and the discrete-event serving simulator took hand-wired std::function
+// callbacks. A PerfModel binds one (TransformerSpec, GpuSpec, TpPlan,
+// WorkloadParams, EngineParams) tuple and exposes every analytic quantity the
+// engines need — pass times, per-step decode latency at an arbitrary context,
+// collective costs on the part's fabric, and the per-GPU memory footprint —
+// behind an internal memoization cache. The same (phase, batch, context)
+// evaluation is computed once per model instance; the search's final
+// re-evaluation of the chosen batch, the brute-force validators' repeated
+// probes, and the serving simulator's millions of identical step queries all
+// become cache hits. Values are bit-identical to direct EvaluatePrefill /
+// EvaluateDecode calls (tested in perf_model_test).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "src/collectives/cost.h"
+#include "src/hw/gpu_spec.h"
+#include "src/llm/model.h"
+#include "src/llm/parallel.h"
+#include "src/roofline/inference.h"
+
+namespace litegpu {
+
+struct PerfCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+// Static (batch-independent) slice of the per-GPU memory footprint.
+struct PerfFootprint {
+  double weight_bytes_per_gpu = 0.0;
+  double embedding_bytes_per_gpu = 0.0;
+  double kv_bytes_per_token_per_gpu = 0.0;
+};
+
+class PerfModel {
+ public:
+  // `plan` must be a valid plan for `model` (from MakeTpPlan).
+  PerfModel(const TransformerSpec& model, const GpuSpec& gpu, const TpPlan& plan,
+            const WorkloadParams& workload, const EngineParams& engine = EngineParams{});
+
+  // Full roofline results at the bound workload's prompt/output lengths;
+  // bit-identical to EvaluatePrefill/EvaluateDecode. Memoized.
+  PrefillResult Prefill(int batch) const;
+  DecodeResult Decode(int batch) const;
+
+  // Context-explicit forms for callers that vary the token shape (the
+  // serving simulator): one prefill pass over `batch` prompts of
+  // `prompt_tokens` each, and one decode step for `batch` sequences at a
+  // total context of `context_tokens`. Share the cache with Prefill/Decode
+  // (PrefillTime(b, workload.prompt_tokens) is the same entry as
+  // Prefill(b).ttft_s).
+  double PrefillTime(int batch, int prompt_tokens) const;
+  double DecodeStepTime(int batch, int context_tokens) const;
+
+  // Alpha-beta collective cost on this model's fabric (the GPU's injection
+  // bandwidth + the engine's per-step latency) across the plan's TP degree.
+  double CollectiveCost(double payload_bytes, CollectiveAlgo algo) const;
+  double CollectiveCost(double payload_bytes) const;
+
+  // Per-GPU memory footprint of this (model, plan).
+  PerfFootprint Footprint() const;
+  double MemoryNeededBytes(int batch, int new_tokens, int max_context) const;
+
+  const TransformerSpec& model() const { return model_; }
+  const GpuSpec& gpu() const { return gpu_; }
+  const TpPlan& plan() const { return plan_; }
+  const WorkloadParams& workload() const { return workload_; }
+  const EngineParams& engine() const { return engine_; }
+
+  // This instance's cache effectiveness.
+  PerfCacheStats cache_stats() const;
+
+ private:
+  // Key: (batch, token count) — prompt tokens for prefill entries, total
+  // context for decode entries.
+  using Key = std::pair<int, int>;
+
+  TransformerSpec model_;
+  GpuSpec gpu_;
+  TpPlan plan_;
+  WorkloadParams workload_;
+  EngineParams engine_;
+
+  // A PerfModel is shared by reference with simulator callbacks and may be
+  // queried from a parallel sweep, so the cache is guarded. The lock is
+  // uncontended in the common one-model-per-worker layout and cheap next to
+  // a roofline evaluation.
+  mutable std::mutex mu_;
+  mutable std::map<Key, PrefillResult> prefill_cache_;
+  mutable std::map<Key, DecodeResult> decode_cache_;
+  mutable PerfCacheStats stats_;
+};
+
+// Process-wide cache counters aggregated over every PerfModel instance;
+// lets benches and CI assert the hot loops actually hit the cache without
+// threading a stats handle through the engines.
+PerfCacheStats GlobalPerfCacheStats();
+void ResetGlobalPerfCacheStats();
+
+}  // namespace litegpu

@@ -35,9 +35,6 @@ struct McSimConfig {
   // Because every trial owns its RNG stream, results are bit-identical at
   // any thread count.
   ExecPolicy exec;
-  // DEPRECATED alias for exec.threads, kept one PR for source compatibility;
-  // a non-zero value here overrides exec.threads.
-  int threads = 0;
 };
 
 struct McSimResult {

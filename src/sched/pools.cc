@@ -3,7 +3,19 @@
 #include <cmath>
 #include <cstdio>
 
+#include "src/perf/model.h"
+
 namespace litegpu {
+
+InstanceCapacity CapacityFromPerfModels(const PerfModel& prefill_model, int prefill_batch,
+                                        const PerfModel& decode_model, int decode_batch) {
+  InstanceCapacity capacity;
+  capacity.prefill_tokens_per_s = prefill_model.Prefill(prefill_batch).tokens_per_s;
+  capacity.prefill_gpus = prefill_model.plan().degree;
+  capacity.decode_tokens_per_s = decode_model.Decode(decode_batch).tokens_per_s;
+  capacity.decode_gpus = decode_model.plan().degree;
+  return capacity;
+}
 
 std::string PoolPlan::ToString() const {
   char buffer[256];

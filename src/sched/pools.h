@@ -9,6 +9,8 @@
 
 namespace litegpu {
 
+class PerfModel;
+
 struct PoolDemand {
   double requests_per_s = 10.0;
   int prompt_tokens = 1500;
@@ -40,5 +42,12 @@ struct PoolPlan {
 
 // Sizes both pools for the demand; instance counts round up.
 PoolPlan SizePools(const PoolDemand& demand, const InstanceCapacity& capacity);
+
+// Derives the per-instance capacities from the analytic PerfModels of the
+// chosen prefill/decode configurations (the searched best batches). This is
+// how the serve study and the examples feed SizePools without re-wiring
+// roofline calls by hand.
+InstanceCapacity CapacityFromPerfModels(const PerfModel& prefill_model, int prefill_batch,
+                                        const PerfModel& decode_model, int decode_batch);
 
 }  // namespace litegpu

@@ -6,7 +6,22 @@
 #include <queue>
 #include <vector>
 
+#include "src/perf/model.h"
+
 namespace litegpu {
+
+ServeCallbacks MakePerfModelCallbacks(const PerfModel& prefill_model,
+                                      const PerfModel& decode_model,
+                                      int max_prefill_batch, int max_decode_batch) {
+  ServeCallbacks callbacks;
+  callbacks.max_prefill_batch = max_prefill_batch;
+  callbacks.max_decode_batch = max_decode_batch;
+  const PerfModel* prefill = &prefill_model;
+  const PerfModel* decode = &decode_model;
+  callbacks.prefill_time = [prefill](int batch) { return prefill->Prefill(batch).ttft_s; };
+  callbacks.decode_step_time = [decode](int batch) { return decode->Decode(batch).tbt_s; };
+  return callbacks;
+}
 
 namespace {
 
@@ -146,6 +161,11 @@ ServeMetrics RunServeSimulation(const std::vector<Request>& requests,
       for (size_t s = 0; s < inst.remaining.size();) {
         if (--inst.remaining[s] == 0) {
           ++metrics.completed_requests;
+          if (now > config.horizon_s) {
+            // Admitted before the horizon, finished after it: the request
+            // drains but its tail tokens are not horizon goodput.
+            ++metrics.in_flight_at_horizon;
+          }
           metrics.makespan_s = now;
           inst.remaining[s] = inst.remaining.back();
           inst.remaining.pop_back();

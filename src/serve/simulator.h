@@ -3,10 +3,11 @@
 // Prefill instances batch queued prompts and run one prefill pass at a time;
 // completed prompts hand off to decode instances, which run continuous
 // batching: every step emits one token per active sequence, new sequences
-// join at step boundaries, finished sequences leave. Step/pass latencies are
-// supplied as callbacks (typically from roofline::EvaluatePrefill/Decode),
-// which is how the analytic Figure-3 capacities get validated end-to-end
-// (bench_validation_serve).
+// join at step boundaries, finished sequences leave. Step/pass latencies
+// come from the analytic PerfModel layer via MakePerfModelCallbacks (the
+// production path — how the Figure-3 capacities get validated end-to-end in
+// bench_validation_serve and the `serve` study), or from raw callbacks
+// (kept for tests that need synthetic latency shapes).
 
 #pragma once
 
@@ -17,6 +18,8 @@
 
 namespace litegpu {
 
+class PerfModel;
+
 struct ServeCallbacks {
   // Seconds for one prefill pass over `batch` prompts.
   std::function<double(int batch)> prefill_time;
@@ -26,11 +29,23 @@ struct ServeCallbacks {
   int max_decode_batch = 256;
 };
 
+// Callbacks backed by the analytic PerfModels of the chosen prefill and
+// decode configurations (batch caps default to the searched best points'
+// batches at the call site). Decode steps are priced at the models' worst-
+// case (final) context, matching the search's SLO accounting, and both
+// models memoize, so the simulator's millions of identical step queries
+// cost one roofline evaluation per distinct batch. The PerfModels must
+// outlive the returned callbacks.
+ServeCallbacks MakePerfModelCallbacks(const PerfModel& prefill_model,
+                                      const PerfModel& decode_model,
+                                      int max_prefill_batch, int max_decode_batch);
+
 struct ServeClusterConfig {
   int prefill_instances = 1;
   int decode_instances = 1;
   // Stop admitting new work after this simulated time; in-flight requests
-  // drain (metrics cover admitted requests only).
+  // drain (and are counted in ServeMetrics::in_flight_at_horizon so goodput
+  // accounting stays honest).
   double horizon_s = 1e9;
 };
 
@@ -39,6 +54,10 @@ struct ServeMetrics {
   SampleSet tbt_s;             // decode step durations (per step sample)
   int completed_requests = 0;
   int admitted_requests = 0;
+  // Admitted before the horizon but still unfinished when it passed (they
+  // drain and appear in completed_requests, but their tail tokens landed
+  // after the horizon).
+  int in_flight_at_horizon = 0;
   double output_tokens = 0.0;
   double makespan_s = 0.0;     // last completion time
   double decode_tokens_per_s = 0.0;

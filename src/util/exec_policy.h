@@ -2,9 +2,8 @@
 //
 // Every parallel surface in the library (per-TP-degree search, the Figure-3
 // catalog studies, CompareClusters, the Monte-Carlo trials, and
-// RunScenarios batches) takes its worker count from an embedded ExecPolicy
-// instead of a per-struct `threads` field. This file is the single place
-// that documents the semantics and the deprecated-alias precedence:
+// RunScenarios batches) takes its worker count from an embedded ExecPolicy.
+// This file is the single place that documents the semantics:
 //
 //   * `threads <= 0`  — use the hardware concurrency (the default).
 //   * `threads == 1`  — the exact serial path, no pool.
@@ -23,11 +22,8 @@
 // only applies when DesignCluster is called directly), and the
 // RunScenarios argument for scenario batches.
 //
-// Migration: the old `int threads` fields on SearchOptions /
-// ExperimentOptions / DesignInputs / McSimConfig still compile for one PR
-// as deprecated aliases. Precedence: a NON-ZERO legacy `threads` wins over
-// `exec.threads` (zero is indistinguishable from "never touched"); new
-// code should set only `exec.threads`.
+// (The PR-2 deprecated `int threads` alias fields on the options structs
+// are gone; ExecPolicy is the only spelling.)
 
 #pragma once
 
@@ -39,10 +35,7 @@ struct ExecPolicy {
   int threads = 0;
 };
 
-// Resolves an options struct that still carries a deprecated `threads`
-// alias next to its ExecPolicy (see precedence note above).
-inline int EffectiveThreads(const ExecPolicy& exec, int deprecated_threads) {
-  return deprecated_threads != 0 ? deprecated_threads : exec.threads;
-}
+// The worker count an options struct's policy resolves to.
+inline int EffectiveThreads(const ExecPolicy& exec) { return exec.threads; }
 
 }  // namespace litegpu

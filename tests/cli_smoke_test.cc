@@ -49,7 +49,7 @@ std::string ScenarioPath(const std::string& name) {
 TEST(CliSmoke, RunExecutesEveryCheckedInScenarioAsJson) {
   // One file per study kind; every report must be valid JSON with ok=true.
   for (const char* file : {"fig3a.json", "fig3b.json", "search.json", "design.json",
-                           "mcsim.json", "yield.json", "derive.json"}) {
+                           "mcsim.json", "yield.json", "derive.json", "serve.json"}) {
     CommandResult result = RunCommand("run " + ScenarioPath(file) + " --json");
     EXPECT_EQ(result.exit_code, 0) << file;
     std::string error;
@@ -74,7 +74,8 @@ TEST(CliSmoke, RunExecutesTheBatchSuite) {
   auto parsed = Json::Parse(result.stdout_text);
   ASSERT_TRUE(parsed.has_value());
   ASSERT_TRUE(parsed->is_array());
-  EXPECT_EQ(parsed->size(), 4u);
+  // fig3a, fig3b, yield, design + the big-GPU-vs-Lite-GPU serve pair.
+  EXPECT_EQ(parsed->size(), 6u);
   for (const Json& report : parsed->elements()) {
     EXPECT_TRUE(report.GetBool("ok", false));
   }
@@ -85,7 +86,7 @@ TEST(CliSmoke, JsonFlagOnEverySubcommandEmitsParsableJson) {
        {"search --model Llama3-8B --gpu H100 --max-batch 64 --json",
         "fig3a --json", "fig3b --json", "design --model Llama3-70B --json",
         "yield --json", "derive --split 4 --json", "mcsim --trials 1 --years 5 --json",
-        "list --json"}) {
+        "serve --load 0.5 --horizon 20 --json", "list --json"}) {
     CommandResult result = RunCommand(args);
     EXPECT_EQ(result.exit_code, 0) << args;
     std::string error;

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "src/collectives/cost.h"
+#include "src/hw/catalog.h"
+#include "src/llm/footprint.h"
+#include "src/perf/model.h"
+#include "src/sched/pools.h"
+#include "src/serve/simulator.h"
+
+namespace litegpu {
+namespace {
+
+PerfModel MakeModel(const TransformerSpec& model = Llama3_70B(),
+                    const GpuSpec& gpu = H100(), int degree = 4) {
+  TpPlan plan = MakeTpPlan(model, degree).value();
+  return PerfModel(model, gpu, plan, WorkloadParams{});
+}
+
+TEST(PerfModel, PrefillBitIdenticalToDirectEvaluation) {
+  TransformerSpec model = Llama3_70B();
+  GpuSpec gpu = H100();
+  TpPlan plan = MakeTpPlan(model, 4).value();
+  WorkloadParams workload;
+  EngineParams engine;
+  PerfModel perf(model, gpu, plan, workload, engine);
+  for (int batch : {1, 2, 7, 32, 128}) {
+    PrefillResult direct = EvaluatePrefill(model, gpu, plan, batch, workload, engine);
+    PrefillResult cached = perf.Prefill(batch);
+    EXPECT_EQ(cached.feasible, direct.feasible) << batch;
+    EXPECT_EQ(cached.meets_slo, direct.meets_slo) << batch;
+    // Bitwise equality, not NEAR: the PerfModel runs the same code path.
+    EXPECT_EQ(cached.ttft_s, direct.ttft_s) << batch;
+    EXPECT_EQ(cached.tokens_per_s, direct.tokens_per_s) << batch;
+    EXPECT_EQ(cached.tokens_per_s_per_sm, direct.tokens_per_s_per_sm) << batch;
+    EXPECT_EQ(cached.memory_needed_bytes, direct.memory_needed_bytes) << batch;
+  }
+}
+
+TEST(PerfModel, DecodeBitIdenticalToDirectEvaluation) {
+  TransformerSpec model = Llama3_70B();
+  GpuSpec gpu = LiteMemBw();
+  TpPlan plan = MakeTpPlan(model, 16).value();
+  WorkloadParams workload;
+  EngineParams engine;
+  PerfModel perf(model, gpu, plan, workload, engine);
+  for (int batch : {1, 3, 64, 256}) {
+    DecodeResult direct = EvaluateDecode(model, gpu, plan, batch, workload, engine);
+    DecodeResult cached = perf.Decode(batch);
+    EXPECT_EQ(cached.feasible, direct.feasible) << batch;
+    EXPECT_EQ(cached.tbt_s, direct.tbt_s) << batch;
+    EXPECT_EQ(cached.tokens_per_s, direct.tokens_per_s) << batch;
+    EXPECT_EQ(cached.tokens_per_s_per_sm, direct.tokens_per_s_per_sm) << batch;
+    EXPECT_EQ(cached.memory_needed_bytes, direct.memory_needed_bytes) << batch;
+  }
+}
+
+TEST(PerfModel, CacheHitReturnsIdenticalResultAndCounts) {
+  PerfModel perf = MakeModel();
+  PerfCacheStats before = perf.cache_stats();
+  EXPECT_EQ(before.hits, 0u);
+  EXPECT_EQ(before.misses, 0u);
+
+  DecodeResult first = perf.Decode(64);
+  DecodeResult again = perf.Decode(64);
+  EXPECT_EQ(first.tbt_s, again.tbt_s);
+  EXPECT_EQ(first.tokens_per_s_per_sm, again.tokens_per_s_per_sm);
+
+  PerfCacheStats after = perf.cache_stats();
+  EXPECT_EQ(after.misses, 1u);
+  EXPECT_EQ(after.hits, 1u);
+  EXPECT_DOUBLE_EQ(after.HitRate(), 0.5);
+}
+
+TEST(PerfModel, ContextExplicitFormsShareTheCache) {
+  PerfModel perf = MakeModel();
+  WorkloadParams workload;  // defaults: prompt 1500, output 256
+  // DecodeStepTime at the workload's worst-case context is the same cache
+  // entry as Decode(batch).tbt_s.
+  double via_decode = perf.Decode(32).tbt_s;
+  uint64_t misses_before = perf.cache_stats().misses;
+  double via_step = perf.DecodeStepTime(32, workload.prompt_tokens + workload.output_tokens);
+  EXPECT_EQ(via_step, via_decode);
+  EXPECT_EQ(perf.cache_stats().misses, misses_before);  // pure hit
+
+  // A different context is a distinct entry with a distinct (smaller) time.
+  double shorter = perf.DecodeStepTime(32, 512);
+  EXPECT_LT(shorter, via_decode);
+  EXPECT_EQ(perf.cache_stats().misses, misses_before + 1);
+
+  // Same for prefill.
+  double via_prefill = perf.Prefill(4).ttft_s;
+  EXPECT_EQ(perf.PrefillTime(4, workload.prompt_tokens), via_prefill);
+  EXPECT_LT(perf.PrefillTime(4, 256), via_prefill);
+}
+
+TEST(PerfModel, CollectiveCostMatchesAllReduceTime) {
+  TransformerSpec model = Llama3_70B();
+  GpuSpec gpu = H100();
+  TpPlan plan = MakeTpPlan(model, 8).value();
+  EngineParams engine;
+  PerfModel perf(model, gpu, plan, WorkloadParams{}, engine);
+  LinkModel link;
+  link.bandwidth_bytes_per_s = gpu.net_bw_bytes_per_s;
+  link.latency_s = engine.network_latency_s;
+  double payload = 16.0 * 1024 * 1024;
+  EXPECT_EQ(perf.CollectiveCost(payload),
+            AllReduceTime(payload, 8, link, engine.collective_algo));
+  EXPECT_EQ(perf.CollectiveCost(payload, CollectiveAlgo::kRing),
+            AllReduceTime(payload, 8, link, CollectiveAlgo::kRing));
+}
+
+TEST(PerfModel, FootprintMatchesFootprintLibrary) {
+  TransformerSpec model = Llama3_70B();
+  TpPlan plan = MakeTpPlan(model, 4).value();
+  PerfModel perf(model, H100(), plan, WorkloadParams{});
+  PerfFootprint fp = perf.Footprint();
+  EXPECT_EQ(fp.weight_bytes_per_gpu, WeightBytesPerGpu(model, plan));
+  EXPECT_EQ(fp.embedding_bytes_per_gpu, EmbeddingWeightBytesPerGpu(model, plan));
+  EXPECT_EQ(fp.kv_bytes_per_token_per_gpu, KvBytesPerTokenPerGpu(model, plan));
+  EXPECT_EQ(perf.MemoryNeededBytes(8, 1, 1755),
+            MemoryNeededPerGpu(model, plan, 8, 1, 1755));
+}
+
+TEST(PerfModel, GlobalStatsAggregateAcrossInstances) {
+  ResetGlobalPerfCacheStats();
+  PerfModel a = MakeModel(Llama3_70B(), H100(), 4);
+  PerfModel b = MakeModel(Llama3_70B(), H100(), 8);
+  a.Decode(16);
+  a.Decode(16);
+  b.Decode(16);
+  PerfCacheStats global = GlobalPerfCacheStats();
+  EXPECT_EQ(global.misses, 2u);  // one per instance
+  EXPECT_EQ(global.hits, 1u);
+  EXPECT_GT(global.HitRate(), 0.0);
+}
+
+TEST(PerfModel, ServeCallbacksComeFromTheModels) {
+  TransformerSpec model = Llama3_70B();
+  GpuSpec gpu = H100();
+  WorkloadParams workload;
+  PerfModel prefill(model, gpu, MakeTpPlan(model, 2).value(), workload);
+  PerfModel decode(model, gpu, MakeTpPlan(model, 4).value(), workload);
+  ServeCallbacks callbacks = MakePerfModelCallbacks(prefill, decode, 8, 256);
+  EXPECT_EQ(callbacks.max_prefill_batch, 8);
+  EXPECT_EQ(callbacks.max_decode_batch, 256);
+  EXPECT_EQ(callbacks.prefill_time(4), prefill.Prefill(4).ttft_s);
+  EXPECT_EQ(callbacks.decode_step_time(64), decode.Decode(64).tbt_s);
+}
+
+TEST(PerfModel, PoolCapacityDerivesFromTheModels) {
+  TransformerSpec model = Llama3_70B();
+  GpuSpec gpu = H100();
+  WorkloadParams workload;
+  PerfModel prefill(model, gpu, MakeTpPlan(model, 2).value(), workload);
+  PerfModel decode(model, gpu, MakeTpPlan(model, 4).value(), workload);
+  InstanceCapacity capacity = CapacityFromPerfModels(prefill, 8, decode, 128);
+  EXPECT_EQ(capacity.prefill_gpus, 2);
+  EXPECT_EQ(capacity.decode_gpus, 4);
+  EXPECT_EQ(capacity.prefill_tokens_per_s, prefill.Prefill(8).tokens_per_s);
+  EXPECT_EQ(capacity.decode_tokens_per_s, decode.Decode(128).tokens_per_s);
+}
+
+}  // namespace
+}  // namespace litegpu

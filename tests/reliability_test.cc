@@ -118,11 +118,11 @@ TEST(McSim, ShardedTrialsBitIdenticalAtAnyThreadCount) {
   serial.num_spares = 2;
   serial.sim_years = 20.0;
   serial.num_trials = 8;
-  serial.threads = 1;
+  serial.exec.threads = 1;
   McSimResult base = SimulateAvailability(Lite(), serial);
   for (int threads : {2, 4, 8}) {
     McSimConfig sharded = serial;
-    sharded.threads = threads;
+    sharded.exec.threads = threads;
     McSimResult r = SimulateAvailability(Lite(), sharded);
     EXPECT_EQ(r.num_failures, base.num_failures) << threads;
     EXPECT_EQ(r.unmasked_failures, base.unmasked_failures) << threads;
@@ -140,7 +140,7 @@ TEST(McSim, SingleTrialMatchesOriginalSerialSimulator) {
   McSimResult a = SimulateAvailability(Lite(), config);
   McSimConfig explicit_trials = config;
   explicit_trials.num_trials = 1;
-  explicit_trials.threads = 4;
+  explicit_trials.exec.threads = 4;
   McSimResult b = SimulateAvailability(Lite(), explicit_trials);
   EXPECT_EQ(a.num_failures, b.num_failures);
   EXPECT_EQ(a.instance_availability, b.instance_availability);

@@ -138,17 +138,64 @@ TEST(RunScenarios, BatchIsBitIdenticalAtAnyThreadCount) {
   }
 }
 
-TEST(ExecPolicy, DeprecatedThreadsAliasTakesPrecedence) {
+TEST(Runner, ServeStudyCrossChecksAnalyticCapacity) {
+  ServeKnobs knobs;
+  knobs.load = 0.7;
+  knobs.horizon_s = 30.0;
+  Scenario s = *ScenarioBuilder(StudyKind::kServe).Serve(knobs).Build();
+  RunReport report = Runner().Run(s);
+  ASSERT_TRUE(report.ok) << report.error;
+  const auto& serve = std::get<ServeStudyReport>(report.payload);
+  EXPECT_EQ(serve.model, "Llama3-70B");
+  EXPECT_EQ(serve.gpu, "H100");
+  EXPECT_GT(serve.prefill_instances, 0);
+  EXPECT_EQ(serve.decode_instances, 1);
+  EXPECT_GT(serve.admitted_requests, 0);
+  EXPECT_EQ(serve.completed_requests, serve.admitted_requests);  // drains
+  // Below saturation the simulator reproduces the analytic capacity (the
+  // bench_validation_serve expectation, now asserted).
+  EXPECT_GT(serve.capacity_agreement, 0.9);
+  EXPECT_LT(serve.capacity_agreement, 1.1);
+  EXPECT_GT(serve.tbt_p99_s, 0.0);
+  EXPECT_LE(serve.tbt_p99_s, 0.050 + 1e-9);  // decode SLO holds below capacity
+  // Rendering covers the serve payload too.
+  EXPECT_NE(report.ToText().find("Serving simulation"), std::string::npos);
+  EXPECT_NE(report.ToJson().Dump().find("capacity_agreement"), std::string::npos);
+}
+
+TEST(Runner, ServeStudyIsDeterministicAtAnyThreadCount) {
+  ServeKnobs knobs;
+  knobs.horizon_s = 20.0;
+  Scenario serial = *ScenarioBuilder(StudyKind::kServe).Serve(knobs).Threads(1).Build();
+  Scenario parallel = serial;
+  parallel.exec.threads = 0;  // hardware concurrency
+  RunReport a = Runner().Run(serial);
+  RunReport b = Runner().Run(parallel);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(a.ToJson().Dump(), b.ToJson().Dump());
+}
+
+TEST(Runner, ServeStudyFailsCleanlyWhenSloInfeasible) {
+  ServeKnobs knobs;
+  Scenario s = *ScenarioBuilder(StudyKind::kServe).Serve(knobs).TbtSlo(1e-9).Build();
+  RunReport report = Runner().Run(s);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("no feasible"), std::string::npos);
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(report.payload));
+}
+
+TEST(ExecPolicy, EffectiveThreadsIsTheEmbeddedPolicy) {
+  // The PR-2 deprecated `threads` alias fields are gone: the embedded
+  // ExecPolicy is the only knob, and EffectiveThreads resolves it directly.
   ExecPolicy exec;
   exec.threads = 8;
-  EXPECT_EQ(EffectiveThreads(exec, 0), 8);   // alias unset -> exec wins
-  EXPECT_EQ(EffectiveThreads(exec, 2), 2);   // legacy non-zero wins
-  EXPECT_EQ(EffectiveThreads(exec, -1), -1); // explicit "all cores" honored
-  // And through an options struct: legacy field still steers the sweep.
+  EXPECT_EQ(EffectiveThreads(exec), 8);
+  exec.threads = -1;  // explicit "all cores"
+  EXPECT_EQ(EffectiveThreads(exec), -1);
   SearchOptions options;
   options.exec.threads = 4;
-  options.threads = 1;
-  EXPECT_EQ(EffectiveThreads(options.exec, options.threads), 1);
+  EXPECT_EQ(EffectiveThreads(options.exec), 4);
 }
 
 }  // namespace

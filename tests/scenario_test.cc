@@ -9,7 +9,7 @@ namespace {
 TEST(StudyKind, RoundTripsThroughNames) {
   for (StudyKind kind : {StudyKind::kSearch, StudyKind::kFig3a, StudyKind::kFig3b,
                          StudyKind::kDesign, StudyKind::kMcSim, StudyKind::kYield,
-                         StudyKind::kDerive}) {
+                         StudyKind::kDerive, StudyKind::kServe}) {
     auto parsed = ParseStudyKind(ToString(kind));
     ASSERT_TRUE(parsed.has_value()) << ToString(kind);
     EXPECT_EQ(*parsed, kind);
@@ -20,7 +20,7 @@ TEST(StudyKind, RoundTripsThroughNames) {
 TEST(ScenarioBuilder, BuildsValidDefaultScenarios) {
   for (StudyKind kind : {StudyKind::kSearch, StudyKind::kFig3a, StudyKind::kFig3b,
                          StudyKind::kDesign, StudyKind::kMcSim, StudyKind::kYield,
-                         StudyKind::kDerive}) {
+                         StudyKind::kDerive, StudyKind::kServe}) {
     std::string error;
     auto scenario = ScenarioBuilder(kind).Build(&error);
     EXPECT_TRUE(scenario.has_value()) << ToString(kind) << ": " << error;
@@ -110,7 +110,21 @@ TEST(Scenario, JsonRoundTripPreservesEquality) {
         *ScenarioBuilder(StudyKind::kMcSim).Gpu("Lite").McSim(mcsim).Build(),
         *ScenarioBuilder(StudyKind::kYield).Build(),
         *ScenarioBuilder(StudyKind::kDerive).Build(),
-        *ScenarioBuilder(StudyKind::kDesign).Model("GPT3-175B").Build()}) {
+        *ScenarioBuilder(StudyKind::kDesign).Model("GPT3-175B").Build(),
+        *ScenarioBuilder(StudyKind::kServe)
+             .Model("Llama3-70B")
+             .Gpu("Lite+MemBW")
+             .Serve([] {
+               ServeKnobs knobs;
+               knobs.load = 0.6;
+               knobs.horizon_s = 30.0;
+               knobs.prefill_instances = 2;
+               knobs.decode_instances = 3;
+               knobs.prompt_sigma = 0.5;
+               knobs.seed = 0xFEED;
+               return knobs;
+             }())
+             .Build()}) {
     Json j = ScenarioToJson(original);
     std::string error;
     auto restored = ScenarioFromJson(j, &error);
@@ -223,6 +237,60 @@ TEST(Scenario, ParseScenariosAcceptsSingleArrayAndWrappedForms) {
   EXPECT_FALSE(ParseScenarios("not json", &error).has_value());
 }
 
+TEST(Scenario, ServeValidationRejectsBadShapes) {
+  std::string error;
+  // Serve simulates exactly one (model, GPU) pair.
+  EXPECT_FALSE(ScenarioBuilder(StudyKind::kServe)
+                   .Gpu("H100")
+                   .Gpu("Lite")
+                   .Build(&error)
+                   .has_value());
+  EXPECT_NE(error.find("exactly one GPU"), std::string::npos);
+  EXPECT_FALSE(ScenarioBuilder(StudyKind::kServe)
+                   .Model("Llama3-8B")
+                   .Model("Llama3-70B")
+                   .Build(&error)
+                   .has_value());
+  EXPECT_NE(error.find("exactly one model"), std::string::npos);
+
+  ServeKnobs knobs;
+  knobs.horizon_s = 0.0;
+  EXPECT_FALSE(ScenarioBuilder(StudyKind::kServe).Serve(knobs).Build(&error).has_value());
+  EXPECT_NE(error.find("horizon_s"), std::string::npos);
+
+  knobs = ServeKnobs{};
+  knobs.decode_instances = 0;
+  EXPECT_FALSE(ScenarioBuilder(StudyKind::kServe).Serve(knobs).Build(&error).has_value());
+  EXPECT_NE(error.find("decode_instances"), std::string::npos);
+
+  knobs = ServeKnobs{};
+  knobs.load = 0.0;  // and no explicit rate
+  EXPECT_FALSE(ScenarioBuilder(StudyKind::kServe).Serve(knobs).Build(&error).has_value());
+  EXPECT_NE(error.find("load"), std::string::npos);
+}
+
+TEST(Scenario, ServeDefaultsAndStrictKeys) {
+  // Defaults: Llama3-70B on one H100-backed deployment.
+  Scenario serve = ScenarioBuilder(StudyKind::kServe).Peek();
+  EXPECT_EQ(serve.ResolvedModels(), std::vector<std::string>{"Llama3-70B"});
+  EXPECT_EQ(serve.ResolvedGpus(), std::vector<std::string>{"H100"});
+
+  auto minimal = Json::Parse(R"({"study": "serve"})");
+  ASSERT_TRUE(minimal.has_value());
+  auto scenario = ScenarioFromJson(*minimal);
+  ASSERT_TRUE(scenario.has_value());
+  EXPECT_DOUBLE_EQ(scenario->serve.load, 0.8);
+  EXPECT_DOUBLE_EQ(scenario->serve.horizon_s, 60.0);
+  EXPECT_TRUE(scenario->Validate().empty());
+
+  // Typos inside the serve block fail loudly, like every other block.
+  std::string error;
+  auto typo = Json::Parse(R"({"study": "serve", "serve": {"horizon": 30}})");
+  ASSERT_TRUE(typo.has_value());
+  EXPECT_FALSE(ScenarioFromJson(*typo, &error).has_value());
+  EXPECT_NE(error.find("horizon"), std::string::npos);
+}
+
 TEST(Scenario, MakeSearchOptionsCarriesWorkloadAndExec) {
   Scenario s = ScenarioBuilder(StudyKind::kSearch)
                    .PromptTokens(2000)
@@ -237,7 +305,6 @@ TEST(Scenario, MakeSearchOptionsCarriesWorkloadAndExec) {
   EXPECT_EQ(options.kv_policy, KvShardPolicy::kIdealShard);
   EXPECT_EQ(options.max_batch, 128);
   EXPECT_EQ(options.exec.threads, 3);
-  EXPECT_EQ(options.threads, 0);  // deprecated alias untouched
 }
 
 }  // namespace

@@ -119,9 +119,9 @@ TEST(Search, IdealShardPolicyNeverWorseForDecode) {
 TEST(Search, MultiThreadedSweepIsBitIdenticalToSerial) {
   for (const auto& model : CaseStudyModels()) {
     SearchOptions serial = FastOptions();
-    serial.threads = 1;
+    serial.exec.threads = 1;
     SearchOptions parallel = FastOptions();
-    parallel.threads = 4;
+    parallel.exec.threads = 4;
     DecodeSearchResult a = SearchDecode(model, Lite(), serial);
     DecodeSearchResult b = SearchDecode(model, Lite(), parallel);
     ASSERT_EQ(a.found, b.found) << model.name;
@@ -150,9 +150,9 @@ TEST(Search, MultiThreadedBruteForceMatchesSerial) {
   SearchOptions serial;
   serial.workload.tbt_slo_s = 0.004;
   serial.max_batch = 256;
-  serial.threads = 1;
+  serial.exec.threads = 1;
   SearchOptions parallel = serial;
-  parallel.threads = 4;
+  parallel.exec.threads = 4;
   auto a = BruteForceDecodeBest(model, H100(), serial, 256);
   auto b = BruteForceDecodeBest(model, H100(), parallel, 256);
   ASSERT_TRUE(a.has_value());

@@ -171,6 +171,30 @@ TEST(Simulator, HorizonStopsAdmission) {
   EXPECT_EQ(m.completed_requests, 50);
 }
 
+TEST(Simulator, InFlightAtHorizonCountsDrainedStragglers) {
+  // Requests arriving just before the horizon cannot finish by it: they
+  // drain (completed_requests includes them) but are counted explicitly so
+  // goodput accounting is honest.
+  auto requests = FixedRequests(100, 0.1, /*output_tokens=*/64);
+  ServeClusterConfig config;
+  config.prefill_instances = 2;
+  config.decode_instances = 1;
+  config.horizon_s = 4.95;
+  ServeMetrics m = RunServeSimulation(requests, config, SimpleCallbacks());
+  EXPECT_EQ(m.admitted_requests, 50);
+  EXPECT_EQ(m.completed_requests, 50);  // everything drains...
+  EXPECT_GT(m.in_flight_at_horizon, 0);  // ...but not all of it by the horizon
+  EXPECT_LE(m.in_flight_at_horizon, m.admitted_requests);
+  EXPECT_GT(m.makespan_s, config.horizon_s);
+
+  // With no horizon pressure nothing is in flight when it passes.
+  ServeClusterConfig open = config;
+  open.horizon_s = 1e9;
+  ServeMetrics all = RunServeSimulation(requests, open, SimpleCallbacks());
+  EXPECT_EQ(all.admitted_requests, 100);
+  EXPECT_EQ(all.in_flight_at_horizon, 0);
+}
+
 TEST(Simulator, UtilizationBounded) {
   auto requests = FixedRequests(64, 0.05);
   ServeClusterConfig config;

@@ -5,6 +5,7 @@
 //   litegpu fig3b [--ideal-capacity]            regenerate Figure 3b
 //   litegpu search --model M --gpu G [...]      best config for one pair
 //   litegpu design --model M                    Table-1 cluster comparison
+//   litegpu serve [--model M --gpu G --load X]  end-to-end serving simulation
 //   litegpu mcsim [--spares N] [--trials N]     Monte-Carlo availability
 //   litegpu yield [--d0 X] [--area A]           Section-2 silicon economics
 //   litegpu derive --split N [--mem X] [--net X] [--clock X]
@@ -197,6 +198,30 @@ int RunDesign(const Flags& flags) {
   return Execute(builder, flags);
 }
 
+int RunServe(const Flags& flags) {
+  if (int rc = CheckFlags(
+          flags, AllowedFlags({"model", "gpu", "load", "rate", "horizon",
+                               "prefill-instances", "decode-instances", "prompt-sigma",
+                               "output-sigma", "seed"}))) {
+    return rc;
+  }
+  ScenarioBuilder builder(StudyKind::kServe);
+  ApplyWorkloadFlags(flags, builder);
+  builder.Model(flags.GetString("model", "Llama3-70B"))
+      .Gpu(flags.GetString("gpu", "H100"));
+  ServeKnobs knobs;
+  knobs.load = flags.GetDouble("load", knobs.load);
+  knobs.arrival_rate_per_s = flags.GetDouble("rate", knobs.arrival_rate_per_s);
+  knobs.horizon_s = flags.GetDouble("horizon", knobs.horizon_s);
+  knobs.prefill_instances = flags.GetInt("prefill-instances", knobs.prefill_instances);
+  knobs.decode_instances = flags.GetInt("decode-instances", knobs.decode_instances);
+  knobs.prompt_sigma = flags.GetDouble("prompt-sigma", knobs.prompt_sigma);
+  knobs.output_sigma = flags.GetDouble("output-sigma", knobs.output_sigma);
+  knobs.seed = flags.GetUint64("seed", knobs.seed);
+  builder.Serve(knobs);
+  return Execute(builder, flags);
+}
+
 int RunMcSim(const Flags& flags) {
   if (int rc = CheckFlags(flags, AllowedFlags({"gpu", "gpus-per-instance", "instances",
                                                "spares", "years", "seed", "trials"},
@@ -298,9 +323,13 @@ int RunList(const Flags& flags) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: litegpu <run|fig3a|fig3b|search|design|mcsim|yield|derive|list> [flags]\n"
+      "usage: litegpu <run|fig3a|fig3b|search|design|serve|mcsim|yield|derive|list> "
+      "[flags]\n"
       "  run:     <scenario.json>...  execute declarative scenario file(s)\n"
       "  search:  --model M --gpu G [--prompt N --output N --ttft S --tbt S]\n"
+      "  serve:   [--model M --gpu G --load X --rate R --horizon S\n"
+      "            --prefill-instances N --decode-instances N\n"
+      "            --prompt-sigma X --output-sigma X --seed N]\n"
       "  design:  --model M [--hbm-cost X --price-multiplier X --amortization-years X]\n"
       "  mcsim:   [--gpu G --gpus-per-instance N --instances N --spares N\n"
       "            --years X --seed N --trials N]\n"
@@ -331,6 +360,9 @@ int Main(int argc, const char* const* argv) {
   }
   if (cmd == "design") {
     return RunDesign(flags);
+  }
+  if (cmd == "serve") {
+    return RunServe(flags);
   }
   if (cmd == "mcsim") {
     return RunMcSim(flags);
