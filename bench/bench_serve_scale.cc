@@ -1,0 +1,197 @@
+// Serve-scale benchmark: how fast the serving simulator's hot path is, and
+// what the StepTimeTable fast path buys over the callback path.
+//
+// Three measurements on the Llama3-70B / H100 validation deployment:
+//   1. Inner loop: N decode-step-time queries through the PerfModel-backed
+//      callbacks (std::function -> mutex -> std::map) vs the flat table
+//      (bounds-checked array load). This is the per-event cost the
+//      simulator pays millions of times.
+//   2. Full simulation at the high-load validation point (95% of analytic
+//      decode capacity): wall clock on both paths, plus the metric-identity
+//      check — TTFT percentiles, goodput, and utilization must be
+//      bit-identical; TBT percentiles within one histogram bin.
+//   3. A 20-point load sweep through the serve-sweep study, reported
+//      against the single old-path point for the perf trajectory.
+//
+// `--json` emits one JSON object (CI tees it into BENCH_serve_scale.json)
+// and the exit code gates regressions: nonzero when the inner-loop speedup
+// is not > 1 or the identity check fails.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "src/core/runner.h"
+#include "src/core/scenario.h"
+#include "src/core/search.h"
+#include "src/hw/catalog.h"
+#include "src/perf/model.h"
+#include "src/perf/step_table.h"
+#include "src/serve/simulator.h"
+#include "src/serve/workload.h"
+#include "src/util/json.h"
+
+namespace {
+
+using namespace litegpu;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      std::fprintf(stderr, "usage: bench_serve_scale [--json]\n");
+      return 64;
+    }
+  }
+
+  TransformerSpec model = Llama3_70B();
+  GpuSpec gpu = H100();
+  SearchOptions options;
+  PrefillSearchResult prefill = SearchPrefill(model, gpu, options);
+  DecodeSearchResult decode = SearchDecode(model, gpu, options);
+  if (!prefill.found || !decode.found) {
+    std::fprintf(stderr, "bench_serve_scale: no feasible configuration\n");
+    return 1;
+  }
+  TpPlan prefill_plan = MakeTpPlan(model, prefill.best.tp_degree).value();
+  TpPlan decode_plan = MakeTpPlan(model, decode.best.tp_degree).value();
+  PerfModel prefill_model(model, gpu, prefill_plan, options.workload, options.engine);
+  PerfModel decode_model(model, gpu, decode_plan, options.workload, options.engine);
+  ServeCallbacks callbacks = MakePerfModelCallbacks(prefill_model, decode_model,
+                                                    prefill.best.batch, decode.best.batch);
+  StepTimeTable table = StepTimeTable::Build(prefill_model, decode_model,
+                                             prefill.best.batch, decode.best.batch);
+
+  // --- 1. inner loop: per-query cost, callbacks vs table -------------------
+  // The table build above already priced every batch, so the callback loop
+  // measures warm cache lookups (mutex + map::find), not roofline math —
+  // exactly what the old simulator paid per event.
+  const int kQueries = 2'000'000;
+  const int max_batch = table.max_decode_batch();
+  double callback_sum = 0.0;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kQueries; ++i) {
+    callback_sum += callbacks.decode_step_time(1 + i % max_batch);
+  }
+  double callback_loop_s = SecondsSince(t0);
+  double table_sum = 0.0;
+  t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kQueries; ++i) {
+    table_sum += table.DecodeStepTime(1 + i % max_batch);
+  }
+  double table_loop_s = SecondsSince(t0);
+  // Both loops sum the same values in the same order, so equal sums mean
+  // bit-identical step times (and the accumulators keep the loops live).
+  bool inner_identical = callback_sum == table_sum;
+  double inner_speedup = table_loop_s > 0.0 ? callback_loop_s / table_loop_s : 0.0;
+
+  // --- 2. full simulation at the high-load validation point ----------------
+  WorkloadSpec spec;
+  spec.arrival_rate_per_s =
+      0.95 * decode.best.result.tokens_per_s / spec.median_output_tokens;
+  spec.duration_s = 60.0;
+  std::vector<Request> requests = GenerateWorkload(spec);
+  ServeClusterConfig cluster;
+  double prefill_demand = spec.arrival_rate_per_s * spec.median_prompt_tokens;
+  cluster.prefill_instances = std::max(
+      1, static_cast<int>(std::ceil(1.25 * prefill_demand / prefill.best.result.tokens_per_s)));
+  cluster.decode_instances = 1;
+
+  t0 = std::chrono::steady_clock::now();
+  ServeMetrics old_path = RunServeSimulation(requests, cluster, callbacks);
+  double old_sim_s = SecondsSince(t0);
+  t0 = std::chrono::steady_clock::now();
+  ServeMetrics fast_path = RunServeSimulation(requests, cluster, table);
+  double fast_sim_s = SecondsSince(t0);
+  double sim_speedup = fast_sim_s > 0.0 ? old_sim_s / fast_sim_s : 0.0;
+
+  bool ttft_identical = old_path.ttft_s.Median() == fast_path.ttft_s.Median() &&
+                        old_path.ttft_s.P95() == fast_path.ttft_s.P95() &&
+                        old_path.ttft_s.P99() == fast_path.ttft_s.P99();
+  bool goodput_identical =
+      old_path.decode_tokens_per_s == fast_path.decode_tokens_per_s &&
+      old_path.completed_requests == fast_path.completed_requests;
+  bool utilization_identical =
+      old_path.prefill_utilization == fast_path.prefill_utilization &&
+      old_path.decode_utilization == fast_path.decode_utilization;
+  double bin = old_path.tbt_s.bin_width();
+  bool tbt_within_bin = std::abs(old_path.tbt_s.Median() - fast_path.tbt_s.Median()) <= bin &&
+                        std::abs(old_path.tbt_s.P99() - fast_path.tbt_s.P99()) <= bin;
+  bool identical =
+      inner_identical && ttft_identical && goodput_identical && utilization_identical &&
+      tbt_within_bin;
+
+  // --- 3. the 20-point sweep study -----------------------------------------
+  ServeSweepKnobs knobs;
+  knobs.load_lo = 0.05;
+  knobs.load_hi = 1.00;
+  knobs.load_step = 0.05;
+  knobs.horizon_s = 60.0;
+  Scenario sweep_scenario = *ScenarioBuilder(StudyKind::kServeSweep).ServeSweep(knobs).Build();
+  t0 = std::chrono::steady_clock::now();
+  RunReport sweep_report = Runner().Run(sweep_scenario);
+  double sweep_s = SecondsSince(t0);
+  int sweep_points =
+      sweep_report.ok
+          ? static_cast<int>(std::get<ServeSweepReport>(sweep_report.payload).points.size())
+          : 0;
+
+  bool pass = inner_speedup > 1.0 && identical && sweep_report.ok;
+
+  if (json) {
+    Json inner = Json::Object();
+    inner.Set("queries", kQueries)
+        .Set("callback_ns_per_query", 1e9 * callback_loop_s / kQueries)
+        .Set("table_ns_per_query", 1e9 * table_loop_s / kQueries)
+        .Set("speedup", inner_speedup);
+    Json identity = Json::Object();
+    identity.Set("step_times_identical", inner_identical)
+        .Set("ttft_identical", ttft_identical)
+        .Set("goodput_identical", goodput_identical)
+        .Set("utilization_identical", utilization_identical)
+        .Set("tbt_within_one_bin", tbt_within_bin);
+    Json sim = Json::Object();
+    sim.Set("load", 0.95)
+        .Set("horizon_s", spec.duration_s)
+        .Set("decode_steps", static_cast<uint64_t>(fast_path.tbt_s.count()))
+        .Set("callback_path_s", old_sim_s)
+        .Set("table_path_s", fast_sim_s)
+        .Set("speedup", sim_speedup)
+        .Set("identity", std::move(identity));
+    Json sweep = Json::Object();
+    sweep.Set("points", sweep_points)
+        .Set("wall_s", sweep_s)
+        .Set("callback_single_point_s", old_sim_s)
+        .Set("sweep_vs_callback_point", old_sim_s > 0.0 ? sweep_s / old_sim_s : 0.0);
+    Json j = Json::Object();
+    j.Set("inner_loop", std::move(inner))
+        .Set("full_sim", std::move(sim))
+        .Set("sweep", std::move(sweep))
+        .Set("pass", pass);
+    std::printf("%s\n", j.Dump().c_str());
+  } else {
+    std::printf("=== Serve-scale: StepTimeTable fast path vs callback path ===\n\n");
+    std::printf("inner loop (%d warm decode-step queries):\n"
+                "  callbacks: %7.1f ns/query   table: %6.1f ns/query   speedup: %.1fx\n\n",
+                kQueries, 1e9 * callback_loop_s / kQueries, 1e9 * table_loop_s / kQueries,
+                inner_speedup);
+    std::printf("full simulation (load 0.95, %.0f s horizon, %zu decode steps):\n"
+                "  callback path: %.3f s   table path: %.3f s   speedup: %.2fx\n"
+                "  metric identity: %s (TTFT/goodput/utilization exact, TBT within one bin)\n\n",
+                spec.duration_s, fast_path.tbt_s.count(), old_sim_s, fast_sim_s, sim_speedup,
+                identical ? "OK" : "FAILED");
+    std::printf("serve-sweep study (%d points, %.0f s horizon each): %.3f s wall\n"
+                "  (one callback-path point at high load: %.3f s)\n",
+                sweep_points, knobs.horizon_s, sweep_s, old_sim_s);
+  }
+  return pass ? 0 : 1;
+}

@@ -7,12 +7,14 @@
 
 #include "src/hw/catalog.h"
 #include "src/perf/model.h"
+#include "src/perf/step_table.h"
 #include "src/sched/pools.h"
 #include "src/serve/simulator.h"
 #include "src/serve/workload.h"
 #include "src/silicon/cost.h"
 #include "src/silicon/wafer.h"
 #include "src/util/format.h"
+#include "src/util/rng.h"
 #include "src/util/table.h"
 #include "src/util/thread_pool.h"
 
@@ -130,42 +132,142 @@ YieldStudyReport RunYieldStudy(const Scenario& s) {
   return out;
 }
 
+// The searched serving deployment both serve studies simulate: best phase
+// configurations, their analytic per-instance capacities, and the owning
+// step-time table the simulator's fast path reads. Built once per study —
+// a sweep shares one platform (and one immutable, lock-free table) across
+// every load point and worker.
+struct ServePlatform {
+  bool ok = false;
+  std::string error;
+  int prefill_tp = 0;
+  int prefill_batch = 0;
+  double prefill_capacity_tok_s = 0.0;
+  int decode_tp = 0;
+  int decode_batch = 0;
+  double decode_capacity_tok_s = 0.0;
+  InstanceCapacity capacity;
+  StepTimeTable table;
+};
+
+ServePlatform BuildServePlatform(const std::string& model_name, const std::string& gpu_name,
+                                 const SearchOptions& options) {
+  ServePlatform platform;
+  TransformerSpec model = *FindModel(model_name);
+  GpuSpec gpu = *FindGpu(gpu_name);
+  PrefillSearchResult prefill = SearchPrefill(model, gpu, options);
+  DecodeSearchResult decode = SearchDecode(model, gpu, options);
+  if (!prefill.found || !decode.found) {
+    platform.error = "no feasible " + std::string(!prefill.found ? "prefill" : "decode") +
+                     " configuration for " + model_name + " on " + gpu_name +
+                     " under the scenario's SLOs";
+    return platform;
+  }
+  platform.prefill_tp = prefill.best.tp_degree;
+  platform.prefill_batch = prefill.best.batch;
+  platform.prefill_capacity_tok_s = prefill.best.result.tokens_per_s;
+  platform.decode_tp = decode.best.tp_degree;
+  platform.decode_batch = decode.best.batch;
+  platform.decode_capacity_tok_s = decode.best.result.tokens_per_s;
+
+  TpPlan prefill_plan = MakeTpPlan(model, platform.prefill_tp, options.kv_policy).value();
+  TpPlan decode_plan = MakeTpPlan(model, platform.decode_tp, options.kv_policy).value();
+  PerfModel prefill_model(model, gpu, prefill_plan, options.workload, options.engine);
+  PerfModel decode_model(model, gpu, decode_plan, options.workload, options.engine);
+  platform.capacity = CapacityFromPerfModels(prefill_model, platform.prefill_batch,
+                                             decode_model, platform.decode_batch);
+  // The table copies the step times out, so the PerfModels can die here.
+  platform.table = StepTimeTable::Build(prefill_model, decode_model,
+                                        platform.prefill_batch, platform.decode_batch);
+  platform.ok = true;
+  return platform;
+}
+
+// Simulates one offered-load point on the platform's step-time table: plan
+// the deployment, generate the point's Poisson workload from its own seed,
+// run the fast-path simulation, and summarize. The single shared body for
+// the serve study and every point of a sweep — a load simulated standalone
+// and inside a sweep cannot drift apart. `load` is left to the caller.
+ServeSweepReport::Point SimulateServePoint(const ServePlatform& platform,
+                                           const Scenario& s, double arrival_rate_per_s,
+                                           uint64_t seed, double horizon_s,
+                                           double prompt_sigma, double output_sigma,
+                                           int requested_prefill_instances,
+                                           int requested_decode_instances) {
+  ServeSweepReport::Point p;
+  p.arrival_rate_per_s = arrival_rate_per_s;
+  p.seed = seed;
+  p.analytic_tokens_per_s = arrival_rate_per_s * s.workload.output_tokens;
+
+  ServeDeployment deployment = PlanServeDeployment(
+      arrival_rate_per_s, s.workload.prompt_tokens, s.workload.output_tokens,
+      platform.capacity, requested_prefill_instances, requested_decode_instances);
+  p.prefill_instances = deployment.prefill_instances;
+  p.decode_instances = deployment.decode_instances;
+  p.total_gpus = deployment.total_gpus;
+
+  WorkloadSpec spec;
+  spec.arrival_rate_per_s = arrival_rate_per_s;
+  spec.duration_s = horizon_s;
+  spec.median_prompt_tokens = s.workload.prompt_tokens;
+  spec.prompt_sigma = prompt_sigma;
+  spec.median_output_tokens = s.workload.output_tokens;
+  spec.output_sigma = output_sigma;
+  spec.seed = seed;
+  std::vector<Request> requests = GenerateWorkload(spec);
+
+  ServeClusterConfig cluster;
+  cluster.prefill_instances = deployment.prefill_instances;
+  cluster.decode_instances = deployment.decode_instances;
+  cluster.horizon_s = horizon_s;
+  ServeMetrics metrics = RunServeSimulation(requests, cluster, platform.table);
+
+  p.admitted_requests = metrics.admitted_requests;
+  p.completed_requests = metrics.completed_requests;
+  p.in_flight_at_horizon = metrics.in_flight_at_horizon;
+  p.ttft_p50_s = metrics.ttft_s.Median();
+  p.ttft_p95_s = metrics.ttft_s.P95();
+  p.ttft_p99_s = metrics.ttft_s.P99();
+  p.tbt_p50_s = metrics.tbt_s.Median();
+  p.tbt_p95_s = metrics.tbt_s.P95();
+  p.tbt_p99_s = metrics.tbt_s.P99();
+  p.goodput_tokens_per_s = metrics.decode_tokens_per_s;
+  p.capacity_agreement = p.analytic_tokens_per_s > 0.0
+                             ? p.goodput_tokens_per_s / p.analytic_tokens_per_s
+                             : 0.0;
+  p.prefill_utilization = metrics.prefill_utilization;
+  p.decode_utilization = metrics.decode_utilization;
+  p.mean_decode_batch = metrics.mean_decode_batch;
+  p.makespan_s = metrics.makespan_s;
+  // A point that served nothing proves nothing: vacuously zero percentiles
+  // must not count as meeting the SLOs (or an empty point could be the knee).
+  p.slo_ok = p.completed_requests > 0 && p.ttft_p99_s <= s.workload.ttft_slo_s &&
+             p.tbt_p99_s <= s.workload.tbt_slo_s;
+  return p;
+}
+
 // Runs the end-to-end serving simulation for the scenario's (model, GPU)
-// pair: search the best phase configurations, build PerfModels for them,
+// pair: search the best phase configurations, build the step-time table,
 // size the pools, generate the Poisson workload, and drive the discrete-
-// event simulator through the PerfModel-backed callbacks. Fails (non-empty
-// *error) when no feasible configuration exists under the SLOs.
+// event simulator on the table-driven fast path. Fails (non-empty *error)
+// when no feasible configuration exists under the SLOs.
 ServeStudyReport RunServeStudy(const Scenario& s, std::string* error) {
   ServeStudyReport out;
   out.model = s.ResolvedModels().front();
   out.gpu = s.ResolvedGpus().front();
   out.knobs = s.serve;
 
-  TransformerSpec model = *FindModel(out.model);
-  GpuSpec gpu = *FindGpu(out.gpu);
-  SearchOptions options = s.MakeSearchOptions();
-
-  PrefillSearchResult prefill = SearchPrefill(model, gpu, options);
-  DecodeSearchResult decode = SearchDecode(model, gpu, options);
-  if (!prefill.found || !decode.found) {
-    *error = "no feasible " + std::string(!prefill.found ? "prefill" : "decode") +
-             " configuration for " + out.model + " on " + out.gpu +
-             " under the scenario's SLOs";
+  ServePlatform platform = BuildServePlatform(out.model, out.gpu, s.MakeSearchOptions());
+  if (!platform.ok) {
+    *error = platform.error;
     return out;
   }
-  out.prefill_tp = prefill.best.tp_degree;
-  out.prefill_batch = prefill.best.batch;
-  out.prefill_capacity_tok_s = prefill.best.result.tokens_per_s;
-  out.decode_tp = decode.best.tp_degree;
-  out.decode_batch = decode.best.batch;
-  out.decode_capacity_tok_s = decode.best.result.tokens_per_s;
-
-  TpPlan prefill_plan = MakeTpPlan(model, out.prefill_tp, options.kv_policy).value();
-  TpPlan decode_plan = MakeTpPlan(model, out.decode_tp, options.kv_policy).value();
-  PerfModel prefill_model(model, gpu, prefill_plan, options.workload, options.engine);
-  PerfModel decode_model(model, gpu, decode_plan, options.workload, options.engine);
-  ServeCallbacks callbacks = MakePerfModelCallbacks(prefill_model, decode_model,
-                                                    out.prefill_batch, out.decode_batch);
+  out.prefill_tp = platform.prefill_tp;
+  out.prefill_batch = platform.prefill_batch;
+  out.prefill_capacity_tok_s = platform.prefill_capacity_tok_s;
+  out.decode_tp = platform.decode_tp;
+  out.decode_batch = platform.decode_batch;
+  out.decode_capacity_tok_s = platform.decode_capacity_tok_s;
 
   out.decode_instances = s.serve.decode_instances;
   // Offered load: explicit rate, or `load` x the decode pool's analytic
@@ -175,57 +277,103 @@ ServeStudyReport RunServeStudy(const Scenario& s, std::string* error) {
           ? s.serve.arrival_rate_per_s
           : s.serve.load * out.decode_capacity_tok_s * out.decode_instances /
                 s.workload.output_tokens;
-  out.analytic_tokens_per_s = out.arrival_rate_per_s * s.workload.output_tokens;
 
-  if (s.serve.prefill_instances > 0) {
-    out.prefill_instances = s.serve.prefill_instances;
-  } else {
-    // Auto-size the prefill pool for its own token demand via the shared
-    // pool-sizing helper (headroom keeps decode the bottleneck under test).
-    PoolDemand demand;
-    demand.requests_per_s = out.arrival_rate_per_s;
-    demand.prompt_tokens = s.workload.prompt_tokens;
-    demand.output_tokens = s.workload.output_tokens;
-    InstanceCapacity capacity = CapacityFromPerfModels(prefill_model, out.prefill_batch,
-                                                       decode_model, out.decode_batch);
-    out.prefill_instances = std::max(1, SizePools(demand, capacity).prefill_instances);
+  ServeSweepReport::Point point = SimulateServePoint(
+      platform, s, out.arrival_rate_per_s, s.serve.seed, s.serve.horizon_s,
+      s.serve.prompt_sigma, s.serve.output_sigma, s.serve.prefill_instances,
+      s.serve.decode_instances);
+  out.analytic_tokens_per_s = point.analytic_tokens_per_s;
+  out.prefill_instances = point.prefill_instances;
+  out.total_gpus = point.total_gpus;
+  out.admitted_requests = point.admitted_requests;
+  out.completed_requests = point.completed_requests;
+  out.in_flight_at_horizon = point.in_flight_at_horizon;
+  out.ttft_p50_s = point.ttft_p50_s;
+  out.ttft_p95_s = point.ttft_p95_s;
+  out.ttft_p99_s = point.ttft_p99_s;
+  out.tbt_p50_s = point.tbt_p50_s;
+  out.tbt_p95_s = point.tbt_p95_s;
+  out.tbt_p99_s = point.tbt_p99_s;
+  out.goodput_tokens_per_s = point.goodput_tokens_per_s;
+  out.capacity_agreement = point.capacity_agreement;
+  out.prefill_utilization = point.prefill_utilization;
+  out.decode_utilization = point.decode_utilization;
+  out.mean_decode_batch = point.mean_decode_batch;
+  out.makespan_s = point.makespan_s;
+  return out;
+}
+
+// Runs the serve-sweep study: one BuildServePlatform, then every grid point
+// as an independent simulation fanned across the thread pool. Per-point
+// workload seeds come from one SplitMix64 stream expanded serially up
+// front, and workers write only their own Point slot, so the report is
+// bit-identical at any thread count.
+ServeSweepReport RunServeSweepStudy(const Scenario& s, std::string* error) {
+  ServeSweepReport out;
+  out.model = s.ResolvedModels().front();
+  out.gpu = s.ResolvedGpus().front();
+  out.knobs = s.sweep;
+  out.ttft_slo_s = s.workload.ttft_slo_s;
+  out.tbt_slo_s = s.workload.tbt_slo_s;
+
+  ServePlatform platform = BuildServePlatform(out.model, out.gpu, s.MakeSearchOptions());
+  if (!platform.ok) {
+    *error = platform.error;
+    return out;
   }
-  out.total_gpus =
-      out.prefill_instances * out.prefill_tp + out.decode_instances * out.decode_tp;
+  out.prefill_tp = platform.prefill_tp;
+  out.prefill_batch = platform.prefill_batch;
+  out.prefill_capacity_tok_s = platform.prefill_capacity_tok_s;
+  out.decode_tp = platform.decode_tp;
+  out.decode_batch = platform.decode_batch;
+  out.decode_capacity_tok_s = platform.decode_capacity_tok_s;
 
-  WorkloadSpec spec;
-  spec.arrival_rate_per_s = out.arrival_rate_per_s;
-  spec.duration_s = s.serve.horizon_s;
-  spec.median_prompt_tokens = s.workload.prompt_tokens;
-  spec.prompt_sigma = s.serve.prompt_sigma;
-  spec.median_output_tokens = s.workload.output_tokens;
-  spec.output_sigma = s.serve.output_sigma;
-  spec.seed = s.serve.seed;
-  std::vector<Request> requests = GenerateWorkload(spec);
+  const std::vector<double> grid = s.sweep.GridPoints();
+  std::vector<uint64_t> seeds;
+  seeds.reserve(grid.size());
+  SplitMix64 seed_stream(s.sweep.seed);
+  for (size_t i = 0; i < grid.size(); ++i) {
+    // Masked to 53 bits so the reported seed survives JSON's double-backed
+    // numbers exactly — `litegpu serve --seed <reported>` must reproduce
+    // the point's workload bit-for-bit.
+    seeds.push_back(seed_stream.Next() & ((uint64_t{1} << 53) - 1));
+  }
 
-  ServeClusterConfig cluster;
-  cluster.prefill_instances = out.prefill_instances;
-  cluster.decode_instances = out.decode_instances;
-  cluster.horizon_s = s.serve.horizon_s;
-  ServeMetrics metrics = RunServeSimulation(requests, cluster, callbacks);
+  double pool_capacity_tok_s = platform.decode_capacity_tok_s * s.sweep.decode_instances;
+  out.points = ParallelMap<ServeSweepReport::Point>(
+      s.exec.threads, static_cast<int>(grid.size()), [&](int i) {
+        double value = grid[static_cast<size_t>(i)];
+        double rate, load;
+        if (s.sweep.IsRateGrid()) {
+          rate = value;
+          load = pool_capacity_tok_s > 0.0
+                     ? value * s.workload.output_tokens / pool_capacity_tok_s
+                     : 0.0;
+        } else {
+          load = value;
+          rate = value * pool_capacity_tok_s / s.workload.output_tokens;
+        }
+        ServeSweepReport::Point p = SimulateServePoint(
+            platform, s, rate, seeds[static_cast<size_t>(i)], s.sweep.horizon_s,
+            s.sweep.prompt_sigma, s.sweep.output_sigma, s.sweep.prefill_instances,
+            s.sweep.decode_instances);
+        p.load = load;
+        return p;
+      });
 
-  out.admitted_requests = metrics.admitted_requests;
-  out.completed_requests = metrics.completed_requests;
-  out.in_flight_at_horizon = metrics.in_flight_at_horizon;
-  out.ttft_p50_s = metrics.ttft_s.Median();
-  out.ttft_p95_s = metrics.ttft_s.P95();
-  out.ttft_p99_s = metrics.ttft_s.P99();
-  out.tbt_p50_s = metrics.tbt_s.Median();
-  out.tbt_p95_s = metrics.tbt_s.P95();
-  out.tbt_p99_s = metrics.tbt_s.P99();
-  out.goodput_tokens_per_s = metrics.decode_tokens_per_s;
-  out.capacity_agreement = out.analytic_tokens_per_s > 0.0
-                               ? out.goodput_tokens_per_s / out.analytic_tokens_per_s
-                               : 0.0;
-  out.prefill_utilization = metrics.prefill_utilization;
-  out.decode_utilization = metrics.decode_utilization;
-  out.mean_decode_batch = metrics.mean_decode_batch;
-  out.makespan_s = metrics.makespan_s;
+  for (size_t i = 0; i < out.points.size(); ++i) {
+    const auto& p = out.points[i];
+    if (p.slo_ok && (out.knee_index < 0 ||
+                     p.arrival_rate_per_s >
+                         out.points[static_cast<size_t>(out.knee_index)].arrival_rate_per_s)) {
+      out.knee_index = static_cast<int>(i);
+    }
+  }
+  if (out.knee_index >= 0) {
+    const auto& knee = out.points[static_cast<size_t>(out.knee_index)];
+    out.knee_load = knee.load;
+    out.knee_goodput_tokens_per_s = knee.goodput_tokens_per_s;
+  }
   return out;
 }
 
@@ -285,6 +433,15 @@ RunReport Runner::Run(const Scenario& scenario) const {
         return ErrorReport(s, serve_error);
       }
       report.payload = std::move(serve);
+      break;
+    }
+    case StudyKind::kServeSweep: {
+      std::string sweep_error;
+      ServeSweepReport sweep = RunServeSweepStudy(s, &sweep_error);
+      if (!sweep_error.empty()) {
+        return ErrorReport(s, sweep_error);
+      }
+      report.payload = std::move(sweep);
       break;
     }
   }
@@ -517,6 +674,124 @@ Json ServeStudyToJson(const ServeStudyReport& r) {
   return j;
 }
 
+std::string ServeSweepToText(const ServeSweepReport& r) {
+  std::ostringstream os;
+  os << "Serve sweep: " << r.model << " on " << r.gpu << " — " << r.points.size()
+     << " load points over " << HumanTime(r.knobs.horizon_s) << " horizon\n"
+     << "  prefill: TP=" << r.prefill_tp << " batch<=" << r.prefill_batch << " ("
+     << FormatDouble(r.prefill_capacity_tok_s, 0) << " tok/s/inst)\n"
+     << "  decode:  TP=" << r.decode_tp << " batch<=" << r.decode_batch << " ("
+     << FormatDouble(r.decode_capacity_tok_s, 0) << " tok/s/inst) x "
+     << r.knobs.decode_instances << " instances\n"
+     << "  SLOs: TTFT p99 <= " << HumanTime(r.ttft_slo_s) << ", TBT p99 <= "
+     << HumanTime(r.tbt_slo_s) << "\n";
+  Table table({"Load", "Req/s", "Prefill inst", "TTFT p50/p99", "TBT p50/p99",
+               "Goodput tok/s", "Ratio", "Util p/d", "SLO"});
+  for (const auto& p : r.points) {
+    table.AddRow({HumanPercent(p.load, 0), FormatDouble(p.arrival_rate_per_s, 2),
+                  std::to_string(p.prefill_instances),
+                  HumanTime(p.ttft_p50_s) + " / " + HumanTime(p.ttft_p99_s),
+                  HumanTime(p.tbt_p50_s) + " / " + HumanTime(p.tbt_p99_s),
+                  FormatDouble(p.goodput_tokens_per_s, 0),
+                  FormatDouble(p.capacity_agreement, 3),
+                  FormatDouble(p.prefill_utilization, 2) + " / " +
+                      FormatDouble(p.decode_utilization, 2),
+                  p.slo_ok ? "ok" : "MISS"});
+  }
+  os << table.ToText();
+  if (r.knee_index >= 0) {
+    const auto& knee = r.points[static_cast<size_t>(r.knee_index)];
+    os << "knee: " << HumanPercent(knee.load, 0) << " load ("
+       << FormatDouble(knee.arrival_rate_per_s, 2) << " req/s, "
+       << FormatDouble(knee.goodput_tokens_per_s, 0)
+       << " tok/s goodput) — highest load meeting both SLOs\n";
+  } else {
+    os << "knee: no load point meets the SLOs\n";
+  }
+  return os.str();
+}
+
+Json ServeSweepToJson(const ServeSweepReport& r) {
+  Json config = Json::Object();
+  if (!r.knobs.loads.empty()) {
+    Json arr = Json::Array();
+    for (double load : r.knobs.loads) {
+      arr.Append(load);
+    }
+    config.Set("loads", std::move(arr));
+  }
+  if (!r.knobs.rates.empty()) {
+    Json arr = Json::Array();
+    for (double rate : r.knobs.rates) {
+      arr.Append(rate);
+    }
+    config.Set("rates", std::move(arr));
+  }
+  config.Set("load_lo", r.knobs.load_lo)
+      .Set("load_hi", r.knobs.load_hi)
+      .Set("load_step", r.knobs.load_step)
+      .Set("horizon_s", r.knobs.horizon_s)
+      .Set("prompt_sigma", r.knobs.prompt_sigma)
+      .Set("output_sigma", r.knobs.output_sigma)
+      .Set("seed", r.knobs.seed);
+  Json prefill = Json::Object();
+  prefill.Set("tp_degree", r.prefill_tp)
+      .Set("batch", r.prefill_batch)
+      .Set("capacity_tokens_per_s", r.prefill_capacity_tok_s);
+  Json decode = Json::Object();
+  decode.Set("tp_degree", r.decode_tp)
+      .Set("batch", r.decode_batch)
+      .Set("capacity_tokens_per_s", r.decode_capacity_tok_s)
+      .Set("instances", r.knobs.decode_instances);
+  Json slo = Json::Object();
+  slo.Set("ttft_p99_s", r.ttft_slo_s).Set("tbt_p99_s", r.tbt_slo_s);
+  Json points = Json::Array();
+  for (const auto& p : r.points) {
+    Json latency = Json::Object();
+    latency.Set("ttft_p50_s", p.ttft_p50_s)
+        .Set("ttft_p95_s", p.ttft_p95_s)
+        .Set("ttft_p99_s", p.ttft_p99_s)
+        .Set("tbt_p50_s", p.tbt_p50_s)
+        .Set("tbt_p95_s", p.tbt_p95_s)
+        .Set("tbt_p99_s", p.tbt_p99_s);
+    Json point = Json::Object();
+    point.Set("load", p.load)
+        .Set("arrival_rate_per_s", p.arrival_rate_per_s)
+        .Set("seed", p.seed)
+        .Set("prefill_instances", p.prefill_instances)
+        .Set("decode_instances", p.decode_instances)
+        .Set("total_gpus", p.total_gpus)
+        .Set("admitted_requests", p.admitted_requests)
+        .Set("completed_requests", p.completed_requests)
+        .Set("in_flight_at_horizon", p.in_flight_at_horizon)
+        .Set("latency", std::move(latency))
+        .Set("goodput_tokens_per_s", p.goodput_tokens_per_s)
+        .Set("analytic_tokens_per_s", p.analytic_tokens_per_s)
+        .Set("capacity_agreement", p.capacity_agreement)
+        .Set("prefill_utilization", p.prefill_utilization)
+        .Set("decode_utilization", p.decode_utilization)
+        .Set("mean_decode_batch", p.mean_decode_batch)
+        .Set("makespan_s", p.makespan_s)
+        .Set("slo_ok", p.slo_ok);
+    points.Append(std::move(point));
+  }
+  Json knee = Json::Object();
+  knee.Set("found", r.knee_index >= 0)
+      .Set("index", r.knee_index)
+      .Set("load", r.knee_load)
+      .Set("goodput_tokens_per_s", r.knee_goodput_tokens_per_s);
+  Json j = Json::Object();
+  j.Set("model", r.model)
+      .Set("gpu", r.gpu)
+      .Set("config", std::move(config))
+      .Set("prefill", std::move(prefill))
+      .Set("decode", std::move(decode))
+      .Set("slo", std::move(slo))
+      .Set("points", std::move(points))
+      .Set("knee", std::move(knee));
+  return j;
+}
+
 }  // namespace
 
 std::string RunReport::ToText() const {
@@ -553,6 +828,9 @@ std::string RunReport::ToText() const {
     case StudyKind::kServe:
       os << ServeStudyToText(std::get<ServeStudyReport>(payload));
       break;
+    case StudyKind::kServeSweep:
+      os << ServeSweepToText(std::get<ServeSweepReport>(payload));
+      break;
   }
   return os.str();
 }
@@ -588,6 +866,9 @@ Json RunReport::ToJson() const {
       break;
     case StudyKind::kServe:
       j.Set("report", ServeStudyToJson(std::get<ServeStudyReport>(payload)));
+      break;
+    case StudyKind::kServeSweep:
+      j.Set("report", ServeSweepToJson(std::get<ServeSweepReport>(payload)));
       break;
   }
   return j;

@@ -107,6 +107,58 @@ struct ServeStudyReport {
   double makespan_s = 0.0;
 };
 
+// Serve-sweep study: one searched deployment driven over a whole load grid
+// as a single study — the bench_validation_serve table as an interactive
+// scenario. The search and the step-time table are shared; each point is an
+// independent simulation with its own RNG stream, fanned across the thread
+// pool with bit-identical results at any thread count.
+struct ServeSweepReport {
+  std::string model;
+  std::string gpu;
+  ServeSweepKnobs knobs;
+
+  // Chosen analytic configurations (shared by every point).
+  int prefill_tp = 0;
+  int prefill_batch = 0;
+  double prefill_capacity_tok_s = 0.0;  // per instance
+  int decode_tp = 0;
+  int decode_batch = 0;
+  double decode_capacity_tok_s = 0.0;   // per instance
+
+  // The SLOs the knee is judged against (from the scenario's workload).
+  double ttft_slo_s = 0.0;
+  double tbt_slo_s = 0.0;
+
+  struct Point {
+    double load = 0.0;  // fraction of the decode pool's analytic capacity
+    double arrival_rate_per_s = 0.0;
+    uint64_t seed = 0;  // this point's derived workload RNG stream
+    int prefill_instances = 0;
+    int decode_instances = 0;
+    int total_gpus = 0;
+    int admitted_requests = 0;
+    int completed_requests = 0;
+    int in_flight_at_horizon = 0;
+    double ttft_p50_s = 0.0, ttft_p95_s = 0.0, ttft_p99_s = 0.0;
+    double tbt_p50_s = 0.0, tbt_p95_s = 0.0, tbt_p99_s = 0.0;
+    double goodput_tokens_per_s = 0.0;
+    double analytic_tokens_per_s = 0.0;
+    double capacity_agreement = 0.0;
+    double prefill_utilization = 0.0;
+    double decode_utilization = 0.0;
+    double mean_decode_batch = 0.0;
+    double makespan_s = 0.0;
+    bool slo_ok = false;  // ttft_p99 <= ttft_slo && tbt_p99 <= tbt_slo
+  };
+  std::vector<Point> points;  // grid order
+
+  // Knee: the highest-load point still meeting both SLOs (-1 when none
+  // does). "Highest" by offered arrival rate, so rate grids work too.
+  int knee_index = -1;
+  double knee_load = 0.0;
+  double knee_goodput_tokens_per_s = 0.0;
+};
+
 // --- the uniform result -----------------------------------------------------
 
 struct RunReport {
@@ -118,7 +170,8 @@ struct RunReport {
   // Tagged union: exactly the alternative matching `study` is engaged when
   // ok (monostate otherwise).
   std::variant<std::monostate, SearchStudyReport, Fig3StudyReport, DesignStudyReport,
-               McSimStudyReport, YieldStudyReport, DeriveStudyReport, ServeStudyReport>
+               McSimStudyReport, YieldStudyReport, DeriveStudyReport, ServeStudyReport,
+               ServeSweepReport>
       payload;
 
   // Human-readable rendering (the paper-style tables the CLI prints).

@@ -1,6 +1,7 @@
 #include "src/core/scenario.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/hw/catalog.h"
 
@@ -24,6 +25,8 @@ std::string ToString(StudyKind kind) {
       return "derive";
     case StudyKind::kServe:
       return "serve";
+    case StudyKind::kServeSweep:
+      return "serve-sweep";
   }
   return "unknown";
 }
@@ -31,7 +34,7 @@ std::string ToString(StudyKind kind) {
 std::optional<StudyKind> ParseStudyKind(const std::string& name) {
   for (StudyKind kind : {StudyKind::kSearch, StudyKind::kFig3a, StudyKind::kFig3b,
                          StudyKind::kDesign, StudyKind::kMcSim, StudyKind::kYield,
-                         StudyKind::kDerive, StudyKind::kServe}) {
+                         StudyKind::kDerive, StudyKind::kServe, StudyKind::kServeSweep}) {
     if (name == ToString(kind)) {
       return kind;
     }
@@ -54,10 +57,43 @@ std::optional<YieldModel> ParseYieldModel(const std::string& name) {
 bool UsesPerfSearch(StudyKind study) {
   return study == StudyKind::kSearch || study == StudyKind::kFig3a ||
          study == StudyKind::kFig3b || study == StudyKind::kDesign ||
-         study == StudyKind::kServe;
+         study == StudyKind::kServe || study == StudyKind::kServeSweep;
 }
 
 }  // namespace
+
+std::vector<double> ExpandGridRange(double lo, double hi, double step) {
+  std::vector<double> grid;
+  if (!std::isfinite(lo) || !std::isfinite(hi) || !std::isfinite(step) || step <= 0.0 ||
+      hi < lo) {
+    return grid;
+  }
+  // Integer stepping avoids accumulated float drift dropping the endpoint;
+  // the epsilon admits hi itself when (hi - lo) is a near-exact multiple.
+  // The cap keeps a degenerate step from expanding into a multi-GB vector
+  // (or overflowing the int cast, which is UB); 1e6 points is far past any
+  // sweep a study could run, so over-cap ranges report as an empty grid.
+  double count_minus_one = (hi - lo) / step + 1e-9;
+  if (count_minus_one >= 1e6) {
+    return grid;
+  }
+  int count = static_cast<int>(count_minus_one) + 1;
+  grid.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    grid.push_back(lo + i * step);
+  }
+  return grid;
+}
+
+std::vector<double> ServeSweepKnobs::GridPoints() const {
+  if (!rates.empty()) {
+    return rates;
+  }
+  if (!loads.empty()) {
+    return loads;
+  }
+  return ExpandGridRange(load_lo, load_hi, load_step);
+}
 
 std::vector<std::string> Scenario::ResolvedModels() const {
   if (!models.empty()) {
@@ -69,7 +105,8 @@ std::vector<std::string> Scenario::ResolvedModels() const {
     case StudyKind::kDerive:
       return {};
     case StudyKind::kServe:
-      // The serving simulation runs one model end-to-end.
+    case StudyKind::kServeSweep:
+      // The serving simulations run one model end-to-end.
       return {Llama3_70B().name};
     default: {
       std::vector<std::string> names;
@@ -100,6 +137,7 @@ std::vector<std::string> Scenario::ResolvedGpus() const {
     case StudyKind::kSearch:
     case StudyKind::kMcSim:
     case StudyKind::kServe:
+    case StudyKind::kServeSweep:
       return {H100().name};
     case StudyKind::kYield:
     case StudyKind::kDerive:
@@ -227,8 +265,13 @@ std::string Scenario::Validate() const {
       if (serve.arrival_rate_per_s < 0.0) {
         return "serve.arrival_rate_per_s must be >= 0";
       }
-      if (serve.horizon_s <= 0.0) {
-        return "serve.horizon_s must be positive";
+      if (!std::isfinite(serve.load) || !std::isfinite(serve.arrival_rate_per_s)) {
+        return "serve load/arrival_rate_per_s must be finite";
+      }
+      // NaN fails the > comparison, so non-finite horizons are rejected too
+      // (a NaN/inf horizon would spin the workload generator forever).
+      if (!(serve.horizon_s > 0.0) || !std::isfinite(serve.horizon_s)) {
+        return "serve.horizon_s must be positive and finite";
       }
       if (serve.prefill_instances < 0) {
         return "serve.prefill_instances must be >= 0 (0 = auto-size)";
@@ -240,6 +283,42 @@ std::string Scenario::Validate() const {
         return "serve length sigmas must be >= 0";
       }
       break;
+    case StudyKind::kServeSweep: {
+      if (ResolvedModels().size() != 1) {
+        return "study 'serve-sweep' simulates exactly one model (got " +
+               std::to_string(ResolvedModels().size()) + ")";
+      }
+      if (ResolvedGpus().size() != 1) {
+        return "study 'serve-sweep' simulates exactly one GPU type (got " +
+               std::to_string(ResolvedGpus().size()) + ")";
+      }
+      if (sweep.loads.empty() && sweep.rates.empty() && sweep.load_step <= 0.0) {
+        return "sweep.load_step must be positive";
+      }
+      std::vector<double> grid = sweep.GridPoints();
+      if (grid.empty()) {
+        return "sweep grid is empty (check loads/rates or load_lo:load_hi:load_step)";
+      }
+      for (double point : grid) {
+        // NaN fails both comparisons, so it is rejected here too.
+        if (!(point > 0.0) || !std::isfinite(point)) {
+          return "sweep grid points must be positive and finite";
+        }
+      }
+      if (!(sweep.horizon_s > 0.0) || !std::isfinite(sweep.horizon_s)) {
+        return "sweep.horizon_s must be positive and finite";
+      }
+      if (sweep.prefill_instances < 0) {
+        return "sweep.prefill_instances must be >= 0 (0 = auto-size)";
+      }
+      if (sweep.decode_instances < 1) {
+        return "sweep.decode_instances must be >= 1";
+      }
+      if (sweep.prompt_sigma < 0.0 || sweep.output_sigma < 0.0) {
+        return "sweep length sigmas must be >= 0";
+      }
+      break;
+    }
     default:
       break;
   }
@@ -331,6 +410,34 @@ Json ScenarioToJson(const Scenario& s) {
           .Set("output_sigma", s.serve.output_sigma)
           .Set("seed", s.serve.seed);
       j.Set("serve", std::move(serve));
+      break;
+    }
+    case StudyKind::kServeSweep: {
+      Json sweep = Json::Object();
+      if (!s.sweep.loads.empty()) {
+        Json arr = Json::Array();
+        for (double load : s.sweep.loads) {
+          arr.Append(load);
+        }
+        sweep.Set("loads", std::move(arr));
+      }
+      if (!s.sweep.rates.empty()) {
+        Json arr = Json::Array();
+        for (double rate : s.sweep.rates) {
+          arr.Append(rate);
+        }
+        sweep.Set("rates", std::move(arr));
+      }
+      sweep.Set("load_lo", s.sweep.load_lo)
+          .Set("load_hi", s.sweep.load_hi)
+          .Set("load_step", s.sweep.load_step)
+          .Set("horizon_s", s.sweep.horizon_s)
+          .Set("prefill_instances", s.sweep.prefill_instances)
+          .Set("decode_instances", s.sweep.decode_instances)
+          .Set("prompt_sigma", s.sweep.prompt_sigma)
+          .Set("output_sigma", s.sweep.output_sigma)
+          .Set("seed", s.sweep.seed);
+      j.Set("sweep", std::move(sweep));
       break;
     }
     default:
@@ -437,6 +544,24 @@ bool ReadString(const Json& obj, const std::string& key, const std::string& wher
   return true;
 }
 
+bool ReadDoubleList(const Json& obj, const std::string& key, const std::string& where,
+                    std::vector<double>& out, std::string* error) {
+  const Json* arr = obj.Find(key);
+  if (arr == nullptr) {
+    return true;
+  }
+  if (!arr->is_array()) {
+    return TypeError(key, where, "an array of numbers", error);
+  }
+  for (const Json& e : arr->elements()) {
+    if (e.type() != Json::Type::kNumber) {
+      return TypeError(key, where, "an array of numbers", error);
+    }
+    out.push_back(e.AsDouble());
+  }
+  return true;
+}
+
 bool ReadNames(const Json& obj, const std::string& key, std::vector<std::string>& out,
                std::string* error) {
   const Json* arr = obj.Find(key);
@@ -473,7 +598,7 @@ std::optional<Scenario> ScenarioFromJson(const Json& json, std::string* error) {
   if (!CheckKeys(json,
                  {"name", "study", "models", "gpus", "baseline_gpu", "workload",
                   "kv_policy", "max_batch", "design", "mcsim", "yield", "derive", "serve",
-                  "exec"},
+                  "sweep", "exec"},
                  "scenario", error)) {
     return std::nullopt;
   }
@@ -496,7 +621,7 @@ std::optional<Scenario> ScenarioFromJson(const Json& json, std::string* error) {
   if (!study) {
     if (error != nullptr) {
       *error = "unknown study '" + study_name +
-               "' (expected search|fig3a|fig3b|design|mcsim|yield|derive|serve)";
+               "' (expected search|fig3a|fig3b|design|mcsim|yield|derive|serve|serve-sweep)";
     }
     return std::nullopt;
   }
@@ -620,6 +745,27 @@ std::optional<Scenario> ScenarioFromJson(const Json& json, std::string* error) {
         !ReadDouble(*serve, "prompt_sigma", "serve", s.serve.prompt_sigma, error) ||
         !ReadDouble(*serve, "output_sigma", "serve", s.serve.output_sigma, error) ||
         !ReadUint64(*serve, "seed", "serve", s.serve.seed, error)) {
+      return std::nullopt;
+    }
+  }
+
+  if (const Json* sweep = json.Find("sweep")) {
+    if (!CheckKeys(*sweep,
+                   {"loads", "rates", "load_lo", "load_hi", "load_step", "horizon_s",
+                    "prefill_instances", "decode_instances", "prompt_sigma",
+                    "output_sigma", "seed"},
+                   "sweep", error) ||
+        !ReadDoubleList(*sweep, "loads", "sweep", s.sweep.loads, error) ||
+        !ReadDoubleList(*sweep, "rates", "sweep", s.sweep.rates, error) ||
+        !ReadDouble(*sweep, "load_lo", "sweep", s.sweep.load_lo, error) ||
+        !ReadDouble(*sweep, "load_hi", "sweep", s.sweep.load_hi, error) ||
+        !ReadDouble(*sweep, "load_step", "sweep", s.sweep.load_step, error) ||
+        !ReadDouble(*sweep, "horizon_s", "sweep", s.sweep.horizon_s, error) ||
+        !ReadInt(*sweep, "prefill_instances", "sweep", s.sweep.prefill_instances, error) ||
+        !ReadInt(*sweep, "decode_instances", "sweep", s.sweep.decode_instances, error) ||
+        !ReadDouble(*sweep, "prompt_sigma", "sweep", s.sweep.prompt_sigma, error) ||
+        !ReadDouble(*sweep, "output_sigma", "sweep", s.sweep.output_sigma, error) ||
+        !ReadUint64(*sweep, "seed", "sweep", s.sweep.seed, error)) {
       return std::nullopt;
     }
   }
@@ -771,6 +917,10 @@ ScenarioBuilder& ScenarioBuilder::Derive(const DeriveKnobs& knobs) {
 }
 ScenarioBuilder& ScenarioBuilder::Serve(const ServeKnobs& knobs) {
   scenario_.serve = knobs;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::ServeSweep(const ServeSweepKnobs& knobs) {
+  scenario_.sweep = knobs;
   return *this;
 }
 

@@ -40,6 +40,7 @@ enum class StudyKind {
   kYield,   // Section-2 die-yield / known-good-die economics
   kDerive,  // custom Lite-GPU derivation + shoreline feasibility
   kServe,   // end-to-end discrete-event serving vs the analytic capacity
+  kServeSweep,  // one serve deployment swept over a load grid as one study
 };
 
 std::string ToString(StudyKind kind);
@@ -104,6 +105,41 @@ struct ServeKnobs {
   uint64_t seed = 0xC0FFEE;
 };
 
+// Knobs only the serve-sweep study reads: one serve deployment driven over
+// a grid of offered load points as a single study (the
+// bench_validation_serve load table as a scenario). The grid is either an
+// explicit list — `loads` as fractions of the decode pool's analytic
+// capacity, or `rates` as absolute requests/s — or the inclusive
+// lo:hi:step range. The search and the step-time table are shared across
+// points; each point gets its own deterministic RNG stream derived from
+// `seed`, so the sweep is bit-identical at any thread count.
+struct ServeSweepKnobs {
+  std::vector<double> loads;  // explicit load fractions; overrides lo:hi:step
+  std::vector<double> rates;  // explicit requests/s; overrides `loads` too
+  double load_lo = 0.1;
+  double load_hi = 1.0;
+  double load_step = 0.1;
+  // Per-point simulation shape (same meaning as the serve study's knobs).
+  double horizon_s = 60.0;
+  int prefill_instances = 0;  // 0 = auto-size per point
+  int decode_instances = 1;
+  double prompt_sigma = 0.0;
+  double output_sigma = 0.0;
+  uint64_t seed = 0xC0FFEE;
+
+  // True when the grid is absolute arrival rates rather than load
+  // fractions.
+  bool IsRateGrid() const { return !rates.empty(); }
+  // The expanded grid: rates, else loads, else lo..hi inclusive by step.
+  std::vector<double> GridPoints() const;
+};
+
+// Expands lo..hi inclusive by step (empty when step <= 0, hi < lo, any
+// bound is non-finite, or the range would exceed 1e6 points). The one
+// grid-range expansion — ServeSweepKnobs and the CLI's lo:hi:step specs
+// share it so they can't drift.
+std::vector<double> ExpandGridRange(double lo, double hi, double step);
+
 struct Scenario {
   // Optional label echoed into the RunReport (handy for batches).
   std::string name;
@@ -128,6 +164,7 @@ struct Scenario {
   YieldKnobs yield;
   DeriveKnobs derive;
   ServeKnobs serve;
+  ServeSweepKnobs sweep;
 
   ExecPolicy exec;
 
@@ -184,6 +221,7 @@ class ScenarioBuilder {
   ScenarioBuilder& Yield(const YieldKnobs& knobs);
   ScenarioBuilder& Derive(const DeriveKnobs& knobs);
   ScenarioBuilder& Serve(const ServeKnobs& knobs);
+  ScenarioBuilder& ServeSweep(const ServeSweepKnobs& knobs);
 
   // The scenario built so far, unvalidated.
   const Scenario& Peek() const { return scenario_; }

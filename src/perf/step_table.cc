@@ -1,0 +1,25 @@
+#include "src/perf/step_table.h"
+
+#include <algorithm>
+
+#include "src/perf/model.h"
+
+namespace litegpu {
+
+StepTimeTable StepTimeTable::Build(const PerfModel& prefill_model,
+                                   const PerfModel& decode_model, int max_prefill_batch,
+                                   int max_decode_batch) {
+  std::vector<double> prefill_s;
+  std::vector<double> decode_s;
+  prefill_s.reserve(static_cast<size_t>(std::max(0, max_prefill_batch)));
+  decode_s.reserve(static_cast<size_t>(std::max(0, max_decode_batch)));
+  for (int batch = 1; batch <= max_prefill_batch; ++batch) {
+    prefill_s.push_back(prefill_model.Prefill(batch).ttft_s);
+  }
+  for (int batch = 1; batch <= max_decode_batch; ++batch) {
+    decode_s.push_back(decode_model.Decode(batch).tbt_s);
+  }
+  return StepTimeTable(std::move(prefill_s), std::move(decode_s));
+}
+
+}  // namespace litegpu

@@ -1,5 +1,6 @@
 #include "src/sched/pools.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -15,6 +16,27 @@ InstanceCapacity CapacityFromPerfModels(const PerfModel& prefill_model, int pref
   capacity.decode_tokens_per_s = decode_model.Decode(decode_batch).tokens_per_s;
   capacity.decode_gpus = decode_model.plan().degree;
   return capacity;
+}
+
+ServeDeployment PlanServeDeployment(double arrival_rate_per_s, int prompt_tokens,
+                                    int output_tokens, const InstanceCapacity& capacity,
+                                    int requested_prefill_instances,
+                                    int requested_decode_instances) {
+  ServeDeployment deployment;
+  PoolDemand demand;
+  demand.requests_per_s = arrival_rate_per_s;
+  demand.prompt_tokens = prompt_tokens;
+  demand.output_tokens = output_tokens;
+  PoolPlan plan = SizePools(demand, capacity);
+  deployment.prefill_instances = requested_prefill_instances > 0
+                                     ? requested_prefill_instances
+                                     : std::max(1, plan.prefill_instances);
+  deployment.decode_instances = requested_decode_instances > 0
+                                    ? requested_decode_instances
+                                    : std::max(1, plan.decode_instances);
+  deployment.total_gpus = deployment.prefill_instances * capacity.prefill_gpus +
+                          deployment.decode_instances * capacity.decode_gpus;
+  return deployment;
 }
 
 std::string PoolPlan::ToString() const {

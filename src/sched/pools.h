@@ -50,4 +50,21 @@ PoolPlan SizePools(const PoolDemand& demand, const InstanceCapacity& capacity);
 InstanceCapacity CapacityFromPerfModels(const PerfModel& prefill_model, int prefill_batch,
                                         const PerfModel& decode_model, int decode_batch);
 
+// The deployment a serve study actually simulates at one offered load
+// point: explicitly requested instance counts are taken as-is, a requested
+// count of 0 auto-sizes that pool from the analytic capacities via
+// SizePools (never below one instance). Shared by the serve and serve-sweep
+// studies so every point of a sweep sizes its prefill pool the same way a
+// standalone serve run would.
+struct ServeDeployment {
+  int prefill_instances = 0;
+  int decode_instances = 0;
+  int total_gpus = 0;
+};
+
+ServeDeployment PlanServeDeployment(double arrival_rate_per_s, int prompt_tokens,
+                                    int output_tokens, const InstanceCapacity& capacity,
+                                    int requested_prefill_instances,
+                                    int requested_decode_instances);
+
 }  // namespace litegpu

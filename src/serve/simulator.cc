@@ -31,7 +31,19 @@ struct Event {
   double time_s = 0.0;
   EventKind kind = EventKind::kPrefillDone;
   int instance = 0;
-  bool operator>(const Event& other) const { return time_s > other.time_s; }
+  // Full ordering so simultaneous completions pop in a specified order —
+  // prefill completions before decode steps, lower instance first — instead
+  // of the heap's internal layout (which standard libraries are free to
+  // differ on).
+  bool operator>(const Event& other) const {
+    if (time_s != other.time_s) {
+      return time_s > other.time_s;
+    }
+    if (kind != other.kind) {
+      return kind > other.kind;
+    }
+    return instance > other.instance;
+  }
 };
 
 struct PrefillInstance {
@@ -50,14 +62,35 @@ struct DecodeInstance {
   double batch_time_product = 0.0;  // integral of batch over busy time
 };
 
-}  // namespace
+// Step-time providers for the shared event loop. Both answer the same two
+// questions; the table one compiles down to an array load, the callback one
+// pays std::function dispatch (and whatever the callback itself does).
+struct TableStepper {
+  const StepTimeTable& table;
+  double PrefillTime(int batch) const { return table.PrefillTime(batch); }
+  double DecodeStepTime(int batch) const { return table.DecodeStepTime(batch); }
+  int MaxPrefillBatch() const { return table.max_prefill_batch(); }
+  int MaxDecodeBatch() const { return table.max_decode_batch(); }
+  bool Valid() const { return !table.empty(); }
+};
 
-ServeMetrics RunServeSimulation(const std::vector<Request>& requests,
-                                const ServeClusterConfig& config,
-                                const ServeCallbacks& callbacks) {
+struct CallbackStepper {
+  const ServeCallbacks& callbacks;
+  double PrefillTime(int batch) const { return callbacks.prefill_time(batch); }
+  double DecodeStepTime(int batch) const { return callbacks.decode_step_time(batch); }
+  int MaxPrefillBatch() const { return callbacks.max_prefill_batch; }
+  int MaxDecodeBatch() const { return callbacks.max_decode_batch; }
+  bool Valid() const {
+    return static_cast<bool>(callbacks.prefill_time) &&
+           static_cast<bool>(callbacks.decode_step_time);
+  }
+};
+
+template <typename Stepper>
+ServeMetrics RunSimulation(const std::vector<Request>& requests,
+                           const ServeClusterConfig& config, const Stepper& stepper) {
   ServeMetrics metrics;
-  if (!callbacks.prefill_time || !callbacks.decode_step_time ||
-      config.prefill_instances <= 0 || config.decode_instances <= 0) {
+  if (!stepper.Valid() || config.prefill_instances <= 0 || config.decode_instances <= 0) {
     return metrics;
   }
 
@@ -75,14 +108,14 @@ ServeMetrics RunServeSimulation(const std::vector<Request>& requests,
       if (prefill[i].busy || prefill_queue.empty()) {
         continue;
       }
-      int batch = std::min<int>(callbacks.max_prefill_batch,
+      int batch = std::min<int>(stepper.MaxPrefillBatch(),
                                 static_cast<int>(prefill_queue.size()));
       prefill[i].batch.clear();
       for (int b = 0; b < batch; ++b) {
         prefill[i].batch.push_back(prefill_queue.front());
         prefill_queue.pop_front();
       }
-      double duration = callbacks.prefill_time(batch);
+      double duration = stepper.PrefillTime(batch);
       prefill[i].busy = true;
       prefill[i].busy_time += duration;
       events.push({t + duration, EventKind::kPrefillDone, i});
@@ -97,7 +130,7 @@ ServeMetrics RunServeSimulation(const std::vector<Request>& requests,
       }
       // Admit waiting sequences at the step boundary.
       while (!decode_queue.empty() &&
-             static_cast<int>(inst.remaining.size()) < callbacks.max_decode_batch) {
+             static_cast<int>(inst.remaining.size()) < stepper.MaxDecodeBatch()) {
         int req = decode_queue.front();
         decode_queue.pop_front();
         inst.remaining.push_back(std::max(1, requests[req].output_tokens));
@@ -107,7 +140,7 @@ ServeMetrics RunServeSimulation(const std::vector<Request>& requests,
         continue;
       }
       int batch = static_cast<int>(inst.remaining.size());
-      double duration = callbacks.decode_step_time(batch);
+      double duration = stepper.DecodeStepTime(batch);
       inst.stepping = true;
       inst.current_step_started = t;
       inst.current_step_duration = duration;
@@ -198,6 +231,20 @@ ServeMetrics RunServeSimulation(const std::vector<Request>& requests,
     metrics.mean_decode_batch = decode_busy > 0.0 ? batch_product / decode_busy : 0.0;
   }
   return metrics;
+}
+
+}  // namespace
+
+ServeMetrics RunServeSimulation(const std::vector<Request>& requests,
+                                const ServeClusterConfig& config,
+                                const ServeCallbacks& callbacks) {
+  return RunSimulation(requests, config, CallbackStepper{callbacks});
+}
+
+ServeMetrics RunServeSimulation(const std::vector<Request>& requests,
+                                const ServeClusterConfig& config,
+                                const StepTimeTable& table) {
+  return RunSimulation(requests, config, TableStepper{table});
 }
 
 }  // namespace litegpu

@@ -4,15 +4,22 @@
 // completed prompts hand off to decode instances, which run continuous
 // batching: every step emits one token per active sequence, new sequences
 // join at step boundaries, finished sequences leave. Step/pass latencies
-// come from the analytic PerfModel layer via MakePerfModelCallbacks (the
-// production path — how the Figure-3 capacities get validated end-to-end in
-// bench_validation_serve and the `serve` study), or from raw callbacks
-// (kept for tests that need synthetic latency shapes).
+// come from a StepTimeTable (the production fast path — a flat array load
+// per simulated step, built once from the analytic PerfModel layer) or from
+// raw callbacks (the compatibility/testing layer for synthetic latency
+// shapes). Both run the same event loop and produce bit-identical metrics
+// when fed the same per-batch times.
+//
+// Event ordering is fully specified: simultaneous events process in
+// (time, kind, instance) order — prefill completions before decode step
+// completions, lower instance index first — so results never depend on the
+// event heap's internal layout.
 
 #pragma once
 
 #include <functional>
 
+#include "src/perf/step_table.h"
 #include "src/serve/workload.h"
 #include "src/util/stats.h"
 
@@ -30,12 +37,15 @@ struct ServeCallbacks {
 };
 
 // Callbacks backed by the analytic PerfModels of the chosen prefill and
-// decode configurations (batch caps default to the searched best points'
-// batches at the call site). Decode steps are priced at the models' worst-
-// case (final) context, matching the search's SLO accounting, and both
-// models memoize, so the simulator's millions of identical step queries
-// cost one roofline evaluation per distinct batch. The PerfModels must
-// outlive the returned callbacks.
+// decode configurations. Decode steps are priced at the models' worst-case
+// (final) context, matching the search's SLO accounting.
+//
+// Lifetime contract: the returned callbacks capture raw references — the
+// PerfModels MUST outlive every call through them, or the callbacks
+// dangle. This is the compatibility/testing layer; production paths (the
+// Runner's serve and serve-sweep studies, bench_validation_serve) build an
+// owning StepTimeTable via StepTimeTable::Build instead, which copies the
+// step times out of the models and has no lifetime coupling.
 ServeCallbacks MakePerfModelCallbacks(const PerfModel& prefill_model,
                                       const PerfModel& decode_model,
                                       int max_prefill_batch, int max_decode_batch);
@@ -50,8 +60,14 @@ struct ServeClusterConfig {
 };
 
 struct ServeMetrics {
-  SampleSet ttft_s;            // queue wait + prefill pass, per request
-  SampleSet tbt_s;             // decode step durations (per step sample)
+  // Queue wait + prefill pass, per request. Exact samples: the count is
+  // O(requests), cheap enough to keep.
+  SampleSet ttft_s;
+  // Decode step durations. One sample per simulated step — O(tokens) of
+  // them — so this streams into a fixed-bin histogram: count/min/max/mean
+  // are exact, percentiles are within one bin width (~61 us at the default
+  // 16384 bins over [0, 1s)) of the exact sample quantile.
+  LatencyHistogram tbt_s;
   int completed_requests = 0;
   int admitted_requests = 0;
   // Admitted before the horizon but still unfinished when it passed (they
@@ -66,8 +82,19 @@ struct ServeMetrics {
   double mean_decode_batch = 0.0;    // time-weighted
 };
 
+// Compatibility/testing path: every step query pays std::function dispatch
+// (and, for PerfModel-backed callbacks, a mutex + map lookup).
 ServeMetrics RunServeSimulation(const std::vector<Request>& requests,
                                 const ServeClusterConfig& config,
                                 const ServeCallbacks& callbacks);
+
+// Fast path: the same event loop with step times served from the dense
+// table — a bounds-checked array load per query, lock-free, so one
+// immutable table can drive any number of concurrent sweep workers.
+// Metrics are bit-identical to the callback path fed the same per-batch
+// times (tested in serve_test and gated in bench_serve_scale).
+ServeMetrics RunServeSimulation(const std::vector<Request>& requests,
+                                const ServeClusterConfig& config,
+                                const StepTimeTable& table);
 
 }  // namespace litegpu

@@ -82,6 +82,68 @@ double SampleSet::Quantile(double q) const {
   return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
 }
 
+LatencyHistogram::LatencyHistogram(double hi, size_t bins)
+    : hi_(hi > 0.0 ? hi : 1.0), counts_(bins == 0 ? 1 : bins, 0) {}
+
+void LatencyHistogram::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  double clamped = std::max(x, 0.0);
+  size_t index = static_cast<size_t>(clamped / hi_ * static_cast<double>(counts_.size()));
+  ++counts_[std::min(index, counts_.size() - 1)];
+}
+
+double LatencyHistogram::ValueAtRank(size_t rank) const {
+  // Ranks among the overflow samples (>= hi_) report the exact maximum.
+  if (rank >= count_ - overflow_) {
+    return max_;
+  }
+  size_t before = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    size_t c = counts_[i];
+    if (c == 0) {
+      continue;
+    }
+    if (before + c > rank) {
+      // The order statistic lies somewhere in [bin_lo, bin_hi); place it
+      // proportionally among the bin's occupants. Any point of the bin is
+      // within one bin width of the true value.
+      double frac = static_cast<double>(rank - before) / static_cast<double>(c);
+      return (static_cast<double>(i) + frac) * bin_width();
+    }
+    before += c;
+  }
+  return max_;  // unreachable: the binned counts cover every non-overflow rank
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // Same convention as SampleSet: fractional rank over count samples,
+  // linear interpolation between the two straddling order statistics. Each
+  // order statistic is located within one bin width, so the interpolated
+  // quantile is too — even when the two ranks land in distant bins (a
+  // bimodal distribution with the quantile in the gap).
+  double target = q * static_cast<double>(count_ - 1);
+  size_t lo = static_cast<size_t>(target);
+  size_t hi = std::min(lo + 1, count_ - 1);
+  double frac = target - static_cast<double>(lo);
+  double value = ValueAtRank(lo) * (1.0 - frac) + ValueAtRank(hi) * frac;
+  return std::clamp(value, min_, max_);
+}
+
 Histogram::Histogram(double lo, double hi, size_t buckets)
     : lo_(lo), hi_(hi), counts_(buckets == 0 ? 1 : buckets, 0) {}
 

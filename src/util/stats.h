@@ -58,6 +58,50 @@ class SampleSet {
   mutable bool sorted_ = true;
 };
 
+// Streaming fixed-bin latency accumulator: O(bins) memory no matter how
+// many samples stream through, unlike SampleSet's O(samples) storage. Bins
+// are fixed-width over [0, hi); samples at or above `hi` land in an
+// overflow bucket whose quantiles report the tracked exact maximum. Count,
+// sum/mean, min, and max are exact; Quantile() interpolates inside the
+// containing bin, so it is within one bin width of the exact sample
+// quantile. Used for the serving simulator's per-step TBT distribution,
+// whose sample count is O(simulated tokens).
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(double hi = 1.0, size_t bins = 16384);
+
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  // The quantile error bound: width of one bin.
+  double bin_width() const { return hi_ / static_cast<double>(counts_.size()); }
+
+  // Within bin_width() of the exact sample quantile (SampleSet::Quantile's
+  // interpolated-rank convention), q in [0,1]; clamped to the exact
+  // [min, max]. Returns 0 for empty histograms.
+  double Quantile(double q) const;
+  double Median() const { return Quantile(0.5); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
+
+ private:
+  // The 0-based order statistic at `rank`, located to within one bin width
+  // (overflow ranks report the exact maximum).
+  double ValueAtRank(size_t rank) const;
+
+  double hi_ = 1.0;
+  std::vector<size_t> counts_;
+  size_t overflow_ = 0;  // samples >= hi_
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
 // Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
 // first/last bucket. Used for availability and latency distributions.
 class Histogram {

@@ -49,7 +49,8 @@ std::string ScenarioPath(const std::string& name) {
 TEST(CliSmoke, RunExecutesEveryCheckedInScenarioAsJson) {
   // One file per study kind; every report must be valid JSON with ok=true.
   for (const char* file : {"fig3a.json", "fig3b.json", "search.json", "design.json",
-                           "mcsim.json", "yield.json", "derive.json", "serve.json"}) {
+                           "mcsim.json", "yield.json", "derive.json", "serve.json",
+                           "serve_sweep.json"}) {
     CommandResult result = RunCommand("run " + ScenarioPath(file) + " --json");
     EXPECT_EQ(result.exit_code, 0) << file;
     std::string error;
@@ -86,7 +87,8 @@ TEST(CliSmoke, JsonFlagOnEverySubcommandEmitsParsableJson) {
        {"search --model Llama3-8B --gpu H100 --max-batch 64 --json",
         "fig3a --json", "fig3b --json", "design --model Llama3-70B --json",
         "yield --json", "derive --split 4 --json", "mcsim --trials 1 --years 5 --json",
-        "serve --load 0.5 --horizon 20 --json", "list --json"}) {
+        "serve --load 0.5 --horizon 20 --json",
+        "sweep --loads 0.5,0.8 --horizon 10 --json", "list --json"}) {
     CommandResult result = RunCommand(args);
     EXPECT_EQ(result.exit_code, 0) << args;
     std::string error;
@@ -110,6 +112,12 @@ TEST(CliSmoke, UnknownFlagsAreRejectedWithSuggestion) {
   // Valid spellings still pass.
   CommandResult ok = RunCommand("yield --split 2");
   EXPECT_EQ(ok.exit_code, 0);
+}
+
+TEST(CliSmoke, SweepRejectsMalformedGridSpecs) {
+  EXPECT_EQ(RunCommand("sweep --loads 0.1:1.0").exit_code, 64);    // missing step
+  EXPECT_EQ(RunCommand("sweep --loads nope").exit_code, 64);       // not numeric
+  EXPECT_EQ(RunCommand("sweep --rates 30:10:5").exit_code, 64);    // hi < lo
 }
 
 TEST(CliSmoke, RunReportsMissingAndMalformedFiles) {

@@ -4,6 +4,7 @@
 #include "src/hw/catalog.h"
 #include "src/llm/footprint.h"
 #include "src/perf/model.h"
+#include "src/perf/step_table.h"
 #include "src/sched/pools.h"
 #include "src/serve/simulator.h"
 
@@ -145,6 +146,38 @@ TEST(PerfModel, ServeCallbacksComeFromTheModels) {
   EXPECT_EQ(callbacks.max_decode_batch, 256);
   EXPECT_EQ(callbacks.prefill_time(4), prefill.Prefill(4).ttft_s);
   EXPECT_EQ(callbacks.decode_step_time(64), decode.Decode(64).tbt_s);
+}
+
+TEST(StepTimeTable, BitIdenticalToTheMemoizedModels) {
+  TransformerSpec model = Llama3_70B();
+  GpuSpec gpu = H100();
+  WorkloadParams workload;
+  PerfModel prefill(model, gpu, MakeTpPlan(model, 2).value(), workload);
+  PerfModel decode(model, gpu, MakeTpPlan(model, 4).value(), workload);
+  StepTimeTable table = StepTimeTable::Build(prefill, decode, 8, 64);
+  EXPECT_FALSE(table.empty());
+  EXPECT_EQ(table.max_prefill_batch(), 8);
+  EXPECT_EQ(table.max_decode_batch(), 64);
+  for (int batch = 1; batch <= 8; ++batch) {
+    // Bitwise equality: the table is a copy of the same memoized values.
+    EXPECT_EQ(table.PrefillTime(batch), prefill.Prefill(batch).ttft_s) << batch;
+  }
+  for (int batch = 1; batch <= 64; ++batch) {
+    EXPECT_EQ(table.DecodeStepTime(batch), decode.Decode(batch).tbt_s) << batch;
+  }
+  // And to the callback layer built from the same models.
+  ServeCallbacks callbacks = MakePerfModelCallbacks(prefill, decode, 8, 64);
+  EXPECT_EQ(table.PrefillTime(3), callbacks.prefill_time(3));
+  EXPECT_EQ(table.DecodeStepTime(17), callbacks.decode_step_time(17));
+}
+
+TEST(StepTimeTable, OutOfRangeBatchesClampToTheCaps) {
+  StepTimeTable table({0.1, 0.2}, {0.01, 0.02, 0.03});
+  EXPECT_DOUBLE_EQ(table.PrefillTime(0), 0.1);   // below 1 clamps to batch 1
+  EXPECT_DOUBLE_EQ(table.PrefillTime(99), 0.2);  // above the cap clamps to it
+  EXPECT_DOUBLE_EQ(table.DecodeStepTime(2), 0.02);
+  EXPECT_DOUBLE_EQ(table.DecodeStepTime(1000), 0.03);
+  EXPECT_TRUE(StepTimeTable().empty());
 }
 
 TEST(PerfModel, PoolCapacityDerivesFromTheModels) {

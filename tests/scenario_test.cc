@@ -9,7 +9,7 @@ namespace {
 TEST(StudyKind, RoundTripsThroughNames) {
   for (StudyKind kind : {StudyKind::kSearch, StudyKind::kFig3a, StudyKind::kFig3b,
                          StudyKind::kDesign, StudyKind::kMcSim, StudyKind::kYield,
-                         StudyKind::kDerive, StudyKind::kServe}) {
+                         StudyKind::kDerive, StudyKind::kServe, StudyKind::kServeSweep}) {
     auto parsed = ParseStudyKind(ToString(kind));
     ASSERT_TRUE(parsed.has_value()) << ToString(kind);
     EXPECT_EQ(*parsed, kind);
@@ -20,7 +20,7 @@ TEST(StudyKind, RoundTripsThroughNames) {
 TEST(ScenarioBuilder, BuildsValidDefaultScenarios) {
   for (StudyKind kind : {StudyKind::kSearch, StudyKind::kFig3a, StudyKind::kFig3b,
                          StudyKind::kDesign, StudyKind::kMcSim, StudyKind::kYield,
-                         StudyKind::kDerive, StudyKind::kServe}) {
+                         StudyKind::kDerive, StudyKind::kServe, StudyKind::kServeSweep}) {
     std::string error;
     auto scenario = ScenarioBuilder(kind).Build(&error);
     EXPECT_TRUE(scenario.has_value()) << ToString(kind) << ": " << error;
@@ -122,6 +122,16 @@ TEST(Scenario, JsonRoundTripPreservesEquality) {
                knobs.decode_instances = 3;
                knobs.prompt_sigma = 0.5;
                knobs.seed = 0xFEED;
+               return knobs;
+             }())
+             .Build(),
+        *ScenarioBuilder(StudyKind::kServeSweep)
+             .ServeSweep([] {
+               ServeSweepKnobs knobs;
+               knobs.loads = {0.4, 0.8};
+               knobs.horizon_s = 12.0;
+               knobs.decode_instances = 2;
+               knobs.seed = 0xBEEF;
                return knobs;
              }())
              .Build()}) {

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/core/runner.h"
+#include "src/core/scenario.h"
+#include "src/core/search.h"
+#include "src/hw/catalog.h"
+#include "src/perf/model.h"
+#include "src/perf/step_table.h"
+#include "src/serve/simulator.h"
+#include "src/serve/workload.h"
+
+namespace litegpu {
+namespace {
+
+// --- grid expansion ---
+
+TEST(ServeSweepKnobs, DefaultGridIsTenLoadPoints) {
+  ServeSweepKnobs knobs;
+  std::vector<double> grid = knobs.GridPoints();
+  ASSERT_EQ(grid.size(), 10u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.1);
+  EXPECT_NEAR(grid.back(), 1.0, 1e-9);
+  EXPECT_FALSE(knobs.IsRateGrid());
+}
+
+TEST(ServeSweepKnobs, ExplicitListsOverrideTheRange) {
+  ServeSweepKnobs knobs;
+  knobs.loads = {0.5, 0.9};
+  EXPECT_EQ(knobs.GridPoints(), (std::vector<double>{0.5, 0.9}));
+  knobs.rates = {10.0, 20.0, 30.0};
+  EXPECT_TRUE(knobs.IsRateGrid());
+  EXPECT_EQ(knobs.GridPoints(), (std::vector<double>{10.0, 20.0, 30.0}));
+}
+
+TEST(ServeSweepKnobs, RangeIncludesTheEndpoint) {
+  ServeSweepKnobs knobs;
+  knobs.load_lo = 0.1;
+  knobs.load_hi = 1.0;
+  knobs.load_step = 0.05;
+  EXPECT_EQ(knobs.GridPoints().size(), 19u);
+  knobs.load_hi = knobs.load_lo;  // degenerate range: one point
+  EXPECT_EQ(knobs.GridPoints().size(), 1u);
+}
+
+// --- scenario plumbing ---
+
+TEST(Scenario, ServeSweepRoundTripsThroughJson) {
+  ServeSweepKnobs knobs;
+  knobs.loads = {0.25, 0.75};
+  knobs.horizon_s = 15.0;
+  knobs.prefill_instances = 2;
+  knobs.decode_instances = 3;
+  knobs.seed = 0xFEEDF00D;
+  Scenario original = *ScenarioBuilder(StudyKind::kServeSweep)
+                           .Model("Llama3-70B")
+                           .Gpu("Lite+MemBW")
+                           .ServeSweep(knobs)
+                           .Build();
+  std::string error;
+  auto restored = ScenarioFromJson(ScenarioToJson(original), &error);
+  ASSERT_TRUE(restored.has_value()) << error;
+  EXPECT_TRUE(*restored == original);
+  EXPECT_EQ(restored->sweep.GridPoints(), knobs.loads);
+}
+
+TEST(Scenario, ServeSweepValidationRejectsBadGrids) {
+  std::string error;
+  ServeSweepKnobs knobs;
+  knobs.load_step = 0.0;
+  EXPECT_FALSE(
+      ScenarioBuilder(StudyKind::kServeSweep).ServeSweep(knobs).Build(&error).has_value());
+  EXPECT_NE(error.find("load_step"), std::string::npos);
+
+  knobs = ServeSweepKnobs{};
+  knobs.loads = {0.5, -0.1};
+  EXPECT_FALSE(
+      ScenarioBuilder(StudyKind::kServeSweep).ServeSweep(knobs).Build(&error).has_value());
+  EXPECT_NE(error.find("positive"), std::string::npos);
+
+  knobs = ServeSweepKnobs{};
+  knobs.horizon_s = 0.0;
+  EXPECT_FALSE(
+      ScenarioBuilder(StudyKind::kServeSweep).ServeSweep(knobs).Build(&error).has_value());
+  EXPECT_NE(error.find("horizon_s"), std::string::npos);
+
+  // Absurd ranges must not expand: past the 1e6-point cap the grid comes
+  // back empty and validation rejects it instead of the int cast
+  // overflowing or the vector allocation aborting the process.
+  knobs = ServeSweepKnobs{};
+  knobs.load_lo = 1e-6;
+  knobs.load_hi = 1e9;
+  knobs.load_step = 1e-6;
+  EXPECT_TRUE(knobs.GridPoints().empty());
+  EXPECT_FALSE(
+      ScenarioBuilder(StudyKind::kServeSweep).ServeSweep(knobs).Build(&error).has_value());
+  EXPECT_NE(error.find("grid is empty"), std::string::npos);
+
+  // Non-finite grid points must be rejected: an inf/NaN arrival rate would
+  // spin the workload generator forever.
+  knobs = ServeSweepKnobs{};
+  knobs.loads = {0.5, std::numeric_limits<double>::infinity()};
+  EXPECT_FALSE(
+      ScenarioBuilder(StudyKind::kServeSweep).ServeSweep(knobs).Build(&error).has_value());
+  EXPECT_NE(error.find("finite"), std::string::npos);
+  knobs.loads = {std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_FALSE(
+      ScenarioBuilder(StudyKind::kServeSweep).ServeSweep(knobs).Build(&error).has_value());
+
+  // Typos inside the sweep block fail loudly, like every other block.
+  auto typo = Json::Parse(R"({"study": "serve-sweep", "sweep": {"laods": [0.5]}})");
+  ASSERT_TRUE(typo.has_value());
+  EXPECT_FALSE(ScenarioFromJson(*typo, &error).has_value());
+  EXPECT_NE(error.find("laods"), std::string::npos);
+}
+
+// --- the study ---
+
+TEST(Runner, ServeSweepRunsEveryPointAndFindsTheKnee) {
+  ServeSweepKnobs knobs;
+  knobs.loads = {0.5, 0.9};
+  knobs.horizon_s = 10.0;
+  Scenario s = *ScenarioBuilder(StudyKind::kServeSweep).ServeSweep(knobs).Build();
+  RunReport report = Runner().Run(s);
+  ASSERT_TRUE(report.ok) << report.error;
+  const auto& sweep = std::get<ServeSweepReport>(report.payload);
+  ASSERT_EQ(sweep.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(sweep.points[0].load, 0.5);
+  EXPECT_DOUBLE_EQ(sweep.points[1].load, 0.9);
+  EXPECT_LT(sweep.points[0].arrival_rate_per_s, sweep.points[1].arrival_rate_per_s);
+  for (const auto& p : sweep.points) {
+    EXPECT_GT(p.admitted_requests, 0);
+    EXPECT_EQ(p.completed_requests, p.admitted_requests);  // drains
+    EXPECT_GT(p.goodput_tokens_per_s, 0.0);
+    EXPECT_GT(p.capacity_agreement, 0.5);
+    EXPECT_GT(p.prefill_instances, 0);
+  }
+  // Each point owns a distinct RNG stream derived from the sweep seed, and
+  // the reported value survives JSON's double-backed numbers exactly so
+  // `litegpu serve --seed <reported>` reproduces the point.
+  EXPECT_NE(sweep.points[0].seed, sweep.points[1].seed);
+  for (const auto& p : sweep.points) {
+    EXPECT_LT(p.seed, uint64_t{1} << 53);
+    EXPECT_EQ(Json(p.seed).AsUint64(), p.seed);
+  }
+  // The knee is the highest-rate point meeting both SLOs (if any); below
+  // saturation both points should qualify here.
+  ASSERT_GE(sweep.knee_index, 0);
+  EXPECT_EQ(sweep.knee_index, 1);
+  EXPECT_TRUE(sweep.points[1].slo_ok);
+  // Rendering covers the sweep payload.
+  EXPECT_NE(report.ToText().find("Serve sweep"), std::string::npos);
+  EXPECT_NE(report.ToJson().Dump().find("knee"), std::string::npos);
+}
+
+TEST(Runner, ServeSweepEmptyPointNeverMeetsSlosOrBecomesTheKnee) {
+  // A rate so low the Poisson workload generates nothing: zero percentiles
+  // must not vacuously satisfy the SLOs, and the knee must stay unset
+  // rather than reporting an empty point as the capacity answer.
+  ServeSweepKnobs knobs;
+  knobs.rates = {0.001};
+  knobs.horizon_s = 5.0;
+  Scenario s = *ScenarioBuilder(StudyKind::kServeSweep).ServeSweep(knobs).Build();
+  RunReport report = Runner().Run(s);
+  ASSERT_TRUE(report.ok) << report.error;
+  const auto& sweep = std::get<ServeSweepReport>(report.payload);
+  ASSERT_EQ(sweep.points.size(), 1u);
+  EXPECT_EQ(sweep.points[0].completed_requests, 0);
+  EXPECT_FALSE(sweep.points[0].slo_ok);
+  EXPECT_EQ(sweep.knee_index, -1);
+  EXPECT_NE(report.ToText().find("no load point meets the SLOs"), std::string::npos);
+}
+
+TEST(Runner, ServeSweepReportIsBitIdenticalAtAnyThreadCount) {
+  ServeSweepKnobs knobs;
+  knobs.load_lo = 0.3;
+  knobs.load_hi = 0.9;
+  knobs.load_step = 0.2;
+  knobs.horizon_s = 8.0;
+  Scenario serial = *ScenarioBuilder(StudyKind::kServeSweep).ServeSweep(knobs).Threads(1).Build();
+  RunReport reference = Runner().Run(serial);
+  ASSERT_TRUE(reference.ok) << reference.error;
+  for (int threads : {0, 2, 4}) {  // 0 = hardware concurrency
+    Scenario parallel = serial;
+    parallel.exec.threads = threads;
+    RunReport report = Runner().Run(parallel);
+    ASSERT_TRUE(report.ok);
+    EXPECT_EQ(report.ToJson().Dump(), reference.ToJson().Dump()) << threads;
+  }
+}
+
+// The tentpole identity claim on the production deployment: the table-
+// driven fast path and the PerfModel-backed callback path agree — TTFT,
+// goodput, and utilization bit-identical, TBT percentiles within one
+// histogram bin — across load levels.
+TEST(ServeSweep, FastPathMatchesCallbackPathAcrossLoads) {
+  TransformerSpec model = Llama3_70B();
+  GpuSpec gpu = H100();
+  SearchOptions options;
+  PrefillSearchResult prefill = SearchPrefill(model, gpu, options);
+  DecodeSearchResult decode = SearchDecode(model, gpu, options);
+  ASSERT_TRUE(prefill.found);
+  ASSERT_TRUE(decode.found);
+  PerfModel prefill_model(model, gpu, MakeTpPlan(model, prefill.best.tp_degree).value(),
+                          options.workload, options.engine);
+  PerfModel decode_model(model, gpu, MakeTpPlan(model, decode.best.tp_degree).value(),
+                         options.workload, options.engine);
+  ServeCallbacks callbacks = MakePerfModelCallbacks(prefill_model, decode_model,
+                                                    prefill.best.batch, decode.best.batch);
+  StepTimeTable table = StepTimeTable::Build(prefill_model, decode_model,
+                                             prefill.best.batch, decode.best.batch);
+
+  for (double load : {0.5, 0.95}) {
+    WorkloadSpec spec;
+    spec.arrival_rate_per_s =
+        load * decode.best.result.tokens_per_s / spec.median_output_tokens;
+    spec.duration_s = 10.0;
+    auto requests = GenerateWorkload(spec);
+    ServeClusterConfig cluster;
+    cluster.prefill_instances = 4;
+    cluster.decode_instances = 1;
+    ServeMetrics slow = RunServeSimulation(requests, cluster, callbacks);
+    ServeMetrics fast = RunServeSimulation(requests, cluster, table);
+    EXPECT_EQ(slow.ttft_s.Median(), fast.ttft_s.Median()) << load;
+    EXPECT_EQ(slow.ttft_s.P99(), fast.ttft_s.P99()) << load;
+    EXPECT_EQ(slow.decode_tokens_per_s, fast.decode_tokens_per_s) << load;
+    EXPECT_EQ(slow.prefill_utilization, fast.prefill_utilization) << load;
+    EXPECT_EQ(slow.decode_utilization, fast.decode_utilization) << load;
+    double bin = slow.tbt_s.bin_width();
+    EXPECT_NEAR(slow.tbt_s.Median(), fast.tbt_s.Median(), bin) << load;
+    EXPECT_NEAR(slow.tbt_s.P95(), fast.tbt_s.P95(), bin) << load;
+    EXPECT_NEAR(slow.tbt_s.P99(), fast.tbt_s.P99(), bin) << load;
+  }
+}
+
+}  // namespace
+}  // namespace litegpu

@@ -207,6 +207,78 @@ TEST(Simulator, UtilizationBounded) {
   EXPECT_LE(m.decode_utilization, 1.0 + 1e-9);
 }
 
+TEST(Simulator, SimultaneousEventsProcessInSpecifiedOrder) {
+  // Three requests prefill in parallel (constant pass time, so all three
+  // kPrefillDone events collide), then two decode instances' step
+  // completions collide every step. The specified total order — prefill
+  // before decode at equal times, lower instance first — means r0 and r1
+  // start decoding alone, r2 waits one step and joins decode instance 0 as
+  // a batch of two. That batch-2 step (and only it) lasts 0.02 s, so the
+  // TBT max and step count pin the ordering; heap-internal tie order would
+  // make them drift across standard libraries.
+  std::vector<Request> requests;
+  for (int i = 0; i < 3; ++i) {
+    Request r;
+    r.id = i;
+    r.arrival_s = 0.0;
+    r.output_tokens = i == 2 ? 1 : 4;
+    requests.push_back(r);
+  }
+  ServeCallbacks cb;
+  cb.prefill_time = [](int) { return 1.0; };
+  cb.decode_step_time = [](int batch) { return 0.010 * batch; };
+  cb.max_prefill_batch = 1;
+  cb.max_decode_batch = 2;
+  ServeClusterConfig config;
+  config.prefill_instances = 3;
+  config.decode_instances = 2;
+  ServeMetrics m = RunServeSimulation(requests, config, cb);
+  EXPECT_EQ(m.completed_requests, 3);
+  EXPECT_DOUBLE_EQ(m.output_tokens, 9.0);
+  EXPECT_EQ(m.tbt_s.count(), 8u);             // 4 steps per decode instance
+  EXPECT_NEAR(m.tbt_s.max(), 0.020, 1e-12);   // exactly one batch-2 step
+  EXPECT_NEAR(m.makespan_s, 1.05, 1e-9);
+}
+
+TEST(Simulator, TablePathBitIdenticalToCallbackPath) {
+  // A synthetic StepTimeTable holding exactly the callback values must
+  // drive the event loop to bit-identical metrics on both paths.
+  ServeCallbacks cb = SimpleCallbacks();
+  std::vector<double> prefill_s, decode_s;
+  for (int b = 1; b <= cb.max_prefill_batch; ++b) {
+    prefill_s.push_back(cb.prefill_time(b));
+  }
+  for (int b = 1; b <= cb.max_decode_batch; ++b) {
+    decode_s.push_back(cb.decode_step_time(b));
+  }
+  StepTimeTable table(std::move(prefill_s), std::move(decode_s));
+
+  auto requests = FixedRequests(400, 0.01, 32);
+  ServeClusterConfig config;
+  config.prefill_instances = 2;
+  config.decode_instances = 2;
+  config.horizon_s = 3.0;
+  ServeMetrics a = RunServeSimulation(requests, config, cb);
+  ServeMetrics b = RunServeSimulation(requests, config, table);
+  EXPECT_EQ(a.admitted_requests, b.admitted_requests);
+  EXPECT_EQ(a.completed_requests, b.completed_requests);
+  EXPECT_EQ(a.in_flight_at_horizon, b.in_flight_at_horizon);
+  EXPECT_EQ(a.output_tokens, b.output_tokens);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.decode_tokens_per_s, b.decode_tokens_per_s);
+  EXPECT_EQ(a.prefill_utilization, b.prefill_utilization);
+  EXPECT_EQ(a.decode_utilization, b.decode_utilization);
+  EXPECT_EQ(a.mean_decode_batch, b.mean_decode_batch);
+  ASSERT_EQ(a.ttft_s.count(), b.ttft_s.count());
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(a.ttft_s.Quantile(q), b.ttft_s.Quantile(q)) << q;
+    EXPECT_EQ(a.tbt_s.Quantile(q), b.tbt_s.Quantile(q)) << q;
+  }
+  EXPECT_EQ(a.tbt_s.count(), b.tbt_s.count());
+  EXPECT_EQ(a.tbt_s.min(), b.tbt_s.min());
+  EXPECT_EQ(a.tbt_s.max(), b.tbt_s.max());
+}
+
 TEST(Simulator, EmptyConfigReturnsEmptyMetrics) {
   auto requests = FixedRequests(10, 0.1);
   ServeClusterConfig config;

@@ -126,6 +126,59 @@ TEST(SampleSet, QuantileClampsOutOfRange) {
   EXPECT_DOUBLE_EQ(s.Quantile(2.0), 5.0);
 }
 
+TEST(LatencyHistogram, ExactScalarStatsAndStreamingQuantiles) {
+  LatencyHistogram h(/*hi=*/1.0, /*bins=*/1000);
+  SampleSet exact;
+  for (int i = 1; i <= 500; ++i) {
+    double x = 0.001 * i;  // 1 ms .. 500 ms
+    h.Add(x);
+    exact.Add(x);
+  }
+  EXPECT_EQ(h.count(), 500u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.001);
+  EXPECT_DOUBLE_EQ(h.max(), 0.500);
+  EXPECT_NEAR(h.mean(), exact.mean(), 1e-12);
+  // Percentiles land within one bin width of the exact sample quantiles.
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_NEAR(h.Quantile(q), exact.Quantile(q), h.bin_width()) << q;
+  }
+}
+
+TEST(LatencyHistogram, BimodalQuantileStraddlingAGapStaysWithinOneBin) {
+  // 99 samples at 5 ms plus one at 500 ms: the exact p99 interpolates into
+  // the empty gap between the modes (9.95 ms). The histogram must follow
+  // the same rank-interpolation convention, not snap to the lower mode.
+  LatencyHistogram h;  // default 16384 bins over [0, 1s)
+  SampleSet exact;
+  for (int i = 0; i < 99; ++i) {
+    h.Add(0.005);
+    exact.Add(0.005);
+  }
+  h.Add(0.500);
+  exact.Add(0.500);
+  EXPECT_NEAR(h.P99(), exact.P99(), h.bin_width());
+  EXPECT_NEAR(h.Median(), exact.Median(), h.bin_width());
+  EXPECT_NEAR(h.Quantile(1.0), 0.500, 1e-12);
+}
+
+TEST(LatencyHistogram, OverflowSamplesReportExactMax) {
+  LatencyHistogram h(/*hi=*/0.010, /*bins=*/10);
+  h.Add(0.001);
+  h.Add(2.5);  // way past the binned range
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.max(), 2.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 2.5);
+  // Quantiles never escape the observed [min, max].
+  EXPECT_GE(h.Quantile(0.0), 0.001);
+}
+
+TEST(LatencyHistogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
 TEST(Histogram, BucketsAndClamping) {
   Histogram h(0.0, 10.0, 10);
   h.Add(0.5);

@@ -6,6 +6,7 @@
 //   litegpu search --model M --gpu G [...]      best config for one pair
 //   litegpu design --model M                    Table-1 cluster comparison
 //   litegpu serve [--model M --gpu G --load X]  end-to-end serving simulation
+//   litegpu sweep [--loads lo:hi:step]          serving sim over a load grid
 //   litegpu mcsim [--spares N] [--trials N]     Monte-Carlo availability
 //   litegpu yield [--d0 X] [--area A]           Section-2 silicon economics
 //   litegpu derive --split N [--mem X] [--net X] [--clock X]
@@ -21,6 +22,7 @@
 // from a JSON file instead. Unknown flags are rejected with a hint.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -222,6 +224,99 @@ int RunServe(const Flags& flags) {
   return Execute(builder, flags);
 }
 
+// Parses a grid spec: "lo:hi:step" (inclusive range) or a comma-separated
+// list of values. Returns false on malformed input.
+bool ParseGridSpec(const std::string& spec, ServeSweepKnobs& knobs, bool as_rates,
+                   std::string* error) {
+  auto parse_double = [](const std::string& text, double& out) {
+    char* end = nullptr;
+    out = std::strtod(text.c_str(), &end);
+    return end != text.c_str() && *end == '\0';
+  };
+  std::vector<double>& list = as_rates ? knobs.rates : knobs.loads;
+  if (spec.find(':') != std::string::npos) {
+    // lo:hi:step — for loads it maps onto the knobs' range fields; rate
+    // ranges expand to an explicit list here.
+    double parts[3];
+    size_t start = 0;
+    for (int i = 0; i < 3; ++i) {
+      size_t colon = spec.find(':', start);
+      bool last = i == 2;
+      if (last != (colon == std::string::npos) ||
+          !parse_double(spec.substr(start, last ? std::string::npos : colon - start),
+                        parts[i])) {
+        *error = "malformed grid spec '" + spec + "' (expected lo:hi:step)";
+        return false;
+      }
+      start = colon + 1;
+    }
+    std::vector<double> expanded = ExpandGridRange(parts[0], parts[1], parts[2]);
+    if (expanded.empty()) {
+      *error = "grid range '" + spec +
+               "' needs finite hi >= lo, step > 0, and at most 1e6 points";
+      return false;
+    }
+    if (as_rates) {
+      list.insert(list.end(), expanded.begin(), expanded.end());
+    } else {
+      knobs.load_lo = parts[0];
+      knobs.load_hi = parts[1];
+      knobs.load_step = parts[2];
+    }
+    return true;
+  }
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    std::string token =
+        spec.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    double value = 0.0;
+    if (!parse_double(token, value)) {
+      *error = "malformed grid value '" + token + "' in '" + spec + "'";
+      return false;
+    }
+    list.push_back(value);
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return true;
+}
+
+int RunSweep(const Flags& flags) {
+  if (int rc = CheckFlags(
+          flags, AllowedFlags({"model", "gpu", "loads", "rates", "horizon",
+                               "prefill-instances", "decode-instances", "prompt-sigma",
+                               "output-sigma", "seed"}))) {
+    return rc;
+  }
+  ScenarioBuilder builder(StudyKind::kServeSweep);
+  ApplyWorkloadFlags(flags, builder);
+  builder.Model(flags.GetString("model", "Llama3-70B"))
+      .Gpu(flags.GetString("gpu", "H100"));
+  ServeSweepKnobs knobs;
+  std::string error;
+  if (flags.Has("loads") &&
+      !ParseGridSpec(flags.GetString("loads"), knobs, /*as_rates=*/false, &error)) {
+    std::fprintf(stderr, "litegpu: %s\n", error.c_str());
+    return kUsageError;
+  }
+  if (flags.Has("rates") &&
+      !ParseGridSpec(flags.GetString("rates"), knobs, /*as_rates=*/true, &error)) {
+    std::fprintf(stderr, "litegpu: %s\n", error.c_str());
+    return kUsageError;
+  }
+  knobs.horizon_s = flags.GetDouble("horizon", knobs.horizon_s);
+  knobs.prefill_instances = flags.GetInt("prefill-instances", knobs.prefill_instances);
+  knobs.decode_instances = flags.GetInt("decode-instances", knobs.decode_instances);
+  knobs.prompt_sigma = flags.GetDouble("prompt-sigma", knobs.prompt_sigma);
+  knobs.output_sigma = flags.GetDouble("output-sigma", knobs.output_sigma);
+  knobs.seed = flags.GetUint64("seed", knobs.seed);
+  builder.ServeSweep(knobs);
+  return Execute(builder, flags);
+}
+
 int RunMcSim(const Flags& flags) {
   if (int rc = CheckFlags(flags, AllowedFlags({"gpu", "gpus-per-instance", "instances",
                                                "spares", "years", "seed", "trials"},
@@ -323,12 +418,15 @@ int RunList(const Flags& flags) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: litegpu <run|fig3a|fig3b|search|design|serve|mcsim|yield|derive|list> "
+      "usage: litegpu <run|fig3a|fig3b|search|design|serve|sweep|mcsim|yield|derive|list> "
       "[flags]\n"
       "  run:     <scenario.json>...  execute declarative scenario file(s)\n"
       "  search:  --model M --gpu G [--prompt N --output N --ttft S --tbt S]\n"
       "  serve:   [--model M --gpu G --load X --rate R --horizon S\n"
       "            --prefill-instances N --decode-instances N\n"
+      "            --prompt-sigma X --output-sigma X --seed N]\n"
+      "  sweep:   [--model M --gpu G --loads lo:hi:step|a,b,c --rates lo:hi:step|a,b,c\n"
+      "            --horizon S --prefill-instances N --decode-instances N\n"
       "            --prompt-sigma X --output-sigma X --seed N]\n"
       "  design:  --model M [--hbm-cost X --price-multiplier X --amortization-years X]\n"
       "  mcsim:   [--gpu G --gpus-per-instance N --instances N --spares N\n"
@@ -363,6 +461,9 @@ int Main(int argc, const char* const* argv) {
   }
   if (cmd == "serve") {
     return RunServe(flags);
+  }
+  if (cmd == "sweep") {
+    return RunSweep(flags);
   }
   if (cmd == "mcsim") {
     return RunMcSim(flags);
