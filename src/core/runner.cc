@@ -183,43 +183,93 @@ ServePlatform BuildServePlatform(const std::string& model_name, const std::strin
   return platform;
 }
 
+// The class-weighted mean prompt/output lengths a serve study plans
+// capacity with: the scenario workload's lengths in single-class mode, the
+// mix's weighted means otherwise.
+struct MeanWorkload {
+  double prompt_tokens = 0.0;
+  double output_tokens = 0.0;
+};
+
+MeanWorkload MeanFromMix(const WorkloadParams& workload,
+                         const std::vector<RequestClass>& classes,
+                         const ClassMixSummary& mix) {
+  MeanWorkload mean;
+  if (classes.empty()) {
+    mean.prompt_tokens = workload.prompt_tokens;
+    mean.output_tokens = workload.output_tokens;
+  } else {
+    mean.prompt_tokens = mix.mean_prompt_tokens;
+    mean.output_tokens = mix.mean_output_tokens;
+  }
+  return mean;
+}
+
+MeanWorkload MeanWorkloadFor(const Scenario& s, const std::vector<RequestClass>& classes) {
+  return MeanFromMix(s.workload, classes, SummarizeClassMix(classes));
+}
+
 // Simulates one offered-load point on the platform's step-time table: plan
-// the deployment, generate the point's Poisson workload from its own seed,
-// run the fast-path simulation, and summarize. The single shared body for
-// the serve study and every point of a sweep — a load simulated standalone
-// and inside a sweep cannot drift apart. `load` is left to the caller.
+// the deployment (from the class-weighted mean workload), generate the
+// point's Poisson workload from its own seed — one substream per request
+// class — run the fast-path simulation, and summarize globally and per
+// class. The single shared body for the serve study and every point of a
+// sweep — a load simulated standalone and inside a sweep cannot drift
+// apart. `load` is left to the caller.
 ServeSweepReport::Point SimulateServePoint(const ServePlatform& platform,
-                                           const Scenario& s, double arrival_rate_per_s,
-                                           uint64_t seed, double horizon_s,
-                                           double prompt_sigma, double output_sigma,
+                                           const Scenario& s,
+                                           const std::vector<RequestClass>& classes,
+                                           double arrival_rate_per_s, uint64_t seed,
+                                           double horizon_s, double prompt_sigma,
+                                           double output_sigma,
                                            int requested_prefill_instances,
                                            int requested_decode_instances) {
   ServeSweepReport::Point p;
   p.arrival_rate_per_s = arrival_rate_per_s;
   p.seed = seed;
-  p.analytic_tokens_per_s = arrival_rate_per_s * s.workload.output_tokens;
+  ClassMixSummary mix = SummarizeClassMix(classes);
+  MeanWorkload mean = MeanFromMix(s.workload, classes, mix);
+  p.analytic_tokens_per_s = arrival_rate_per_s * mean.output_tokens;
 
   ServeDeployment deployment = PlanServeDeployment(
-      arrival_rate_per_s, s.workload.prompt_tokens, s.workload.output_tokens,
-      platform.capacity, requested_prefill_instances, requested_decode_instances);
+      arrival_rate_per_s, mean.prompt_tokens, mean.output_tokens, platform.capacity,
+      requested_prefill_instances, requested_decode_instances);
   p.prefill_instances = deployment.prefill_instances;
   p.decode_instances = deployment.decode_instances;
   p.total_gpus = deployment.total_gpus;
 
-  WorkloadSpec spec;
-  spec.arrival_rate_per_s = arrival_rate_per_s;
-  spec.duration_s = horizon_s;
-  spec.median_prompt_tokens = s.workload.prompt_tokens;
-  spec.prompt_sigma = prompt_sigma;
-  spec.median_output_tokens = s.workload.output_tokens;
-  spec.output_sigma = output_sigma;
-  spec.seed = seed;
-  std::vector<Request> requests = GenerateWorkload(spec);
+  std::vector<Request> requests;
+  if (classes.empty()) {
+    WorkloadSpec spec;
+    spec.arrival_rate_per_s = arrival_rate_per_s;
+    spec.duration_s = horizon_s;
+    spec.median_prompt_tokens = s.workload.prompt_tokens;
+    spec.prompt_sigma = prompt_sigma;
+    spec.median_output_tokens = s.workload.output_tokens;
+    spec.output_sigma = output_sigma;
+    spec.seed = seed;
+    requests = GenerateWorkload(spec);
+  } else {
+    MultiClassWorkloadSpec spec;
+    spec.duration_s = horizon_s;
+    spec.seed = seed;
+    for (size_t c = 0; c < classes.size(); ++c) {
+      ClassWorkload cls;
+      cls.arrival_rate_per_s = arrival_rate_per_s * mix.shares[c];
+      cls.median_prompt_tokens = classes[c].prompt_tokens;
+      cls.prompt_sigma = classes[c].prompt_sigma;
+      cls.median_output_tokens = classes[c].output_tokens;
+      cls.output_sigma = classes[c].output_sigma;
+      spec.classes.push_back(cls);
+    }
+    requests = GenerateMultiClassWorkload(spec);
+  }
 
   ServeClusterConfig cluster;
   cluster.prefill_instances = deployment.prefill_instances;
   cluster.decode_instances = deployment.decode_instances;
   cluster.horizon_s = horizon_s;
+  cluster.num_classes = static_cast<int>(classes.size());
   ServeMetrics metrics = RunServeSimulation(requests, cluster, platform.table);
 
   p.admitted_requests = metrics.admitted_requests;
@@ -239,10 +289,57 @@ ServeSweepReport::Point SimulateServePoint(const ServePlatform& platform,
   p.decode_utilization = metrics.decode_utilization;
   p.mean_decode_batch = metrics.mean_decode_batch;
   p.makespan_s = metrics.makespan_s;
-  // A point that served nothing proves nothing: vacuously zero percentiles
-  // must not count as meeting the SLOs (or an empty point could be the knee).
-  p.slo_ok = p.completed_requests > 0 && p.ttft_p99_s <= s.workload.ttft_slo_s &&
-             p.tbt_p99_s <= s.workload.tbt_slo_s;
+
+  if (classes.empty()) {
+    // A point that served nothing proves nothing: vacuously zero
+    // percentiles must not count as meeting the SLOs (or an empty point
+    // could be the knee).
+    p.slo_ok = p.completed_requests > 0 && p.ttft_p99_s <= s.workload.ttft_slo_s &&
+               p.tbt_p99_s <= s.workload.tbt_slo_s;
+    return p;
+  }
+
+  // Per-class summaries; the point meets its SLOs only when EVERY class
+  // does (each class must have completed at least one request — a class
+  // the horizon never served proves nothing).
+  bool all_classes_ok = true;
+  for (size_t c = 0; c < classes.size(); ++c) {
+    const ServeClassMetrics& cm = metrics.per_class[c];
+    ServeClassReport cls;
+    cls.name = classes[c].name;
+    cls.share = mix.shares[c];
+    cls.arrival_rate_per_s = arrival_rate_per_s * mix.shares[c];
+    cls.ttft_slo_s =
+        classes[c].ttft_slo_s > 0.0 ? classes[c].ttft_slo_s : s.workload.ttft_slo_s;
+    cls.tbt_slo_s =
+        classes[c].tbt_slo_s > 0.0 ? classes[c].tbt_slo_s : s.workload.tbt_slo_s;
+    cls.admitted_requests = cm.admitted_requests;
+    cls.completed_requests = cm.completed_requests;
+    cls.in_flight_at_horizon = cm.in_flight_at_horizon;
+    cls.ttft_p50_s = cm.ttft_s.Median();
+    cls.ttft_p95_s = cm.ttft_s.P95();
+    cls.ttft_p99_s = cm.ttft_s.P99();
+    cls.tbt_p50_s = cm.tbt_s.Median();
+    cls.tbt_p95_s = cm.tbt_s.P95();
+    cls.tbt_p99_s = cm.tbt_s.P99();
+    cls.goodput_tokens_per_s =
+        metrics.makespan_s > 0.0 ? cm.output_tokens / metrics.makespan_s : 0.0;
+    size_t within_slo = 0;
+    for (double ttft : cm.ttft_s.samples()) {
+      if (ttft <= cls.ttft_slo_s) {
+        ++within_slo;
+      }
+    }
+    cls.ttft_attainment = cm.ttft_s.count() > 0
+                              ? static_cast<double>(within_slo) /
+                                    static_cast<double>(cm.ttft_s.count())
+                              : 0.0;
+    cls.slo_ok = cls.completed_requests > 0 && cls.ttft_p99_s <= cls.ttft_slo_s &&
+                 cls.tbt_p99_s <= cls.tbt_slo_s;
+    all_classes_ok = all_classes_ok && cls.slo_ok;
+    p.classes.push_back(std::move(cls));
+  }
+  p.slo_ok = p.completed_requests > 0 && all_classes_ok;
   return p;
 }
 
@@ -271,17 +368,18 @@ ServeStudyReport RunServeStudy(const Scenario& s, std::string* error) {
 
   out.decode_instances = s.serve.decode_instances;
   // Offered load: explicit rate, or `load` x the decode pool's analytic
-  // capacity converted to requests/s.
+  // capacity converted to requests/s via the (class-weighted) mean output
+  // length.
   out.arrival_rate_per_s =
       s.serve.arrival_rate_per_s > 0.0
           ? s.serve.arrival_rate_per_s
           : s.serve.load * out.decode_capacity_tok_s * out.decode_instances /
-                s.workload.output_tokens;
+                MeanWorkloadFor(s, s.serve.classes).output_tokens;
 
   ServeSweepReport::Point point = SimulateServePoint(
-      platform, s, out.arrival_rate_per_s, s.serve.seed, s.serve.horizon_s,
-      s.serve.prompt_sigma, s.serve.output_sigma, s.serve.prefill_instances,
-      s.serve.decode_instances);
+      platform, s, s.serve.classes, out.arrival_rate_per_s, s.serve.seed,
+      s.serve.horizon_s, s.serve.prompt_sigma, s.serve.output_sigma,
+      s.serve.prefill_instances, s.serve.decode_instances);
   out.analytic_tokens_per_s = point.analytic_tokens_per_s;
   out.prefill_instances = point.prefill_instances;
   out.total_gpus = point.total_gpus;
@@ -300,6 +398,7 @@ ServeStudyReport RunServeStudy(const Scenario& s, std::string* error) {
   out.decode_utilization = point.decode_utilization;
   out.mean_decode_batch = point.mean_decode_batch;
   out.makespan_s = point.makespan_s;
+  out.classes = std::move(point.classes);
   return out;
 }
 
@@ -340,6 +439,7 @@ ServeSweepReport RunServeSweepStudy(const Scenario& s, std::string* error) {
   }
 
   double pool_capacity_tok_s = platform.decode_capacity_tok_s * s.sweep.decode_instances;
+  double mean_output_tokens = MeanWorkloadFor(s, s.sweep.classes).output_tokens;
   out.points = ParallelMap<ServeSweepReport::Point>(
       s.exec.threads, static_cast<int>(grid.size()), [&](int i) {
         double value = grid[static_cast<size_t>(i)];
@@ -347,16 +447,16 @@ ServeSweepReport RunServeSweepStudy(const Scenario& s, std::string* error) {
         if (s.sweep.IsRateGrid()) {
           rate = value;
           load = pool_capacity_tok_s > 0.0
-                     ? value * s.workload.output_tokens / pool_capacity_tok_s
+                     ? value * mean_output_tokens / pool_capacity_tok_s
                      : 0.0;
         } else {
           load = value;
-          rate = value * pool_capacity_tok_s / s.workload.output_tokens;
+          rate = value * pool_capacity_tok_s / mean_output_tokens;
         }
         ServeSweepReport::Point p = SimulateServePoint(
-            platform, s, rate, seeds[static_cast<size_t>(i)], s.sweep.horizon_s,
-            s.sweep.prompt_sigma, s.sweep.output_sigma, s.sweep.prefill_instances,
-            s.sweep.decode_instances);
+            platform, s, s.sweep.classes, rate, seeds[static_cast<size_t>(i)],
+            s.sweep.horizon_s, s.sweep.prompt_sigma, s.sweep.output_sigma,
+            s.sweep.prefill_instances, s.sweep.decode_instances);
         p.load = load;
         return p;
       });
@@ -600,6 +700,50 @@ Json YieldStudyToJson(const YieldStudyReport& report) {
   return j;
 }
 
+// Per-class rendering shared by the serve report and the sweep's knee
+// summary. Only called for multi-tenant runs.
+std::string ClassTableToText(const std::vector<ServeClassReport>& classes) {
+  Table table({"Class", "Share", "Req/s", "TTFT p50/p99", "TBT p50/p99",
+               "Goodput tok/s", "Attain", "SLO"});
+  for (const auto& c : classes) {
+    table.AddRow({c.name, HumanPercent(c.share, 0), FormatDouble(c.arrival_rate_per_s, 2),
+                  HumanTime(c.ttft_p50_s) + " / " + HumanTime(c.ttft_p99_s),
+                  HumanTime(c.tbt_p50_s) + " / " + HumanTime(c.tbt_p99_s),
+                  FormatDouble(c.goodput_tokens_per_s, 0),
+                  HumanPercent(c.ttft_attainment, 1), c.slo_ok ? "ok" : "MISS"});
+  }
+  return table.ToText();
+}
+
+Json ClassReportsToJson(const std::vector<ServeClassReport>& classes) {
+  Json arr = Json::Array();
+  for (const auto& c : classes) {
+    Json latency = Json::Object();
+    latency.Set("ttft_p50_s", c.ttft_p50_s)
+        .Set("ttft_p95_s", c.ttft_p95_s)
+        .Set("ttft_p99_s", c.ttft_p99_s)
+        .Set("tbt_p50_s", c.tbt_p50_s)
+        .Set("tbt_p95_s", c.tbt_p95_s)
+        .Set("tbt_p99_s", c.tbt_p99_s);
+    Json slo = Json::Object();
+    slo.Set("ttft_p99_s", c.ttft_slo_s).Set("tbt_p99_s", c.tbt_slo_s);
+    Json j = Json::Object();
+    j.Set("name", c.name)
+        .Set("share", c.share)
+        .Set("arrival_rate_per_s", c.arrival_rate_per_s)
+        .Set("slo", std::move(slo))
+        .Set("admitted_requests", c.admitted_requests)
+        .Set("completed_requests", c.completed_requests)
+        .Set("in_flight_at_horizon", c.in_flight_at_horizon)
+        .Set("latency", std::move(latency))
+        .Set("goodput_tokens_per_s", c.goodput_tokens_per_s)
+        .Set("ttft_attainment", c.ttft_attainment)
+        .Set("slo_ok", c.slo_ok);
+    arr.Append(std::move(j));
+  }
+  return arr;
+}
+
 std::string ServeStudyToText(const ServeStudyReport& r) {
   std::ostringstream os;
   os << "Serving simulation: " << r.model << " on " << r.gpu << "\n"
@@ -625,6 +769,10 @@ std::string ServeStudyToText(const ServeStudyReport& r) {
                     FormatDouble(r.decode_utilization, 2),
                 FormatDouble(r.mean_decode_batch, 0)});
   os << table.ToText();
+  if (!r.classes.empty()) {
+    os << "per-class (" << r.classes.size() << " request classes):\n"
+       << ClassTableToText(r.classes);
+  }
   return os.str();
 }
 
@@ -636,6 +784,9 @@ Json ServeStudyToJson(const ServeStudyReport& r) {
       .Set("prompt_sigma", r.knobs.prompt_sigma)
       .Set("output_sigma", r.knobs.output_sigma)
       .Set("seed", r.knobs.seed);
+  if (!r.knobs.classes.empty()) {
+    config.Set("classes", RequestClassesToJson(r.knobs.classes));
+  }
   Json prefill = Json::Object();
   prefill.Set("tp_degree", r.prefill_tp)
       .Set("batch", r.prefill_batch)
@@ -671,6 +822,9 @@ Json ServeStudyToJson(const ServeStudyReport& r) {
       .Set("analytic_tokens_per_s", r.analytic_tokens_per_s)
       .Set("capacity_agreement", r.capacity_agreement)
       .Set("makespan_s", r.makespan_s);
+  if (!r.classes.empty()) {
+    j.Set("classes", ClassReportsToJson(r.classes));
+  }
   return j;
 }
 
@@ -699,14 +853,21 @@ std::string ServeSweepToText(const ServeSweepReport& r) {
                   p.slo_ok ? "ok" : "MISS"});
   }
   os << table.ToText();
+  bool multi_class = !r.knobs.classes.empty();
   if (r.knee_index >= 0) {
     const auto& knee = r.points[static_cast<size_t>(r.knee_index)];
     os << "knee: " << HumanPercent(knee.load, 0) << " load ("
        << FormatDouble(knee.arrival_rate_per_s, 2) << " req/s, "
-       << FormatDouble(knee.goodput_tokens_per_s, 0)
-       << " tok/s goodput) — highest load meeting both SLOs\n";
+       << FormatDouble(knee.goodput_tokens_per_s, 0) << " tok/s goodput) — "
+       << (multi_class ? "highest load where every class meets its SLOs"
+                       : "highest load meeting both SLOs")
+       << "\n";
+    if (multi_class) {
+      os << "per-class at the knee:\n" << ClassTableToText(knee.classes);
+    }
   } else {
-    os << "knee: no load point meets the SLOs\n";
+    os << (multi_class ? "knee: no load point lets every class meet its SLOs\n"
+                       : "knee: no load point meets the SLOs\n");
   }
   return os.str();
 }
@@ -734,6 +895,9 @@ Json ServeSweepToJson(const ServeSweepReport& r) {
       .Set("prompt_sigma", r.knobs.prompt_sigma)
       .Set("output_sigma", r.knobs.output_sigma)
       .Set("seed", r.knobs.seed);
+  if (!r.knobs.classes.empty()) {
+    config.Set("classes", RequestClassesToJson(r.knobs.classes));
+  }
   Json prefill = Json::Object();
   prefill.Set("tp_degree", r.prefill_tp)
       .Set("batch", r.prefill_batch)
@@ -773,6 +937,9 @@ Json ServeSweepToJson(const ServeSweepReport& r) {
         .Set("mean_decode_batch", p.mean_decode_batch)
         .Set("makespan_s", p.makespan_s)
         .Set("slo_ok", p.slo_ok);
+    if (!p.classes.empty()) {
+      point.Set("classes", ClassReportsToJson(p.classes));
+    }
     points.Append(std::move(point));
   }
   Json knee = Json::Object();

@@ -70,6 +70,28 @@ struct DeriveStudyReport {
   LiteDeriveResult result;
 };
 
+// Per-class slice of a multi-tenant serving result: the class's share of
+// the mix, its measured latency percentiles, goodput, and whether it met
+// its (possibly inherited) SLOs. Present only when the scenario declares
+// request classes — single-class reports are unchanged.
+struct ServeClassReport {
+  std::string name;
+  double share = 0.0;               // normalized weight, sums to 1 over the mix
+  double arrival_rate_per_s = 0.0;  // this class's slice of the offered rate
+  double ttft_slo_s = 0.0;          // effective (inherited when the class's is 0)
+  double tbt_slo_s = 0.0;
+  int admitted_requests = 0;
+  int completed_requests = 0;
+  int in_flight_at_horizon = 0;
+  double ttft_p50_s = 0.0, ttft_p95_s = 0.0, ttft_p99_s = 0.0;
+  double tbt_p50_s = 0.0, tbt_p95_s = 0.0, tbt_p99_s = 0.0;
+  double goodput_tokens_per_s = 0.0;  // class decode tokens/s over the makespan
+  // Fraction of the class's completed requests whose TTFT met the SLO
+  // (request-level attainment; TBT attainment is judged at the p99).
+  double ttft_attainment = 0.0;
+  bool slo_ok = false;  // completed > 0 && ttft_p99 <= slo && tbt_p99 <= slo
+};
+
 // End-to-end serving study: the PerfModel-backed discrete-event simulation
 // of the searched best prefill/decode configurations, with the analytic
 // capacity cross-check the paper's claim rests on.
@@ -105,6 +127,8 @@ struct ServeStudyReport {
   double decode_utilization = 0.0;
   double mean_decode_batch = 0.0;
   double makespan_s = 0.0;
+  // One entry per declared request class (empty in single-class mode).
+  std::vector<ServeClassReport> classes;
 };
 
 // Serve-sweep study: one searched deployment driven over a whole load grid
@@ -148,12 +172,17 @@ struct ServeSweepReport {
     double decode_utilization = 0.0;
     double mean_decode_batch = 0.0;
     double makespan_s = 0.0;
-    bool slo_ok = false;  // ttft_p99 <= ttft_slo && tbt_p99 <= tbt_slo
+    // Single-class: ttft_p99 <= ttft_slo && tbt_p99 <= tbt_slo. With a
+    // class mix: EVERY class meets its own (possibly inherited) SLOs.
+    bool slo_ok = false;
+    // One entry per declared request class (empty in single-class mode).
+    std::vector<ServeClassReport> classes;
   };
   std::vector<Point> points;  // grid order
 
-  // Knee: the highest-load point still meeting both SLOs (-1 when none
-  // does). "Highest" by offered arrival rate, so rate grids work too.
+  // Knee: the highest-load point still meeting the SLOs (-1 when none
+  // does) — with a class mix, the highest load where every class meets its
+  // SLOs. "Highest" by offered arrival rate, so rate grids work too.
   int knee_index = -1;
   double knee_load = 0.0;
   double knee_goodput_tokens_per_s = 0.0;

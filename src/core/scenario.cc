@@ -85,6 +85,57 @@ std::vector<double> ExpandGridRange(double lo, double hi, double step) {
   return grid;
 }
 
+ClassMixSummary SummarizeClassMix(const std::vector<RequestClass>& classes) {
+  ClassMixSummary mix;
+  double total_weight = 0.0;
+  for (const RequestClass& cls : classes) {
+    total_weight += cls.weight;
+  }
+  if (total_weight <= 0.0) {
+    mix.shares.assign(classes.size(), 0.0);
+    return mix;
+  }
+  mix.shares.reserve(classes.size());
+  for (const RequestClass& cls : classes) {
+    double share = cls.weight / total_weight;
+    mix.shares.push_back(share);
+    mix.mean_prompt_tokens += share * cls.prompt_tokens;
+    mix.mean_output_tokens += share * cls.output_tokens;
+  }
+  return mix;
+}
+
+std::string ValidateRequestClasses(const std::vector<RequestClass>& classes,
+                                   const std::string& where) {
+  for (size_t i = 0; i < classes.size(); ++i) {
+    const RequestClass& cls = classes[i];
+    std::string label = where + ".classes[" + std::to_string(i) + "]";
+    if (cls.name.empty()) {
+      return label + " needs a non-empty name";
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (classes[j].name == cls.name) {
+        return where + ".classes has duplicate name '" + cls.name + "'";
+      }
+    }
+    if (!(cls.weight > 0.0) || !std::isfinite(cls.weight)) {
+      return label + " ('" + cls.name + "') weight must be positive and finite";
+    }
+    if (cls.prompt_tokens <= 0 || cls.output_tokens <= 0) {
+      return label + " ('" + cls.name + "') prompt/output tokens must be positive";
+    }
+    if (cls.prompt_sigma < 0.0 || cls.output_sigma < 0.0 ||
+        !std::isfinite(cls.prompt_sigma) || !std::isfinite(cls.output_sigma)) {
+      return label + " ('" + cls.name + "') sigmas must be >= 0 and finite";
+    }
+    if (cls.ttft_slo_s < 0.0 || cls.tbt_slo_s < 0.0 || !std::isfinite(cls.ttft_slo_s) ||
+        !std::isfinite(cls.tbt_slo_s)) {
+      return label + " ('" + cls.name + "') SLOs must be >= 0 (0 = inherit) and finite";
+    }
+  }
+  return "";
+}
+
 std::vector<double> ServeSweepKnobs::GridPoints() const {
   if (!rates.empty()) {
     return rates;
@@ -282,6 +333,10 @@ std::string Scenario::Validate() const {
       if (serve.prompt_sigma < 0.0 || serve.output_sigma < 0.0) {
         return "serve length sigmas must be >= 0";
       }
+      if (std::string problem = ValidateRequestClasses(serve.classes, "serve");
+          !problem.empty()) {
+        return problem;
+      }
       break;
     case StudyKind::kServeSweep: {
       if (ResolvedModels().size() != 1) {
@@ -317,6 +372,10 @@ std::string Scenario::Validate() const {
       if (sweep.prompt_sigma < 0.0 || sweep.output_sigma < 0.0) {
         return "sweep length sigmas must be >= 0";
       }
+      if (std::string problem = ValidateRequestClasses(sweep.classes, "sweep");
+          !problem.empty()) {
+        return problem;
+      }
       break;
     }
     default:
@@ -326,6 +385,26 @@ std::string Scenario::Validate() const {
 }
 
 // --- JSON serialization -----------------------------------------------------
+
+// The serve and sweep blocks (and the reports' config echo) share this.
+// Only invoked for non-empty mixes, so classless scenarios serialize
+// byte-identically to the pre-class format.
+Json RequestClassesToJson(const std::vector<RequestClass>& classes) {
+  Json arr = Json::Array();
+  for (const RequestClass& cls : classes) {
+    Json c = Json::Object();
+    c.Set("name", cls.name)
+        .Set("weight", cls.weight)
+        .Set("prompt_tokens", cls.prompt_tokens)
+        .Set("prompt_sigma", cls.prompt_sigma)
+        .Set("output_tokens", cls.output_tokens)
+        .Set("output_sigma", cls.output_sigma)
+        .Set("ttft_slo_s", cls.ttft_slo_s)
+        .Set("tbt_slo_s", cls.tbt_slo_s);
+    arr.Append(std::move(c));
+  }
+  return arr;
+}
 
 Json ScenarioToJson(const Scenario& s) {
   Json j = Json::Object();
@@ -409,6 +488,9 @@ Json ScenarioToJson(const Scenario& s) {
           .Set("prompt_sigma", s.serve.prompt_sigma)
           .Set("output_sigma", s.serve.output_sigma)
           .Set("seed", s.serve.seed);
+      if (!s.serve.classes.empty()) {
+        serve.Set("classes", RequestClassesToJson(s.serve.classes));
+      }
       j.Set("serve", std::move(serve));
       break;
     }
@@ -437,6 +519,9 @@ Json ScenarioToJson(const Scenario& s) {
           .Set("prompt_sigma", s.sweep.prompt_sigma)
           .Set("output_sigma", s.sweep.output_sigma)
           .Set("seed", s.sweep.seed);
+      if (!s.sweep.classes.empty()) {
+        sweep.Set("classes", RequestClassesToJson(s.sweep.classes));
+      }
       j.Set("sweep", std::move(sweep));
       break;
     }
@@ -560,6 +645,52 @@ bool ReadDoubleList(const Json& obj, const std::string& key, const std::string& 
     out.push_back(e.AsDouble());
   }
   return true;
+}
+
+// Strict reader for a `classes` array value: every entry must be an
+// object, unknown or mistyped keys fail loudly like every other block.
+bool ReadClassList(const Json& arr, const std::string& where,
+                   std::vector<RequestClass>& out, std::string* error) {
+  size_t index = 0;
+  for (const Json& entry : arr.elements()) {
+    std::string label = where + ".classes[" + std::to_string(index++) + "]";
+    if (!entry.is_object()) {
+      if (error != nullptr) {
+        *error = label + " must be an object";
+      }
+      return false;
+    }
+    RequestClass cls;
+    if (!CheckKeys(entry,
+                   {"name", "weight", "prompt_tokens", "prompt_sigma", "output_tokens",
+                    "output_sigma", "ttft_slo_s", "tbt_slo_s"},
+                   label, error) ||
+        !ReadString(entry, "name", label, cls.name, error) ||
+        !ReadDouble(entry, "weight", label, cls.weight, error) ||
+        !ReadInt(entry, "prompt_tokens", label, cls.prompt_tokens, error) ||
+        !ReadDouble(entry, "prompt_sigma", label, cls.prompt_sigma, error) ||
+        !ReadInt(entry, "output_tokens", label, cls.output_tokens, error) ||
+        !ReadDouble(entry, "output_sigma", label, cls.output_sigma, error) ||
+        !ReadDouble(entry, "ttft_slo_s", label, cls.ttft_slo_s, error) ||
+        !ReadDouble(entry, "tbt_slo_s", label, cls.tbt_slo_s, error)) {
+      return false;
+    }
+    out.push_back(std::move(cls));
+  }
+  return true;
+}
+
+// The in-scenario form: an optional "classes" key on the serve/sweep block.
+bool ReadClasses(const Json& obj, const std::string& where,
+                 std::vector<RequestClass>& out, std::string* error) {
+  const Json* arr = obj.Find("classes");
+  if (arr == nullptr) {
+    return true;
+  }
+  if (!arr->is_array()) {
+    return TypeError("classes", where, "an array of class objects", error);
+  }
+  return ReadClassList(*arr, where, out, error);
 }
 
 bool ReadNames(const Json& obj, const std::string& key, std::vector<std::string>& out,
@@ -734,7 +865,7 @@ std::optional<Scenario> ScenarioFromJson(const Json& json, std::string* error) {
   if (const Json* serve = json.Find("serve")) {
     if (!CheckKeys(*serve,
                    {"load", "arrival_rate_per_s", "horizon_s", "prefill_instances",
-                    "decode_instances", "prompt_sigma", "output_sigma", "seed"},
+                    "decode_instances", "prompt_sigma", "output_sigma", "seed", "classes"},
                    "serve", error) ||
         !ReadDouble(*serve, "load", "serve", s.serve.load, error) ||
         !ReadDouble(*serve, "arrival_rate_per_s", "serve", s.serve.arrival_rate_per_s,
@@ -744,7 +875,8 @@ std::optional<Scenario> ScenarioFromJson(const Json& json, std::string* error) {
         !ReadInt(*serve, "decode_instances", "serve", s.serve.decode_instances, error) ||
         !ReadDouble(*serve, "prompt_sigma", "serve", s.serve.prompt_sigma, error) ||
         !ReadDouble(*serve, "output_sigma", "serve", s.serve.output_sigma, error) ||
-        !ReadUint64(*serve, "seed", "serve", s.serve.seed, error)) {
+        !ReadUint64(*serve, "seed", "serve", s.serve.seed, error) ||
+        !ReadClasses(*serve, "serve", s.serve.classes, error)) {
       return std::nullopt;
     }
   }
@@ -753,7 +885,7 @@ std::optional<Scenario> ScenarioFromJson(const Json& json, std::string* error) {
     if (!CheckKeys(*sweep,
                    {"loads", "rates", "load_lo", "load_hi", "load_step", "horizon_s",
                     "prefill_instances", "decode_instances", "prompt_sigma",
-                    "output_sigma", "seed"},
+                    "output_sigma", "seed", "classes"},
                    "sweep", error) ||
         !ReadDoubleList(*sweep, "loads", "sweep", s.sweep.loads, error) ||
         !ReadDoubleList(*sweep, "rates", "sweep", s.sweep.rates, error) ||
@@ -765,7 +897,8 @@ std::optional<Scenario> ScenarioFromJson(const Json& json, std::string* error) {
         !ReadInt(*sweep, "decode_instances", "sweep", s.sweep.decode_instances, error) ||
         !ReadDouble(*sweep, "prompt_sigma", "sweep", s.sweep.prompt_sigma, error) ||
         !ReadDouble(*sweep, "output_sigma", "sweep", s.sweep.output_sigma, error) ||
-        !ReadUint64(*sweep, "seed", "sweep", s.sweep.seed, error)) {
+        !ReadUint64(*sweep, "seed", "sweep", s.sweep.seed, error) ||
+        !ReadClasses(*sweep, "sweep", s.sweep.classes, error)) {
       return std::nullopt;
     }
   }
@@ -777,6 +910,37 @@ std::optional<Scenario> ScenarioFromJson(const Json& json, std::string* error) {
     }
   }
   return s;
+}
+
+std::optional<std::vector<RequestClass>> ParseRequestClasses(const Json& json,
+                                                             std::string* error) {
+  std::vector<RequestClass> classes;
+  if (json.is_array()) {
+    if (!ReadClassList(json, "classes", classes, error)) {
+      return std::nullopt;
+    }
+    return classes;
+  }
+  if (json.is_object()) {
+    if (!CheckKeys(json, {"classes"}, "class mix", error)) {
+      return std::nullopt;
+    }
+    const Json* arr = json.Find("classes");
+    if (arr == nullptr || !arr->is_array()) {
+      if (error != nullptr) {
+        *error = "class mix needs a 'classes' array";
+      }
+      return std::nullopt;
+    }
+    if (!ReadClassList(*arr, "classes", classes, error)) {
+      return std::nullopt;
+    }
+    return classes;
+  }
+  if (error != nullptr) {
+    *error = "class mix must be a JSON array or {\"classes\": [...]}";
+  }
+  return std::nullopt;
 }
 
 bool operator==(const Scenario& a, const Scenario& b) {

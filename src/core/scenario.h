@@ -84,10 +84,59 @@ struct DeriveKnobs {
   double overclock = 1.0;
 };
 
+// One request class of a multi-tenant serving mix (chat, batch
+// summarization, long-context RAG, ... sharing the same phase-split
+// pools). Each class has its own share of the offered arrival rate, its
+// own prompt/output length distributions (its SplitMix64 workload
+// substream is independent of every other class's), and its own SLOs.
+// ttft_slo_s / tbt_slo_s of 0 inherit the scenario workload's SLOs.
+struct RequestClass {
+  std::string name;         // required, unique within the mix
+  double weight = 1.0;      // relative share of arrivals (> 0; normalized)
+  int prompt_tokens = 1500;  // median prompt length
+  double prompt_sigma = 0.0;
+  int output_tokens = 256;   // median output length
+  double output_sigma = 0.0;
+  double ttft_slo_s = 0.0;  // 0 = inherit workload.ttft_slo_s
+  double tbt_slo_s = 0.0;   // 0 = inherit workload.tbt_slo_s
+};
+
+// The normalized view of a class mix used for planning: weights scaled to
+// shares summing to 1, and the class-weighted mean prompt/output lengths
+// that size the phase-split pools and convert load fractions to request
+// rates. Empty mixes report zero shares and the caller's fallbacks.
+struct ClassMixSummary {
+  std::vector<double> shares;        // per class, sums to 1
+  double mean_prompt_tokens = 0.0;
+  double mean_output_tokens = 0.0;
+};
+ClassMixSummary SummarizeClassMix(const std::vector<RequestClass>& classes);
+
+// Returns "" when `classes` is a valid mix (possibly empty = single-class
+// mode), else the first problem: empty/duplicate names, non-positive or
+// non-finite weights, non-positive lengths, negative sigmas or SLOs.
+// `where` names the owning JSON block in the message ("serve"/"sweep").
+std::string ValidateRequestClasses(const std::vector<RequestClass>& classes,
+                                   const std::string& where);
+
+// Parses a standalone class mix: a JSON array of class objects, or
+// {"classes": [...]}. Same strict key/type checking as scenario files.
+// Backs `litegpu serve/sweep --classes <file>`; structural validity only —
+// run ValidateRequestClasses (or Scenario::Validate) on the result.
+std::optional<std::vector<RequestClass>> ParseRequestClasses(const Json& json,
+                                                             std::string* error = nullptr);
+
+// The inverse: the class mix as the JSON array ParseRequestClasses (and
+// the scenario reader) accept. The one RequestClass serializer — scenario
+// files and the `config.classes` echo in serve/sweep reports both use it,
+// so a report's config can always be fed back in as a scenario.
+Json RequestClassesToJson(const std::vector<RequestClass>& classes);
+
 // Knobs only the serve study reads. The request mix takes its median
-// prompt/output lengths from the scenario's shared workload block; these
-// knobs shape arrivals, pool sizes, and the admission horizon. The study
-// runs one model on one GPU type (like mcsim); prefill/decode instance
+// prompt/output lengths from the scenario's shared workload block (or from
+// per-class distributions when `classes` is non-empty); these knobs shape
+// arrivals, pool sizes, and the admission horizon. The study runs one
+// model on one GPU type (like mcsim); prefill/decode instance
 // configurations come from the PerfModel-backed search.
 struct ServeKnobs {
   // Offered load as a fraction of the decode pool's analytic capacity;
@@ -103,6 +152,12 @@ struct ServeKnobs {
   double prompt_sigma = 0.0;  // lognormal sigma; 0 = constant lengths
   double output_sigma = 0.0;
   uint64_t seed = 0xC0FFEE;
+  // Multi-tenant request mix. Empty (the default) keeps the single-class
+  // workload shaped by the scenario's shared workload block — reports are
+  // bit-identical to the pre-class engine. Non-empty replaces the length
+  // knobs above with per-class distributions and adds per-class metrics,
+  // goodput, and SLO attainment to the report.
+  std::vector<RequestClass> classes;
 };
 
 // Knobs only the serve-sweep study reads: one serve deployment driven over
@@ -126,6 +181,10 @@ struct ServeSweepKnobs {
   double prompt_sigma = 0.0;
   double output_sigma = 0.0;
   uint64_t seed = 0xC0FFEE;
+  // Multi-tenant request mix for every point (same semantics as
+  // ServeKnobs::classes). The knee generalizes to the highest load where
+  // EVERY class meets its SLOs.
+  std::vector<RequestClass> classes;
 
   // True when the grid is absolute arrival rates rather than load
   // fractions.

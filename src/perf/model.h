@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 
 #include "src/collectives/cost.h"
@@ -82,6 +83,12 @@ class PerfModel {
   // This instance's cache effectiveness.
   PerfCacheStats cache_stats() const;
 
+  // Expires when this model is destroyed. MakePerfModelCallbacks captures
+  // it in debug builds so a callback outliving its PerfModel trips an
+  // assert at the first call instead of dereferencing freed memory (the
+  // lifetime contract documented in docs/architecture.md).
+  std::weak_ptr<const void> liveness_token() const { return liveness_; }
+
  private:
   // Key: (batch, token count) — prompt tokens for prefill entries, total
   // context for decode entries.
@@ -101,6 +108,10 @@ class PerfModel {
   mutable std::map<Key, PrefillResult> prefill_cache_;
   mutable std::map<Key, DecodeResult> decode_cache_;
   mutable PerfCacheStats stats_;
+
+  // Backs liveness_token(): destroyed with the model, so weak_ptr holders
+  // can detect a dangling reference.
+  std::shared_ptr<const void> liveness_ = std::make_shared<int>(0);
 };
 
 // Process-wide cache counters aggregated over every PerfModel instance;

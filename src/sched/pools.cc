@@ -18,8 +18,8 @@ InstanceCapacity CapacityFromPerfModels(const PerfModel& prefill_model, int pref
   return capacity;
 }
 
-ServeDeployment PlanServeDeployment(double arrival_rate_per_s, int prompt_tokens,
-                                    int output_tokens, const InstanceCapacity& capacity,
+ServeDeployment PlanServeDeployment(double arrival_rate_per_s, double prompt_tokens,
+                                    double output_tokens, const InstanceCapacity& capacity,
                                     int requested_prefill_instances,
                                     int requested_decode_instances) {
   ServeDeployment deployment;

@@ -13,8 +13,11 @@ class PerfModel;
 
 struct PoolDemand {
   double requests_per_s = 10.0;
-  int prompt_tokens = 1500;
-  int output_tokens = 256;
+  // Mean tokens per request. Doubles, not ints: a multi-tenant mix plans
+  // capacity from the class-weighted mean workload (e.g. 0.7*256 + 0.3*900
+  // output tokens), which is fractional.
+  double prompt_tokens = 1500.0;
+  double output_tokens = 256.0;
   // Headroom multiplier over the mean demand (burst absorption).
   double provisioning_headroom = 1.25;
 };
@@ -55,15 +58,16 @@ InstanceCapacity CapacityFromPerfModels(const PerfModel& prefill_model, int pref
 // count of 0 auto-sizes that pool from the analytic capacities via
 // SizePools (never below one instance). Shared by the serve and serve-sweep
 // studies so every point of a sweep sizes its prefill pool the same way a
-// standalone serve run would.
+// standalone serve run would. For multi-tenant mixes the token counts are
+// the class-weighted means, so the pools are sized for the blended demand.
 struct ServeDeployment {
   int prefill_instances = 0;
   int decode_instances = 0;
   int total_gpus = 0;
 };
 
-ServeDeployment PlanServeDeployment(double arrival_rate_per_s, int prompt_tokens,
-                                    int output_tokens, const InstanceCapacity& capacity,
+ServeDeployment PlanServeDeployment(double arrival_rate_per_s, double prompt_tokens,
+                                    double output_tokens, const InstanceCapacity& capacity,
                                     int requested_prefill_instances,
                                     int requested_decode_instances);
 

@@ -1,8 +1,10 @@
 #include "src/serve/simulator.h"
 
 #include <algorithm>
+#include <cassert>
 #include <deque>
 #include <limits>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -18,8 +20,26 @@ ServeCallbacks MakePerfModelCallbacks(const PerfModel& prefill_model,
   callbacks.max_decode_batch = max_decode_batch;
   const PerfModel* prefill = &prefill_model;
   const PerfModel* decode = &decode_model;
+#ifndef NDEBUG
+  // Debug builds carry each model's liveness token so a dangling PerfModel
+  // trips an assert at the first call instead of reading freed memory (the
+  // lifetime contract in the header / docs/architecture.md).
+  std::weak_ptr<const void> prefill_alive = prefill_model.liveness_token();
+  std::weak_ptr<const void> decode_alive = decode_model.liveness_token();
+  callbacks.prefill_time = [prefill, prefill_alive](int batch) {
+    assert(!prefill_alive.expired() &&
+           "MakePerfModelCallbacks: prefill PerfModel destroyed before the callbacks");
+    return prefill->Prefill(batch).ttft_s;
+  };
+  callbacks.decode_step_time = [decode, decode_alive](int batch) {
+    assert(!decode_alive.expired() &&
+           "MakePerfModelCallbacks: decode PerfModel destroyed before the callbacks");
+    return decode->Decode(batch).tbt_s;
+  };
+#else
   callbacks.prefill_time = [prefill](int batch) { return prefill->Prefill(batch).ttft_s; };
   callbacks.decode_step_time = [decode](int batch) { return decode->Decode(batch).tbt_s; };
+#endif
   return callbacks;
 }
 
@@ -100,6 +120,20 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
   std::deque<int> prefill_queue;  // request indices
   std::deque<int> decode_queue;   // request indices (prefilled, awaiting decode)
 
+  // Per-class bookkeeping only exists when the caller asked for it, so
+  // single-class runs pay nothing and stay bit-identical to the pre-class
+  // simulator. Out-of-range class ids fold into class 0 rather than
+  // indexing out of bounds (the Runner validates them upstream).
+  const bool track_classes = config.num_classes > 0;
+  if (track_classes) {
+    metrics.per_class.resize(static_cast<size_t>(config.num_classes));
+  }
+  std::vector<size_t> step_class_counts(track_classes ? config.num_classes : 0, 0);
+  auto class_of = [&](int req) {
+    int cid = requests[static_cast<size_t>(req)].class_id;
+    return (cid >= 0 && cid < config.num_classes) ? cid : 0;
+  };
+
   size_t next_arrival = 0;
   double now = 0.0;
 
@@ -165,6 +199,10 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
       if (now <= config.horizon_s) {
         prefill_queue.push_back(static_cast<int>(next_arrival));
         ++metrics.admitted_requests;
+        if (track_classes) {
+          ++metrics.per_class[static_cast<size_t>(class_of(static_cast<int>(next_arrival)))]
+                .admitted_requests;
+        }
       }
       ++next_arrival;
       try_start_prefill(now);
@@ -179,6 +217,10 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
       PrefillInstance& inst = prefill[event.instance];
       for (int req : inst.batch) {
         metrics.ttft_s.Add(now - requests[req].arrival_s);
+        if (track_classes) {
+          metrics.per_class[static_cast<size_t>(class_of(req))].ttft_s.Add(
+              now - requests[req].arrival_s);
+        }
         decode_queue.push_back(req);
       }
       inst.batch.clear();
@@ -191,13 +233,37 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
       inst.stepping = false;
       // Every active sequence emitted one token this step.
       metrics.output_tokens += static_cast<double>(inst.remaining.size());
+      if (track_classes) {
+        // Each active sequence of a class experienced this step's duration
+        // as one inter-token gap: one weighted histogram add per class.
+        std::fill(step_class_counts.begin(), step_class_counts.end(), 0);
+        for (int req : inst.request_index) {
+          ++step_class_counts[static_cast<size_t>(class_of(req))];
+        }
+        for (size_t c = 0; c < step_class_counts.size(); ++c) {
+          if (step_class_counts[c] > 0) {
+            metrics.per_class[c].tbt_s.Add(inst.current_step_duration,
+                                           step_class_counts[c]);
+            metrics.per_class[c].output_tokens +=
+                static_cast<double>(step_class_counts[c]);
+          }
+        }
+      }
       for (size_t s = 0; s < inst.remaining.size();) {
         if (--inst.remaining[s] == 0) {
           ++metrics.completed_requests;
+          if (track_classes) {
+            ++metrics.per_class[static_cast<size_t>(class_of(inst.request_index[s]))]
+                  .completed_requests;
+          }
           if (now > config.horizon_s) {
             // Admitted before the horizon, finished after it: the request
             // drains but its tail tokens are not horizon goodput.
             ++metrics.in_flight_at_horizon;
+            if (track_classes) {
+              ++metrics.per_class[static_cast<size_t>(class_of(inst.request_index[s]))]
+                    .in_flight_at_horizon;
+            }
           }
           metrics.makespan_s = now;
           inst.remaining[s] = inst.remaining.back();

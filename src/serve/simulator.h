@@ -40,12 +40,15 @@ struct ServeCallbacks {
 // decode configurations. Decode steps are priced at the models' worst-case
 // (final) context, matching the search's SLO accounting.
 //
-// Lifetime contract: the returned callbacks capture raw references — the
-// PerfModels MUST outlive every call through them, or the callbacks
-// dangle. This is the compatibility/testing layer; production paths (the
-// Runner's serve and serve-sweep studies, bench_validation_serve) build an
-// owning StepTimeTable via StepTimeTable::Build instead, which copies the
-// step times out of the models and has no lifetime coupling.
+// Lifetime contract (see docs/architecture.md): the returned callbacks
+// capture raw references — the PerfModels MUST outlive every call through
+// them, or the callbacks dangle. Debug builds assert the models are still
+// alive on every call (via PerfModel::liveness_token), so a dangling model
+// fails loudly instead of reading freed memory. This is the
+// compatibility/testing layer; production paths (the Runner's serve and
+// serve-sweep studies, bench_validation_serve) build an owning
+// StepTimeTable via StepTimeTable::Build instead, which copies the step
+// times out of the models and has no lifetime coupling.
 ServeCallbacks MakePerfModelCallbacks(const PerfModel& prefill_model,
                                       const PerfModel& decode_model,
                                       int max_prefill_batch, int max_decode_batch);
@@ -57,6 +60,25 @@ struct ServeClusterConfig {
   // drain (and are counted in ServeMetrics::in_flight_at_horizon so goodput
   // accounting stays honest).
   double horizon_s = 1e9;
+  // Number of request classes to track per-class metrics for. 0 (the
+  // default) keeps the classless fast path: no per-class bookkeeping is
+  // allocated or updated, and metrics are bit-identical to the pre-class
+  // simulator. With N >= 1 (even a declared single-class mix), requests'
+  // class_id values (expected in [0, N)) index ServeMetrics::per_class.
+  int num_classes = 0;
+};
+
+// Per-class slice of a multi-tenant simulation. TTFT keeps exact samples
+// like the global set; TBT streams into a LatencyHistogram where each
+// decode step contributes one sample per active sequence of the class (a
+// class's tokens all experience the shared step's duration).
+struct ServeClassMetrics {
+  SampleSet ttft_s;
+  LatencyHistogram tbt_s;
+  int admitted_requests = 0;
+  int completed_requests = 0;
+  int in_flight_at_horizon = 0;
+  double output_tokens = 0.0;
 };
 
 struct ServeMetrics {
@@ -80,6 +102,9 @@ struct ServeMetrics {
   double prefill_utilization = 0.0;  // busy time / (instances * makespan)
   double decode_utilization = 0.0;
   double mean_decode_batch = 0.0;    // time-weighted
+  // One entry per class when ServeClusterConfig::num_classes >= 1; empty
+  // for classless runs.
+  std::vector<ServeClassMetrics> per_class;
 };
 
 // Compatibility/testing path: every step query pays std::function dispatch

@@ -17,29 +17,81 @@ int SampleLength(Rng& rng, int median, double sigma) {
   return std::max(1, static_cast<int>(std::lround(value)));
 }
 
-}  // namespace
-
-std::vector<Request> GenerateWorkload(const WorkloadSpec& spec) {
+// One class's Poisson substream: the same sampling order as
+// GenerateWorkload (inter-arrival, prompt, output per request), so a
+// single-class mix reproduces the legacy generator bit-for-bit.
+std::vector<Request> GenerateClassStream(const ClassWorkload& cls, int class_id,
+                                         double duration_s, uint64_t seed) {
   std::vector<Request> requests;
-  Rng rng(spec.seed);
-  double t = 0.0;
-  int id = 0;
-  if (spec.arrival_rate_per_s <= 0.0) {
+  if (cls.arrival_rate_per_s <= 0.0) {
     return requests;
   }
+  Rng rng(seed);
+  double t = 0.0;
   for (;;) {
-    t += rng.Exponential(spec.arrival_rate_per_s);
-    if (t >= spec.duration_s) {
+    t += rng.Exponential(cls.arrival_rate_per_s);
+    if (t >= duration_s) {
       break;
     }
     Request r;
-    r.id = id++;
+    r.class_id = class_id;
     r.arrival_s = t;
-    r.prompt_tokens = SampleLength(rng, spec.median_prompt_tokens, spec.prompt_sigma);
-    r.output_tokens = SampleLength(rng, spec.median_output_tokens, spec.output_sigma);
+    r.prompt_tokens = SampleLength(rng, cls.median_prompt_tokens, cls.prompt_sigma);
+    r.output_tokens = SampleLength(rng, cls.median_output_tokens, cls.output_sigma);
     requests.push_back(r);
   }
   return requests;
+}
+
+}  // namespace
+
+std::vector<Request> GenerateWorkload(const WorkloadSpec& spec) {
+  ClassWorkload cls;
+  cls.arrival_rate_per_s = spec.arrival_rate_per_s;
+  cls.median_prompt_tokens = spec.median_prompt_tokens;
+  cls.prompt_sigma = spec.prompt_sigma;
+  cls.median_output_tokens = spec.median_output_tokens;
+  cls.output_sigma = spec.output_sigma;
+  std::vector<Request> requests =
+      GenerateClassStream(cls, /*class_id=*/0, spec.duration_s, spec.seed);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    requests[i].id = static_cast<int>(i);
+  }
+  return requests;
+}
+
+uint64_t ClassSubstreamSeed(uint64_t seed, size_t index) {
+  if (index == 0) {
+    return seed;
+  }
+  SplitMix64 stream(seed);
+  uint64_t derived = 0;
+  for (size_t i = 0; i < index; ++i) {
+    derived = stream.Next();
+  }
+  return derived;
+}
+
+std::vector<Request> GenerateMultiClassWorkload(const MultiClassWorkloadSpec& spec) {
+  // Generate every substream independently, then merge. std::merge is
+  // stable and each substream is arrival-sorted, so ties land in class
+  // order, then per-class order — fully specified, no heap dependence.
+  std::vector<Request> merged;
+  for (size_t c = 0; c < spec.classes.size(); ++c) {
+    std::vector<Request> stream =
+        GenerateClassStream(spec.classes[c], static_cast<int>(c), spec.duration_s,
+                            ClassSubstreamSeed(spec.seed, c));
+    std::vector<Request> next;
+    next.reserve(merged.size() + stream.size());
+    std::merge(merged.begin(), merged.end(), stream.begin(), stream.end(),
+               std::back_inserter(next),
+               [](const Request& a, const Request& b) { return a.arrival_s < b.arrival_s; });
+    merged = std::move(next);
+  }
+  for (size_t i = 0; i < merged.size(); ++i) {
+    merged[i].id = static_cast<int>(i);
+  }
+  return merged;
 }
 
 double TotalPromptTokens(const std::vector<Request>& requests) {

@@ -1,10 +1,12 @@
 // Synthetic request workload generator. Substitutes for the production
 // traces the paper's SLOs come from (Splitwise [40]): Poisson arrivals and
 // lognormal prompt/output lengths with the paper's median prompt of 1500
-// tokens.
+// tokens. Multi-tenant mixes generate one independent Poisson substream per
+// request class and merge them into a single arrival-ordered trace.
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -12,6 +14,9 @@ namespace litegpu {
 
 struct Request {
   int id = 0;
+  // Index into the generating mix's class list; 0 for single-class
+  // workloads. The simulator threads it through to per-class metrics.
+  int class_id = 0;
   double arrival_s = 0.0;
   int prompt_tokens = 1500;
   int output_tokens = 256;
@@ -29,6 +34,36 @@ struct WorkloadSpec {
 
 // Requests sorted by arrival time.
 std::vector<Request> GenerateWorkload(const WorkloadSpec& spec);
+
+// One request class of a multi-tenant mix: its own absolute arrival rate
+// and prompt/output length distributions. Rates are absolute (requests/s),
+// not shares — the caller splits the offered load across classes, so a
+// class's arrival process is fully determined by its own entry.
+struct ClassWorkload {
+  double arrival_rate_per_s = 10.0;
+  int median_prompt_tokens = 1500;
+  double prompt_sigma = 0.0;
+  int median_output_tokens = 256;
+  double output_sigma = 0.0;
+};
+
+struct MultiClassWorkloadSpec {
+  std::vector<ClassWorkload> classes;
+  double duration_s = 300.0;
+  uint64_t seed = 0xC0FFEE;
+};
+
+// The RNG seed for class `index`'s substream. Class 0 inherits the base
+// seed, so a one-class mix is bit-identical to GenerateWorkload with the
+// same spec; later classes draw consecutive values from one SplitMix64
+// stream over the base seed. Seeds depend only on (seed, index), so
+// APPENDING a class never perturbs an existing class's arrivals or lengths.
+uint64_t ClassSubstreamSeed(uint64_t seed, size_t index);
+
+// Generates every class's substream independently and merges by arrival
+// time (ties break by class index, then per-class order). Request ids are
+// assigned in merged order; class_id is the index into spec.classes.
+std::vector<Request> GenerateMultiClassWorkload(const MultiClassWorkloadSpec& spec);
 
 // Totals used for capacity planning.
 double TotalPromptTokens(const std::vector<Request>& requests);

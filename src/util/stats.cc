@@ -85,22 +85,27 @@ double SampleSet::Quantile(double q) const {
 LatencyHistogram::LatencyHistogram(double hi, size_t bins)
     : hi_(hi > 0.0 ? hi : 1.0), counts_(bins == 0 ? 1 : bins, 0) {}
 
-void LatencyHistogram::Add(double x) {
+void LatencyHistogram::Add(double x) { Add(x, 1); }
+
+void LatencyHistogram::Add(double x, size_t n) {
+  if (n == 0) {
+    return;
+  }
   if (count_ == 0) {
     min_ = max_ = x;
   } else {
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);
   }
-  ++count_;
-  sum_ += x;
+  count_ += n;
+  sum_ += x * static_cast<double>(n);
   if (x >= hi_) {
-    ++overflow_;
+    overflow_ += n;
     return;
   }
   double clamped = std::max(x, 0.0);
   size_t index = static_cast<size_t>(clamped / hi_ * static_cast<double>(counts_.size()));
-  ++counts_[std::min(index, counts_.size() - 1)];
+  counts_[std::min(index, counts_.size() - 1)] += n;
 }
 
 double LatencyHistogram::ValueAtRank(size_t rank) const {

@@ -71,6 +71,10 @@ class LatencyHistogram {
   explicit LatencyHistogram(double hi = 1.0, size_t bins = 16384);
 
   void Add(double x);
+  // Adds `n` identical samples in O(1) — the per-class TBT accounting adds
+  // one decode-step duration per active sequence of the class, so a step
+  // with k sequences is one weighted add instead of k.
+  void Add(double x, size_t n);
 
   size_t count() const { return count_; }
   double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }

@@ -50,7 +50,7 @@ TEST(CliSmoke, RunExecutesEveryCheckedInScenarioAsJson) {
   // One file per study kind; every report must be valid JSON with ok=true.
   for (const char* file : {"fig3a.json", "fig3b.json", "search.json", "design.json",
                            "mcsim.json", "yield.json", "derive.json", "serve.json",
-                           "serve_sweep.json"}) {
+                           "serve_sweep.json", "serve_multitenant.json"}) {
     CommandResult result = RunCommand("run " + ScenarioPath(file) + " --json");
     EXPECT_EQ(result.exit_code, 0) << file;
     std::string error;
@@ -95,6 +95,37 @@ TEST(CliSmoke, JsonFlagOnEverySubcommandEmitsParsableJson) {
     auto parsed = Json::Parse(result.stdout_text, &error);
     EXPECT_TRUE(parsed.has_value()) << args << ": " << error;
   }
+}
+
+TEST(CliSmoke, MultitenantScenarioReportsPerClassBlocks) {
+  // The acceptance check for multi-tenant serving: the checked-in mix
+  // reports per-class TTFT/TBT percentiles, goodput, and SLO attainment.
+  CommandResult result =
+      RunCommand("run " + ScenarioPath("serve_multitenant.json") + " --json");
+  ASSERT_EQ(result.exit_code, 0);
+  auto parsed = Json::Parse(result.stdout_text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->GetBool("ok", false));
+  const Json* report = parsed->Find("report");
+  ASSERT_NE(report, nullptr);
+  const Json* classes = report->Find("classes");
+  ASSERT_NE(classes, nullptr);
+  ASSERT_EQ(classes->size(), 3u);
+  for (const Json& cls : classes->elements()) {
+    EXPECT_FALSE(cls.GetString("name", "").empty());
+    const Json* latency = cls.Find("latency");
+    ASSERT_NE(latency, nullptr);
+    EXPECT_GT(latency->GetDouble("ttft_p99_s", 0.0), 0.0);
+    EXPECT_GT(latency->GetDouble("tbt_p99_s", 0.0), 0.0);
+    EXPECT_GT(cls.GetDouble("goodput_tokens_per_s", 0.0), 0.0);
+    EXPECT_NE(cls.Find("ttft_attainment"), nullptr);
+    EXPECT_NE(cls.Find("slo_ok"), nullptr);
+  }
+  // Text mode renders the per-class table.
+  CommandResult text = RunCommand("run " + ScenarioPath("serve_multitenant.json"));
+  EXPECT_EQ(text.exit_code, 0);
+  EXPECT_NE(text.stdout_text.find("per-class"), std::string::npos);
+  EXPECT_NE(text.stdout_text.find("batch-summarize"), std::string::npos);
 }
 
 TEST(CliSmoke, TextModeStillPrintsTables) {

@@ -148,6 +148,26 @@ TEST(PerfModel, ServeCallbacksComeFromTheModels) {
   EXPECT_EQ(callbacks.decode_step_time(64), decode.Decode(64).tbt_s);
 }
 
+#ifndef NDEBUG
+TEST(PerfModelCallbacksDeathTest, DanglingModelTripsTheDebugAssert) {
+  // The MakePerfModelCallbacks lifetime contract (docs/architecture.md):
+  // the callbacks capture raw references, and debug builds carry the
+  // models' liveness tokens so calling through a destroyed model aborts
+  // with a named assert instead of reading freed memory.
+  TransformerSpec model = Llama3_70B();
+  GpuSpec gpu = H100();
+  WorkloadParams workload;
+  PerfModel decode(model, gpu, MakeTpPlan(model, 4).value(), workload);
+  ServeCallbacks callbacks;
+  {
+    PerfModel prefill(model, gpu, MakeTpPlan(model, 2).value(), workload);
+    callbacks = MakePerfModelCallbacks(prefill, decode, 8, 256);
+    EXPECT_GT(callbacks.prefill_time(2), 0.0);  // fine while the model lives
+  }
+  EXPECT_DEATH(callbacks.prefill_time(2), "PerfModel destroyed");
+}
+#endif
+
 TEST(StepTimeTable, BitIdenticalToTheMemoizedModels) {
   TransformerSpec model = Llama3_70B();
   GpuSpec gpu = H100();

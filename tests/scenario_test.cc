@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "src/core/scenario.h"
 #include "src/hw/catalog.h"
 
@@ -300,6 +302,165 @@ TEST(Scenario, ServeDefaultsAndStrictKeys) {
   EXPECT_FALSE(ScenarioFromJson(*typo, &error).has_value());
   EXPECT_NE(error.find("horizon"), std::string::npos);
 }
+
+std::vector<RequestClass> TwoClassMix() {
+  RequestClass chat;
+  chat.name = "chat";
+  chat.weight = 0.7;
+  RequestClass batch;
+  batch.name = "batch";
+  batch.weight = 0.3;
+  batch.prompt_tokens = 4000;
+  batch.prompt_sigma = 0.4;
+  batch.output_tokens = 900;
+  batch.ttft_slo_s = 5.0;
+  batch.tbt_slo_s = 0.2;
+  return {chat, batch};
+}
+
+TEST(Scenario, RequestClassesRoundTripThroughJson) {
+  ServeKnobs serve;
+  serve.classes = TwoClassMix();
+  ServeSweepKnobs sweep;
+  sweep.loads = {0.4, 0.8};
+  sweep.classes = TwoClassMix();
+  for (const Scenario& original :
+       {*ScenarioBuilder(StudyKind::kServe).Serve(serve).Build(),
+        *ScenarioBuilder(StudyKind::kServeSweep).ServeSweep(sweep).Build()}) {
+    Json j = ScenarioToJson(original);
+    std::string error;
+    auto reparsed = Json::Parse(j.Dump());
+    ASSERT_TRUE(reparsed.has_value());
+    auto restored = ScenarioFromJson(*reparsed, &error);
+    ASSERT_TRUE(restored.has_value()) << error;
+    EXPECT_TRUE(*restored == original) << ScenarioToJson(*restored).Dump();
+  }
+  // Classless scenarios serialize without a classes key at all, so
+  // pre-class scenario files and reports are byte-compatible.
+  Json j = ScenarioToJson(*ScenarioBuilder(StudyKind::kServe).Build());
+  EXPECT_EQ(j.Dump().find("classes"), std::string::npos);
+}
+
+TEST(Scenario, RequestClassValidationRejectsBadMixes) {
+  std::string error;
+  // Duplicate names.
+  ServeKnobs knobs;
+  knobs.classes = TwoClassMix();
+  knobs.classes[1].name = "chat";
+  EXPECT_FALSE(ScenarioBuilder(StudyKind::kServe).Serve(knobs).Build(&error).has_value());
+  EXPECT_NE(error.find("duplicate name 'chat'"), std::string::npos);
+
+  // Non-positive weight.
+  knobs.classes = TwoClassMix();
+  knobs.classes[0].weight = 0.0;
+  EXPECT_FALSE(ScenarioBuilder(StudyKind::kServe).Serve(knobs).Build(&error).has_value());
+  EXPECT_NE(error.find("weight must be positive"), std::string::npos);
+
+  // Empty name.
+  knobs.classes = TwoClassMix();
+  knobs.classes[1].name = "";
+  EXPECT_FALSE(ScenarioBuilder(StudyKind::kServe).Serve(knobs).Build(&error).has_value());
+  EXPECT_NE(error.find("non-empty name"), std::string::npos);
+
+  // Negative SLO / sigma / length.
+  knobs.classes = TwoClassMix();
+  knobs.classes[0].tbt_slo_s = -0.1;
+  EXPECT_FALSE(ScenarioBuilder(StudyKind::kServe).Serve(knobs).Build(&error).has_value());
+  EXPECT_NE(error.find("SLOs must be >= 0"), std::string::npos);
+  knobs.classes = TwoClassMix();
+  knobs.classes[0].prompt_sigma = -1.0;
+  EXPECT_FALSE(ScenarioBuilder(StudyKind::kServe).Serve(knobs).Build(&error).has_value());
+  knobs.classes = TwoClassMix();
+  knobs.classes[0].output_tokens = 0;
+  EXPECT_FALSE(ScenarioBuilder(StudyKind::kServe).Serve(knobs).Build(&error).has_value());
+
+  // The same mix rules guard the sweep block.
+  ServeSweepKnobs sweep;
+  sweep.classes = TwoClassMix();
+  sweep.classes[0].weight = -2.0;
+  EXPECT_FALSE(
+      ScenarioBuilder(StudyKind::kServeSweep).ServeSweep(sweep).Build(&error).has_value());
+  EXPECT_NE(error.find("sweep.classes"), std::string::npos);
+}
+
+TEST(Scenario, RequestClassJsonIsStrict) {
+  std::string error;
+  auto typo = Json::Parse(
+      R"({"study": "serve", "serve": {"classes": [{"name": "chat", "wieght": 2}]}})");
+  ASSERT_TRUE(typo.has_value());
+  EXPECT_FALSE(ScenarioFromJson(*typo, &error).has_value());
+  EXPECT_NE(error.find("wieght"), std::string::npos);
+
+  auto mistyped = Json::Parse(
+      R"({"study": "serve", "serve": {"classes": [{"name": "chat", "weight": "heavy"}]}})");
+  ASSERT_TRUE(mistyped.has_value());
+  EXPECT_FALSE(ScenarioFromJson(*mistyped, &error).has_value());
+  EXPECT_NE(error.find("weight"), std::string::npos);
+
+  auto not_object = Json::Parse(R"({"study": "serve", "serve": {"classes": [7]}})");
+  ASSERT_TRUE(not_object.has_value());
+  EXPECT_FALSE(ScenarioFromJson(*not_object, &error).has_value());
+  EXPECT_NE(error.find("must be an object"), std::string::npos);
+}
+
+TEST(Scenario, SummarizeClassMixNormalizesWeights) {
+  auto mix = SummarizeClassMix(TwoClassMix());
+  ASSERT_EQ(mix.shares.size(), 2u);
+  EXPECT_DOUBLE_EQ(mix.shares[0] + mix.shares[1], 1.0);
+  EXPECT_DOUBLE_EQ(mix.shares[0], 0.7);
+  EXPECT_DOUBLE_EQ(mix.mean_prompt_tokens, 0.7 * 1500 + 0.3 * 4000);
+  EXPECT_DOUBLE_EQ(mix.mean_output_tokens, 0.7 * 256 + 0.3 * 900);
+  EXPECT_TRUE(SummarizeClassMix({}).shares.empty());
+}
+
+TEST(Scenario, ParseRequestClassesAcceptsArrayAndWrappedForms) {
+  std::string error;
+  auto arr = Json::Parse(R"([{"name": "a"}, {"name": "b", "weight": 2}])");
+  ASSERT_TRUE(arr.has_value());
+  auto classes = ParseRequestClasses(*arr, &error);
+  ASSERT_TRUE(classes.has_value()) << error;
+  ASSERT_EQ(classes->size(), 2u);
+  EXPECT_EQ((*classes)[1].name, "b");
+  EXPECT_DOUBLE_EQ((*classes)[1].weight, 2.0);
+
+  auto wrapped = Json::Parse(R"({"classes": [{"name": "a"}]})");
+  ASSERT_TRUE(wrapped.has_value());
+  EXPECT_TRUE(ParseRequestClasses(*wrapped, &error).has_value()) << error;
+
+  auto bad = Json::Parse(R"("not a mix")");
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_FALSE(ParseRequestClasses(*bad, &error).has_value());
+}
+
+#ifdef LITEGPU_SCENARIO_DIR
+TEST(Scenario, EveryCheckedInExampleLoadsValidatesAndRoundTrips) {
+  // The docs cross-check: every scenario file the repo ships must load,
+  // validate, and survive a JSON round trip — so docs/scenarios.md can't
+  // document fields the parser rejects, and examples can't rot. The CI
+  // docs checker (tools/check_docs.sh) covers the reverse direction (every
+  // example and knob field is mentioned in the docs).
+  size_t seen = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(std::string(LITEGPU_SCENARIO_DIR))) {
+    if (entry.path().extension() != ".json") {
+      continue;
+    }
+    ++seen;
+    std::string error;
+    auto scenarios = LoadScenarioFile(entry.path().string(), &error);
+    ASSERT_TRUE(scenarios.has_value()) << entry.path() << ": " << error;
+    for (const Scenario& s : *scenarios) {
+      EXPECT_EQ(s.Validate(), "") << entry.path();
+      auto reparsed = Json::Parse(ScenarioToJson(s).Dump(), &error);
+      ASSERT_TRUE(reparsed.has_value()) << entry.path() << ": " << error;
+      auto restored = ScenarioFromJson(*reparsed, &error);
+      ASSERT_TRUE(restored.has_value()) << entry.path() << ": " << error;
+      EXPECT_TRUE(*restored == s) << entry.path();
+    }
+  }
+  EXPECT_GE(seen, 10u);  // one per study kind + the batch suite + multitenant
+}
+#endif
 
 TEST(Scenario, MakeSearchOptionsCarriesWorkloadAndExec) {
   Scenario s = ScenarioBuilder(StudyKind::kSearch)

@@ -67,6 +67,108 @@ TEST(Workload, TokenTotals) {
                    256.0 * static_cast<double>(requests.size()));
 }
 
+// --- multi-class workload generation ---
+
+ClassWorkload MakeClass(double rate, int prompt = 1500, int output = 256,
+                        double prompt_sigma = 0.0, double output_sigma = 0.0) {
+  ClassWorkload cls;
+  cls.arrival_rate_per_s = rate;
+  cls.median_prompt_tokens = prompt;
+  cls.prompt_sigma = prompt_sigma;
+  cls.median_output_tokens = output;
+  cls.output_sigma = output_sigma;
+  return cls;
+}
+
+TEST(MultiClassWorkload, SingleClassBitIdenticalToLegacyGenerator) {
+  // A one-class mix must reproduce GenerateWorkload exactly: class 0
+  // inherits the base seed and the per-request sampling order is the same.
+  WorkloadSpec legacy;
+  legacy.arrival_rate_per_s = 25.0;
+  legacy.duration_s = 40.0;
+  legacy.prompt_sigma = 0.6;
+  legacy.output_sigma = 0.3;
+  legacy.seed = 0xABCDEF;
+  auto expected = GenerateWorkload(legacy);
+
+  MultiClassWorkloadSpec multi;
+  multi.duration_s = legacy.duration_s;
+  multi.seed = legacy.seed;
+  multi.classes.push_back(MakeClass(legacy.arrival_rate_per_s, legacy.median_prompt_tokens,
+                                    legacy.median_output_tokens, legacy.prompt_sigma,
+                                    legacy.output_sigma));
+  auto actual = GenerateMultiClassWorkload(multi);
+
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i].id, expected[i].id);
+    EXPECT_EQ(actual[i].class_id, 0);
+    EXPECT_DOUBLE_EQ(actual[i].arrival_s, expected[i].arrival_s);
+    EXPECT_EQ(actual[i].prompt_tokens, expected[i].prompt_tokens);
+    EXPECT_EQ(actual[i].output_tokens, expected[i].output_tokens);
+  }
+}
+
+TEST(MultiClassWorkload, AppendingAClassNeverPerturbsExistingClasses) {
+  // Every class has its own SplitMix64 substream, so adding class B (or C)
+  // leaves class A's arrivals and lengths bit-identical at a fixed seed.
+  MultiClassWorkloadSpec two;
+  two.duration_s = 60.0;
+  two.seed = 0x5EED;
+  two.classes.push_back(MakeClass(20.0, 1500, 256, 0.5, 0.5));
+  two.classes.push_back(MakeClass(5.0, 6000, 900));
+
+  MultiClassWorkloadSpec three = two;
+  three.classes.push_back(MakeClass(9.0, 300, 64, 0.2, 0.2));
+
+  auto a = GenerateMultiClassWorkload(two);
+  auto b = GenerateMultiClassWorkload(three);
+  for (int cls = 0; cls < 2; ++cls) {
+    std::vector<Request> from_two, from_three;
+    for (const auto& r : a) {
+      if (r.class_id == cls) from_two.push_back(r);
+    }
+    for (const auto& r : b) {
+      if (r.class_id == cls) from_three.push_back(r);
+    }
+    ASSERT_EQ(from_two.size(), from_three.size()) << "class " << cls;
+    EXPECT_GT(from_two.size(), 0u) << "class " << cls;
+    for (size_t i = 0; i < from_two.size(); ++i) {
+      EXPECT_DOUBLE_EQ(from_two[i].arrival_s, from_three[i].arrival_s);
+      EXPECT_EQ(from_two[i].prompt_tokens, from_three[i].prompt_tokens);
+      EXPECT_EQ(from_two[i].output_tokens, from_three[i].output_tokens);
+    }
+  }
+}
+
+TEST(MultiClassWorkload, MergedTraceIsArrivalSortedWithSequentialIds) {
+  MultiClassWorkloadSpec spec;
+  spec.duration_s = 30.0;
+  spec.classes.push_back(MakeClass(15.0));
+  spec.classes.push_back(MakeClass(10.0, 4000, 800));
+  auto requests = GenerateMultiClassWorkload(spec);
+  ASSERT_GT(requests.size(), 0u);
+  bool saw[2] = {false, false};
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(requests[i].id, static_cast<int>(i));
+    ASSERT_GE(requests[i].class_id, 0);
+    ASSERT_LT(requests[i].class_id, 2);
+    saw[requests[i].class_id] = true;
+    if (i > 0) {
+      EXPECT_GE(requests[i].arrival_s, requests[i - 1].arrival_s);
+    }
+  }
+  EXPECT_TRUE(saw[0]);
+  EXPECT_TRUE(saw[1]);
+}
+
+TEST(MultiClassWorkload, ClassSubstreamSeedsAreStableByIndex) {
+  EXPECT_EQ(ClassSubstreamSeed(42, 0), 42u);  // class 0 inherits the seed
+  EXPECT_NE(ClassSubstreamSeed(42, 1), ClassSubstreamSeed(42, 2));
+  // Index i's seed does not depend on how many classes follow it.
+  EXPECT_EQ(ClassSubstreamSeed(42, 1), ClassSubstreamSeed(42, 1));
+}
+
 // --- simulator ---
 
 ServeCallbacks SimpleCallbacks(double prefill_s = 0.1, double per_seq_step_s = 1e-4,
@@ -277,6 +379,64 @@ TEST(Simulator, TablePathBitIdenticalToCallbackPath) {
   EXPECT_EQ(a.tbt_s.count(), b.tbt_s.count());
   EXPECT_EQ(a.tbt_s.min(), b.tbt_s.min());
   EXPECT_EQ(a.tbt_s.max(), b.tbt_s.max());
+}
+
+TEST(Simulator, PerClassMetricsPartitionTheGlobalMetrics) {
+  // Two classes with different output lengths interleaved on one cluster:
+  // the per-class slices must add up to the global counters exactly, and
+  // the global metrics must be bit-identical to a run with class tracking
+  // off (tracking is observation only).
+  std::vector<Request> requests;
+  for (int i = 0; i < 120; ++i) {
+    Request r;
+    r.id = i;
+    r.class_id = i % 3 == 0 ? 1 : 0;  // ~1/3 long class
+    r.arrival_s = i * 0.02;
+    r.prompt_tokens = 1500;
+    r.output_tokens = r.class_id == 1 ? 96 : 24;
+    requests.push_back(r);
+  }
+  ServeClusterConfig config;
+  config.prefill_instances = 2;
+  config.decode_instances = 2;
+  config.horizon_s = 2.0;
+  config.num_classes = 2;
+  ServeMetrics m = RunServeSimulation(requests, config, SimpleCallbacks());
+  ASSERT_EQ(m.per_class.size(), 2u);
+  int admitted = 0, completed = 0, in_flight = 0;
+  double tokens = 0.0;
+  size_t ttft_samples = 0;
+  for (const auto& cls : m.per_class) {
+    admitted += cls.admitted_requests;
+    completed += cls.completed_requests;
+    in_flight += cls.in_flight_at_horizon;
+    tokens += cls.output_tokens;
+    ttft_samples += cls.ttft_s.count();
+    EXPECT_GT(cls.completed_requests, 0);
+  }
+  EXPECT_EQ(admitted, m.admitted_requests);
+  EXPECT_EQ(completed, m.completed_requests);
+  EXPECT_EQ(in_flight, m.in_flight_at_horizon);
+  EXPECT_DOUBLE_EQ(tokens, m.output_tokens);
+  EXPECT_EQ(ttft_samples, m.ttft_s.count());
+  // Every class-1 request decodes 96 tokens, class 0 decodes 24.
+  EXPECT_DOUBLE_EQ(m.per_class[1].output_tokens,
+                   96.0 * m.per_class[1].completed_requests);
+  EXPECT_DOUBLE_EQ(m.per_class[0].output_tokens,
+                   24.0 * m.per_class[0].completed_requests);
+
+  ServeClusterConfig untracked = config;
+  untracked.num_classes = 0;
+  ServeMetrics base = RunServeSimulation(requests, untracked, SimpleCallbacks());
+  EXPECT_TRUE(base.per_class.empty());
+  EXPECT_EQ(base.admitted_requests, m.admitted_requests);
+  EXPECT_EQ(base.completed_requests, m.completed_requests);
+  EXPECT_EQ(base.output_tokens, m.output_tokens);
+  EXPECT_EQ(base.makespan_s, m.makespan_s);
+  for (double q : {0.5, 0.95, 0.99}) {
+    EXPECT_EQ(base.ttft_s.Quantile(q), m.ttft_s.Quantile(q));
+    EXPECT_EQ(base.tbt_s.Quantile(q), m.tbt_s.Quantile(q));
+  }
 }
 
 TEST(Simulator, EmptyConfigReturnsEmptyMetrics) {

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# CI docs checker: fails when the documentation drifts from the code.
+#
+#   1. docs/{scenarios,reports,architecture}.md must exist.
+#   2. Every examples/scenarios/*.json file must be mentioned in
+#      docs/scenarios.md (an example nobody documents rots).
+#   3. Every study kind must appear (in backticks) in docs/scenarios.md
+#      and docs/reports.md.
+#   4. Every knob field declared in src/core/scenario.h (the Scenario
+#      struct, every *Knobs struct, RequestClass) and every WorkloadParams
+#      field must appear in backticks in docs/scenarios.md — adding a knob
+#      without documenting it fails CI.
+#
+# Grep-based on purpose: no build needed, runs in milliseconds, and keyed
+# off the same headers the parser is generated from. The reverse direction
+# (everything the docs promise actually parses) is covered by
+# scenario_test's round trip over the example files.
+
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+err() {
+  echo "check_docs: $*" >&2
+  fail=1
+}
+
+SCENARIOS_DOC=docs/scenarios.md
+REPORTS_DOC=docs/reports.md
+
+for doc in "$SCENARIOS_DOC" "$REPORTS_DOC" docs/architecture.md; do
+  [ -f "$doc" ] || err "missing $doc"
+done
+[ "$fail" -eq 0 ] || exit 1
+
+# --- every checked-in example scenario is documented ---
+for f in examples/scenarios/*.json; do
+  base=$(basename "$f")
+  grep -q "$base" "$SCENARIOS_DOC" ||
+    err "example scenario '$base' is not mentioned in $SCENARIOS_DOC"
+done
+
+# --- every study kind is documented in both references ---
+# The kind names come from ToString(StudyKind) in src/core/scenario.cc, so
+# adding a StudyKind without documenting it fails here automatically.
+kinds=$(awk '
+  /^std::string ToString\(StudyKind kind\)/ { c = 1 }
+  c && /return "/ {
+    line = $0
+    sub(/.*return "/, "", line)
+    sub(/".*/, "", line)
+    if (line != "unknown") print line
+  }
+  c && /^}/ { c = 0 }
+' src/core/scenario.cc)
+[ -n "$kinds" ] || err "could not extract study kinds from src/core/scenario.cc"
+for kind in $kinds; do
+  grep -q "\`$kind\`" "$SCENARIOS_DOC" ||
+    err "study kind '$kind' is not documented in $SCENARIOS_DOC"
+  grep -q "$kind" "$REPORTS_DOC" ||
+    err "study kind '$kind' is not documented in $REPORTS_DOC"
+done
+
+# --- every knob field is documented ---
+# Extract field names from the knob structs: lines inside the struct body,
+# two-space indented, not a method (no parenthesis), last identifier before
+# '=' or ';'.
+extract_fields() { # extract_fields <header> <struct-name-regex>
+  awk -v structs="$2" '
+    $0 ~ "^struct (" structs ") \\{" { c = 1; next }
+    c && /^};/ { c = 0 }
+    c && /^  [A-Za-z_]/ && $0 !~ /\(/ { print }
+  ' "$1" |
+    sed -e 's://.*::' -e 's/=.*//' -e 's/;.*//' |
+    awk 'NF { print $NF }' | sort -u
+}
+
+check_fields() { # check_fields <header> <struct-name-regex>
+  for field in $(extract_fields "$1" "$2"); do
+    grep -q "\`$field\`" "$SCENARIOS_DOC" ||
+      err "knob field '$field' ($1) is not documented in $SCENARIOS_DOC"
+  done
+}
+
+# The knob-struct list comes from the header itself (every `struct *Knobs`
+# plus RequestClass and Scenario), so a new knob block can't dodge the
+# checker by not being on a hardcoded list.
+knob_structs=$(grep -oE '^struct [A-Za-z]+Knobs' src/core/scenario.h |
+  awk '{ print $2 }' | paste -sd'|' -)
+[ -n "$knob_structs" ] || err "could not extract knob structs from src/core/scenario.h"
+check_fields src/core/scenario.h "RequestClass|$knob_structs|Scenario"
+check_fields src/roofline/inference.h "WorkloadParams"
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED — update docs/scenarios.md (and reports.md) to match the code" >&2
+  exit 1
+fi
+echo "check_docs: OK"

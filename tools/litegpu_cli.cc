@@ -6,6 +6,7 @@
 //   litegpu search --model M --gpu G [...]      best config for one pair
 //   litegpu design --model M                    Table-1 cluster comparison
 //   litegpu serve [--model M --gpu G --load X]  end-to-end serving simulation
+//                 [--classes mix.json]          multi-tenant request classes
 //   litegpu sweep [--loads lo:hi:step]          serving sim over a load grid
 //   litegpu mcsim [--spares N] [--trials N]     Monte-Carlo availability
 //   litegpu yield [--d0 X] [--area A]           Section-2 silicon economics
@@ -200,11 +201,34 @@ int RunDesign(const Flags& flags) {
   return Execute(builder, flags);
 }
 
+// Loads a --classes file: a JSON array of request-class objects (or
+// {"classes": [...]}) defining a multi-tenant mix. Returns false (with the
+// message printed) on parse errors.
+bool LoadClassesFlag(const Flags& flags, std::vector<RequestClass>& out) {
+  if (!flags.Has("classes")) {
+    return true;
+  }
+  std::string path = flags.GetString("classes");
+  std::string error;
+  auto json = Json::ParseFile(path, &error);
+  if (!json) {
+    std::fprintf(stderr, "litegpu: %s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  auto classes = ParseRequestClasses(*json, &error);
+  if (!classes) {
+    std::fprintf(stderr, "litegpu: %s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  out = std::move(*classes);
+  return true;
+}
+
 int RunServe(const Flags& flags) {
   if (int rc = CheckFlags(
           flags, AllowedFlags({"model", "gpu", "load", "rate", "horizon",
                                "prefill-instances", "decode-instances", "prompt-sigma",
-                               "output-sigma", "seed"}))) {
+                               "output-sigma", "seed", "classes"}))) {
     return rc;
   }
   ScenarioBuilder builder(StudyKind::kServe);
@@ -220,6 +244,9 @@ int RunServe(const Flags& flags) {
   knobs.prompt_sigma = flags.GetDouble("prompt-sigma", knobs.prompt_sigma);
   knobs.output_sigma = flags.GetDouble("output-sigma", knobs.output_sigma);
   knobs.seed = flags.GetUint64("seed", knobs.seed);
+  if (!LoadClassesFlag(flags, knobs.classes)) {
+    return kUsageError;
+  }
   builder.Serve(knobs);
   return Execute(builder, flags);
 }
@@ -288,7 +315,7 @@ int RunSweep(const Flags& flags) {
   if (int rc = CheckFlags(
           flags, AllowedFlags({"model", "gpu", "loads", "rates", "horizon",
                                "prefill-instances", "decode-instances", "prompt-sigma",
-                               "output-sigma", "seed"}))) {
+                               "output-sigma", "seed", "classes"}))) {
     return rc;
   }
   ScenarioBuilder builder(StudyKind::kServeSweep);
@@ -313,6 +340,9 @@ int RunSweep(const Flags& flags) {
   knobs.prompt_sigma = flags.GetDouble("prompt-sigma", knobs.prompt_sigma);
   knobs.output_sigma = flags.GetDouble("output-sigma", knobs.output_sigma);
   knobs.seed = flags.GetUint64("seed", knobs.seed);
+  if (!LoadClassesFlag(flags, knobs.classes)) {
+    return kUsageError;
+  }
   builder.ServeSweep(knobs);
   return Execute(builder, flags);
 }
@@ -424,10 +454,10 @@ int Usage() {
       "  search:  --model M --gpu G [--prompt N --output N --ttft S --tbt S]\n"
       "  serve:   [--model M --gpu G --load X --rate R --horizon S\n"
       "            --prefill-instances N --decode-instances N\n"
-      "            --prompt-sigma X --output-sigma X --seed N]\n"
+      "            --prompt-sigma X --output-sigma X --seed N --classes mix.json]\n"
       "  sweep:   [--model M --gpu G --loads lo:hi:step|a,b,c --rates lo:hi:step|a,b,c\n"
       "            --horizon S --prefill-instances N --decode-instances N\n"
-      "            --prompt-sigma X --output-sigma X --seed N]\n"
+      "            --prompt-sigma X --output-sigma X --seed N --classes mix.json]\n"
       "  design:  --model M [--hbm-cost X --price-multiplier X --amortization-years X]\n"
       "  mcsim:   [--gpu G --gpus-per-instance N --instances N --spares N\n"
       "            --years X --seed N --trials N]\n"
