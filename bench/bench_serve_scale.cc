@@ -12,10 +12,14 @@
 //      bit-identical; TBT percentiles within one histogram bin.
 //   3. A 20-point load sweep through the serve-sweep study, reported
 //      against the single old-path point for the perf trajectory.
+//   4. A non-stationary autoscaled point (on/off bursts + reactive
+//      policy): both paths must agree on the scale-event sequence and the
+//      instance-second integrals, covering the new event kinds the
+//      autoscaler adds to the loop.
 //
 // `--json` emits one JSON object (CI tees it into BENCH_serve_scale.json)
 // and the exit code gates regressions: nonzero when the inner-loop speedup
-// is not > 1 or the identity check fails.
+// is not > 1 or either identity check fails.
 
 #include <chrono>
 #include <cmath>
@@ -145,7 +149,44 @@ int main(int argc, char** argv) {
           ? static_cast<int>(std::get<ServeSweepReport>(sweep_report.payload).points.size())
           : 0;
 
-  bool pass = inner_speedup > 1.0 && identical && sweep_report.ok;
+  // --- 4. autoscaled non-stationary point, callback vs table ---------------
+  WorkloadSpec bursty = spec;
+  bursty.arrival_rate_per_s = 0.7 * decode.best.result.tokens_per_s /
+                              static_cast<double>(spec.median_output_tokens);
+  bursty.duration_s = 30.0;
+  bursty.arrival.kind = ArrivalKind::kOnOff;
+  bursty.arrival.on_mean_s = 6.0;
+  bursty.arrival.off_mean_s = 6.0;
+  bursty.arrival.on_multiplier = 2.0;
+  bursty.arrival.off_multiplier = 0.2;
+  std::vector<Request> bursty_requests = GenerateWorkload(bursty);
+  ServeClusterConfig scaled = cluster;
+  scaled.autoscaler.enabled = true;
+  scaled.autoscaler.interval_s = 2.0;
+  scaled.autoscaler.delay_s = 4.0;
+  scaled.autoscaler.prefill_tokens_per_s = prefill.best.result.tokens_per_s;
+  scaled.autoscaler.decode_tokens_per_s = decode.best.result.tokens_per_s;
+  ServeMetrics scaled_old = RunServeSimulation(bursty_requests, scaled, callbacks);
+  ServeMetrics scaled_fast = RunServeSimulation(bursty_requests, scaled, table);
+  bool scale_events_identical =
+      scaled_old.scale_events.size() == scaled_fast.scale_events.size();
+  for (size_t i = 0; scale_events_identical && i < scaled_old.scale_events.size(); ++i) {
+    const ScaleEvent& a = scaled_old.scale_events[i];
+    const ScaleEvent& b = scaled_fast.scale_events[i];
+    scale_events_identical = a.time_s == b.time_s && a.pool == b.pool &&
+                             a.delta == b.delta &&
+                             a.instances_after == b.instances_after &&
+                             a.reason == b.reason;
+  }
+  bool autoscale_identical =
+      scale_events_identical &&
+      scaled_old.prefill_instance_seconds == scaled_fast.prefill_instance_seconds &&
+      scaled_old.decode_instance_seconds == scaled_fast.decode_instance_seconds &&
+      scaled_old.peak_decode_instances == scaled_fast.peak_decode_instances &&
+      scaled_old.completed_requests == scaled_fast.completed_requests &&
+      scaled_old.decode_tokens_per_s == scaled_fast.decode_tokens_per_s;
+
+  bool pass = inner_speedup > 1.0 && identical && autoscale_identical && sweep_report.ok;
 
   if (json) {
     Json inner = Json::Object();
@@ -172,10 +213,17 @@ int main(int argc, char** argv) {
         .Set("wall_s", sweep_s)
         .Set("callback_single_point_s", old_sim_s)
         .Set("sweep_vs_callback_point", old_sim_s > 0.0 ? sweep_s / old_sim_s : 0.0);
+    Json autoscale = Json::Object();
+    autoscale.Set("scale_events", static_cast<int>(scaled_fast.scale_events.size()))
+        .Set("peak_decode_instances", scaled_fast.peak_decode_instances)
+        .Set("decode_instance_seconds", scaled_fast.decode_instance_seconds)
+        .Set("events_identical", scale_events_identical)
+        .Set("metrics_identical", autoscale_identical);
     Json j = Json::Object();
     j.Set("inner_loop", std::move(inner))
         .Set("full_sim", std::move(sim))
         .Set("sweep", std::move(sweep))
+        .Set("autoscale", std::move(autoscale))
         .Set("pass", pass);
     std::printf("%s\n", j.Dump().c_str());
   } else {
@@ -190,8 +238,12 @@ int main(int argc, char** argv) {
                 spec.duration_s, fast_path.tbt_s.count(), old_sim_s, fast_sim_s, sim_speedup,
                 identical ? "OK" : "FAILED");
     std::printf("serve-sweep study (%d points, %.0f s horizon each): %.3f s wall\n"
-                "  (one callback-path point at high load: %.3f s)\n",
+                "  (one callback-path point at high load: %.3f s)\n\n",
                 sweep_points, knobs.horizon_s, sweep_s, old_sim_s);
+    std::printf("autoscaled on/off point (%zu scale events, peak %d decode inst):\n"
+                "  callback-vs-table identity: %s (events, instance-seconds, goodput)\n",
+                scaled_fast.scale_events.size(), scaled_fast.peak_decode_instances,
+                autoscale_identical ? "OK" : "FAILED");
   }
   return pass ? 0 : 1;
 }

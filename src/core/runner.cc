@@ -209,21 +209,74 @@ MeanWorkload MeanWorkloadFor(const Scenario& s, const std::vector<RequestClass>&
   return MeanFromMix(s.workload, classes, SummarizeClassMix(classes));
 }
 
+// Builds the simulator's resolved autoscaler config from the scenario's
+// knobs plus the platform's analytic per-instance throughputs.
+ServeAutoscalerConfig MakeAutoscalerConfig(const AutoscalerKnobs& knobs,
+                                           const InstanceCapacity& capacity) {
+  ServeAutoscalerConfig config;
+  config.enabled = knobs.enabled();
+  config.predictive = knobs.policy == AutoscalerPolicy::kPredictive;
+  config.interval_s = knobs.interval_s;
+  config.delay_s = knobs.delay_s;
+  config.min_prefill_instances = knobs.min_prefill_instances;
+  config.max_prefill_instances = knobs.max_prefill_instances;
+  config.min_decode_instances = knobs.min_decode_instances;
+  config.max_decode_instances = knobs.max_decode_instances;
+  config.scale_up_backlog_s = knobs.scale_up_backlog_s;
+  config.scale_up_utilization = knobs.scale_up_utilization;
+  config.scale_down_utilization = knobs.scale_down_utilization;
+  config.forecast_window_s = knobs.forecast_window_s;
+  config.headroom = knobs.headroom;
+  config.prefill_tokens_per_s = capacity.prefill_tokens_per_s;
+  config.decode_tokens_per_s = capacity.decode_tokens_per_s;
+  return config;
+}
+
+// Global request-level TTFT SLO attainment: the fraction of completed
+// requests whose TTFT met their (per-class effective) SLO. The transient
+// counterpart of the p99 pass/fail — an autoscaled day can pass the
+// steady-state percentiles while a burst misses 10% of requests.
+double GlobalTtftAttainment(const ServeMetrics& metrics, const Scenario& s,
+                            const std::vector<RequestClass>& classes) {
+  size_t total = 0;
+  size_t within = 0;
+  if (classes.empty()) {
+    total = metrics.ttft_s.count();
+    for (double ttft : metrics.ttft_s.samples()) {
+      if (ttft <= s.workload.ttft_slo_s) {
+        ++within;
+      }
+    }
+  } else {
+    for (size_t c = 0; c < classes.size(); ++c) {
+      const ServeClassMetrics& cm = metrics.per_class[c];
+      double slo =
+          classes[c].ttft_slo_s > 0.0 ? classes[c].ttft_slo_s : s.workload.ttft_slo_s;
+      total += cm.ttft_s.count();
+      for (double ttft : cm.ttft_s.samples()) {
+        if (ttft <= slo) {
+          ++within;
+        }
+      }
+    }
+  }
+  return total > 0 ? static_cast<double>(within) / static_cast<double>(total) : 0.0;
+}
+
 // Simulates one offered-load point on the platform's step-time table: plan
 // the deployment (from the class-weighted mean workload), generate the
-// point's Poisson workload from its own seed — one substream per request
-// class — run the fast-path simulation, and summarize globally and per
-// class. The single shared body for the serve study and every point of a
-// sweep — a load simulated standalone and inside a sweep cannot drift
-// apart. `load` is left to the caller.
+// point's workload from its own seed — one substream per request class,
+// shaped by the scenario's arrival process — run the fast-path simulation
+// (with the autoscaler when the knobs enable one), and summarize globally
+// and per class. The single shared body for the serve study and every
+// point of a sweep — a load simulated standalone and inside a sweep cannot
+// drift apart. `load` is left to the caller; `seed` is the point's own
+// stream (a sweep derives one per point), not common.seed.
 ServeSweepReport::Point SimulateServePoint(const ServePlatform& platform,
                                            const Scenario& s,
-                                           const std::vector<RequestClass>& classes,
-                                           double arrival_rate_per_s, uint64_t seed,
-                                           double horizon_s, double prompt_sigma,
-                                           double output_sigma,
-                                           int requested_prefill_instances,
-                                           int requested_decode_instances) {
+                                           const ServeCommonKnobs& common,
+                                           double arrival_rate_per_s, uint64_t seed) {
+  const std::vector<RequestClass>& classes = common.classes;
   ServeSweepReport::Point p;
   p.arrival_rate_per_s = arrival_rate_per_s;
   p.seed = seed;
@@ -233,7 +286,22 @@ ServeSweepReport::Point SimulateServePoint(const ServePlatform& platform,
 
   ServeDeployment deployment = PlanServeDeployment(
       arrival_rate_per_s, mean.prompt_tokens, mean.output_tokens, platform.capacity,
-      requested_prefill_instances, requested_decode_instances);
+      common.prefill_instances, common.decode_instances);
+  if (common.autoscaler.enabled()) {
+    // The planned deployment is only the initial pool; clamp it into the
+    // policy's bounds and recompute the GPU count accordingly.
+    deployment.prefill_instances =
+        std::min(std::max(deployment.prefill_instances,
+                          common.autoscaler.min_prefill_instances),
+                 common.autoscaler.max_prefill_instances);
+    deployment.decode_instances =
+        std::min(std::max(deployment.decode_instances,
+                          common.autoscaler.min_decode_instances),
+                 common.autoscaler.max_decode_instances);
+    deployment.total_gpus =
+        deployment.prefill_instances * platform.capacity.prefill_gpus +
+        deployment.decode_instances * platform.capacity.decode_gpus;
+  }
   p.prefill_instances = deployment.prefill_instances;
   p.decode_instances = deployment.decode_instances;
   p.total_gpus = deployment.total_gpus;
@@ -242,17 +310,19 @@ ServeSweepReport::Point SimulateServePoint(const ServePlatform& platform,
   if (classes.empty()) {
     WorkloadSpec spec;
     spec.arrival_rate_per_s = arrival_rate_per_s;
-    spec.duration_s = horizon_s;
+    spec.duration_s = common.horizon_s;
     spec.median_prompt_tokens = s.workload.prompt_tokens;
-    spec.prompt_sigma = prompt_sigma;
+    spec.prompt_sigma = common.prompt_sigma;
     spec.median_output_tokens = s.workload.output_tokens;
-    spec.output_sigma = output_sigma;
+    spec.output_sigma = common.output_sigma;
     spec.seed = seed;
+    spec.arrival = common.arrival;
     requests = GenerateWorkload(spec);
   } else {
     MultiClassWorkloadSpec spec;
-    spec.duration_s = horizon_s;
+    spec.duration_s = common.horizon_s;
     spec.seed = seed;
+    spec.arrival = common.arrival;
     for (size_t c = 0; c < classes.size(); ++c) {
       ClassWorkload cls;
       cls.arrival_rate_per_s = arrival_rate_per_s * mix.shares[c];
@@ -268,9 +338,30 @@ ServeSweepReport::Point SimulateServePoint(const ServePlatform& platform,
   ServeClusterConfig cluster;
   cluster.prefill_instances = deployment.prefill_instances;
   cluster.decode_instances = deployment.decode_instances;
-  cluster.horizon_s = horizon_s;
+  cluster.horizon_s = common.horizon_s;
   cluster.num_classes = static_cast<int>(classes.size());
+  cluster.autoscaler = MakeAutoscalerConfig(common.autoscaler, platform.capacity);
   ServeMetrics metrics = RunServeSimulation(requests, cluster, platform.table);
+
+  if (common.autoscaler.enabled()) {
+    p.scale.enabled = true;
+    p.scale.policy = ToString(common.autoscaler.policy);
+    for (const ScaleEvent& event : metrics.scale_events) {
+      (event.delta > 0 ? p.scale.scale_ups : p.scale.scale_downs) += 1;
+    }
+    p.scale.prefill_instance_hours = metrics.prefill_instance_seconds / 3600.0;
+    p.scale.decode_instance_hours = metrics.decode_instance_seconds / 3600.0;
+    p.scale.gpu_hours =
+        (metrics.prefill_instance_seconds * platform.capacity.prefill_gpus +
+         metrics.decode_instance_seconds * platform.capacity.decode_gpus) /
+        3600.0;
+    p.scale.peak_prefill_instances = metrics.peak_prefill_instances;
+    p.scale.peak_decode_instances = metrics.peak_decode_instances;
+    p.scale.final_prefill_instances = metrics.final_prefill_instances;
+    p.scale.final_decode_instances = metrics.final_decode_instances;
+    p.scale.ttft_attainment = GlobalTtftAttainment(metrics, s, classes);
+    p.scale.events = metrics.scale_events;
+  }
 
   p.admitted_requests = metrics.admitted_requests;
   p.completed_requests = metrics.completed_requests;
@@ -369,17 +460,21 @@ ServeStudyReport RunServeStudy(const Scenario& s, std::string* error) {
   out.decode_instances = s.serve.decode_instances;
   // Offered load: explicit rate, or `load` x the decode pool's analytic
   // capacity converted to requests/s via the (class-weighted) mean output
-  // length.
-  out.arrival_rate_per_s =
-      s.serve.arrival_rate_per_s > 0.0
-          ? s.serve.arrival_rate_per_s
-          : s.serve.load * out.decode_capacity_tok_s * out.decode_instances /
-                MeanWorkloadFor(s, s.serve.classes).output_tokens;
+  // length. A trace replay's effective rate comes from the trace itself —
+  // arrivals over the horizon — so planning and reporting see the demand
+  // the replay actually offers.
+  if (s.serve.arrival_rate_per_s > 0.0) {
+    out.arrival_rate_per_s = s.serve.arrival_rate_per_s;
+  } else if (s.serve.arrival.kind == ArrivalKind::kTrace) {
+    out.arrival_rate_per_s = MeanTraceRatePerS(s.serve.arrival, s.serve.horizon_s);
+  } else {
+    out.arrival_rate_per_s = s.serve.load * out.decode_capacity_tok_s *
+                             out.decode_instances /
+                             MeanWorkloadFor(s, s.serve.classes).output_tokens;
+  }
 
-  ServeSweepReport::Point point = SimulateServePoint(
-      platform, s, s.serve.classes, out.arrival_rate_per_s, s.serve.seed,
-      s.serve.horizon_s, s.serve.prompt_sigma, s.serve.output_sigma,
-      s.serve.prefill_instances, s.serve.decode_instances);
+  ServeSweepReport::Point point =
+      SimulateServePoint(platform, s, s.serve, out.arrival_rate_per_s, s.serve.seed);
   out.analytic_tokens_per_s = point.analytic_tokens_per_s;
   out.prefill_instances = point.prefill_instances;
   out.total_gpus = point.total_gpus;
@@ -398,6 +493,7 @@ ServeStudyReport RunServeStudy(const Scenario& s, std::string* error) {
   out.decode_utilization = point.decode_utilization;
   out.mean_decode_batch = point.mean_decode_batch;
   out.makespan_s = point.makespan_s;
+  out.scale = std::move(point.scale);
   out.classes = std::move(point.classes);
   return out;
 }
@@ -453,10 +549,8 @@ ServeSweepReport RunServeSweepStudy(const Scenario& s, std::string* error) {
           load = value;
           rate = value * pool_capacity_tok_s / mean_output_tokens;
         }
-        ServeSweepReport::Point p = SimulateServePoint(
-            platform, s, s.sweep.classes, rate, seeds[static_cast<size_t>(i)],
-            s.sweep.horizon_s, s.sweep.prompt_sigma, s.sweep.output_sigma,
-            s.sweep.prefill_instances, s.sweep.decode_instances);
+        ServeSweepReport::Point p = SimulateServePoint(platform, s, s.sweep, rate,
+                                                       seeds[static_cast<size_t>(i)]);
         p.load = load;
         return p;
       });
@@ -473,6 +567,23 @@ ServeSweepReport RunServeSweepStudy(const Scenario& s, std::string* error) {
     const auto& knee = out.points[static_cast<size_t>(out.knee_index)];
     out.knee_load = knee.load;
     out.knee_goodput_tokens_per_s = knee.goodput_tokens_per_s;
+  }
+  if (s.sweep.autoscaler.enabled()) {
+    // With elastic pools the knee generalizes to cost: among SLO-meeting
+    // points, the one serving the most tokens per GPU-hour is the cheapest
+    // policy operating point over the horizon.
+    for (size_t i = 0; i < out.points.size(); ++i) {
+      const auto& p = out.points[i];
+      if (!p.slo_ok || p.scale.gpu_hours <= 0.0) {
+        continue;
+      }
+      double tokens_per_gpu_hour =
+          p.goodput_tokens_per_s * p.makespan_s / p.scale.gpu_hours;
+      if (out.cheapest_index < 0 || tokens_per_gpu_hour > out.cheapest_tokens_per_gpu_hour) {
+        out.cheapest_index = static_cast<int>(i);
+        out.cheapest_tokens_per_gpu_hour = tokens_per_gpu_hour;
+      }
+    }
   }
   return out;
 }
@@ -744,6 +855,57 @@ Json ClassReportsToJson(const std::vector<ServeClassReport>& classes) {
   return arr;
 }
 
+// Config-echo keys shared by the serve and sweep reports: the arrival
+// process when it is not the stationary Poisson default, the autoscaler
+// block when one is enabled. Gated so fixed-pool Poisson reports stay
+// byte-identical to the pre-autoscaler renderer.
+void EchoArrivalAndAutoscaler(Json& config, const ServeCommonKnobs& knobs) {
+  if (knobs.arrival.kind != ArrivalKind::kPoisson) {
+    config.Set("arrival", ArrivalProcessToJson(knobs.arrival));
+  }
+  if (knobs.autoscaler.enabled()) {
+    config.Set("autoscaler", AutoscalerKnobsToJson(knobs.autoscaler));
+  }
+}
+
+Json ScaleReportToJson(const ServeScaleReport& scale) {
+  Json events = Json::Array();
+  for (const ScaleEvent& e : scale.events) {
+    Json event = Json::Object();
+    event.Set("time_s", e.time_s)
+        .Set("pool", std::string(ToString(e.pool)))
+        .Set("delta", e.delta)
+        .Set("instances_after", e.instances_after)
+        .Set("reason", e.reason);
+    events.Append(std::move(event));
+  }
+  Json j = Json::Object();
+  j.Set("policy", scale.policy)
+      .Set("scale_ups", scale.scale_ups)
+      .Set("scale_downs", scale.scale_downs)
+      .Set("prefill_instance_hours", scale.prefill_instance_hours)
+      .Set("decode_instance_hours", scale.decode_instance_hours)
+      .Set("gpu_hours", scale.gpu_hours)
+      .Set("peak_prefill_instances", scale.peak_prefill_instances)
+      .Set("peak_decode_instances", scale.peak_decode_instances)
+      .Set("final_prefill_instances", scale.final_prefill_instances)
+      .Set("final_decode_instances", scale.final_decode_instances)
+      .Set("ttft_attainment", scale.ttft_attainment)
+      .Set("events", std::move(events));
+  return j;
+}
+
+std::string ScaleSummaryToText(const ServeScaleReport& scale) {
+  std::ostringstream os;
+  os << "autoscaler (" << scale.policy << "): " << scale.scale_ups << " up / "
+     << scale.scale_downs << " down, peak " << scale.peak_prefill_instances << "p+"
+     << scale.peak_decode_instances << "d, final " << scale.final_prefill_instances
+     << "p+" << scale.final_decode_instances << "d, "
+     << FormatDouble(scale.gpu_hours, 3) << " GPU-hours, TTFT attainment "
+     << HumanPercent(scale.ttft_attainment, 1) << "\n";
+  return os.str();
+}
+
 std::string ServeStudyToText(const ServeStudyReport& r) {
   std::ostringstream os;
   os << "Serving simulation: " << r.model << " on " << r.gpu << "\n"
@@ -769,6 +931,9 @@ std::string ServeStudyToText(const ServeStudyReport& r) {
                     FormatDouble(r.decode_utilization, 2),
                 FormatDouble(r.mean_decode_batch, 0)});
   os << table.ToText();
+  if (r.scale.enabled) {
+    os << ScaleSummaryToText(r.scale);
+  }
   if (!r.classes.empty()) {
     os << "per-class (" << r.classes.size() << " request classes):\n"
        << ClassTableToText(r.classes);
@@ -784,6 +949,7 @@ Json ServeStudyToJson(const ServeStudyReport& r) {
       .Set("prompt_sigma", r.knobs.prompt_sigma)
       .Set("output_sigma", r.knobs.output_sigma)
       .Set("seed", r.knobs.seed);
+  EchoArrivalAndAutoscaler(config, r.knobs);
   if (!r.knobs.classes.empty()) {
     config.Set("classes", RequestClassesToJson(r.knobs.classes));
   }
@@ -822,6 +988,9 @@ Json ServeStudyToJson(const ServeStudyReport& r) {
       .Set("analytic_tokens_per_s", r.analytic_tokens_per_s)
       .Set("capacity_agreement", r.capacity_agreement)
       .Set("makespan_s", r.makespan_s);
+  if (r.scale.enabled) {
+    j.Set("autoscaler", ScaleReportToJson(r.scale));
+  }
   if (!r.classes.empty()) {
     j.Set("classes", ClassReportsToJson(r.classes));
   }
@@ -869,6 +1038,17 @@ std::string ServeSweepToText(const ServeSweepReport& r) {
     os << (multi_class ? "knee: no load point lets every class meet its SLOs\n"
                        : "knee: no load point meets the SLOs\n");
   }
+  if (r.knobs.autoscaler.enabled()) {
+    if (r.cheapest_index >= 0) {
+      const auto& cheapest = r.points[static_cast<size_t>(r.cheapest_index)];
+      os << "cheapest: " << HumanPercent(cheapest.load, 0) << " load ("
+         << FormatDouble(r.cheapest_tokens_per_gpu_hour, 0)
+         << " tok/GPU-hour) — cheapest autoscaled point meeting the SLOs\n";
+      os << ScaleSummaryToText(cheapest.scale);
+    } else {
+      os << "cheapest: no autoscaled point meets the SLOs\n";
+    }
+  }
   return os.str();
 }
 
@@ -895,6 +1075,7 @@ Json ServeSweepToJson(const ServeSweepReport& r) {
       .Set("prompt_sigma", r.knobs.prompt_sigma)
       .Set("output_sigma", r.knobs.output_sigma)
       .Set("seed", r.knobs.seed);
+  EchoArrivalAndAutoscaler(config, r.knobs);
   if (!r.knobs.classes.empty()) {
     config.Set("classes", RequestClassesToJson(r.knobs.classes));
   }
@@ -937,6 +1118,9 @@ Json ServeSweepToJson(const ServeSweepReport& r) {
         .Set("mean_decode_batch", p.mean_decode_batch)
         .Set("makespan_s", p.makespan_s)
         .Set("slo_ok", p.slo_ok);
+    if (p.scale.enabled) {
+      point.Set("autoscaler", ScaleReportToJson(p.scale));
+    }
     if (!p.classes.empty()) {
       point.Set("classes", ClassReportsToJson(p.classes));
     }
@@ -956,6 +1140,17 @@ Json ServeSweepToJson(const ServeSweepReport& r) {
       .Set("slo", std::move(slo))
       .Set("points", std::move(points))
       .Set("knee", std::move(knee));
+  if (r.knobs.autoscaler.enabled()) {
+    Json cheapest = Json::Object();
+    cheapest.Set("found", r.cheapest_index >= 0)
+        .Set("index", r.cheapest_index)
+        .Set("load",
+             r.cheapest_index >= 0
+                 ? r.points[static_cast<size_t>(r.cheapest_index)].load
+                 : 0.0)
+        .Set("tokens_per_gpu_hour", r.cheapest_tokens_per_gpu_hour);
+    j.Set("cheapest", std::move(cheapest));
+  }
   return j;
 }
 

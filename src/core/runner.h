@@ -16,6 +16,7 @@
 #include "src/core/search.h"
 #include "src/hw/lite_derive.h"
 #include "src/reliability/mc_sim.h"
+#include "src/serve/simulator.h"
 #include "src/util/exec_policy.h"
 #include "src/util/json.h"
 
@@ -92,6 +93,28 @@ struct ServeClassReport {
   bool slo_ok = false;  // completed > 0 && ttft_p99 <= slo && tbt_p99 <= slo
 };
 
+// Autoscaler outcome of one simulated serve point, filled only when the
+// scenario's autoscaler block is enabled (reports without one are
+// byte-identical to the fixed-pool reports). Instance-hours integrate each
+// instance's provisioned lifetime — the cost side of "cheapest policy
+// meeting the SLOs" — and ttft_attainment is the global request-level SLO
+// attainment through the transients (per-class SLOs in a mix).
+struct ServeScaleReport {
+  bool enabled = false;
+  std::string policy;  // "reactive" | "predictive"
+  int scale_ups = 0;
+  int scale_downs = 0;
+  double prefill_instance_hours = 0.0;
+  double decode_instance_hours = 0.0;
+  double gpu_hours = 0.0;  // instance-hours weighted by GPUs per instance
+  int peak_prefill_instances = 0;
+  int peak_decode_instances = 0;
+  int final_prefill_instances = 0;
+  int final_decode_instances = 0;
+  double ttft_attainment = 0.0;
+  std::vector<ScaleEvent> events;  // in the order they took effect
+};
+
 // End-to-end serving study: the PerfModel-backed discrete-event simulation
 // of the searched best prefill/decode configurations, with the analytic
 // capacity cross-check the paper's claim rests on.
@@ -127,6 +150,8 @@ struct ServeStudyReport {
   double decode_utilization = 0.0;
   double mean_decode_batch = 0.0;
   double makespan_s = 0.0;
+  // Autoscaler outcome (scale.enabled false for fixed-pool runs).
+  ServeScaleReport scale;
   // One entry per declared request class (empty in single-class mode).
   std::vector<ServeClassReport> classes;
 };
@@ -175,6 +200,8 @@ struct ServeSweepReport {
     // Single-class: ttft_p99 <= ttft_slo && tbt_p99 <= tbt_slo. With a
     // class mix: EVERY class meets its own (possibly inherited) SLOs.
     bool slo_ok = false;
+    // Autoscaler outcome (scale.enabled false for fixed-pool runs).
+    ServeScaleReport scale;
     // One entry per declared request class (empty in single-class mode).
     std::vector<ServeClassReport> classes;
   };
@@ -186,6 +213,12 @@ struct ServeSweepReport {
   int knee_index = -1;
   double knee_load = 0.0;
   double knee_goodput_tokens_per_s = 0.0;
+
+  // With the autoscaler enabled the knee generalizes to cost: the cheapest
+  // SLO-meeting point, judged by served tokens per GPU-hour (-1 when no
+  // point meets the SLOs). Only computed for autoscaled sweeps.
+  int cheapest_index = -1;
+  double cheapest_tokens_per_gpu_hour = 0.0;
 };
 
 // --- the uniform result -----------------------------------------------------

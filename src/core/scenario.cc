@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/hw/catalog.h"
+#include "src/util/flags.h"
 
 namespace litegpu {
 
@@ -37,6 +38,52 @@ std::optional<StudyKind> ParseStudyKind(const std::string& name) {
                          StudyKind::kDerive, StudyKind::kServe, StudyKind::kServeSweep}) {
     if (name == ToString(kind)) {
       return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string ToString(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kDiurnal:
+      return "diurnal";
+    case ArrivalKind::kOnOff:
+      return "onoff";
+    case ArrivalKind::kTrace:
+      return "trace";
+  }
+  return "unknown";
+}
+
+std::optional<ArrivalKind> ParseArrivalKind(const std::string& name) {
+  for (ArrivalKind kind : {ArrivalKind::kPoisson, ArrivalKind::kDiurnal,
+                           ArrivalKind::kOnOff, ArrivalKind::kTrace}) {
+    if (name == ToString(kind)) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string ToString(AutoscalerPolicy policy) {
+  switch (policy) {
+    case AutoscalerPolicy::kNone:
+      return "none";
+    case AutoscalerPolicy::kReactive:
+      return "reactive";
+    case AutoscalerPolicy::kPredictive:
+      return "predictive";
+  }
+  return "unknown";
+}
+
+std::optional<AutoscalerPolicy> ParseAutoscalerPolicy(const std::string& name) {
+  for (AutoscalerPolicy policy : {AutoscalerPolicy::kNone, AutoscalerPolicy::kReactive,
+                                  AutoscalerPolicy::kPredictive}) {
+    if (name == ToString(policy)) {
+      return policy;
     }
   }
   return std::nullopt;
@@ -135,6 +182,138 @@ std::string ValidateRequestClasses(const std::vector<RequestClass>& classes,
   }
   return "";
 }
+
+std::string ValidateArrivalProcess(const ArrivalProcess& process, const std::string& where) {
+  const std::string& label = where;
+  switch (process.kind) {
+    case ArrivalKind::kPoisson:
+      return "";
+    case ArrivalKind::kDiurnal: {
+      if (process.multipliers.empty()) {
+        return label + ".multipliers must be a non-empty rate curve";
+      }
+      double peak = 0.0;
+      for (double m : process.multipliers) {
+        if (!(m >= 0.0) || !std::isfinite(m)) {
+          return label + ".multipliers must be >= 0 and finite";
+        }
+        peak = std::max(peak, m);
+      }
+      if (peak <= 0.0) {
+        return label + ".multipliers must contain at least one positive point";
+      }
+      if (process.period_s < 0.0 || !std::isfinite(process.period_s)) {
+        return label + ".period_s must be >= 0 (0 = one period per horizon) and finite";
+      }
+      return "";
+    }
+    case ArrivalKind::kOnOff: {
+      if (!(process.on_mean_s > 0.0) || !std::isfinite(process.on_mean_s) ||
+          !(process.off_mean_s > 0.0) || !std::isfinite(process.off_mean_s)) {
+        return label + " phase means (on_mean_s/off_mean_s) must be positive and finite";
+      }
+      if (!(process.on_multiplier >= 0.0) || !std::isfinite(process.on_multiplier) ||
+          !(process.off_multiplier >= 0.0) || !std::isfinite(process.off_multiplier)) {
+        return label + " phase multipliers must be >= 0 and finite";
+      }
+      if (process.on_multiplier <= 0.0 && process.off_multiplier <= 0.0) {
+        return label + " needs a positive on_multiplier or off_multiplier";
+      }
+      return "";
+    }
+    case ArrivalKind::kTrace: {
+      if (process.times_s.empty()) {
+        return label + ".times_s must be a non-empty ascending list of arrival times";
+      }
+      double prev = 0.0;
+      for (double t : process.times_s) {
+        if (!(t >= 0.0) || !std::isfinite(t)) {
+          return label + ".times_s must be >= 0 and finite";
+        }
+        if (t < prev) {
+          return label + ".times_s must be ascending";
+        }
+        prev = t;
+      }
+      return "";
+    }
+  }
+  return "";
+}
+
+std::string ValidateAutoscalerKnobs(const AutoscalerKnobs& knobs, const std::string& where) {
+  if (!knobs.enabled()) {
+    return "";
+  }
+  const std::string& label = where;
+  if (!(knobs.interval_s > 0.0) || !std::isfinite(knobs.interval_s)) {
+    return label + ".interval_s must be positive and finite";
+  }
+  if (knobs.delay_s < 0.0 || !std::isfinite(knobs.delay_s)) {
+    return label + ".delay_s must be >= 0 and finite";
+  }
+  if (knobs.min_prefill_instances < 1 || knobs.min_decode_instances < 1) {
+    return label + " min instance counts must be >= 1";
+  }
+  if (knobs.max_prefill_instances < knobs.min_prefill_instances ||
+      knobs.max_decode_instances < knobs.min_decode_instances) {
+    return label + " instance bounds need max >= min";
+  }
+  if (!(knobs.scale_up_backlog_s > 0.0) || !std::isfinite(knobs.scale_up_backlog_s)) {
+    return label + ".scale_up_backlog_s must be positive and finite";
+  }
+  if (!(knobs.scale_up_utilization > 0.0) || !std::isfinite(knobs.scale_up_utilization)) {
+    return label + ".scale_up_utilization must be positive and finite";
+  }
+  if (knobs.scale_down_utilization < 0.0 || !std::isfinite(knobs.scale_down_utilization)) {
+    return label + ".scale_down_utilization must be >= 0 and finite";
+  }
+  if (knobs.scale_down_utilization >= knobs.scale_up_utilization) {
+    return label + ".scale_down_utilization must be below scale_up_utilization";
+  }
+  if (!(knobs.forecast_window_s > 0.0) || !std::isfinite(knobs.forecast_window_s)) {
+    return label + ".forecast_window_s must be positive and finite";
+  }
+  if (!(knobs.headroom > 0.0) || !std::isfinite(knobs.headroom)) {
+    return label + ".headroom must be positive and finite";
+  }
+  return "";
+}
+
+namespace {
+
+// The per-point knobs shared by the serve and sweep blocks validate once,
+// here — `where` picks the block name in messages, keeping them identical
+// to the pre-unification wording.
+std::string ValidateServeCommonKnobs(const ServeCommonKnobs& knobs,
+                                     const std::string& where) {
+  // NaN fails the > comparison, so non-finite horizons are rejected too
+  // (a NaN/inf horizon would spin the workload generator forever).
+  if (!(knobs.horizon_s > 0.0) || !std::isfinite(knobs.horizon_s)) {
+    return where + ".horizon_s must be positive and finite";
+  }
+  if (knobs.prefill_instances < 0) {
+    return where + ".prefill_instances must be >= 0 (0 = auto-size)";
+  }
+  if (knobs.decode_instances < 1) {
+    return where + ".decode_instances must be >= 1";
+  }
+  if (knobs.prompt_sigma < 0.0 || knobs.output_sigma < 0.0) {
+    return where + " length sigmas must be >= 0";
+  }
+  if (std::string problem = ValidateArrivalProcess(knobs.arrival, where + ".arrival");
+      !problem.empty()) {
+    return problem;
+  }
+  if (std::string problem =
+          ValidateAutoscalerKnobs(knobs.autoscaler, where + ".autoscaler");
+      !problem.empty()) {
+    return problem;
+  }
+  return ValidateRequestClasses(knobs.classes, where);
+}
+
+}  // namespace
 
 std::vector<double> ServeSweepKnobs::GridPoints() const {
   if (!rates.empty()) {
@@ -310,7 +489,9 @@ std::string Scenario::Validate() const {
         return "study 'serve' simulates exactly one GPU type (got " +
                std::to_string(ResolvedGpus().size()) + ")";
       }
-      if (serve.load <= 0.0 && serve.arrival_rate_per_s <= 0.0) {
+      if (serve.load <= 0.0 && serve.arrival_rate_per_s <= 0.0 &&
+          serve.arrival.kind != ArrivalKind::kTrace) {
+        // A trace needs neither: the recorded times fix the offered rate.
         return "serve needs a positive load fraction or arrival_rate_per_s";
       }
       if (serve.arrival_rate_per_s < 0.0) {
@@ -319,21 +500,7 @@ std::string Scenario::Validate() const {
       if (!std::isfinite(serve.load) || !std::isfinite(serve.arrival_rate_per_s)) {
         return "serve load/arrival_rate_per_s must be finite";
       }
-      // NaN fails the > comparison, so non-finite horizons are rejected too
-      // (a NaN/inf horizon would spin the workload generator forever).
-      if (!(serve.horizon_s > 0.0) || !std::isfinite(serve.horizon_s)) {
-        return "serve.horizon_s must be positive and finite";
-      }
-      if (serve.prefill_instances < 0) {
-        return "serve.prefill_instances must be >= 0 (0 = auto-size)";
-      }
-      if (serve.decode_instances < 1) {
-        return "serve.decode_instances must be >= 1";
-      }
-      if (serve.prompt_sigma < 0.0 || serve.output_sigma < 0.0) {
-        return "serve length sigmas must be >= 0";
-      }
-      if (std::string problem = ValidateRequestClasses(serve.classes, "serve");
+      if (std::string problem = ValidateServeCommonKnobs(serve, "serve");
           !problem.empty()) {
         return problem;
       }
@@ -360,19 +527,11 @@ std::string Scenario::Validate() const {
           return "sweep grid points must be positive and finite";
         }
       }
-      if (!(sweep.horizon_s > 0.0) || !std::isfinite(sweep.horizon_s)) {
-        return "sweep.horizon_s must be positive and finite";
+      if (sweep.arrival.kind == ArrivalKind::kTrace) {
+        // The trace fixes the offered rate, so there is nothing to sweep.
+        return "sweep.arrival.kind 'trace' is not supported (use study 'serve')";
       }
-      if (sweep.prefill_instances < 0) {
-        return "sweep.prefill_instances must be >= 0 (0 = auto-size)";
-      }
-      if (sweep.decode_instances < 1) {
-        return "sweep.decode_instances must be >= 1";
-      }
-      if (sweep.prompt_sigma < 0.0 || sweep.output_sigma < 0.0) {
-        return "sweep length sigmas must be >= 0";
-      }
-      if (std::string problem = ValidateRequestClasses(sweep.classes, "sweep");
+      if (std::string problem = ValidateServeCommonKnobs(sweep, "sweep");
           !problem.empty()) {
         return problem;
       }
@@ -405,6 +564,82 @@ Json RequestClassesToJson(const std::vector<RequestClass>& classes) {
   }
   return arr;
 }
+
+Json ArrivalProcessToJson(const ArrivalProcess& process) {
+  Json j = Json::Object();
+  j.Set("kind", ToString(process.kind));
+  switch (process.kind) {
+    case ArrivalKind::kPoisson:
+      break;
+    case ArrivalKind::kDiurnal: {
+      j.Set("period_s", process.period_s);
+      Json arr = Json::Array();
+      for (double m : process.multipliers) {
+        arr.Append(m);
+      }
+      j.Set("multipliers", std::move(arr));
+      break;
+    }
+    case ArrivalKind::kOnOff:
+      j.Set("on_mean_s", process.on_mean_s)
+          .Set("off_mean_s", process.off_mean_s)
+          .Set("on_multiplier", process.on_multiplier)
+          .Set("off_multiplier", process.off_multiplier);
+      break;
+    case ArrivalKind::kTrace: {
+      Json arr = Json::Array();
+      for (double t : process.times_s) {
+        arr.Append(t);
+      }
+      j.Set("times_s", std::move(arr));
+      break;
+    }
+  }
+  return j;
+}
+
+Json AutoscalerKnobsToJson(const AutoscalerKnobs& knobs) {
+  Json j = Json::Object();
+  j.Set("policy", ToString(knobs.policy))
+      .Set("interval_s", knobs.interval_s)
+      .Set("delay_s", knobs.delay_s)
+      .Set("min_prefill_instances", knobs.min_prefill_instances)
+      .Set("max_prefill_instances", knobs.max_prefill_instances)
+      .Set("min_decode_instances", knobs.min_decode_instances)
+      .Set("max_decode_instances", knobs.max_decode_instances)
+      .Set("scale_up_backlog_s", knobs.scale_up_backlog_s)
+      .Set("scale_up_utilization", knobs.scale_up_utilization)
+      .Set("scale_down_utilization", knobs.scale_down_utilization)
+      .Set("forecast_window_s", knobs.forecast_window_s)
+      .Set("headroom", knobs.headroom);
+  return j;
+}
+
+namespace {
+
+// The shared tail of the serve/sweep blocks. Key order matches the
+// pre-unification writers exactly; the new `arrival`/`autoscaler` keys are
+// emitted only when non-default, so pre-existing scenarios (and report
+// config echoes) serialize byte-identically.
+void WriteServeCommonKnobs(Json& block, const ServeCommonKnobs& knobs) {
+  block.Set("horizon_s", knobs.horizon_s)
+      .Set("prefill_instances", knobs.prefill_instances)
+      .Set("decode_instances", knobs.decode_instances)
+      .Set("prompt_sigma", knobs.prompt_sigma)
+      .Set("output_sigma", knobs.output_sigma)
+      .Set("seed", knobs.seed);
+  if (knobs.arrival.kind != ArrivalKind::kPoisson) {
+    block.Set("arrival", ArrivalProcessToJson(knobs.arrival));
+  }
+  if (knobs.autoscaler.enabled()) {
+    block.Set("autoscaler", AutoscalerKnobsToJson(knobs.autoscaler));
+  }
+  if (!knobs.classes.empty()) {
+    block.Set("classes", RequestClassesToJson(knobs.classes));
+  }
+}
+
+}  // namespace
 
 Json ScenarioToJson(const Scenario& s) {
   Json j = Json::Object();
@@ -481,16 +716,8 @@ Json ScenarioToJson(const Scenario& s) {
     case StudyKind::kServe: {
       Json serve = Json::Object();
       serve.Set("load", s.serve.load)
-          .Set("arrival_rate_per_s", s.serve.arrival_rate_per_s)
-          .Set("horizon_s", s.serve.horizon_s)
-          .Set("prefill_instances", s.serve.prefill_instances)
-          .Set("decode_instances", s.serve.decode_instances)
-          .Set("prompt_sigma", s.serve.prompt_sigma)
-          .Set("output_sigma", s.serve.output_sigma)
-          .Set("seed", s.serve.seed);
-      if (!s.serve.classes.empty()) {
-        serve.Set("classes", RequestClassesToJson(s.serve.classes));
-      }
+          .Set("arrival_rate_per_s", s.serve.arrival_rate_per_s);
+      WriteServeCommonKnobs(serve, s.serve);
       j.Set("serve", std::move(serve));
       break;
     }
@@ -512,16 +739,8 @@ Json ScenarioToJson(const Scenario& s) {
       }
       sweep.Set("load_lo", s.sweep.load_lo)
           .Set("load_hi", s.sweep.load_hi)
-          .Set("load_step", s.sweep.load_step)
-          .Set("horizon_s", s.sweep.horizon_s)
-          .Set("prefill_instances", s.sweep.prefill_instances)
-          .Set("decode_instances", s.sweep.decode_instances)
-          .Set("prompt_sigma", s.sweep.prompt_sigma)
-          .Set("output_sigma", s.sweep.output_sigma)
-          .Set("seed", s.sweep.seed);
-      if (!s.sweep.classes.empty()) {
-        sweep.Set("classes", RequestClassesToJson(s.sweep.classes));
-      }
+          .Set("load_step", s.sweep.load_step);
+      WriteServeCommonKnobs(sweep, s.sweep);
       j.Set("sweep", std::move(sweep));
       break;
     }
@@ -691,6 +910,152 @@ bool ReadClasses(const Json& obj, const std::string& where,
     return TypeError("classes", where, "an array of class objects", error);
   }
   return ReadClassList(*arr, where, out, error);
+}
+
+// Strict reader for an arrival-process object: a tagged union on `kind`.
+// Each kind accepts only its own keys, and an unknown kind fails with a
+// did-you-mean hint (same contract as unknown CLI flags). `label` names
+// the block in messages ("serve.arrival", "arrival file", ...).
+bool ReadArrivalObject(const Json& obj, const std::string& label, ArrivalProcess& out,
+                       std::string* error) {
+  if (!obj.is_object()) {
+    if (error != nullptr) {
+      *error = label + " must be an object";
+    }
+    return false;
+  }
+  std::string kind_name = ToString(ArrivalKind::kPoisson);  // omitted = stationary
+  if (!ReadString(obj, "kind", label, kind_name, error)) {
+    return false;
+  }
+  auto kind = ParseArrivalKind(kind_name);
+  if (!kind) {
+    if (error != nullptr) {
+      *error = "unknown arrival kind '" + kind_name +
+               "' in " + label + " (expected poisson|diurnal|onoff|trace";
+      std::string best =
+          ClosestCandidate(kind_name, {"poisson", "diurnal", "onoff", "trace"});
+      if (!best.empty()) {
+        *error += "; did you mean '" + best + "'?";
+      }
+      *error += ")";
+    }
+    return false;
+  }
+  out.kind = *kind;
+  switch (out.kind) {
+    case ArrivalKind::kPoisson:
+      return CheckKeys(obj, {"kind"}, label, error);
+    case ArrivalKind::kDiurnal:
+      return CheckKeys(obj, {"kind", "period_s", "multipliers"}, label, error) &&
+             ReadDouble(obj, "period_s", label, out.period_s, error) &&
+             ReadDoubleList(obj, "multipliers", label, out.multipliers, error);
+    case ArrivalKind::kOnOff:
+      return CheckKeys(obj,
+                       {"kind", "on_mean_s", "off_mean_s", "on_multiplier",
+                        "off_multiplier"},
+                       label, error) &&
+             ReadDouble(obj, "on_mean_s", label, out.on_mean_s, error) &&
+             ReadDouble(obj, "off_mean_s", label, out.off_mean_s, error) &&
+             ReadDouble(obj, "on_multiplier", label, out.on_multiplier, error) &&
+             ReadDouble(obj, "off_multiplier", label, out.off_multiplier, error);
+    case ArrivalKind::kTrace:
+      return CheckKeys(obj, {"kind", "times_s"}, label, error) &&
+             ReadDoubleList(obj, "times_s", label, out.times_s, error);
+  }
+  return true;
+}
+
+// Strict reader for an autoscaler object. An unknown policy gets the same
+// did-you-mean treatment as arrival kinds.
+bool ReadAutoscalerObject(const Json& obj, const std::string& label, AutoscalerKnobs& out,
+                          std::string* error) {
+  if (!obj.is_object()) {
+    if (error != nullptr) {
+      *error = label + " must be an object";
+    }
+    return false;
+  }
+  if (!CheckKeys(obj,
+                 {"policy", "interval_s", "delay_s", "min_prefill_instances",
+                  "max_prefill_instances", "min_decode_instances",
+                  "max_decode_instances", "scale_up_backlog_s", "scale_up_utilization",
+                  "scale_down_utilization", "forecast_window_s", "headroom"},
+                 label, error)) {
+    return false;
+  }
+  // Writing an autoscaler block at all means you want one: the policy
+  // defaults to reactive here (an explicit "none" still turns it off).
+  std::string policy_name = ToString(AutoscalerPolicy::kReactive);
+  if (!ReadString(obj, "policy", label, policy_name, error)) {
+    return false;
+  }
+  auto policy = ParseAutoscalerPolicy(policy_name);
+  if (!policy) {
+    if (error != nullptr) {
+      *error = "unknown autoscaler policy '" + policy_name +
+               "' in " + label + " (expected none|reactive|predictive";
+      std::string best =
+          ClosestCandidate(policy_name, {"none", "reactive", "predictive"});
+      if (!best.empty()) {
+        *error += "; did you mean '" + best + "'?";
+      }
+      *error += ")";
+    }
+    return false;
+  }
+  out.policy = *policy;
+  return ReadDouble(obj, "interval_s", label, out.interval_s, error) &&
+         ReadDouble(obj, "delay_s", label, out.delay_s, error) &&
+         ReadInt(obj, "min_prefill_instances", label, out.min_prefill_instances, error) &&
+         ReadInt(obj, "max_prefill_instances", label, out.max_prefill_instances, error) &&
+         ReadInt(obj, "min_decode_instances", label, out.min_decode_instances, error) &&
+         ReadInt(obj, "max_decode_instances", label, out.max_decode_instances, error) &&
+         ReadDouble(obj, "scale_up_backlog_s", label, out.scale_up_backlog_s, error) &&
+         ReadDouble(obj, "scale_up_utilization", label, out.scale_up_utilization,
+                    error) &&
+         ReadDouble(obj, "scale_down_utilization", label, out.scale_down_utilization,
+                    error) &&
+         ReadDouble(obj, "forecast_window_s", label, out.forecast_window_s, error) &&
+         ReadDouble(obj, "headroom", label, out.headroom, error);
+}
+
+// The keys ReadServeCommonKnobs consumes; the serve/sweep CheckKeys lists
+// are built from this so the two blocks can't drift.
+std::vector<std::string> ServeCommonKeys(std::vector<std::string> own) {
+  for (const char* key : {"horizon_s", "prefill_instances", "decode_instances",
+                          "prompt_sigma", "output_sigma", "seed", "arrival",
+                          "autoscaler", "classes"}) {
+    own.push_back(key);
+  }
+  return own;
+}
+
+// The one strict reader for the per-point knobs shared by the serve and
+// sweep blocks. Absent keys keep their defaults (stationary Poisson, no
+// autoscaler), so pre-existing scenario files parse unchanged.
+bool ReadServeCommonKnobs(const Json& obj, const std::string& where,
+                          ServeCommonKnobs& out, std::string* error) {
+  if (!ReadDouble(obj, "horizon_s", where, out.horizon_s, error) ||
+      !ReadInt(obj, "prefill_instances", where, out.prefill_instances, error) ||
+      !ReadInt(obj, "decode_instances", where, out.decode_instances, error) ||
+      !ReadDouble(obj, "prompt_sigma", where, out.prompt_sigma, error) ||
+      !ReadDouble(obj, "output_sigma", where, out.output_sigma, error) ||
+      !ReadUint64(obj, "seed", where, out.seed, error)) {
+    return false;
+  }
+  if (const Json* arrival = obj.Find("arrival")) {
+    if (!ReadArrivalObject(*arrival, where + ".arrival", out.arrival, error)) {
+      return false;
+    }
+  }
+  if (const Json* autoscaler = obj.Find("autoscaler")) {
+    if (!ReadAutoscalerObject(*autoscaler, where + ".autoscaler", out.autoscaler,
+                              error)) {
+      return false;
+    }
+  }
+  return ReadClasses(obj, where, out.classes, error);
 }
 
 bool ReadNames(const Json& obj, const std::string& key, std::vector<std::string>& out,
@@ -863,42 +1228,26 @@ std::optional<Scenario> ScenarioFromJson(const Json& json, std::string* error) {
   }
 
   if (const Json* serve = json.Find("serve")) {
-    if (!CheckKeys(*serve,
-                   {"load", "arrival_rate_per_s", "horizon_s", "prefill_instances",
-                    "decode_instances", "prompt_sigma", "output_sigma", "seed", "classes"},
-                   "serve", error) ||
+    if (!CheckKeys(*serve, ServeCommonKeys({"load", "arrival_rate_per_s"}), "serve",
+                   error) ||
         !ReadDouble(*serve, "load", "serve", s.serve.load, error) ||
         !ReadDouble(*serve, "arrival_rate_per_s", "serve", s.serve.arrival_rate_per_s,
                     error) ||
-        !ReadDouble(*serve, "horizon_s", "serve", s.serve.horizon_s, error) ||
-        !ReadInt(*serve, "prefill_instances", "serve", s.serve.prefill_instances, error) ||
-        !ReadInt(*serve, "decode_instances", "serve", s.serve.decode_instances, error) ||
-        !ReadDouble(*serve, "prompt_sigma", "serve", s.serve.prompt_sigma, error) ||
-        !ReadDouble(*serve, "output_sigma", "serve", s.serve.output_sigma, error) ||
-        !ReadUint64(*serve, "seed", "serve", s.serve.seed, error) ||
-        !ReadClasses(*serve, "serve", s.serve.classes, error)) {
+        !ReadServeCommonKnobs(*serve, "serve", s.serve, error)) {
       return std::nullopt;
     }
   }
 
   if (const Json* sweep = json.Find("sweep")) {
     if (!CheckKeys(*sweep,
-                   {"loads", "rates", "load_lo", "load_hi", "load_step", "horizon_s",
-                    "prefill_instances", "decode_instances", "prompt_sigma",
-                    "output_sigma", "seed", "classes"},
+                   ServeCommonKeys({"loads", "rates", "load_lo", "load_hi", "load_step"}),
                    "sweep", error) ||
         !ReadDoubleList(*sweep, "loads", "sweep", s.sweep.loads, error) ||
         !ReadDoubleList(*sweep, "rates", "sweep", s.sweep.rates, error) ||
         !ReadDouble(*sweep, "load_lo", "sweep", s.sweep.load_lo, error) ||
         !ReadDouble(*sweep, "load_hi", "sweep", s.sweep.load_hi, error) ||
         !ReadDouble(*sweep, "load_step", "sweep", s.sweep.load_step, error) ||
-        !ReadDouble(*sweep, "horizon_s", "sweep", s.sweep.horizon_s, error) ||
-        !ReadInt(*sweep, "prefill_instances", "sweep", s.sweep.prefill_instances, error) ||
-        !ReadInt(*sweep, "decode_instances", "sweep", s.sweep.decode_instances, error) ||
-        !ReadDouble(*sweep, "prompt_sigma", "sweep", s.sweep.prompt_sigma, error) ||
-        !ReadDouble(*sweep, "output_sigma", "sweep", s.sweep.output_sigma, error) ||
-        !ReadUint64(*sweep, "seed", "sweep", s.sweep.seed, error) ||
-        !ReadClasses(*sweep, "sweep", s.sweep.classes, error)) {
+        !ReadServeCommonKnobs(*sweep, "sweep", s.sweep, error)) {
       return std::nullopt;
     }
   }
@@ -941,6 +1290,36 @@ std::optional<std::vector<RequestClass>> ParseRequestClasses(const Json& json,
     *error = "class mix must be a JSON array or {\"classes\": [...]}";
   }
   return std::nullopt;
+}
+
+std::optional<ArrivalProcess> ParseArrivalProcess(const Json& json, std::string* error) {
+  const Json* obj = &json;
+  if (json.is_object() && json.Find("arrival") != nullptr) {
+    if (!CheckKeys(json, {"arrival"}, "arrival file", error)) {
+      return std::nullopt;
+    }
+    obj = json.Find("arrival");
+  }
+  ArrivalProcess process;
+  if (!ReadArrivalObject(*obj, "arrival file", process, error)) {
+    return std::nullopt;
+  }
+  return process;
+}
+
+std::optional<AutoscalerKnobs> ParseAutoscalerKnobs(const Json& json, std::string* error) {
+  const Json* obj = &json;
+  if (json.is_object() && json.Find("autoscaler") != nullptr) {
+    if (!CheckKeys(json, {"autoscaler"}, "autoscaler file", error)) {
+      return std::nullopt;
+    }
+    obj = json.Find("autoscaler");
+  }
+  AutoscalerKnobs knobs;
+  if (!ReadAutoscalerObject(*obj, "autoscaler file", knobs, error)) {
+    return std::nullopt;
+  }
+  return knobs;
 }
 
 bool operator==(const Scenario& a, const Scenario& b) {

@@ -21,6 +21,7 @@
 
 #include "src/core/search.h"
 #include "src/hw/gpu_spec.h"
+#include "src/serve/workload.h"
 #include "src/hw/lite_derive.h"
 #include "src/llm/model.h"
 #include "src/reliability/mc_sim.h"
@@ -132,17 +133,86 @@ std::optional<std::vector<RequestClass>> ParseRequestClasses(const Json& json,
 // so a report's config can always be fed back in as a scenario.
 Json RequestClassesToJson(const std::vector<RequestClass>& classes);
 
-// Knobs only the serve study reads. The request mix takes its median
-// prompt/output lengths from the scenario's shared workload block (or from
-// per-class distributions when `classes` is non-empty); these knobs shape
-// arrivals, pool sizes, and the admission horizon. The study runs one
-// model on one GPU type (like mcsim); prefill/decode instance
-// configurations come from the PerfModel-backed search.
-struct ServeKnobs {
-  // Offered load as a fraction of the decode pool's analytic capacity;
-  // ignored when arrival_rate_per_s is set explicitly.
-  double load = 0.8;
-  double arrival_rate_per_s = 0.0;  // requests/s; 0 = derive from `load`
+// Autoscaler policy for the serve studies. kNone keeps the fixed pools;
+// kReactive scales on observed queue backlog and pool utilization;
+// kPredictive forecasts per-class demand from recent arrivals and sizes
+// the pools ahead of the curve (falling back to the backlog trigger).
+enum class AutoscalerPolicy {
+  kNone,
+  kReactive,
+  kPredictive,
+};
+
+std::string ToString(AutoscalerPolicy policy);
+std::optional<AutoscalerPolicy> ParseAutoscalerPolicy(const std::string& name);
+
+// Mid-horizon pool autoscaling knobs. Decisions happen every `interval_s`
+// of simulated time; a granted scale-up only adds capacity after `delay_s`
+// (instance provisioning is not free), while scale-downs drain: the
+// instance stops accepting work and retires when its in-flight requests
+// finish. Per-pool instance counts stay inside [min, max].
+struct AutoscalerKnobs {
+  AutoscalerPolicy policy = AutoscalerPolicy::kNone;
+  double interval_s = 5.0;   // decision cadence (simulated seconds)
+  double delay_s = 10.0;     // provisioning delay before an instance is live
+  int min_prefill_instances = 1;
+  int max_prefill_instances = 64;
+  int min_decode_instances = 1;
+  int max_decode_instances = 64;
+  // Reactive triggers: scale up when the queued work in front of a pool
+  // exceeds this many seconds at the pool's analytic throughput, or when
+  // the pool's utilization over the last interval crosses the up
+  // threshold; scale down when utilization falls below the down threshold
+  // with an empty queue.
+  double scale_up_backlog_s = 2.0;
+  double scale_up_utilization = 0.9;
+  double scale_down_utilization = 0.35;
+  // Predictive: per-class arrival demand over the last `forecast_window_s`
+  // is linearly extrapolated half a window ahead; pools are sized to the
+  // forecast times `headroom`.
+  double forecast_window_s = 30.0;
+  double headroom = 1.1;
+
+  bool enabled() const { return policy != AutoscalerPolicy::kNone; }
+};
+
+// Returns "" when the autoscaler block is usable, else the first problem
+// (non-positive interval, negative delay, inverted bounds or thresholds).
+// `where` labels the block in messages ("serve.autoscaler" from scenario
+// validation, "autoscaler file" from the CLI flag).
+std::string ValidateAutoscalerKnobs(const AutoscalerKnobs& knobs, const std::string& where);
+
+// Returns "" when the arrival process is generatable, else the first
+// problem (empty or negative diurnal curve, non-positive phase means,
+// unsorted trace times, ...). `where` as above ("serve.arrival"/"arrival
+// file").
+std::string ValidateArrivalProcess(const ArrivalProcess& process, const std::string& where);
+
+// Arrival-kind names as they appear in scenario JSON ("poisson",
+// "diurnal", "onoff", "trace").
+std::string ToString(ArrivalKind kind);
+std::optional<ArrivalKind> ParseArrivalKind(const std::string& name);
+
+// Parses a standalone arrival block — the tagged-union object itself, or
+// {"arrival": {...}} — with the same strict key/type checks as scenario
+// files (unknown `kind` values get a did-you-mean hint). Backs `litegpu
+// serve/sweep --arrival <file>`; run ValidateArrivalProcess on the result.
+std::optional<ArrivalProcess> ParseArrivalProcess(const Json& json,
+                                                  std::string* error = nullptr);
+// The inverse; scenario files and report config echoes share it.
+Json ArrivalProcessToJson(const ArrivalProcess& process);
+
+// Standalone autoscaler block: the object itself or {"autoscaler": {...}}.
+// Backs `litegpu serve/sweep --autoscaler <file>`.
+std::optional<AutoscalerKnobs> ParseAutoscalerKnobs(const Json& json,
+                                                    std::string* error = nullptr);
+Json AutoscalerKnobsToJson(const AutoscalerKnobs& knobs);
+
+// The per-point simulation shape shared by the serve and serve-sweep
+// studies — declared once so knobs like the arrival process and the
+// autoscaler exist in exactly one place, read by one strict-JSON
+// reader/validator for both blocks.
+struct ServeCommonKnobs {
   // Admission horizon: arrivals are generated (and admitted) up to this
   // simulated time; admitted-but-unfinished requests drain and are counted
   // as in_flight_at_horizon.
@@ -152,12 +222,32 @@ struct ServeKnobs {
   double prompt_sigma = 0.0;  // lognormal sigma; 0 = constant lengths
   double output_sigma = 0.0;
   uint64_t seed = 0xC0FFEE;
+  // Arrival process shape. The default (stationary Poisson) serializes to
+  // nothing, so pre-existing scenarios round-trip byte-identically.
+  ArrivalProcess arrival;
+  // Mid-horizon autoscaling. Disabled by default (fixed pools); like
+  // `arrival`, the disabled block serializes to nothing.
+  AutoscalerKnobs autoscaler;
   // Multi-tenant request mix. Empty (the default) keeps the single-class
   // workload shaped by the scenario's shared workload block — reports are
   // bit-identical to the pre-class engine. Non-empty replaces the length
   // knobs above with per-class distributions and adds per-class metrics,
   // goodput, and SLO attainment to the report.
   std::vector<RequestClass> classes;
+};
+
+// Knobs only the serve study reads. The request mix takes its median
+// prompt/output lengths from the scenario's shared workload block (or from
+// per-class distributions when `classes` is non-empty); these knobs shape
+// arrivals, pool sizes, and the admission horizon. The study runs one
+// model on one GPU type (like mcsim); prefill/decode instance
+// configurations come from the PerfModel-backed search.
+struct ServeKnobs : ServeCommonKnobs {
+  // Offered load as a fraction of the decode pool's analytic capacity;
+  // ignored when arrival_rate_per_s is set explicitly. A trace arrival
+  // process overrides both: the trace fixes the offered rate.
+  double load = 0.8;
+  double arrival_rate_per_s = 0.0;  // requests/s; 0 = derive from `load`
 };
 
 // Knobs only the serve-sweep study reads: one serve deployment driven over
@@ -167,24 +257,16 @@ struct ServeKnobs {
 // capacity, or `rates` as absolute requests/s — or the inclusive
 // lo:hi:step range. The search and the step-time table are shared across
 // points; each point gets its own deterministic RNG stream derived from
-// `seed`, so the sweep is bit-identical at any thread count.
-struct ServeSweepKnobs {
+// `seed`, so the sweep is bit-identical at any thread count. The knee
+// generalizes to the highest load where EVERY class meets its SLOs; with
+// an autoscaler the sweep also reports the cheapest SLO-meeting point by
+// goodput per GPU-hour.
+struct ServeSweepKnobs : ServeCommonKnobs {
   std::vector<double> loads;  // explicit load fractions; overrides lo:hi:step
   std::vector<double> rates;  // explicit requests/s; overrides `loads` too
   double load_lo = 0.1;
   double load_hi = 1.0;
   double load_step = 0.1;
-  // Per-point simulation shape (same meaning as the serve study's knobs).
-  double horizon_s = 60.0;
-  int prefill_instances = 0;  // 0 = auto-size per point
-  int decode_instances = 1;
-  double prompt_sigma = 0.0;
-  double output_sigma = 0.0;
-  uint64_t seed = 0xC0FFEE;
-  // Multi-tenant request mix for every point (same semantics as
-  // ServeKnobs::classes). The knee generalizes to the highest load where
-  // EVERY class meets its SLOs.
-  std::vector<RequestClass> classes;
 
   // True when the grid is absolute arrival rates rather than load
   // fractions.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <deque>
 #include <limits>
 #include <memory>
@@ -43,18 +44,25 @@ ServeCallbacks MakePerfModelCallbacks(const PerfModel& prefill_model,
   return callbacks;
 }
 
+const char* ToString(ScalePool pool) {
+  return pool == ScalePool::kPrefill ? "prefill" : "decode";
+}
+
 namespace {
 
-enum class EventKind { kPrefillDone, kDecodeStepDone };
+// Completion events sort before instance-up events, which sort before the
+// autoscaler tick, so a decision at time T sees every completion at T and
+// newly provisioned capacity starts draining the queues before the next
+// decision looks at them.
+enum class EventKind { kPrefillDone, kDecodeStepDone, kPrefillUp, kDecodeUp, kAutoscaleTick };
 
 struct Event {
   double time_s = 0.0;
   EventKind kind = EventKind::kPrefillDone;
   int instance = 0;
-  // Full ordering so simultaneous completions pop in a specified order —
-  // prefill completions before decode steps, lower instance first — instead
-  // of the heap's internal layout (which standard libraries are free to
-  // differ on).
+  // Full ordering so simultaneous events pop in a specified order —
+  // (time, kind, instance/sequence) — instead of the heap's internal
+  // layout (which standard libraries are free to differ on).
   bool operator>(const Event& other) const {
     if (time_s != other.time_s) {
       return time_s > other.time_s;
@@ -66,10 +74,19 @@ struct Event {
   }
 };
 
+// Instance lifecycle (only the autoscaler moves instances out of the
+// initial active state): active+!draining take new work; draining finish
+// their in-flight work and retire; retired (!active) instances stay in the
+// vector so indices in scheduled events remain stable.
 struct PrefillInstance {
   bool busy = false;
   std::vector<int> batch;  // request indices being prefilled
   double busy_time = 0.0;
+  bool active = true;
+  bool draining = false;
+  double up_time = 0.0;
+  double down_time = -1.0;  // < 0 while provisioned
+  const char* drain_reason = "";
 };
 
 struct DecodeInstance {
@@ -80,6 +97,11 @@ struct DecodeInstance {
   bool stepping = false;
   double busy_time = 0.0;
   double batch_time_product = 0.0;  // integral of batch over busy time
+  bool active = true;
+  bool draining = false;
+  double up_time = 0.0;
+  double down_time = -1.0;
+  const char* drain_reason = "";
 };
 
 // Step-time providers for the shared event loop. Both answer the same two
@@ -120,6 +142,33 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
   std::deque<int> prefill_queue;  // request indices
   std::deque<int> decode_queue;   // request indices (prefilled, awaiting decode)
 
+  // --- autoscaler state (dormant unless cfg.enabled) ---
+  const ServeAutoscalerConfig& scaler = config.autoscaler;
+  int active_prefill = config.prefill_instances;  // provisioned (incl. draining)
+  int active_decode = config.decode_instances;
+  int pending_prefill_ups = 0;
+  int pending_decode_ups = 0;
+  std::deque<const char*> prefill_up_reasons;  // FIFO-matched to up events
+  std::deque<const char*> decode_up_reasons;
+  int up_seq = 0;    // ordering sequence for simultaneous up events
+  int tick_seq = 0;  // and for ticks
+  double prev_tick_time = 0.0;
+  double prev_prefill_busy = 0.0;
+  double prev_decode_busy = 0.0;
+  // Admitted demand for the predictive forecast: (time, class, tokens).
+  struct Demand {
+    double t;
+    double prompt_tokens;
+    double output_tokens;
+    int cls;
+  };
+  std::deque<Demand> demand_history;
+  if (scaler.enabled) {
+    metrics.peak_prefill_instances = active_prefill;
+    metrics.peak_decode_instances = active_decode;
+    events.push({scaler.interval_s, EventKind::kAutoscaleTick, tick_seq++});
+  }
+
   // Per-class bookkeeping only exists when the caller asked for it, so
   // single-class runs pay nothing and stay bit-identical to the pre-class
   // simulator. Out-of-range class ids fold into class 0 rather than
@@ -136,10 +185,15 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
 
   size_t next_arrival = 0;
   double now = 0.0;
+  // Workload progress time: arrivals and completions, NOT autoscaler
+  // ticks/ups — the final makespan must not stretch to a trailing decision
+  // tick that did no work.
+  double progress_now = 0.0;
 
   auto try_start_prefill = [&](double t) {
-    for (int i = 0; i < config.prefill_instances; ++i) {
-      if (prefill[i].busy || prefill_queue.empty()) {
+    for (int i = 0; i < static_cast<int>(prefill.size()); ++i) {
+      if (!prefill[i].active || prefill[i].draining || prefill[i].busy ||
+          prefill_queue.empty()) {
         continue;
       }
       int batch = std::min<int>(stepper.MaxPrefillBatch(),
@@ -157,18 +211,21 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
   };
 
   auto try_start_decode_step = [&](double t) {
-    for (int i = 0; i < config.decode_instances; ++i) {
+    for (int i = 0; i < static_cast<int>(decode.size()); ++i) {
       DecodeInstance& inst = decode[i];
-      if (inst.stepping) {
+      if (inst.stepping || !inst.active) {
         continue;
       }
-      // Admit waiting sequences at the step boundary.
-      while (!decode_queue.empty() &&
-             static_cast<int>(inst.remaining.size()) < stepper.MaxDecodeBatch()) {
-        int req = decode_queue.front();
-        decode_queue.pop_front();
-        inst.remaining.push_back(std::max(1, requests[req].output_tokens));
-        inst.request_index.push_back(req);
+      // Admit waiting sequences at the step boundary (draining instances
+      // only finish what they already hold).
+      if (!inst.draining) {
+        while (!decode_queue.empty() &&
+               static_cast<int>(inst.remaining.size()) < stepper.MaxDecodeBatch()) {
+          int req = decode_queue.front();
+          decode_queue.pop_front();
+          inst.remaining.push_back(std::max(1, requests[req].output_tokens));
+          inst.request_index.push_back(req);
+        }
       }
       if (inst.remaining.empty()) {
         continue;
@@ -184,6 +241,214 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
     }
   };
 
+  // --- autoscaler actions ---
+  auto retire_prefill = [&](int i, const char* reason) {
+    prefill[i].active = false;
+    prefill[i].draining = false;
+    prefill[i].down_time = now;
+    --active_prefill;
+    metrics.scale_events.push_back({now, ScalePool::kPrefill, -1, active_prefill, reason});
+  };
+  auto retire_decode = [&](int i, const char* reason) {
+    decode[i].active = false;
+    decode[i].draining = false;
+    decode[i].down_time = now;
+    --active_decode;
+    metrics.scale_events.push_back({now, ScalePool::kDecode, -1, active_decode, reason});
+  };
+  // Pick the highest-index live instance: the most recently provisioned
+  // capacity leaves first, keeping the initial pool stable.
+  auto drain_one_prefill = [&](const char* reason) {
+    for (int i = static_cast<int>(prefill.size()) - 1; i >= 0; --i) {
+      if (prefill[i].active && !prefill[i].draining) {
+        if (!prefill[i].busy) {
+          retire_prefill(i, reason);
+        } else {
+          prefill[i].draining = true;
+          prefill[i].drain_reason = reason;
+        }
+        return;
+      }
+    }
+  };
+  auto drain_one_decode = [&](const char* reason) {
+    for (int i = static_cast<int>(decode.size()) - 1; i >= 0; --i) {
+      if (decode[i].active && !decode[i].draining) {
+        if (decode[i].remaining.empty() && !decode[i].stepping) {
+          retire_decode(i, reason);
+        } else {
+          decode[i].draining = true;
+          decode[i].drain_reason = reason;
+        }
+        return;
+      }
+    }
+  };
+
+  // One autoscaler decision: reactive thresholds on backlog/utilization, or
+  // a per-class demand forecast (predictive) with the backlog trigger kept
+  // as a safety net. Applied per pool, at most one scale-down per tick.
+  auto autoscale_tick = [&]() {
+    double window = now - prev_tick_time;
+    int live_prefill = 0;
+    int live_decode = 0;
+    double prefill_busy = 0.0;
+    double decode_busy = 0.0;
+    for (const auto& p : prefill) {
+      if (p.active && !p.draining) {
+        ++live_prefill;
+      }
+      prefill_busy += p.busy_time;
+    }
+    for (const auto& d : decode) {
+      if (d.active && !d.draining) {
+        ++live_decode;
+      }
+      decode_busy += d.busy_time;
+    }
+    double queued_prompt_tokens = 0.0;
+    for (int req : prefill_queue) {
+      queued_prompt_tokens += requests[static_cast<size_t>(req)].prompt_tokens;
+    }
+    double queued_output_tokens = 0.0;
+    for (int req : decode_queue) {
+      queued_output_tokens += requests[static_cast<size_t>(req)].output_tokens;
+    }
+
+    // Predictive forecast: per-class token demand over two half-windows,
+    // linearly extrapolated half a window ahead, clamped at zero per class
+    // so one collapsing class does not mask another's growth.
+    double forecast_prompt_rate = 0.0;
+    double forecast_output_rate = 0.0;
+    if (scaler.predictive) {
+      double half = scaler.forecast_window_s / 2.0;
+      while (!demand_history.empty() &&
+             demand_history.front().t < now - scaler.forecast_window_s) {
+        demand_history.pop_front();
+      }
+      size_t ncls = static_cast<size_t>(std::max(1, config.num_classes));
+      std::vector<double> recent_prompt(ncls, 0.0), old_prompt(ncls, 0.0);
+      std::vector<double> recent_output(ncls, 0.0), old_output(ncls, 0.0);
+      for (const Demand& d : demand_history) {
+        size_t c = (d.cls >= 0 && d.cls < static_cast<int>(ncls))
+                       ? static_cast<size_t>(d.cls)
+                       : 0;
+        if (d.t >= now - half) {
+          recent_prompt[c] += d.prompt_tokens;
+          recent_output[c] += d.output_tokens;
+        } else {
+          old_prompt[c] += d.prompt_tokens;
+          old_output[c] += d.output_tokens;
+        }
+      }
+      for (size_t c = 0; c < ncls; ++c) {
+        forecast_prompt_rate += std::max(0.0, 2.0 * recent_prompt[c] - old_prompt[c]) / half;
+        forecast_output_rate += std::max(0.0, 2.0 * recent_output[c] - old_output[c]) / half;
+      }
+    }
+
+    auto plan_pool = [&](ScalePool pool) {
+      bool is_prefill = pool == ScalePool::kPrefill;
+      int live = is_prefill ? live_prefill : live_decode;
+      int& pending = is_prefill ? pending_prefill_ups : pending_decode_ups;
+      auto& up_reasons = is_prefill ? prefill_up_reasons : decode_up_reasons;
+      double per_instance = is_prefill ? scaler.prefill_tokens_per_s : scaler.decode_tokens_per_s;
+      double queued_tokens = is_prefill ? queued_prompt_tokens : queued_output_tokens;
+      double busy_delta =
+          is_prefill ? prefill_busy - prev_prefill_busy : decode_busy - prev_decode_busy;
+      int min_n = is_prefill ? scaler.min_prefill_instances : scaler.min_decode_instances;
+      int max_n = is_prefill ? scaler.max_prefill_instances : scaler.max_decode_instances;
+      double utilization =
+          (window > 0.0 && live > 0) ? busy_delta / (live * window) : 0.0;
+      double backlog_s = per_instance > 0.0
+                             ? queued_tokens / (std::max(1, live) * per_instance)
+                             : 0.0;
+      int target = live + pending;
+
+      auto schedule_up = [&](const char* reason) {
+        events.push({now + scaler.delay_s, is_prefill ? EventKind::kPrefillUp : EventKind::kDecodeUp,
+                     up_seq++});
+        up_reasons.push_back(reason);
+        ++pending;
+        ++target;
+      };
+
+      if (scaler.predictive) {
+        double forecast_rate = is_prefill ? forecast_prompt_rate : forecast_output_rate;
+        int desired = live;
+        if (per_instance > 0.0) {
+          desired = static_cast<int>(std::ceil(scaler.headroom * forecast_rate / per_instance));
+        }
+        desired = std::min(std::max(desired, min_n), max_n);
+        while (target < desired) {
+          schedule_up("forecast");
+        }
+        if (backlog_s > scaler.scale_up_backlog_s && target < max_n) {
+          schedule_up("backlog");  // reactive safety net under forecast misses
+        }
+        if (pending == 0 && target > desired && queued_tokens <= 0.0 && target > min_n) {
+          if (is_prefill) {
+            drain_one_prefill("forecast");
+          } else {
+            drain_one_decode("forecast");
+          }
+        }
+        return;
+      }
+
+      const char* up_reason = nullptr;
+      if (backlog_s > scaler.scale_up_backlog_s) {
+        up_reason = "backlog";
+      } else if (utilization > scaler.scale_up_utilization) {
+        up_reason = "utilization";
+      }
+      if (up_reason != nullptr) {
+        if (target < max_n) {
+          schedule_up(up_reason);
+        }
+      } else if (pending == 0 && target > min_n &&
+                 utilization < scaler.scale_down_utilization && queued_tokens <= 0.0) {
+        if (is_prefill) {
+          drain_one_prefill("utilization");
+        } else {
+          drain_one_decode("utilization");
+        }
+      }
+    };
+    plan_pool(ScalePool::kPrefill);
+    plan_pool(ScalePool::kDecode);
+
+    prev_tick_time = now;
+    prev_prefill_busy = prefill_busy;
+    prev_decode_busy = decode_busy;
+
+    // Keep ticking only while there is anything left to manage; otherwise
+    // the tick stream would keep the event loop alive forever (the default
+    // horizon is effectively infinite).
+    bool work_left = next_arrival < requests.size() || !prefill_queue.empty() ||
+                     !decode_queue.empty() || pending_prefill_ups > 0 ||
+                     pending_decode_ups > 0;
+    if (!work_left) {
+      for (const auto& p : prefill) {
+        if (p.busy) {
+          work_left = true;
+          break;
+        }
+      }
+    }
+    if (!work_left) {
+      for (const auto& d : decode) {
+        if (d.stepping || !d.remaining.empty()) {
+          work_left = true;
+          break;
+        }
+      }
+    }
+    if (work_left) {
+      events.push({now + scaler.interval_s, EventKind::kAutoscaleTick, tick_seq++});
+    }
+  };
+
   for (;;) {
     double arrival_t = next_arrival < requests.size() ? requests[next_arrival].arrival_s
                                                       : std::numeric_limits<double>::max();
@@ -196,12 +461,18 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
 
     if (arrival_t <= event_t) {
       now = arrival_t;
+      progress_now = now;
       if (now <= config.horizon_s) {
         prefill_queue.push_back(static_cast<int>(next_arrival));
         ++metrics.admitted_requests;
         if (track_classes) {
           ++metrics.per_class[static_cast<size_t>(class_of(static_cast<int>(next_arrival)))]
                 .admitted_requests;
+        }
+        if (scaler.enabled && scaler.predictive) {
+          const Request& r = requests[next_arrival];
+          demand_history.push_back({now, static_cast<double>(r.prompt_tokens),
+                                    static_cast<double>(r.output_tokens), r.class_id});
         }
       }
       ++next_arrival;
@@ -213,6 +484,42 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
     events.pop();
     now = event.time_s;
 
+    if (event.kind == EventKind::kAutoscaleTick) {
+      autoscale_tick();
+      continue;
+    }
+    if (event.kind == EventKind::kPrefillUp || event.kind == EventKind::kDecodeUp) {
+      if (event.kind == EventKind::kPrefillUp) {
+        PrefillInstance fresh;
+        fresh.up_time = now;
+        prefill.push_back(std::move(fresh));
+        --pending_prefill_ups;
+        ++active_prefill;
+        metrics.peak_prefill_instances =
+            std::max(metrics.peak_prefill_instances, active_prefill);
+        const char* reason = prefill_up_reasons.front();
+        prefill_up_reasons.pop_front();
+        metrics.scale_events.push_back(
+            {now, ScalePool::kPrefill, +1, active_prefill, reason});
+        try_start_prefill(now);
+      } else {
+        DecodeInstance fresh;
+        fresh.up_time = now;
+        decode.push_back(std::move(fresh));
+        --pending_decode_ups;
+        ++active_decode;
+        metrics.peak_decode_instances =
+            std::max(metrics.peak_decode_instances, active_decode);
+        const char* reason = decode_up_reasons.front();
+        decode_up_reasons.pop_front();
+        metrics.scale_events.push_back(
+            {now, ScalePool::kDecode, +1, active_decode, reason});
+        try_start_decode_step(now);
+      }
+      continue;
+    }
+
+    progress_now = now;
     if (event.kind == EventKind::kPrefillDone) {
       PrefillInstance& inst = prefill[event.instance];
       for (int req : inst.batch) {
@@ -225,6 +532,9 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
       }
       inst.batch.clear();
       inst.busy = false;
+      if (inst.draining) {
+        retire_prefill(event.instance, inst.drain_reason);
+      }
       try_start_prefill(now);
       try_start_decode_step(now);
     } else {
@@ -274,26 +584,54 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
           ++s;
         }
       }
+      if (inst.draining && inst.remaining.empty()) {
+        retire_decode(event.instance, inst.drain_reason);
+      }
       try_start_decode_step(now);
     }
   }
 
-  metrics.makespan_s = std::max(metrics.makespan_s, now);
+  metrics.makespan_s = std::max(metrics.makespan_s, progress_now);
   if (metrics.makespan_s > 0.0) {
     metrics.decode_tokens_per_s = metrics.output_tokens / metrics.makespan_s;
     double prefill_busy = 0.0;
     for (const auto& p : prefill) {
       prefill_busy += p.busy_time;
     }
-    metrics.prefill_utilization =
-        prefill_busy / (config.prefill_instances * metrics.makespan_s);
     double decode_busy = 0.0;
     double batch_product = 0.0;
     for (const auto& d : decode) {
       decode_busy += d.busy_time;
       batch_product += d.batch_time_product;
     }
-    metrics.decode_utilization = decode_busy / (config.decode_instances * metrics.makespan_s);
+    if (scaler.enabled) {
+      // Provisioned instance-seconds over [0, makespan]: each instance
+      // contributes its up..down (or up..end) lifetime, clamped so retires
+      // recorded by trailing decision ticks don't overrun the makespan.
+      for (const auto& p : prefill) {
+        double end = p.down_time >= 0.0 ? std::min(p.down_time, metrics.makespan_s)
+                                        : metrics.makespan_s;
+        metrics.prefill_instance_seconds += std::max(0.0, end - p.up_time);
+      }
+      for (const auto& d : decode) {
+        double end = d.down_time >= 0.0 ? std::min(d.down_time, metrics.makespan_s)
+                                        : metrics.makespan_s;
+        metrics.decode_instance_seconds += std::max(0.0, end - d.up_time);
+      }
+      metrics.prefill_utilization = metrics.prefill_instance_seconds > 0.0
+                                        ? prefill_busy / metrics.prefill_instance_seconds
+                                        : 0.0;
+      metrics.decode_utilization = metrics.decode_instance_seconds > 0.0
+                                       ? decode_busy / metrics.decode_instance_seconds
+                                       : 0.0;
+      metrics.final_prefill_instances = active_prefill;
+      metrics.final_decode_instances = active_decode;
+    } else {
+      metrics.prefill_utilization =
+          prefill_busy / (config.prefill_instances * metrics.makespan_s);
+      metrics.decode_utilization =
+          decode_busy / (config.decode_instances * metrics.makespan_s);
+    }
     metrics.mean_decode_batch = decode_busy > 0.0 ? batch_product / decode_busy : 0.0;
   }
   return metrics;

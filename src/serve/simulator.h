@@ -12,12 +12,22 @@
 //
 // Event ordering is fully specified: simultaneous events process in
 // (time, kind, instance) order — prefill completions before decode step
-// completions, lower instance index first — so results never depend on the
-// event heap's internal layout.
+// completions, then provisioned instances coming up, then autoscaler
+// decision ticks (which read the post-completion state), lower instance /
+// sequence number first — so results never depend on the event heap's
+// internal layout.
+//
+// With ServeAutoscalerConfig::enabled the pools grow and shrink
+// mid-horizon: scale-ups take effect after a provisioning delay, and
+// scale-downs drain (the instance stops taking work and retires when its
+// in-flight requests finish). Everything stays single-threaded and
+// deterministic — autoscaled runs are bit-identical at any thread count
+// just like fixed-pool runs.
 
 #pragma once
 
 #include <functional>
+#include <string>
 
 #include "src/perf/step_table.h"
 #include "src/serve/workload.h"
@@ -53,6 +63,46 @@ ServeCallbacks MakePerfModelCallbacks(const PerfModel& prefill_model,
                                       const PerfModel& decode_model,
                                       int max_prefill_batch, int max_decode_batch);
 
+// Which pool a scale event touched.
+enum class ScalePool { kPrefill, kDecode };
+const char* ToString(ScalePool pool);
+
+// One autoscaler action, in the order it took effect. Scale-ups are
+// recorded when the provisioned instance comes online (after the delay);
+// scale-downs when the drained instance actually retires.
+struct ScaleEvent {
+  double time_s = 0.0;
+  ScalePool pool = ScalePool::kPrefill;
+  int delta = 0;            // +1 instance added, -1 instance retired
+  int instances_after = 0;  // provisioned count in the pool afterwards
+  std::string reason;       // "backlog" | "utilization" | "forecast"
+};
+
+// Mid-horizon autoscaling, resolved from the scenario's AutoscalerKnobs
+// plus the platform's analytic per-instance throughputs (which convert
+// queued tokens and forecast demand into instance counts). Disabled (the
+// default) runs none of the autoscaler code: fixed-pool metrics stay
+// bit-identical to the pre-autoscaler simulator.
+struct ServeAutoscalerConfig {
+  bool enabled = false;
+  bool predictive = false;  // false = reactive thresholds only
+  double interval_s = 5.0;  // decision cadence
+  double delay_s = 10.0;    // provisioning delay for scale-ups
+  int min_prefill_instances = 1;
+  int max_prefill_instances = 64;
+  int min_decode_instances = 1;
+  int max_decode_instances = 64;
+  double scale_up_backlog_s = 2.0;
+  double scale_up_utilization = 0.9;
+  double scale_down_utilization = 0.35;
+  double forecast_window_s = 30.0;
+  double headroom = 1.1;
+  // Analytic per-instance throughputs (tokens/s), from the planned
+  // deployment's InstanceCapacity.
+  double prefill_tokens_per_s = 0.0;
+  double decode_tokens_per_s = 0.0;
+};
+
 struct ServeClusterConfig {
   int prefill_instances = 1;
   int decode_instances = 1;
@@ -66,6 +116,9 @@ struct ServeClusterConfig {
   // simulator. With N >= 1 (even a declared single-class mix), requests'
   // class_id values (expected in [0, N)) index ServeMetrics::per_class.
   int num_classes = 0;
+  // Mid-horizon pool autoscaling; prefill_instances/decode_instances above
+  // are the initial pool sizes.
+  ServeAutoscalerConfig autoscaler;
 };
 
 // Per-class slice of a multi-tenant simulation. TTFT keeps exact samples
@@ -105,6 +158,18 @@ struct ServeMetrics {
   // One entry per class when ServeClusterConfig::num_classes >= 1; empty
   // for classless runs.
   std::vector<ServeClassMetrics> per_class;
+  // Autoscaler outcome, filled only when the autoscaler is enabled (all
+  // zero/empty otherwise). Instance-seconds integrate each instance's
+  // provisioned lifetime over [0, makespan] — the cost side of the
+  // "cheapest policy meeting SLOs" question — and utilization denominators
+  // switch from instances*makespan to these integrals.
+  std::vector<ScaleEvent> scale_events;
+  double prefill_instance_seconds = 0.0;
+  double decode_instance_seconds = 0.0;
+  int peak_prefill_instances = 0;
+  int peak_decode_instances = 0;
+  int final_prefill_instances = 0;
+  int final_decode_instances = 0;
 };
 
 // Compatibility/testing path: every step query pays std::function dispatch

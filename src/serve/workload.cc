@@ -7,6 +7,62 @@
 
 namespace litegpu {
 
+double ArrivalRateMultiplier(const ArrivalProcess& process, double duration_s, double t) {
+  if (process.kind != ArrivalKind::kDiurnal || process.multipliers.empty()) {
+    return 1.0;
+  }
+  double period = process.period_s > 0.0 ? process.period_s : duration_s;
+  if (period <= 0.0) {
+    return process.multipliers.front();
+  }
+  double phase = std::fmod(t, period);
+  if (phase < 0.0) {
+    phase = 0.0;
+  }
+  size_t n = process.multipliers.size();
+  double pos = phase / period * static_cast<double>(n);
+  size_t i = static_cast<size_t>(pos);
+  if (i >= n) {
+    i = n - 1;
+  }
+  double frac = pos - static_cast<double>(i);
+  double a = process.multipliers[i];
+  double b = process.multipliers[(i + 1) % n];  // the curve wraps
+  return a + frac * (b - a);
+}
+
+double PeakRateMultiplier(const ArrivalProcess& process) {
+  switch (process.kind) {
+    case ArrivalKind::kDiurnal: {
+      // Piecewise-linear, so the max sits on a control point.
+      double peak = 0.0;
+      for (double m : process.multipliers) {
+        peak = std::max(peak, m);
+      }
+      return peak;
+    }
+    case ArrivalKind::kOnOff:
+      return std::max(process.on_multiplier, process.off_multiplier);
+    case ArrivalKind::kPoisson:
+    case ArrivalKind::kTrace:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+double MeanTraceRatePerS(const ArrivalProcess& process, double horizon_s) {
+  if (process.kind != ArrivalKind::kTrace || horizon_s <= 0.0) {
+    return 0.0;
+  }
+  size_t count = 0;
+  for (double t : process.times_s) {
+    if (t < horizon_s) {
+      ++count;
+    }
+  }
+  return static_cast<double>(count) / horizon_s;
+}
+
 namespace {
 
 int SampleLength(Rng& rng, int median, double sigma) {
@@ -17,28 +73,107 @@ int SampleLength(Rng& rng, int median, double sigma) {
   return std::max(1, static_cast<int>(std::lround(value)));
 }
 
-// One class's Poisson substream: the same sampling order as
-// GenerateWorkload (inter-arrival, prompt, output per request), so a
-// single-class mix reproduces the legacy generator bit-for-bit.
+// One class's arrival substream. The stationary Poisson path keeps the
+// exact legacy sampling order (inter-arrival, prompt, output per request),
+// so a single-class mix reproduces the legacy generator bit-for-bit and a
+// scenario without an `arrival` block is unchanged. The non-stationary
+// kinds draw from the same per-class RNG:
+//   diurnal — Lewis thinning against the peak-rate envelope, which keeps
+//     each class's stream independent of every other class.
+//   onoff   — walks on/off phases sequentially; overshooting a phase
+//     boundary discards the inter-arrival draw and redraws at the new
+//     phase's rate (memorylessness makes that exact).
+//   trace   — replays the recorded times; `trace_share` is this class's
+//     rate share, applied by thinning (share 1.0 skips the draw so a
+//     one-class mix replays the trace exactly).
 std::vector<Request> GenerateClassStream(const ClassWorkload& cls, int class_id,
-                                         double duration_s, uint64_t seed) {
+                                         double duration_s, uint64_t seed,
+                                         const ArrivalProcess& arrival,
+                                         double trace_share) {
   std::vector<Request> requests;
-  if (cls.arrival_rate_per_s <= 0.0) {
-    return requests;
-  }
   Rng rng(seed);
-  double t = 0.0;
-  for (;;) {
-    t += rng.Exponential(cls.arrival_rate_per_s);
-    if (t >= duration_s) {
-      break;
-    }
+  auto emit = [&](double t) {
     Request r;
     r.class_id = class_id;
     r.arrival_s = t;
     r.prompt_tokens = SampleLength(rng, cls.median_prompt_tokens, cls.prompt_sigma);
     r.output_tokens = SampleLength(rng, cls.median_output_tokens, cls.output_sigma);
     requests.push_back(r);
+  };
+  if (arrival.kind == ArrivalKind::kTrace) {
+    if (trace_share <= 0.0) {
+      return requests;
+    }
+    for (double t : arrival.times_s) {
+      if (t >= duration_s) {
+        break;  // validated ascending
+      }
+      if (trace_share < 1.0 && !(rng.NextDouble() < trace_share)) {
+        continue;
+      }
+      emit(t);
+    }
+    return requests;
+  }
+  if (cls.arrival_rate_per_s <= 0.0) {
+    return requests;
+  }
+  double t = 0.0;
+  switch (arrival.kind) {
+    case ArrivalKind::kPoisson: {
+      for (;;) {
+        t += rng.Exponential(cls.arrival_rate_per_s);
+        if (t >= duration_s) {
+          break;
+        }
+        emit(t);
+      }
+      break;
+    }
+    case ArrivalKind::kDiurnal: {
+      double peak = PeakRateMultiplier(arrival);
+      if (peak <= 0.0) {
+        break;  // validation rejects all-zero curves; belt and braces
+      }
+      for (;;) {
+        t += rng.Exponential(cls.arrival_rate_per_s * peak);
+        if (t >= duration_s) {
+          break;
+        }
+        // Accept with probability mult(t)/peak. One uniform per candidate
+        // keeps the draw count independent of the curve shape.
+        double u = rng.NextDouble();
+        if (u * peak < ArrivalRateMultiplier(arrival, duration_s, t)) {
+          emit(t);
+        }
+      }
+      break;
+    }
+    case ArrivalKind::kOnOff: {
+      bool on = true;
+      double phase_end = rng.Exponential(1.0 / arrival.on_mean_s);
+      for (;;) {
+        double mult = on ? arrival.on_multiplier : arrival.off_multiplier;
+        double dt = mult > 0.0 ? rng.Exponential(cls.arrival_rate_per_s * mult) : -1.0;
+        if (dt >= 0.0 && t + dt < phase_end) {
+          t += dt;
+          if (t >= duration_s) {
+            break;
+          }
+          emit(t);
+          continue;
+        }
+        t = phase_end;
+        if (t >= duration_s) {
+          break;
+        }
+        on = !on;
+        phase_end = t + rng.Exponential(1.0 / (on ? arrival.on_mean_s : arrival.off_mean_s));
+      }
+      break;
+    }
+    case ArrivalKind::kTrace:
+      break;  // handled above
   }
   return requests;
 }
@@ -52,8 +187,8 @@ std::vector<Request> GenerateWorkload(const WorkloadSpec& spec) {
   cls.prompt_sigma = spec.prompt_sigma;
   cls.median_output_tokens = spec.median_output_tokens;
   cls.output_sigma = spec.output_sigma;
-  std::vector<Request> requests =
-      GenerateClassStream(cls, /*class_id=*/0, spec.duration_s, spec.seed);
+  std::vector<Request> requests = GenerateClassStream(
+      cls, /*class_id=*/0, spec.duration_s, spec.seed, spec.arrival, /*trace_share=*/1.0);
   for (size_t i = 0; i < requests.size(); ++i) {
     requests[i].id = static_cast<int>(i);
   }
@@ -76,11 +211,21 @@ std::vector<Request> GenerateMultiClassWorkload(const MultiClassWorkloadSpec& sp
   // Generate every substream independently, then merge. std::merge is
   // stable and each substream is arrival-sorted, so ties land in class
   // order, then per-class order — fully specified, no heap dependence.
+  double total_rate = 0.0;
+  for (const ClassWorkload& cls : spec.classes) {
+    total_rate += std::max(0.0, cls.arrival_rate_per_s);
+  }
   std::vector<Request> merged;
   for (size_t c = 0; c < spec.classes.size(); ++c) {
+    double share = total_rate > 0.0
+                       ? std::max(0.0, spec.classes[c].arrival_rate_per_s) / total_rate
+                       : 0.0;
+    if (spec.classes.size() == 1) {
+      share = 1.0;  // one-class mixes replay a trace exactly, like classless
+    }
     std::vector<Request> stream =
         GenerateClassStream(spec.classes[c], static_cast<int>(c), spec.duration_s,
-                            ClassSubstreamSeed(spec.seed, c));
+                            ClassSubstreamSeed(spec.seed, c), spec.arrival, share);
     std::vector<Request> next;
     next.reserve(merged.size() + stream.size());
     std::merge(merged.begin(), merged.end(), stream.begin(), stream.end(),

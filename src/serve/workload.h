@@ -3,6 +3,11 @@
 // lognormal prompt/output lengths with the paper's median prompt of 1500
 // tokens. Multi-tenant mixes generate one independent Poisson substream per
 // request class and merge them into a single arrival-ordered trace.
+//
+// Arrivals need not be stationary: an ArrivalProcess modulates the Poisson
+// rate over time (diurnal curve, on/off bursts) or replays a recorded
+// trace. Non-stationary kinds reuse the same per-class substreams, so a
+// scenario that omits the block is bit-identical to the legacy generator.
 
 #pragma once
 
@@ -22,6 +27,51 @@ struct Request {
   int output_tokens = 256;
 };
 
+// How request arrivals are distributed over the horizon. kPoisson is the
+// stationary legacy process; the other kinds modulate or replace it:
+//   kDiurnal — inhomogeneous Poisson whose rate is the base rate times a
+//     piecewise-linear multiplier curve (thinning keeps substreams stable).
+//   kOnOff   — MMPP-style bursts: alternating exponentially-distributed on
+//     and off phases, each scaling the base rate by its own multiplier.
+//   kTrace   — replay of recorded arrival times; lengths are still sampled
+//     from the class's distributions.
+enum class ArrivalKind {
+  kPoisson,
+  kDiurnal,
+  kOnOff,
+  kTrace,
+};
+
+struct ArrivalProcess {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  // diurnal: multiplier curve control points, evenly spaced over one
+  // period and interpolated linearly (wrapping back to the first point).
+  // period_s of 0 stretches one period over the whole horizon.
+  double period_s = 0.0;
+  std::vector<double> multipliers;
+  // onoff: mean phase durations and the rate multiplier inside each phase.
+  // The process starts in the on phase.
+  double on_mean_s = 30.0;
+  double off_mean_s = 30.0;
+  double on_multiplier = 2.0;
+  double off_multiplier = 0.25;
+  // trace: ascending arrival timestamps (seconds from horizon start).
+  std::vector<double> times_s;
+};
+
+// The diurnal rate multiplier at time t (1.0 for every other kind).
+// duration_s substitutes for period_s when the latter is 0.
+double ArrivalRateMultiplier(const ArrivalProcess& process, double duration_s, double t);
+
+// The peak rate multiplier over the horizon — the thinning envelope for
+// diurnal, max(on, off) for onoff, 1.0 otherwise.
+double PeakRateMultiplier(const ArrivalProcess& process);
+
+// Mean arrival rate of a trace over [0, horizon): replayed-count / horizon.
+// Used to plan pools and report loads for trace scenarios; 0 for an empty
+// window.
+double MeanTraceRatePerS(const ArrivalProcess& process, double horizon_s);
+
 struct WorkloadSpec {
   double arrival_rate_per_s = 10.0;
   double duration_s = 300.0;
@@ -30,6 +80,7 @@ struct WorkloadSpec {
   int median_output_tokens = 256;
   double output_sigma = 0.0;
   uint64_t seed = 0xC0FFEE;
+  ArrivalProcess arrival;            // default: stationary Poisson
 };
 
 // Requests sorted by arrival time.
@@ -51,6 +102,12 @@ struct MultiClassWorkloadSpec {
   std::vector<ClassWorkload> classes;
   double duration_s = 300.0;
   uint64_t seed = 0xC0FFEE;
+  // Shared arrival process shape; each class modulates its own rate by it.
+  // For kTrace the recorded times are split across classes by rate share,
+  // which couples the split to the full rate vector — appending a class
+  // redistributes trace arrivals (unlike the independent-substream kinds,
+  // which never perturb existing classes).
+  ArrivalProcess arrival;
 };
 
 // The RNG seed for class `index`'s substream. Class 0 inherits the base

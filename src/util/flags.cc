@@ -27,6 +27,20 @@ size_t EditDistance(const std::string& a, const std::string& b) {
 
 }  // namespace
 
+std::string ClosestCandidate(const std::string& name,
+                             const std::vector<std::string>& candidates) {
+  size_t best_distance = 3;  // within 2 edits counts as "plausibly a typo"
+  const std::string* best = nullptr;
+  for (const auto& candidate : candidates) {
+    size_t d = EditDistance(name, candidate);
+    if (d < best_distance) {
+      best_distance = d;
+      best = &candidate;
+    }
+  }
+  return best == nullptr ? "" : *best;
+}
+
 Flags Flags::Parse(int argc, const char* const* argv,
                    const std::vector<std::string>& switches) {
   Flags flags;
@@ -66,17 +80,9 @@ std::string Flags::UnknownFlagCheck(const std::vector<std::string>& allowed) con
     std::string message = "unknown flag --" + key;
     // Suggest the closest allowed flag when it is plausibly a typo (within
     // 2 edits, e.g. --thread -> --threads, --mdoel -> --model).
-    size_t best_distance = 3;
-    const std::string* best = nullptr;
-    for (const auto& candidate : allowed) {
-      size_t d = EditDistance(key, candidate);
-      if (d < best_distance) {
-        best_distance = d;
-        best = &candidate;
-      }
-    }
-    if (best != nullptr) {
-      message += " (did you mean --" + *best + "?)";
+    std::string best = ClosestCandidate(key, allowed);
+    if (!best.empty()) {
+      message += " (did you mean --" + best + "?)";
     }
     return message;
   }

@@ -11,6 +11,12 @@
 
 namespace litegpu {
 
+// The closest entry in `candidates` within 2 edits of `name` ("" when
+// nothing is close). Powers "did you mean" hints for flag typos and for
+// enum-like JSON fields (arrival kinds, autoscaler policies).
+std::string ClosestCandidate(const std::string& name,
+                             const std::vector<std::string>& candidates);
+
 class Flags {
  public:
   // Parses argv (argv[0] skipped). Unknown flags are kept; validation is

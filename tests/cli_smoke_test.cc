@@ -50,7 +50,8 @@ TEST(CliSmoke, RunExecutesEveryCheckedInScenarioAsJson) {
   // One file per study kind; every report must be valid JSON with ok=true.
   for (const char* file : {"fig3a.json", "fig3b.json", "search.json", "design.json",
                            "mcsim.json", "yield.json", "derive.json", "serve.json",
-                           "serve_sweep.json", "serve_multitenant.json"}) {
+                           "serve_sweep.json", "serve_multitenant.json",
+                           "serve_autoscale.json"}) {
     CommandResult result = RunCommand("run " + ScenarioPath(file) + " --json");
     EXPECT_EQ(result.exit_code, 0) << file;
     std::string error;
@@ -126,6 +127,54 @@ TEST(CliSmoke, MultitenantScenarioReportsPerClassBlocks) {
   EXPECT_EQ(text.exit_code, 0);
   EXPECT_NE(text.stdout_text.find("per-class"), std::string::npos);
   EXPECT_NE(text.stdout_text.find("batch-summarize"), std::string::npos);
+}
+
+TEST(CliSmoke, AutoscaleScenarioIsThreadInvariantAndReportsScaling) {
+  // The acceptance check for time-varying traffic + autoscaling: the
+  // checked-in diurnal day reports scale events and instance-hours, and the
+  // whole report is bit-identical at any --threads.
+  CommandResult t1 =
+      RunCommand("run " + ScenarioPath("serve_autoscale.json") + " --json --threads 1");
+  CommandResult t4 =
+      RunCommand("run " + ScenarioPath("serve_autoscale.json") + " --json --threads 4");
+  ASSERT_EQ(t1.exit_code, 0);
+  ASSERT_EQ(t4.exit_code, 0);
+  EXPECT_EQ(t1.stdout_text, t4.stdout_text);
+  auto parsed = Json::Parse(t1.stdout_text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->GetBool("ok", false));
+  const Json* report = parsed->Find("report");
+  ASSERT_NE(report, nullptr);
+  const Json* config = report->Find("config");
+  ASSERT_NE(config, nullptr);
+  EXPECT_NE(config->Find("arrival"), nullptr);
+  EXPECT_NE(config->Find("autoscaler"), nullptr);
+  const Json* scale = report->Find("autoscaler");
+  ASSERT_NE(scale, nullptr);
+  EXPECT_EQ(scale->GetString("policy", ""), "reactive");
+  EXPECT_GT(scale->GetDouble("gpu_hours", 0.0), 0.0);
+  EXPECT_GT(scale->GetDouble("decode_instance_hours", 0.0), 0.0);
+  EXPECT_GT(scale->GetDouble("ttft_attainment", 0.0), 0.0);
+  const Json* events = scale->Find("events");
+  ASSERT_NE(events, nullptr);
+  EXPECT_GT(events->size(), 0u);
+}
+
+TEST(CliSmoke, InvalidAutoscalerFileExitsUsageError) {
+  std::string path = ::testing::TempDir() + "litegpu_bad_autoscaler.json";
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("{\"policy\": \"reactive\", \"interval_s\": -1}", f);
+  fclose(f);
+  EXPECT_EQ(RunCommand("serve --autoscaler " + path).exit_code, 64);
+  std::string arrival_path = ::testing::TempDir() + "litegpu_bad_arrival.json";
+  f = fopen(arrival_path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("{\"kind\": \"diurnl\"}", f);
+  fclose(f);
+  EXPECT_EQ(RunCommand("serve --arrival " + arrival_path).exit_code, 64);
+  std::remove(path.c_str());
+  std::remove(arrival_path.c_str());
 }
 
 TEST(CliSmoke, TextModeStillPrintsTables) {

@@ -7,9 +7,11 @@
 #   3. Every study kind must appear (in backticks) in docs/scenarios.md
 #      and docs/reports.md.
 #   4. Every knob field declared in src/core/scenario.h (the Scenario
-#      struct, every *Knobs struct, RequestClass) and every WorkloadParams
-#      field must appear in backticks in docs/scenarios.md — adding a knob
-#      without documenting it fails CI.
+#      struct, every *Knobs struct, RequestClass), every WorkloadParams
+#      field, and every ArrivalProcess field must appear in backticks in
+#      docs/scenarios.md — adding a knob without documenting it fails CI.
+#   5. Every ScaleEvent field (the autoscaler report rows) must appear in
+#      backticks in docs/reports.md.
 #
 # Grep-based on purpose: no build needed, runs in milliseconds, and keyed
 # off the same headers the parser is generated from. The reverse direction
@@ -66,8 +68,9 @@ done
 # two-space indented, not a method (no parenthesis), last identifier before
 # '=' or ';'.
 extract_fields() { # extract_fields <header> <struct-name-regex>
+  # Matches plain and derived structs ("struct ServeKnobs : ServeCommonKnobs {").
   awk -v structs="$2" '
-    $0 ~ "^struct (" structs ") \\{" { c = 1; next }
+    $0 ~ "^struct (" structs ")( :[^{]*)? \\{" { c = 1; next }
     c && /^};/ { c = 0 }
     c && /^  [A-Za-z_]/ && $0 !~ /\(/ { print }
   ' "$1" |
@@ -90,6 +93,15 @@ knob_structs=$(grep -oE '^struct [A-Za-z]+Knobs' src/core/scenario.h |
 [ -n "$knob_structs" ] || err "could not extract knob structs from src/core/scenario.h"
 check_fields src/core/scenario.h "RequestClass|$knob_structs|Scenario"
 check_fields src/roofline/inference.h "WorkloadParams"
+check_fields src/serve/workload.h "ArrivalProcess"
+
+# --- every autoscaler report row field is documented ---
+# ScaleEvent is what the report's autoscaler "events" array serializes, so
+# each field must be named in docs/reports.md.
+for field in $(extract_fields src/serve/simulator.h "ScaleEvent"); do
+  grep -q "\`$field\`" "$REPORTS_DOC" ||
+    err "scale event field '$field' (src/serve/simulator.h) is not documented in $REPORTS_DOC"
+done
 
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED — update docs/scenarios.md (and reports.md) to match the code" >&2

@@ -7,6 +7,8 @@
 //   litegpu design --model M                    Table-1 cluster comparison
 //   litegpu serve [--model M --gpu G --load X]  end-to-end serving simulation
 //                 [--classes mix.json]          multi-tenant request classes
+//                 [--arrival proc.json]         time-varying arrival process
+//                 [--autoscaler policy.json]    mid-horizon pool autoscaling
 //   litegpu sweep [--loads lo:hi:step]          serving sim over a load grid
 //   litegpu mcsim [--spares N] [--trials N]     Monte-Carlo availability
 //   litegpu yield [--d0 X] [--area A]           Section-2 silicon economics
@@ -24,7 +26,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/runner.h"
@@ -224,11 +228,62 @@ bool LoadClassesFlag(const Flags& flags, std::vector<RequestClass>& out) {
   return true;
 }
 
+// Loads an --arrival file (an arrival-process object, bare or wrapped in
+// {"arrival": ...}) and validates it before the run. Returns false (with
+// the message printed) on parse or validation errors.
+bool LoadArrivalFlag(const Flags& flags, ArrivalProcess& out) {
+  if (!flags.Has("arrival")) {
+    return true;
+  }
+  std::string path = flags.GetString("arrival");
+  std::string error;
+  auto json = Json::ParseFile(path, &error);
+  std::optional<ArrivalProcess> arrival;
+  if (json) {
+    arrival = ParseArrivalProcess(*json, &error);
+  }
+  if (arrival) {
+    error = ValidateArrivalProcess(*arrival, "arrival file");
+  }
+  if (!error.empty()) {
+    std::fprintf(stderr, "litegpu: %s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  out = std::move(*arrival);
+  return true;
+}
+
+// Loads an --autoscaler file (an autoscaler-knobs object, bare or wrapped
+// in {"autoscaler": ...}) and validates it before the run. Returns false
+// (with the message printed) on parse or validation errors.
+bool LoadAutoscalerFlag(const Flags& flags, AutoscalerKnobs& out) {
+  if (!flags.Has("autoscaler")) {
+    return true;
+  }
+  std::string path = flags.GetString("autoscaler");
+  std::string error;
+  auto json = Json::ParseFile(path, &error);
+  std::optional<AutoscalerKnobs> knobs;
+  if (json) {
+    knobs = ParseAutoscalerKnobs(*json, &error);
+  }
+  if (knobs) {
+    error = ValidateAutoscalerKnobs(*knobs, "autoscaler file");
+  }
+  if (!error.empty()) {
+    std::fprintf(stderr, "litegpu: %s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  out = std::move(*knobs);
+  return true;
+}
+
 int RunServe(const Flags& flags) {
   if (int rc = CheckFlags(
           flags, AllowedFlags({"model", "gpu", "load", "rate", "horizon",
                                "prefill-instances", "decode-instances", "prompt-sigma",
-                               "output-sigma", "seed", "classes"}))) {
+                               "output-sigma", "seed", "classes", "arrival",
+                               "autoscaler"}))) {
     return rc;
   }
   ScenarioBuilder builder(StudyKind::kServe);
@@ -244,7 +299,8 @@ int RunServe(const Flags& flags) {
   knobs.prompt_sigma = flags.GetDouble("prompt-sigma", knobs.prompt_sigma);
   knobs.output_sigma = flags.GetDouble("output-sigma", knobs.output_sigma);
   knobs.seed = flags.GetUint64("seed", knobs.seed);
-  if (!LoadClassesFlag(flags, knobs.classes)) {
+  if (!LoadClassesFlag(flags, knobs.classes) || !LoadArrivalFlag(flags, knobs.arrival) ||
+      !LoadAutoscalerFlag(flags, knobs.autoscaler)) {
     return kUsageError;
   }
   builder.Serve(knobs);
@@ -315,7 +371,8 @@ int RunSweep(const Flags& flags) {
   if (int rc = CheckFlags(
           flags, AllowedFlags({"model", "gpu", "loads", "rates", "horizon",
                                "prefill-instances", "decode-instances", "prompt-sigma",
-                               "output-sigma", "seed", "classes"}))) {
+                               "output-sigma", "seed", "classes", "arrival",
+                               "autoscaler"}))) {
     return rc;
   }
   ScenarioBuilder builder(StudyKind::kServeSweep);
@@ -340,7 +397,8 @@ int RunSweep(const Flags& flags) {
   knobs.prompt_sigma = flags.GetDouble("prompt-sigma", knobs.prompt_sigma);
   knobs.output_sigma = flags.GetDouble("output-sigma", knobs.output_sigma);
   knobs.seed = flags.GetUint64("seed", knobs.seed);
-  if (!LoadClassesFlag(flags, knobs.classes)) {
+  if (!LoadClassesFlag(flags, knobs.classes) || !LoadArrivalFlag(flags, knobs.arrival) ||
+      !LoadAutoscalerFlag(flags, knobs.autoscaler)) {
     return kUsageError;
   }
   builder.ServeSweep(knobs);
@@ -454,10 +512,12 @@ int Usage() {
       "  search:  --model M --gpu G [--prompt N --output N --ttft S --tbt S]\n"
       "  serve:   [--model M --gpu G --load X --rate R --horizon S\n"
       "            --prefill-instances N --decode-instances N\n"
-      "            --prompt-sigma X --output-sigma X --seed N --classes mix.json]\n"
+      "            --prompt-sigma X --output-sigma X --seed N --classes mix.json\n"
+      "            --arrival proc.json --autoscaler policy.json]\n"
       "  sweep:   [--model M --gpu G --loads lo:hi:step|a,b,c --rates lo:hi:step|a,b,c\n"
       "            --horizon S --prefill-instances N --decode-instances N\n"
-      "            --prompt-sigma X --output-sigma X --seed N --classes mix.json]\n"
+      "            --prompt-sigma X --output-sigma X --seed N --classes mix.json\n"
+      "            --arrival proc.json --autoscaler policy.json]\n"
       "  design:  --model M [--hbm-cost X --price-multiplier X --amortization-years X]\n"
       "  mcsim:   [--gpu G --gpus-per-instance N --instances N --spares N\n"
       "            --years X --seed N --trials N]\n"
