@@ -16,10 +16,15 @@
 //      policy): both paths must agree on the scale-event sequence and the
 //      instance-second integrals, covering the new event kinds the
 //      autoscaler adds to the loop.
+//   5. A fault-injected point (accelerated churn, hot spares, retries):
+//      both paths must produce element-wise identical fault event logs and
+//      identical kill/retry accounting. The zero-AFR table path is also
+//      gated on an absolute ns-per-decode-step budget, so the disabled
+//      fault branch staying off the hot path is enforced, not assumed.
 //
 // `--json` emits one JSON object (CI tees it into BENCH_serve_scale.json)
 // and the exit code gates regressions: nonzero when the inner-loop speedup
-// is not > 1 or either identity check fails.
+// is not > 1, any identity check fails, or the zero-AFR step budget blows.
 
 #include <chrono>
 #include <cmath>
@@ -186,7 +191,58 @@ int main(int argc, char** argv) {
       scaled_old.completed_requests == scaled_fast.completed_requests &&
       scaled_old.decode_tokens_per_s == scaled_fast.decode_tokens_per_s;
 
-  bool pass = inner_speedup > 1.0 && identical && autoscale_identical && sweep_report.ok;
+  // --- 5. fault-injected point, callback vs table --------------------------
+  // Accelerated churn (the serve_faulty.json regime): several failures per
+  // pool over the minute, hot spares masking some, killed batches retried.
+  ServeClusterConfig faulty = cluster;
+  // Failures inject over the admission horizon only; leaving the default
+  // (effectively infinite) horizon would reschedule failures forever.
+  faulty.horizon_s = spec.duration_s;
+  faulty.faults.enabled = true;
+  faulty.faults.prefill_failure_rate_per_s = 0.05;
+  faulty.faults.decode_failure_rate_per_s = 0.1;
+  faulty.faults.repair_s = 10.0;
+  faulty.faults.spare_activation_s = 1.0;
+  faulty.faults.prefill_spares = 1;
+  faulty.faults.decode_spares = 1;
+  faulty.faults.seed = FaultSubstreamSeed(0xC0FFEE);
+  ServeMetrics faulty_old = RunServeSimulation(requests, faulty, callbacks);
+  ServeMetrics faulty_fast = RunServeSimulation(requests, faulty, table);
+  bool fault_log_identical =
+      faulty_old.fault_events.size() == faulty_fast.fault_events.size() &&
+      !faulty_fast.fault_events.empty();
+  for (size_t i = 0; fault_log_identical && i < faulty_old.fault_events.size(); ++i) {
+    const FaultEvent& a = faulty_old.fault_events[i];
+    const FaultEvent& b = faulty_fast.fault_events[i];
+    fault_log_identical = a.time_s == b.time_s && a.kind == b.kind &&
+                          a.pool == b.pool && a.instance == b.instance &&
+                          a.killed_requests == b.killed_requests &&
+                          a.lost_tokens == b.lost_tokens &&
+                          a.spares_free == b.spares_free;
+  }
+  bool fault_identical =
+      fault_log_identical &&
+      faulty_old.retried_requests == faulty_fast.retried_requests &&
+      faulty_old.dropped_requests == faulty_fast.dropped_requests &&
+      faulty_old.lost_tokens == faulty_fast.lost_tokens &&
+      faulty_old.prefill_fault_downtime_s == faulty_fast.prefill_fault_downtime_s &&
+      faulty_old.decode_fault_downtime_s == faulty_fast.decode_fault_downtime_s &&
+      faulty_old.completed_requests == faulty_fast.completed_requests &&
+      faulty_old.decode_tokens_per_s == faulty_fast.decode_tokens_per_s;
+  // Zero-AFR overhead gate: the section-2 table-path run has faults
+  // compiled in but disabled; its per-decode-step cost must stay inside a
+  // generous absolute budget (~10x the expected cost) so fault bookkeeping
+  // creeping onto the disabled hot path fails CI instead of rotting.
+  const double kZeroAfrStepBudgetNs = 2000.0;
+  double zero_afr_ns_per_step =
+      fast_path.tbt_s.count() > 0
+          ? 1e9 * fast_sim_s / static_cast<double>(fast_path.tbt_s.count())
+          : 0.0;
+  bool zero_afr_within_budget =
+      zero_afr_ns_per_step > 0.0 && zero_afr_ns_per_step <= kZeroAfrStepBudgetNs;
+
+  bool pass = inner_speedup > 1.0 && identical && autoscale_identical &&
+              fault_identical && zero_afr_within_budget && sweep_report.ok;
 
   if (json) {
     Json inner = Json::Object();
@@ -219,11 +275,21 @@ int main(int argc, char** argv) {
         .Set("decode_instance_seconds", scaled_fast.decode_instance_seconds)
         .Set("events_identical", scale_events_identical)
         .Set("metrics_identical", autoscale_identical);
+    Json faults_json = Json::Object();
+    faults_json.Set("fault_events", static_cast<int>(faulty_fast.fault_events.size()))
+        .Set("retried_requests", faulty_fast.retried_requests)
+        .Set("lost_tokens", faulty_fast.lost_tokens)
+        .Set("event_log_identical", fault_log_identical)
+        .Set("metrics_identical", fault_identical)
+        .Set("zero_afr_ns_per_step", zero_afr_ns_per_step)
+        .Set("zero_afr_step_budget_ns", kZeroAfrStepBudgetNs)
+        .Set("zero_afr_within_budget", zero_afr_within_budget);
     Json j = Json::Object();
     j.Set("inner_loop", std::move(inner))
         .Set("full_sim", std::move(sim))
         .Set("sweep", std::move(sweep))
         .Set("autoscale", std::move(autoscale))
+        .Set("faults", std::move(faults_json))
         .Set("pass", pass);
     std::printf("%s\n", j.Dump().c_str());
   } else {
@@ -241,9 +307,15 @@ int main(int argc, char** argv) {
                 "  (one callback-path point at high load: %.3f s)\n\n",
                 sweep_points, knobs.horizon_s, sweep_s, old_sim_s);
     std::printf("autoscaled on/off point (%zu scale events, peak %d decode inst):\n"
-                "  callback-vs-table identity: %s (events, instance-seconds, goodput)\n",
+                "  callback-vs-table identity: %s (events, instance-seconds, goodput)\n\n",
                 scaled_fast.scale_events.size(), scaled_fast.peak_decode_instances,
                 autoscale_identical ? "OK" : "FAILED");
+    std::printf("fault-injected point (%zu fault events, %d retried):\n"
+                "  callback-vs-table identity: %s (event log element-wise, kill accounting)\n"
+                "  zero-AFR table path: %.0f ns/decode-step (budget %.0f): %s\n",
+                faulty_fast.fault_events.size(), faulty_fast.retried_requests,
+                fault_identical ? "OK" : "FAILED", zero_afr_ns_per_step,
+                kZeroAfrStepBudgetNs, zero_afr_within_budget ? "OK" : "FAILED");
   }
   return pass ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 #include "src/hw/catalog.h"
 #include "src/perf/model.h"
 #include "src/perf/step_table.h"
+#include "src/reliability/failure_model.h"
 #include "src/sched/pools.h"
 #include "src/serve/simulator.h"
 #include "src/serve/workload.h"
@@ -148,6 +149,8 @@ struct ServePlatform {
   double decode_capacity_tok_s = 0.0;
   InstanceCapacity capacity;
   StepTimeTable table;
+  // The resolved GPU spec, kept so fault injection can area-scale its AFR.
+  GpuSpec gpu;
 };
 
 ServePlatform BuildServePlatform(const std::string& model_name, const std::string& gpu_name,
@@ -155,6 +158,7 @@ ServePlatform BuildServePlatform(const std::string& model_name, const std::strin
   ServePlatform platform;
   TransformerSpec model = *FindModel(model_name);
   GpuSpec gpu = *FindGpu(gpu_name);
+  platform.gpu = gpu;
   PrefillSearchResult prefill = SearchPrefill(model, gpu, options);
   DecodeSearchResult decode = SearchDecode(model, gpu, options);
   if (!prefill.found || !decode.found) {
@@ -232,6 +236,46 @@ ServeAutoscalerConfig MakeAutoscalerConfig(const AutoscalerKnobs& knobs,
   return config;
 }
 
+// The reliability-model parameters a faults block implies; shared by the
+// injected rates and the closed-form availability prediction so the
+// cross-check compares like against like.
+FailureParams FaultFailureParams(const FaultKnobs& knobs) {
+  FailureParams params;
+  params.reference_afr = knobs.afr;
+  params.per_device_floor_afr = knobs.floor_afr;
+  params.mttr_hours = knobs.mttr_hours;
+  params.spare_activation_minutes = knobs.spare_activation_minutes;
+  return params;
+}
+
+// Builds the simulator's resolved fault config from the scenario's knobs
+// plus the platform's GPU spec and per-instance GPU counts: the per-pool
+// hazard is the area-scaled per-GPU rate times the instances' GPU count, so
+// H100-sized and Lite-sized pools churn differently from the same knobs.
+// The fault RNG substream derives from the point's workload seed with a
+// distinct mix, so enabling faults never perturbs arrivals or lengths.
+ServeFaultConfig MakeFaultConfig(const FaultKnobs& knobs, const GpuSpec& gpu,
+                                 const InstanceCapacity& capacity, uint64_t seed) {
+  ServeFaultConfig config;
+  config.enabled = knobs.enabled();
+  if (!config.enabled) {
+    return config;
+  }
+  FailureParams params = FaultFailureParams(knobs);
+  config.prefill_failure_rate_per_s =
+      InstanceFailureRatePerSecond(gpu, capacity.prefill_gpus, params);
+  config.decode_failure_rate_per_s =
+      InstanceFailureRatePerSecond(gpu, capacity.decode_gpus, params);
+  config.repair_s = knobs.mttr_hours * 3600.0;
+  config.spare_activation_s = knobs.spare_activation_minutes * 60.0;
+  config.prefill_spares = knobs.hot_spares;
+  config.decode_spares = knobs.hot_spares;
+  config.retry_policy = knobs.retry_policy;
+  config.retry_budget = knobs.retry_budget;
+  config.seed = FaultSubstreamSeed(seed);
+  return config;
+}
+
 // Global request-level TTFT SLO attainment: the fraction of completed
 // requests whose TTFT met their (per-class effective) SLO. The transient
 // counterpart of the p99 pass/fail — an autoscaled day can pass the
@@ -302,6 +346,11 @@ ServeSweepReport::Point SimulateServePoint(const ServePlatform& platform,
         deployment.prefill_instances * platform.capacity.prefill_gpus +
         deployment.decode_instances * platform.capacity.decode_gpus;
   }
+  if (common.faults.enabled()) {
+    // Hot spares are real devices the deployment pays for.
+    deployment = WithHotSpares(deployment, common.faults.hot_spares,
+                               common.faults.hot_spares);
+  }
   p.prefill_instances = deployment.prefill_instances;
   p.decode_instances = deployment.decode_instances;
   p.total_gpus = deployment.total_gpus;
@@ -341,7 +390,65 @@ ServeSweepReport::Point SimulateServePoint(const ServePlatform& platform,
   cluster.horizon_s = common.horizon_s;
   cluster.num_classes = static_cast<int>(classes.size());
   cluster.autoscaler = MakeAutoscalerConfig(common.autoscaler, platform.capacity);
+  cluster.faults =
+      MakeFaultConfig(common.faults, platform.gpu, platform.capacity, seed);
   ServeMetrics metrics = RunServeSimulation(requests, cluster, platform.table);
+
+  if (common.faults.enabled()) {
+    // Goodput under churn needs a fault-free yardstick: the same requests
+    // on the same (initial) pools with injection off.
+    ServeClusterConfig baseline_cluster = cluster;
+    baseline_cluster.faults = ServeFaultConfig{};
+    ServeMetrics baseline = RunServeSimulation(requests, baseline_cluster, platform.table);
+
+    ServeFaultReport& f = p.faults;
+    f.enabled = true;
+    f.retry_policy = ToString(common.faults.retry_policy);
+    f.retried_requests = metrics.retried_requests;
+    f.dropped_requests = metrics.dropped_requests;
+    f.lost_tokens = metrics.lost_tokens;
+    f.goodput_tokens_per_s = metrics.decode_tokens_per_s;
+    f.baseline_goodput_tokens_per_s = baseline.decode_tokens_per_s;
+    f.goodput_ratio = f.baseline_goodput_tokens_per_s > 0.0
+                          ? f.goodput_tokens_per_s / f.baseline_goodput_tokens_per_s
+                          : 0.0;
+    for (const FaultEvent& e : metrics.fault_events) {
+      ServeFaultPoolReport& pool =
+          e.pool == ScalePool::kPrefill ? f.prefill : f.decode;
+      if (e.kind == FaultEventKind::kFailure) {
+        pool.failures += 1;
+        pool.lost_tokens += e.lost_tokens;
+      } else if (e.kind == FaultEventKind::kSpareActivation) {
+        pool.spare_activations += 1;
+      }
+    }
+    f.prefill.downtime_s = metrics.prefill_fault_downtime_s;
+    f.decode.downtime_s = metrics.decode_fault_downtime_s;
+    // Blast radius: mean tokens of in-flight work one failure destroys,
+    // as a fraction of the output tokens the run actually served.
+    for (ServeFaultPoolReport* pool : {&f.prefill, &f.decode}) {
+      if (pool->failures > 0 && metrics.output_tokens > 0.0) {
+        pool->blast_radius_fraction =
+            pool->lost_tokens / pool->failures / metrics.output_tokens;
+      }
+    }
+    f.prefill.availability_measured =
+        metrics.prefill_instance_seconds > 0.0
+            ? 1.0 - f.prefill.downtime_s / metrics.prefill_instance_seconds
+            : 1.0;
+    f.decode.availability_measured =
+        metrics.decode_instance_seconds > 0.0
+            ? 1.0 - f.decode.downtime_s / metrics.decode_instance_seconds
+            : 1.0;
+    FailureParams params = FaultFailureParams(common.faults);
+    f.prefill.availability_predicted = InstanceAvailabilityWithSpares(
+        platform.gpu, platform.capacity.prefill_gpus, p.prefill_instances,
+        common.faults.hot_spares, params);
+    f.decode.availability_predicted = InstanceAvailabilityWithSpares(
+        platform.gpu, platform.capacity.decode_gpus, p.decode_instances,
+        common.faults.hot_spares, params);
+    f.events = std::move(metrics.fault_events);
+  }
 
   if (common.autoscaler.enabled()) {
     p.scale.enabled = true;
@@ -381,12 +488,19 @@ ServeSweepReport::Point SimulateServePoint(const ServePlatform& platform,
   p.mean_decode_batch = metrics.mean_decode_batch;
   p.makespan_s = metrics.makespan_s;
 
+  // SLO verdicts are judged at p99 normally; under fault injection, at the
+  // faults block's target_attainment quantile — "meets the SLOs under
+  // churn" at the declared percentile. The default 0.99 makes the two
+  // criteria coincide, so fault-free sweeps are unchanged bit-for-bit.
+  const double slo_q =
+      common.faults.enabled() ? common.faults.target_attainment : 0.99;
   if (classes.empty()) {
     // A point that served nothing proves nothing: vacuously zero
     // percentiles must not count as meeting the SLOs (or an empty point
     // could be the knee).
-    p.slo_ok = p.completed_requests > 0 && p.ttft_p99_s <= s.workload.ttft_slo_s &&
-               p.tbt_p99_s <= s.workload.tbt_slo_s;
+    p.slo_ok = p.completed_requests > 0 &&
+               metrics.ttft_s.Quantile(slo_q) <= s.workload.ttft_slo_s &&
+               metrics.tbt_s.Quantile(slo_q) <= s.workload.tbt_slo_s;
     return p;
   }
 
@@ -425,8 +539,9 @@ ServeSweepReport::Point SimulateServePoint(const ServePlatform& platform,
                               ? static_cast<double>(within_slo) /
                                     static_cast<double>(cm.ttft_s.count())
                               : 0.0;
-    cls.slo_ok = cls.completed_requests > 0 && cls.ttft_p99_s <= cls.ttft_slo_s &&
-                 cls.tbt_p99_s <= cls.tbt_slo_s;
+    cls.slo_ok = cls.completed_requests > 0 &&
+                 cm.ttft_s.Quantile(slo_q) <= cls.ttft_slo_s &&
+                 cm.tbt_s.Quantile(slo_q) <= cls.tbt_slo_s;
     all_classes_ok = all_classes_ok && cls.slo_ok;
     p.classes.push_back(std::move(cls));
   }
@@ -494,6 +609,7 @@ ServeStudyReport RunServeStudy(const Scenario& s, std::string* error) {
   out.mean_decode_batch = point.mean_decode_batch;
   out.makespan_s = point.makespan_s;
   out.scale = std::move(point.scale);
+  out.faults = std::move(point.faults);
   out.classes = std::move(point.classes);
   return out;
 }
@@ -857,7 +973,8 @@ Json ClassReportsToJson(const std::vector<ServeClassReport>& classes) {
 
 // Config-echo keys shared by the serve and sweep reports: the arrival
 // process when it is not the stationary Poisson default, the autoscaler
-// block when one is enabled. Gated so fixed-pool Poisson reports stay
+// block when one is enabled, the faults block when it moved off its
+// defaults. Gated so fixed-pool fault-free Poisson reports stay
 // byte-identical to the pre-autoscaler renderer.
 void EchoArrivalAndAutoscaler(Json& config, const ServeCommonKnobs& knobs) {
   if (knobs.arrival.kind != ArrivalKind::kPoisson) {
@@ -865,6 +982,9 @@ void EchoArrivalAndAutoscaler(Json& config, const ServeCommonKnobs& knobs) {
   }
   if (knobs.autoscaler.enabled()) {
     config.Set("autoscaler", AutoscalerKnobsToJson(knobs.autoscaler));
+  }
+  if (!FaultKnobsAreDefault(knobs.faults)) {
+    config.Set("faults", FaultKnobsToJson(knobs.faults));
   }
 }
 
@@ -893,6 +1013,70 @@ Json ScaleReportToJson(const ServeScaleReport& scale) {
       .Set("ttft_attainment", scale.ttft_attainment)
       .Set("events", std::move(events));
   return j;
+}
+
+Json FaultPoolToJson(const ServeFaultPoolReport& pool) {
+  Json j = Json::Object();
+  j.Set("failures", pool.failures)
+      .Set("spare_activations", pool.spare_activations)
+      .Set("downtime_s", pool.downtime_s)
+      .Set("lost_tokens", pool.lost_tokens)
+      .Set("blast_radius_fraction", pool.blast_radius_fraction)
+      .Set("availability_measured", pool.availability_measured)
+      .Set("availability_predicted", pool.availability_predicted);
+  return j;
+}
+
+Json FaultReportToJson(const ServeFaultReport& f) {
+  Json events = Json::Array();
+  for (const FaultEvent& e : f.events) {
+    Json event = Json::Object();
+    event.Set("time_s", e.time_s)
+        .Set("kind", std::string(ToString(e.kind)))
+        .Set("pool", std::string(ToString(e.pool)))
+        .Set("instance", e.instance)
+        .Set("killed_requests", e.killed_requests)
+        .Set("lost_tokens", e.lost_tokens)
+        .Set("spares_free", e.spares_free);
+    events.Append(std::move(event));
+  }
+  Json j = Json::Object();
+  j.Set("retry_policy", f.retry_policy)
+      .Set("prefill", FaultPoolToJson(f.prefill))
+      .Set("decode", FaultPoolToJson(f.decode))
+      .Set("retried_requests", f.retried_requests)
+      .Set("dropped_requests", f.dropped_requests)
+      .Set("lost_tokens", f.lost_tokens)
+      .Set("goodput_tokens_per_s", f.goodput_tokens_per_s)
+      .Set("baseline_goodput_tokens_per_s", f.baseline_goodput_tokens_per_s)
+      .Set("goodput_ratio", f.goodput_ratio)
+      .Set("events", std::move(events));
+  return j;
+}
+
+std::string FaultSummaryToText(const ServeFaultReport& f) {
+  std::ostringstream os;
+  os << "faults (" << f.retry_policy << "): " << f.prefill.failures << "p+"
+     << f.decode.failures << "d failures ("
+     << f.prefill.spare_activations + f.decode.spare_activations
+     << " spare-masked), " << f.retried_requests << " retried / "
+     << f.dropped_requests << " dropped requests, "
+     << FormatDouble(f.lost_tokens, 0) << " tokens lost\n"
+     << "  availability: prefill "
+     << HumanPercent(f.prefill.availability_measured, 2) << " measured / "
+     << HumanPercent(f.prefill.availability_predicted, 2)
+     << " predicted, decode " << HumanPercent(f.decode.availability_measured, 2)
+     << " measured / " << HumanPercent(f.decode.availability_predicted, 2)
+     << " predicted\n"
+     << "  blast radius: prefill "
+     << HumanPercent(f.prefill.blast_radius_fraction, 3) << " / decode "
+     << HumanPercent(f.decode.blast_radius_fraction, 3)
+     << " of served tokens per failure\n"
+     << "  goodput under churn: " << HumanPercent(f.goodput_ratio, 1)
+     << " of the fault-free baseline ("
+     << FormatDouble(f.goodput_tokens_per_s, 0) << " vs "
+     << FormatDouble(f.baseline_goodput_tokens_per_s, 0) << " tok/s)\n";
+  return os.str();
 }
 
 std::string ScaleSummaryToText(const ServeScaleReport& scale) {
@@ -933,6 +1117,9 @@ std::string ServeStudyToText(const ServeStudyReport& r) {
   os << table.ToText();
   if (r.scale.enabled) {
     os << ScaleSummaryToText(r.scale);
+  }
+  if (r.faults.enabled) {
+    os << FaultSummaryToText(r.faults);
   }
   if (!r.classes.empty()) {
     os << "per-class (" << r.classes.size() << " request classes):\n"
@@ -991,6 +1178,9 @@ Json ServeStudyToJson(const ServeStudyReport& r) {
   if (r.scale.enabled) {
     j.Set("autoscaler", ScaleReportToJson(r.scale));
   }
+  if (r.faults.enabled) {
+    j.Set("faults", FaultReportToJson(r.faults));
+  }
   if (!r.classes.empty()) {
     j.Set("classes", ClassReportsToJson(r.classes));
   }
@@ -1023,6 +1213,14 @@ std::string ServeSweepToText(const ServeSweepReport& r) {
   }
   os << table.ToText();
   bool multi_class = !r.knobs.classes.empty();
+  // Under fault injection the verdicts behind the knee are judged at the
+  // target attainment quantile, so say so.
+  std::string churn_suffix =
+      r.knobs.faults.enabled()
+          ? " at the p" +
+                FormatDouble(r.knobs.faults.target_attainment * 100.0, 0) +
+                " attainment target under churn"
+          : "";
   if (r.knee_index >= 0) {
     const auto& knee = r.points[static_cast<size_t>(r.knee_index)];
     os << "knee: " << HumanPercent(knee.load, 0) << " load ("
@@ -1030,7 +1228,10 @@ std::string ServeSweepToText(const ServeSweepReport& r) {
        << FormatDouble(knee.goodput_tokens_per_s, 0) << " tok/s goodput) — "
        << (multi_class ? "highest load where every class meets its SLOs"
                        : "highest load meeting both SLOs")
-       << "\n";
+       << churn_suffix << "\n";
+    if (knee.faults.enabled) {
+      os << FaultSummaryToText(knee.faults);
+    }
     if (multi_class) {
       os << "per-class at the knee:\n" << ClassTableToText(knee.classes);
     }
@@ -1120,6 +1321,9 @@ Json ServeSweepToJson(const ServeSweepReport& r) {
         .Set("slo_ok", p.slo_ok);
     if (p.scale.enabled) {
       point.Set("autoscaler", ScaleReportToJson(p.scale));
+    }
+    if (p.faults.enabled) {
+      point.Set("faults", FaultReportToJson(p.faults));
     }
     if (!p.classes.empty()) {
       point.Set("classes", ClassReportsToJson(p.classes));

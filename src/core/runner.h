@@ -115,6 +115,44 @@ struct ServeScaleReport {
   std::vector<ScaleEvent> events;  // in the order they took effect
 };
 
+// Per-pool slice of the fault outcome: how often the pool's instances
+// failed, how long they stayed down, how much in-flight work each failure
+// destroyed (the paper's blast radius, measured on live traffic), and the
+// measured availability next to the closed-form prediction from
+// src/reliability/failure_model.h — the cross-check the fault engine's
+// credibility rests on.
+struct ServeFaultPoolReport {
+  int failures = 0;
+  int spare_activations = 0;  // failures masked by a hot spare
+  double downtime_s = 0.0;    // summed instance downtime, clipped to the makespan
+  double lost_tokens = 0.0;   // in-flight work destroyed by this pool's failures
+  // Mean tokens lost per failure over the run's served output tokens: the
+  // fraction of the horizon's work one failure destroys. H100-sized and
+  // Lite-sized instances differ here even at matched availability.
+  double blast_radius_fraction = 0.0;
+  double availability_measured = 0.0;   // 1 - downtime / instance-seconds
+  double availability_predicted = 0.0;  // InstanceAvailabilityWithSpares
+};
+
+// Fault outcome of one simulated serve point, filled only when the
+// scenario's faults block is enabled (reports without one are byte-identical
+// to the fault-free renderer). goodput_ratio compares against a second
+// simulation of the same workload with faults disabled — goodput under
+// churn as a fraction of the fault-free baseline.
+struct ServeFaultReport {
+  bool enabled = false;
+  std::string retry_policy;  // "retry" | "drop" | "retry_with_budget"
+  ServeFaultPoolReport prefill;
+  ServeFaultPoolReport decode;
+  int retried_requests = 0;
+  int dropped_requests = 0;
+  double lost_tokens = 0.0;
+  double goodput_tokens_per_s = 0.0;
+  double baseline_goodput_tokens_per_s = 0.0;  // same workload, no faults
+  double goodput_ratio = 0.0;
+  std::vector<FaultEvent> events;  // simulated-time order
+};
+
 // End-to-end serving study: the PerfModel-backed discrete-event simulation
 // of the searched best prefill/decode configurations, with the analytic
 // capacity cross-check the paper's claim rests on.
@@ -152,6 +190,8 @@ struct ServeStudyReport {
   double makespan_s = 0.0;
   // Autoscaler outcome (scale.enabled false for fixed-pool runs).
   ServeScaleReport scale;
+  // Fault outcome (faults.enabled false for fault-free runs).
+  ServeFaultReport faults;
   // One entry per declared request class (empty in single-class mode).
   std::vector<ServeClassReport> classes;
 };
@@ -202,6 +242,8 @@ struct ServeSweepReport {
     bool slo_ok = false;
     // Autoscaler outcome (scale.enabled false for fixed-pool runs).
     ServeScaleReport scale;
+    // Fault outcome (faults.enabled false for fault-free runs).
+    ServeFaultReport faults;
     // One entry per declared request class (empty in single-class mode).
     std::vector<ServeClassReport> classes;
   };
@@ -209,7 +251,10 @@ struct ServeSweepReport {
 
   // Knee: the highest-load point still meeting the SLOs (-1 when none
   // does) — with a class mix, the highest load where every class meets its
-  // SLOs. "Highest" by offered arrival rate, so rate grids work too.
+  // SLOs. "Highest" by offered arrival rate, so rate grids work too. Under
+  // fault injection the verdicts are judged at the faults block's
+  // target_attainment quantile instead of the fixed p99, so this
+  // generalizes to the highest load still meeting the SLOs under churn.
   int knee_index = -1;
   double knee_load = 0.0;
   double knee_goodput_tokens_per_s = 0.0;

@@ -280,6 +280,36 @@ std::string ValidateAutoscalerKnobs(const AutoscalerKnobs& knobs, const std::str
   return "";
 }
 
+std::string ValidateFaultKnobs(const FaultKnobs& knobs, const std::string& where) {
+  // Validated even at afr 0: a disabled block with a nonsense MTTR is a
+  // latent mistake that would only surface when someone turns faults on.
+  if (knobs.afr < 0.0 || !std::isfinite(knobs.afr)) {
+    return where + ".afr must be >= 0 and finite";
+  }
+  if (knobs.floor_afr < 0.0 || !std::isfinite(knobs.floor_afr)) {
+    return where + ".floor_afr must be >= 0 and finite";
+  }
+  if (!(knobs.mttr_hours > 0.0) || !std::isfinite(knobs.mttr_hours)) {
+    return where + ".mttr_hours must be positive and finite";
+  }
+  if (knobs.spare_activation_minutes < 0.0 ||
+      !std::isfinite(knobs.spare_activation_minutes)) {
+    return where + ".spare_activation_minutes must be >= 0 and finite";
+  }
+  if (knobs.hot_spares < 0) {
+    return where + ".hot_spares must be >= 0";
+  }
+  if (knobs.retry_budget < 0 ||
+      (knobs.retry_policy == FaultRetryPolicy::kRetryWithBudget &&
+       knobs.retry_budget < 1)) {
+    return where + ".retry_budget must be >= 1 under retry_with_budget";
+  }
+  if (!(knobs.target_attainment > 0.0) || knobs.target_attainment > 1.0) {
+    return where + ".target_attainment must be in (0, 1]";
+  }
+  return "";
+}
+
 namespace {
 
 // The per-point knobs shared by the serve and sweep blocks validate once,
@@ -307,6 +337,10 @@ std::string ValidateServeCommonKnobs(const ServeCommonKnobs& knobs,
   }
   if (std::string problem =
           ValidateAutoscalerKnobs(knobs.autoscaler, where + ".autoscaler");
+      !problem.empty()) {
+    return problem;
+  }
+  if (std::string problem = ValidateFaultKnobs(knobs.faults, where + ".faults");
       !problem.empty()) {
     return problem;
   }
@@ -615,6 +649,32 @@ Json AutoscalerKnobsToJson(const AutoscalerKnobs& knobs) {
   return j;
 }
 
+Json FaultKnobsToJson(const FaultKnobs& knobs) {
+  Json j = Json::Object();
+  j.Set("afr", knobs.afr)
+      .Set("floor_afr", knobs.floor_afr)
+      .Set("mttr_hours", knobs.mttr_hours)
+      .Set("spare_activation_minutes", knobs.spare_activation_minutes)
+      .Set("hot_spares", knobs.hot_spares)
+      .Set("retry_policy", ToString(knobs.retry_policy))
+      .Set("retry_budget", knobs.retry_budget)
+      .Set("target_attainment", knobs.target_attainment);
+  return j;
+}
+
+// Compared field-by-field — not merely enabled() — so an afr-0 block with,
+// say, hot spares set still round-trips instead of silently vanishing.
+bool FaultKnobsAreDefault(const FaultKnobs& knobs) {
+  const FaultKnobs defaults;
+  return knobs.afr == defaults.afr && knobs.floor_afr == defaults.floor_afr &&
+         knobs.mttr_hours == defaults.mttr_hours &&
+         knobs.spare_activation_minutes == defaults.spare_activation_minutes &&
+         knobs.hot_spares == defaults.hot_spares &&
+         knobs.retry_policy == defaults.retry_policy &&
+         knobs.retry_budget == defaults.retry_budget &&
+         knobs.target_attainment == defaults.target_attainment;
+}
+
 namespace {
 
 // The shared tail of the serve/sweep blocks. Key order matches the
@@ -633,6 +693,9 @@ void WriteServeCommonKnobs(Json& block, const ServeCommonKnobs& knobs) {
   }
   if (knobs.autoscaler.enabled()) {
     block.Set("autoscaler", AutoscalerKnobsToJson(knobs.autoscaler));
+  }
+  if (!FaultKnobsAreDefault(knobs.faults)) {
+    block.Set("faults", FaultKnobsToJson(knobs.faults));
   }
   if (!knobs.classes.empty()) {
     block.Set("classes", RequestClassesToJson(knobs.classes));
@@ -1020,12 +1083,56 @@ bool ReadAutoscalerObject(const Json& obj, const std::string& label, AutoscalerK
          ReadDouble(obj, "headroom", label, out.headroom, error);
 }
 
+// Strict reader for a faults object. An unknown retry policy gets the same
+// did-you-mean treatment as arrival kinds and autoscaler policies.
+bool ReadFaultsObject(const Json& obj, const std::string& label, FaultKnobs& out,
+                      std::string* error) {
+  if (!obj.is_object()) {
+    if (error != nullptr) {
+      *error = label + " must be an object";
+    }
+    return false;
+  }
+  if (!CheckKeys(obj,
+                 {"afr", "floor_afr", "mttr_hours", "spare_activation_minutes",
+                  "hot_spares", "retry_policy", "retry_budget",
+                  "target_attainment"},
+                 label, error)) {
+    return false;
+  }
+  std::string policy_name = ToString(out.retry_policy);
+  if (!ReadString(obj, "retry_policy", label, policy_name, error)) {
+    return false;
+  }
+  if (!ParseFaultRetryPolicy(policy_name, &out.retry_policy)) {
+    if (error != nullptr) {
+      *error = "unknown retry policy '" + policy_name + "' in " + label +
+               " (expected retry|drop|retry_with_budget";
+      std::string best =
+          ClosestCandidate(policy_name, {"retry", "drop", "retry_with_budget"});
+      if (!best.empty()) {
+        *error += "; did you mean '" + best + "'?";
+      }
+      *error += ")";
+    }
+    return false;
+  }
+  return ReadDouble(obj, "afr", label, out.afr, error) &&
+         ReadDouble(obj, "floor_afr", label, out.floor_afr, error) &&
+         ReadDouble(obj, "mttr_hours", label, out.mttr_hours, error) &&
+         ReadDouble(obj, "spare_activation_minutes", label,
+                    out.spare_activation_minutes, error) &&
+         ReadInt(obj, "hot_spares", label, out.hot_spares, error) &&
+         ReadInt(obj, "retry_budget", label, out.retry_budget, error) &&
+         ReadDouble(obj, "target_attainment", label, out.target_attainment, error);
+}
+
 // The keys ReadServeCommonKnobs consumes; the serve/sweep CheckKeys lists
 // are built from this so the two blocks can't drift.
 std::vector<std::string> ServeCommonKeys(std::vector<std::string> own) {
   for (const char* key : {"horizon_s", "prefill_instances", "decode_instances",
                           "prompt_sigma", "output_sigma", "seed", "arrival",
-                          "autoscaler", "classes"}) {
+                          "autoscaler", "faults", "classes"}) {
     own.push_back(key);
   }
   return own;
@@ -1052,6 +1159,11 @@ bool ReadServeCommonKnobs(const Json& obj, const std::string& where,
   if (const Json* autoscaler = obj.Find("autoscaler")) {
     if (!ReadAutoscalerObject(*autoscaler, where + ".autoscaler", out.autoscaler,
                               error)) {
+      return false;
+    }
+  }
+  if (const Json* faults = obj.Find("faults")) {
+    if (!ReadFaultsObject(*faults, where + ".faults", out.faults, error)) {
       return false;
     }
   }
@@ -1317,6 +1429,21 @@ std::optional<AutoscalerKnobs> ParseAutoscalerKnobs(const Json& json, std::strin
   }
   AutoscalerKnobs knobs;
   if (!ReadAutoscalerObject(*obj, "autoscaler file", knobs, error)) {
+    return std::nullopt;
+  }
+  return knobs;
+}
+
+std::optional<FaultKnobs> ParseFaultKnobs(const Json& json, std::string* error) {
+  const Json* obj = &json;
+  if (json.is_object() && json.Find("faults") != nullptr) {
+    if (!CheckKeys(json, {"faults"}, "faults file", error)) {
+      return std::nullopt;
+    }
+    obj = json.Find("faults");
+  }
+  FaultKnobs knobs;
+  if (!ReadFaultsObject(*obj, "faults file", knobs, error)) {
     return std::nullopt;
   }
   return knobs;

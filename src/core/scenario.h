@@ -21,6 +21,7 @@
 
 #include "src/core/search.h"
 #include "src/hw/gpu_spec.h"
+#include "src/serve/faults.h"
 #include "src/serve/workload.h"
 #include "src/hw/lite_derive.h"
 #include "src/llm/model.h"
@@ -208,6 +209,43 @@ std::optional<AutoscalerKnobs> ParseAutoscalerKnobs(const Json& json,
                                                     std::string* error = nullptr);
 Json AutoscalerKnobsToJson(const AutoscalerKnobs& knobs);
 
+// Fault-injection knobs for the serve studies (src/serve/faults.h). `afr`
+// is the annualized failure rate of one reference-area (H100-class)
+// package; 0 — the default — disables injection entirely, keeping reports
+// byte-identical to the fault-free engine. Per-GPU rates area-scale from
+// it (smaller dies fail less, down to the device floor), and each
+// instance's hazard is its GPU count times the per-GPU rate, so H100-sized
+// and Lite-sized pools churn differently from the same knobs.
+struct FaultKnobs {
+  double afr = 0.0;                       // reference AFR; 0 = no faults
+  double floor_afr = 0.005;               // per-device floor (board, firmware)
+  double mttr_hours = 24.0;               // mean time to repair/replace
+  double spare_activation_minutes = 5.0;  // hot-spare activation delay
+  int hot_spares = 0;                     // hot-spare GPUs per pool
+  FaultRetryPolicy retry_policy = FaultRetryPolicy::kRetry;
+  int retry_budget = 3;  // retry_with_budget: kills tolerated before dropping
+  // Attainment percentile the sweep's SLO verdicts (and so the knee) are
+  // judged at under churn; 0.99 matches the fault-free p99 criterion.
+  double target_attainment = 0.99;
+
+  bool enabled() const { return afr > 0.0; }
+};
+
+// Returns "" when the faults block is usable, else the first problem
+// (negative rates/delays, bad attainment percentile, ...). `where` labels
+// the block in messages ("serve.faults" / "faults file").
+std::string ValidateFaultKnobs(const FaultKnobs& knobs, const std::string& where);
+
+// Standalone faults block: the object itself or {"faults": {...}}. Backs
+// `litegpu serve/sweep --faults <file>`.
+std::optional<FaultKnobs> ParseFaultKnobs(const Json& json, std::string* error = nullptr);
+Json FaultKnobsToJson(const FaultKnobs& knobs);
+
+// True when every field still has its default value — the serialization
+// gate: scenario round-trips and report config echoes emit no `faults` key
+// for a default block, keeping fault-free output byte-identical.
+bool FaultKnobsAreDefault(const FaultKnobs& knobs);
+
 // The per-point simulation shape shared by the serve and serve-sweep
 // studies — declared once so knobs like the arrival process and the
 // autoscaler exist in exactly one place, read by one strict-JSON
@@ -228,6 +266,9 @@ struct ServeCommonKnobs {
   // Mid-horizon autoscaling. Disabled by default (fixed pools); like
   // `arrival`, the disabled block serializes to nothing.
   AutoscalerKnobs autoscaler;
+  // Fault injection. Disabled by default (afr 0, instances never die);
+  // like `autoscaler`, the default block serializes to nothing.
+  FaultKnobs faults;
   // Multi-tenant request mix. Empty (the default) keeps the single-class
   // workload shaped by the scenario's shared workload block — reports are
   // bit-identical to the pre-class engine. Non-empty replaces the length

@@ -28,6 +28,15 @@ double GpuAfr(const GpuSpec& gpu, const FailureParams& params) {
   return params.per_device_floor_afr + std::max(area_component, 0.0);
 }
 
+double GpuFailureRatePerHour(const GpuSpec& gpu, const FailureParams& params) {
+  return GpuAfr(gpu, params) / kHoursPerYear;
+}
+
+double InstanceFailureRatePerSecond(const GpuSpec& gpu, int gpus_per_instance,
+                                    const FailureParams& params) {
+  return GpuFailureRatePerHour(gpu, params) * std::max(gpus_per_instance, 0) / 3600.0;
+}
+
 double ClusterFailuresPerYear(const GpuSpec& gpu, int num_gpus, const FailureParams& params) {
   return GpuAfr(gpu, params) * num_gpus;
 }

@@ -27,6 +27,16 @@ struct FailureParams {
 // AFR of one GPU of the given spec under the area-scaling model.
 double GpuAfr(const GpuSpec& gpu, const FailureParams& params = {});
 
+// Failure rate of one GPU in failures/hour (the AFR spread over the year).
+double GpuFailureRatePerHour(const GpuSpec& gpu, const FailureParams& params = {});
+
+// Combined failure rate (failures/second) of a model instance spanning
+// `gpus_per_instance` GPUs: any member failing takes the instance down, so
+// the rates add. This is the per-instance hazard the serve-path fault
+// injector (src/serve/faults.h) draws its exponential gaps from.
+double InstanceFailureRatePerSecond(const GpuSpec& gpu, int gpus_per_instance,
+                                    const FailureParams& params = {});
+
 // Expected failures per year in a cluster of `num_gpus`.
 double ClusterFailuresPerYear(const GpuSpec& gpu, int num_gpus,
                               const FailureParams& params = {});

@@ -39,6 +39,14 @@ ServeDeployment PlanServeDeployment(double arrival_rate_per_s, double prompt_tok
   return deployment;
 }
 
+ServeDeployment WithHotSpares(ServeDeployment deployment, int prefill_spares,
+                              int decode_spares) {
+  int spares = std::max(prefill_spares, 0) + std::max(decode_spares, 0);
+  deployment.spare_gpus += spares;
+  deployment.total_gpus += spares;
+  return deployment;
+}
+
 std::string PoolPlan::ToString() const {
   char buffer[256];
   std::snprintf(buffer, sizeof(buffer),

@@ -63,6 +63,10 @@ InstanceCapacity CapacityFromPerfModels(const PerfModel& prefill_model, int pref
 struct ServeDeployment {
   int prefill_instances = 0;
   int decode_instances = 0;
+  // Hot-spare GPUs provisioned alongside the pools (0 without fault
+  // injection). Spares are real devices the deployment pays for, so
+  // total_gpus includes them.
+  int spare_gpus = 0;
   int total_gpus = 0;
 };
 
@@ -70,5 +74,13 @@ ServeDeployment PlanServeDeployment(double arrival_rate_per_s, double prompt_tok
                                     double output_tokens, const InstanceCapacity& capacity,
                                     int requested_prefill_instances,
                                     int requested_decode_instances);
+
+// Accounts per-pool hot-spare GPUs into the deployment's cost: spare_gpus
+// and total_gpus grow by prefill_spares + decode_spares. The serve studies
+// call this when fault injection provisions hot spares, so the reported GPU
+// count (the denominator of any cost-per-token claim) reflects the idle
+// silicon that buys the availability.
+ServeDeployment WithHotSpares(ServeDeployment deployment, int prefill_spares,
+                              int decode_spares);
 
 }  // namespace litegpu

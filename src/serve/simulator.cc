@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <deque>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <vector>
 
@@ -44,22 +46,39 @@ ServeCallbacks MakePerfModelCallbacks(const PerfModel& prefill_model,
   return callbacks;
 }
 
-const char* ToString(ScalePool pool) {
-  return pool == ScalePool::kPrefill ? "prefill" : "decode";
-}
-
 namespace {
 
-// Completion events sort before instance-up events, which sort before the
-// autoscaler tick, so a decision at time T sees every completion at T and
-// newly provisioned capacity starts draining the queues before the next
-// decision looks at them.
-enum class EventKind { kPrefillDone, kDecodeStepDone, kPrefillUp, kDecodeUp, kAutoscaleTick };
+// Simultaneous events process in a fully specified order: failures first
+// (a completion at the same instant loses the race and is killed), then
+// completions, then instances coming up (autoscaler-provisioned capacity,
+// fault recoveries, spare returns), then autoscaler decision ticks — so a
+// decision at time T sees every completion and recovery at T, and results
+// never depend on the event heap's internal layout. With faults disabled
+// no fault kinds are ever scheduled, so the relative order of the
+// pre-fault kinds (and every metric) is unchanged.
+enum class EventKind {
+  kPrefillFail,
+  kDecodeFail,
+  kPrefillDone,
+  kDecodeStepDone,
+  kPrefillUp,
+  kDecodeUp,
+  kPrefillRecover,
+  kDecodeRecover,
+  kPrefillSpareReturn,
+  kDecodeSpareReturn,
+  kAutoscaleTick,
+};
 
 struct Event {
   double time_s = 0.0;
   EventKind kind = EventKind::kPrefillDone;
   int instance = 0;
+  // Instance lifecycle epoch at scheduling time (fault runs only): a
+  // failure bumps its instance's epoch, so completion and failure events
+  // scheduled before it are discarded as stale on pop. Always 0 with
+  // faults disabled; deliberately not part of the ordering.
+  int epoch = 0;
   // Full ordering so simultaneous events pop in a specified order —
   // (time, kind, instance/sequence) — instead of the heap's internal
   // layout (which standard libraries are free to differ on).
@@ -87,6 +106,12 @@ struct PrefillInstance {
   double up_time = 0.0;
   double down_time = -1.0;  // < 0 while provisioned
   const char* drain_reason = "";
+  // Fault state (ServeFaultConfig::enabled runs only).
+  bool down = false;       // failed, waiting on spare activation / repair
+  bool via_spare = false;  // current outage is masked by a hot spare
+  int epoch = 0;           // bumped per failure; stale events are discarded
+  double pass_started = 0.0;  // for refunding a killed pass's busy time
+  double pass_duration = 0.0;
 };
 
 struct DecodeInstance {
@@ -102,6 +127,10 @@ struct DecodeInstance {
   double up_time = 0.0;
   double down_time = -1.0;
   const char* drain_reason = "";
+  // Fault state (ServeFaultConfig::enabled runs only).
+  bool down = false;
+  bool via_spare = false;
+  int epoch = 0;
 };
 
 // Step-time providers for the shared event loop. Both answer the same two
@@ -169,6 +198,41 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
     events.push({scaler.interval_s, EventKind::kAutoscaleTick, tick_seq++});
   }
 
+  // --- fault-injection state (dormant unless faults.enabled) ---
+  const ServeFaultConfig& faults = config.faults;
+  const bool faults_enabled = faults.enabled;
+  std::optional<FaultStreams> fault_streams;
+  int prefill_spares_free = faults.prefill_spares;
+  int decode_spares_free = faults.decode_spares;
+  std::vector<uint8_t> ttft_recorded;  // first prefill completion per request
+  std::vector<int> retry_counts;       // kRetryWithBudget kills per request
+  auto schedule_next_failure = [&](ScalePool pool, int slot, double from_t, int epoch) {
+    double rate = pool == ScalePool::kPrefill ? faults.prefill_failure_rate_per_s
+                                              : faults.decode_failure_rate_per_s;
+    if (rate <= 0.0) {
+      return;
+    }
+    // Failures are injected over the admission horizon only; the drain
+    // tail past it runs fault-free, which also bounds the event stream.
+    double t = from_t + fault_streams->NextFailureGap(pool, slot, rate);
+    if (t <= config.horizon_s) {
+      events.push({t,
+                   pool == ScalePool::kPrefill ? EventKind::kPrefillFail
+                                               : EventKind::kDecodeFail,
+                   slot, epoch});
+    }
+  };
+  if (faults_enabled) {
+    fault_streams.emplace(faults.seed);
+    for (int i = 0; i < static_cast<int>(prefill.size()); ++i) {
+      schedule_next_failure(ScalePool::kPrefill, i, 0.0, 0);
+    }
+    for (int i = 0; i < static_cast<int>(decode.size()); ++i) {
+      schedule_next_failure(ScalePool::kDecode, i, 0.0, 0);
+    }
+    ttft_recorded.assign(requests.size(), 0);
+  }
+
   // Per-class bookkeeping only exists when the caller asked for it, so
   // single-class runs pay nothing and stay bit-identical to the pre-class
   // simulator. Out-of-range class ids fold into class 0 rather than
@@ -192,8 +256,8 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
 
   auto try_start_prefill = [&](double t) {
     for (int i = 0; i < static_cast<int>(prefill.size()); ++i) {
-      if (!prefill[i].active || prefill[i].draining || prefill[i].busy ||
-          prefill_queue.empty()) {
+      if (!prefill[i].active || prefill[i].draining || prefill[i].down ||
+          prefill[i].busy || prefill_queue.empty()) {
         continue;
       }
       int batch = std::min<int>(stepper.MaxPrefillBatch(),
@@ -206,14 +270,16 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
       double duration = stepper.PrefillTime(batch);
       prefill[i].busy = true;
       prefill[i].busy_time += duration;
-      events.push({t + duration, EventKind::kPrefillDone, i});
+      prefill[i].pass_started = t;
+      prefill[i].pass_duration = duration;
+      events.push({t + duration, EventKind::kPrefillDone, i, prefill[i].epoch});
     }
   };
 
   auto try_start_decode_step = [&](double t) {
     for (int i = 0; i < static_cast<int>(decode.size()); ++i) {
       DecodeInstance& inst = decode[i];
-      if (inst.stepping || !inst.active) {
+      if (inst.stepping || !inst.active || inst.down) {
         continue;
       }
       // Admit waiting sequences at the step boundary (draining instances
@@ -237,7 +303,7 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
       inst.current_step_duration = duration;
       inst.busy_time += duration;
       inst.batch_time_product += batch * duration;
-      events.push({t + duration, EventKind::kDecodeStepDone, i});
+      events.push({t + duration, EventKind::kDecodeStepDone, i, inst.epoch});
     }
   };
 
@@ -260,7 +326,7 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
   // capacity leaves first, keeping the initial pool stable.
   auto drain_one_prefill = [&](const char* reason) {
     for (int i = static_cast<int>(prefill.size()) - 1; i >= 0; --i) {
-      if (prefill[i].active && !prefill[i].draining) {
+      if (prefill[i].active && !prefill[i].draining && !prefill[i].down) {
         if (!prefill[i].busy) {
           retire_prefill(i, reason);
         } else {
@@ -273,7 +339,7 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
   };
   auto drain_one_decode = [&](const char* reason) {
     for (int i = static_cast<int>(decode.size()) - 1; i >= 0; --i) {
-      if (decode[i].active && !decode[i].draining) {
+      if (decode[i].active && !decode[i].draining && !decode[i].down) {
         if (decode[i].remaining.empty() && !decode[i].stepping) {
           retire_decode(i, reason);
         } else {
@@ -285,6 +351,119 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
     }
   };
 
+  // --- fault actions ---
+  // What happens to a request whose instance died under it.
+  auto requeue_or_drop = [&](int req) {
+    bool retry = faults.retry_policy == FaultRetryPolicy::kRetry;
+    if (faults.retry_policy == FaultRetryPolicy::kRetryWithBudget) {
+      if (retry_counts.empty()) {
+        retry_counts.assign(requests.size(), 0);
+      }
+      retry = retry_counts[static_cast<size_t>(req)] < faults.retry_budget;
+      if (retry) {
+        ++retry_counts[static_cast<size_t>(req)];
+      }
+    }
+    if (retry) {
+      // The KV cache died with the instance: back of the prefill queue.
+      prefill_queue.push_back(req);
+      ++metrics.retried_requests;
+    } else {
+      ++metrics.dropped_requests;
+    }
+  };
+
+  // An instance failure kills its in-flight work (refunding the busy time
+  // the unfinished pass/step had claimed up front), requeues or drops the
+  // victims per the retry policy, and takes the instance down for the
+  // spare-activation delay (consuming a free spare whose repaired device
+  // returns later) or the full repair. A draining instance that fails
+  // simply retires — the autoscaler wanted it gone anyway.
+  auto fail_prefill = [&](int i) {
+    PrefillInstance& inst = prefill[i];
+    ++inst.epoch;
+    int killed = 0;
+    double lost = 0.0;
+    if (inst.busy) {
+      inst.busy_time -= inst.pass_started + inst.pass_duration - now;
+      killed = static_cast<int>(inst.batch.size());
+      for (int req : inst.batch) {
+        lost += requests[static_cast<size_t>(req)].prompt_tokens;
+        requeue_or_drop(req);
+      }
+      inst.batch.clear();
+      inst.busy = false;
+    }
+    metrics.lost_tokens += lost;
+    if (inst.draining) {
+      metrics.fault_events.push_back({now, FaultEventKind::kFailure, ScalePool::kPrefill,
+                                      i, killed, lost, prefill_spares_free});
+      retire_prefill(i, inst.drain_reason);
+      return;
+    }
+    inst.down = true;
+    inst.via_spare = false;
+    double delay = faults.repair_s;
+    if (prefill_spares_free > 0) {
+      --prefill_spares_free;
+      inst.via_spare = true;
+      delay = faults.spare_activation_s;
+      events.push({now + faults.repair_s, EventKind::kPrefillSpareReturn, i});
+    }
+    metrics.fault_events.push_back({now, FaultEventKind::kFailure, ScalePool::kPrefill, i,
+                                    killed, lost, prefill_spares_free});
+    events.push({now + delay, EventKind::kPrefillRecover, i, inst.epoch});
+  };
+
+  auto fail_decode = [&](int i) {
+    DecodeInstance& inst = decode[i];
+    ++inst.epoch;
+    int killed = static_cast<int>(inst.remaining.size());
+    double lost = 0.0;
+    if (inst.stepping) {
+      double unfinished = inst.current_step_started + inst.current_step_duration - now;
+      inst.busy_time -= unfinished;
+      inst.batch_time_product -=
+          static_cast<double>(inst.remaining.size()) * unfinished;
+      inst.stepping = false;
+    }
+    for (size_t s = 0; s < inst.remaining.size(); ++s) {
+      int req = inst.request_index[s];
+      // Generated-so-far tokens die with the KV cache: they are not
+      // horizon goodput, so back them out of the token counts.
+      double generated = static_cast<double>(
+          std::max(1, requests[static_cast<size_t>(req)].output_tokens) -
+          inst.remaining[s]);
+      lost += generated;
+      metrics.output_tokens -= generated;
+      if (track_classes) {
+        metrics.per_class[static_cast<size_t>(class_of(req))].output_tokens -= generated;
+      }
+      requeue_or_drop(req);
+    }
+    inst.remaining.clear();
+    inst.request_index.clear();
+    metrics.lost_tokens += lost;
+    if (inst.draining) {
+      metrics.fault_events.push_back({now, FaultEventKind::kFailure, ScalePool::kDecode,
+                                      i, killed, lost, decode_spares_free});
+      retire_decode(i, inst.drain_reason);
+      return;
+    }
+    inst.down = true;
+    inst.via_spare = false;
+    double delay = faults.repair_s;
+    if (decode_spares_free > 0) {
+      --decode_spares_free;
+      inst.via_spare = true;
+      delay = faults.spare_activation_s;
+      events.push({now + faults.repair_s, EventKind::kDecodeSpareReturn, i});
+    }
+    metrics.fault_events.push_back({now, FaultEventKind::kFailure, ScalePool::kDecode, i,
+                                    killed, lost, decode_spares_free});
+    events.push({now + delay, EventKind::kDecodeRecover, i, inst.epoch});
+  };
+
   // One autoscaler decision: reactive thresholds on backlog/utilization, or
   // a per-class demand forecast (predictive) with the backlog trigger kept
   // as a safety net. Applied per pool, at most one scale-down per tick.
@@ -294,14 +473,16 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
     int live_decode = 0;
     double prefill_busy = 0.0;
     double decode_busy = 0.0;
+    // Down (failed) instances are not live: the autoscaler sees the
+    // reduced pool and can provision replacements while repairs run.
     for (const auto& p : prefill) {
-      if (p.active && !p.draining) {
+      if (p.active && !p.draining && !p.down) {
         ++live_prefill;
       }
       prefill_busy += p.busy_time;
     }
     for (const auto& d : decode) {
-      if (d.active && !d.draining) {
+      if (d.active && !d.draining && !d.down) {
         ++live_decode;
       }
       decode_busy += d.busy_time;
@@ -488,6 +669,64 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
       autoscale_tick();
       continue;
     }
+    if (event.kind == EventKind::kPrefillFail || event.kind == EventKind::kDecodeFail) {
+      bool is_prefill = event.kind == EventKind::kPrefillFail;
+      bool live = is_prefill ? (prefill[event.instance].active &&
+                                event.epoch == prefill[event.instance].epoch)
+                             : (decode[event.instance].active &&
+                                event.epoch == decode[event.instance].epoch);
+      if (live) {
+        if (is_prefill) {
+          fail_prefill(event.instance);
+        } else {
+          fail_decode(event.instance);
+        }
+        // Retried victims queue for prefill; surviving instances pick
+        // them up immediately.
+        try_start_prefill(now);
+      }
+      continue;
+    }
+    if (event.kind == EventKind::kPrefillRecover || event.kind == EventKind::kDecodeRecover) {
+      if (event.kind == EventKind::kPrefillRecover) {
+        PrefillInstance& inst = prefill[event.instance];
+        if (!inst.active || event.epoch != inst.epoch) {
+          continue;  // retired while down
+        }
+        inst.down = false;
+        metrics.fault_events.push_back({now,
+                                        inst.via_spare ? FaultEventKind::kSpareActivation
+                                                       : FaultEventKind::kRepair,
+                                        ScalePool::kPrefill, event.instance, 0, 0.0,
+                                        prefill_spares_free});
+        schedule_next_failure(ScalePool::kPrefill, event.instance, now, inst.epoch);
+        try_start_prefill(now);
+      } else {
+        DecodeInstance& inst = decode[event.instance];
+        if (!inst.active || event.epoch != inst.epoch) {
+          continue;
+        }
+        inst.down = false;
+        metrics.fault_events.push_back({now,
+                                        inst.via_spare ? FaultEventKind::kSpareActivation
+                                                       : FaultEventKind::kRepair,
+                                        ScalePool::kDecode, event.instance, 0, 0.0,
+                                        decode_spares_free});
+        schedule_next_failure(ScalePool::kDecode, event.instance, now, inst.epoch);
+        try_start_decode_step(now);
+      }
+      continue;
+    }
+    if (event.kind == EventKind::kPrefillSpareReturn ||
+        event.kind == EventKind::kDecodeSpareReturn) {
+      bool is_prefill = event.kind == EventKind::kPrefillSpareReturn;
+      int& spares_free = is_prefill ? prefill_spares_free : decode_spares_free;
+      ++spares_free;
+      metrics.fault_events.push_back({now, FaultEventKind::kSpareReturn,
+                                      is_prefill ? ScalePool::kPrefill : ScalePool::kDecode,
+                                      event.instance, 0, 0.0, spares_free});
+      continue;
+    }
     if (event.kind == EventKind::kPrefillUp || event.kind == EventKind::kDecodeUp) {
       if (event.kind == EventKind::kPrefillUp) {
         PrefillInstance fresh;
@@ -501,6 +740,10 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
         prefill_up_reasons.pop_front();
         metrics.scale_events.push_back(
             {now, ScalePool::kPrefill, +1, active_prefill, reason});
+        if (faults_enabled) {
+          schedule_next_failure(ScalePool::kPrefill,
+                                static_cast<int>(prefill.size()) - 1, now, 0);
+        }
         try_start_prefill(now);
       } else {
         DecodeInstance fresh;
@@ -514,19 +757,33 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
         decode_up_reasons.pop_front();
         metrics.scale_events.push_back(
             {now, ScalePool::kDecode, +1, active_decode, reason});
+        if (faults_enabled) {
+          schedule_next_failure(ScalePool::kDecode,
+                                static_cast<int>(decode.size()) - 1, now, 0);
+        }
         try_start_decode_step(now);
       }
       continue;
     }
 
-    progress_now = now;
     if (event.kind == EventKind::kPrefillDone) {
       PrefillInstance& inst = prefill[event.instance];
+      if (faults_enabled && event.epoch != inst.epoch) {
+        continue;  // the pass was killed by a failure before it finished
+      }
+      progress_now = now;
       for (int req : inst.batch) {
-        metrics.ttft_s.Add(now - requests[req].arrival_s);
-        if (track_classes) {
-          metrics.per_class[static_cast<size_t>(class_of(req))].ttft_s.Add(
-              now - requests[req].arrival_s);
+        // A retried request's first token was delivered by its first
+        // successful prefill; later re-prefills don't re-record TTFT.
+        if (!faults_enabled || !ttft_recorded[static_cast<size_t>(req)]) {
+          metrics.ttft_s.Add(now - requests[req].arrival_s);
+          if (track_classes) {
+            metrics.per_class[static_cast<size_t>(class_of(req))].ttft_s.Add(
+                now - requests[req].arrival_s);
+          }
+          if (faults_enabled) {
+            ttft_recorded[static_cast<size_t>(req)] = 1;
+          }
         }
         decode_queue.push_back(req);
       }
@@ -539,6 +796,10 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
       try_start_decode_step(now);
     } else {
       DecodeInstance& inst = decode[event.instance];
+      if (faults_enabled && event.epoch != inst.epoch) {
+        continue;  // the step was killed by a failure before it finished
+      }
+      progress_now = now;
       metrics.tbt_s.Add(inst.current_step_duration);
       inst.stepping = false;
       // Every active sequence emitted one token this step.
@@ -604,10 +865,12 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
       decode_busy += d.busy_time;
       batch_product += d.batch_time_product;
     }
-    if (scaler.enabled) {
+    if (scaler.enabled || faults_enabled) {
       // Provisioned instance-seconds over [0, makespan]: each instance
       // contributes its up..down (or up..end) lifetime, clamped so retires
       // recorded by trailing decision ticks don't overrun the makespan.
+      // Fault runs fill these even with a fixed pool, so measured
+      // availability has its 1 - downtime / provisioned denominator.
       for (const auto& p : prefill) {
         double end = p.down_time >= 0.0 ? std::min(p.down_time, metrics.makespan_s)
                                         : metrics.makespan_s;
@@ -633,6 +896,43 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
           decode_busy / (config.decode_instances * metrics.makespan_s);
     }
     metrics.mean_decode_batch = decode_busy > 0.0 ? batch_product / decode_busy : 0.0;
+    if (faults_enabled) {
+      // Per-pool downtime over [0, makespan], replayed from the event log:
+      // each failure opens an interval its spare-activation/repair closes.
+      // An interval left open by a retired-while-draining instance (no
+      // recovery was scheduled) contributes nothing — the retirement is
+      // already accounted in the instance-seconds integral.
+      std::vector<double> down_since_prefill(prefill.size(), -1.0);
+      std::vector<double> down_since_decode(decode.size(), -1.0);
+      for (const FaultEvent& e : metrics.fault_events) {
+        bool is_prefill = e.pool == ScalePool::kPrefill;
+        std::vector<double>& down_since =
+            is_prefill ? down_since_prefill : down_since_decode;
+        double& downtime = is_prefill ? metrics.prefill_fault_downtime_s
+                                      : metrics.decode_fault_downtime_s;
+        size_t i = static_cast<size_t>(e.instance);
+        if (e.kind == FaultEventKind::kFailure) {
+          down_since[i] = e.time_s;
+        } else if (e.kind == FaultEventKind::kSpareActivation ||
+                   e.kind == FaultEventKind::kRepair) {
+          downtime += std::min(e.time_s, metrics.makespan_s) -
+                      std::min(down_since[i], metrics.makespan_s);
+          down_since[i] = -1.0;
+        }
+      }
+      for (size_t i = 0; i < down_since_prefill.size(); ++i) {
+        if (down_since_prefill[i] >= 0.0 && prefill[i].active) {
+          metrics.prefill_fault_downtime_s +=
+              metrics.makespan_s - std::min(down_since_prefill[i], metrics.makespan_s);
+        }
+      }
+      for (size_t i = 0; i < down_since_decode.size(); ++i) {
+        if (down_since_decode[i] >= 0.0 && decode[i].active) {
+          metrics.decode_fault_downtime_s +=
+              metrics.makespan_s - std::min(down_since_decode[i], metrics.makespan_s);
+        }
+      }
+    }
   }
   return metrics;
 }

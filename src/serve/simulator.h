@@ -30,6 +30,7 @@
 #include <string>
 
 #include "src/perf/step_table.h"
+#include "src/serve/faults.h"
 #include "src/serve/workload.h"
 #include "src/util/stats.h"
 
@@ -62,10 +63,6 @@ struct ServeCallbacks {
 ServeCallbacks MakePerfModelCallbacks(const PerfModel& prefill_model,
                                       const PerfModel& decode_model,
                                       int max_prefill_batch, int max_decode_batch);
-
-// Which pool a scale event touched.
-enum class ScalePool { kPrefill, kDecode };
-const char* ToString(ScalePool pool);
 
 // One autoscaler action, in the order it took effect. Scale-ups are
 // recorded when the provisioned instance comes online (after the delay);
@@ -119,6 +116,12 @@ struct ServeClusterConfig {
   // Mid-horizon pool autoscaling; prefill_instances/decode_instances above
   // are the initial pool sizes.
   ServeAutoscalerConfig autoscaler;
+  // Fault injection (src/serve/faults.h): instances fail mid-batch over
+  // [0, horizon_s], recover via hot spares or repairs, and in-flight work
+  // is retried or dropped per the retry policy. Disabled (the default)
+  // skips every fault branch: metrics stay bit-identical to the pre-fault
+  // simulator.
+  ServeFaultConfig faults;
 };
 
 // Per-class slice of a multi-tenant simulation. TTFT keeps exact samples
@@ -170,6 +173,21 @@ struct ServeMetrics {
   int peak_decode_instances = 0;
   int final_prefill_instances = 0;
   int final_decode_instances = 0;
+  // Fault outcome, filled only when ServeFaultConfig::enabled (all
+  // zero/empty otherwise). The event log is ordered by simulated time and
+  // bit-identical across table/callback paths and thread counts. Downtime
+  // is per pool, clipped to [0, makespan]; lost_tokens counts discarded
+  // work (generated-so-far decode tokens, which are also subtracted from
+  // output_tokens so goodput stays honest, plus killed prompt tokens).
+  // When faults are enabled the instance-seconds integrals above are
+  // filled even without the autoscaler, so availability can be measured
+  // as 1 - downtime / provisioned instance-seconds.
+  std::vector<FaultEvent> fault_events;
+  int retried_requests = 0;
+  int dropped_requests = 0;
+  double lost_tokens = 0.0;
+  double prefill_fault_downtime_s = 0.0;
+  double decode_fault_downtime_s = 0.0;
 };
 
 // Compatibility/testing path: every step query pays std::function dispatch

@@ -46,19 +46,46 @@ std::string ScenarioPath(const std::string& name) {
   return std::string(LITEGPU_SCENARIO_DIR) + "/" + name;
 }
 
+// Like RunCommand, but folds stderr into the captured text — for asserting
+// on diagnostic messages, which the CLI prints to stderr.
+CommandResult RunCommandMergedOutput(const std::string& args) {
+  CommandResult result;
+  std::string command = std::string(LITEGPU_CLI_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    return result;
+  }
+  std::array<char, 4096> buffer;
+  size_t n = 0;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.stdout_text.append(buffer.data(), n);
+  }
+  int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
 TEST(CliSmoke, RunExecutesEveryCheckedInScenarioAsJson) {
   // One file per study kind; every report must be valid JSON with ok=true.
   for (const char* file : {"fig3a.json", "fig3b.json", "search.json", "design.json",
                            "mcsim.json", "yield.json", "derive.json", "serve.json",
                            "serve_sweep.json", "serve_multitenant.json",
-                           "serve_autoscale.json"}) {
+                           "serve_autoscale.json", "serve_faulty.json"}) {
     CommandResult result = RunCommand("run " + ScenarioPath(file) + " --json");
     EXPECT_EQ(result.exit_code, 0) << file;
     std::string error;
     auto parsed = Json::Parse(result.stdout_text, &error);
     ASSERT_TRUE(parsed.has_value()) << file << ": " << error;
-    EXPECT_TRUE(parsed->GetBool("ok", false)) << file;
-    EXPECT_NE(parsed->Find("report"), nullptr) << file;
+    if (parsed->is_array()) {  // batch files print one result per scenario
+      ASSERT_GT(parsed->size(), 0u) << file;
+      for (const Json& report : parsed->elements()) {
+        EXPECT_TRUE(report.GetBool("ok", false)) << file;
+        EXPECT_NE(report.Find("report"), nullptr) << file;
+      }
+    } else {
+      EXPECT_TRUE(parsed->GetBool("ok", false)) << file;
+      EXPECT_NE(parsed->Find("report"), nullptr) << file;
+    }
   }
 }
 
@@ -158,6 +185,99 @@ TEST(CliSmoke, AutoscaleScenarioIsThreadInvariantAndReportsScaling) {
   const Json* events = scale->Find("events");
   ASSERT_NE(events, nullptr);
   EXPECT_GT(events->size(), 0u);
+}
+
+TEST(CliSmoke, FaultyScenarioIsThreadInvariantAndReportsBlastRadius) {
+  // The acceptance check for fault injection: the checked-in faulty day
+  // (H100 vs Lite instances) reports a fault event log, measured and
+  // predicted availability, and per-pool blast radius — and the whole
+  // report, fault event log included, is bit-identical at any --threads.
+  CommandResult t1 =
+      RunCommand("run " + ScenarioPath("serve_faulty.json") + " --json --threads 1");
+  CommandResult t4 =
+      RunCommand("run " + ScenarioPath("serve_faulty.json") + " --json --threads 4");
+  ASSERT_EQ(t1.exit_code, 0);
+  ASSERT_EQ(t4.exit_code, 0);
+  EXPECT_EQ(t1.stdout_text, t4.stdout_text);
+  auto parsed = Json::Parse(t1.stdout_text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->is_array());
+  ASSERT_EQ(parsed->size(), 2u);  // H100 run + Lite run
+  for (const Json& result : parsed->elements()) {
+    ASSERT_TRUE(result.GetBool("ok", false));
+    const Json* report = result.Find("report");
+    ASSERT_NE(report, nullptr);
+    const Json* config = report->Find("config");
+    ASSERT_NE(config, nullptr);
+    EXPECT_NE(config->Find("faults"), nullptr);
+    const Json* faults = report->Find("faults");
+    ASSERT_NE(faults, nullptr);
+    EXPECT_EQ(faults->GetString("retry_policy", ""), "retry");
+    const Json* events = faults->Find("events");
+    ASSERT_NE(events, nullptr);
+    EXPECT_GT(events->size(), 0u);
+    const Json* decode = faults->Find("decode");
+    ASSERT_NE(decode, nullptr);
+    EXPECT_GT(decode->GetDouble("availability_measured", 0.0), 0.0);
+    EXPECT_GT(decode->GetDouble("availability_predicted", 0.0), 0.0);
+    EXPECT_GE(decode->GetDouble("blast_radius_fraction", -1.0), 0.0);
+    EXPECT_GT(faults->GetDouble("goodput_tokens_per_s", 0.0), 0.0);
+    EXPECT_GT(faults->GetDouble("baseline_goodput_tokens_per_s", 0.0), 0.0);
+  }
+  // Text mode renders the churn summary.
+  CommandResult text = RunCommand("run " + ScenarioPath("serve_faulty.json"));
+  EXPECT_EQ(text.exit_code, 0);
+  EXPECT_NE(text.stdout_text.find("faults"), std::string::npos);
+  EXPECT_NE(text.stdout_text.find("blast radius"), std::string::npos);
+}
+
+TEST(CliSmoke, FaultsFlagRoundTripsThroughServe) {
+  std::string path = ::testing::TempDir() + "litegpu_faults.json";
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("{\"faults\": {\"afr\": 20000, \"mttr_hours\": 0.02,"
+        " \"spare_activation_minutes\": 0.1, \"hot_spares\": 1,"
+        " \"retry_policy\": \"drop\"}}", f);
+  fclose(f);
+  CommandResult result =
+      RunCommand("serve --load 0.5 --horizon 60 --faults " + path + " --json");
+  EXPECT_EQ(result.exit_code, 0);
+  auto parsed = Json::Parse(result.stdout_text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->GetBool("ok", false));
+  const Json* report = parsed->Find("report");
+  ASSERT_NE(report, nullptr);
+  const Json* config = report->Find("config");
+  ASSERT_NE(config, nullptr);
+  const Json* echoed = config->Find("faults");
+  ASSERT_NE(echoed, nullptr);  // non-default knobs echo back in the config
+  EXPECT_EQ(echoed->GetString("retry_policy", ""), "drop");
+  EXPECT_DOUBLE_EQ(echoed->GetDouble("afr", 0.0), 20000.0);
+  const Json* faults = report->Find("faults");
+  ASSERT_NE(faults, nullptr);
+  EXPECT_EQ(faults->GetString("retry_policy", ""), "drop");
+  std::remove(path.c_str());
+}
+
+TEST(CliSmoke, UnknownRetryPolicyExitsUsageErrorWithSuggestion) {
+  std::string path = ::testing::TempDir() + "litegpu_bad_faults.json";
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("{\"afr\": 0.09, \"retry_policy\": \"rety\"}", f);
+  fclose(f);
+  CommandResult result = RunCommandMergedOutput("serve --faults " + path);
+  EXPECT_EQ(result.exit_code, 64);
+  EXPECT_NE(result.stdout_text.find("unknown retry policy"), std::string::npos);
+  EXPECT_NE(result.stdout_text.find("did you mean 'retry'"), std::string::npos);
+  // Invalid values are rejected even when the knob block is disabled.
+  std::string zero_path = ::testing::TempDir() + "litegpu_bad_faults2.json";
+  f = fopen(zero_path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("{\"afr\": 0, \"mttr_hours\": -1}", f);
+  fclose(f);
+  EXPECT_EQ(RunCommand("serve --faults " + zero_path).exit_code, 64);
+  std::remove(path.c_str());
+  std::remove(zero_path.c_str());
 }
 
 TEST(CliSmoke, InvalidAutoscalerFileExitsUsageError) {

@@ -413,6 +413,120 @@ TEST(Scenario, SummarizeClassMixNormalizesWeights) {
   EXPECT_TRUE(SummarizeClassMix({}).shares.empty());
 }
 
+FaultKnobs ChurnyFaultKnobs() {
+  FaultKnobs faults;
+  faults.afr = 0.09;
+  faults.mttr_hours = 6.0;
+  faults.spare_activation_minutes = 2.0;
+  faults.hot_spares = 2;
+  faults.retry_policy = FaultRetryPolicy::kRetryWithBudget;
+  faults.retry_budget = 2;
+  faults.target_attainment = 0.95;
+  return faults;
+}
+
+TEST(Scenario, FaultKnobsRoundTripThroughJson) {
+  ServeKnobs serve;
+  serve.faults = ChurnyFaultKnobs();
+  ServeSweepKnobs sweep;
+  sweep.loads = {0.4, 0.8};
+  sweep.faults = ChurnyFaultKnobs();
+  for (const Scenario& original :
+       {*ScenarioBuilder(StudyKind::kServe).Serve(serve).Build(),
+        *ScenarioBuilder(StudyKind::kServeSweep).ServeSweep(sweep).Build()}) {
+    Json j = ScenarioToJson(original);
+    std::string error;
+    auto reparsed = Json::Parse(j.Dump());
+    ASSERT_TRUE(reparsed.has_value());
+    auto restored = ScenarioFromJson(*reparsed, &error);
+    ASSERT_TRUE(restored.has_value()) << error;
+    EXPECT_TRUE(*restored == original) << ScenarioToJson(*restored).Dump();
+  }
+  // A default faults block serializes to nothing at all, so fault-free
+  // scenario files and reports stay byte-identical to the pre-fault engine.
+  Json j = ScenarioToJson(*ScenarioBuilder(StudyKind::kServe).Build());
+  EXPECT_EQ(j.Dump().find("faults"), std::string::npos);
+  EXPECT_TRUE(FaultKnobsAreDefault(FaultKnobs{}));
+  // The gate is field-by-field, not enabled(): an afr-0 block with spares
+  // set still round-trips.
+  ServeKnobs tweaked;
+  tweaked.faults.hot_spares = 1;
+  EXPECT_FALSE(FaultKnobsAreDefault(tweaked.faults));
+  Json k = ScenarioToJson(*ScenarioBuilder(StudyKind::kServe).Serve(tweaked).Build());
+  EXPECT_NE(k.Dump().find("hot_spares"), std::string::npos);
+}
+
+TEST(Scenario, FaultKnobsValidationRejectsBadValues) {
+  // Every field is checked even when the block is disabled: a latent
+  // nonsense value should fail now, not when someone flips afr on.
+  FaultKnobs knobs;
+  knobs.mttr_hours = -1.0;
+  EXPECT_NE(ValidateFaultKnobs(knobs, "serve.faults").find("mttr_hours"),
+            std::string::npos);
+  knobs = FaultKnobs{};
+  knobs.afr = -0.1;
+  EXPECT_NE(ValidateFaultKnobs(knobs, "serve.faults").find("afr"),
+            std::string::npos);
+  knobs = FaultKnobs{};
+  knobs.target_attainment = 1.5;
+  EXPECT_NE(ValidateFaultKnobs(knobs, "serve.faults").find("target_attainment"),
+            std::string::npos);
+  knobs = FaultKnobs{};
+  knobs.retry_policy = FaultRetryPolicy::kRetryWithBudget;
+  knobs.retry_budget = 0;
+  EXPECT_NE(ValidateFaultKnobs(knobs, "serve.faults").find("retry_budget"),
+            std::string::npos);
+  // The scenario validator runs the same checks on the embedded block.
+  std::string error;
+  ServeKnobs serve;
+  serve.faults.spare_activation_minutes = -5.0;
+  EXPECT_FALSE(
+      ScenarioBuilder(StudyKind::kServe).Serve(serve).Build(&error).has_value());
+  EXPECT_NE(error.find("serve.faults"), std::string::npos);
+}
+
+TEST(Scenario, FaultJsonIsStrictWithSuggestions) {
+  std::string error;
+  auto typo = Json::Parse(
+      R"({"study": "serve", "serve": {"faults": {"afrr": 0.09}}})");
+  ASSERT_TRUE(typo.has_value());
+  EXPECT_FALSE(ScenarioFromJson(*typo, &error).has_value());
+  EXPECT_NE(error.find("afrr"), std::string::npos);
+
+  auto bad_policy = Json::Parse(
+      R"({"study": "serve", "serve": {"faults": {"retry_policy": "rety"}}})");
+  ASSERT_TRUE(bad_policy.has_value());
+  EXPECT_FALSE(ScenarioFromJson(*bad_policy, &error).has_value());
+  EXPECT_NE(error.find("unknown retry policy"), std::string::npos);
+  EXPECT_NE(error.find("did you mean 'retry'"), std::string::npos);
+
+  auto mistyped = Json::Parse(
+      R"({"study": "serve", "serve": {"faults": {"hot_spares": "two"}}})");
+  ASSERT_TRUE(mistyped.has_value());
+  EXPECT_FALSE(ScenarioFromJson(*mistyped, &error).has_value());
+  EXPECT_NE(error.find("hot_spares"), std::string::npos);
+}
+
+TEST(Scenario, ParseFaultKnobsAcceptsBareAndWrappedForms) {
+  std::string error;
+  auto bare = Json::Parse(R"({"afr": 0.09, "hot_spares": 1})");
+  ASSERT_TRUE(bare.has_value());
+  auto knobs = ParseFaultKnobs(*bare, &error);
+  ASSERT_TRUE(knobs.has_value()) << error;
+  EXPECT_DOUBLE_EQ(knobs->afr, 0.09);
+  EXPECT_EQ(knobs->hot_spares, 1);
+
+  auto wrapped = Json::Parse(R"({"faults": {"retry_policy": "drop"}})");
+  ASSERT_TRUE(wrapped.has_value());
+  auto wrapped_knobs = ParseFaultKnobs(*wrapped, &error);
+  ASSERT_TRUE(wrapped_knobs.has_value()) << error;
+  EXPECT_EQ(wrapped_knobs->retry_policy, FaultRetryPolicy::kDrop);
+
+  auto bad = Json::Parse(R"(["not", "a", "faults", "block"])");
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_FALSE(ParseFaultKnobs(*bad, &error).has_value());
+}
+
 TEST(Scenario, ParseRequestClassesAcceptsArrayAndWrappedForms) {
   std::string error;
   auto arr = Json::Parse(R"([{"name": "a"}, {"name": "b", "weight": 2}])");

@@ -1,0 +1,316 @@
+// Fault-injection engine tests: substream stability, the no-traffic
+// availability cross-check against the closed forms in
+// src/reliability/failure_model.h (satellite of the serve-path fault work,
+// mirroring how McSim is validated), and the serve-loop integration —
+// conservation under kill/retry/drop, table-vs-callback fault-log identity,
+// and the disabled path staying inert.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/hw/catalog.h"
+#include "src/reliability/failure_model.h"
+#include "src/serve/simulator.h"
+#include "src/serve/workload.h"
+
+namespace litegpu {
+namespace {
+
+constexpr double kSecondsPerYear = 8766.0 * 3600.0;
+
+// --- names and substreams ---
+
+TEST(Faults, RetryPolicyRoundTripsThroughNames) {
+  for (FaultRetryPolicy policy :
+       {FaultRetryPolicy::kRetry, FaultRetryPolicy::kDrop,
+        FaultRetryPolicy::kRetryWithBudget}) {
+    FaultRetryPolicy parsed;
+    ASSERT_TRUE(ParseFaultRetryPolicy(ToString(policy), &parsed));
+    EXPECT_EQ(parsed, policy);
+  }
+  FaultRetryPolicy unused;
+  EXPECT_FALSE(ParseFaultRetryPolicy("rety", &unused));
+  EXPECT_FALSE(ParseFaultRetryPolicy("", &unused));
+}
+
+TEST(Faults, SubstreamSeedDisjointFromWorkloadStreams) {
+  // Enabling faults must never perturb arrivals or request lengths: the
+  // fault seed is a distinct mix of the scenario seed, not the seed itself
+  // or any class substream.
+  uint64_t fault_seed = FaultSubstreamSeed(42);
+  EXPECT_NE(fault_seed, 42u);
+  for (int cls = 0; cls < 8; ++cls) {
+    EXPECT_NE(fault_seed, ClassSubstreamSeed(42, cls)) << cls;
+  }
+  EXPECT_EQ(fault_seed, FaultSubstreamSeed(42));  // deterministic
+  EXPECT_NE(fault_seed, FaultSubstreamSeed(43));
+}
+
+TEST(Faults, SlotStreamsDependOnlyOnPoolAndSlot) {
+  // A slot's gap sequence must not depend on when the slot is first asked
+  // or what other slots drew — that is what makes autoscaled instances
+  // appearing mid-run deterministic.
+  FaultStreams a(7);
+  FaultStreams b(7);
+  // Interrogate b's slots in a scrambled order with extra draws elsewhere.
+  (void)b.NextFailureGap(ScalePool::kDecode, 3, 1.0);
+  (void)b.NextFailureGap(ScalePool::kPrefill, 1, 1.0);
+  (void)b.NextFailureGap(ScalePool::kDecode, 0, 1.0);
+  FaultStreams c(7);
+  double a0 = a.NextFailureGap(ScalePool::kPrefill, 0, 0.5);
+  double c0 = c.NextFailureGap(ScalePool::kPrefill, 0, 0.5);
+  EXPECT_EQ(a0, c0);
+  // b already consumed prefill slot 1's first draw; slot 0 is untouched.
+  EXPECT_EQ(b.NextFailureGap(ScalePool::kPrefill, 0, 0.5), a0);
+  // Pools draw from different streams even at the same slot index.
+  FaultStreams d(7);
+  FaultStreams e(7);
+  EXPECT_NE(d.NextFailureGap(ScalePool::kPrefill, 0, 1.0),
+            e.NextFailureGap(ScalePool::kDecode, 0, 1.0));
+}
+
+// --- no-traffic availability cross-check against the closed forms ---
+
+TEST(FaultAvailability, MatchesClosedFormNoSpares) {
+  FailureParams params;
+  double rate = InstanceFailureRatePerSecond(H100(), 8, params);
+  FaultAvailabilityStats stats = SimulateFaultAvailability(
+      rate, params.mttr_hours * 3600.0, params.spare_activation_minutes * 60.0,
+      /*num_spares=*/0, /*num_instances=*/4,
+      /*duration_s=*/500.0 * kSecondsPerYear, /*seed=*/1);
+  EXPECT_GT(stats.failures, 100);
+  EXPECT_EQ(stats.spare_masked, 0);
+  double expected = InstanceAvailabilityWithSpares(H100(), 8, 4, 0, params);
+  EXPECT_NEAR(stats.availability, expected, 0.002);
+}
+
+TEST(FaultAvailability, MatchesClosedFormWithSpares) {
+  FailureParams params;
+  double rate = InstanceFailureRatePerSecond(Lite(), 32, params);
+  FaultAvailabilityStats stats = SimulateFaultAvailability(
+      rate, params.mttr_hours * 3600.0, params.spare_activation_minutes * 60.0,
+      /*num_spares=*/2, /*num_instances=*/4,
+      /*duration_s=*/500.0 * kSecondsPerYear, /*seed=*/1);
+  EXPECT_GT(stats.failures, 100);
+  EXPECT_GT(stats.spare_masked, stats.failures / 2);
+  double expected = InstanceAvailabilityWithSpares(Lite(), 32, 4, 2, params);
+  EXPECT_NEAR(stats.availability, expected, 0.002);
+  // ExpectedCapacityFraction is the same steady state seen cluster-wide.
+  EXPECT_NEAR(stats.availability,
+              ExpectedCapacityFraction(Lite(), 32, 4, 2, params), 0.002);
+}
+
+TEST(FaultAvailability, DeterministicAndSeedSensitive) {
+  FaultAvailabilityStats a =
+      SimulateFaultAvailability(1e-6, 3600.0, 60.0, 1, 4, 1e8, 9);
+  FaultAvailabilityStats b =
+      SimulateFaultAvailability(1e-6, 3600.0, 60.0, 1, 4, 1e8, 9);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.spare_masked, b.spare_masked);
+  EXPECT_EQ(a.availability, b.availability);
+  FaultAvailabilityStats c =
+      SimulateFaultAvailability(1e-6, 3600.0, 60.0, 1, 4, 1e8, 10);
+  EXPECT_NE(a.availability, c.availability);
+}
+
+TEST(FaultAvailability, SparesMaskFailures) {
+  FaultAvailabilityStats none =
+      SimulateFaultAvailability(1e-5, 7200.0, 60.0, 0, 8, 1e8, 3);
+  FaultAvailabilityStats spared =
+      SimulateFaultAvailability(1e-5, 7200.0, 60.0, 4, 8, 1e8, 3);
+  EXPECT_EQ(none.spare_masked, 0);
+  EXPECT_GT(spared.spare_masked, 0);
+  EXPECT_GT(spared.availability, none.availability);
+}
+
+// --- serve-loop integration ---
+
+ServeCallbacks SimpleCallbacks() {
+  ServeCallbacks cb;
+  cb.prefill_time = [](int batch) { return 0.05 * std::sqrt(batch); };
+  cb.decode_step_time = [](int batch) { return 5e-3 + 1e-4 * batch; };
+  cb.max_prefill_batch = 8;
+  cb.max_decode_batch = 64;
+  return cb;
+}
+
+std::vector<Request> FixedRequests(int n, double spacing_s, int output_tokens = 32) {
+  std::vector<Request> requests;
+  for (int i = 0; i < n; ++i) {
+    Request r;
+    r.id = i;
+    r.arrival_s = i * spacing_s;
+    r.prompt_tokens = 1500;
+    r.output_tokens = output_tokens;
+    requests.push_back(r);
+  }
+  return requests;
+}
+
+ServeFaultConfig ChurnyFaults(FaultRetryPolicy policy) {
+  // Rates high enough that a few-second run sees multiple failures per
+  // pool — this is the accelerated-churn regime the checked-in faulty
+  // example also uses.
+  ServeFaultConfig faults;
+  faults.enabled = true;
+  faults.prefill_failure_rate_per_s = 0.5;
+  faults.decode_failure_rate_per_s = 1.0;
+  faults.repair_s = 0.5;
+  faults.spare_activation_s = 0.1;
+  faults.prefill_spares = 1;
+  faults.decode_spares = 1;
+  faults.retry_policy = policy;
+  faults.seed = FaultSubstreamSeed(42);
+  return faults;
+}
+
+TEST(SimulatorFaults, DisabledFaultsStayInert) {
+  auto requests = FixedRequests(100, 0.01);
+  ServeClusterConfig config;
+  config.prefill_instances = 2;
+  config.decode_instances = 2;
+  ServeMetrics m = RunServeSimulation(requests, config, SimpleCallbacks());
+  EXPECT_TRUE(m.fault_events.empty());
+  EXPECT_EQ(m.retried_requests, 0);
+  EXPECT_EQ(m.dropped_requests, 0);
+  EXPECT_DOUBLE_EQ(m.lost_tokens, 0.0);
+  EXPECT_DOUBLE_EQ(m.prefill_fault_downtime_s, 0.0);
+  EXPECT_DOUBLE_EQ(m.decode_fault_downtime_s, 0.0);
+}
+
+TEST(SimulatorFaults, RetryPolicyConservesRequests) {
+  auto requests = FixedRequests(300, 0.01);
+  ServeClusterConfig config;
+  config.prefill_instances = 2;
+  config.decode_instances = 2;
+  config.horizon_s = 10.0;
+  config.faults = ChurnyFaults(FaultRetryPolicy::kRetry);
+  ServeMetrics m = RunServeSimulation(requests, config, SimpleCallbacks());
+  // Retried work always re-serves: nothing is dropped, everything admitted
+  // eventually completes.
+  EXPECT_EQ(m.completed_requests, m.admitted_requests);
+  EXPECT_EQ(m.dropped_requests, 0);
+  EXPECT_GT(m.retried_requests, 0);
+  // The log saw real churn, in simulated-time order, with consistent
+  // aggregate accounting.
+  ASSERT_FALSE(m.fault_events.empty());
+  int failures = 0;
+  int killed = 0;
+  double lost = 0.0;
+  for (size_t i = 0; i < m.fault_events.size(); ++i) {
+    const FaultEvent& ev = m.fault_events[i];
+    if (i > 0) {
+      EXPECT_GE(ev.time_s, m.fault_events[i - 1].time_s);
+    }
+    EXPECT_GE(ev.spares_free, 0);
+    if (ev.kind == FaultEventKind::kFailure) {
+      ++failures;
+      killed += ev.killed_requests;
+      lost += ev.lost_tokens;
+    } else {
+      EXPECT_EQ(ev.killed_requests, 0);
+    }
+  }
+  EXPECT_GT(failures, 0);
+  EXPECT_EQ(m.retried_requests, killed);
+  EXPECT_DOUBLE_EQ(m.lost_tokens, lost);
+  EXPECT_GT(m.prefill_fault_downtime_s + m.decode_fault_downtime_s, 0.0);
+  // Killed decode tokens were subtracted from goodput: the total is below
+  // the fault-free total of sum(output_tokens).
+  EXPECT_LE(m.output_tokens, 300.0 * 32.0);
+}
+
+TEST(SimulatorFaults, DropPolicyDropsKilledRequests) {
+  auto requests = FixedRequests(300, 0.01);
+  ServeClusterConfig config;
+  config.prefill_instances = 2;
+  config.decode_instances = 2;
+  config.horizon_s = 10.0;
+  config.faults = ChurnyFaults(FaultRetryPolicy::kDrop);
+  ServeMetrics m = RunServeSimulation(requests, config, SimpleCallbacks());
+  EXPECT_GT(m.dropped_requests, 0);
+  EXPECT_EQ(m.retried_requests, 0);
+  EXPECT_EQ(m.completed_requests + m.dropped_requests, m.admitted_requests);
+  EXPECT_LT(m.output_tokens, 300.0 * 32.0);
+}
+
+TEST(SimulatorFaults, RetryBudgetFallsBetweenRetryAndDrop) {
+  auto requests = FixedRequests(300, 0.01);
+  ServeClusterConfig config;
+  config.prefill_instances = 2;
+  config.decode_instances = 2;
+  config.horizon_s = 10.0;
+  config.faults = ChurnyFaults(FaultRetryPolicy::kRetryWithBudget);
+  config.faults.retry_budget = 1;
+  ServeMetrics m = RunServeSimulation(requests, config, SimpleCallbacks());
+  // Every admitted request either completes or exhausts its budget.
+  EXPECT_EQ(m.completed_requests + m.dropped_requests, m.admitted_requests);
+  EXPECT_GT(m.retried_requests, 0);
+  // With budget 0 the policy degenerates to drop-on-first-kill.
+  ServeClusterConfig no_budget = config;
+  no_budget.faults.retry_budget = 0;
+  ServeMetrics z = RunServeSimulation(requests, no_budget, SimpleCallbacks());
+  EXPECT_EQ(z.retried_requests, 0);
+  EXPECT_EQ(z.completed_requests + z.dropped_requests, z.admitted_requests);
+}
+
+TEST(SimulatorFaults, FaultLogBitIdenticalOnTableAndCallbackPaths) {
+  ServeCallbacks cb = SimpleCallbacks();
+  std::vector<double> prefill_s, decode_s;
+  for (int b = 1; b <= cb.max_prefill_batch; ++b) {
+    prefill_s.push_back(cb.prefill_time(b));
+  }
+  for (int b = 1; b <= cb.max_decode_batch; ++b) {
+    decode_s.push_back(cb.decode_step_time(b));
+  }
+  StepTimeTable table(std::move(prefill_s), std::move(decode_s));
+
+  auto requests = FixedRequests(400, 0.01, 32);
+  ServeClusterConfig config;
+  config.prefill_instances = 2;
+  config.decode_instances = 2;
+  config.horizon_s = 5.0;
+  config.faults = ChurnyFaults(FaultRetryPolicy::kRetry);
+  ServeMetrics a = RunServeSimulation(requests, config, cb);
+  ServeMetrics b = RunServeSimulation(requests, config, table);
+  EXPECT_EQ(a.completed_requests, b.completed_requests);
+  EXPECT_EQ(a.retried_requests, b.retried_requests);
+  EXPECT_EQ(a.dropped_requests, b.dropped_requests);
+  EXPECT_EQ(a.lost_tokens, b.lost_tokens);
+  EXPECT_EQ(a.output_tokens, b.output_tokens);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.prefill_fault_downtime_s, b.prefill_fault_downtime_s);
+  EXPECT_EQ(a.decode_fault_downtime_s, b.decode_fault_downtime_s);
+  ASSERT_EQ(a.fault_events.size(), b.fault_events.size());
+  for (size_t i = 0; i < a.fault_events.size(); ++i) {
+    const FaultEvent& x = a.fault_events[i];
+    const FaultEvent& y = b.fault_events[i];
+    EXPECT_EQ(x.time_s, y.time_s) << i;
+    EXPECT_EQ(x.kind, y.kind) << i;
+    EXPECT_EQ(x.pool, y.pool) << i;
+    EXPECT_EQ(x.instance, y.instance) << i;
+    EXPECT_EQ(x.killed_requests, y.killed_requests) << i;
+    EXPECT_EQ(x.lost_tokens, y.lost_tokens) << i;
+    EXPECT_EQ(x.spares_free, y.spares_free) << i;
+  }
+}
+
+TEST(SimulatorFaults, RerunsAreDeterministic) {
+  auto requests = FixedRequests(200, 0.01);
+  ServeClusterConfig config;
+  config.prefill_instances = 2;
+  config.decode_instances = 2;
+  config.horizon_s = 5.0;
+  config.faults = ChurnyFaults(FaultRetryPolicy::kRetry);
+  ServeMetrics a = RunServeSimulation(requests, config, SimpleCallbacks());
+  ServeMetrics b = RunServeSimulation(requests, config, SimpleCallbacks());
+  ASSERT_EQ(a.fault_events.size(), b.fault_events.size());
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.output_tokens, b.output_tokens);
+  EXPECT_EQ(a.retried_requests, b.retried_requests);
+}
+
+}  // namespace
+}  // namespace litegpu

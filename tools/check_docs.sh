@@ -103,6 +103,20 @@ for field in $(extract_fields src/serve/simulator.h "ScaleEvent"); do
     err "scale event field '$field' (src/serve/simulator.h) is not documented in $REPORTS_DOC"
 done
 
+# --- every fault report field is documented ---
+# FaultEvent rows fill the report's faults "events" array; the
+# ServeFaultReport / ServeFaultPoolReport structs are the faults block
+# itself. Same rule as ScaleEvent: each field must be named in
+# docs/reports.md.
+for field in $(extract_fields src/serve/faults.h "FaultEvent"); do
+  grep -q "\`$field\`" "$REPORTS_DOC" ||
+    err "fault event field '$field' (src/serve/faults.h) is not documented in $REPORTS_DOC"
+done
+for field in $(extract_fields src/core/runner.h "ServeFaultReport|ServeFaultPoolReport"); do
+  grep -q "\`$field\`" "$REPORTS_DOC" ||
+    err "fault report field '$field' (src/core/runner.h) is not documented in $REPORTS_DOC"
+done
+
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED — update docs/scenarios.md (and reports.md) to match the code" >&2
   exit 1

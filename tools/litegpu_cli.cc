@@ -9,6 +9,7 @@
 //                 [--classes mix.json]          multi-tenant request classes
 //                 [--arrival proc.json]         time-varying arrival process
 //                 [--autoscaler policy.json]    mid-horizon pool autoscaling
+//                 [--faults faults.json]        failure injection + blast radius
 //   litegpu sweep [--loads lo:hi:step]          serving sim over a load grid
 //   litegpu mcsim [--spares N] [--trials N]     Monte-Carlo availability
 //   litegpu yield [--d0 X] [--area A]           Section-2 silicon economics
@@ -278,12 +279,37 @@ bool LoadAutoscalerFlag(const Flags& flags, AutoscalerKnobs& out) {
   return true;
 }
 
+// Loads a --faults file (a fault-knobs object, bare or wrapped in
+// {"faults": ...}) and validates it before the run. Returns false (with the
+// message printed) on parse or validation errors.
+bool LoadFaultsFlag(const Flags& flags, FaultKnobs& out) {
+  if (!flags.Has("faults")) {
+    return true;
+  }
+  std::string path = flags.GetString("faults");
+  std::string error;
+  auto json = Json::ParseFile(path, &error);
+  std::optional<FaultKnobs> knobs;
+  if (json) {
+    knobs = ParseFaultKnobs(*json, &error);
+  }
+  if (knobs) {
+    error = ValidateFaultKnobs(*knobs, "faults file");
+  }
+  if (!error.empty()) {
+    std::fprintf(stderr, "litegpu: %s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  out = std::move(*knobs);
+  return true;
+}
+
 int RunServe(const Flags& flags) {
   if (int rc = CheckFlags(
           flags, AllowedFlags({"model", "gpu", "load", "rate", "horizon",
                                "prefill-instances", "decode-instances", "prompt-sigma",
                                "output-sigma", "seed", "classes", "arrival",
-                               "autoscaler"}))) {
+                               "autoscaler", "faults"}))) {
     return rc;
   }
   ScenarioBuilder builder(StudyKind::kServe);
@@ -300,7 +326,8 @@ int RunServe(const Flags& flags) {
   knobs.output_sigma = flags.GetDouble("output-sigma", knobs.output_sigma);
   knobs.seed = flags.GetUint64("seed", knobs.seed);
   if (!LoadClassesFlag(flags, knobs.classes) || !LoadArrivalFlag(flags, knobs.arrival) ||
-      !LoadAutoscalerFlag(flags, knobs.autoscaler)) {
+      !LoadAutoscalerFlag(flags, knobs.autoscaler) ||
+      !LoadFaultsFlag(flags, knobs.faults)) {
     return kUsageError;
   }
   builder.Serve(knobs);
@@ -372,7 +399,7 @@ int RunSweep(const Flags& flags) {
           flags, AllowedFlags({"model", "gpu", "loads", "rates", "horizon",
                                "prefill-instances", "decode-instances", "prompt-sigma",
                                "output-sigma", "seed", "classes", "arrival",
-                               "autoscaler"}))) {
+                               "autoscaler", "faults"}))) {
     return rc;
   }
   ScenarioBuilder builder(StudyKind::kServeSweep);
@@ -398,7 +425,8 @@ int RunSweep(const Flags& flags) {
   knobs.output_sigma = flags.GetDouble("output-sigma", knobs.output_sigma);
   knobs.seed = flags.GetUint64("seed", knobs.seed);
   if (!LoadClassesFlag(flags, knobs.classes) || !LoadArrivalFlag(flags, knobs.arrival) ||
-      !LoadAutoscalerFlag(flags, knobs.autoscaler)) {
+      !LoadAutoscalerFlag(flags, knobs.autoscaler) ||
+      !LoadFaultsFlag(flags, knobs.faults)) {
     return kUsageError;
   }
   builder.ServeSweep(knobs);
@@ -513,11 +541,11 @@ int Usage() {
       "  serve:   [--model M --gpu G --load X --rate R --horizon S\n"
       "            --prefill-instances N --decode-instances N\n"
       "            --prompt-sigma X --output-sigma X --seed N --classes mix.json\n"
-      "            --arrival proc.json --autoscaler policy.json]\n"
+      "            --arrival proc.json --autoscaler policy.json --faults f.json]\n"
       "  sweep:   [--model M --gpu G --loads lo:hi:step|a,b,c --rates lo:hi:step|a,b,c\n"
       "            --horizon S --prefill-instances N --decode-instances N\n"
       "            --prompt-sigma X --output-sigma X --seed N --classes mix.json\n"
-      "            --arrival proc.json --autoscaler policy.json]\n"
+      "            --arrival proc.json --autoscaler policy.json --faults f.json]\n"
       "  design:  --model M [--hbm-cost X --price-multiplier X --amortization-years X]\n"
       "  mcsim:   [--gpu G --gpus-per-instance N --instances N --spares N\n"
       "            --years X --seed N --trials N]\n"
