@@ -21,10 +21,23 @@
 //      identical kill/retry accounting. The zero-AFR table path is also
 //      gated on an absolute ns-per-decode-step budget, so the disabled
 //      fault branch staying off the hot path is enforced, not assumed.
+//   6. Reference-core identity: the pre-rewrite simulator is kept verbatim
+//      (RunServeSimulationReference) and the rewritten core — calendar
+//      event queue, SoA hot state, completion-heap decode scheduling —
+//      must match it exactly on the high-load, autoscaled, and
+//      fault-injected points (metrics, scale-event and fault-event logs).
+//   7. A million-request point (32 decode instances at 95% load): workload
+//      generation wall time, then reference core vs new core on the table
+//      path with exact metric identity. The speedup must be > 1 (hard
+//      gate); the target is >= 5x. Also times the same point sharded 8
+//      ways through the merge path.
+//   8. The checked-in 19-point load grid (10%..100%, 30 s horizon), each
+//      point run on both cores: summed reference wall vs summed new wall,
+//      exact per-point identity, speedup > 1 gated, target >= 2x.
 //
 // `--json` emits one JSON object (CI tees it into BENCH_serve_scale.json)
-// and the exit code gates regressions: nonzero when the inner-loop speedup
-// is not > 1, any identity check fails, or the zero-AFR step budget blows.
+// and the exit code gates regressions: nonzero when any speedup gate is
+// not > 1, any identity check fails, or the zero-AFR step budget blows.
 
 #include <chrono>
 #include <cmath>
@@ -38,8 +51,10 @@
 #include "src/perf/model.h"
 #include "src/perf/step_table.h"
 #include "src/serve/simulator.h"
+#include "src/serve/simulator_reference.h"
 #include "src/serve/workload.h"
 #include "src/util/json.h"
+#include "src/util/thread_pool.h"
 
 namespace {
 
@@ -47,6 +62,27 @@ using namespace litegpu;
 
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// Exact equality on every summary metric two fault-free runs of the same
+// workload must share — the reference-vs-new gates ride on this.
+bool MetricsIdentical(const ServeMetrics& a, const ServeMetrics& b) {
+  return a.completed_requests == b.completed_requests &&
+         a.admitted_requests == b.admitted_requests &&
+         a.in_flight_at_horizon == b.in_flight_at_horizon &&
+         a.output_tokens == b.output_tokens &&
+         a.decode_tokens_per_s == b.decode_tokens_per_s &&
+         a.makespan_s == b.makespan_s &&
+         a.prefill_utilization == b.prefill_utilization &&
+         a.decode_utilization == b.decode_utilization &&
+         a.mean_decode_batch == b.mean_decode_batch &&
+         a.ttft_s.count() == b.ttft_s.count() &&
+         a.ttft_s.Median() == b.ttft_s.Median() &&
+         a.ttft_s.P95() == b.ttft_s.P95() &&
+         a.ttft_s.P99() == b.ttft_s.P99() &&
+         a.tbt_s.count() == b.tbt_s.count() &&
+         a.tbt_s.Median() == b.tbt_s.Median() &&
+         a.tbt_s.P99() == b.tbt_s.P99();
 }
 
 }  // namespace
@@ -241,8 +277,140 @@ int main(int argc, char** argv) {
   bool zero_afr_within_budget =
       zero_afr_ns_per_step > 0.0 && zero_afr_ns_per_step <= kZeroAfrStepBudgetNs;
 
+  // --- 6. reference core vs new core on the sections above -----------------
+  // The pre-rewrite simulator is kept verbatim; the rewritten core must be
+  // indistinguishable on every regime the earlier sections exercise.
+  ServeMetrics ref_plain = RunServeSimulationReference(requests, cluster, table);
+  bool ref_plain_identical = MetricsIdentical(ref_plain, fast_path);
+  ServeMetrics ref_scaled = RunServeSimulationReference(bursty_requests, scaled, table);
+  bool ref_scale_events_identical =
+      ref_scaled.scale_events.size() == scaled_fast.scale_events.size();
+  for (size_t i = 0; ref_scale_events_identical && i < ref_scaled.scale_events.size();
+       ++i) {
+    const ScaleEvent& a = ref_scaled.scale_events[i];
+    const ScaleEvent& b = scaled_fast.scale_events[i];
+    ref_scale_events_identical = a.time_s == b.time_s && a.pool == b.pool &&
+                                 a.delta == b.delta &&
+                                 a.instances_after == b.instances_after &&
+                                 a.reason == b.reason;
+  }
+  bool ref_scaled_identical =
+      ref_scale_events_identical && MetricsIdentical(ref_scaled, scaled_fast) &&
+      ref_scaled.prefill_instance_seconds == scaled_fast.prefill_instance_seconds &&
+      ref_scaled.decode_instance_seconds == scaled_fast.decode_instance_seconds;
+  ServeMetrics ref_faulty = RunServeSimulationReference(requests, faulty, table);
+  bool ref_fault_log_identical =
+      ref_faulty.fault_events.size() == faulty_fast.fault_events.size();
+  for (size_t i = 0; ref_fault_log_identical && i < ref_faulty.fault_events.size(); ++i) {
+    const FaultEvent& a = ref_faulty.fault_events[i];
+    const FaultEvent& b = faulty_fast.fault_events[i];
+    ref_fault_log_identical = a.time_s == b.time_s && a.kind == b.kind &&
+                              a.pool == b.pool && a.instance == b.instance &&
+                              a.killed_requests == b.killed_requests &&
+                              a.lost_tokens == b.lost_tokens &&
+                              a.spares_free == b.spares_free;
+  }
+  bool ref_faulty_identical =
+      ref_fault_log_identical && MetricsIdentical(ref_faulty, faulty_fast) &&
+      ref_faulty.retried_requests == faulty_fast.retried_requests &&
+      ref_faulty.dropped_requests == faulty_fast.dropped_requests &&
+      ref_faulty.lost_tokens == faulty_fast.lost_tokens;
+  bool reference_identical =
+      ref_plain_identical && ref_scaled_identical && ref_faulty_identical;
+
+  // --- 7. the million-request point ----------------------------------------
+  // 32 decode instances at 95% of their summed analytic capacity; the
+  // horizon is whatever makes the expected arrival count one million. This
+  // is the regime the rewrite targets: the reference core walks every
+  // active slot every step (cost ~ total generated tokens, ~256M here);
+  // the new core pays per step plus a heap push/pop per request.
+  const int kMillionDecode = 32;
+  const double kMillionRequests = 1e6;
+  WorkloadSpec mspec;
+  mspec.arrival_rate_per_s = 0.95 * kMillionDecode * decode.best.result.tokens_per_s /
+                             static_cast<double>(mspec.median_output_tokens);
+  mspec.duration_s = kMillionRequests / mspec.arrival_rate_per_s;
+  t0 = std::chrono::steady_clock::now();
+  std::vector<Request> million_requests = GenerateWorkload(mspec);
+  double million_gen_s = SecondsSince(t0);
+  // Each core gets its native input form: the reference keeps the AoS
+  // vector it always took; the new core takes the SoA layout directly.
+  RequestSoA million_soa = RequestSoA::FromRequests(million_requests);
+  ServeClusterConfig mcluster;
+  mcluster.prefill_instances = std::max(
+      1, static_cast<int>(std::ceil(1.25 * mspec.arrival_rate_per_s *
+                                    mspec.median_prompt_tokens /
+                                    prefill.best.result.tokens_per_s)));
+  mcluster.decode_instances = kMillionDecode;
+  t0 = std::chrono::steady_clock::now();
+  ServeMetrics million_ref = RunServeSimulationReference(million_requests, mcluster, table);
+  double million_ref_s = SecondsSince(t0);
+  t0 = std::chrono::steady_clock::now();
+  ServeMetrics million_new = RunServeSimulation(million_soa, mcluster, table);
+  double million_new_s = SecondsSince(t0);
+  bool million_identical = MetricsIdentical(million_ref, million_new);
+  double million_speedup = million_new_s > 0.0 ? million_ref_s / million_new_s : 0.0;
+  // The same point sharded 8 ways through the runner's merge semantics:
+  // sub-horizon replications on SplitMix64 substreams, TTFTs streamed,
+  // merged in shard order.
+  const int kMillionShards = 8;
+  ServeClusterConfig shard_cluster = mcluster;
+  shard_cluster.horizon_s = mspec.duration_s / kMillionShards;
+  shard_cluster.stream_ttft = true;
+  t0 = std::chrono::steady_clock::now();
+  std::vector<ServeMetrics> shard_runs = ParallelMap<ServeMetrics>(
+      0, kMillionShards, [&](int i) {
+        WorkloadSpec shard_spec = mspec;
+        shard_spec.duration_s = shard_cluster.horizon_s;
+        shard_spec.seed = ShardSubstreamSeed(mspec.seed, static_cast<size_t>(i));
+        std::vector<Request> shard_requests = GenerateWorkload(shard_spec);
+        return RunServeSimulation(shard_requests, shard_cluster, table);
+      });
+  ServeMetrics million_sharded = MergeServeShardMetrics(shard_cluster, shard_runs);
+  double million_shard_s = SecondsSince(t0);
+  // Sanity, not identity: shards draw different substreams, so only the
+  // scale of the merged run is checkable.
+  bool shard_sane =
+      million_sharded.completed_requests > 0.9 * million_new.completed_requests &&
+      million_sharded.completed_requests < 1.1 * million_new.completed_requests;
+
+  // --- 8. the 19-point load grid, reference core vs new core ---------------
+  // The checked-in sweep grid (10%..100% in 5% steps, 30 s horizon, one
+  // decode instance), every point run on both cores back to back.
+  double grid_ref_s = 0.0;
+  double grid_new_s = 0.0;
+  int grid_points = 0;
+  bool grid_identical = true;
+  for (int i = 0; i <= 18; ++i) {
+    double load = 0.10 + 0.05 * i;
+    WorkloadSpec gspec;
+    gspec.arrival_rate_per_s = load * decode.best.result.tokens_per_s /
+                               static_cast<double>(gspec.median_output_tokens);
+    gspec.duration_s = 30.0;
+    gspec.seed = 1000 + static_cast<uint64_t>(i);
+    std::vector<Request> grid_requests = GenerateWorkload(gspec);
+    RequestSoA grid_soa = RequestSoA::FromRequests(grid_requests);
+    ServeClusterConfig gcluster;
+    gcluster.prefill_instances = std::max(
+        1, static_cast<int>(std::ceil(1.25 * gspec.arrival_rate_per_s *
+                                      gspec.median_prompt_tokens /
+                                      prefill.best.result.tokens_per_s)));
+    gcluster.decode_instances = 1;
+    t0 = std::chrono::steady_clock::now();
+    ServeMetrics g_ref = RunServeSimulationReference(grid_requests, gcluster, table);
+    grid_ref_s += SecondsSince(t0);
+    t0 = std::chrono::steady_clock::now();
+    ServeMetrics g_new = RunServeSimulation(grid_soa, gcluster, table);
+    grid_new_s += SecondsSince(t0);
+    grid_identical = grid_identical && MetricsIdentical(g_ref, g_new);
+    ++grid_points;
+  }
+  double grid_speedup = grid_new_s > 0.0 ? grid_ref_s / grid_new_s : 0.0;
+
   bool pass = inner_speedup > 1.0 && identical && autoscale_identical &&
-              fault_identical && zero_afr_within_budget && sweep_report.ok;
+              fault_identical && zero_afr_within_budget && sweep_report.ok &&
+              reference_identical && million_identical && million_speedup > 1.0 &&
+              shard_sane && grid_identical && grid_speedup > 1.0;
 
   if (json) {
     Json inner = Json::Object();
@@ -284,12 +452,44 @@ int main(int argc, char** argv) {
         .Set("zero_afr_ns_per_step", zero_afr_ns_per_step)
         .Set("zero_afr_step_budget_ns", kZeroAfrStepBudgetNs)
         .Set("zero_afr_within_budget", zero_afr_within_budget);
+    Json reference = Json::Object();
+    reference.Set("plain_identical", ref_plain_identical)
+        .Set("autoscaled_identical", ref_scaled_identical)
+        .Set("faulty_identical", ref_faulty_identical);
+    Json workload_gen = Json::Object();
+    workload_gen.Set("requests", static_cast<uint64_t>(million_requests.size()))
+        .Set("wall_s", million_gen_s)
+        .Set("requests_per_s",
+             million_gen_s > 0.0 ? million_requests.size() / million_gen_s : 0.0);
+    Json million = Json::Object();
+    million.Set("requests", static_cast<uint64_t>(million_requests.size()))
+        .Set("decode_instances", kMillionDecode)
+        .Set("horizon_s", mspec.duration_s)
+        .Set("reference_core_s", million_ref_s)
+        .Set("new_core_s", million_new_s)
+        .Set("speedup", million_speedup)
+        .Set("speedup_target", 5.0)
+        .Set("identity", million_identical)
+        .Set("shards", kMillionShards)
+        .Set("sharded_s", million_shard_s)
+        .Set("sharded_completed_sane", shard_sane);
+    Json sweep_core = Json::Object();
+    sweep_core.Set("points", grid_points)
+        .Set("reference_core_s", grid_ref_s)
+        .Set("new_core_s", grid_new_s)
+        .Set("speedup", grid_speedup)
+        .Set("speedup_target", 2.0)
+        .Set("identity", grid_identical);
     Json j = Json::Object();
     j.Set("inner_loop", std::move(inner))
         .Set("full_sim", std::move(sim))
         .Set("sweep", std::move(sweep))
         .Set("autoscale", std::move(autoscale))
         .Set("faults", std::move(faults_json))
+        .Set("reference_identity", std::move(reference))
+        .Set("workload_gen", std::move(workload_gen))
+        .Set("million_point", std::move(million))
+        .Set("sweep_core", std::move(sweep_core))
         .Set("pass", pass);
     std::printf("%s\n", j.Dump().c_str());
   } else {
@@ -312,10 +512,30 @@ int main(int argc, char** argv) {
                 autoscale_identical ? "OK" : "FAILED");
     std::printf("fault-injected point (%zu fault events, %d retried):\n"
                 "  callback-vs-table identity: %s (event log element-wise, kill accounting)\n"
-                "  zero-AFR table path: %.0f ns/decode-step (budget %.0f): %s\n",
+                "  zero-AFR table path: %.0f ns/decode-step (budget %.0f): %s\n\n",
                 faulty_fast.fault_events.size(), faulty_fast.retried_requests,
                 fault_identical ? "OK" : "FAILED", zero_afr_ns_per_step,
                 kZeroAfrStepBudgetNs, zero_afr_within_budget ? "OK" : "FAILED");
+    std::printf("reference core vs new core identity:\n"
+                "  plain: %s   autoscaled: %s   fault-injected: %s\n\n",
+                ref_plain_identical ? "OK" : "FAILED",
+                ref_scaled_identical ? "OK" : "FAILED",
+                ref_faulty_identical ? "OK" : "FAILED");
+    std::printf("million-request point (%zu requests, %d decode inst, %.0f s horizon):\n"
+                "  workload generation: %.3f s (%.1fM req/s)\n"
+                "  reference core: %.3f s   new core: %.3f s   speedup: %.2fx "
+                "(target 5x)   identity: %s\n"
+                "  sharded x%d (merged): %.3f s\n\n",
+                million_requests.size(), kMillionDecode, mspec.duration_s,
+                million_gen_s,
+                million_gen_s > 0.0 ? million_requests.size() / million_gen_s / 1e6 : 0.0,
+                million_ref_s, million_new_s, million_speedup,
+                million_identical ? "OK" : "FAILED", kMillionShards, million_shard_s);
+    std::printf("19-point load grid, reference vs new core:\n"
+                "  reference: %.3f s   new: %.3f s   speedup: %.2fx (target 2x)   "
+                "identity: %s\n",
+                grid_ref_s, grid_new_s, grid_speedup,
+                grid_identical ? "OK" : "FAILED");
   }
   return pass ? 0 : 1;
 }

@@ -280,31 +280,69 @@ ServeFaultConfig MakeFaultConfig(const FaultKnobs& knobs, const GpuSpec& gpu,
 // requests whose TTFT met their (per-class effective) SLO. The transient
 // counterpart of the p99 pass/fail — an autoscaled day can pass the
 // steady-state percentiles while a burst misses 10% of requests.
+// TTFT accessors that dispatch on how the run recorded first-token
+// latencies: the exact SampleSet normally, the streamed fixed-bin
+// histogram when the point ran sharded (O(bins) memory; quantiles within
+// one bin width). Keeping the dispatch here means every consumer — the
+// report percentiles, the SLO verdicts, the attainment fractions — reads
+// one code path regardless of execution mode.
+double TtftQuantile(const ServeMetrics& m, double q) {
+  return m.ttft_streamed ? m.ttft_hist.Quantile(q) : m.ttft_s.Quantile(q);
+}
+
+double ClassTtftQuantile(const ServeMetrics& m, const ServeClassMetrics& cm,
+                         double q) {
+  return m.ttft_streamed ? cm.ttft_hist.Quantile(q) : cm.ttft_s.Quantile(q);
+}
+
+size_t ClassTtftCount(const ServeMetrics& m, const ServeClassMetrics& cm) {
+  return m.ttft_streamed ? cm.ttft_hist.count() : cm.ttft_s.count();
+}
+
+// Number of recorded TTFTs at or below `slo` — exact in sample mode,
+// bin-interpolated in streamed mode.
+double ClassTtftWithin(const ServeMetrics& m, const ServeClassMetrics& cm,
+                       double slo) {
+  if (m.ttft_streamed) {
+    return cm.ttft_hist.CountAtOrBelow(slo);
+  }
+  size_t within = 0;
+  for (double ttft : cm.ttft_s.samples()) {
+    if (ttft <= slo) {
+      ++within;
+    }
+  }
+  return static_cast<double>(within);
+}
+
 double GlobalTtftAttainment(const ServeMetrics& metrics, const Scenario& s,
                             const std::vector<RequestClass>& classes) {
-  size_t total = 0;
-  size_t within = 0;
+  double total = 0.0;
+  double within = 0.0;
   if (classes.empty()) {
-    total = metrics.ttft_s.count();
-    for (double ttft : metrics.ttft_s.samples()) {
-      if (ttft <= s.workload.ttft_slo_s) {
-        ++within;
+    if (metrics.ttft_streamed) {
+      total = static_cast<double>(metrics.ttft_hist.count());
+      within = metrics.ttft_hist.CountAtOrBelow(s.workload.ttft_slo_s);
+    } else {
+      total = static_cast<double>(metrics.ttft_s.count());
+      size_t n = 0;
+      for (double ttft : metrics.ttft_s.samples()) {
+        if (ttft <= s.workload.ttft_slo_s) {
+          ++n;
+        }
       }
+      within = static_cast<double>(n);
     }
   } else {
     for (size_t c = 0; c < classes.size(); ++c) {
       const ServeClassMetrics& cm = metrics.per_class[c];
       double slo =
           classes[c].ttft_slo_s > 0.0 ? classes[c].ttft_slo_s : s.workload.ttft_slo_s;
-      total += cm.ttft_s.count();
-      for (double ttft : cm.ttft_s.samples()) {
-        if (ttft <= slo) {
-          ++within;
-        }
-      }
+      total += static_cast<double>(ClassTtftCount(metrics, cm));
+      within += ClassTtftWithin(metrics, cm, slo);
     }
   }
-  return total > 0 ? static_cast<double>(within) / static_cast<double>(total) : 0.0;
+  return total > 0.0 ? within / total : 0.0;
 }
 
 // Simulates one offered-load point on the platform's step-time table: plan
@@ -355,22 +393,25 @@ ServeSweepReport::Point SimulateServePoint(const ServePlatform& platform,
   p.decode_instances = deployment.decode_instances;
   p.total_gpus = deployment.total_gpus;
 
-  std::vector<Request> requests;
-  if (classes.empty()) {
-    WorkloadSpec spec;
-    spec.arrival_rate_per_s = arrival_rate_per_s;
-    spec.duration_s = common.horizon_s;
-    spec.median_prompt_tokens = s.workload.prompt_tokens;
-    spec.prompt_sigma = common.prompt_sigma;
-    spec.median_output_tokens = s.workload.output_tokens;
-    spec.output_sigma = common.output_sigma;
-    spec.seed = seed;
-    spec.arrival = common.arrival;
-    requests = GenerateWorkload(spec);
-  } else {
+  // One generator for both execution modes: the serial path draws the full
+  // horizon from the point's seed; a shard draws its sub-horizon from its
+  // own SplitMix64 substream.
+  auto generate = [&](double duration_s, uint64_t wl_seed) -> std::vector<Request> {
+    if (classes.empty()) {
+      WorkloadSpec spec;
+      spec.arrival_rate_per_s = arrival_rate_per_s;
+      spec.duration_s = duration_s;
+      spec.median_prompt_tokens = s.workload.prompt_tokens;
+      spec.prompt_sigma = common.prompt_sigma;
+      spec.median_output_tokens = s.workload.output_tokens;
+      spec.output_sigma = common.output_sigma;
+      spec.seed = wl_seed;
+      spec.arrival = common.arrival;
+      return GenerateWorkload(spec);
+    }
     MultiClassWorkloadSpec spec;
-    spec.duration_s = common.horizon_s;
-    spec.seed = seed;
+    spec.duration_s = duration_s;
+    spec.seed = wl_seed;
     spec.arrival = common.arrival;
     for (size_t c = 0; c < classes.size(); ++c) {
       ClassWorkload cls;
@@ -381,8 +422,8 @@ ServeSweepReport::Point SimulateServePoint(const ServePlatform& platform,
       cls.output_sigma = classes[c].output_sigma;
       spec.classes.push_back(cls);
     }
-    requests = GenerateMultiClassWorkload(spec);
-  }
+    return GenerateMultiClassWorkload(spec);
+  };
 
   ServeClusterConfig cluster;
   cluster.prefill_instances = deployment.prefill_instances;
@@ -392,7 +433,32 @@ ServeSweepReport::Point SimulateServePoint(const ServePlatform& platform,
   cluster.autoscaler = MakeAutoscalerConfig(common.autoscaler, platform.capacity);
   cluster.faults =
       MakeFaultConfig(common.faults, platform.gpu, platform.capacity, seed);
-  ServeMetrics metrics = RunServeSimulation(requests, cluster, platform.table);
+
+  ServeMetrics metrics;
+  std::vector<Request> requests;
+  if (common.shards >= 2) {
+    // Sharded execution: split the horizon into `shards` independent
+    // sub-horizon replications of the same stationary process, run them
+    // across the thread pool, and merge in shard-index order. Scenario
+    // validation already rejected everything time-inhomogeneous
+    // (autoscaler, faults, diurnal/trace arrivals). TTFTs stream into
+    // fixed-bin histograms so a shard's memory is O(bins), not
+    // O(requests); every shard uses the same full-horizon histogram range
+    // so the merged bins line up.
+    const int n = common.shards;
+    cluster.horizon_s = common.horizon_s / static_cast<double>(n);
+    cluster.stream_ttft = true;
+    std::vector<ServeMetrics> shard_metrics = ParallelMap<ServeMetrics>(
+        s.exec.threads, n, [&](int i) {
+          std::vector<Request> shard_requests = generate(
+              cluster.horizon_s, ShardSubstreamSeed(seed, static_cast<size_t>(i)));
+          return RunServeSimulation(shard_requests, cluster, platform.table);
+        });
+    metrics = MergeServeShardMetrics(cluster, shard_metrics);
+  } else {
+    requests = generate(common.horizon_s, seed);
+    metrics = RunServeSimulation(requests, cluster, platform.table);
+  }
 
   if (common.faults.enabled()) {
     // Goodput under churn needs a fault-free yardstick: the same requests
@@ -473,9 +539,9 @@ ServeSweepReport::Point SimulateServePoint(const ServePlatform& platform,
   p.admitted_requests = metrics.admitted_requests;
   p.completed_requests = metrics.completed_requests;
   p.in_flight_at_horizon = metrics.in_flight_at_horizon;
-  p.ttft_p50_s = metrics.ttft_s.Median();
-  p.ttft_p95_s = metrics.ttft_s.P95();
-  p.ttft_p99_s = metrics.ttft_s.P99();
+  p.ttft_p50_s = TtftQuantile(metrics, 0.5);
+  p.ttft_p95_s = TtftQuantile(metrics, 0.95);
+  p.ttft_p99_s = TtftQuantile(metrics, 0.99);
   p.tbt_p50_s = metrics.tbt_s.Median();
   p.tbt_p95_s = metrics.tbt_s.P95();
   p.tbt_p99_s = metrics.tbt_s.P99();
@@ -499,7 +565,7 @@ ServeSweepReport::Point SimulateServePoint(const ServePlatform& platform,
     // percentiles must not count as meeting the SLOs (or an empty point
     // could be the knee).
     p.slo_ok = p.completed_requests > 0 &&
-               metrics.ttft_s.Quantile(slo_q) <= s.workload.ttft_slo_s &&
+               TtftQuantile(metrics, slo_q) <= s.workload.ttft_slo_s &&
                metrics.tbt_s.Quantile(slo_q) <= s.workload.tbt_slo_s;
     return p;
   }
@@ -521,26 +587,21 @@ ServeSweepReport::Point SimulateServePoint(const ServePlatform& platform,
     cls.admitted_requests = cm.admitted_requests;
     cls.completed_requests = cm.completed_requests;
     cls.in_flight_at_horizon = cm.in_flight_at_horizon;
-    cls.ttft_p50_s = cm.ttft_s.Median();
-    cls.ttft_p95_s = cm.ttft_s.P95();
-    cls.ttft_p99_s = cm.ttft_s.P99();
+    cls.ttft_p50_s = ClassTtftQuantile(metrics, cm, 0.5);
+    cls.ttft_p95_s = ClassTtftQuantile(metrics, cm, 0.95);
+    cls.ttft_p99_s = ClassTtftQuantile(metrics, cm, 0.99);
     cls.tbt_p50_s = cm.tbt_s.Median();
     cls.tbt_p95_s = cm.tbt_s.P95();
     cls.tbt_p99_s = cm.tbt_s.P99();
     cls.goodput_tokens_per_s =
         metrics.makespan_s > 0.0 ? cm.output_tokens / metrics.makespan_s : 0.0;
-    size_t within_slo = 0;
-    for (double ttft : cm.ttft_s.samples()) {
-      if (ttft <= cls.ttft_slo_s) {
-        ++within_slo;
-      }
-    }
-    cls.ttft_attainment = cm.ttft_s.count() > 0
-                              ? static_cast<double>(within_slo) /
-                                    static_cast<double>(cm.ttft_s.count())
+    size_t ttft_count = ClassTtftCount(metrics, cm);
+    cls.ttft_attainment = ttft_count > 0
+                              ? ClassTtftWithin(metrics, cm, cls.ttft_slo_s) /
+                                    static_cast<double>(ttft_count)
                               : 0.0;
     cls.slo_ok = cls.completed_requests > 0 &&
-                 cm.ttft_s.Quantile(slo_q) <= cls.ttft_slo_s &&
+                 ClassTtftQuantile(metrics, cm, slo_q) <= cls.ttft_slo_s &&
                  cm.tbt_s.Quantile(slo_q) <= cls.tbt_slo_s;
     all_classes_ok = all_classes_ok && cls.slo_ok;
     p.classes.push_back(std::move(cls));

@@ -344,6 +344,24 @@ std::string ValidateServeCommonKnobs(const ServeCommonKnobs& knobs,
       !problem.empty()) {
     return problem;
   }
+  if (knobs.shards < 0 || knobs.shards > 1024) {
+    return where + ".shards must be in [0, 1024]";
+  }
+  if (knobs.shards >= 2) {
+    // Shards are independent replications of the same stationary process;
+    // anything whose behavior depends on absolute time across the horizon
+    // would be distorted by splitting it.
+    if (knobs.autoscaler.enabled()) {
+      return where + ".shards requires the autoscaler to be disabled";
+    }
+    if (knobs.faults.enabled()) {
+      return where + ".shards requires faults to be disabled";
+    }
+    if (knobs.arrival.kind == ArrivalKind::kDiurnal ||
+        knobs.arrival.kind == ArrivalKind::kTrace) {
+      return where + ".shards requires a stationary arrival process (poisson or onoff)";
+    }
+  }
   return ValidateRequestClasses(knobs.classes, where);
 }
 
@@ -699,6 +717,9 @@ void WriteServeCommonKnobs(Json& block, const ServeCommonKnobs& knobs) {
   }
   if (!knobs.classes.empty()) {
     block.Set("classes", RequestClassesToJson(knobs.classes));
+  }
+  if (knobs.shards >= 2) {
+    block.Set("shards", knobs.shards);
   }
 }
 
@@ -1132,7 +1153,7 @@ bool ReadFaultsObject(const Json& obj, const std::string& label, FaultKnobs& out
 std::vector<std::string> ServeCommonKeys(std::vector<std::string> own) {
   for (const char* key : {"horizon_s", "prefill_instances", "decode_instances",
                           "prompt_sigma", "output_sigma", "seed", "arrival",
-                          "autoscaler", "faults", "classes"}) {
+                          "autoscaler", "faults", "classes", "shards"}) {
     own.push_back(key);
   }
   return own;
@@ -1148,7 +1169,8 @@ bool ReadServeCommonKnobs(const Json& obj, const std::string& where,
       !ReadInt(obj, "decode_instances", where, out.decode_instances, error) ||
       !ReadDouble(obj, "prompt_sigma", where, out.prompt_sigma, error) ||
       !ReadDouble(obj, "output_sigma", where, out.output_sigma, error) ||
-      !ReadUint64(obj, "seed", where, out.seed, error)) {
+      !ReadUint64(obj, "seed", where, out.seed, error) ||
+      !ReadInt(obj, "shards", where, out.shards, error)) {
     return false;
   }
   if (const Json* arrival = obj.Find("arrival")) {

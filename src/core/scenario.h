@@ -275,6 +275,17 @@ struct ServeCommonKnobs {
   // knobs above with per-class distributions and adds per-class metrics,
   // goodput, and SLO attainment to the report.
   std::vector<RequestClass> classes;
+  // Split a long single-point horizon into this many independent
+  // sub-horizon replications (each horizon_s / shards long, with its own
+  // deterministic RNG substream via ShardSubstreamSeed) and merge their
+  // metrics deterministically — the same result at any thread count. 0 or
+  // 1 (the default, which serializes to nothing) runs the single serial
+  // horizon with byte-identical reports. Sharded points stream TTFT into
+  // fixed-bin histograms, so TTFT percentiles are within one bin width of
+  // exact. Only statistically homogeneous runs may shard: validation
+  // rejects shards >= 2 combined with the autoscaler, faults, diurnal
+  // curves, or trace replays, whose behavior depends on absolute time.
+  int shards = 0;
 };
 
 // Knobs only the serve study reads. The request mix takes its median

@@ -1,3 +1,32 @@
+// The million-request serving core. Three structural changes over the
+// reference implementation (simulator_reference.cc, kept for identity and
+// speedup gates), none of which may change any metric:
+//
+//  * Calendar event queue (src/serve/event_queue.h) instead of a binary
+//    heap. Pop order is the same fully-specified (time, kind, instance)
+//    order by construction — buckets partition time, ties share a bucket
+//    and are resolved by the full comparator.
+//
+//  * Structure-of-arrays hot state. Requests arrive as a RequestSoA
+//    (column per field), per-instance state is split into a hot status
+//    byte per instance (the scheduling scans test one byte) plus parallel
+//    cold arrays, and all per-point scratch lives in a thread-local arena
+//    reused across sweep points, so points stop churning the allocator.
+//
+//  * O(completions) decode bookkeeping. The reference decrements every
+//    active sequence's remaining-token counter each step — O(batch) per
+//    step, O(total tokens) per run, the dominant cost at 1M requests. A
+//    sequence joining with R tokens left when its instance has completed S
+//    steps finishes exactly when the step counter reaches S + R, so a
+//    per-instance min-heap of packed (finish_step, class) completions does
+//    the same accounting in O(log batch) per request. Per-step metrics
+//    (tokens emitted, per-class TBT) come from incrementally maintained
+//    active counts — integer arithmetic, so the sums are bit-identical to
+//    the reference's recomputation. Fault runs keep the reference's exact
+//    slot arrays and decrement loop instead: a failure's requeue order
+//    depends on the historical swap-remove permutation, which the heap
+//    does not preserve.
+
 #include "src/serve/simulator.h"
 
 #include <algorithm>
@@ -6,12 +35,13 @@
 #include <cstdint>
 #include <deque>
 #include <limits>
+#include <functional>
 #include <memory>
 #include <optional>
-#include <queue>
 #include <vector>
 
 #include "src/perf/model.h"
+#include "src/serve/event_queue.h"
 
 namespace litegpu {
 
@@ -48,94 +78,11 @@ ServeCallbacks MakePerfModelCallbacks(const PerfModel& prefill_model,
 
 namespace {
 
-// Simultaneous events process in a fully specified order: failures first
-// (a completion at the same instant loses the race and is killed), then
-// completions, then instances coming up (autoscaler-provisioned capacity,
-// fault recoveries, spare returns), then autoscaler decision ticks — so a
-// decision at time T sees every completion and recovery at T, and results
-// never depend on the event heap's internal layout. With faults disabled
-// no fault kinds are ever scheduled, so the relative order of the
-// pre-fault kinds (and every metric) is unchanged.
-enum class EventKind {
-  kPrefillFail,
-  kDecodeFail,
-  kPrefillDone,
-  kDecodeStepDone,
-  kPrefillUp,
-  kDecodeUp,
-  kPrefillRecover,
-  kDecodeRecover,
-  kPrefillSpareReturn,
-  kDecodeSpareReturn,
-  kAutoscaleTick,
-};
-
-struct Event {
-  double time_s = 0.0;
-  EventKind kind = EventKind::kPrefillDone;
-  int instance = 0;
-  // Instance lifecycle epoch at scheduling time (fault runs only): a
-  // failure bumps its instance's epoch, so completion and failure events
-  // scheduled before it are discarded as stale on pop. Always 0 with
-  // faults disabled; deliberately not part of the ordering.
-  int epoch = 0;
-  // Full ordering so simultaneous events pop in a specified order —
-  // (time, kind, instance/sequence) — instead of the heap's internal
-  // layout (which standard libraries are free to differ on).
-  bool operator>(const Event& other) const {
-    if (time_s != other.time_s) {
-      return time_s > other.time_s;
-    }
-    if (kind != other.kind) {
-      return kind > other.kind;
-    }
-    return instance > other.instance;
-  }
-};
-
-// Instance lifecycle (only the autoscaler moves instances out of the
-// initial active state): active+!draining take new work; draining finish
-// their in-flight work and retire; retired (!active) instances stay in the
-// vector so indices in scheduled events remain stable.
-struct PrefillInstance {
-  bool busy = false;
-  std::vector<int> batch;  // request indices being prefilled
-  double busy_time = 0.0;
-  bool active = true;
-  bool draining = false;
-  double up_time = 0.0;
-  double down_time = -1.0;  // < 0 while provisioned
-  const char* drain_reason = "";
-  // Fault state (ServeFaultConfig::enabled runs only).
-  bool down = false;       // failed, waiting on spare activation / repair
-  bool via_spare = false;  // current outage is masked by a hot spare
-  int epoch = 0;           // bumped per failure; stale events are discarded
-  double pass_started = 0.0;  // for refunding a killed pass's busy time
-  double pass_duration = 0.0;
-};
-
-struct DecodeInstance {
-  std::vector<int> remaining;      // output tokens left per active sequence
-  std::vector<int> request_index;  // parallel array for bookkeeping
-  double current_step_started = 0.0;
-  double current_step_duration = 0.0;
-  bool stepping = false;
-  double busy_time = 0.0;
-  double batch_time_product = 0.0;  // integral of batch over busy time
-  bool active = true;
-  bool draining = false;
-  double up_time = 0.0;
-  double down_time = -1.0;
-  const char* drain_reason = "";
-  // Fault state (ServeFaultConfig::enabled runs only).
-  bool down = false;
-  bool via_spare = false;
-  int epoch = 0;
-};
-
 // Step-time providers for the shared event loop. Both answer the same two
 // questions; the table one compiles down to an array load, the callback one
 // pays std::function dispatch (and whatever the callback itself does).
+// HintWidth suggests a calendar-queue bucket width near the typical
+// inter-event gap — a pure performance hint, pop order never depends on it.
 struct TableStepper {
   const StepTimeTable& table;
   double PrefillTime(int batch) const { return table.PrefillTime(batch); }
@@ -143,6 +90,12 @@ struct TableStepper {
   int MaxPrefillBatch() const { return table.max_prefill_batch(); }
   int MaxDecodeBatch() const { return table.max_decode_batch(); }
   bool Valid() const { return !table.empty(); }
+  double HintWidth(int decode_instances) const {
+    // Decode step completions dominate the event stream; with every
+    // instance busy their spacing is about one step over the pool.
+    return table.DecodeStepTime(table.max_decode_batch()) /
+           static_cast<double>(std::max(1, decode_instances));
+  }
 };
 
 struct CallbackStepper {
@@ -155,21 +108,246 @@ struct CallbackStepper {
     return static_cast<bool>(callbacks.prefill_time) &&
            static_cast<bool>(callbacks.decode_step_time);
   }
+  double HintWidth(int) const {
+    // Probing a user callback here would change its observable call count;
+    // a fixed width is always correct and close enough for the
+    // compatibility path.
+    return 1e-3;
+  }
 };
 
+// Instance status bits, one byte per instance — the only state the
+// scheduling scans read. An instance takes new work iff its byte is 0
+// (prefill) / has none of kStepping|kDown|kInactive set (decode).
+constexpr uint8_t kBusy = 1;      // prefill pass in flight / decode stepping
+constexpr uint8_t kDraining = 2;  // autoscaler drain: finish, then retire
+constexpr uint8_t kDown = 4;      // failed, awaiting spare/repair
+constexpr uint8_t kInactive = 8;  // retired (indices stay stable)
+
+// FIFO of request indices backed by a flat vector with a head cursor:
+// push/pop are array writes, and the buffer compacts itself so memory stays
+// O(live entries) on million-request horizons.
+class IndexQueue {
+ public:
+  void Clear() {
+    buf_.clear();
+    head_ = 0;
+  }
+  bool empty() const { return head_ == buf_.size(); }
+  size_t size() const { return buf_.size() - head_; }
+  int front() const { return buf_[head_]; }
+  void push_back(int v) { buf_.push_back(v); }
+  void pop_front() {
+    ++head_;
+    if (head_ == buf_.size()) {
+      buf_.clear();
+      head_ = 0;
+    } else if (head_ >= 4096 && head_ * 2 >= buf_.size()) {
+      buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+ private:
+  std::vector<int> buf_;
+  size_t head_ = 0;
+};
+
+// Packed decode completion: (finish_step << 16) | class. finish_step is
+// the instance step count at which the sequence emits its last token;
+// class rides along for per-class completion accounting. Plain uint64
+// ordering puts the earliest finish first (ties tie on class, which is
+// fine — all per-completion metric updates commute within a step).
+constexpr int kCompletionClassBits = 16;
+constexpr uint64_t kCompletionClassMask = (1ULL << kCompletionClassBits) - 1;
+
+// Per-point scratch, reused across runs on the same thread so sweep points
+// and shards stop churning the allocator: vectors are cleared, not freed.
+struct SimScratch {
+  CalendarEventQueue events;
+  IndexQueue prefill_queue;
+  IndexQueue decode_queue;
+
+  // Prefill pool, SoA: status byte (hot) + parallel cold arrays.
+  std::vector<uint8_t> p_state;
+  std::vector<double> p_busy_time, p_up_time, p_down_time;
+  std::vector<double> p_pass_started, p_pass_duration;
+  std::vector<int> p_epoch;
+  std::vector<uint8_t> p_via_spare;
+  std::vector<const char*> p_drain_reason;
+  std::vector<std::vector<int>> p_batch;  // request indices being prefilled
+
+  // Decode pool, SoA.
+  std::vector<uint8_t> d_state;
+  std::vector<double> d_busy_time, d_batch_time_product;
+  std::vector<double> d_step_started, d_step_duration;
+  std::vector<double> d_up_time, d_down_time;
+  std::vector<int> d_epoch;
+  std::vector<uint8_t> d_via_spare;
+  std::vector<const char*> d_drain_reason;
+  // Fast mode (faults off): completion min-heaps + incremental counts.
+  std::vector<uint64_t> d_step_count;
+  std::vector<int> d_active_count;
+  std::vector<std::vector<uint64_t>> d_heap;
+  std::vector<int> class_active;  // [instance * num_classes + class]
+  // Exact-slot mode (faults on): the reference's parallel slot arrays,
+  // preserved verbatim because failure requeue order depends on the
+  // swap-remove permutation they accumulate.
+  std::vector<std::vector<int>> d_remaining;
+  std::vector<std::vector<int>> d_request_index;
+
+  std::vector<uint8_t> ttft_recorded;
+  std::vector<int> retry_counts;
+  std::vector<size_t> step_class_counts;
+
+  // Ready bitmasks: bit i set iff instance i currently passes the
+  // try_start_* status check (prefill: state byte zero; decode: neither
+  // busy, down, nor inactive). The dispatch loops scan set bits instead of
+  // walking every instance, turning the per-event cost from O(pool size)
+  // into O(instances actually dispatched) — at a million arrivals against
+  // a hundred-instance prefill pool that scan is the simulator's single
+  // largest cost.
+  std::vector<uint64_t> p_ready, d_ready;
+
+  void AddPrefill(double up_time) {
+    size_t i = p_state.size();
+    if (p_ready.size() <= (i >> 6)) {
+      p_ready.push_back(0);
+    }
+    p_ready[i >> 6] |= 1ull << (i & 63);
+    p_state.push_back(0);
+    p_busy_time.push_back(0.0);
+    p_up_time.push_back(up_time);
+    p_down_time.push_back(-1.0);
+    p_pass_started.push_back(0.0);
+    p_pass_duration.push_back(0.0);
+    p_epoch.push_back(0);
+    p_via_spare.push_back(0);
+    p_drain_reason.push_back("");
+    if (p_batch.size() < p_state.size()) {
+      p_batch.emplace_back();
+    }
+  }
+
+  void AddDecode(double up_time, int num_classes) {
+    size_t i = d_state.size();
+    if (d_ready.size() <= (i >> 6)) {
+      d_ready.push_back(0);
+    }
+    d_ready[i >> 6] |= 1ull << (i & 63);
+    d_state.push_back(0);
+    d_busy_time.push_back(0.0);
+    d_batch_time_product.push_back(0.0);
+    d_step_started.push_back(0.0);
+    d_step_duration.push_back(0.0);
+    d_up_time.push_back(up_time);
+    d_down_time.push_back(-1.0);
+    d_epoch.push_back(0);
+    d_via_spare.push_back(0);
+    d_drain_reason.push_back("");
+    d_step_count.push_back(0);
+    d_active_count.push_back(0);
+    if (d_heap.size() < d_state.size()) {
+      d_heap.emplace_back();
+    }
+    if (d_remaining.size() < d_state.size()) {
+      d_remaining.emplace_back();
+      d_request_index.emplace_back();
+    }
+    if (num_classes > 0) {
+      class_active.resize(d_state.size() * static_cast<size_t>(num_classes), 0);
+    }
+  }
+
+  void Reset(int n_prefill, int n_decode, int num_classes, double bucket_width) {
+    events.Reset(bucket_width);
+    prefill_queue.Clear();
+    decode_queue.Clear();
+    p_state.clear();
+    p_busy_time.clear();
+    p_up_time.clear();
+    p_down_time.clear();
+    p_pass_started.clear();
+    p_pass_duration.clear();
+    p_epoch.clear();
+    p_via_spare.clear();
+    p_drain_reason.clear();
+    // Nested per-instance vectors keep their slots (and inner capacity);
+    // only the entries a previous larger run left behind are dropped.
+    p_batch.resize(static_cast<size_t>(n_prefill));
+    for (auto& b : p_batch) {
+      b.clear();
+    }
+    d_state.clear();
+    d_busy_time.clear();
+    d_batch_time_product.clear();
+    d_step_started.clear();
+    d_step_duration.clear();
+    d_up_time.clear();
+    d_down_time.clear();
+    d_epoch.clear();
+    d_via_spare.clear();
+    d_drain_reason.clear();
+    d_step_count.clear();
+    d_active_count.clear();
+    d_heap.resize(static_cast<size_t>(n_decode));
+    for (auto& h : d_heap) {
+      h.clear();
+    }
+    d_remaining.resize(static_cast<size_t>(n_decode));
+    d_request_index.resize(static_cast<size_t>(n_decode));
+    for (auto& r : d_remaining) {
+      r.clear();
+    }
+    for (auto& r : d_request_index) {
+      r.clear();
+    }
+    class_active.clear();
+    p_ready.clear();
+    d_ready.clear();
+    ttft_recorded.clear();
+    retry_counts.clear();
+    step_class_counts.assign(num_classes > 0 ? static_cast<size_t>(num_classes) : 0, 0);
+    for (int i = 0; i < n_prefill; ++i) {
+      AddPrefill(0.0);
+    }
+    for (int i = 0; i < n_decode; ++i) {
+      AddDecode(0.0, num_classes);
+    }
+  }
+};
+
+SimScratch& TlsScratch() {
+  static thread_local SimScratch scratch;
+  return scratch;
+}
+
 template <typename Stepper>
-ServeMetrics RunSimulation(const std::vector<Request>& requests,
-                           const ServeClusterConfig& config, const Stepper& stepper) {
+ServeMetrics RunSimulation(const RequestSoA& requests, const ServeClusterConfig& config,
+                           const Stepper& stepper) {
   ServeMetrics metrics;
   if (!stepper.Valid() || config.prefill_instances <= 0 || config.decode_instances <= 0) {
     return metrics;
   }
 
-  std::vector<PrefillInstance> prefill(config.prefill_instances);
-  std::vector<DecodeInstance> decode(config.decode_instances);
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
-  std::deque<int> prefill_queue;  // request indices
-  std::deque<int> decode_queue;   // request indices (prefilled, awaiting decode)
+  const size_t nreq = requests.size();
+  const bool faults_enabled = config.faults.enabled;
+  // Fault runs keep the reference's exact slot arrays: the requeue order of
+  // a killed batch is the slot order, which earlier swap-removes permuted.
+  const bool exact_slots = faults_enabled;
+  const bool stream_ttft = config.stream_ttft;
+
+  SimScratch& S = TlsScratch();
+  S.Reset(config.prefill_instances, config.decode_instances, config.num_classes,
+          stepper.HintWidth(config.decode_instances));
+  CalendarEventQueue& events = S.events;
+  IndexQueue& prefill_queue = S.prefill_queue;
+  IndexQueue& decode_queue = S.decode_queue;
+
+  if (stream_ttft) {
+    metrics.ttft_streamed = true;
+    metrics.ttft_hist = LatencyHistogram(config.ttft_hist_hi_s);
+  }
 
   // --- autoscaler state (dormant unless cfg.enabled) ---
   const ServeAutoscalerConfig& scaler = config.autoscaler;
@@ -184,7 +362,18 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
   double prev_tick_time = 0.0;
   double prev_prefill_busy = 0.0;
   double prev_decode_busy = 0.0;
+  // Incrementally maintained queued-token totals, read by autoscaler
+  // ticks. Token counts are integers, so the running sums stay exactly
+  // integer-valued in double and equal the reference's per-tick
+  // re-summation bit for bit.
+  const bool track_qsums = scaler.enabled;
+  double queued_prompt_tokens = 0.0;
+  double queued_output_tokens = 0.0;
   // Admitted demand for the predictive forecast: (time, class, tokens).
+  // Pruned to the forecast window as arrivals stream in (not just at
+  // ticks), so a long horizon holds O(rate * window) entries rather than
+  // every admitted request; the tick-time prune would have discarded the
+  // same entries anyway, so forecasts are unchanged.
   struct Demand {
     double t;
     double prompt_tokens;
@@ -192,20 +381,18 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
     int cls;
   };
   std::deque<Demand> demand_history;
+  size_t peak_demand_entries = 0;
   if (scaler.enabled) {
     metrics.peak_prefill_instances = active_prefill;
     metrics.peak_decode_instances = active_decode;
-    events.push({scaler.interval_s, EventKind::kAutoscaleTick, tick_seq++});
+    events.Push({scaler.interval_s, ServeEventKind::kAutoscaleTick, tick_seq++});
   }
 
   // --- fault-injection state (dormant unless faults.enabled) ---
   const ServeFaultConfig& faults = config.faults;
-  const bool faults_enabled = faults.enabled;
   std::optional<FaultStreams> fault_streams;
   int prefill_spares_free = faults.prefill_spares;
   int decode_spares_free = faults.decode_spares;
-  std::vector<uint8_t> ttft_recorded;  // first prefill completion per request
-  std::vector<int> retry_counts;       // kRetryWithBudget kills per request
   auto schedule_next_failure = [&](ScalePool pool, int slot, double from_t, int epoch) {
     double rate = pool == ScalePool::kPrefill ? faults.prefill_failure_rate_per_s
                                               : faults.decode_failure_rate_per_s;
@@ -216,21 +403,21 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
     // tail past it runs fault-free, which also bounds the event stream.
     double t = from_t + fault_streams->NextFailureGap(pool, slot, rate);
     if (t <= config.horizon_s) {
-      events.push({t,
-                   pool == ScalePool::kPrefill ? EventKind::kPrefillFail
-                                               : EventKind::kDecodeFail,
+      events.Push({t,
+                   pool == ScalePool::kPrefill ? ServeEventKind::kPrefillFail
+                                               : ServeEventKind::kDecodeFail,
                    slot, epoch});
     }
   };
   if (faults_enabled) {
     fault_streams.emplace(faults.seed);
-    for (int i = 0; i < static_cast<int>(prefill.size()); ++i) {
+    for (int i = 0; i < static_cast<int>(S.p_state.size()); ++i) {
       schedule_next_failure(ScalePool::kPrefill, i, 0.0, 0);
     }
-    for (int i = 0; i < static_cast<int>(decode.size()); ++i) {
+    for (int i = 0; i < static_cast<int>(S.d_state.size()); ++i) {
       schedule_next_failure(ScalePool::kDecode, i, 0.0, 0);
     }
-    ttft_recorded.assign(requests.size(), 0);
+    S.ttft_recorded.assign(nreq, 0);
   }
 
   // Per-class bookkeeping only exists when the caller asked for it, so
@@ -238,13 +425,38 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
   // simulator. Out-of-range class ids fold into class 0 rather than
   // indexing out of bounds (the Runner validates them upstream).
   const bool track_classes = config.num_classes > 0;
+  const size_t ncls = track_classes ? static_cast<size_t>(config.num_classes) : 0;
   if (track_classes) {
-    metrics.per_class.resize(static_cast<size_t>(config.num_classes));
+    metrics.per_class.resize(ncls);
+    if (stream_ttft) {
+      for (ServeClassMetrics& pc : metrics.per_class) {
+        pc.ttft_hist = LatencyHistogram(config.ttft_hist_hi_s);
+      }
+    }
   }
-  std::vector<size_t> step_class_counts(track_classes ? config.num_classes : 0, 0);
   auto class_of = [&](int req) {
-    int cid = requests[static_cast<size_t>(req)].class_id;
+    int cid = requests.class_id[static_cast<size_t>(req)];
     return (cid >= 0 && cid < config.num_classes) ? cid : 0;
+  };
+  if (!stream_ttft) {
+    // Every admitted request records exactly one TTFT sample; reserving up
+    // front spares a million-request run the repeated reallocation copies.
+    metrics.ttft_s.Reserve(nreq);
+  }
+  auto record_ttft = [&](int req, double value) {
+    if (stream_ttft) {
+      metrics.ttft_hist.Add(value);
+    } else {
+      metrics.ttft_s.Add(value);
+    }
+    if (track_classes) {
+      ServeClassMetrics& pc = metrics.per_class[static_cast<size_t>(class_of(req))];
+      if (stream_ttft) {
+        pc.ttft_hist.Add(value);
+      } else {
+        pc.ttft_s.Add(value);
+      }
+    }
   };
 
   size_t next_arrival = 0;
@@ -254,97 +466,175 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
   // tick that did no work.
   double progress_now = 0.0;
 
+  // Refresh instance i's ready bit from its status byte. Called after every
+  // status mutation; the dispatch loops below trust the bits completely.
+  auto sync_p_ready = [&](int i) {
+    uint64_t bit = 1ull << (static_cast<unsigned>(i) & 63);
+    size_t w = static_cast<size_t>(i) >> 6;
+    if (S.p_state[static_cast<size_t>(i)] == 0) {
+      S.p_ready[w] |= bit;
+    } else {
+      S.p_ready[w] &= ~bit;
+    }
+  };
+  auto sync_d_ready = [&](int i) {
+    uint64_t bit = 1ull << (static_cast<unsigned>(i) & 63);
+    size_t w = static_cast<size_t>(i) >> 6;
+    if (!(S.d_state[static_cast<size_t>(i)] & (kBusy | kDown | kInactive))) {
+      S.d_ready[w] |= bit;
+    } else {
+      S.d_ready[w] &= ~bit;
+    }
+  };
+
   auto try_start_prefill = [&](double t) {
-    for (int i = 0; i < static_cast<int>(prefill.size()); ++i) {
-      if (!prefill[i].active || prefill[i].draining || prefill[i].down ||
-          prefill[i].busy || prefill_queue.empty()) {
-        continue;
+    // Set bits scan in ascending instance order — the same order the plain
+    // index loop dispatched in. Instances with a nonzero status byte have
+    // no side effects in that loop, so skipping them is behavior-identical.
+    for (size_t w = 0; w < S.p_ready.size() && !prefill_queue.empty(); ++w) {
+      uint64_t bits = S.p_ready[w];
+      while (bits != 0 && !prefill_queue.empty()) {
+        int i = static_cast<int>((w << 6) +
+                                 static_cast<size_t>(__builtin_ctzll(bits)));
+        bits &= bits - 1;
+        int batch = std::min<int>(stepper.MaxPrefillBatch(),
+                                  static_cast<int>(prefill_queue.size()));
+        std::vector<int>& slots = S.p_batch[static_cast<size_t>(i)];
+        slots.clear();
+        for (int b = 0; b < batch; ++b) {
+          int req = prefill_queue.front();
+          prefill_queue.pop_front();
+          slots.push_back(req);
+          if (track_qsums) {
+            queued_prompt_tokens -= requests.prompt_tokens[static_cast<size_t>(req)];
+          }
+        }
+        double duration = stepper.PrefillTime(batch);
+        S.p_state[i] |= kBusy;
+        sync_p_ready(i);
+        S.p_busy_time[i] += duration;
+        S.p_pass_started[i] = t;
+        S.p_pass_duration[i] = duration;
+        events.Push({t + duration, ServeEventKind::kPrefillDone, i, S.p_epoch[i]});
       }
-      int batch = std::min<int>(stepper.MaxPrefillBatch(),
-                                static_cast<int>(prefill_queue.size()));
-      prefill[i].batch.clear();
-      for (int b = 0; b < batch; ++b) {
-        prefill[i].batch.push_back(prefill_queue.front());
-        prefill_queue.pop_front();
+    }
+  };
+
+  auto try_start_decode_step_at = [&](double t, int i) {
+    const int max_batch = stepper.MaxDecodeBatch();
+    {
+      // Admit waiting sequences at the step boundary (draining instances
+      // only finish what they already hold).
+      if (!(S.d_state[i] & kDraining)) {
+        if (exact_slots) {
+          std::vector<int>& remaining = S.d_remaining[static_cast<size_t>(i)];
+          std::vector<int>& request_index = S.d_request_index[static_cast<size_t>(i)];
+          while (!decode_queue.empty() && static_cast<int>(remaining.size()) < max_batch) {
+            int req = decode_queue.front();
+            decode_queue.pop_front();
+            remaining.push_back(
+                std::max(1, requests.output_tokens[static_cast<size_t>(req)]));
+            request_index.push_back(req);
+            if (track_qsums) {
+              queued_output_tokens -= requests.output_tokens[static_cast<size_t>(req)];
+            }
+          }
+        } else {
+          std::vector<uint64_t>& heap = S.d_heap[static_cast<size_t>(i)];
+          while (!decode_queue.empty() && S.d_active_count[i] < max_batch) {
+            int req = decode_queue.front();
+            decode_queue.pop_front();
+            uint64_t left = static_cast<uint64_t>(
+                std::max(1, requests.output_tokens[static_cast<size_t>(req)]));
+            uint64_t cls = 0;
+            if (track_classes) {
+              cls = static_cast<uint64_t>(class_of(req));
+              ++S.class_active[static_cast<size_t>(i) * ncls + cls];
+            }
+            heap.push_back(((S.d_step_count[i] + left) << kCompletionClassBits) | cls);
+            std::push_heap(heap.begin(), heap.end(), std::greater<uint64_t>());
+            ++S.d_active_count[i];
+            if (track_qsums) {
+              queued_output_tokens -= requests.output_tokens[static_cast<size_t>(req)];
+            }
+          }
+        }
       }
-      double duration = stepper.PrefillTime(batch);
-      prefill[i].busy = true;
-      prefill[i].busy_time += duration;
-      prefill[i].pass_started = t;
-      prefill[i].pass_duration = duration;
-      events.push({t + duration, EventKind::kPrefillDone, i, prefill[i].epoch});
+      int batch = exact_slots ? static_cast<int>(S.d_remaining[static_cast<size_t>(i)].size())
+                              : S.d_active_count[i];
+      if (batch == 0) {
+        return;
+      }
+      double duration = stepper.DecodeStepTime(batch);
+      S.d_state[i] |= kBusy;
+      sync_d_ready(i);
+      S.d_step_started[i] = t;
+      S.d_step_duration[i] = duration;
+      S.d_busy_time[i] += duration;
+      S.d_batch_time_product[i] += batch * duration;
+      events.Push({t + duration, ServeEventKind::kDecodeStepDone, i, S.d_epoch[i]});
     }
   };
 
   auto try_start_decode_step = [&](double t) {
-    for (int i = 0; i < static_cast<int>(decode.size()); ++i) {
-      DecodeInstance& inst = decode[i];
-      if (inst.stepping || !inst.active || inst.down) {
-        continue;
+    // Ascending-bit scan = the plain loop's ascending index order; skipped
+    // instances (busy, down, or inactive) were pure no-ops there.
+    for (size_t w = 0; w < S.d_ready.size(); ++w) {
+      uint64_t bits = S.d_ready[w];
+      while (bits != 0) {
+        int i = static_cast<int>((w << 6) +
+                                 static_cast<size_t>(__builtin_ctzll(bits)));
+        bits &= bits - 1;
+        try_start_decode_step_at(t, i);
       }
-      // Admit waiting sequences at the step boundary (draining instances
-      // only finish what they already hold).
-      if (!inst.draining) {
-        while (!decode_queue.empty() &&
-               static_cast<int>(inst.remaining.size()) < stepper.MaxDecodeBatch()) {
-          int req = decode_queue.front();
-          decode_queue.pop_front();
-          inst.remaining.push_back(std::max(1, requests[req].output_tokens));
-          inst.request_index.push_back(req);
-        }
-      }
-      if (inst.remaining.empty()) {
-        continue;
-      }
-      int batch = static_cast<int>(inst.remaining.size());
-      double duration = stepper.DecodeStepTime(batch);
-      inst.stepping = true;
-      inst.current_step_started = t;
-      inst.current_step_duration = duration;
-      inst.busy_time += duration;
-      inst.batch_time_product += batch * duration;
-      events.push({t + duration, EventKind::kDecodeStepDone, i, inst.epoch});
     }
   };
 
   // --- autoscaler actions ---
   auto retire_prefill = [&](int i, const char* reason) {
-    prefill[i].active = false;
-    prefill[i].draining = false;
-    prefill[i].down_time = now;
+    S.p_state[i] = static_cast<uint8_t>((S.p_state[i] & ~kDraining) | kInactive);
+    sync_p_ready(i);
+    S.p_down_time[i] = now;
     --active_prefill;
     metrics.scale_events.push_back({now, ScalePool::kPrefill, -1, active_prefill, reason});
   };
   auto retire_decode = [&](int i, const char* reason) {
-    decode[i].active = false;
-    decode[i].draining = false;
-    decode[i].down_time = now;
+    S.d_state[i] = static_cast<uint8_t>((S.d_state[i] & ~kDraining) | kInactive);
+    sync_d_ready(i);
+    S.d_down_time[i] = now;
     --active_decode;
     metrics.scale_events.push_back({now, ScalePool::kDecode, -1, active_decode, reason});
+  };
+  auto decode_idle_empty = [&](int i) {
+    bool no_work = exact_slots ? S.d_remaining[static_cast<size_t>(i)].empty()
+                               : S.d_active_count[i] == 0;
+    return no_work && !(S.d_state[i] & kBusy);
   };
   // Pick the highest-index live instance: the most recently provisioned
   // capacity leaves first, keeping the initial pool stable.
   auto drain_one_prefill = [&](const char* reason) {
-    for (int i = static_cast<int>(prefill.size()) - 1; i >= 0; --i) {
-      if (prefill[i].active && !prefill[i].draining && !prefill[i].down) {
-        if (!prefill[i].busy) {
+    for (int i = static_cast<int>(S.p_state.size()) - 1; i >= 0; --i) {
+      if (!(S.p_state[i] & (kInactive | kDraining | kDown))) {
+        if (!(S.p_state[i] & kBusy)) {
           retire_prefill(i, reason);
         } else {
-          prefill[i].draining = true;
-          prefill[i].drain_reason = reason;
+          S.p_state[i] |= kDraining;
+          sync_p_ready(i);
+          S.p_drain_reason[i] = reason;
         }
         return;
       }
     }
   };
   auto drain_one_decode = [&](const char* reason) {
-    for (int i = static_cast<int>(decode.size()) - 1; i >= 0; --i) {
-      if (decode[i].active && !decode[i].draining && !decode[i].down) {
-        if (decode[i].remaining.empty() && !decode[i].stepping) {
+    for (int i = static_cast<int>(S.d_state.size()) - 1; i >= 0; --i) {
+      if (!(S.d_state[i] & (kInactive | kDraining | kDown))) {
+        if (decode_idle_empty(i)) {
           retire_decode(i, reason);
         } else {
-          decode[i].draining = true;
-          decode[i].drain_reason = reason;
+          S.d_state[i] |= kDraining;
+          sync_d_ready(i);
+          S.d_drain_reason[i] = reason;
         }
         return;
       }
@@ -356,17 +646,20 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
   auto requeue_or_drop = [&](int req) {
     bool retry = faults.retry_policy == FaultRetryPolicy::kRetry;
     if (faults.retry_policy == FaultRetryPolicy::kRetryWithBudget) {
-      if (retry_counts.empty()) {
-        retry_counts.assign(requests.size(), 0);
+      if (S.retry_counts.empty()) {
+        S.retry_counts.assign(nreq, 0);
       }
-      retry = retry_counts[static_cast<size_t>(req)] < faults.retry_budget;
+      retry = S.retry_counts[static_cast<size_t>(req)] < faults.retry_budget;
       if (retry) {
-        ++retry_counts[static_cast<size_t>(req)];
+        ++S.retry_counts[static_cast<size_t>(req)];
       }
     }
     if (retry) {
       // The KV cache died with the instance: back of the prefill queue.
       prefill_queue.push_back(req);
+      if (track_qsums) {
+        queued_prompt_tokens += requests.prompt_tokens[static_cast<size_t>(req)];
+      }
       ++metrics.retried_requests;
     } else {
       ++metrics.dropped_requests;
@@ -380,60 +673,60 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
   // returns later) or the full repair. A draining instance that fails
   // simply retires — the autoscaler wanted it gone anyway.
   auto fail_prefill = [&](int i) {
-    PrefillInstance& inst = prefill[i];
-    ++inst.epoch;
+    ++S.p_epoch[i];
     int killed = 0;
     double lost = 0.0;
-    if (inst.busy) {
-      inst.busy_time -= inst.pass_started + inst.pass_duration - now;
-      killed = static_cast<int>(inst.batch.size());
-      for (int req : inst.batch) {
-        lost += requests[static_cast<size_t>(req)].prompt_tokens;
+    std::vector<int>& slots = S.p_batch[static_cast<size_t>(i)];
+    if (S.p_state[i] & kBusy) {
+      S.p_busy_time[i] -= S.p_pass_started[i] + S.p_pass_duration[i] - now;
+      killed = static_cast<int>(slots.size());
+      for (int req : slots) {
+        lost += requests.prompt_tokens[static_cast<size_t>(req)];
         requeue_or_drop(req);
       }
-      inst.batch.clear();
-      inst.busy = false;
+      slots.clear();
+      S.p_state[i] &= static_cast<uint8_t>(~kBusy);
     }
     metrics.lost_tokens += lost;
-    if (inst.draining) {
+    if (S.p_state[i] & kDraining) {
       metrics.fault_events.push_back({now, FaultEventKind::kFailure, ScalePool::kPrefill,
                                       i, killed, lost, prefill_spares_free});
-      retire_prefill(i, inst.drain_reason);
+      retire_prefill(i, S.p_drain_reason[i]);
       return;
     }
-    inst.down = true;
-    inst.via_spare = false;
+    S.p_state[i] |= kDown;
+    sync_p_ready(i);
+    S.p_via_spare[i] = 0;
     double delay = faults.repair_s;
     if (prefill_spares_free > 0) {
       --prefill_spares_free;
-      inst.via_spare = true;
+      S.p_via_spare[i] = 1;
       delay = faults.spare_activation_s;
-      events.push({now + faults.repair_s, EventKind::kPrefillSpareReturn, i});
+      events.Push({now + faults.repair_s, ServeEventKind::kPrefillSpareReturn, i});
     }
     metrics.fault_events.push_back({now, FaultEventKind::kFailure, ScalePool::kPrefill, i,
                                     killed, lost, prefill_spares_free});
-    events.push({now + delay, EventKind::kPrefillRecover, i, inst.epoch});
+    events.Push({now + delay, ServeEventKind::kPrefillRecover, i, S.p_epoch[i]});
   };
 
   auto fail_decode = [&](int i) {
-    DecodeInstance& inst = decode[i];
-    ++inst.epoch;
-    int killed = static_cast<int>(inst.remaining.size());
+    ++S.d_epoch[i];
+    std::vector<int>& remaining = S.d_remaining[static_cast<size_t>(i)];
+    std::vector<int>& request_index = S.d_request_index[static_cast<size_t>(i)];
+    int killed = static_cast<int>(remaining.size());
     double lost = 0.0;
-    if (inst.stepping) {
-      double unfinished = inst.current_step_started + inst.current_step_duration - now;
-      inst.busy_time -= unfinished;
-      inst.batch_time_product -=
-          static_cast<double>(inst.remaining.size()) * unfinished;
-      inst.stepping = false;
+    if (S.d_state[i] & kBusy) {
+      double unfinished = S.d_step_started[i] + S.d_step_duration[i] - now;
+      S.d_busy_time[i] -= unfinished;
+      S.d_batch_time_product[i] -= static_cast<double>(remaining.size()) * unfinished;
+      S.d_state[i] &= static_cast<uint8_t>(~kBusy);
     }
-    for (size_t s = 0; s < inst.remaining.size(); ++s) {
-      int req = inst.request_index[s];
+    for (size_t s = 0; s < remaining.size(); ++s) {
+      int req = request_index[s];
       // Generated-so-far tokens die with the KV cache: they are not
       // horizon goodput, so back them out of the token counts.
       double generated = static_cast<double>(
-          std::max(1, requests[static_cast<size_t>(req)].output_tokens) -
-          inst.remaining[s]);
+          std::max(1, requests.output_tokens[static_cast<size_t>(req)]) - remaining[s]);
       lost += generated;
       metrics.output_tokens -= generated;
       if (track_classes) {
@@ -441,27 +734,28 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
       }
       requeue_or_drop(req);
     }
-    inst.remaining.clear();
-    inst.request_index.clear();
+    remaining.clear();
+    request_index.clear();
     metrics.lost_tokens += lost;
-    if (inst.draining) {
+    if (S.d_state[i] & kDraining) {
       metrics.fault_events.push_back({now, FaultEventKind::kFailure, ScalePool::kDecode,
                                       i, killed, lost, decode_spares_free});
-      retire_decode(i, inst.drain_reason);
+      retire_decode(i, S.d_drain_reason[i]);
       return;
     }
-    inst.down = true;
-    inst.via_spare = false;
+    S.d_state[i] |= kDown;
+    sync_d_ready(i);
+    S.d_via_spare[i] = 0;
     double delay = faults.repair_s;
     if (decode_spares_free > 0) {
       --decode_spares_free;
-      inst.via_spare = true;
+      S.d_via_spare[i] = 1;
       delay = faults.spare_activation_s;
-      events.push({now + faults.repair_s, EventKind::kDecodeSpareReturn, i});
+      events.Push({now + faults.repair_s, ServeEventKind::kDecodeSpareReturn, i});
     }
     metrics.fault_events.push_back({now, FaultEventKind::kFailure, ScalePool::kDecode, i,
                                     killed, lost, decode_spares_free});
-    events.push({now + delay, EventKind::kDecodeRecover, i, inst.epoch});
+    events.Push({now + delay, ServeEventKind::kDecodeRecover, i, S.d_epoch[i]});
   };
 
   // One autoscaler decision: reactive thresholds on backlog/utilization, or
@@ -475,25 +769,17 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
     double decode_busy = 0.0;
     // Down (failed) instances are not live: the autoscaler sees the
     // reduced pool and can provision replacements while repairs run.
-    for (const auto& p : prefill) {
-      if (p.active && !p.draining && !p.down) {
+    for (size_t i = 0; i < S.p_state.size(); ++i) {
+      if (!(S.p_state[i] & (kInactive | kDraining | kDown))) {
         ++live_prefill;
       }
-      prefill_busy += p.busy_time;
+      prefill_busy += S.p_busy_time[i];
     }
-    for (const auto& d : decode) {
-      if (d.active && !d.draining && !d.down) {
+    for (size_t i = 0; i < S.d_state.size(); ++i) {
+      if (!(S.d_state[i] & (kInactive | kDraining | kDown))) {
         ++live_decode;
       }
-      decode_busy += d.busy_time;
-    }
-    double queued_prompt_tokens = 0.0;
-    for (int req : prefill_queue) {
-      queued_prompt_tokens += requests[static_cast<size_t>(req)].prompt_tokens;
-    }
-    double queued_output_tokens = 0.0;
-    for (int req : decode_queue) {
-      queued_output_tokens += requests[static_cast<size_t>(req)].output_tokens;
+      decode_busy += S.d_busy_time[i];
     }
 
     // Predictive forecast: per-class token demand over two half-windows,
@@ -507,11 +793,11 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
              demand_history.front().t < now - scaler.forecast_window_s) {
         demand_history.pop_front();
       }
-      size_t ncls = static_cast<size_t>(std::max(1, config.num_classes));
-      std::vector<double> recent_prompt(ncls, 0.0), old_prompt(ncls, 0.0);
-      std::vector<double> recent_output(ncls, 0.0), old_output(ncls, 0.0);
+      size_t fcls = static_cast<size_t>(std::max(1, config.num_classes));
+      std::vector<double> recent_prompt(fcls, 0.0), old_prompt(fcls, 0.0);
+      std::vector<double> recent_output(fcls, 0.0), old_output(fcls, 0.0);
       for (const Demand& d : demand_history) {
-        size_t c = (d.cls >= 0 && d.cls < static_cast<int>(ncls))
+        size_t c = (d.cls >= 0 && d.cls < static_cast<int>(fcls))
                        ? static_cast<size_t>(d.cls)
                        : 0;
         if (d.t >= now - half) {
@@ -522,7 +808,7 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
           old_output[c] += d.output_tokens;
         }
       }
-      for (size_t c = 0; c < ncls; ++c) {
+      for (size_t c = 0; c < fcls; ++c) {
         forecast_prompt_rate += std::max(0.0, 2.0 * recent_prompt[c] - old_prompt[c]) / half;
         forecast_output_rate += std::max(0.0, 2.0 * recent_output[c] - old_output[c]) / half;
       }
@@ -547,7 +833,8 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
       int target = live + pending;
 
       auto schedule_up = [&](const char* reason) {
-        events.push({now + scaler.delay_s, is_prefill ? EventKind::kPrefillUp : EventKind::kDecodeUp,
+        events.Push({now + scaler.delay_s,
+                     is_prefill ? ServeEventKind::kPrefillUp : ServeEventKind::kDecodeUp,
                      up_seq++});
         up_reasons.push_back(reason);
         ++pending;
@@ -606,35 +893,36 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
     // Keep ticking only while there is anything left to manage; otherwise
     // the tick stream would keep the event loop alive forever (the default
     // horizon is effectively infinite).
-    bool work_left = next_arrival < requests.size() || !prefill_queue.empty() ||
+    bool work_left = next_arrival < nreq || !prefill_queue.empty() ||
                      !decode_queue.empty() || pending_prefill_ups > 0 ||
                      pending_decode_ups > 0;
     if (!work_left) {
-      for (const auto& p : prefill) {
-        if (p.busy) {
+      for (size_t i = 0; i < S.p_state.size(); ++i) {
+        if (S.p_state[i] & kBusy) {
           work_left = true;
           break;
         }
       }
     }
     if (!work_left) {
-      for (const auto& d : decode) {
-        if (d.stepping || !d.remaining.empty()) {
+      for (size_t i = 0; i < S.d_state.size(); ++i) {
+        bool has_work = exact_slots ? !S.d_remaining[i].empty() : S.d_active_count[i] > 0;
+        if ((S.d_state[i] & kBusy) || has_work) {
           work_left = true;
           break;
         }
       }
     }
     if (work_left) {
-      events.push({now + scaler.interval_s, EventKind::kAutoscaleTick, tick_seq++});
+      events.Push({now + scaler.interval_s, ServeEventKind::kAutoscaleTick, tick_seq++});
     }
   };
 
   for (;;) {
-    double arrival_t = next_arrival < requests.size() ? requests[next_arrival].arrival_s
-                                                      : std::numeric_limits<double>::max();
+    double arrival_t = next_arrival < nreq ? requests.arrival_s[next_arrival]
+                                           : std::numeric_limits<double>::max();
     double event_t =
-        events.empty() ? std::numeric_limits<double>::max() : events.top().time_s;
+        events.empty() ? std::numeric_limits<double>::max() : events.PeekTime();
     if (arrival_t == std::numeric_limits<double>::max() &&
         event_t == std::numeric_limits<double>::max()) {
       break;
@@ -650,10 +938,19 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
           ++metrics.per_class[static_cast<size_t>(class_of(static_cast<int>(next_arrival)))]
                 .admitted_requests;
         }
+        if (track_qsums) {
+          queued_prompt_tokens += requests.prompt_tokens[next_arrival];
+        }
         if (scaler.enabled && scaler.predictive) {
-          const Request& r = requests[next_arrival];
-          demand_history.push_back({now, static_cast<double>(r.prompt_tokens),
-                                    static_cast<double>(r.output_tokens), r.class_id});
+          while (!demand_history.empty() &&
+                 demand_history.front().t < now - scaler.forecast_window_s) {
+            demand_history.pop_front();
+          }
+          demand_history.push_back({now,
+                                    static_cast<double>(requests.prompt_tokens[next_arrival]),
+                                    static_cast<double>(requests.output_tokens[next_arrival]),
+                                    requests.class_id[next_arrival]});
+          peak_demand_entries = std::max(peak_demand_entries, demand_history.size());
         }
       }
       ++next_arrival;
@@ -661,20 +958,156 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
       continue;
     }
 
-    Event event = events.top();
-    events.pop();
+    ServeEvent event = events.Pop();
     now = event.time_s;
 
-    if (event.kind == EventKind::kAutoscaleTick) {
+    // Hot kinds first: completions are the vast majority of a long
+    // horizon's stream, so their dispatch pays at most two compares. The
+    // test order is pure branch economy — each pop matches exactly one
+    // kind, so it cannot affect processing order.
+    if (event.kind == ServeEventKind::kDecodeStepDone) {
+      int i = event.instance;
+      if (faults_enabled && event.epoch != S.d_epoch[i]) {
+        continue;  // the step was killed by a failure before it finished
+      }
+      progress_now = now;
+      metrics.tbt_s.Add(S.d_step_duration[i]);
+      S.d_state[i] &= static_cast<uint8_t>(~kBusy);
+      sync_d_ready(i);
+      if (exact_slots) {
+        std::vector<int>& remaining = S.d_remaining[static_cast<size_t>(i)];
+        std::vector<int>& request_index = S.d_request_index[static_cast<size_t>(i)];
+        // Every active sequence emitted one token this step.
+        metrics.output_tokens += static_cast<double>(remaining.size());
+        if (track_classes) {
+          // Each active sequence of a class experienced this step's duration
+          // as one inter-token gap: one weighted histogram add per class.
+          std::fill(S.step_class_counts.begin(), S.step_class_counts.end(), 0);
+          for (int req : request_index) {
+            ++S.step_class_counts[static_cast<size_t>(class_of(req))];
+          }
+          for (size_t c = 0; c < S.step_class_counts.size(); ++c) {
+            if (S.step_class_counts[c] > 0) {
+              metrics.per_class[c].tbt_s.Add(S.d_step_duration[i],
+                                             S.step_class_counts[c]);
+              metrics.per_class[c].output_tokens +=
+                  static_cast<double>(S.step_class_counts[c]);
+            }
+          }
+        }
+        for (size_t s = 0; s < remaining.size();) {
+          if (--remaining[s] == 0) {
+            ++metrics.completed_requests;
+            if (track_classes) {
+              ++metrics.per_class[static_cast<size_t>(class_of(request_index[s]))]
+                    .completed_requests;
+            }
+            if (now > config.horizon_s) {
+              // Admitted before the horizon, finished after it: the request
+              // drains but its tail tokens are not horizon goodput.
+              ++metrics.in_flight_at_horizon;
+              if (track_classes) {
+                ++metrics.per_class[static_cast<size_t>(class_of(request_index[s]))]
+                      .in_flight_at_horizon;
+              }
+            }
+            metrics.makespan_s = now;
+            remaining[s] = remaining.back();
+            remaining.pop_back();
+            request_index[s] = request_index.back();
+            request_index.pop_back();
+          } else {
+            ++s;
+          }
+        }
+        if ((S.d_state[i] & kDraining) && remaining.empty()) {
+          retire_decode(i, S.d_drain_reason[i]);
+        }
+      } else {
+        metrics.output_tokens += static_cast<double>(S.d_active_count[i]);
+        if (track_classes) {
+          const int* active = &S.class_active[static_cast<size_t>(i) * ncls];
+          for (size_t c = 0; c < ncls; ++c) {
+            if (active[c] > 0) {
+              metrics.per_class[c].tbt_s.Add(S.d_step_duration[i],
+                                             static_cast<size_t>(active[c]));
+              metrics.per_class[c].output_tokens += static_cast<double>(active[c]);
+            }
+          }
+        }
+        // Sequences whose remaining count just hit zero are exactly the
+        // completion-heap entries at the new step count.
+        uint64_t done_step = ++S.d_step_count[i];
+        std::vector<uint64_t>& heap = S.d_heap[static_cast<size_t>(i)];
+        while (!heap.empty() && (heap.front() >> kCompletionClassBits) == done_step) {
+          std::pop_heap(heap.begin(), heap.end(), std::greater<uint64_t>());
+          uint64_t entry = heap.back();
+          heap.pop_back();
+          size_t cls = static_cast<size_t>(entry & kCompletionClassMask);
+          ++metrics.completed_requests;
+          if (track_classes) {
+            ++metrics.per_class[cls].completed_requests;
+            --S.class_active[static_cast<size_t>(i) * ncls + cls];
+          }
+          if (now > config.horizon_s) {
+            ++metrics.in_flight_at_horizon;
+            if (track_classes) {
+              ++metrics.per_class[cls].in_flight_at_horizon;
+            }
+          }
+          metrics.makespan_s = now;
+          --S.d_active_count[i];
+        }
+        if ((S.d_state[i] & kDraining) && S.d_active_count[i] == 0) {
+          retire_decode(i, S.d_drain_reason[i]);
+        }
+      }
+      try_start_decode_step(now);
+      continue;
+    }
+    if (event.kind == ServeEventKind::kPrefillDone) {
+      int i = event.instance;
+      if (faults_enabled && event.epoch != S.p_epoch[i]) {
+        continue;  // the pass was killed by a failure before it finished
+      }
+      progress_now = now;
+      std::vector<int>& slots = S.p_batch[static_cast<size_t>(i)];
+      for (int req : slots) {
+        // A retried request's first token was delivered by its first
+        // successful prefill; later re-prefills don't re-record TTFT.
+        if (!faults_enabled || !S.ttft_recorded[static_cast<size_t>(req)]) {
+          record_ttft(req, now - requests.arrival_s[static_cast<size_t>(req)]);
+          if (faults_enabled) {
+            S.ttft_recorded[static_cast<size_t>(req)] = 1;
+          }
+        }
+        decode_queue.push_back(req);
+        if (track_qsums) {
+          queued_output_tokens += requests.output_tokens[static_cast<size_t>(req)];
+        }
+      }
+      slots.clear();
+      S.p_state[i] &= static_cast<uint8_t>(~kBusy);
+      sync_p_ready(i);
+      if (S.p_state[i] & kDraining) {
+        retire_prefill(i, S.p_drain_reason[i]);
+      }
+      try_start_prefill(now);
+      try_start_decode_step(now);
+      continue;
+    }
+
+    if (event.kind == ServeEventKind::kAutoscaleTick) {
       autoscale_tick();
       continue;
     }
-    if (event.kind == EventKind::kPrefillFail || event.kind == EventKind::kDecodeFail) {
-      bool is_prefill = event.kind == EventKind::kPrefillFail;
-      bool live = is_prefill ? (prefill[event.instance].active &&
-                                event.epoch == prefill[event.instance].epoch)
-                             : (decode[event.instance].active &&
-                                event.epoch == decode[event.instance].epoch);
+    if (event.kind == ServeEventKind::kPrefillFail ||
+        event.kind == ServeEventKind::kDecodeFail) {
+      bool is_prefill = event.kind == ServeEventKind::kPrefillFail;
+      bool live = is_prefill ? (!(S.p_state[event.instance] & kInactive) &&
+                                event.epoch == S.p_epoch[event.instance])
+                             : (!(S.d_state[event.instance] & kInactive) &&
+                                event.epoch == S.d_epoch[event.instance]);
       if (live) {
         if (is_prefill) {
           fail_prefill(event.instance);
@@ -687,39 +1120,42 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
       }
       continue;
     }
-    if (event.kind == EventKind::kPrefillRecover || event.kind == EventKind::kDecodeRecover) {
-      if (event.kind == EventKind::kPrefillRecover) {
-        PrefillInstance& inst = prefill[event.instance];
-        if (!inst.active || event.epoch != inst.epoch) {
+    if (event.kind == ServeEventKind::kPrefillRecover ||
+        event.kind == ServeEventKind::kDecodeRecover) {
+      if (event.kind == ServeEventKind::kPrefillRecover) {
+        int i = event.instance;
+        if ((S.p_state[i] & kInactive) || event.epoch != S.p_epoch[i]) {
           continue;  // retired while down
         }
-        inst.down = false;
+        S.p_state[i] &= static_cast<uint8_t>(~kDown);
+        sync_p_ready(i);
         metrics.fault_events.push_back({now,
-                                        inst.via_spare ? FaultEventKind::kSpareActivation
-                                                       : FaultEventKind::kRepair,
-                                        ScalePool::kPrefill, event.instance, 0, 0.0,
+                                        S.p_via_spare[i] ? FaultEventKind::kSpareActivation
+                                                         : FaultEventKind::kRepair,
+                                        ScalePool::kPrefill, i, 0, 0.0,
                                         prefill_spares_free});
-        schedule_next_failure(ScalePool::kPrefill, event.instance, now, inst.epoch);
+        schedule_next_failure(ScalePool::kPrefill, i, now, S.p_epoch[i]);
         try_start_prefill(now);
       } else {
-        DecodeInstance& inst = decode[event.instance];
-        if (!inst.active || event.epoch != inst.epoch) {
+        int i = event.instance;
+        if ((S.d_state[i] & kInactive) || event.epoch != S.d_epoch[i]) {
           continue;
         }
-        inst.down = false;
+        S.d_state[i] &= static_cast<uint8_t>(~kDown);
+        sync_d_ready(i);
         metrics.fault_events.push_back({now,
-                                        inst.via_spare ? FaultEventKind::kSpareActivation
-                                                       : FaultEventKind::kRepair,
-                                        ScalePool::kDecode, event.instance, 0, 0.0,
+                                        S.d_via_spare[i] ? FaultEventKind::kSpareActivation
+                                                         : FaultEventKind::kRepair,
+                                        ScalePool::kDecode, i, 0, 0.0,
                                         decode_spares_free});
-        schedule_next_failure(ScalePool::kDecode, event.instance, now, inst.epoch);
+        schedule_next_failure(ScalePool::kDecode, i, now, S.d_epoch[i]);
         try_start_decode_step(now);
       }
       continue;
     }
-    if (event.kind == EventKind::kPrefillSpareReturn ||
-        event.kind == EventKind::kDecodeSpareReturn) {
-      bool is_prefill = event.kind == EventKind::kPrefillSpareReturn;
+    if (event.kind == ServeEventKind::kPrefillSpareReturn ||
+        event.kind == ServeEventKind::kDecodeSpareReturn) {
+      bool is_prefill = event.kind == ServeEventKind::kPrefillSpareReturn;
       int& spares_free = is_prefill ? prefill_spares_free : decode_spares_free;
       ++spares_free;
       metrics.fault_events.push_back({now, FaultEventKind::kSpareReturn,
@@ -727,11 +1163,10 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
                                       event.instance, 0, 0.0, spares_free});
       continue;
     }
-    if (event.kind == EventKind::kPrefillUp || event.kind == EventKind::kDecodeUp) {
-      if (event.kind == EventKind::kPrefillUp) {
-        PrefillInstance fresh;
-        fresh.up_time = now;
-        prefill.push_back(std::move(fresh));
+    if (event.kind == ServeEventKind::kPrefillUp ||
+        event.kind == ServeEventKind::kDecodeUp) {
+      if (event.kind == ServeEventKind::kPrefillUp) {
+        S.AddPrefill(now);
         --pending_prefill_ups;
         ++active_prefill;
         metrics.peak_prefill_instances =
@@ -742,13 +1177,11 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
             {now, ScalePool::kPrefill, +1, active_prefill, reason});
         if (faults_enabled) {
           schedule_next_failure(ScalePool::kPrefill,
-                                static_cast<int>(prefill.size()) - 1, now, 0);
+                                static_cast<int>(S.p_state.size()) - 1, now, 0);
         }
         try_start_prefill(now);
       } else {
-        DecodeInstance fresh;
-        fresh.up_time = now;
-        decode.push_back(std::move(fresh));
+        S.AddDecode(now, config.num_classes);
         --pending_decode_ups;
         ++active_decode;
         metrics.peak_decode_instances =
@@ -759,111 +1192,28 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
             {now, ScalePool::kDecode, +1, active_decode, reason});
         if (faults_enabled) {
           schedule_next_failure(ScalePool::kDecode,
-                                static_cast<int>(decode.size()) - 1, now, 0);
+                                static_cast<int>(S.d_state.size()) - 1, now, 0);
         }
         try_start_decode_step(now);
       }
       continue;
     }
 
-    if (event.kind == EventKind::kPrefillDone) {
-      PrefillInstance& inst = prefill[event.instance];
-      if (faults_enabled && event.epoch != inst.epoch) {
-        continue;  // the pass was killed by a failure before it finished
-      }
-      progress_now = now;
-      for (int req : inst.batch) {
-        // A retried request's first token was delivered by its first
-        // successful prefill; later re-prefills don't re-record TTFT.
-        if (!faults_enabled || !ttft_recorded[static_cast<size_t>(req)]) {
-          metrics.ttft_s.Add(now - requests[req].arrival_s);
-          if (track_classes) {
-            metrics.per_class[static_cast<size_t>(class_of(req))].ttft_s.Add(
-                now - requests[req].arrival_s);
-          }
-          if (faults_enabled) {
-            ttft_recorded[static_cast<size_t>(req)] = 1;
-          }
-        }
-        decode_queue.push_back(req);
-      }
-      inst.batch.clear();
-      inst.busy = false;
-      if (inst.draining) {
-        retire_prefill(event.instance, inst.drain_reason);
-      }
-      try_start_prefill(now);
-      try_start_decode_step(now);
-    } else {
-      DecodeInstance& inst = decode[event.instance];
-      if (faults_enabled && event.epoch != inst.epoch) {
-        continue;  // the step was killed by a failure before it finished
-      }
-      progress_now = now;
-      metrics.tbt_s.Add(inst.current_step_duration);
-      inst.stepping = false;
-      // Every active sequence emitted one token this step.
-      metrics.output_tokens += static_cast<double>(inst.remaining.size());
-      if (track_classes) {
-        // Each active sequence of a class experienced this step's duration
-        // as one inter-token gap: one weighted histogram add per class.
-        std::fill(step_class_counts.begin(), step_class_counts.end(), 0);
-        for (int req : inst.request_index) {
-          ++step_class_counts[static_cast<size_t>(class_of(req))];
-        }
-        for (size_t c = 0; c < step_class_counts.size(); ++c) {
-          if (step_class_counts[c] > 0) {
-            metrics.per_class[c].tbt_s.Add(inst.current_step_duration,
-                                           step_class_counts[c]);
-            metrics.per_class[c].output_tokens +=
-                static_cast<double>(step_class_counts[c]);
-          }
-        }
-      }
-      for (size_t s = 0; s < inst.remaining.size();) {
-        if (--inst.remaining[s] == 0) {
-          ++metrics.completed_requests;
-          if (track_classes) {
-            ++metrics.per_class[static_cast<size_t>(class_of(inst.request_index[s]))]
-                  .completed_requests;
-          }
-          if (now > config.horizon_s) {
-            // Admitted before the horizon, finished after it: the request
-            // drains but its tail tokens are not horizon goodput.
-            ++metrics.in_flight_at_horizon;
-            if (track_classes) {
-              ++metrics.per_class[static_cast<size_t>(class_of(inst.request_index[s]))]
-                    .in_flight_at_horizon;
-            }
-          }
-          metrics.makespan_s = now;
-          inst.remaining[s] = inst.remaining.back();
-          inst.remaining.pop_back();
-          inst.request_index[s] = inst.request_index.back();
-          inst.request_index.pop_back();
-        } else {
-          ++s;
-        }
-      }
-      if (inst.draining && inst.remaining.empty()) {
-        retire_decode(event.instance, inst.drain_reason);
-      }
-      try_start_decode_step(now);
-    }
   }
 
   metrics.makespan_s = std::max(metrics.makespan_s, progress_now);
+  metrics.peak_demand_entries = peak_demand_entries;
   if (metrics.makespan_s > 0.0) {
     metrics.decode_tokens_per_s = metrics.output_tokens / metrics.makespan_s;
     double prefill_busy = 0.0;
-    for (const auto& p : prefill) {
-      prefill_busy += p.busy_time;
+    for (double b : S.p_busy_time) {
+      prefill_busy += b;
     }
     double decode_busy = 0.0;
     double batch_product = 0.0;
-    for (const auto& d : decode) {
-      decode_busy += d.busy_time;
-      batch_product += d.batch_time_product;
+    for (size_t i = 0; i < S.d_state.size(); ++i) {
+      decode_busy += S.d_busy_time[i];
+      batch_product += S.d_batch_time_product[i];
     }
     if (scaler.enabled || faults_enabled) {
       // Provisioned instance-seconds over [0, makespan]: each instance
@@ -871,15 +1221,17 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
       // recorded by trailing decision ticks don't overrun the makespan.
       // Fault runs fill these even with a fixed pool, so measured
       // availability has its 1 - downtime / provisioned denominator.
-      for (const auto& p : prefill) {
-        double end = p.down_time >= 0.0 ? std::min(p.down_time, metrics.makespan_s)
-                                        : metrics.makespan_s;
-        metrics.prefill_instance_seconds += std::max(0.0, end - p.up_time);
+      for (size_t i = 0; i < S.p_state.size(); ++i) {
+        double end = S.p_down_time[i] >= 0.0
+                         ? std::min(S.p_down_time[i], metrics.makespan_s)
+                         : metrics.makespan_s;
+        metrics.prefill_instance_seconds += std::max(0.0, end - S.p_up_time[i]);
       }
-      for (const auto& d : decode) {
-        double end = d.down_time >= 0.0 ? std::min(d.down_time, metrics.makespan_s)
-                                        : metrics.makespan_s;
-        metrics.decode_instance_seconds += std::max(0.0, end - d.up_time);
+      for (size_t i = 0; i < S.d_state.size(); ++i) {
+        double end = S.d_down_time[i] >= 0.0
+                         ? std::min(S.d_down_time[i], metrics.makespan_s)
+                         : metrics.makespan_s;
+        metrics.decode_instance_seconds += std::max(0.0, end - S.d_up_time[i]);
       }
       metrics.prefill_utilization = metrics.prefill_instance_seconds > 0.0
                                         ? prefill_busy / metrics.prefill_instance_seconds
@@ -896,14 +1248,17 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
           decode_busy / (config.decode_instances * metrics.makespan_s);
     }
     metrics.mean_decode_batch = decode_busy > 0.0 ? batch_product / decode_busy : 0.0;
+    metrics.prefill_busy_s = prefill_busy;
+    metrics.decode_busy_s = decode_busy;
+    metrics.decode_batch_time_product = batch_product;
     if (faults_enabled) {
       // Per-pool downtime over [0, makespan], replayed from the event log:
       // each failure opens an interval its spare-activation/repair closes.
       // An interval left open by a retired-while-draining instance (no
       // recovery was scheduled) contributes nothing — the retirement is
       // already accounted in the instance-seconds integral.
-      std::vector<double> down_since_prefill(prefill.size(), -1.0);
-      std::vector<double> down_since_decode(decode.size(), -1.0);
+      std::vector<double> down_since_prefill(S.p_state.size(), -1.0);
+      std::vector<double> down_since_decode(S.d_state.size(), -1.0);
       for (const FaultEvent& e : metrics.fault_events) {
         bool is_prefill = e.pool == ScalePool::kPrefill;
         std::vector<double>& down_since =
@@ -921,13 +1276,13 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
         }
       }
       for (size_t i = 0; i < down_since_prefill.size(); ++i) {
-        if (down_since_prefill[i] >= 0.0 && prefill[i].active) {
+        if (down_since_prefill[i] >= 0.0 && !(S.p_state[i] & kInactive)) {
           metrics.prefill_fault_downtime_s +=
               metrics.makespan_s - std::min(down_since_prefill[i], metrics.makespan_s);
         }
       }
       for (size_t i = 0; i < down_since_decode.size(); ++i) {
-        if (down_since_decode[i] >= 0.0 && decode[i].active) {
+        if (down_since_decode[i] >= 0.0 && !(S.d_state[i] & kInactive)) {
           metrics.decode_fault_downtime_s +=
               metrics.makespan_s - std::min(down_since_decode[i], metrics.makespan_s);
         }
@@ -939,16 +1294,99 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
 
 }  // namespace
 
-ServeMetrics RunServeSimulation(const std::vector<Request>& requests,
+ServeMetrics RunServeSimulation(const RequestSoA& requests,
                                 const ServeClusterConfig& config,
                                 const ServeCallbacks& callbacks) {
   return RunSimulation(requests, config, CallbackStepper{callbacks});
 }
 
-ServeMetrics RunServeSimulation(const std::vector<Request>& requests,
+ServeMetrics RunServeSimulation(const RequestSoA& requests,
                                 const ServeClusterConfig& config,
                                 const StepTimeTable& table) {
   return RunSimulation(requests, config, TableStepper{table});
+}
+
+ServeMetrics RunServeSimulation(const std::vector<Request>& requests,
+                                const ServeClusterConfig& config,
+                                const ServeCallbacks& callbacks) {
+  return RunSimulation(RequestSoA::FromRequests(requests), config,
+                       CallbackStepper{callbacks});
+}
+
+ServeMetrics RunServeSimulation(const std::vector<Request>& requests,
+                                const ServeClusterConfig& config,
+                                const StepTimeTable& table) {
+  return RunSimulation(RequestSoA::FromRequests(requests), config, TableStepper{table});
+}
+
+ServeMetrics MergeServeShardMetrics(const ServeClusterConfig& config,
+                                    const std::vector<ServeMetrics>& shards) {
+  ServeMetrics merged;
+  if (shards.empty()) {
+    return merged;
+  }
+  merged.ttft_streamed = shards.front().ttft_streamed;
+  if (merged.ttft_streamed) {
+    merged.ttft_hist = LatencyHistogram(config.ttft_hist_hi_s);
+  }
+  if (config.num_classes > 0) {
+    merged.per_class.resize(static_cast<size_t>(config.num_classes));
+    if (merged.ttft_streamed) {
+      for (ServeClassMetrics& pc : merged.per_class) {
+        pc.ttft_hist = LatencyHistogram(config.ttft_hist_hi_s);
+      }
+    }
+  }
+  // Fold in shard-index order — deterministic regardless of which thread
+  // finished which shard first.
+  for (const ServeMetrics& m : shards) {
+    if (merged.ttft_streamed) {
+      merged.ttft_hist.Merge(m.ttft_hist);
+    } else {
+      for (double v : m.ttft_s.samples()) {
+        merged.ttft_s.Add(v);
+      }
+    }
+    merged.tbt_s.Merge(m.tbt_s);
+    merged.completed_requests += m.completed_requests;
+    merged.admitted_requests += m.admitted_requests;
+    merged.in_flight_at_horizon += m.in_flight_at_horizon;
+    merged.output_tokens += m.output_tokens;
+    // Sub-horizons run back to back conceptually: the merged makespan is
+    // the summed wall of the shards, which keeps rate and utilization
+    // denominators consistent with the summed numerators.
+    merged.makespan_s += m.makespan_s;
+    merged.prefill_busy_s += m.prefill_busy_s;
+    merged.decode_busy_s += m.decode_busy_s;
+    merged.decode_batch_time_product += m.decode_batch_time_product;
+    for (size_t c = 0; c < merged.per_class.size() && c < m.per_class.size(); ++c) {
+      ServeClassMetrics& out = merged.per_class[c];
+      const ServeClassMetrics& in = m.per_class[c];
+      if (merged.ttft_streamed) {
+        out.ttft_hist.Merge(in.ttft_hist);
+      } else {
+        for (double v : in.ttft_s.samples()) {
+          out.ttft_s.Add(v);
+        }
+      }
+      out.tbt_s.Merge(in.tbt_s);
+      out.admitted_requests += in.admitted_requests;
+      out.completed_requests += in.completed_requests;
+      out.in_flight_at_horizon += in.in_flight_at_horizon;
+      out.output_tokens += in.output_tokens;
+    }
+  }
+  if (merged.makespan_s > 0.0) {
+    merged.decode_tokens_per_s = merged.output_tokens / merged.makespan_s;
+    merged.prefill_utilization =
+        merged.prefill_busy_s / (config.prefill_instances * merged.makespan_s);
+    merged.decode_utilization =
+        merged.decode_busy_s / (config.decode_instances * merged.makespan_s);
+  }
+  merged.mean_decode_batch = merged.decode_busy_s > 0.0
+                                 ? merged.decode_batch_time_product / merged.decode_busy_s
+                                 : 0.0;
+  return merged;
 }
 
 }  // namespace litegpu

@@ -122,6 +122,19 @@ struct ServeClusterConfig {
   // skips every fault branch: metrics stay bit-identical to the pre-fault
   // simulator.
   ServeFaultConfig faults;
+  // Stream TTFT samples into a fixed-bin LatencyHistogram (ttft_hist)
+  // instead of the exact SampleSet, making per-point memory O(bins) rather
+  // than O(requests). Off by default: exact samples keep every report
+  // byte-identical. The Runner forces it on for sharded points (histograms
+  // merge deterministically; sample sets would need O(requests) memory per
+  // shard anyway) and callers may opt in for million-request horizons.
+  // This is an internal execution knob, not a scenario field.
+  bool stream_ttft = false;
+  // Histogram range for streamed TTFT, [0, hi): samples at or above land
+  // in the overflow bucket (count/mean/max stay exact; quantiles there
+  // report the max). Sharded runs must all use the FULL horizon's value so
+  // shard histograms share bins and merge exactly.
+  double ttft_hist_hi_s = 60.0;
 };
 
 // Per-class slice of a multi-tenant simulation. TTFT keeps exact samples
@@ -131,6 +144,9 @@ struct ServeClusterConfig {
 struct ServeClassMetrics {
   SampleSet ttft_s;
   LatencyHistogram tbt_s;
+  // Streamed TTFT (ServeClusterConfig::stream_ttft); 1-bin placeholder
+  // until the simulator arms it, so unstreamed runs don't pay the bins.
+  LatencyHistogram ttft_hist{1.0, 1};
   int admitted_requests = 0;
   int completed_requests = 0;
   int in_flight_at_horizon = 0;
@@ -188,6 +204,21 @@ struct ServeMetrics {
   double lost_tokens = 0.0;
   double prefill_fault_downtime_s = 0.0;
   double decode_fault_downtime_s = 0.0;
+  // Raw busy-time aggregates behind the utilization / mean-batch ratios.
+  // Ratios of sums are not sums of ratios, so the shard merge needs the
+  // numerators and denominators separately.
+  double prefill_busy_s = 0.0;
+  double decode_busy_s = 0.0;
+  double decode_batch_time_product = 0.0;
+  // Streamed TTFT (ServeClusterConfig::stream_ttft): ttft_streamed says
+  // which of ttft_s / ttft_hist carries the distribution. The placeholder
+  // histogram has one bin so unstreamed metrics don't allocate 16k bins.
+  bool ttft_streamed = false;
+  LatencyHistogram ttft_hist{1.0, 1};
+  // High-water mark of the predictive autoscaler's pruned demand window —
+  // the regression guard that long horizons keep O(rate * window) entries,
+  // not O(admitted requests). 0 unless the predictive path ran.
+  size_t peak_demand_entries = 0;
 };
 
 // Compatibility/testing path: every step query pays std::function dispatch
@@ -204,5 +235,30 @@ ServeMetrics RunServeSimulation(const std::vector<Request>& requests,
 ServeMetrics RunServeSimulation(const std::vector<Request>& requests,
                                 const ServeClusterConfig& config,
                                 const StepTimeTable& table);
+
+// SoA entry points: the simulator's hot loops read arrival times and token
+// counts column-wise, so callers that already hold a RequestSoA skip the
+// AoS conversion. The vector<Request> overloads above convert and
+// delegate — both produce bit-identical metrics.
+ServeMetrics RunServeSimulation(const RequestSoA& requests,
+                                const ServeClusterConfig& config,
+                                const ServeCallbacks& callbacks);
+ServeMetrics RunServeSimulation(const RequestSoA& requests,
+                                const ServeClusterConfig& config,
+                                const StepTimeTable& table);
+
+// Deterministically folds per-shard metrics (independent sub-horizon
+// replications of `config`, shard i seeded with ShardSubstreamSeed) into
+// one ServeMetrics, in shard-index order regardless of completion order or
+// thread count. Counts, token totals, and busy-time integrals sum;
+// makespan is the summed sub-horizon makespan; rates and utilizations are
+// recomputed as ratios of the summed aggregates; TTFT/TBT histograms merge
+// bin-wise (every shard must use the same histogram configuration — the
+// Runner arms them all with the full horizon's range). Shards must be
+// single-pool-shape runs: the Runner's validation rejects shards with the
+// autoscaler, faults, or time-inhomogeneous arrivals, so scale/fault event
+// logs are empty by construction.
+ServeMetrics MergeServeShardMetrics(const ServeClusterConfig& config,
+                                    const std::vector<ServeMetrics>& shards);
 
 }  // namespace litegpu

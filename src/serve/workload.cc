@@ -7,6 +7,36 @@
 
 namespace litegpu {
 
+void RequestSoA::Reserve(size_t n) {
+  arrival_s.reserve(n);
+  prompt_tokens.reserve(n);
+  output_tokens.reserve(n);
+  class_id.reserve(n);
+}
+
+void RequestSoA::Clear() {
+  arrival_s.clear();
+  prompt_tokens.clear();
+  output_tokens.clear();
+  class_id.clear();
+}
+
+void RequestSoA::PushBack(double arrival, int prompt, int output, int cls) {
+  arrival_s.push_back(arrival);
+  prompt_tokens.push_back(prompt);
+  output_tokens.push_back(output);
+  class_id.push_back(cls);
+}
+
+RequestSoA RequestSoA::FromRequests(const std::vector<Request>& requests) {
+  RequestSoA soa;
+  soa.Reserve(requests.size());
+  for (const Request& r : requests) {
+    soa.PushBack(r.arrival_s, r.prompt_tokens, r.output_tokens, r.class_id);
+  }
+  return soa;
+}
+
 double ArrivalRateMultiplier(const ArrivalProcess& process, double duration_s, double t) {
   if (process.kind != ArrivalKind::kDiurnal || process.multipliers.empty()) {
     return 1.0;
@@ -86,11 +116,43 @@ int SampleLength(Rng& rng, int median, double sigma) {
 //   trace   — replays the recorded times; `trace_share` is this class's
 //     rate share, applied by thinning (share 1.0 skips the draw so a
 //     one-class mix replays the trace exactly).
+// Expected arrival count for one class, used to pre-size the output vector
+// so million-request streams append without reallocating. Overshooting a
+// little is fine (the extra capacity is freed with the vector); a few sigma
+// of Poisson headroom covers nearly every draw.
+size_t ExpectedArrivals(const ClassWorkload& cls, double duration_s,
+                        const ArrivalProcess& arrival) {
+  if (arrival.kind == ArrivalKind::kTrace) {
+    return arrival.times_s.size();
+  }
+  double rate = std::max(0.0, cls.arrival_rate_per_s);
+  double mean_mult = 1.0;
+  if (arrival.kind == ArrivalKind::kDiurnal && !arrival.multipliers.empty()) {
+    // Piecewise-linear and wrapping, so the mean over a full period is the
+    // mean of the control points; horizons covering partial periods still
+    // land near it.
+    double sum = 0.0;
+    for (double m : arrival.multipliers) {
+      sum += m;
+    }
+    mean_mult = sum / static_cast<double>(arrival.multipliers.size());
+  } else if (arrival.kind == ArrivalKind::kOnOff) {
+    double span = arrival.on_mean_s + arrival.off_mean_s;
+    mean_mult = span > 0.0 ? (arrival.on_mean_s * arrival.on_multiplier +
+                              arrival.off_mean_s * arrival.off_multiplier) /
+                                 span
+                           : 1.0;
+  }
+  double expected = rate * std::max(0.0, duration_s) * std::max(0.0, mean_mult);
+  return static_cast<size_t>(expected + 4.0 * std::sqrt(expected) + 16.0);
+}
+
 std::vector<Request> GenerateClassStream(const ClassWorkload& cls, int class_id,
                                          double duration_s, uint64_t seed,
                                          const ArrivalProcess& arrival,
                                          double trace_share) {
   std::vector<Request> requests;
+  requests.reserve(ExpectedArrivals(cls, duration_s, arrival));
   Rng rng(seed);
   auto emit = [&](double t) {
     Request r;
@@ -208,9 +270,12 @@ uint64_t ClassSubstreamSeed(uint64_t seed, size_t index) {
 }
 
 std::vector<Request> GenerateMultiClassWorkload(const MultiClassWorkloadSpec& spec) {
-  // Generate every substream independently, then merge. std::merge is
-  // stable and each substream is arrival-sorted, so ties land in class
-  // order, then per-class order — fully specified, no heap dependence.
+  // Generate every substream independently, concatenate in class order, and
+  // stable-sort by arrival time once. Each substream is arrival-sorted and
+  // concatenated in class order, so stable_sort resolves ties to class
+  // order, then per-class order — the same fully-specified order the old
+  // repeated stable std::merge produced, but O(N log N) total instead of
+  // O(N · classes) copies.
   double total_rate = 0.0;
   for (const ClassWorkload& cls : spec.classes) {
     total_rate += std::max(0.0, cls.arrival_rate_per_s);
@@ -226,17 +291,34 @@ std::vector<Request> GenerateMultiClassWorkload(const MultiClassWorkloadSpec& sp
     std::vector<Request> stream =
         GenerateClassStream(spec.classes[c], static_cast<int>(c), spec.duration_s,
                             ClassSubstreamSeed(spec.seed, c), spec.arrival, share);
-    std::vector<Request> next;
-    next.reserve(merged.size() + stream.size());
-    std::merge(merged.begin(), merged.end(), stream.begin(), stream.end(),
-               std::back_inserter(next),
-               [](const Request& a, const Request& b) { return a.arrival_s < b.arrival_s; });
-    merged = std::move(next);
+    if (merged.empty()) {
+      merged = std::move(stream);
+    } else {
+      merged.insert(merged.end(), stream.begin(), stream.end());
+    }
   }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Request& a, const Request& b) { return a.arrival_s < b.arrival_s; });
   for (size_t i = 0; i < merged.size(); ++i) {
     merged[i].id = static_cast<int>(i);
   }
   return merged;
+}
+
+uint64_t ShardSubstreamSeed(uint64_t seed, size_t shard) {
+  if (shard == 0) {
+    return seed;
+  }
+  // A tagged XOR before the SplitMix64 walk keeps the shard stream away
+  // from ClassSubstreamSeed's (consecutive values of SplitMix64(seed)) and
+  // FaultSubstreamSeed's (a differently-tagged walk), so shard workloads
+  // never collide with class or fault draws.
+  SplitMix64 stream(seed ^ 0x5A4D5A4DC0DE5EEDULL);
+  uint64_t derived = 0;
+  for (size_t i = 0; i < shard; ++i) {
+    derived = stream.Next();
+  }
+  return derived;
 }
 
 double TotalPromptTokens(const std::vector<Request>& requests) {

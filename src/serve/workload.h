@@ -27,6 +27,27 @@ struct Request {
   int output_tokens = 256;
 };
 
+// Structure-of-arrays mirror of a Request stream. The simulator's hot loop
+// touches arrival times, token counts, and class ids in separate passes, so
+// splitting them into parallel vectors keeps each pass within a contiguous
+// stride instead of jumping Request-sized records. Index i across all four
+// vectors is request i in arrival order (ties already resolved by the
+// generator), which is also its id.
+struct RequestSoA {
+  std::vector<double> arrival_s;
+  std::vector<int> prompt_tokens;
+  std::vector<int> output_tokens;
+  std::vector<int> class_id;
+
+  size_t size() const { return arrival_s.size(); }
+  bool empty() const { return arrival_s.empty(); }
+  void Reserve(size_t n);
+  void Clear();
+  void PushBack(double arrival, int prompt, int output, int cls);
+
+  static RequestSoA FromRequests(const std::vector<Request>& requests);
+};
+
 // How request arrivals are distributed over the horizon. kPoisson is the
 // stationary legacy process; the other kinds modulate or replace it:
 //   kDiurnal — inhomogeneous Poisson whose rate is the base rate times a
@@ -116,6 +137,15 @@ struct MultiClassWorkloadSpec {
 // stream over the base seed. Seeds depend only on (seed, index), so
 // APPENDING a class never perturbs an existing class's arrivals or lengths.
 uint64_t ClassSubstreamSeed(uint64_t seed, size_t index);
+
+// The RNG seed for sub-horizon shard `shard` of a sharded serve point.
+// Shard 0 inherits the base seed, so a one-shard run is bit-identical to
+// the unsharded path; later shards draw from a SplitMix64 walk over a
+// tagged mix of the base seed, landing far from both ClassSubstreamSeed's
+// stream (consecutive values of SplitMix64(seed)) and FaultSubstreamSeed's.
+// Seeds depend only on (seed, shard), so raising the shard count never
+// perturbs an existing shard's workload.
+uint64_t ShardSubstreamSeed(uint64_t seed, size_t shard);
 
 // Generates every class's substream independently and merges by arrival
 // time (ties break by class index, then per-class order). Request ids are

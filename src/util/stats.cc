@@ -1,6 +1,7 @@
 #include "src/util/stats.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -147,6 +148,52 @@ double LatencyHistogram::Quantile(double q) const {
   double frac = target - static_cast<double>(lo);
   double value = ValueAtRank(lo) * (1.0 - frac) + ValueAtRank(hi) * frac;
   return std::clamp(value, min_, max_);
+}
+
+double LatencyHistogram::CountAtOrBelow(double x) const {
+  if (count_ == 0 || x < min_) {
+    return 0.0;
+  }
+  if (x >= max_) {
+    return static_cast<double>(count_);
+  }
+  if (x >= hi_) {
+    // Between hi_ and max_: all binned samples plus an unknown share of the
+    // overflow bucket. Attribute the overflow linearly over [hi_, max_].
+    double span = max_ - hi_;
+    double frac = span > 0.0 ? (x - hi_) / span : 1.0;
+    return static_cast<double>(count_ - overflow_) +
+           frac * static_cast<double>(overflow_);
+  }
+  double w = bin_width();
+  size_t index = std::min(static_cast<size_t>(std::max(x, 0.0) / w), counts_.size() - 1);
+  double below = 0.0;
+  for (size_t i = 0; i < index; ++i) {
+    below += static_cast<double>(counts_[i]);
+  }
+  double frac = (x - static_cast<double>(index) * w) / w;
+  below += frac * static_cast<double>(counts_[index]);
+  return std::min(below, static_cast<double>(count_));
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  assert(hi_ == other.hi_ && counts_.size() == other.counts_.size());
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  overflow_ += other.overflow_;
+  count_ += other.count_;
+  sum_ += other.sum_;
 }
 
 Histogram::Histogram(double lo, double hi, size_t buckets)

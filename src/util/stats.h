@@ -92,6 +92,17 @@ class LatencyHistogram {
   double P95() const { return Quantile(0.95); }
   double P99() const { return Quantile(0.99); }
 
+  // Number of samples at or below `x`, estimated by linear interpolation
+  // inside the containing bin (exact at bin boundaries). Used for streamed
+  // SLO-attainment checks where the exact sample list is not kept.
+  double CountAtOrBelow(double x) const;
+
+  // Folds `other` into this histogram bin-wise. Both must have identical
+  // [0, hi) range and bin count — the shard merge path constructs every
+  // shard's histogram from the same full-horizon config, so mismatches are
+  // programming errors and trip an assert.
+  void Merge(const LatencyHistogram& other);
+
  private:
   // The 0-based order statistic at `rank`, located to within one bin width
   // (overflow ranks report the exact maximum).

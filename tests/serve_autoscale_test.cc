@@ -11,6 +11,7 @@
 
 #include "src/core/runner.h"
 #include "src/core/scenario.h"
+#include "src/serve/simulator.h"
 #include "src/serve/workload.h"
 
 namespace litegpu {
@@ -480,6 +481,43 @@ TEST(Runner, TraceServeStudyDerivesItsRateFromTheTrace) {
   const auto& serve = std::get<ServeStudyReport>(report.payload);
   EXPECT_NEAR(serve.arrival_rate_per_s, 20.0, 1e-9);
   EXPECT_EQ(serve.admitted_requests, 200);
+}
+
+TEST(Simulator, PredictiveDemandHistoryStaysBoundedByTheForecastWindow) {
+  // Regression: the predictive autoscaler's demand history used to grow
+  // with every admitted request. It is now pruned to the forecast window
+  // as arrivals are processed, so its peak size tracks rate * window and
+  // stays flat as the horizon grows.
+  auto peak_entries = [](double horizon_s) {
+    WorkloadSpec spec;
+    spec.arrival_rate_per_s = 40.0;
+    spec.duration_s = horizon_s;
+    spec.median_prompt_tokens = 200;
+    spec.median_output_tokens = 16;
+    ServeCallbacks cb;
+    cb.prefill_time = [](int batch) { return 0.01 * batch; };
+    cb.decode_step_time = [](int) { return 0.005; };
+    ServeClusterConfig config;
+    config.prefill_instances = 2;
+    config.decode_instances = 2;
+    config.horizon_s = horizon_s;
+    config.autoscaler.enabled = true;
+    config.autoscaler.predictive = true;
+    config.autoscaler.interval_s = 2.0;
+    config.autoscaler.delay_s = 3.0;
+    config.autoscaler.forecast_window_s = 5.0;
+    config.autoscaler.prefill_tokens_per_s = 40000.0;
+    config.autoscaler.decode_tokens_per_s = 4000.0;
+    ServeMetrics m = RunServeSimulation(GenerateWorkload(spec), config, cb);
+    EXPECT_GT(m.peak_demand_entries, 0u) << "predictive path never ran";
+    return m.peak_demand_entries;
+  };
+  size_t short_run = peak_entries(30.0);
+  size_t long_run = peak_entries(120.0);
+  // ~200 entries fit a 5 s window at 40 req/s; a 4x horizon must not grow
+  // the peak beyond sampling noise (the old behavior would be ~4x).
+  EXPECT_LE(long_run, short_run * 3 / 2);
+  EXPECT_LE(long_run, size_t{400});
 }
 
 }  // namespace

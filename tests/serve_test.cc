@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/serve/simulator.h"
+#include "src/serve/simulator_reference.h"
 #include "src/serve/workload.h"
 
 namespace litegpu {
@@ -445,6 +446,54 @@ TEST(Simulator, EmptyConfigReturnsEmptyMetrics) {
   config.prefill_instances = 0;
   ServeMetrics m = RunServeSimulation(requests, config, SimpleCallbacks());
   EXPECT_EQ(m.completed_requests, 0);
+}
+
+TEST(Simulator, NewCoreBitIdenticalToReferenceCore) {
+  // The rebuilt core (calendar queue, SoA hot state, completion-heap
+  // decode scheduling) against the preserved PR 7 implementation, on the
+  // callbacks path with lognormal lengths and per-class tracking — the
+  // bench gates the table path at scale; this keeps a fast in-tree check.
+  WorkloadSpec spec;
+  spec.arrival_rate_per_s = 30.0;
+  spec.duration_s = 20.0;
+  spec.median_prompt_tokens = 800;
+  spec.prompt_sigma = 0.6;
+  spec.median_output_tokens = 48;
+  spec.output_sigma = 0.4;
+  auto requests = GenerateWorkload(spec);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    requests[i].class_id = static_cast<int>(i % 2);
+  }
+  ServeCallbacks cb = SimpleCallbacks();
+  ServeClusterConfig config;
+  config.prefill_instances = 2;
+  config.decode_instances = 3;
+  config.horizon_s = spec.duration_s;
+  config.num_classes = 2;
+  ServeMetrics a = RunServeSimulation(requests, config, cb);
+  ServeMetrics b = RunServeSimulationReference(requests, config, cb);
+  EXPECT_EQ(a.admitted_requests, b.admitted_requests);
+  EXPECT_EQ(a.completed_requests, b.completed_requests);
+  EXPECT_EQ(a.in_flight_at_horizon, b.in_flight_at_horizon);
+  EXPECT_EQ(a.output_tokens, b.output_tokens);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.decode_tokens_per_s, b.decode_tokens_per_s);
+  EXPECT_EQ(a.prefill_utilization, b.prefill_utilization);
+  EXPECT_EQ(a.decode_utilization, b.decode_utilization);
+  EXPECT_EQ(a.mean_decode_batch, b.mean_decode_batch);
+  ASSERT_EQ(a.ttft_s.count(), b.ttft_s.count());
+  EXPECT_EQ(a.tbt_s.count(), b.tbt_s.count());
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(a.ttft_s.Quantile(q), b.ttft_s.Quantile(q)) << q;
+    EXPECT_EQ(a.tbt_s.Quantile(q), b.tbt_s.Quantile(q)) << q;
+  }
+  ASSERT_EQ(a.per_class.size(), b.per_class.size());
+  for (size_t c = 0; c < a.per_class.size(); ++c) {
+    EXPECT_EQ(a.per_class[c].completed_requests, b.per_class[c].completed_requests);
+    EXPECT_EQ(a.per_class[c].output_tokens, b.per_class[c].output_tokens);
+    EXPECT_EQ(a.per_class[c].ttft_s.Quantile(0.95), b.per_class[c].ttft_s.Quantile(0.95));
+    EXPECT_EQ(a.per_class[c].tbt_s.Quantile(0.99), b.per_class[c].tbt_s.Quantile(0.99));
+  }
 }
 
 }  // namespace

@@ -179,6 +179,56 @@ TEST(LatencyHistogram, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(h.mean(), 0.0);
 }
 
+TEST(LatencyHistogram, CountAtOrBelowInterpolatesAndIsExactAtBoundaries) {
+  LatencyHistogram h(/*hi=*/1.0, /*bins=*/10);  // bin width 0.1
+  for (int i = 0; i < 4; ++i) {
+    h.Add(0.05);  // bin 0
+  }
+  h.Add(0.25);  // bin 2
+  h.Add(1.7);   // overflow
+  // Bin boundaries count whole bins (to within rounding of the bin index).
+  EXPECT_NEAR(h.CountAtOrBelow(0.1), 4.0, 1e-9);
+  EXPECT_NEAR(h.CountAtOrBelow(0.2), 4.0, 1e-9);
+  EXPECT_NEAR(h.CountAtOrBelow(0.3), 5.0, 1e-9);
+  // Mid-bin thresholds interpolate within the containing bin.
+  EXPECT_NEAR(h.CountAtOrBelow(0.05), 2.0, 1e-9);
+  EXPECT_NEAR(h.CountAtOrBelow(0.25), 4.5, 1e-9);
+  // Everything at or past the range end includes the overflow bucket.
+  EXPECT_DOUBLE_EQ(h.CountAtOrBelow(5.0), 6.0);
+  EXPECT_DOUBLE_EQ(h.CountAtOrBelow(0.0), 0.0);
+}
+
+TEST(LatencyHistogram, MergeMatchesStreamingEverySampleThroughOne) {
+  // The shard merge contract: bin-wise merge of per-shard histograms is
+  // indistinguishable from one histogram that saw every sample.
+  LatencyHistogram a(/*hi=*/1.0, /*bins=*/256);
+  LatencyHistogram b(/*hi=*/1.0, /*bins=*/256);
+  LatencyHistogram all(/*hi=*/1.0, /*bins=*/256);
+  for (int i = 0; i < 500; ++i) {
+    double x = 0.002 * static_cast<double>(i % 300);  // some overflow >= 1.0
+    LatencyHistogram& shard = (i % 2 == 0) ? a : b;
+    shard.Add(x);
+    all.Add(x);
+  }
+  a.Add(0.5, 25);  // weighted adds merge too
+  all.Add(0.5, 25);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), all.Quantile(q)) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(a.CountAtOrBelow(0.35), all.CountAtOrBelow(0.35));
+  // Merging an empty histogram is the identity.
+  LatencyHistogram empty(/*hi=*/1.0, /*bins=*/256);
+  double before = a.Quantile(0.5);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), before);
+}
+
 TEST(Histogram, BucketsAndClamping) {
   Histogram h(0.0, 10.0, 10);
   h.Add(0.5);

@@ -12,6 +12,10 @@
 #      docs/scenarios.md — adding a knob without documenting it fails CI.
 #   5. Every ScaleEvent field (the autoscaler report rows) must appear in
 #      backticks in docs/reports.md.
+#   6. docs/architecture.md's "Simulator core" section must track the fast
+#      core: while src/serve/event_queue.h exists, the calendar queue, the
+#      SoA request layout, and the shard merge/substream entry points must
+#      all be documented there.
 #
 # Grep-based on purpose: no build needed, runs in milliseconds, and keyed
 # off the same headers the parser is generated from. The reverse direction
@@ -116,6 +120,26 @@ for field in $(extract_fields src/core/runner.h "ServeFaultReport|ServeFaultPool
   grep -q "\`$field\`" "$REPORTS_DOC" ||
     err "fault report field '$field' (src/core/runner.h) is not documented in $REPORTS_DOC"
 done
+
+# --- the simulator-core architecture notes track the fast core ---
+# Keyed off the code the same way as the knob checks: these identifiers are
+# the fast core's public surface (src/serve/event_queue.h, workload.h,
+# simulator.h), so renaming or removing one without updating the
+# architecture notes fails here.
+ARCH_DOC=docs/architecture.md
+if [ -f src/serve/event_queue.h ]; then
+  grep -q '^## Simulator core' "$ARCH_DOC" ||
+    err "docs/architecture.md is missing the 'Simulator core' section"
+  for ident in CalendarEventQueue RequestSoA MergeServeShardMetrics \
+               ShardSubstreamSeed stream_ttft; do
+    grep -rq "$ident" src/serve/*.h ||
+      err "simulator-core identifier '$ident' vanished from src/serve — update check_docs.sh"
+    # Qualified mentions count: `ShardSubstreamSeed(seed, i)` or
+    # `ServeClusterConfig::stream_ttft` both document the identifier.
+    grep -q "\`[^\`]*$ident" "$ARCH_DOC" ||
+      err "simulator-core identifier '$ident' is not documented in $ARCH_DOC"
+  done
+fi
 
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED — update docs/scenarios.md (and reports.md) to match the code" >&2

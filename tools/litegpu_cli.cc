@@ -10,6 +10,8 @@
 //                 [--arrival proc.json]         time-varying arrival process
 //                 [--autoscaler policy.json]    mid-horizon pool autoscaling
 //                 [--faults faults.json]        failure injection + blast radius
+//                 [--shards N]                  split the horizon into N parallel
+//                                               sub-horizon replications
 //   litegpu sweep [--loads lo:hi:step]          serving sim over a load grid
 //   litegpu mcsim [--spares N] [--trials N]     Monte-Carlo availability
 //   litegpu yield [--d0 X] [--area A]           Section-2 silicon economics
@@ -309,7 +311,7 @@ int RunServe(const Flags& flags) {
           flags, AllowedFlags({"model", "gpu", "load", "rate", "horizon",
                                "prefill-instances", "decode-instances", "prompt-sigma",
                                "output-sigma", "seed", "classes", "arrival",
-                               "autoscaler", "faults"}))) {
+                               "autoscaler", "faults", "shards"}))) {
     return rc;
   }
   ScenarioBuilder builder(StudyKind::kServe);
@@ -325,6 +327,7 @@ int RunServe(const Flags& flags) {
   knobs.prompt_sigma = flags.GetDouble("prompt-sigma", knobs.prompt_sigma);
   knobs.output_sigma = flags.GetDouble("output-sigma", knobs.output_sigma);
   knobs.seed = flags.GetUint64("seed", knobs.seed);
+  knobs.shards = flags.GetInt("shards", knobs.shards);
   if (!LoadClassesFlag(flags, knobs.classes) || !LoadArrivalFlag(flags, knobs.arrival) ||
       !LoadAutoscalerFlag(flags, knobs.autoscaler) ||
       !LoadFaultsFlag(flags, knobs.faults)) {
@@ -399,7 +402,7 @@ int RunSweep(const Flags& flags) {
           flags, AllowedFlags({"model", "gpu", "loads", "rates", "horizon",
                                "prefill-instances", "decode-instances", "prompt-sigma",
                                "output-sigma", "seed", "classes", "arrival",
-                               "autoscaler", "faults"}))) {
+                               "autoscaler", "faults", "shards"}))) {
     return rc;
   }
   ScenarioBuilder builder(StudyKind::kServeSweep);
@@ -424,6 +427,7 @@ int RunSweep(const Flags& flags) {
   knobs.prompt_sigma = flags.GetDouble("prompt-sigma", knobs.prompt_sigma);
   knobs.output_sigma = flags.GetDouble("output-sigma", knobs.output_sigma);
   knobs.seed = flags.GetUint64("seed", knobs.seed);
+  knobs.shards = flags.GetInt("shards", knobs.shards);
   if (!LoadClassesFlag(flags, knobs.classes) || !LoadArrivalFlag(flags, knobs.arrival) ||
       !LoadAutoscalerFlag(flags, knobs.autoscaler) ||
       !LoadFaultsFlag(flags, knobs.faults)) {
@@ -541,11 +545,13 @@ int Usage() {
       "  serve:   [--model M --gpu G --load X --rate R --horizon S\n"
       "            --prefill-instances N --decode-instances N\n"
       "            --prompt-sigma X --output-sigma X --seed N --classes mix.json\n"
-      "            --arrival proc.json --autoscaler policy.json --faults f.json]\n"
+      "            --arrival proc.json --autoscaler policy.json --faults f.json\n"
+      "            --shards N]\n"
       "  sweep:   [--model M --gpu G --loads lo:hi:step|a,b,c --rates lo:hi:step|a,b,c\n"
       "            --horizon S --prefill-instances N --decode-instances N\n"
       "            --prompt-sigma X --output-sigma X --seed N --classes mix.json\n"
-      "            --arrival proc.json --autoscaler policy.json --faults f.json]\n"
+      "            --arrival proc.json --autoscaler policy.json --faults f.json\n"
+      "            --shards N]\n"
       "  design:  --model M [--hbm-cost X --price-multiplier X --amortization-years X]\n"
       "  mcsim:   [--gpu G --gpus-per-instance N --instances N --spares N\n"
       "            --years X --seed N --trials N]\n"
