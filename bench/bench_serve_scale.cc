@@ -407,10 +407,83 @@ int main(int argc, char** argv) {
   }
   double grid_speedup = grid_new_s > 0.0 ? grid_ref_s / grid_new_s : 0.0;
 
+  // --- 9. the three-axis robustness point ----------------------------------
+  // (a) axes-off null effect: with domains, degradation, and shedding all
+  // left at defaults, the section-2 and section-5 runs above already
+  // exercised the three-axis build — the new metrics fields must be exactly
+  // zero (nothing leaked onto the disabled paths; the zero-AFR step budget
+  // above gates the timing side).
+  bool axes_off_zeroed =
+      fast_path.shed_requests == 0 && fast_path.shed_events.empty() &&
+      fast_path.degrade_windows == 0 &&
+      fast_path.prefill_degraded_instance_s == 0.0 &&
+      fast_path.decode_degraded_instance_s == 0.0 &&
+      fast_path.time_to_drain_s == -1.0 && faulty_fast.shed_requests == 0 &&
+      faulty_fast.degrade_windows == 0;
+  // (b) a correlated point: domains + degradation + shedding on top of the
+  // section-5 churn. Fault and shed logs must be element-wise identical
+  // (domain ids included) across the callback, table, and reference paths.
+  ServeClusterConfig chaos = faulty;
+  chaos.faults.domains.prefill_instances_per_domain = 2;
+  chaos.faults.domains.decode_instances_per_domain = 1;
+  chaos.faults.domains.failure_rate_per_s = 0.05;
+  chaos.faults.domains.repair_s = 5.0;
+  chaos.faults.degraded.prefill_rate_per_s = 0.05;
+  chaos.faults.degraded.decode_rate_per_s = 0.1;
+  chaos.faults.degraded.multiplier = 2.0;
+  chaos.faults.degraded.mean_duration_s = 2.0;
+  chaos.shedding.max_queue_depth = 128;
+  ServeMetrics chaos_old = RunServeSimulation(requests, chaos, callbacks);
+  ServeMetrics chaos_fast = RunServeSimulation(requests, chaos, table);
+  ServeMetrics chaos_ref = RunServeSimulationReference(requests, chaos, table);
+  auto fault_logs_match = [](const ServeMetrics& a, const ServeMetrics& b) {
+    if (a.fault_events.size() != b.fault_events.size() ||
+        a.shed_events.size() != b.shed_events.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < a.fault_events.size(); ++i) {
+      const FaultEvent& x = a.fault_events[i];
+      const FaultEvent& y = b.fault_events[i];
+      if (x.time_s != y.time_s || x.kind != y.kind || x.pool != y.pool ||
+          x.instance != y.instance || x.domain != y.domain ||
+          x.killed_requests != y.killed_requests ||
+          x.lost_tokens != y.lost_tokens || x.spares_free != y.spares_free) {
+        return false;
+      }
+    }
+    for (size_t i = 0; i < a.shed_events.size(); ++i) {
+      if (a.shed_events[i].time_s != b.shed_events[i].time_s ||
+          a.shed_events[i].request != b.shed_events[i].request ||
+          a.shed_events[i].reason != b.shed_events[i].reason) {
+        return false;
+      }
+    }
+    return a.shed_requests == b.shed_requests &&
+           a.degrade_windows == b.degrade_windows &&
+           a.prefill_degraded_instance_s == b.prefill_degraded_instance_s &&
+           a.decode_degraded_instance_s == b.decode_degraded_instance_s &&
+           a.degraded_output_tokens == b.degraded_output_tokens &&
+           a.time_to_drain_s == b.time_to_drain_s;
+  };
+  bool chaos_has_domains = false;
+  for (const FaultEvent& e : chaos_fast.fault_events) {
+    if (e.domain >= 0) {
+      chaos_has_domains = true;
+      break;
+    }
+  }
+  bool chaos_identical = !chaos_fast.fault_events.empty() && chaos_has_domains &&
+                         chaos_fast.degrade_windows > 0 &&
+                         fault_logs_match(chaos_old, chaos_fast) &&
+                         fault_logs_match(chaos_ref, chaos_fast) &&
+                         MetricsIdentical(chaos_old, chaos_fast) &&
+                         MetricsIdentical(chaos_ref, chaos_fast);
+
   bool pass = inner_speedup > 1.0 && identical && autoscale_identical &&
               fault_identical && zero_afr_within_budget && sweep_report.ok &&
               reference_identical && million_identical && million_speedup > 1.0 &&
-              shard_sane && grid_identical && grid_speedup > 1.0;
+              shard_sane && grid_identical && grid_speedup > 1.0 &&
+              axes_off_zeroed && chaos_identical;
 
   if (json) {
     Json inner = Json::Object();
@@ -473,6 +546,12 @@ int main(int argc, char** argv) {
         .Set("shards", kMillionShards)
         .Set("sharded_s", million_shard_s)
         .Set("sharded_completed_sane", shard_sane);
+    Json robustness = Json::Object();
+    robustness.Set("fault_events", static_cast<int>(chaos_fast.fault_events.size()))
+        .Set("shed_requests", chaos_fast.shed_requests)
+        .Set("degrade_windows", chaos_fast.degrade_windows)
+        .Set("axes_off_zeroed", axes_off_zeroed)
+        .Set("correlated_logs_identical", chaos_identical);
     Json sweep_core = Json::Object();
     sweep_core.Set("points", grid_points)
         .Set("reference_core_s", grid_ref_s)
@@ -489,6 +568,7 @@ int main(int argc, char** argv) {
         .Set("reference_identity", std::move(reference))
         .Set("workload_gen", std::move(workload_gen))
         .Set("million_point", std::move(million))
+        .Set("robustness", std::move(robustness))
         .Set("sweep_core", std::move(sweep_core))
         .Set("pass", pass);
     std::printf("%s\n", j.Dump().c_str());
@@ -531,6 +611,12 @@ int main(int argc, char** argv) {
                 million_gen_s > 0.0 ? million_requests.size() / million_gen_s / 1e6 : 0.0,
                 million_ref_s, million_new_s, million_speedup,
                 million_identical ? "OK" : "FAILED", kMillionShards, million_shard_s);
+    std::printf("three-axis robustness point (%zu fault events, %d shed, %d degrade windows):\n"
+                "  axes-off fields zeroed: %s   correlated-log identity "
+                "(callback/table/reference): %s\n\n",
+                chaos_fast.fault_events.size(), chaos_fast.shed_requests,
+                chaos_fast.degrade_windows, axes_off_zeroed ? "OK" : "FAILED",
+                chaos_identical ? "OK" : "FAILED");
     std::printf("19-point load grid, reference vs new core:\n"
                 "  reference: %.3f s   new: %.3f s   speedup: %.2fx (target 2x)   "
                 "identity: %s\n",

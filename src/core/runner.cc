@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <sstream>
 #include <utility>
 
@@ -272,6 +273,38 @@ ServeFaultConfig MakeFaultConfig(const FaultKnobs& knobs, const GpuSpec& gpu,
   config.decode_spares = knobs.hot_spares;
   config.retry_policy = knobs.retry_policy;
   config.retry_budget = knobs.retry_budget;
+  constexpr double kSecondsPerYear = 365.0 * 24.0 * 3600.0;
+  if (knobs.domain_afr > 0.0 && knobs.domain_gpus > 0.0) {
+    // Silicon-normalized domain shape: domain_gpus is a budget in
+    // reference-area (H100-class) dies, and an instance occupies
+    // tp x (die area / reference area) of it — so the same domain packs
+    // more small-die instances, which is exactly the correlated-blast-radius
+    // asymmetry the study measures.
+    double ref_per_gpu =
+        params.reference_die_area_mm2 > 0.0
+            ? gpu.die_area_mm2 / params.reference_die_area_mm2
+            : 1.0;
+    auto per_domain = [&](int gpus_per_instance) {
+      double per_instance = std::max(1, gpus_per_instance) * ref_per_gpu;
+      return std::max(1, static_cast<int>(std::floor(knobs.domain_gpus / per_instance)));
+    };
+    config.domains.prefill_instances_per_domain = per_domain(capacity.prefill_gpus);
+    config.domains.decode_instances_per_domain = per_domain(capacity.decode_gpus);
+    config.domains.failure_rate_per_s = knobs.domain_afr / kSecondsPerYear;
+    config.domains.repair_s =
+        (knobs.domain_mttr_hours > 0.0 ? knobs.domain_mttr_hours : knobs.mttr_hours) *
+        3600.0;
+  }
+  if (knobs.degrade_afr > 0.0) {
+    // Degrade hazard scales with instance GPU count like failures do (any
+    // member device can start throttling the whole instance).
+    config.degraded.prefill_rate_per_s =
+        knobs.degrade_afr * std::max(1, capacity.prefill_gpus) / kSecondsPerYear;
+    config.degraded.decode_rate_per_s =
+        knobs.degrade_afr * std::max(1, capacity.decode_gpus) / kSecondsPerYear;
+    config.degraded.multiplier = knobs.degrade_multiplier;
+    config.degraded.mean_duration_s = knobs.degrade_minutes * 60.0;
+  }
   config.seed = FaultSubstreamSeed(seed);
   return config;
 }
@@ -433,6 +466,11 @@ ServeSweepReport::Point SimulateServePoint(const ServePlatform& platform,
   cluster.autoscaler = MakeAutoscalerConfig(common.autoscaler, platform.capacity);
   cluster.faults =
       MakeFaultConfig(common.faults, platform.gpu, platform.capacity, seed);
+  // Admission control works with or without fault injection (overload can
+  // be purely traffic-driven), so it lives on the cluster, not the fault
+  // config.
+  cluster.shedding.max_queue_depth = common.faults.shed_queue_depth;
+  cluster.shedding.ttft_deadline_s = common.faults.shed_ttft_deadline_s;
 
   ServeMetrics metrics;
   std::vector<Request> requests;
@@ -460,34 +498,108 @@ ServeSweepReport::Point SimulateServePoint(const ServePlatform& platform,
     metrics = RunServeSimulation(requests, cluster, platform.table);
   }
 
-  if (common.faults.enabled()) {
-    // Goodput under churn needs a fault-free yardstick: the same requests
-    // on the same (initial) pools with injection off.
-    ServeClusterConfig baseline_cluster = cluster;
-    baseline_cluster.faults = ServeFaultConfig{};
-    ServeMetrics baseline = RunServeSimulation(requests, baseline_cluster, platform.table);
-
+  const bool shedding_on = cluster.shedding.enabled();
+  if (common.faults.enabled() || shedding_on) {
     ServeFaultReport& f = p.faults;
-    f.enabled = true;
+    f.enabled = common.faults.enabled();
+    f.domains_enabled = cluster.faults.domains.enabled();
+    f.degraded_enabled = cluster.faults.degraded.enabled();
+    f.shedding_enabled = shedding_on;
     f.retry_policy = ToString(common.faults.retry_policy);
     f.retried_requests = metrics.retried_requests;
     f.dropped_requests = metrics.dropped_requests;
     f.lost_tokens = metrics.lost_tokens;
     f.goodput_tokens_per_s = metrics.decode_tokens_per_s;
+    if (shedding_on) {
+      f.shed_requests = metrics.shed_requests;
+      f.shed_events = std::move(metrics.shed_events);
+    }
+    // Stability verdict: the largest outage's backlog drained inside the
+    // horizon (vacuously stable when nothing was lost). A metastable retry
+    // storm keeps the queues non-empty to the end of the run and fails it.
+    f.time_to_drain_s = metrics.time_to_drain_s;
+    f.stable = metrics.largest_outage_time_s < 0.0 ||
+               (metrics.time_to_drain_s >= 0.0 &&
+                metrics.largest_outage_time_s + metrics.time_to_drain_s <=
+                    common.horizon_s);
+  }
+  if (common.faults.enabled()) {
+    // Goodput under churn needs a fault-free yardstick: the same requests
+    // on the same (initial) pools with injection off (shedding kept, so
+    // the comparison isolates the faults).
+    ServeClusterConfig baseline_cluster = cluster;
+    baseline_cluster.faults = ServeFaultConfig{};
+    ServeMetrics baseline = RunServeSimulation(requests, baseline_cluster, platform.table);
+
+    ServeFaultReport& f = p.faults;
     f.baseline_goodput_tokens_per_s = baseline.decode_tokens_per_s;
     f.goodput_ratio = f.baseline_goodput_tokens_per_s > 0.0
                           ? f.goodput_tokens_per_s / f.baseline_goodput_tokens_per_s
                           : 0.0;
+    // One pass over the time-ordered fault log fills the per-pool counters
+    // and the correlated-domain aggregates. A domain outage appears as
+    // consecutive kFailure entries sharing (time, pool, domain); the group
+    // is ONE event for the worst-single-event and per-domain columns.
+    std::map<int, ServeFaultDomainReport> prefill_domains, decode_domains;
+    double group_lost = 0.0;
+    double group_time = -1.0;
+    int group_domain = -1;
+    ScalePool group_pool = ScalePool::kPrefill;
+    auto flush_group = [&]() {
+      if (group_domain < 0) {
+        return;
+      }
+      ServeFaultPoolReport& pool =
+          group_pool == ScalePool::kPrefill ? f.prefill : f.decode;
+      pool.domain_failures += 1;
+      if (group_lost > pool.worst_event_lost_tokens) {
+        pool.worst_event_lost_tokens = group_lost;
+      }
+      auto& dmap =
+          group_pool == ScalePool::kPrefill ? prefill_domains : decode_domains;
+      ServeFaultDomainReport& dr = dmap[group_domain];
+      dr.domain = group_domain;
+      dr.failures += 1;
+      dr.lost_tokens += group_lost;
+      group_domain = -1;
+      group_lost = 0.0;
+    };
     for (const FaultEvent& e : metrics.fault_events) {
       ServeFaultPoolReport& pool =
           e.pool == ScalePool::kPrefill ? f.prefill : f.decode;
       if (e.kind == FaultEventKind::kFailure) {
         pool.failures += 1;
         pool.lost_tokens += e.lost_tokens;
-      } else if (e.kind == FaultEventKind::kSpareActivation) {
-        pool.spare_activations += 1;
+        if (e.domain >= 0) {
+          if (e.domain != group_domain || e.time_s != group_time ||
+              e.pool != group_pool) {
+            flush_group();
+            group_domain = e.domain;
+            group_time = e.time_s;
+            group_pool = e.pool;
+          }
+          group_lost += e.lost_tokens;
+          auto& dmap =
+              e.pool == ScalePool::kPrefill ? prefill_domains : decode_domains;
+          ServeFaultDomainReport& dr = dmap[e.domain];
+          dr.domain = e.domain;
+          dr.instance_failures += 1;
+        } else {
+          flush_group();
+          if (e.lost_tokens > pool.worst_event_lost_tokens) {
+            pool.worst_event_lost_tokens = e.lost_tokens;
+          }
+        }
+      } else {
+        if (e.kind == FaultEventKind::kSpareActivation) {
+          pool.spare_activations += 1;
+        } else if (e.kind == FaultEventKind::kDegradeStart) {
+          pool.degrade_events += 1;
+        }
+        flush_group();
       }
     }
+    flush_group();
     f.prefill.downtime_s = metrics.prefill_fault_downtime_s;
     f.decode.downtime_s = metrics.decode_fault_downtime_s;
     // Blast radius: mean tokens of in-flight work one failure destroys,
@@ -496,6 +608,20 @@ ServeSweepReport::Point SimulateServePoint(const ServePlatform& platform,
       if (pool->failures > 0 && metrics.output_tokens > 0.0) {
         pool->blast_radius_fraction =
             pool->lost_tokens / pool->failures / metrics.output_tokens;
+      }
+      if (metrics.output_tokens > 0.0) {
+        pool->worst_event_fraction =
+            pool->worst_event_lost_tokens / metrics.output_tokens;
+      }
+    }
+    if (f.domains_enabled && metrics.output_tokens > 0.0) {
+      for (auto* dmap : {&prefill_domains, &decode_domains}) {
+        ServeFaultPoolReport& pool =
+            dmap == &prefill_domains ? f.prefill : f.decode;
+        for (auto& [id, dr] : *dmap) {
+          dr.blast_radius_fraction = dr.lost_tokens / metrics.output_tokens;
+          pool.domains.push_back(dr);
+        }
       }
     }
     f.prefill.availability_measured =
@@ -513,6 +639,24 @@ ServeSweepReport::Point SimulateServePoint(const ServePlatform& platform,
     f.decode.availability_predicted = InstanceAvailabilityWithSpares(
         platform.gpu, platform.capacity.decode_gpus, p.decode_instances,
         common.faults.hot_spares, params);
+    if (f.domains_enabled) {
+      // Correlated availability: the independent-churn closed form times
+      // the steady-state up fraction of a domain member,
+      // 1 / (1 + rate * repair) per the usual M/M availability argument.
+      double ratio = cluster.faults.domains.failure_rate_per_s *
+                     cluster.faults.domains.repair_s;
+      double domain_up = 1.0 / (1.0 + ratio);
+      f.prefill.availability_correlated = f.prefill.availability_predicted * domain_up;
+      f.decode.availability_correlated = f.decode.availability_predicted * domain_up;
+    }
+    if (f.degraded_enabled) {
+      f.prefill.degraded_instance_s = metrics.prefill_degraded_instance_s;
+      f.decode.degraded_instance_s = metrics.decode_degraded_instance_s;
+      f.degraded_goodput_tokens_per_s =
+          metrics.decode_degraded_instance_s > 0.0
+              ? metrics.degraded_output_tokens / metrics.decode_degraded_instance_s
+              : 0.0;
+    }
     f.events = std::move(metrics.fault_events);
   }
 
@@ -1076,7 +1220,10 @@ Json ScaleReportToJson(const ServeScaleReport& scale) {
   return j;
 }
 
-Json FaultPoolToJson(const ServeFaultPoolReport& pool) {
+// New PR-9 keys (domains, degradation, shedding) are gated on their axis's
+// enabled flag so reports from scenarios that predate them stay byte-identical.
+Json FaultPoolToJson(const ServeFaultPoolReport& pool, bool domains_enabled,
+                     bool degraded_enabled) {
   Json j = Json::Object();
   j.Set("failures", pool.failures)
       .Set("spare_activations", pool.spare_activations)
@@ -1085,6 +1232,27 @@ Json FaultPoolToJson(const ServeFaultPoolReport& pool) {
       .Set("blast_radius_fraction", pool.blast_radius_fraction)
       .Set("availability_measured", pool.availability_measured)
       .Set("availability_predicted", pool.availability_predicted);
+  if (domains_enabled) {
+    Json domains = Json::Array();
+    for (const ServeFaultDomainReport& d : pool.domains) {
+      Json dj = Json::Object();
+      dj.Set("domain", d.domain)
+          .Set("failures", d.failures)
+          .Set("instance_failures", d.instance_failures)
+          .Set("lost_tokens", d.lost_tokens)
+          .Set("blast_radius_fraction", d.blast_radius_fraction);
+      domains.Append(std::move(dj));
+    }
+    j.Set("domain_failures", pool.domain_failures)
+        .Set("worst_event_lost_tokens", pool.worst_event_lost_tokens)
+        .Set("worst_event_fraction", pool.worst_event_fraction)
+        .Set("availability_correlated", pool.availability_correlated)
+        .Set("domains", std::move(domains));
+  }
+  if (degraded_enabled) {
+    j.Set("degrade_events", pool.degrade_events)
+        .Set("degraded_instance_s", pool.degraded_instance_s);
+  }
   return j;
 }
 
@@ -1095,28 +1263,56 @@ Json FaultReportToJson(const ServeFaultReport& f) {
     event.Set("time_s", e.time_s)
         .Set("kind", std::string(ToString(e.kind)))
         .Set("pool", std::string(ToString(e.pool)))
-        .Set("instance", e.instance)
-        .Set("killed_requests", e.killed_requests)
+        .Set("instance", e.instance);
+    if (e.domain >= 0) {
+      event.Set("domain", e.domain);
+    }
+    event.Set("killed_requests", e.killed_requests)
         .Set("lost_tokens", e.lost_tokens)
         .Set("spares_free", e.spares_free);
     events.Append(std::move(event));
   }
   Json j = Json::Object();
   j.Set("retry_policy", f.retry_policy)
-      .Set("prefill", FaultPoolToJson(f.prefill))
-      .Set("decode", FaultPoolToJson(f.decode))
+      .Set("prefill", FaultPoolToJson(f.prefill, f.domains_enabled, f.degraded_enabled))
+      .Set("decode", FaultPoolToJson(f.decode, f.domains_enabled, f.degraded_enabled))
       .Set("retried_requests", f.retried_requests)
       .Set("dropped_requests", f.dropped_requests)
       .Set("lost_tokens", f.lost_tokens)
       .Set("goodput_tokens_per_s", f.goodput_tokens_per_s)
       .Set("baseline_goodput_tokens_per_s", f.baseline_goodput_tokens_per_s)
-      .Set("goodput_ratio", f.goodput_ratio)
-      .Set("events", std::move(events));
+      .Set("goodput_ratio", f.goodput_ratio);
+  if (f.degraded_enabled) {
+    j.Set("degraded_goodput_tokens_per_s", f.degraded_goodput_tokens_per_s);
+  }
+  if (f.shedding_enabled) {
+    Json shed = Json::Array();
+    for (const ShedEvent& e : f.shed_events) {
+      Json ev = Json::Object();
+      ev.Set("time_s", e.time_s)
+          .Set("request", e.request)
+          .Set("reason", std::string(ToString(e.reason)));
+      shed.Append(std::move(ev));
+    }
+    j.Set("shed_requests", f.shed_requests).Set("shed_events", std::move(shed));
+  }
+  if (f.domains_enabled || f.degraded_enabled || f.shedding_enabled) {
+    j.Set("time_to_drain_s", f.time_to_drain_s).Set("stable", f.stable);
+  }
+  j.Set("events", std::move(events));
   return j;
 }
 
 std::string FaultSummaryToText(const ServeFaultReport& f) {
   std::ostringstream os;
+  if (!f.enabled) {
+    // Shedding can run without fault injection; report just that slice.
+    if (f.shedding_enabled) {
+      os << "shedding: " << f.shed_requests << " requests shed, "
+         << (f.stable ? "stable" : "UNSTABLE") << "\n";
+    }
+    return os.str();
+  }
   os << "faults (" << f.retry_policy << "): " << f.prefill.failures << "p+"
      << f.decode.failures << "d failures ("
      << f.prefill.spare_activations + f.decode.spare_activations
@@ -1137,6 +1333,34 @@ std::string FaultSummaryToText(const ServeFaultReport& f) {
      << " of the fault-free baseline ("
      << FormatDouble(f.goodput_tokens_per_s, 0) << " vs "
      << FormatDouble(f.baseline_goodput_tokens_per_s, 0) << " tok/s)\n";
+  if (f.domains_enabled) {
+    os << "  domains: " << f.prefill.domain_failures << "p+"
+       << f.decode.domain_failures << "d correlated outages, worst single event "
+       << HumanPercent(std::max(f.prefill.worst_event_fraction,
+                                f.decode.worst_event_fraction),
+                       3)
+       << " of served tokens, correlated availability prefill "
+       << HumanPercent(f.prefill.availability_correlated, 2) << " / decode "
+       << HumanPercent(f.decode.availability_correlated, 2) << "\n";
+  }
+  if (f.degraded_enabled) {
+    os << "  degraded: " << f.prefill.degrade_events + f.decode.degrade_events
+       << " slowdown windows, "
+       << FormatDouble(f.prefill.degraded_instance_s + f.decode.degraded_instance_s, 0)
+       << " instance-s throttled, goodput while degraded "
+       << FormatDouble(f.degraded_goodput_tokens_per_s, 0) << " tok/s/inst\n";
+  }
+  if (f.shedding_enabled) {
+    os << "  shedding: " << f.shed_requests << " requests shed\n";
+  }
+  if (f.domains_enabled || f.degraded_enabled || f.shedding_enabled) {
+    os << "  stability: ";
+    if (f.time_to_drain_s >= 0.0) {
+      os << "backlog drained " << HumanTime(f.time_to_drain_s)
+         << " after the largest outage, ";
+    }
+    os << (f.stable ? "stable" : "UNSTABLE (backlog never drained)") << "\n";
+  }
   return os.str();
 }
 
@@ -1179,7 +1403,7 @@ std::string ServeStudyToText(const ServeStudyReport& r) {
   if (r.scale.enabled) {
     os << ScaleSummaryToText(r.scale);
   }
-  if (r.faults.enabled) {
+  if (r.faults.enabled || r.faults.shedding_enabled) {
     os << FaultSummaryToText(r.faults);
   }
   if (!r.classes.empty()) {
@@ -1239,7 +1463,7 @@ Json ServeStudyToJson(const ServeStudyReport& r) {
   if (r.scale.enabled) {
     j.Set("autoscaler", ScaleReportToJson(r.scale));
   }
-  if (r.faults.enabled) {
+  if (r.faults.enabled || r.faults.shedding_enabled) {
     j.Set("faults", FaultReportToJson(r.faults));
   }
   if (!r.classes.empty()) {
@@ -1290,7 +1514,7 @@ std::string ServeSweepToText(const ServeSweepReport& r) {
        << (multi_class ? "highest load where every class meets its SLOs"
                        : "highest load meeting both SLOs")
        << churn_suffix << "\n";
-    if (knee.faults.enabled) {
+    if (knee.faults.enabled || knee.faults.shedding_enabled) {
       os << FaultSummaryToText(knee.faults);
     }
     if (multi_class) {
@@ -1383,7 +1607,7 @@ Json ServeSweepToJson(const ServeSweepReport& r) {
     if (p.scale.enabled) {
       point.Set("autoscaler", ScaleReportToJson(p.scale));
     }
-    if (p.faults.enabled) {
+    if (p.faults.enabled || p.faults.shedding_enabled) {
       point.Set("faults", FaultReportToJson(p.faults));
     }
     if (!p.classes.empty()) {

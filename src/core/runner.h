@@ -121,6 +121,15 @@ struct ServeScaleReport {
 // measured availability next to the closed-form prediction from
 // src/reliability/failure_model.h — the cross-check the fault engine's
 // credibility rests on.
+// Per-domain slice of a pool's correlated outages (domains enabled only).
+struct ServeFaultDomainReport {
+  int domain = 0;
+  int failures = 0;           // domain-level outage events
+  int instance_failures = 0;  // member instances downed by those outages
+  double lost_tokens = 0.0;
+  double blast_radius_fraction = 0.0;  // lost / served output tokens
+};
+
 struct ServeFaultPoolReport {
   int failures = 0;
   int spare_activations = 0;  // failures masked by a hot spare
@@ -132,6 +141,22 @@ struct ServeFaultPoolReport {
   double blast_radius_fraction = 0.0;
   double availability_measured = 0.0;   // 1 - downtime / instance-seconds
   double availability_predicted = 0.0;  // InstanceAvailabilityWithSpares
+  // --- correlated-domain columns (domains enabled only) ---
+  int domain_failures = 0;  // domain-level outage events in this pool
+  // Worst single failure event (one independent failure or one domain
+  // outage's members at one timestamp): tokens destroyed, and as a
+  // fraction of the run's served output tokens. Same domain size in GPUs
+  // => more small-die instances per domain => larger worst-event loss.
+  double worst_event_lost_tokens = 0.0;
+  double worst_event_fraction = 0.0;
+  // availability_predicted times the closed-form domain availability
+  // (1 - rate*repair / (1 + rate*repair)): what correlated outages cost on
+  // top of independent churn.
+  double availability_correlated = 0.0;
+  // --- degraded-state columns (degraded enabled only) ---
+  int degrade_events = 0;
+  double degraded_instance_s = 0.0;
+  std::vector<ServeFaultDomainReport> domains;  // by domain id
 };
 
 // Fault outcome of one simulated serve point, filled only when the
@@ -142,6 +167,11 @@ struct ServeFaultPoolReport {
 struct ServeFaultReport {
   bool enabled = false;
   std::string retry_policy;  // "retry" | "drop" | "retry_with_budget"
+  // Which robustness axes ran (serialization gates for the new columns:
+  // pre-domain reports stay byte-identical when all three are off).
+  bool domains_enabled = false;
+  bool degraded_enabled = false;
+  bool shedding_enabled = false;
   ServeFaultPoolReport prefill;
   ServeFaultPoolReport decode;
   int retried_requests = 0;
@@ -150,7 +180,21 @@ struct ServeFaultReport {
   double goodput_tokens_per_s = 0.0;
   double baseline_goodput_tokens_per_s = 0.0;  // same workload, no faults
   double goodput_ratio = 0.0;
-  std::vector<FaultEvent> events;  // simulated-time order
+  // --- degraded-state outcome (degraded enabled only) ---
+  // Tokens served per degraded decode-instance-second: goodput while
+  // throttled, next to the healthy goodput above.
+  double degraded_goodput_tokens_per_s = 0.0;
+  // --- overload-protection outcome (shedding enabled only) ---
+  int shed_requests = 0;
+  // Seconds from the largest single outage (by lost tokens) until both
+  // queues were empty again; -1 when no outage occurred.
+  double time_to_drain_s = -1.0;
+  // Stable iff the largest outage's backlog drained within the horizon:
+  // largest_outage_time + time_to_drain <= horizon (vacuously true with no
+  // outage). A metastable retry storm never drains and fails this.
+  bool stable = true;
+  std::vector<FaultEvent> events;      // simulated-time order
+  std::vector<ShedEvent> shed_events;  // simulated-time order
 };
 
 // End-to-end serving study: the PerfModel-backed discrete-event simulation

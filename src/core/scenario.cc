@@ -299,13 +299,54 @@ std::string ValidateFaultKnobs(const FaultKnobs& knobs, const std::string& where
   if (knobs.hot_spares < 0) {
     return where + ".hot_spares must be >= 0";
   }
-  if (knobs.retry_budget < 0 ||
-      (knobs.retry_policy == FaultRetryPolicy::kRetryWithBudget &&
-       knobs.retry_budget < 1)) {
+  if (knobs.hot_spares > 0 &&
+      knobs.spare_activation_minutes >= knobs.mttr_hours * 60.0) {
+    // Activation at or beyond the repair time silently degenerates to the
+    // no-spare path (the spare never saves any downtime); reject it as a
+    // latent mistake rather than letting the knob read as a no-op.
+    return where + ".spare_activation_minutes must be < mttr_hours * 60 "
+                   "(a slower-than-repair spare never activates)";
+  }
+  if (knobs.retry_budget < 0) {
+    return where + ".retry_budget must be >= 0";
+  }
+  if (knobs.retry_policy == FaultRetryPolicy::kRetryWithBudget &&
+      knobs.retry_budget < 1) {
     return where + ".retry_budget must be >= 1 under retry_with_budget";
   }
   if (!(knobs.target_attainment > 0.0) || knobs.target_attainment > 1.0) {
     return where + ".target_attainment must be in (0, 1]";
+  }
+  if (knobs.domain_gpus < 0.0 || !std::isfinite(knobs.domain_gpus)) {
+    return where + ".domain_gpus must be >= 0 and finite";
+  }
+  if (knobs.domain_afr < 0.0 || !std::isfinite(knobs.domain_afr)) {
+    return where + ".domain_afr must be >= 0 and finite";
+  }
+  if (knobs.domain_afr > 0.0 && !(knobs.domain_gpus > 0.0)) {
+    return where + ".domain_afr requires domain_gpus > 0 (the domain size)";
+  }
+  if (knobs.domain_mttr_hours < 0.0 || !std::isfinite(knobs.domain_mttr_hours)) {
+    return where + ".domain_mttr_hours must be >= 0 and finite (0 = inherit mttr_hours)";
+  }
+  if (knobs.degrade_afr < 0.0 || !std::isfinite(knobs.degrade_afr)) {
+    return where + ".degrade_afr must be >= 0 and finite";
+  }
+  if (knobs.degrade_multiplier < 1.0 || !std::isfinite(knobs.degrade_multiplier)) {
+    return where + ".degrade_multiplier must be >= 1 and finite";
+  }
+  if (knobs.degrade_minutes < 0.0 || !std::isfinite(knobs.degrade_minutes)) {
+    return where + ".degrade_minutes must be >= 0 and finite";
+  }
+  if (knobs.degrade_afr > 0.0 &&
+      (!(knobs.degrade_multiplier > 1.0) || !(knobs.degrade_minutes > 0.0))) {
+    return where + ".degrade_afr requires degrade_multiplier > 1 and degrade_minutes > 0";
+  }
+  if (knobs.shed_queue_depth < 0) {
+    return where + ".shed_queue_depth must be >= 0";
+  }
+  if (knobs.shed_ttft_deadline_s < 0.0 || !std::isfinite(knobs.shed_ttft_deadline_s)) {
+    return where + ".shed_ttft_deadline_s must be >= 0 and finite";
   }
   return "";
 }
@@ -356,6 +397,11 @@ std::string ValidateServeCommonKnobs(const ServeCommonKnobs& knobs,
     }
     if (knobs.faults.enabled()) {
       return where + ".shards requires faults to be disabled";
+    }
+    if (knobs.faults.shed_queue_depth > 0 || knobs.faults.shed_ttft_deadline_s > 0.0) {
+      // Shedding reacts to the instantaneous queue depth, which splitting
+      // the horizon would reset at every shard boundary.
+      return where + ".shards requires load shedding to be disabled";
     }
     if (knobs.arrival.kind == ArrivalKind::kDiurnal ||
         knobs.arrival.kind == ArrivalKind::kTrace) {
@@ -668,6 +714,7 @@ Json AutoscalerKnobsToJson(const AutoscalerKnobs& knobs) {
 }
 
 Json FaultKnobsToJson(const FaultKnobs& knobs) {
+  const FaultKnobs defaults;
   Json j = Json::Object();
   j.Set("afr", knobs.afr)
       .Set("floor_afr", knobs.floor_afr)
@@ -677,6 +724,33 @@ Json FaultKnobsToJson(const FaultKnobs& knobs) {
       .Set("retry_policy", ToString(knobs.retry_policy))
       .Set("retry_budget", knobs.retry_budget)
       .Set("target_attainment", knobs.target_attainment);
+  // Post-domain keys emit only when set: a pre-domain faults block (and
+  // every report echoing one) serializes byte-identically to before the
+  // keys existed.
+  if (knobs.domain_gpus != defaults.domain_gpus) {
+    j.Set("domain_gpus", knobs.domain_gpus);
+  }
+  if (knobs.domain_afr != defaults.domain_afr) {
+    j.Set("domain_afr", knobs.domain_afr);
+  }
+  if (knobs.domain_mttr_hours != defaults.domain_mttr_hours) {
+    j.Set("domain_mttr_hours", knobs.domain_mttr_hours);
+  }
+  if (knobs.degrade_afr != defaults.degrade_afr) {
+    j.Set("degrade_afr", knobs.degrade_afr);
+  }
+  if (knobs.degrade_multiplier != defaults.degrade_multiplier) {
+    j.Set("degrade_multiplier", knobs.degrade_multiplier);
+  }
+  if (knobs.degrade_minutes != defaults.degrade_minutes) {
+    j.Set("degrade_minutes", knobs.degrade_minutes);
+  }
+  if (knobs.shed_queue_depth != defaults.shed_queue_depth) {
+    j.Set("shed_queue_depth", knobs.shed_queue_depth);
+  }
+  if (knobs.shed_ttft_deadline_s != defaults.shed_ttft_deadline_s) {
+    j.Set("shed_ttft_deadline_s", knobs.shed_ttft_deadline_s);
+  }
   return j;
 }
 
@@ -690,7 +764,15 @@ bool FaultKnobsAreDefault(const FaultKnobs& knobs) {
          knobs.hot_spares == defaults.hot_spares &&
          knobs.retry_policy == defaults.retry_policy &&
          knobs.retry_budget == defaults.retry_budget &&
-         knobs.target_attainment == defaults.target_attainment;
+         knobs.target_attainment == defaults.target_attainment &&
+         knobs.domain_gpus == defaults.domain_gpus &&
+         knobs.domain_afr == defaults.domain_afr &&
+         knobs.domain_mttr_hours == defaults.domain_mttr_hours &&
+         knobs.degrade_afr == defaults.degrade_afr &&
+         knobs.degrade_multiplier == defaults.degrade_multiplier &&
+         knobs.degrade_minutes == defaults.degrade_minutes &&
+         knobs.shed_queue_depth == defaults.shed_queue_depth &&
+         knobs.shed_ttft_deadline_s == defaults.shed_ttft_deadline_s;
 }
 
 namespace {
@@ -1117,7 +1199,9 @@ bool ReadFaultsObject(const Json& obj, const std::string& label, FaultKnobs& out
   if (!CheckKeys(obj,
                  {"afr", "floor_afr", "mttr_hours", "spare_activation_minutes",
                   "hot_spares", "retry_policy", "retry_budget",
-                  "target_attainment"},
+                  "target_attainment", "domain_gpus", "domain_afr",
+                  "domain_mttr_hours", "degrade_afr", "degrade_multiplier",
+                  "degrade_minutes", "shed_queue_depth", "shed_ttft_deadline_s"},
                  label, error)) {
     return false;
   }
@@ -1145,7 +1229,16 @@ bool ReadFaultsObject(const Json& obj, const std::string& label, FaultKnobs& out
                     out.spare_activation_minutes, error) &&
          ReadInt(obj, "hot_spares", label, out.hot_spares, error) &&
          ReadInt(obj, "retry_budget", label, out.retry_budget, error) &&
-         ReadDouble(obj, "target_attainment", label, out.target_attainment, error);
+         ReadDouble(obj, "target_attainment", label, out.target_attainment, error) &&
+         ReadDouble(obj, "domain_gpus", label, out.domain_gpus, error) &&
+         ReadDouble(obj, "domain_afr", label, out.domain_afr, error) &&
+         ReadDouble(obj, "domain_mttr_hours", label, out.domain_mttr_hours, error) &&
+         ReadDouble(obj, "degrade_afr", label, out.degrade_afr, error) &&
+         ReadDouble(obj, "degrade_multiplier", label, out.degrade_multiplier, error) &&
+         ReadDouble(obj, "degrade_minutes", label, out.degrade_minutes, error) &&
+         ReadInt(obj, "shed_queue_depth", label, out.shed_queue_depth, error) &&
+         ReadDouble(obj, "shed_ttft_deadline_s", label, out.shed_ttft_deadline_s,
+                    error);
 }
 
 // The keys ReadServeCommonKnobs consumes; the serve/sweep CheckKeys lists

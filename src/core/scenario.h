@@ -227,8 +227,25 @@ struct FaultKnobs {
   // Attainment percentile the sweep's SLO verdicts (and so the knee) are
   // judged at under churn; 0.99 matches the fault-free p99 criterion.
   double target_attainment = 0.99;
+  // --- correlated failure domains (rack / switch / rollout) ---
+  // Domain size in reference-area (H100-class) GPU equivalents: each
+  // instance occupies tp x (die area / reference area) of a domain, so the
+  // same silicon budget packs more small-die instances per domain. 0 (the
+  // default) disables domains.
+  double domain_gpus = 0.0;
+  double domain_afr = 0.0;        // annualized outage rate of one domain
+  double domain_mttr_hours = 0.0; // domain repair time; 0 = inherit mttr_hours
+  // --- transient degraded states (ECC storms, thermal throttling) ---
+  double degrade_afr = 0.0;        // annualized degrade-event rate per GPU
+  double degrade_multiplier = 1.0; // step-time multiplier while degraded
+  double degrade_minutes = 0.0;    // mean throttled-window length
+  // --- overload protection / load shedding ---
+  int shed_queue_depth = 0;          // shed past this prefill-queue depth
+  double shed_ttft_deadline_s = 0.0; // shed when estimated TTFT exceeds this
 
-  bool enabled() const { return afr > 0.0; }
+  bool enabled() const {
+    return afr > 0.0 || domain_afr > 0.0 || degrade_afr > 0.0;
+  }
 };
 
 // Returns "" when the faults block is usable, else the first problem

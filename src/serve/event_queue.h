@@ -27,17 +27,26 @@
 
 namespace litegpu {
 
-// Simultaneous events process in a fully specified order: failures first
-// (a completion at the same instant loses the race and is killed), then
-// completions, then instances coming up (autoscaler-provisioned capacity,
-// fault recoveries, spare returns), then autoscaler decision ticks — so a
-// decision at time T sees every completion and recovery at T, and results
-// never depend on the event container's internal layout. With faults
-// disabled no fault kinds are ever scheduled, so the relative order of the
-// pre-fault kinds (and every metric) is unchanged.
+// Simultaneous events process in a fully specified order: domain outages
+// first (they expand to member failures at one timestamp), then independent
+// failures (a completion at the same instant loses the race and is killed),
+// then degrade transitions (a dispatch at the same instant sees the new
+// multiplier), then completions, then instances coming up
+// (autoscaler-provisioned capacity, fault recoveries, spare returns), then
+// autoscaler decision ticks — so a decision at time T sees every completion
+// and recovery at T, and results never depend on the event container's
+// internal layout. With faults disabled no fault kinds are ever scheduled,
+// so the relative order of the pre-fault kinds (and every metric) is
+// unchanged.
 enum class ServeEventKind : uint8_t {
+  kPrefillDomainFail,
+  kDecodeDomainFail,
   kPrefillFail,
   kDecodeFail,
+  kPrefillDegradeStart,
+  kDecodeDegradeStart,
+  kPrefillDegradeEnd,
+  kDecodeDegradeEnd,
   kPrefillDone,
   kDecodeStepDone,
   kPrefillUp,

@@ -42,8 +42,16 @@ const char* ToString(FaultEventKind kind) {
       return "repair";
     case FaultEventKind::kSpareReturn:
       return "spare_return";
+    case FaultEventKind::kDegradeStart:
+      return "degrade_start";
+    case FaultEventKind::kDegradeEnd:
+      return "degrade_end";
   }
   return "failure";
+}
+
+const char* ToString(ShedReason reason) {
+  return reason == ShedReason::kQueueDepth ? "queue_depth" : "deadline";
 }
 
 uint64_t FaultSubstreamSeed(uint64_t seed) {
@@ -53,13 +61,22 @@ uint64_t FaultSubstreamSeed(uint64_t seed) {
   return SplitMix64(seed ^ 0xFA17C0DEFA17C0DEULL).Next();
 }
 
-Rng& FaultStreams::Slot(ScalePool pool, int slot) {
-  std::vector<Rng>& slots =
-      pool == ScalePool::kPrefill ? prefill_slots_ : decode_slots_;
+namespace {
+// Tags land each substream family away from the others (and from
+// ClassSubstreamSeed / ShardSubstreamSeed): per-slot failure gaps, per-domain
+// outage gaps, and per-slot degrade gap+duration pairs never collide.
+constexpr uint64_t kFailPrefillTag = 0x9E6BB5F86BDCF4ULL;
+constexpr uint64_t kFailDecodeTag = 0xD1B54A32D192EDULL;
+constexpr uint64_t kDomainPrefillTag = 0xB4C7A9E2D15F31ULL;
+constexpr uint64_t kDomainDecodeTag = 0xC8D3B7F4E26A42ULL;
+constexpr uint64_t kDegradePrefillTag = 0xD9E4C8A5F37B53ULL;
+constexpr uint64_t kDegradeDecodeTag = 0xEAF5D9B6A48C64ULL;
+}  // namespace
+
+Rng& FaultStreams::Slot(std::vector<Rng>& slots, uint64_t tag, int slot) {
   while (static_cast<int>(slots.size()) <= slot) {
-    // Seed depends only on (seed_, pool, slot index): two mixing rounds so
+    // Seed depends only on (seed_, tag, slot index): two mixing rounds so
     // neighbouring slots land far apart in SplitMix64 space.
-    uint64_t tag = pool == ScalePool::kPrefill ? 0x9E6BB5F86BDCF4ULL : 0xD1B54A32D192EDULL;
     uint64_t base = SplitMix64(seed_ ^ tag).Next();
     slots.emplace_back(
         SplitMix64(base + 0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(slots.size() + 1))
@@ -69,7 +86,32 @@ Rng& FaultStreams::Slot(ScalePool pool, int slot) {
 }
 
 double FaultStreams::NextFailureGap(ScalePool pool, int slot, double rate_per_s) {
-  return Slot(pool, slot).Exponential(rate_per_s);
+  std::vector<Rng>& slots =
+      pool == ScalePool::kPrefill ? prefill_slots_ : decode_slots_;
+  uint64_t tag = pool == ScalePool::kPrefill ? kFailPrefillTag : kFailDecodeTag;
+  return Slot(slots, tag, slot).Exponential(rate_per_s);
+}
+
+double FaultStreams::NextDomainFailureGap(ScalePool pool, int domain,
+                                          double rate_per_s) {
+  std::vector<Rng>& slots =
+      pool == ScalePool::kPrefill ? prefill_domains_ : decode_domains_;
+  uint64_t tag = pool == ScalePool::kPrefill ? kDomainPrefillTag : kDomainDecodeTag;
+  return Slot(slots, tag, domain).Exponential(rate_per_s);
+}
+
+double FaultStreams::NextDegradeGap(ScalePool pool, int slot, double rate_per_s) {
+  std::vector<Rng>& slots =
+      pool == ScalePool::kPrefill ? prefill_degrade_ : decode_degrade_;
+  uint64_t tag = pool == ScalePool::kPrefill ? kDegradePrefillTag : kDegradeDecodeTag;
+  return Slot(slots, tag, slot).Exponential(rate_per_s);
+}
+
+double FaultStreams::NextDegradeDuration(ScalePool pool, int slot, double mean_s) {
+  std::vector<Rng>& slots =
+      pool == ScalePool::kPrefill ? prefill_degrade_ : decode_degrade_;
+  uint64_t tag = pool == ScalePool::kPrefill ? kDegradePrefillTag : kDegradeDecodeTag;
+  return Slot(slots, tag, slot).Exponential(1.0 / mean_s);
 }
 
 FaultAvailabilityStats SimulateFaultAvailability(double failure_rate_per_s,

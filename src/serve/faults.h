@@ -51,6 +51,8 @@ enum class FaultEventKind {
   kSpareActivation,  // instance back up on a hot spare after the delay
   kRepair,           // instance back up after a full repair (no spare free)
   kSpareReturn,      // a repaired device rejoined the pool's spare set
+  kDegradeStart,     // instance entered a throttled (slowed) state
+  kDegradeEnd,       // instance left the throttled state
 };
 const char* ToString(FaultEventKind kind);
 
@@ -68,6 +70,77 @@ struct FaultEvent {
   double lost_tokens = 0.0;
   // Free spares in the pool after this event took effect.
   int spares_free = 0;
+  // Failure-domain id when this failure was part of a correlated domain
+  // outage; -1 (the default) for independent per-instance events. A domain
+  // outage at time T appears as one kFailure entry per live member, all at
+  // time T with the same domain id (see FaultDomainConfig).
+  int domain = -1;
+};
+
+// Correlated failure domains (rack power, ToR switch, firmware rollout):
+// each pool's instances are mapped onto domains by index —
+// domain(i) = i / instances_per_domain — and a domain-level failure stream
+// downs every live member at one timestamp. Domain outages bypass hot
+// spares (a rack outage is not maskable by a spare device) and every
+// member waits out the full domain repair. The per-pool member counts are
+// resolved by the Runner from one silicon-normalized domain size, so H100
+// and Lite pools pack the same silicon into different domain shapes.
+struct FaultDomainConfig {
+  int prefill_instances_per_domain = 0;  // 0 = no domains for the pool
+  int decode_instances_per_domain = 0;
+  double failure_rate_per_s = 0.0;  // per-domain outage hazard
+  double repair_s = 0.0;            // domain outage duration (no spares)
+  bool enabled() const {
+    return failure_rate_per_s > 0.0 && (prefill_instances_per_domain > 0 ||
+                                        decode_instances_per_domain > 0);
+  }
+};
+
+// Transient degraded states (ECC storms, thermal throttling): instead of
+// killing an instance, a degrade event multiplies its step/pass times by
+// `multiplier` for an exponentially-distributed window. In-flight steps
+// keep the duration they were dispatched with; the multiplier applies on
+// dispatch only, so completion-heap accounting stays exact. A failure
+// clears the degraded state (the repaired/replaced instance comes back
+// fresh).
+struct DegradedStateConfig {
+  double prefill_rate_per_s = 0.0;  // per-instance degrade-event hazard
+  double decode_rate_per_s = 0.0;
+  double multiplier = 1.0;       // step-time multiplier while degraded
+  double mean_duration_s = 0.0;  // mean throttled-window length
+  bool enabled() const {
+    return (prefill_rate_per_s > 0.0 || decode_rate_per_s > 0.0) &&
+           multiplier > 1.0 && mean_duration_s > 0.0;
+  }
+};
+
+// Overload protection / admission control: arrivals are shed at the door
+// instead of queuing without bound, so failure-triggered retry storms
+// cannot go metastable. Shed requests count as admitted (they reached the
+// cluster) but never enter the prefill queue:
+//   admitted = completed + dropped + shed  once a run fully drains.
+struct SheddingPolicy {
+  // Shed an arrival when the prefill queue already holds this many
+  // requests. 0 = no depth cap.
+  int max_queue_depth = 0;
+  // Shed an arrival whose estimated TTFT exceeds this deadline. The
+  // estimate is ceil((depth + 1) / (max_prefill_batch * live_instances))
+  // full-batch prefill passes, where live excludes down/draining/inactive
+  // instances (zero live instances sheds unconditionally). 0 = no deadline.
+  double ttft_deadline_s = 0.0;
+  bool enabled() const { return max_queue_depth > 0 || ttft_deadline_s > 0.0; }
+};
+
+enum class ShedReason { kQueueDepth, kDeadline };
+const char* ToString(ShedReason reason);
+
+// One shed arrival, in simulated-time order. Like the fault log, the shed
+// log is part of the bit-identity contract: table and callback paths must
+// produce element-wise identical logs at any thread count.
+struct ShedEvent {
+  double time_s = 0.0;
+  int request = 0;  // request id (index in arrival order)
+  ShedReason reason = ShedReason::kQueueDepth;
 };
 
 // Resolved fault-injection parameters for one simulation, produced from the
@@ -87,6 +160,10 @@ struct ServeFaultConfig {
   int decode_spares = 0;
   FaultRetryPolicy retry_policy = FaultRetryPolicy::kRetry;
   int retry_budget = 3;
+  // Correlated failure domains and transient degraded states; both default
+  // to disabled so pre-domain fault runs stay bit-identical.
+  FaultDomainConfig domains;
+  DegradedStateConfig degraded;
   // Dedicated substream seed (derive from the scenario seed with a distinct
   // mix; see FaultSubstreamSeed).
   uint64_t seed = 0;
@@ -100,7 +177,10 @@ uint64_t FaultSubstreamSeed(uint64_t seed);
 // Per-(pool, slot) exponential failure-gap streams. Slots are instance
 // indices within a pool; streams are created lazily but seeded only by
 // (seed, pool, slot), so autoscaled instances appearing mid-run draw the
-// same schedule regardless of when they appear.
+// same schedule regardless of when they appear. Domain outages and degrade
+// windows draw from their own tagged substream families — keyed by
+// (seed, pool, domain) and (seed, pool, slot) respectively — so enabling
+// one axis never perturbs another axis's schedule.
 class FaultStreams {
  public:
   explicit FaultStreams(uint64_t seed) : seed_(seed) {}
@@ -108,13 +188,24 @@ class FaultStreams {
   // Seconds from "now" until `slot`'s next failure, exponential with the
   // given per-second rate. rate_per_s must be > 0.
   double NextFailureGap(ScalePool pool, int slot, double rate_per_s);
+  // Seconds from "now" until failure domain `domain`'s next outage.
+  double NextDomainFailureGap(ScalePool pool, int domain, double rate_per_s);
+  // Seconds from "now" until `slot`'s next degrade window, and the length
+  // of a window once entered. Both draw from the slot's one degrade
+  // stream, in the order the event loop consumes them.
+  double NextDegradeGap(ScalePool pool, int slot, double rate_per_s);
+  double NextDegradeDuration(ScalePool pool, int slot, double mean_s);
 
  private:
-  Rng& Slot(ScalePool pool, int slot);
+  Rng& Slot(std::vector<Rng>& slots, uint64_t tag, int slot);
 
   uint64_t seed_;
   std::vector<Rng> prefill_slots_;
   std::vector<Rng> decode_slots_;
+  std::vector<Rng> prefill_domains_;
+  std::vector<Rng> decode_domains_;
+  std::vector<Rng> prefill_degrade_;
+  std::vector<Rng> decode_degrade_;
 };
 
 // Steady-state outcome of a no-traffic fault run (SimulateFaultAvailability).

@@ -175,6 +175,9 @@ struct SimScratch {
   std::vector<int> p_epoch;
   std::vector<uint8_t> p_via_spare;
   std::vector<const char*> p_drain_reason;
+  // Degraded state: current step-time multiplier (1.0 = healthy) and the
+  // time the open throttled window started (-1 = none).
+  std::vector<double> p_degrade_mult, p_degrade_since;
   std::vector<std::vector<int>> p_batch;  // request indices being prefilled
 
   // Decode pool, SoA.
@@ -185,6 +188,7 @@ struct SimScratch {
   std::vector<int> d_epoch;
   std::vector<uint8_t> d_via_spare;
   std::vector<const char*> d_drain_reason;
+  std::vector<double> d_degrade_mult, d_degrade_since;
   // Fast mode (faults off): completion min-heaps + incremental counts.
   std::vector<uint64_t> d_step_count;
   std::vector<int> d_active_count;
@@ -224,6 +228,8 @@ struct SimScratch {
     p_epoch.push_back(0);
     p_via_spare.push_back(0);
     p_drain_reason.push_back("");
+    p_degrade_mult.push_back(1.0);
+    p_degrade_since.push_back(-1.0);
     if (p_batch.size() < p_state.size()) {
       p_batch.emplace_back();
     }
@@ -245,6 +251,8 @@ struct SimScratch {
     d_epoch.push_back(0);
     d_via_spare.push_back(0);
     d_drain_reason.push_back("");
+    d_degrade_mult.push_back(1.0);
+    d_degrade_since.push_back(-1.0);
     d_step_count.push_back(0);
     d_active_count.push_back(0);
     if (d_heap.size() < d_state.size()) {
@@ -272,6 +280,8 @@ struct SimScratch {
     p_epoch.clear();
     p_via_spare.clear();
     p_drain_reason.clear();
+    p_degrade_mult.clear();
+    p_degrade_since.clear();
     // Nested per-instance vectors keep their slots (and inner capacity);
     // only the entries a previous larger run left behind are dropped.
     p_batch.resize(static_cast<size_t>(n_prefill));
@@ -288,6 +298,8 @@ struct SimScratch {
     d_epoch.clear();
     d_via_spare.clear();
     d_drain_reason.clear();
+    d_degrade_mult.clear();
+    d_degrade_since.clear();
     d_step_count.clear();
     d_active_count.clear();
     d_heap.resize(static_cast<size_t>(n_decode));
@@ -336,6 +348,19 @@ ServeMetrics RunSimulation(const RequestSoA& requests, const ServeClusterConfig&
   // a killed batch is the slot order, which earlier swap-removes permuted.
   const bool exact_slots = faults_enabled;
   const bool stream_ttft = config.stream_ttft;
+  // The three robustness axes (all dormant by default): correlated failure
+  // domains and degraded states ride on the fault engine; shedding guards
+  // the admission door and works with or without faults.
+  const FaultDomainConfig& domains = config.faults.domains;
+  const bool domains_enabled = faults_enabled && domains.enabled();
+  const DegradedStateConfig& degraded = config.faults.degraded;
+  const bool degrade_enabled = faults_enabled && degraded.enabled();
+  const SheddingPolicy& shedding = config.shedding;
+  const bool shed_enabled = shedding.enabled();
+  // Full-batch prefill pass time for the TTFT-deadline estimate, probed
+  // lazily so runs without the deadline policy never make the extra
+  // callback query.
+  double shed_pass_s = -1.0;
 
   SimScratch& S = TlsScratch();
   S.Reset(config.prefill_instances, config.decode_instances, config.num_classes,
@@ -409,6 +434,57 @@ ServeMetrics RunSimulation(const RequestSoA& requests, const ServeClusterConfig&
                    slot, epoch});
     }
   };
+  // Domain outage streams: one per failure domain, keyed by (seed, pool,
+  // domain), injected over the admission horizon like instance failures.
+  // Domains are discovered as the pool grows — domain d covers instances
+  // [d*ipd, (d+1)*ipd) — and each domain's gap sequence depends only on its
+  // id, never on when its first member appeared.
+  int prefill_domains_scheduled = 0;
+  int decode_domains_scheduled = 0;
+  auto schedule_next_domain_failure = [&](ScalePool pool, int domain, double from_t) {
+    double t =
+        from_t + fault_streams->NextDomainFailureGap(pool, domain, domains.failure_rate_per_s);
+    if (t <= config.horizon_s) {
+      events.Push({t,
+                   pool == ScalePool::kPrefill ? ServeEventKind::kPrefillDomainFail
+                                               : ServeEventKind::kDecodeDomainFail,
+                   domain});
+    }
+  };
+  auto schedule_new_domains = [&](ScalePool pool, double from_t) {
+    if (!domains_enabled) {
+      return;
+    }
+    bool is_prefill = pool == ScalePool::kPrefill;
+    int ipd = is_prefill ? domains.prefill_instances_per_domain
+                         : domains.decode_instances_per_domain;
+    if (ipd <= 0) {
+      return;
+    }
+    int n = static_cast<int>(is_prefill ? S.p_state.size() : S.d_state.size());
+    int want = (n + ipd - 1) / ipd;
+    int& scheduled = is_prefill ? prefill_domains_scheduled : decode_domains_scheduled;
+    while (scheduled < want) {
+      schedule_next_domain_failure(pool, scheduled++, from_t);
+    }
+  };
+  // Degrade streams: per (pool, slot) like failures; a failure clears the
+  // degraded state (epoch bump stales the pending end event) and the
+  // recovery reschedules the slot's stream.
+  auto schedule_next_degrade = [&](ScalePool pool, int slot, double from_t, int epoch) {
+    double rate = pool == ScalePool::kPrefill ? degraded.prefill_rate_per_s
+                                              : degraded.decode_rate_per_s;
+    if (rate <= 0.0) {
+      return;
+    }
+    double t = from_t + fault_streams->NextDegradeGap(pool, slot, rate);
+    if (t <= config.horizon_s) {
+      events.Push({t,
+                   pool == ScalePool::kPrefill ? ServeEventKind::kPrefillDegradeStart
+                                               : ServeEventKind::kDecodeDegradeStart,
+                   slot, epoch});
+    }
+  };
   if (faults_enabled) {
     fault_streams.emplace(faults.seed);
     for (int i = 0; i < static_cast<int>(S.p_state.size()); ++i) {
@@ -416,6 +492,16 @@ ServeMetrics RunSimulation(const RequestSoA& requests, const ServeClusterConfig&
     }
     for (int i = 0; i < static_cast<int>(S.d_state.size()); ++i) {
       schedule_next_failure(ScalePool::kDecode, i, 0.0, 0);
+    }
+    schedule_new_domains(ScalePool::kPrefill, 0.0);
+    schedule_new_domains(ScalePool::kDecode, 0.0);
+    if (degrade_enabled) {
+      for (int i = 0; i < static_cast<int>(S.p_state.size()); ++i) {
+        schedule_next_degrade(ScalePool::kPrefill, i, 0.0, 0);
+      }
+      for (int i = 0; i < static_cast<int>(S.d_state.size()); ++i) {
+        schedule_next_degrade(ScalePool::kDecode, i, 0.0, 0);
+      }
     }
     S.ttft_recorded.assign(nreq, 0);
   }
@@ -487,6 +573,36 @@ ServeMetrics RunSimulation(const RequestSoA& requests, const ServeClusterConfig&
     }
   };
 
+  // Close an instance's open throttled window (degrade end, failure, or
+  // retirement), banking the degraded instance-seconds.
+  auto close_degrade_prefill = [&](int i) {
+    if (S.p_degrade_since[i] >= 0.0) {
+      metrics.prefill_degraded_instance_s += now - S.p_degrade_since[i];
+      S.p_degrade_since[i] = -1.0;
+      S.p_degrade_mult[i] = 1.0;
+    }
+  };
+  auto close_degrade_decode = [&](int i) {
+    if (S.d_degrade_since[i] >= 0.0) {
+      metrics.decode_degraded_instance_s += now - S.d_degrade_since[i];
+      S.d_degrade_since[i] = -1.0;
+      S.d_degrade_mult[i] = 1.0;
+    }
+  };
+
+  // Recovery tracking: the largest single failure group (one independent
+  // failure or one domain outage's members) by discarded tokens; the loop
+  // then watches for the first instant both queues are empty again.
+  bool drain_pending = false;
+  auto note_outage = [&](double lost) {
+    if (lost > metrics.largest_outage_lost_tokens) {
+      metrics.largest_outage_lost_tokens = lost;
+      metrics.largest_outage_time_s = now;
+      metrics.time_to_drain_s = -1.0;
+      drain_pending = true;
+    }
+  };
+
   auto try_start_prefill = [&](double t) {
     // Set bits scan in ascending instance order — the same order the plain
     // index loop dispatched in. Instances with a nonzero status byte have
@@ -510,6 +626,11 @@ ServeMetrics RunSimulation(const RequestSoA& requests, const ServeClusterConfig&
           }
         }
         double duration = stepper.PrefillTime(batch);
+        if (degrade_enabled) {
+          // Applied on dispatch only: in-flight passes keep the duration
+          // they started with, so busy-time refunds stay exact.
+          duration *= S.p_degrade_mult[i];
+        }
         S.p_state[i] |= kBusy;
         sync_p_ready(i);
         S.p_busy_time[i] += duration;
@@ -566,6 +687,9 @@ ServeMetrics RunSimulation(const RequestSoA& requests, const ServeClusterConfig&
         return;
       }
       double duration = stepper.DecodeStepTime(batch);
+      if (degrade_enabled) {
+        duration *= S.d_degrade_mult[i];
+      }
       S.d_state[i] |= kBusy;
       sync_d_ready(i);
       S.d_step_started[i] = t;
@@ -592,6 +716,9 @@ ServeMetrics RunSimulation(const RequestSoA& requests, const ServeClusterConfig&
 
   // --- autoscaler actions ---
   auto retire_prefill = [&](int i, const char* reason) {
+    if (degrade_enabled) {
+      close_degrade_prefill(i);
+    }
     S.p_state[i] = static_cast<uint8_t>((S.p_state[i] & ~kDraining) | kInactive);
     sync_p_ready(i);
     S.p_down_time[i] = now;
@@ -599,6 +726,9 @@ ServeMetrics RunSimulation(const RequestSoA& requests, const ServeClusterConfig&
     metrics.scale_events.push_back({now, ScalePool::kPrefill, -1, active_prefill, reason});
   };
   auto retire_decode = [&](int i, const char* reason) {
+    if (degrade_enabled) {
+      close_degrade_decode(i);
+    }
     S.d_state[i] = static_cast<uint8_t>((S.d_state[i] & ~kDraining) | kInactive);
     sync_d_ready(i);
     S.d_down_time[i] = now;
@@ -671,8 +801,14 @@ ServeMetrics RunSimulation(const RequestSoA& requests, const ServeClusterConfig&
   // victims per the retry policy, and takes the instance down for the
   // spare-activation delay (consuming a free spare whose repaired device
   // returns later) or the full repair. A draining instance that fails
-  // simply retires — the autoscaler wanted it gone anyway.
-  auto fail_prefill = [&](int i) {
+  // simply retires — the autoscaler wanted it gone anyway. domain >= 0
+  // marks a member of a correlated domain outage: it bypasses hot spares
+  // (a rack outage is not maskable by a spare device) and waits out the
+  // domain repair instead of the instance repair.
+  auto fail_prefill = [&](int i, int domain) {
+    if (degrade_enabled) {
+      close_degrade_prefill(i);
+    }
     ++S.p_epoch[i];
     int killed = 0;
     double lost = 0.0;
@@ -690,7 +826,7 @@ ServeMetrics RunSimulation(const RequestSoA& requests, const ServeClusterConfig&
     metrics.lost_tokens += lost;
     if (S.p_state[i] & kDraining) {
       metrics.fault_events.push_back({now, FaultEventKind::kFailure, ScalePool::kPrefill,
-                                      i, killed, lost, prefill_spares_free});
+                                      i, killed, lost, prefill_spares_free, domain});
       retire_prefill(i, S.p_drain_reason[i]);
       return;
     }
@@ -698,18 +834,23 @@ ServeMetrics RunSimulation(const RequestSoA& requests, const ServeClusterConfig&
     sync_p_ready(i);
     S.p_via_spare[i] = 0;
     double delay = faults.repair_s;
-    if (prefill_spares_free > 0) {
+    if (domain >= 0) {
+      delay = domains.repair_s;
+    } else if (prefill_spares_free > 0) {
       --prefill_spares_free;
       S.p_via_spare[i] = 1;
       delay = faults.spare_activation_s;
       events.Push({now + faults.repair_s, ServeEventKind::kPrefillSpareReturn, i});
     }
     metrics.fault_events.push_back({now, FaultEventKind::kFailure, ScalePool::kPrefill, i,
-                                    killed, lost, prefill_spares_free});
+                                    killed, lost, prefill_spares_free, domain});
     events.Push({now + delay, ServeEventKind::kPrefillRecover, i, S.p_epoch[i]});
   };
 
-  auto fail_decode = [&](int i) {
+  auto fail_decode = [&](int i, int domain) {
+    if (degrade_enabled) {
+      close_degrade_decode(i);
+    }
     ++S.d_epoch[i];
     std::vector<int>& remaining = S.d_remaining[static_cast<size_t>(i)];
     std::vector<int>& request_index = S.d_request_index[static_cast<size_t>(i)];
@@ -739,7 +880,7 @@ ServeMetrics RunSimulation(const RequestSoA& requests, const ServeClusterConfig&
     metrics.lost_tokens += lost;
     if (S.d_state[i] & kDraining) {
       metrics.fault_events.push_back({now, FaultEventKind::kFailure, ScalePool::kDecode,
-                                      i, killed, lost, decode_spares_free});
+                                      i, killed, lost, decode_spares_free, domain});
       retire_decode(i, S.d_drain_reason[i]);
       return;
     }
@@ -747,14 +888,16 @@ ServeMetrics RunSimulation(const RequestSoA& requests, const ServeClusterConfig&
     sync_d_ready(i);
     S.d_via_spare[i] = 0;
     double delay = faults.repair_s;
-    if (decode_spares_free > 0) {
+    if (domain >= 0) {
+      delay = domains.repair_s;
+    } else if (decode_spares_free > 0) {
       --decode_spares_free;
       S.d_via_spare[i] = 1;
       delay = faults.spare_activation_s;
       events.Push({now + faults.repair_s, ServeEventKind::kDecodeSpareReturn, i});
     }
     metrics.fault_events.push_back({now, FaultEventKind::kFailure, ScalePool::kDecode, i,
-                                    killed, lost, decode_spares_free});
+                                    killed, lost, decode_spares_free, domain});
     events.Push({now + delay, ServeEventKind::kDecodeRecover, i, S.d_epoch[i]});
   };
 
@@ -919,6 +1062,14 @@ ServeMetrics RunSimulation(const RequestSoA& requests, const ServeClusterConfig&
   };
 
   for (;;) {
+    // First instant both queues are empty after the largest outage: the
+    // check runs at the top of every iteration (after the previous item
+    // fully processed), gated on drain_pending so fault-free runs never
+    // pay it.
+    if (drain_pending && prefill_queue.empty() && decode_queue.empty()) {
+      metrics.time_to_drain_s = now - metrics.largest_outage_time_s;
+      drain_pending = false;
+    }
     double arrival_t = next_arrival < nreq ? requests.arrival_s[next_arrival]
                                            : std::numeric_limits<double>::max();
     double event_t =
@@ -932,25 +1083,65 @@ ServeMetrics RunSimulation(const RequestSoA& requests, const ServeClusterConfig&
       now = arrival_t;
       progress_now = now;
       if (now <= config.horizon_s) {
-        prefill_queue.push_back(static_cast<int>(next_arrival));
+        // Admission control: a shed request reached the cluster (it counts
+        // as admitted, globally and per class) but never enters the
+        // prefill queue, so admitted = completed + dropped + shed once the
+        // run drains.
+        bool shed = false;
+        ShedReason shed_reason = ShedReason::kQueueDepth;
+        if (shed_enabled) {
+          if (shedding.max_queue_depth > 0 &&
+              static_cast<int>(prefill_queue.size()) >= shedding.max_queue_depth) {
+            shed = true;
+          } else if (shedding.ttft_deadline_s > 0.0) {
+            int live = 0;
+            for (size_t i = 0; i < S.p_state.size(); ++i) {
+              if (!(S.p_state[i] & (kInactive | kDraining | kDown))) {
+                ++live;
+              }
+            }
+            if (live == 0) {
+              shed = true;
+              shed_reason = ShedReason::kDeadline;
+            } else {
+              if (shed_pass_s < 0.0) {
+                shed_pass_s = stepper.PrefillTime(stepper.MaxPrefillBatch());
+              }
+              double waves = std::ceil(
+                  (static_cast<double>(prefill_queue.size()) + 1.0) /
+                  (static_cast<double>(stepper.MaxPrefillBatch()) * live));
+              if (waves * shed_pass_s > shedding.ttft_deadline_s) {
+                shed = true;
+                shed_reason = ShedReason::kDeadline;
+              }
+            }
+          }
+        }
         ++metrics.admitted_requests;
         if (track_classes) {
           ++metrics.per_class[static_cast<size_t>(class_of(static_cast<int>(next_arrival)))]
                 .admitted_requests;
         }
-        if (track_qsums) {
-          queued_prompt_tokens += requests.prompt_tokens[next_arrival];
-        }
-        if (scaler.enabled && scaler.predictive) {
-          while (!demand_history.empty() &&
-                 demand_history.front().t < now - scaler.forecast_window_s) {
-            demand_history.pop_front();
+        if (shed) {
+          ++metrics.shed_requests;
+          metrics.shed_events.push_back(
+              {now, static_cast<int>(next_arrival), shed_reason});
+        } else {
+          prefill_queue.push_back(static_cast<int>(next_arrival));
+          if (track_qsums) {
+            queued_prompt_tokens += requests.prompt_tokens[next_arrival];
           }
-          demand_history.push_back({now,
-                                    static_cast<double>(requests.prompt_tokens[next_arrival]),
-                                    static_cast<double>(requests.output_tokens[next_arrival]),
-                                    requests.class_id[next_arrival]});
-          peak_demand_entries = std::max(peak_demand_entries, demand_history.size());
+          if (scaler.enabled && scaler.predictive) {
+            while (!demand_history.empty() &&
+                   demand_history.front().t < now - scaler.forecast_window_s) {
+              demand_history.pop_front();
+            }
+            demand_history.push_back(
+                {now, static_cast<double>(requests.prompt_tokens[next_arrival]),
+                 static_cast<double>(requests.output_tokens[next_arrival]),
+                 requests.class_id[next_arrival]});
+            peak_demand_entries = std::max(peak_demand_entries, demand_history.size());
+          }
         }
       }
       ++next_arrival;
@@ -979,6 +1170,9 @@ ServeMetrics RunSimulation(const RequestSoA& requests, const ServeClusterConfig&
         std::vector<int>& request_index = S.d_request_index[static_cast<size_t>(i)];
         // Every active sequence emitted one token this step.
         metrics.output_tokens += static_cast<double>(remaining.size());
+        if (degrade_enabled && S.d_degrade_since[i] >= 0.0) {
+          metrics.degraded_output_tokens += static_cast<double>(remaining.size());
+        }
         if (track_classes) {
           // Each active sequence of a class experienced this step's duration
           // as one inter-token gap: one weighted histogram add per class.
@@ -1109,15 +1303,98 @@ ServeMetrics RunSimulation(const RequestSoA& requests, const ServeClusterConfig&
                              : (!(S.d_state[event.instance] & kInactive) &&
                                 event.epoch == S.d_epoch[event.instance]);
       if (live) {
+        double lost_before = metrics.lost_tokens;
         if (is_prefill) {
-          fail_prefill(event.instance);
+          fail_prefill(event.instance, /*domain=*/-1);
         } else {
-          fail_decode(event.instance);
+          fail_decode(event.instance, /*domain=*/-1);
         }
+        note_outage(metrics.lost_tokens - lost_before);
         // Retried victims queue for prefill; surviving instances pick
         // them up immediately.
         try_start_prefill(now);
       }
+      continue;
+    }
+    if (event.kind == ServeEventKind::kPrefillDomainFail ||
+        event.kind == ServeEventKind::kDecodeDomainFail) {
+      // One domain outage downs every live member at this timestamp, in
+      // ascending instance order; the whole group is one outage for the
+      // blast-radius / drain accounting.
+      bool is_prefill = event.kind == ServeEventKind::kPrefillDomainFail;
+      int d = event.instance;
+      int ipd = is_prefill ? domains.prefill_instances_per_domain
+                           : domains.decode_instances_per_domain;
+      int n = static_cast<int>(is_prefill ? S.p_state.size() : S.d_state.size());
+      int lo = d * ipd;
+      int hi = std::min(n, lo + ipd);
+      double lost_before = metrics.lost_tokens;
+      for (int i = lo; i < hi; ++i) {
+        uint8_t state = is_prefill ? S.p_state[i] : S.d_state[i];
+        if (state & (kInactive | kDown)) {
+          continue;  // retired or already down: nothing left to kill
+        }
+        if (is_prefill) {
+          fail_prefill(i, d);
+        } else {
+          fail_decode(i, d);
+        }
+      }
+      note_outage(metrics.lost_tokens - lost_before);
+      schedule_next_domain_failure(is_prefill ? ScalePool::kPrefill : ScalePool::kDecode,
+                                   d, now);
+      try_start_prefill(now);
+      continue;
+    }
+    if (event.kind == ServeEventKind::kPrefillDegradeStart ||
+        event.kind == ServeEventKind::kDecodeDegradeStart) {
+      bool is_prefill = event.kind == ServeEventKind::kPrefillDegradeStart;
+      int i = event.instance;
+      bool live = is_prefill ? (!(S.p_state[i] & kInactive) && event.epoch == S.p_epoch[i])
+                             : (!(S.d_state[i] & kInactive) && event.epoch == S.d_epoch[i]);
+      if (!live) {
+        continue;
+      }
+      ScalePool pool = is_prefill ? ScalePool::kPrefill : ScalePool::kDecode;
+      // The slot's stream yields gap, duration, gap, duration, ... in event
+      // order; failures stale pending windows via the epoch (the recovery
+      // reschedules the stream), so every draw happens at a deterministic
+      // simulated time regardless of thread count.
+      double duration = fault_streams->NextDegradeDuration(pool, i, degraded.mean_duration_s);
+      if (is_prefill) {
+        S.p_degrade_mult[i] = degraded.multiplier;
+        S.p_degrade_since[i] = now;
+      } else {
+        S.d_degrade_mult[i] = degraded.multiplier;
+        S.d_degrade_since[i] = now;
+      }
+      ++metrics.degrade_windows;
+      metrics.fault_events.push_back({now, FaultEventKind::kDegradeStart, pool, i, 0, 0.0,
+                                      is_prefill ? prefill_spares_free : decode_spares_free});
+      events.Push({now + duration,
+                   is_prefill ? ServeEventKind::kPrefillDegradeEnd
+                              : ServeEventKind::kDecodeDegradeEnd,
+                   i, event.epoch});
+      continue;
+    }
+    if (event.kind == ServeEventKind::kPrefillDegradeEnd ||
+        event.kind == ServeEventKind::kDecodeDegradeEnd) {
+      bool is_prefill = event.kind == ServeEventKind::kPrefillDegradeEnd;
+      int i = event.instance;
+      bool live = is_prefill ? (!(S.p_state[i] & kInactive) && event.epoch == S.p_epoch[i])
+                             : (!(S.d_state[i] & kInactive) && event.epoch == S.d_epoch[i]);
+      if (!live) {
+        continue;  // a failure already cleared the window
+      }
+      if (is_prefill) {
+        close_degrade_prefill(i);
+      } else {
+        close_degrade_decode(i);
+      }
+      ScalePool pool = is_prefill ? ScalePool::kPrefill : ScalePool::kDecode;
+      metrics.fault_events.push_back({now, FaultEventKind::kDegradeEnd, pool, i, 0, 0.0,
+                                      is_prefill ? prefill_spares_free : decode_spares_free});
+      schedule_next_degrade(pool, i, now, event.epoch);
       continue;
     }
     if (event.kind == ServeEventKind::kPrefillRecover ||
@@ -1135,6 +1412,7 @@ ServeMetrics RunSimulation(const RequestSoA& requests, const ServeClusterConfig&
                                         ScalePool::kPrefill, i, 0, 0.0,
                                         prefill_spares_free});
         schedule_next_failure(ScalePool::kPrefill, i, now, S.p_epoch[i]);
+        schedule_next_degrade(ScalePool::kPrefill, i, now, S.p_epoch[i]);
         try_start_prefill(now);
       } else {
         int i = event.instance;
@@ -1149,6 +1427,7 @@ ServeMetrics RunSimulation(const RequestSoA& requests, const ServeClusterConfig&
                                         ScalePool::kDecode, i, 0, 0.0,
                                         decode_spares_free});
         schedule_next_failure(ScalePool::kDecode, i, now, S.d_epoch[i]);
+        schedule_next_degrade(ScalePool::kDecode, i, now, S.d_epoch[i]);
         try_start_decode_step(now);
       }
       continue;
@@ -1176,8 +1455,10 @@ ServeMetrics RunSimulation(const RequestSoA& requests, const ServeClusterConfig&
         metrics.scale_events.push_back(
             {now, ScalePool::kPrefill, +1, active_prefill, reason});
         if (faults_enabled) {
-          schedule_next_failure(ScalePool::kPrefill,
-                                static_cast<int>(S.p_state.size()) - 1, now, 0);
+          int slot = static_cast<int>(S.p_state.size()) - 1;
+          schedule_next_failure(ScalePool::kPrefill, slot, now, 0);
+          schedule_new_domains(ScalePool::kPrefill, now);
+          schedule_next_degrade(ScalePool::kPrefill, slot, now, 0);
         }
         try_start_prefill(now);
       } else {
@@ -1191,8 +1472,10 @@ ServeMetrics RunSimulation(const RequestSoA& requests, const ServeClusterConfig&
         metrics.scale_events.push_back(
             {now, ScalePool::kDecode, +1, active_decode, reason});
         if (faults_enabled) {
-          schedule_next_failure(ScalePool::kDecode,
-                                static_cast<int>(S.d_state.size()) - 1, now, 0);
+          int slot = static_cast<int>(S.d_state.size()) - 1;
+          schedule_next_failure(ScalePool::kDecode, slot, now, 0);
+          schedule_new_domains(ScalePool::kDecode, now);
+          schedule_next_degrade(ScalePool::kDecode, slot, now, 0);
         }
         try_start_decode_step(now);
       }
@@ -1289,6 +1572,27 @@ ServeMetrics RunSimulation(const RequestSoA& requests, const ServeClusterConfig&
       }
     }
   }
+  if (degrade_enabled) {
+    // Close windows still open at the end of the run, clipped to makespan.
+    for (size_t i = 0; i < S.p_state.size(); ++i) {
+      if (S.p_degrade_since[i] >= 0.0) {
+        metrics.prefill_degraded_instance_s +=
+            std::max(0.0, metrics.makespan_s - S.p_degrade_since[i]);
+      }
+    }
+    for (size_t i = 0; i < S.d_state.size(); ++i) {
+      if (S.d_degrade_since[i] >= 0.0) {
+        metrics.decode_degraded_instance_s +=
+            std::max(0.0, metrics.makespan_s - S.d_degrade_since[i]);
+      }
+    }
+  }
+  if (drain_pending) {
+    // The queues never emptied again after the largest outage: the drain
+    // took the rest of the run.
+    metrics.time_to_drain_s =
+        std::max(0.0, metrics.makespan_s - metrics.largest_outage_time_s);
+  }
   return metrics;
 }
 
@@ -1359,6 +1663,14 @@ ServeMetrics MergeServeShardMetrics(const ServeClusterConfig& config,
     merged.prefill_busy_s += m.prefill_busy_s;
     merged.decode_busy_s += m.decode_busy_s;
     merged.decode_batch_time_product += m.decode_batch_time_product;
+    // Fault/degrade/shed counters are additive; the logs and the
+    // largest-outage tracking are not merged (the Runner rejects sharding
+    // combined with faults or shedding).
+    merged.shed_requests += m.shed_requests;
+    merged.degrade_windows += m.degrade_windows;
+    merged.prefill_degraded_instance_s += m.prefill_degraded_instance_s;
+    merged.decode_degraded_instance_s += m.decode_degraded_instance_s;
+    merged.degraded_output_tokens += m.degraded_output_tokens;
     for (size_t c = 0; c < merged.per_class.size() && c < m.per_class.size(); ++c) {
       ServeClassMetrics& out = merged.per_class[c];
       const ServeClassMetrics& in = m.per_class[c];

@@ -122,6 +122,12 @@ struct ServeClusterConfig {
   // skips every fault branch: metrics stay bit-identical to the pre-fault
   // simulator.
   ServeFaultConfig faults;
+  // Overload protection (src/serve/faults.h): arrivals are shed when the
+  // prefill queue is over the depth cap or the estimated TTFT misses the
+  // deadline. Works with or without fault injection; disabled (the
+  // default) skips the admission check entirely, so metrics stay
+  // bit-identical to the pre-shedding simulator.
+  SheddingPolicy shedding;
   // Stream TTFT samples into a fixed-bin LatencyHistogram (ttft_hist)
   // instead of the exact SampleSet, making per-point memory O(bins) rather
   // than O(requests). Off by default: exact samples keep every report
@@ -204,6 +210,28 @@ struct ServeMetrics {
   double lost_tokens = 0.0;
   double prefill_fault_downtime_s = 0.0;
   double decode_fault_downtime_s = 0.0;
+  // Degraded-state outcome (ServeFaultConfig::degraded): instance-seconds
+  // spent throttled per pool, the number of degrade windows entered, and
+  // the decode tokens emitted by steps completing on a degraded instance.
+  double prefill_degraded_instance_s = 0.0;
+  double decode_degraded_instance_s = 0.0;
+  int degrade_windows = 0;
+  double degraded_output_tokens = 0.0;
+  // Shedding outcome (ServeClusterConfig::shedding): shed arrivals count as
+  // admitted but never enter the prefill queue. The log is ordered by
+  // simulated time and bit-identical across table/callback paths and
+  // thread counts, like fault_events.
+  int shed_requests = 0;
+  std::vector<ShedEvent> shed_events;
+  // Recovery tracking (fault runs only): the largest single outage is the
+  // failure event group — one independent failure, or one domain outage's
+  // members — that discarded the most tokens; time_to_drain_s measures
+  // from that instant until both queues next become empty (so a backlog
+  // that only drains because admissions ended shows up as a drain time
+  // reaching past the horizon). -1 when no in-flight work was ever killed.
+  double largest_outage_time_s = -1.0;
+  double largest_outage_lost_tokens = 0.0;
+  double time_to_drain_s = -1.0;
   // Raw busy-time aggregates behind the utilization / mean-batch ratios.
   // Ratios of sums are not sums of ratios, so the shard merge needs the
   // numerators and denominators separately.

@@ -15,17 +15,27 @@ namespace litegpu {
 
 namespace {
 
-// Simultaneous events process in a fully specified order: failures first
-// (a completion at the same instant loses the race and is killed), then
-// completions, then instances coming up (autoscaler-provisioned capacity,
-// fault recoveries, spare returns), then autoscaler decision ticks — so a
-// decision at time T sees every completion and recovery at T, and results
-// never depend on the event heap's internal layout. With faults disabled
-// no fault kinds are ever scheduled, so the relative order of the
-// pre-fault kinds (and every metric) is unchanged.
+// Simultaneous events process in a fully specified order: domain outages
+// first (they expand to member failures at one timestamp), then independent
+// failures (a completion at the same instant loses the race and is killed),
+// then degrade transitions (a dispatch at the same instant sees the new
+// multiplier), then completions, then instances coming up
+// (autoscaler-provisioned capacity, fault recoveries, spare returns), then
+// autoscaler decision ticks — so a decision at time T sees every completion
+// and recovery at T, and results never depend on the event heap's internal
+// layout. With faults disabled no fault kinds are ever scheduled, so the
+// relative order of the pre-fault kinds (and every metric) is unchanged.
+// Must match ServeEventKind's order exactly: the two paths are
+// element-wise-compared on their fault and shed logs.
 enum class EventKind {
+  kPrefillDomainFail,
+  kDecodeDomainFail,
   kPrefillFail,
   kDecodeFail,
+  kPrefillDegradeStart,
+  kDecodeDegradeStart,
+  kPrefillDegradeEnd,
+  kDecodeDegradeEnd,
   kPrefillDone,
   kDecodeStepDone,
   kPrefillUp,
@@ -79,6 +89,9 @@ struct PrefillInstance {
   int epoch = 0;           // bumped per failure; stale events are discarded
   double pass_started = 0.0;  // for refunding a killed pass's busy time
   double pass_duration = 0.0;
+  // Degraded-state window (applies to new dispatches only).
+  double degrade_mult = 1.0;
+  double degrade_since = -1.0;  // < 0 while healthy
 };
 
 struct DecodeInstance {
@@ -98,6 +111,9 @@ struct DecodeInstance {
   bool down = false;
   bool via_spare = false;
   int epoch = 0;
+  // Degraded-state window (applies to new dispatches only).
+  double degrade_mult = 1.0;
+  double degrade_since = -1.0;  // < 0 while healthy
 };
 
 // Step-time providers for the shared event loop. Both answer the same two
@@ -168,6 +184,13 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
   // --- fault-injection state (dormant unless faults.enabled) ---
   const ServeFaultConfig& faults = config.faults;
   const bool faults_enabled = faults.enabled;
+  const FaultDomainConfig& domains = faults.domains;
+  const bool domains_enabled = faults_enabled && domains.enabled();
+  const DegradedStateConfig& degraded = faults.degraded;
+  const bool degrade_enabled = faults_enabled && degraded.enabled();
+  const SheddingPolicy& shedding = config.shedding;
+  const bool shed_enabled = shedding.enabled();
+  double shed_pass_s = -1.0;  // lazily probed full-batch prefill time
   std::optional<FaultStreams> fault_streams;
   int prefill_spares_free = faults.prefill_spares;
   int decode_spares_free = faults.decode_spares;
@@ -189,6 +212,57 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
                    slot, epoch});
     }
   };
+  // Domain outage streams: one per failure domain, keyed by (seed, pool,
+  // domain), injected over the admission horizon like instance failures.
+  // Domains are discovered as the pool grows — domain d covers instances
+  // [d*ipd, (d+1)*ipd) — and each domain's gap sequence depends only on its
+  // id, never on when its first member appeared.
+  int prefill_domains_scheduled = 0;
+  int decode_domains_scheduled = 0;
+  auto schedule_next_domain_failure = [&](ScalePool pool, int domain, double from_t) {
+    double t =
+        from_t + fault_streams->NextDomainFailureGap(pool, domain, domains.failure_rate_per_s);
+    if (t <= config.horizon_s) {
+      events.push({t,
+                   pool == ScalePool::kPrefill ? EventKind::kPrefillDomainFail
+                                               : EventKind::kDecodeDomainFail,
+                   domain});
+    }
+  };
+  auto schedule_new_domains = [&](ScalePool pool, double from_t) {
+    if (!domains_enabled) {
+      return;
+    }
+    bool is_prefill = pool == ScalePool::kPrefill;
+    int ipd = is_prefill ? domains.prefill_instances_per_domain
+                         : domains.decode_instances_per_domain;
+    if (ipd <= 0) {
+      return;
+    }
+    int n = static_cast<int>(is_prefill ? prefill.size() : decode.size());
+    int want = (n + ipd - 1) / ipd;
+    int& scheduled = is_prefill ? prefill_domains_scheduled : decode_domains_scheduled;
+    while (scheduled < want) {
+      schedule_next_domain_failure(pool, scheduled++, from_t);
+    }
+  };
+  // Degrade streams: per (pool, slot) like failures; a failure clears the
+  // degraded state (epoch bump stales the pending end event) and the
+  // recovery reschedules the slot's stream.
+  auto schedule_next_degrade = [&](ScalePool pool, int slot, double from_t, int epoch) {
+    double rate = pool == ScalePool::kPrefill ? degraded.prefill_rate_per_s
+                                              : degraded.decode_rate_per_s;
+    if (rate <= 0.0) {
+      return;
+    }
+    double t = from_t + fault_streams->NextDegradeGap(pool, slot, rate);
+    if (t <= config.horizon_s) {
+      events.push({t,
+                   pool == ScalePool::kPrefill ? EventKind::kPrefillDegradeStart
+                                               : EventKind::kDecodeDegradeStart,
+                   slot, epoch});
+    }
+  };
   if (faults_enabled) {
     fault_streams.emplace(faults.seed);
     for (int i = 0; i < static_cast<int>(prefill.size()); ++i) {
@@ -196,6 +270,16 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
     }
     for (int i = 0; i < static_cast<int>(decode.size()); ++i) {
       schedule_next_failure(ScalePool::kDecode, i, 0.0, 0);
+    }
+    schedule_new_domains(ScalePool::kPrefill, 0.0);
+    schedule_new_domains(ScalePool::kDecode, 0.0);
+    if (degrade_enabled) {
+      for (int i = 0; i < static_cast<int>(prefill.size()); ++i) {
+        schedule_next_degrade(ScalePool::kPrefill, i, 0.0, 0);
+      }
+      for (int i = 0; i < static_cast<int>(decode.size()); ++i) {
+        schedule_next_degrade(ScalePool::kDecode, i, 0.0, 0);
+      }
     }
     ttft_recorded.assign(requests.size(), 0);
   }
@@ -221,6 +305,36 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
   // tick that did no work.
   double progress_now = 0.0;
 
+  // Close an instance's open throttled window (degrade end, failure, or
+  // retirement), banking the degraded instance-seconds.
+  auto close_degrade_prefill = [&](int i) {
+    if (prefill[i].degrade_since >= 0.0) {
+      metrics.prefill_degraded_instance_s += now - prefill[i].degrade_since;
+      prefill[i].degrade_since = -1.0;
+      prefill[i].degrade_mult = 1.0;
+    }
+  };
+  auto close_degrade_decode = [&](int i) {
+    if (decode[i].degrade_since >= 0.0) {
+      metrics.decode_degraded_instance_s += now - decode[i].degrade_since;
+      decode[i].degrade_since = -1.0;
+      decode[i].degrade_mult = 1.0;
+    }
+  };
+
+  // Recovery tracking: the largest single failure group (one independent
+  // failure or one domain outage's members) by discarded tokens; the loop
+  // then watches for the first instant both queues are empty again.
+  bool drain_pending = false;
+  auto note_outage = [&](double lost) {
+    if (lost > metrics.largest_outage_lost_tokens) {
+      metrics.largest_outage_lost_tokens = lost;
+      metrics.largest_outage_time_s = now;
+      metrics.time_to_drain_s = -1.0;
+      drain_pending = true;
+    }
+  };
+
   auto try_start_prefill = [&](double t) {
     for (int i = 0; i < static_cast<int>(prefill.size()); ++i) {
       if (!prefill[i].active || prefill[i].draining || prefill[i].down ||
@@ -235,6 +349,11 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
         prefill_queue.pop_front();
       }
       double duration = stepper.PrefillTime(batch);
+      if (degrade_enabled) {
+        // Dispatch-only throttling: a pass keeps the duration it started
+        // with even if the window closes mid-pass.
+        duration *= prefill[i].degrade_mult;
+      }
       prefill[i].busy = true;
       prefill[i].busy_time += duration;
       prefill[i].pass_started = t;
@@ -265,6 +384,9 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
       }
       int batch = static_cast<int>(inst.remaining.size());
       double duration = stepper.DecodeStepTime(batch);
+      if (degrade_enabled) {
+        duration *= inst.degrade_mult;
+      }
       inst.stepping = true;
       inst.current_step_started = t;
       inst.current_step_duration = duration;
@@ -276,6 +398,9 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
 
   // --- autoscaler actions ---
   auto retire_prefill = [&](int i, const char* reason) {
+    if (degrade_enabled) {
+      close_degrade_prefill(i);
+    }
     prefill[i].active = false;
     prefill[i].draining = false;
     prefill[i].down_time = now;
@@ -283,6 +408,9 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
     metrics.scale_events.push_back({now, ScalePool::kPrefill, -1, active_prefill, reason});
   };
   auto retire_decode = [&](int i, const char* reason) {
+    if (degrade_enabled) {
+      close_degrade_decode(i);
+    }
     decode[i].active = false;
     decode[i].draining = false;
     decode[i].down_time = now;
@@ -345,9 +473,15 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
   // victims per the retry policy, and takes the instance down for the
   // spare-activation delay (consuming a free spare whose repaired device
   // returns later) or the full repair. A draining instance that fails
-  // simply retires — the autoscaler wanted it gone anyway.
-  auto fail_prefill = [&](int i) {
+  // simply retires — the autoscaler wanted it gone anyway. domain >= 0
+  // marks a member of a correlated domain outage: it bypasses hot spares
+  // (a rack outage is not maskable by a spare device) and waits out the
+  // domain repair instead of the instance repair.
+  auto fail_prefill = [&](int i, int domain) {
     PrefillInstance& inst = prefill[i];
+    if (degrade_enabled) {
+      close_degrade_prefill(i);
+    }
     ++inst.epoch;
     int killed = 0;
     double lost = 0.0;
@@ -364,26 +498,31 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
     metrics.lost_tokens += lost;
     if (inst.draining) {
       metrics.fault_events.push_back({now, FaultEventKind::kFailure, ScalePool::kPrefill,
-                                      i, killed, lost, prefill_spares_free});
+                                      i, killed, lost, prefill_spares_free, domain});
       retire_prefill(i, inst.drain_reason);
       return;
     }
     inst.down = true;
     inst.via_spare = false;
     double delay = faults.repair_s;
-    if (prefill_spares_free > 0) {
+    if (domain >= 0) {
+      delay = domains.repair_s;
+    } else if (prefill_spares_free > 0) {
       --prefill_spares_free;
       inst.via_spare = true;
       delay = faults.spare_activation_s;
       events.push({now + faults.repair_s, EventKind::kPrefillSpareReturn, i});
     }
     metrics.fault_events.push_back({now, FaultEventKind::kFailure, ScalePool::kPrefill, i,
-                                    killed, lost, prefill_spares_free});
+                                    killed, lost, prefill_spares_free, domain});
     events.push({now + delay, EventKind::kPrefillRecover, i, inst.epoch});
   };
 
-  auto fail_decode = [&](int i) {
+  auto fail_decode = [&](int i, int domain) {
     DecodeInstance& inst = decode[i];
+    if (degrade_enabled) {
+      close_degrade_decode(i);
+    }
     ++inst.epoch;
     int killed = static_cast<int>(inst.remaining.size());
     double lost = 0.0;
@@ -413,21 +552,23 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
     metrics.lost_tokens += lost;
     if (inst.draining) {
       metrics.fault_events.push_back({now, FaultEventKind::kFailure, ScalePool::kDecode,
-                                      i, killed, lost, decode_spares_free});
+                                      i, killed, lost, decode_spares_free, domain});
       retire_decode(i, inst.drain_reason);
       return;
     }
     inst.down = true;
     inst.via_spare = false;
     double delay = faults.repair_s;
-    if (decode_spares_free > 0) {
+    if (domain >= 0) {
+      delay = domains.repair_s;
+    } else if (decode_spares_free > 0) {
       --decode_spares_free;
       inst.via_spare = true;
       delay = faults.spare_activation_s;
       events.push({now + faults.repair_s, EventKind::kDecodeSpareReturn, i});
     }
     metrics.fault_events.push_back({now, FaultEventKind::kFailure, ScalePool::kDecode, i,
-                                    killed, lost, decode_spares_free});
+                                    killed, lost, decode_spares_free, domain});
     events.push({now + delay, EventKind::kDecodeRecover, i, inst.epoch});
   };
 
@@ -598,6 +739,14 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
   };
 
   for (;;) {
+    // First instant both queues are empty after the largest outage: the
+    // check runs at the top of every iteration (after the previous item
+    // fully processed), gated on drain_pending so fault-free runs never
+    // pay it.
+    if (drain_pending && prefill_queue.empty() && decode_queue.empty()) {
+      metrics.time_to_drain_s = now - metrics.largest_outage_time_s;
+      drain_pending = false;
+    }
     double arrival_t = next_arrival < requests.size() ? requests[next_arrival].arrival_s
                                                       : std::numeric_limits<double>::max();
     double event_t =
@@ -611,16 +760,56 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
       now = arrival_t;
       progress_now = now;
       if (now <= config.horizon_s) {
-        prefill_queue.push_back(static_cast<int>(next_arrival));
+        // Admission control: a shed request reached the cluster (it counts
+        // as admitted, globally and per class) but never enters the
+        // prefill queue, so admitted = completed + dropped + shed once the
+        // run drains.
+        bool shed = false;
+        ShedReason shed_reason = ShedReason::kQueueDepth;
+        if (shed_enabled) {
+          if (shedding.max_queue_depth > 0 &&
+              static_cast<int>(prefill_queue.size()) >= shedding.max_queue_depth) {
+            shed = true;
+          } else if (shedding.ttft_deadline_s > 0.0) {
+            int live = 0;
+            for (const auto& p : prefill) {
+              if (p.active && !p.draining && !p.down) {
+                ++live;
+              }
+            }
+            if (live == 0) {
+              shed = true;
+              shed_reason = ShedReason::kDeadline;
+            } else {
+              if (shed_pass_s < 0.0) {
+                shed_pass_s = stepper.PrefillTime(stepper.MaxPrefillBatch());
+              }
+              double waves = std::ceil(
+                  (static_cast<double>(prefill_queue.size()) + 1.0) /
+                  (static_cast<double>(stepper.MaxPrefillBatch()) * live));
+              if (waves * shed_pass_s > shedding.ttft_deadline_s) {
+                shed = true;
+                shed_reason = ShedReason::kDeadline;
+              }
+            }
+          }
+        }
         ++metrics.admitted_requests;
         if (track_classes) {
           ++metrics.per_class[static_cast<size_t>(class_of(static_cast<int>(next_arrival)))]
                 .admitted_requests;
         }
-        if (scaler.enabled && scaler.predictive) {
-          const Request& r = requests[next_arrival];
-          demand_history.push_back({now, static_cast<double>(r.prompt_tokens),
-                                    static_cast<double>(r.output_tokens), r.class_id});
+        if (shed) {
+          ++metrics.shed_requests;
+          metrics.shed_events.push_back(
+              {now, static_cast<int>(next_arrival), shed_reason});
+        } else {
+          prefill_queue.push_back(static_cast<int>(next_arrival));
+          if (scaler.enabled && scaler.predictive) {
+            const Request& r = requests[next_arrival];
+            demand_history.push_back({now, static_cast<double>(r.prompt_tokens),
+                                      static_cast<double>(r.output_tokens), r.class_id});
+          }
         }
       }
       ++next_arrival;
@@ -643,15 +832,99 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
                              : (decode[event.instance].active &&
                                 event.epoch == decode[event.instance].epoch);
       if (live) {
+        double lost_before = metrics.lost_tokens;
         if (is_prefill) {
-          fail_prefill(event.instance);
+          fail_prefill(event.instance, /*domain=*/-1);
         } else {
-          fail_decode(event.instance);
+          fail_decode(event.instance, /*domain=*/-1);
         }
+        note_outage(metrics.lost_tokens - lost_before);
         // Retried victims queue for prefill; surviving instances pick
         // them up immediately.
         try_start_prefill(now);
       }
+      continue;
+    }
+    if (event.kind == EventKind::kPrefillDomainFail ||
+        event.kind == EventKind::kDecodeDomainFail) {
+      // One domain outage downs every live member at this timestamp, in
+      // ascending instance order; the whole group is one outage for the
+      // blast-radius / drain accounting.
+      bool is_prefill = event.kind == EventKind::kPrefillDomainFail;
+      int d = event.instance;
+      int ipd = is_prefill ? domains.prefill_instances_per_domain
+                           : domains.decode_instances_per_domain;
+      int n = static_cast<int>(is_prefill ? prefill.size() : decode.size());
+      int lo = d * ipd;
+      int hi = std::min(n, lo + ipd);
+      double lost_before = metrics.lost_tokens;
+      for (int i = lo; i < hi; ++i) {
+        bool up = is_prefill ? (prefill[i].active && !prefill[i].down)
+                             : (decode[i].active && !decode[i].down);
+        if (!up) {
+          continue;  // retired or already down: nothing left to kill
+        }
+        if (is_prefill) {
+          fail_prefill(i, d);
+        } else {
+          fail_decode(i, d);
+        }
+      }
+      note_outage(metrics.lost_tokens - lost_before);
+      schedule_next_domain_failure(is_prefill ? ScalePool::kPrefill : ScalePool::kDecode,
+                                   d, now);
+      try_start_prefill(now);
+      continue;
+    }
+    if (event.kind == EventKind::kPrefillDegradeStart ||
+        event.kind == EventKind::kDecodeDegradeStart) {
+      bool is_prefill = event.kind == EventKind::kPrefillDegradeStart;
+      int i = event.instance;
+      bool live = is_prefill ? (prefill[i].active && event.epoch == prefill[i].epoch)
+                             : (decode[i].active && event.epoch == decode[i].epoch);
+      if (!live) {
+        continue;
+      }
+      ScalePool pool = is_prefill ? ScalePool::kPrefill : ScalePool::kDecode;
+      // The slot's stream yields gap, duration, gap, duration, ... in event
+      // order; failures stale pending windows via the epoch (the recovery
+      // reschedules the stream), so every draw happens at a deterministic
+      // simulated time regardless of thread count.
+      double duration = fault_streams->NextDegradeDuration(pool, i, degraded.mean_duration_s);
+      if (is_prefill) {
+        prefill[i].degrade_mult = degraded.multiplier;
+        prefill[i].degrade_since = now;
+      } else {
+        decode[i].degrade_mult = degraded.multiplier;
+        decode[i].degrade_since = now;
+      }
+      ++metrics.degrade_windows;
+      metrics.fault_events.push_back({now, FaultEventKind::kDegradeStart, pool, i, 0, 0.0,
+                                      is_prefill ? prefill_spares_free : decode_spares_free});
+      events.push({now + duration,
+                   is_prefill ? EventKind::kPrefillDegradeEnd
+                              : EventKind::kDecodeDegradeEnd,
+                   i, event.epoch});
+      continue;
+    }
+    if (event.kind == EventKind::kPrefillDegradeEnd ||
+        event.kind == EventKind::kDecodeDegradeEnd) {
+      bool is_prefill = event.kind == EventKind::kPrefillDegradeEnd;
+      int i = event.instance;
+      bool live = is_prefill ? (prefill[i].active && event.epoch == prefill[i].epoch)
+                             : (decode[i].active && event.epoch == decode[i].epoch);
+      if (!live) {
+        continue;  // a failure already cleared the window
+      }
+      if (is_prefill) {
+        close_degrade_prefill(i);
+      } else {
+        close_degrade_decode(i);
+      }
+      ScalePool pool = is_prefill ? ScalePool::kPrefill : ScalePool::kDecode;
+      metrics.fault_events.push_back({now, FaultEventKind::kDegradeEnd, pool, i, 0, 0.0,
+                                      is_prefill ? prefill_spares_free : decode_spares_free});
+      schedule_next_degrade(pool, i, now, event.epoch);
       continue;
     }
     if (event.kind == EventKind::kPrefillRecover || event.kind == EventKind::kDecodeRecover) {
@@ -667,6 +940,7 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
                                         ScalePool::kPrefill, event.instance, 0, 0.0,
                                         prefill_spares_free});
         schedule_next_failure(ScalePool::kPrefill, event.instance, now, inst.epoch);
+        schedule_next_degrade(ScalePool::kPrefill, event.instance, now, inst.epoch);
         try_start_prefill(now);
       } else {
         DecodeInstance& inst = decode[event.instance];
@@ -680,6 +954,7 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
                                         ScalePool::kDecode, event.instance, 0, 0.0,
                                         decode_spares_free});
         schedule_next_failure(ScalePool::kDecode, event.instance, now, inst.epoch);
+        schedule_next_degrade(ScalePool::kDecode, event.instance, now, inst.epoch);
         try_start_decode_step(now);
       }
       continue;
@@ -708,8 +983,10 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
         metrics.scale_events.push_back(
             {now, ScalePool::kPrefill, +1, active_prefill, reason});
         if (faults_enabled) {
-          schedule_next_failure(ScalePool::kPrefill,
-                                static_cast<int>(prefill.size()) - 1, now, 0);
+          int slot = static_cast<int>(prefill.size()) - 1;
+          schedule_next_failure(ScalePool::kPrefill, slot, now, 0);
+          schedule_new_domains(ScalePool::kPrefill, now);
+          schedule_next_degrade(ScalePool::kPrefill, slot, now, 0);
         }
         try_start_prefill(now);
       } else {
@@ -725,8 +1002,10 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
         metrics.scale_events.push_back(
             {now, ScalePool::kDecode, +1, active_decode, reason});
         if (faults_enabled) {
-          schedule_next_failure(ScalePool::kDecode,
-                                static_cast<int>(decode.size()) - 1, now, 0);
+          int slot = static_cast<int>(decode.size()) - 1;
+          schedule_next_failure(ScalePool::kDecode, slot, now, 0);
+          schedule_new_domains(ScalePool::kDecode, now);
+          schedule_next_degrade(ScalePool::kDecode, slot, now, 0);
         }
         try_start_decode_step(now);
       }
@@ -771,6 +1050,9 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
       inst.stepping = false;
       // Every active sequence emitted one token this step.
       metrics.output_tokens += static_cast<double>(inst.remaining.size());
+      if (degrade_enabled && inst.degrade_since >= 0.0) {
+        metrics.degraded_output_tokens += static_cast<double>(inst.remaining.size());
+      }
       if (track_classes) {
         // Each active sequence of a class experienced this step's duration
         // as one inter-token gap: one weighted histogram add per class.
@@ -903,6 +1185,27 @@ ServeMetrics RunSimulation(const std::vector<Request>& requests,
         }
       }
     }
+  }
+  if (degrade_enabled) {
+    // Close windows still open at the end of the run, clipped to makespan.
+    for (const auto& p : prefill) {
+      if (p.degrade_since >= 0.0) {
+        metrics.prefill_degraded_instance_s +=
+            std::max(0.0, metrics.makespan_s - p.degrade_since);
+      }
+    }
+    for (const auto& d : decode) {
+      if (d.degrade_since >= 0.0) {
+        metrics.decode_degraded_instance_s +=
+            std::max(0.0, metrics.makespan_s - d.degrade_since);
+      }
+    }
+  }
+  if (drain_pending) {
+    // The queues never emptied again after the largest outage: the drain
+    // took the rest of the run.
+    metrics.time_to_drain_s =
+        std::max(0.0, metrics.makespan_s - metrics.largest_outage_time_s);
   }
   return metrics;
 }

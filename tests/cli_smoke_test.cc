@@ -70,7 +70,8 @@ TEST(CliSmoke, RunExecutesEveryCheckedInScenarioAsJson) {
   for (const char* file : {"fig3a.json", "fig3b.json", "search.json", "design.json",
                            "mcsim.json", "yield.json", "derive.json", "serve.json",
                            "serve_sweep.json", "serve_multitenant.json",
-                           "serve_autoscale.json", "serve_faulty.json"}) {
+                           "serve_autoscale.json", "serve_faulty.json",
+                           "serve_chaos.json"}) {
     CommandResult result = RunCommand("run " + ScenarioPath(file) + " --json");
     EXPECT_EQ(result.exit_code, 0) << file;
     std::string error;
@@ -229,6 +230,94 @@ TEST(CliSmoke, FaultyScenarioIsThreadInvariantAndReportsBlastRadius) {
   EXPECT_EQ(text.exit_code, 0);
   EXPECT_NE(text.stdout_text.find("faults"), std::string::npos);
   EXPECT_NE(text.stdout_text.find("blast radius"), std::string::npos);
+}
+
+TEST(CliSmoke, ChaosScenarioIsThreadInvariantAndLiteBlastRadiusExceedsH100) {
+  // The acceptance check for the three-axis robustness engine: the chaos
+  // day (correlated domains + degradation + shedding on the H100-vs-Lite
+  // pair) is bit-identical at any --threads, reports all three axes, and
+  // the Lite pool's worst single domain outage destroys a larger fraction
+  // of its served tokens than the H100 pool's under the same domain size
+  // in silicon — more small-die instances fit in one rack, so one rack
+  // takes out more of the (smaller) pool throughput.
+  CommandResult t1 =
+      RunCommand("run " + ScenarioPath("serve_chaos.json") + " --json --threads 1");
+  CommandResult t4 =
+      RunCommand("run " + ScenarioPath("serve_chaos.json") + " --json --threads 4");
+  ASSERT_EQ(t1.exit_code, 0);
+  ASSERT_EQ(t4.exit_code, 0);
+  EXPECT_EQ(t1.stdout_text, t4.stdout_text);
+  auto parsed = Json::Parse(t1.stdout_text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->is_array());
+  ASSERT_EQ(parsed->size(), 2u);  // H100 run + Lite run
+  double worst_fraction[2] = {0.0, 0.0};
+  for (size_t idx = 0; idx < 2; ++idx) {
+    const Json& result = parsed->elements()[idx];
+    ASSERT_TRUE(result.GetBool("ok", false));
+    const Json* report = result.Find("report");
+    ASSERT_NE(report, nullptr);
+    const Json* faults = report->Find("faults");
+    ASSERT_NE(faults, nullptr);
+    const Json* decode = faults->Find("decode");
+    ASSERT_NE(decode, nullptr);
+    // Domain axis: per-domain blast radii and the worst-single-event
+    // columns are present and consistent.
+    const Json* domains = decode->Find("domains");
+    ASSERT_NE(domains, nullptr);
+    EXPECT_GT(decode->GetDouble("availability_correlated", 0.0), 0.0);
+    EXPECT_LT(decode->GetDouble("availability_correlated", 1.0),
+              decode->GetDouble("availability_predicted", 0.0));
+    worst_fraction[idx] = decode->GetDouble("worst_event_fraction", 0.0);
+    EXPECT_GT(worst_fraction[idx], 0.0);
+    // Degraded axis: windows opened and throttled seconds accumulated.
+    EXPECT_GT(decode->GetDouble("degraded_instance_s", 0.0), 0.0);
+    EXPECT_NE(faults->Find("degraded_goodput_tokens_per_s"), nullptr);
+    // Shedding axis + stability verdict.
+    EXPECT_NE(faults->Find("shed_requests"), nullptr);
+    EXPECT_NE(faults->Find("shed_events"), nullptr);
+    EXPECT_NE(faults->Find("stable"), nullptr);
+    EXPECT_NE(faults->Find("time_to_drain_s"), nullptr);
+  }
+  EXPECT_GT(worst_fraction[1], worst_fraction[0])
+      << "Lite worst-single-event blast radius should exceed H100's";
+  // Text mode renders the three new summary lines.
+  CommandResult text = RunCommand("run " + ScenarioPath("serve_chaos.json"));
+  EXPECT_EQ(text.exit_code, 0);
+  EXPECT_NE(text.stdout_text.find("domains:"), std::string::npos);
+  EXPECT_NE(text.stdout_text.find("degraded:"), std::string::npos);
+  EXPECT_NE(text.stdout_text.find("shedding:"), std::string::npos);
+  EXPECT_NE(text.stdout_text.find("stability:"), std::string::npos);
+}
+
+TEST(CliSmoke, RobustnessKnobValidationExitsUsageError) {
+  // Field-labelled exit-64 rejections for the new knobs, end to end.
+  std::string path = ::testing::TempDir() + "litegpu_bad_robustness.json";
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("{\"afr\": 100, \"retry_budget\": -1}", f);
+  fclose(f);
+  CommandResult result = RunCommandMergedOutput("serve --faults " + path);
+  EXPECT_EQ(result.exit_code, 64);
+  EXPECT_NE(result.stdout_text.find("retry_budget"), std::string::npos);
+  // A spare slower than the repair it masks never activates.
+  f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("{\"afr\": 100, \"hot_spares\": 1, \"mttr_hours\": 0.02,"
+        " \"spare_activation_minutes\": 5}", f);
+  fclose(f);
+  result = RunCommandMergedOutput("serve --faults " + path);
+  EXPECT_EQ(result.exit_code, 64);
+  EXPECT_NE(result.stdout_text.find("spare_activation_minutes"), std::string::npos);
+  // Domain churn without a domain size.
+  f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("{\"domain_afr\": 100}", f);
+  fclose(f);
+  result = RunCommandMergedOutput("serve --faults " + path);
+  EXPECT_EQ(result.exit_code, 64);
+  EXPECT_NE(result.stdout_text.find("domain_gpus"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 TEST(CliSmoke, FaultsFlagRoundTripsThroughServe) {

@@ -485,6 +485,108 @@ TEST(Scenario, FaultKnobsValidationRejectsBadValues) {
   EXPECT_NE(error.find("serve.faults"), std::string::npos);
 }
 
+TEST(Scenario, RobustnessKnobsRoundTripAndEmitNoKeysAtDefaults) {
+  // The three-axis knobs (domains, degradation, shedding) round-trip like
+  // the original block...
+  ServeKnobs serve;
+  serve.faults = ChurnyFaultKnobs();
+  serve.faults.domain_gpus = 16.0;
+  serve.faults.domain_afr = 40000.0;
+  serve.faults.domain_mttr_hours = 0.01;
+  serve.faults.degrade_afr = 30000.0;
+  serve.faults.degrade_multiplier = 1.8;
+  serve.faults.degrade_minutes = 0.5;
+  serve.faults.shed_queue_depth = 8;
+  serve.faults.shed_ttft_deadline_s = 2.0;
+  Scenario original = *ScenarioBuilder(StudyKind::kServe).Serve(serve).Build();
+  Json j = ScenarioToJson(original);
+  std::string error;
+  auto reparsed = Json::Parse(j.Dump());
+  ASSERT_TRUE(reparsed.has_value());
+  auto restored = ScenarioFromJson(*reparsed, &error);
+  ASSERT_TRUE(restored.has_value()) << error;
+  EXPECT_TRUE(*restored == original) << ScenarioToJson(*restored).Dump();
+  // ...but a pre-domain faults block serializes to exactly the pre-domain
+  // keys: none of the new fields emit at their defaults, so every existing
+  // scenario file and report stays byte-identical.
+  ServeKnobs old_style;
+  old_style.faults = ChurnyFaultKnobs();
+  Json old_json = ScenarioToJson(*ScenarioBuilder(StudyKind::kServe).Serve(old_style).Build());
+  std::string dump = old_json.Dump();
+  for (const char* key : {"domain_gpus", "domain_afr", "domain_mttr_hours",
+                          "degrade_afr", "degrade_multiplier", "degrade_minutes",
+                          "shed_queue_depth", "shed_ttft_deadline_s"}) {
+    EXPECT_EQ(dump.find(key), std::string::npos) << key;
+  }
+  EXPECT_FALSE(FaultKnobsAreDefault(serve.faults));
+  // A block that differs from defaults only in a new knob still serializes.
+  FaultKnobs shed_only;
+  shed_only.shed_queue_depth = 4;
+  EXPECT_FALSE(FaultKnobsAreDefault(shed_only));
+}
+
+TEST(Scenario, RobustnessKnobValidationRejectsBadValues) {
+  // Negative retry budget is rejected even under policies that ignore it.
+  FaultKnobs knobs;
+  knobs.retry_budget = -1;
+  EXPECT_NE(ValidateFaultKnobs(knobs, "serve.faults").find("retry_budget"),
+            std::string::npos);
+  // A spare that activates slower than the repair itself never activates:
+  // rejected whenever hot spares are configured.
+  knobs = FaultKnobs{};
+  knobs.hot_spares = 1;
+  knobs.mttr_hours = 0.02;
+  knobs.spare_activation_minutes = 1.2;  // == repair time; must be strictly less
+  EXPECT_NE(ValidateFaultKnobs(knobs, "serve.faults").find("spare_activation_minutes"),
+            std::string::npos);
+  knobs.spare_activation_minutes = 1.1;
+  EXPECT_EQ(ValidateFaultKnobs(knobs, "serve.faults"), "");
+  // Domain churn needs a domain size to map instances onto.
+  knobs = FaultKnobs{};
+  knobs.domain_afr = 100.0;
+  EXPECT_NE(ValidateFaultKnobs(knobs, "serve.faults").find("domain_gpus"),
+            std::string::npos);
+  knobs.domain_gpus = 16.0;
+  EXPECT_EQ(ValidateFaultKnobs(knobs, "serve.faults"), "");
+  // Degradation must slow things down, and must have a window length.
+  knobs = FaultKnobs{};
+  knobs.degrade_multiplier = 0.5;
+  EXPECT_NE(ValidateFaultKnobs(knobs, "serve.faults").find("degrade_multiplier"),
+            std::string::npos);
+  knobs = FaultKnobs{};
+  knobs.degrade_afr = 10.0;
+  knobs.degrade_minutes = 0.5;
+  EXPECT_NE(ValidateFaultKnobs(knobs, "serve.faults").find("degrade_multiplier"),
+            std::string::npos);
+  knobs.degrade_multiplier = 2.0;
+  EXPECT_EQ(ValidateFaultKnobs(knobs, "serve.faults"), "");
+  // Shedding knobs must be non-negative.
+  knobs = FaultKnobs{};
+  knobs.shed_queue_depth = -3;
+  EXPECT_NE(ValidateFaultKnobs(knobs, "serve.faults").find("shed_queue_depth"),
+            std::string::npos);
+  knobs = FaultKnobs{};
+  knobs.shed_ttft_deadline_s = -1.0;
+  EXPECT_NE(ValidateFaultKnobs(knobs, "serve.faults").find("shed_ttft_deadline_s"),
+            std::string::npos);
+  // The new keys parse from JSON and typos are caught.
+  std::string error;
+  auto parsed = Json::Parse(
+      R"({"study": "serve", "serve": {"faults": {"afr": 100, "domain_gpus": 16,
+          "domain_afr": 200, "degrade_afr": 50, "degrade_multiplier": 2,
+          "degrade_minutes": 1, "shed_queue_depth": 8}}})");
+  ASSERT_TRUE(parsed.has_value());
+  auto scenario = ScenarioFromJson(*parsed, &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  EXPECT_DOUBLE_EQ(scenario->serve.faults.domain_gpus, 16.0);
+  EXPECT_EQ(scenario->serve.faults.shed_queue_depth, 8);
+  auto typo = Json::Parse(
+      R"({"study": "serve", "serve": {"faults": {"domain_gpu": 16}}})");
+  ASSERT_TRUE(typo.has_value());
+  EXPECT_FALSE(ScenarioFromJson(*typo, &error).has_value());
+  EXPECT_NE(error.find("domain_gpu"), std::string::npos);
+}
+
 TEST(Scenario, FaultJsonIsStrictWithSuggestions) {
   std::string error;
   auto typo = Json::Parse(

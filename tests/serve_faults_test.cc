@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "src/hw/catalog.h"
@@ -295,6 +298,288 @@ TEST(SimulatorFaults, FaultLogBitIdenticalOnTableAndCallbackPaths) {
     EXPECT_EQ(x.lost_tokens, y.lost_tokens) << i;
     EXPECT_EQ(x.spares_free, y.spares_free) << i;
   }
+}
+
+// --- correlated failure domains ---
+
+ServeFaultConfig DomainFaults(uint64_t scenario_seed) {
+  // Domain outages only: independent per-instance churn off, so every
+  // kFailure in the log carries a domain id.
+  ServeFaultConfig faults;
+  faults.enabled = true;
+  faults.repair_s = 0.5;
+  faults.domains.prefill_instances_per_domain = 2;
+  faults.domains.decode_instances_per_domain = 3;
+  faults.domains.failure_rate_per_s = 0.4;
+  faults.domains.repair_s = 0.6;
+  faults.seed = FaultSubstreamSeed(scenario_seed);
+  return faults;
+}
+
+TEST(SimulatorFaults, DomainFailureKillsExactlyItsLiveMembers) {
+  // Property test over seeds: replaying the fault log with a down-set per
+  // pool, every domain outage must kill exactly the members of its domain
+  // that were up — no outsiders, no double-kills, no survivors.
+  for (uint64_t seed : {1u, 7u, 42u, 1234u, 99991u}) {
+    auto requests = FixedRequests(400, 0.01);
+    ServeClusterConfig config;
+    config.prefill_instances = 5;  // domains of 2 -> last domain has 1 member
+    config.decode_instances = 8;   // domains of 3 -> last domain has 2
+    config.horizon_s = 8.0;
+    config.faults = DomainFaults(seed);
+    ServeMetrics m = RunServeSimulation(requests, config, SimpleCallbacks());
+    ASSERT_FALSE(m.fault_events.empty()) << seed;
+    std::set<int> down[2];
+    int outages = 0;
+    for (size_t i = 0; i < m.fault_events.size();) {
+      const FaultEvent& e = m.fault_events[i];
+      int pool = e.pool == ScalePool::kPrefill ? 0 : 1;
+      if (e.kind != FaultEventKind::kFailure) {
+        if (e.kind == FaultEventKind::kRepair ||
+            e.kind == FaultEventKind::kSpareActivation) {
+          down[pool].erase(e.instance);
+        }
+        ++i;
+        continue;
+      }
+      ASSERT_GE(e.domain, 0) << "independent failure with domain churn only";
+      // Collect the whole outage group: same time, pool, and domain.
+      std::set<int> killed;
+      size_t j = i;
+      while (j < m.fault_events.size() &&
+             m.fault_events[j].kind == FaultEventKind::kFailure &&
+             m.fault_events[j].time_s == e.time_s &&
+             m.fault_events[j].pool == e.pool &&
+             m.fault_events[j].domain == e.domain) {
+        EXPECT_TRUE(killed.insert(m.fault_events[j].instance).second)
+            << "instance killed twice in one outage";
+        ++j;
+      }
+      int per_domain = pool == 0 ? config.faults.domains.prefill_instances_per_domain
+                                 : config.faults.domains.decode_instances_per_domain;
+      int n = pool == 0 ? config.prefill_instances : config.decode_instances;
+      std::set<int> expected;
+      for (int k = e.domain * per_domain;
+           k < std::min(n, (e.domain + 1) * per_domain); ++k) {
+        if (down[pool].count(k) == 0) {
+          expected.insert(k);
+        }
+      }
+      EXPECT_EQ(killed, expected)
+          << "seed " << seed << " outage at t=" << e.time_s << " domain "
+          << e.domain;
+      down[pool].insert(killed.begin(), killed.end());
+      ++outages;
+      i = j;
+    }
+    EXPECT_GT(outages, 0) << seed;
+  }
+}
+
+TEST(SimulatorFaults, ThreeAxisLogsBitIdenticalOnTableAndCallbackPaths) {
+  // Domains + degradation + shedding all on: fault and shed logs must stay
+  // element-wise identical between the dense-table and callback paths.
+  ServeCallbacks cb = SimpleCallbacks();
+  std::vector<double> prefill_s, decode_s;
+  for (int b = 1; b <= cb.max_prefill_batch; ++b) {
+    prefill_s.push_back(cb.prefill_time(b));
+  }
+  for (int b = 1; b <= cb.max_decode_batch; ++b) {
+    decode_s.push_back(cb.decode_step_time(b));
+  }
+  StepTimeTable table(std::move(prefill_s), std::move(decode_s));
+
+  auto requests = FixedRequests(400, 0.005, 32);
+  ServeClusterConfig config;
+  config.prefill_instances = 4;
+  config.decode_instances = 6;
+  config.horizon_s = 5.0;
+  config.faults = ChurnyFaults(FaultRetryPolicy::kRetry);
+  config.faults.domains.prefill_instances_per_domain = 2;
+  config.faults.domains.decode_instances_per_domain = 3;
+  config.faults.domains.failure_rate_per_s = 0.3;
+  config.faults.domains.repair_s = 0.4;
+  config.faults.degraded.prefill_rate_per_s = 0.2;
+  config.faults.degraded.decode_rate_per_s = 0.2;
+  config.faults.degraded.multiplier = 2.0;
+  config.faults.degraded.mean_duration_s = 0.5;
+  config.shedding.max_queue_depth = 8;
+  ServeMetrics a = RunServeSimulation(requests, config, cb);
+  ServeMetrics b = RunServeSimulation(requests, config, table);
+  EXPECT_EQ(a.completed_requests, b.completed_requests);
+  EXPECT_EQ(a.shed_requests, b.shed_requests);
+  EXPECT_EQ(a.output_tokens, b.output_tokens);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.prefill_degraded_instance_s, b.prefill_degraded_instance_s);
+  EXPECT_EQ(a.decode_degraded_instance_s, b.decode_degraded_instance_s);
+  EXPECT_EQ(a.degrade_windows, b.degrade_windows);
+  EXPECT_EQ(a.degraded_output_tokens, b.degraded_output_tokens);
+  EXPECT_EQ(a.largest_outage_time_s, b.largest_outage_time_s);
+  EXPECT_EQ(a.time_to_drain_s, b.time_to_drain_s);
+  ASSERT_EQ(a.fault_events.size(), b.fault_events.size());
+  for (size_t i = 0; i < a.fault_events.size(); ++i) {
+    const FaultEvent& x = a.fault_events[i];
+    const FaultEvent& y = b.fault_events[i];
+    EXPECT_EQ(x.time_s, y.time_s) << i;
+    EXPECT_EQ(x.kind, y.kind) << i;
+    EXPECT_EQ(x.pool, y.pool) << i;
+    EXPECT_EQ(x.instance, y.instance) << i;
+    EXPECT_EQ(x.domain, y.domain) << i;
+    EXPECT_EQ(x.killed_requests, y.killed_requests) << i;
+    EXPECT_EQ(x.lost_tokens, y.lost_tokens) << i;
+    EXPECT_EQ(x.spares_free, y.spares_free) << i;
+  }
+  ASSERT_EQ(a.shed_events.size(), b.shed_events.size());
+  for (size_t i = 0; i < a.shed_events.size(); ++i) {
+    EXPECT_EQ(a.shed_events[i].time_s, b.shed_events[i].time_s) << i;
+    EXPECT_EQ(a.shed_events[i].request, b.shed_events[i].request) << i;
+    EXPECT_EQ(a.shed_events[i].reason, b.shed_events[i].reason) << i;
+  }
+}
+
+// --- degraded states ---
+
+TEST(SimulatorFaults, DegradedStepTimesMatchHandComputedSchedule) {
+  // One request on one decode instance: every step dispatches sequentially,
+  // so the makespan is exactly the sum of per-step durations. Replicate the
+  // engine's degrade stream with a second FaultStreams and hand-compute the
+  // schedule, applying the multiplier to steps dispatched inside a window
+  // (half-open [start, end): the end event fires before a step dispatched
+  // at the same timestamp).
+  constexpr int kTokens = 64;
+  constexpr double kRate = 0.8;
+  constexpr double kMult = 3.0;
+  constexpr double kMean = 0.2;
+  ServeCallbacks cb = SimpleCallbacks();
+  std::vector<Request> requests = FixedRequests(1, 0.0, kTokens);
+  ServeClusterConfig config;
+  config.prefill_instances = 1;
+  config.decode_instances = 1;
+  config.horizon_s = 100.0;
+  config.faults.enabled = true;
+  config.faults.degraded.decode_rate_per_s = kRate;
+  config.faults.degraded.multiplier = kMult;
+  config.faults.degraded.mean_duration_s = kMean;
+  config.faults.seed = FaultSubstreamSeed(42);
+  ServeMetrics m = RunServeSimulation(requests, config, cb);
+  EXPECT_EQ(m.completed_requests, 1);
+
+  FaultStreams replica(config.faults.seed);
+  std::vector<std::pair<double, double>> windows;  // [start, end)
+  double cursor = 0.0;
+  while (cursor < 100.0) {
+    double start = cursor + replica.NextDegradeGap(ScalePool::kDecode, 0, kRate);
+    double duration = replica.NextDegradeDuration(ScalePool::kDecode, 0, kMean);
+    windows.emplace_back(start, start + duration);
+    cursor = start + duration;
+  }
+  auto throttled = [&](double t) {
+    for (const auto& w : windows) {
+      if (w.first <= t && t < w.second) {
+        return true;
+      }
+    }
+    return false;
+  };
+  double t = cb.prefill_time(1);  // prefill dispatched at arrival 0
+  double base = cb.decode_step_time(1);
+  double degraded_tokens = 0.0;
+  for (int k = 0; k < kTokens; ++k) {
+    double step = base;
+    if (throttled(t)) {
+      step *= kMult;
+    }
+    t += step;
+    if (throttled(t)) {  // token counted if degraded at step completion
+      degraded_tokens += 1.0;
+    }
+  }
+  EXPECT_DOUBLE_EQ(m.makespan_s, t);
+  EXPECT_DOUBLE_EQ(m.degraded_output_tokens, degraded_tokens);
+  // Degraded instance-seconds integrate every window whose start falls
+  // inside the admission horizon, busy or idle: starts are horizon-gated
+  // like failure injection, but an entered window always runs its course.
+  double expected_s = 0.0;
+  for (const auto& w : windows) {
+    if (w.first <= config.horizon_s) {
+      expected_s += w.second - w.first;
+    }
+  }
+  EXPECT_DOUBLE_EQ(m.decode_degraded_instance_s, expected_s);
+  EXPECT_DOUBLE_EQ(m.prefill_degraded_instance_s, 0.0);
+  EXPECT_GT(m.degrade_windows, 0);
+}
+
+// --- overload protection ---
+
+TEST(SimulatorShedding, QueueDepthCapConservesRequests) {
+  // A burst far beyond capacity with a tight depth cap: once the run
+  // drains, every admitted request either completed or was shed (no faults,
+  // so nothing drops), and the shed log is time-ordered with one entry per
+  // shed request.
+  auto requests = FixedRequests(500, 0.001);
+  ServeClusterConfig config;
+  config.prefill_instances = 1;
+  config.decode_instances = 1;
+  config.horizon_s = 30.0;
+  config.shedding.max_queue_depth = 16;
+  ServeMetrics m = RunServeSimulation(requests, config, SimpleCallbacks());
+  EXPECT_GT(m.shed_requests, 0);
+  EXPECT_EQ(m.dropped_requests, 0);
+  EXPECT_EQ(m.admitted_requests, m.completed_requests + m.shed_requests);
+  ASSERT_EQ(m.shed_events.size(), static_cast<size_t>(m.shed_requests));
+  for (size_t i = 0; i < m.shed_events.size(); ++i) {
+    EXPECT_EQ(m.shed_events[i].reason, ShedReason::kQueueDepth) << i;
+    if (i > 0) {
+      EXPECT_GE(m.shed_events[i].time_s, m.shed_events[i - 1].time_s);
+    }
+  }
+  // Shedding with faults on still conserves: admitted = completed +
+  // dropped + shed.
+  ServeClusterConfig faulty = config;
+  faulty.faults = ChurnyFaults(FaultRetryPolicy::kDrop);
+  ServeMetrics fm = RunServeSimulation(requests, faulty, SimpleCallbacks());
+  EXPECT_GT(fm.shed_requests, 0);
+  EXPECT_EQ(fm.admitted_requests,
+            fm.completed_requests + fm.dropped_requests + fm.shed_requests);
+}
+
+TEST(SimulatorShedding, TtftDeadlineBelowOnePassShedsEverything) {
+  // The TTFT estimate is at least one full-batch prefill pass, so a
+  // deadline below that sheds every arrival with the deadline reason.
+  ServeCallbacks cb = SimpleCallbacks();
+  auto requests = FixedRequests(50, 0.01);
+  ServeClusterConfig config;
+  config.prefill_instances = 2;
+  config.decode_instances = 2;
+  config.horizon_s = 10.0;
+  config.shedding.ttft_deadline_s = 0.5 * cb.prefill_time(cb.max_prefill_batch);
+  ServeMetrics m = RunServeSimulation(requests, config, cb);
+  EXPECT_EQ(m.shed_requests, 50);
+  EXPECT_EQ(m.completed_requests, 0);
+  for (const ShedEvent& e : m.shed_events) {
+    EXPECT_EQ(e.reason, ShedReason::kDeadline);
+  }
+}
+
+TEST(SimulatorShedding, DisabledSheddingMatchesBaseline) {
+  // The shedding checks must cost nothing when off: metrics are identical
+  // to a pre-shedding run of the same config.
+  auto requests = FixedRequests(300, 0.002);
+  ServeClusterConfig config;
+  config.prefill_instances = 2;
+  config.decode_instances = 2;
+  config.horizon_s = 10.0;
+  ServeMetrics off = RunServeSimulation(requests, config, SimpleCallbacks());
+  EXPECT_EQ(off.shed_requests, 0);
+  EXPECT_TRUE(off.shed_events.empty());
+  ServeClusterConfig loose = config;
+  loose.shedding.max_queue_depth = 1 << 30;  // enabled but never trips
+  ServeMetrics on = RunServeSimulation(requests, loose, SimpleCallbacks());
+  EXPECT_EQ(on.shed_requests, 0);
+  EXPECT_EQ(off.makespan_s, on.makespan_s);
+  EXPECT_EQ(off.output_tokens, on.output_tokens);
+  EXPECT_EQ(off.completed_requests, on.completed_requests);
 }
 
 TEST(SimulatorFaults, RerunsAreDeterministic) {

@@ -116,9 +116,25 @@ for field in $(extract_fields src/serve/faults.h "FaultEvent"); do
   grep -q "\`$field\`" "$REPORTS_DOC" ||
     err "fault event field '$field' (src/serve/faults.h) is not documented in $REPORTS_DOC"
 done
-for field in $(extract_fields src/core/runner.h "ServeFaultReport|ServeFaultPoolReport"); do
+for field in $(extract_fields src/core/runner.h "ServeFaultReport|ServeFaultPoolReport|ServeFaultDomainReport"); do
   grep -q "\`$field\`" "$REPORTS_DOC" ||
     err "fault report field '$field' (src/core/runner.h) is not documented in $REPORTS_DOC"
+done
+# Shed rows fill the report's "shed_events" array — same rule.
+for field in $(extract_fields src/serve/faults.h "ShedEvent"); do
+  grep -q "\`$field\`" "$REPORTS_DOC" ||
+    err "shed event field '$field' (src/serve/faults.h) is not documented in $REPORTS_DOC"
+done
+
+# --- the robustness-axis engine structs are documented ---
+# FaultDomainConfig / DegradedStateConfig / SheddingPolicy are the resolved
+# three-axis configuration the scenario knobs compile into; the architecture
+# notes must name them (same contract as the simulator-core identifiers).
+for ident in FaultDomainConfig DegradedStateConfig SheddingPolicy ShedEvent; do
+  grep -rq "$ident" src/serve/faults.h ||
+    err "robustness identifier '$ident' vanished from src/serve/faults.h — update check_docs.sh"
+  grep -q "\`[^\`]*$ident" docs/architecture.md ||
+    err "robustness identifier '$ident' is not documented in docs/architecture.md"
 done
 
 # --- the simulator-core architecture notes track the fast core ---
