@@ -34,6 +34,11 @@
 //   8. The checked-in 19-point load grid (10%..100%, 30 s horizon), each
 //      point run on both cores: summed reference wall vs summed new wall,
 //      exact per-point identity, speedup > 1 gated, target >= 2x.
+//   9. A fleet-compare catalog where candidates share resolved parts: the
+//      study must build exactly one ServePlatform (search + StepTimeTable)
+//      per distinct (model, GPU) pair — `platform_builds` equals the
+//      distinct part count, gated — and a candidate that only widens the
+//      pool must see exactly proportional analytic capacity.
 //
 // `--json` emits one JSON object (CI tees it into BENCH_serve_scale.json)
 // and the exit code gates regressions: nonzero when any speedup gate is
@@ -479,11 +484,59 @@ int main(int argc, char** argv) {
                          MetricsIdentical(chaos_old, chaos_fast) &&
                          MetricsIdentical(chaos_ref, chaos_fast);
 
+  // --- 10. fleet-compare catalog: one platform build per distinct part ----
+  // Four candidates over two distinct resolved parts: the H100 base and its
+  // split-4 Lite derivative, each with 1- and 2-instance decode pools. The
+  // fleet study must amortize the expensive part of the sweep — the config
+  // search plus the StepTimeTable build — across candidates that share a
+  // part (platform_builds == 2, not 4), and a candidate that only widens
+  // the pool must see exactly 2x the analytic decode capacity.
+  FleetKnobs fleet_knobs;
+  fleet_knobs.load_lo = 0.25;
+  fleet_knobs.load_hi = 1.0;
+  fleet_knobs.load_step = 0.25;
+  fleet_knobs.horizon_s = 15.0;
+  auto fleet_candidate = [](const char* name, int split, int decode_instances) {
+    FleetCandidate c;
+    c.name = name;
+    c.split = split;
+    c.decode_instances = decode_instances;
+    return c;
+  };
+  fleet_knobs.candidates = {
+      fleet_candidate("H100-pool1", 1, 1), fleet_candidate("H100-pool2", 1, 2),
+      fleet_candidate("Lite4-pool1", 4, 1), fleet_candidate("Lite4-pool2", 4, 2)};
+  Scenario fleet_scenario =
+      *ScenarioBuilder(StudyKind::kFleetCompare).Fleet(fleet_knobs).Build();
+  t0 = std::chrono::steady_clock::now();
+  RunReport fleet_run = Runner().Run(fleet_scenario);
+  double fleet_s = SecondsSince(t0);
+  int fleet_platform_builds = 0;
+  int fleet_feasible = 0;
+  bool fleet_shared_builds = false;
+  bool fleet_capacity_scales = false;
+  if (fleet_run.ok) {
+    const auto& fleet = std::get<FleetCompareReport>(fleet_run.payload);
+    fleet_platform_builds = fleet.platform_builds;
+    for (const FleetCompareReport::Candidate& c : fleet.candidates) {
+      if (c.feasible) ++fleet_feasible;
+    }
+    fleet_shared_builds = fleet.platform_builds == 2;
+    fleet_capacity_scales =
+        fleet.candidates.size() == 4 &&
+        fleet.candidates[1].analytic_capacity_tok_s ==
+            2.0 * fleet.candidates[0].analytic_capacity_tok_s &&
+        fleet.candidates[3].analytic_capacity_tok_s ==
+            2.0 * fleet.candidates[2].analytic_capacity_tok_s;
+  }
+  bool fleet_ok = fleet_run.ok && fleet_feasible == 4 && fleet_shared_builds &&
+                  fleet_capacity_scales;
+
   bool pass = inner_speedup > 1.0 && identical && autoscale_identical &&
               fault_identical && zero_afr_within_budget && sweep_report.ok &&
               reference_identical && million_identical && million_speedup > 1.0 &&
               shard_sane && grid_identical && grid_speedup > 1.0 &&
-              axes_off_zeroed && chaos_identical;
+              axes_off_zeroed && chaos_identical && fleet_ok;
 
   if (json) {
     Json inner = Json::Object();
@@ -552,6 +605,14 @@ int main(int argc, char** argv) {
         .Set("degrade_windows", chaos_fast.degrade_windows)
         .Set("axes_off_zeroed", axes_off_zeroed)
         .Set("correlated_logs_identical", chaos_identical);
+    Json fleet_json = Json::Object();
+    fleet_json.Set("candidates", static_cast<int>(fleet_knobs.candidates.size()))
+        .Set("distinct_parts", 2)
+        .Set("platform_builds", fleet_platform_builds)
+        .Set("feasible", fleet_feasible)
+        .Set("shared_builds", fleet_shared_builds)
+        .Set("capacity_scales_with_pool", fleet_capacity_scales)
+        .Set("wall_s", fleet_s);
     Json sweep_core = Json::Object();
     sweep_core.Set("points", grid_points)
         .Set("reference_core_s", grid_ref_s)
@@ -569,6 +630,7 @@ int main(int argc, char** argv) {
         .Set("workload_gen", std::move(workload_gen))
         .Set("million_point", std::move(million))
         .Set("robustness", std::move(robustness))
+        .Set("fleet", std::move(fleet_json))
         .Set("sweep_core", std::move(sweep_core))
         .Set("pass", pass);
     std::printf("%s\n", j.Dump().c_str());
@@ -617,6 +679,12 @@ int main(int argc, char** argv) {
                 chaos_fast.fault_events.size(), chaos_fast.shed_requests,
                 chaos_fast.degrade_windows, axes_off_zeroed ? "OK" : "FAILED",
                 chaos_identical ? "OK" : "FAILED");
+    std::printf("fleet-compare catalog (%zu candidates over 2 distinct parts): %.3f s wall\n"
+                "  platform builds: %d (expect 2): %s   feasible: %d/4   "
+                "pool capacity scaling: %s\n\n",
+                fleet_knobs.candidates.size(), fleet_s, fleet_platform_builds,
+                fleet_shared_builds ? "OK" : "FAILED", fleet_feasible,
+                fleet_capacity_scales ? "OK" : "FAILED");
     std::printf("19-point load grid, reference vs new core:\n"
                 "  reference: %.3f s   new: %.3f s   speedup: %.2fx (target 2x)   "
                 "identity: %s\n",

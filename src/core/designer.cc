@@ -22,15 +22,8 @@ ClusterDesignReport DesignCluster(const GpuSpec& gpu, const DesignInputs& inputs
   report.tokens_per_s_per_sm = search.best.result.tokens_per_s_per_sm;
 
   // --- economics ---
-  GpuBillOfMaterials bom;
-  bom.die_area_mm2 = gpu.die_area_mm2;
-  bom.dies_per_package = gpu.dies_per_package;
-  bom.hbm_gb = gpu.mem_capacity_bytes / kGB;
-  bom.packaging.hbm_usd_per_gb = inputs.hbm_usd_per_gb;
-  // Single small dies skip advanced packaging (Section 2).
-  bom.packaging.advanced = gpu.die_area_mm2 / gpu.dies_per_package > 400.0;
-  double per_gpu_cost = PackagedGpuCost(inputs.wafer, inputs.yield_model, inputs.defects, bom) *
-                        inputs.gpu_price_multiplier;
+  double per_gpu_cost = PricedGpuUsd(inputs.wafer, inputs.yield_model, inputs.defects, gpu,
+                                     inputs.hbm_usd_per_gb, inputs.gpu_price_multiplier);
   report.gpu_capex_usd = per_gpu_cost * report.tp_degree;
 
   FabricRequirements fabric;

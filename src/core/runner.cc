@@ -10,7 +10,9 @@
 #include "src/perf/model.h"
 #include "src/perf/step_table.h"
 #include "src/reliability/failure_model.h"
+#include "src/power/cluster_energy.h"
 #include "src/sched/pools.h"
+#include "src/serve/knee.h"
 #include "src/serve/simulator.h"
 #include "src/serve/workload.h"
 #include "src/silicon/cost.h"
@@ -154,17 +156,18 @@ struct ServePlatform {
   GpuSpec gpu;
 };
 
-ServePlatform BuildServePlatform(const std::string& model_name, const std::string& gpu_name,
+// Spec-accepting overload: fleet candidates derive parts that are not in
+// the catalog, so the platform builder takes the resolved GpuSpec directly;
+// the name-based wrapper below keeps the serve/sweep call sites unchanged.
+ServePlatform BuildServePlatform(const TransformerSpec& model, const GpuSpec& gpu,
                                  const SearchOptions& options) {
   ServePlatform platform;
-  TransformerSpec model = *FindModel(model_name);
-  GpuSpec gpu = *FindGpu(gpu_name);
   platform.gpu = gpu;
   PrefillSearchResult prefill = SearchPrefill(model, gpu, options);
   DecodeSearchResult decode = SearchDecode(model, gpu, options);
   if (!prefill.found || !decode.found) {
     platform.error = "no feasible " + std::string(!prefill.found ? "prefill" : "decode") +
-                     " configuration for " + model_name + " on " + gpu_name +
+                     " configuration for " + model.name + " on " + gpu.name +
                      " under the scenario's SLOs";
     return platform;
   }
@@ -186,6 +189,11 @@ ServePlatform BuildServePlatform(const std::string& model_name, const std::strin
                                         platform.prefill_batch, platform.decode_batch);
   platform.ok = true;
   return platform;
+}
+
+ServePlatform BuildServePlatform(const std::string& model_name, const std::string& gpu_name,
+                                 const SearchOptions& options) {
+  return BuildServePlatform(*FindModel(model_name), *FindGpu(gpu_name), options);
 }
 
 // The class-weighted mean prompt/output lengths a serve study plans
@@ -876,36 +884,27 @@ ServeSweepReport RunServeSweepStudy(const Scenario& s, std::string* error) {
         return p;
       });
 
-  for (size_t i = 0; i < out.points.size(); ++i) {
-    const auto& p = out.points[i];
-    if (p.slo_ok && (out.knee_index < 0 ||
-                     p.arrival_rate_per_s >
-                         out.points[static_cast<size_t>(out.knee_index)].arrival_rate_per_s)) {
-      out.knee_index = static_cast<int>(i);
-    }
+  // Knee + (autoscaled) cheapest selection via the shared helper, so the
+  // sweep report and the fleet-compare study pick by the same rule.
+  std::vector<KneePoint> knee_view;
+  knee_view.reserve(out.points.size());
+  for (const auto& p : out.points) {
+    KneePoint kp;
+    kp.arrival_rate_per_s = p.arrival_rate_per_s;
+    kp.load = p.load;
+    kp.slo_ok = p.slo_ok;
+    kp.goodput_tokens_per_s = p.goodput_tokens_per_s;
+    kp.makespan_s = p.makespan_s;
+    kp.gpu_hours = p.scale.gpu_hours;
+    knee_view.push_back(kp);
   }
-  if (out.knee_index >= 0) {
-    const auto& knee = out.points[static_cast<size_t>(out.knee_index)];
-    out.knee_load = knee.load;
-    out.knee_goodput_tokens_per_s = knee.goodput_tokens_per_s;
-  }
-  if (s.sweep.autoscaler.enabled()) {
-    // With elastic pools the knee generalizes to cost: among SLO-meeting
-    // points, the one serving the most tokens per GPU-hour is the cheapest
-    // policy operating point over the horizon.
-    for (size_t i = 0; i < out.points.size(); ++i) {
-      const auto& p = out.points[i];
-      if (!p.slo_ok || p.scale.gpu_hours <= 0.0) {
-        continue;
-      }
-      double tokens_per_gpu_hour =
-          p.goodput_tokens_per_s * p.makespan_s / p.scale.gpu_hours;
-      if (out.cheapest_index < 0 || tokens_per_gpu_hour > out.cheapest_tokens_per_gpu_hour) {
-        out.cheapest_index = static_cast<int>(i);
-        out.cheapest_tokens_per_gpu_hour = tokens_per_gpu_hour;
-      }
-    }
-  }
+  KneeSelection selection =
+      SelectKneeAndCheapest(knee_view, s.sweep.autoscaler.enabled());
+  out.knee_index = selection.knee_index;
+  out.knee_load = selection.knee_load;
+  out.knee_goodput_tokens_per_s = selection.knee_goodput_tokens_per_s;
+  out.cheapest_index = selection.cheapest_index;
+  out.cheapest_tokens_per_gpu_hour = selection.cheapest_tokens_per_gpu_hour;
   return out;
 }
 
@@ -918,6 +917,200 @@ DeriveStudyReport RunDeriveStudy(const Scenario& s) {
   options.overclock = s.derive.overclock;
   options.max_gpus_multiplier = s.derive.split;
   out.result = DeriveLite(*FindGpu(s.derive.base_gpu), options);
+  return out;
+}
+
+// A candidate's sweep-stream base: the study seed mixed with an FNV-1a
+// hash of the candidate's (unique) name. Name-derived, not index-derived,
+// so reordering the catalog leaves every candidate's points bit-identical
+// — the Pareto set cannot depend on catalog order.
+uint64_t FleetCandidateSeed(uint64_t study_seed, const std::string& name) {
+  uint64_t h = 1469598103934665603ull;
+  for (char ch : name) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ull;
+  }
+  return SplitMix64(study_seed ^ h).Next();
+}
+
+// The candidate's resolved part: the catalog base as-is, or the DeriveLite
+// derivation the candidate's split/multipliers describe (the derive
+// study's exact recipe, max cluster size scaling with the split).
+GpuSpec ResolveFleetGpu(const FleetCandidate& c) {
+  GpuSpec base = *FindGpu(c.gpu);
+  if (c.split <= 1 && c.mem_bw_multiplier == 1.0 && c.net_bw_multiplier == 1.0 &&
+      c.overclock == 1.0) {
+    return base;
+  }
+  LiteDeriveOptions options;
+  options.split = c.split;
+  options.mem_bw_multiplier = c.mem_bw_multiplier;
+  options.net_bw_multiplier = c.net_bw_multiplier;
+  options.overclock = c.overclock;
+  options.max_gpus_multiplier = c.split;
+  return DeriveLite(base, options).gpu;
+}
+
+// Runs the fleet-compare study: one serve sweep per candidate on the
+// shared load grid (candidates sharing a resolved part share one platform
+// build), each knee joined with the silicon-cost and cluster-power models,
+// then the Pareto frontier over ($/Mtok, J/token, goodput). Candidates run
+// serially; each sweep fans its points with the serve-sweep determinism
+// contract, so the report is bit-identical at any thread count.
+FleetCompareReport RunFleetCompareStudy(const Scenario& s) {
+  FleetCompareReport out;
+  out.model = s.ResolvedModels().front();
+  out.knobs = s.fleet;
+  out.ttft_slo_s = s.workload.ttft_slo_s;
+  out.tbt_slo_s = s.workload.tbt_slo_s;
+
+  const TransformerSpec model = *FindModel(out.model);
+  const std::vector<double> grid = s.fleet.GridPoints();
+  const WaferSpec wafer;
+  const DefectSpec defects;
+  const double depreciation_hours = s.fleet.depreciation_months * 730.0;
+
+  // Candidates naming the same resolved part share one search + step-time
+  // table; the report counts the builds so tests and the bench can gate
+  // the sharing.
+  std::map<std::string, ServePlatform> platforms;
+
+  for (const FleetCandidate& c : s.fleet.candidates) {
+    FleetCompareReport::Candidate row;
+    row.name = c.name;
+    row.base_gpu = c.gpu;
+    row.split = c.split;
+    row.seed = FleetCandidateSeed(s.fleet.seed, c.name);
+
+    GpuSpec gpu = ResolveFleetGpu(c);
+    row.gpu = gpu.name;
+    auto it = platforms.find(gpu.name);
+    if (it == platforms.end()) {
+      it = platforms
+               .emplace(gpu.name, BuildServePlatform(model, gpu, s.MakeSearchOptions()))
+               .first;
+      ++out.platform_builds;
+    }
+    const ServePlatform& platform = it->second;
+    if (!platform.ok) {
+      row.error = platform.error;
+      out.candidates.push_back(std::move(row));
+      continue;
+    }
+    row.prefill_tp = platform.prefill_tp;
+    row.decode_tp = platform.decode_tp;
+    row.decode_capacity_tok_s = platform.decode_capacity_tok_s;
+
+    // The candidate's sweep shape: stationary single-class Poisson with
+    // fixed pools — the study compares hardware, not traffic.
+    ServeCommonKnobs common;
+    common.horizon_s = s.fleet.horizon_s;
+    common.prefill_instances = c.prefill_instances;
+    common.decode_instances = c.decode_instances;
+    common.prompt_sigma = s.fleet.prompt_sigma;
+    common.output_sigma = s.fleet.output_sigma;
+    common.seed = row.seed;
+
+    std::vector<uint64_t> seeds;
+    seeds.reserve(grid.size());
+    SplitMix64 seed_stream(row.seed);
+    for (size_t i = 0; i < grid.size(); ++i) {
+      // Masked to 53 bits like the sweep's, so `litegpu serve --seed
+      // <reported>` reproduces any point exactly.
+      seeds.push_back(seed_stream.Next() & ((uint64_t{1} << 53) - 1));
+    }
+    double pool_capacity_tok_s = platform.decode_capacity_tok_s * c.decode_instances;
+    double mean_output_tokens = static_cast<double>(s.workload.output_tokens);
+    std::vector<ServeSweepReport::Point> points =
+        ParallelMap<ServeSweepReport::Point>(
+            s.exec.threads, static_cast<int>(grid.size()), [&](int i) {
+              double load = grid[static_cast<size_t>(i)];
+              double rate = load * pool_capacity_tok_s / mean_output_tokens;
+              ServeSweepReport::Point p = SimulateServePoint(
+                  platform, s, common, rate, seeds[static_cast<size_t>(i)]);
+              p.load = load;
+              return p;
+            });
+
+    std::vector<KneePoint> view;
+    view.reserve(points.size());
+    for (const auto& p : points) {
+      KneePoint kp;
+      kp.arrival_rate_per_s = p.arrival_rate_per_s;
+      kp.load = p.load;
+      kp.slo_ok = p.slo_ok;
+      kp.goodput_tokens_per_s = p.goodput_tokens_per_s;
+      kp.makespan_s = p.makespan_s;
+      view.push_back(kp);
+    }
+    KneeSelection selection = SelectKneeAndCheapest(view, /*autoscaled=*/false);
+    if (selection.knee_index < 0) {
+      row.error = "no grid point meets the SLOs";
+      out.candidates.push_back(std::move(row));
+      continue;
+    }
+    const ServeSweepReport::Point& knee =
+        points[static_cast<size_t>(selection.knee_index)];
+    row.feasible = true;
+    row.knee_index = selection.knee_index;
+    row.knee_load = knee.load;
+    row.knee_arrival_rate_per_s = knee.arrival_rate_per_s;
+    row.knee_goodput_tokens_per_s = knee.goodput_tokens_per_s;
+    row.knee_total_gpus = knee.total_gpus;
+    row.analytic_capacity_tok_s = pool_capacity_tok_s;
+
+    // The economics join: price the knee pool's silicon, amortize it, add
+    // the knee pool's power priced at the grid rate.
+    row.gpu_price_usd = PricedGpuUsd(wafer, YieldModel::kMurphy, defects, gpu,
+                                     s.fleet.hbm_usd_per_gb, s.fleet.gpu_price_multiplier);
+    row.capex_usd = row.gpu_price_usd * knee.total_gpus;
+    row.capex_usd_per_hour = row.capex_usd / depreciation_hours;
+    FleetEnergyReport energy = FleetEnergyAtKnee(
+        gpu, knee.total_gpus, s.fleet.gpu_utilization, knee.goodput_tokens_per_s,
+        s.fleet.electricity_usd_per_kwh);
+    row.power_watts = energy.power.TotalWatts();
+    row.opex_usd_per_hour = energy.opex_usd_per_hour;
+    row.joules_per_token = energy.joules_per_token;
+    row.usd_per_mtoken = UsdPerMtokenAtKnee(row.capex_usd_per_hour,
+                                            row.opex_usd_per_hour,
+                                            knee.goodput_tokens_per_s);
+    out.candidates.push_back(std::move(row));
+  }
+
+  // Pareto frontier among feasible candidates: i is dominated when some j
+  // is no worse on all of ($/Mtok, J/token, goodput) and strictly better
+  // on at least one. Identical candidates co-exist on the frontier.
+  for (size_t i = 0; i < out.candidates.size(); ++i) {
+    const auto& a = out.candidates[i];
+    if (!a.feasible) {
+      continue;
+    }
+    bool dominated = false;
+    for (size_t j = 0; j < out.candidates.size() && !dominated; ++j) {
+      const auto& b = out.candidates[j];
+      if (i == j || !b.feasible) {
+        continue;
+      }
+      bool no_worse = b.usd_per_mtoken <= a.usd_per_mtoken &&
+                      b.joules_per_token <= a.joules_per_token &&
+                      b.knee_goodput_tokens_per_s >= a.knee_goodput_tokens_per_s;
+      bool strictly_better = b.usd_per_mtoken < a.usd_per_mtoken ||
+                             b.joules_per_token < a.joules_per_token ||
+                             b.knee_goodput_tokens_per_s > a.knee_goodput_tokens_per_s;
+      dominated = no_worse && strictly_better;
+    }
+    if (!dominated) {
+      out.candidates[i].on_frontier = true;
+      out.frontier.push_back(static_cast<int>(i));
+    }
+  }
+  for (int idx : out.frontier) {
+    if (out.winner_index < 0 ||
+        out.candidates[static_cast<size_t>(idx)].usd_per_mtoken <
+            out.candidates[static_cast<size_t>(out.winner_index)].usd_per_mtoken) {
+      out.winner_index = idx;
+    }
+  }
   return out;
 }
 
@@ -976,6 +1169,11 @@ RunReport Runner::Run(const Scenario& scenario) const {
       report.payload = std::move(sweep);
       break;
     }
+    case StudyKind::kFleetCompare:
+      // Per-candidate failures become infeasible rows, not study errors —
+      // one broken derivation must not hide the rest of the catalog.
+      report.payload = RunFleetCompareStudy(s);
+      break;
   }
   return report;
 }
@@ -1643,6 +1841,105 @@ Json ServeSweepToJson(const ServeSweepReport& r) {
   return j;
 }
 
+std::string FleetCompareToText(const FleetCompareReport& r) {
+  std::ostringstream os;
+  os << "Fleet compare: " << r.model << " — " << r.candidates.size()
+     << " candidates, " << r.knobs.GridPoints().size() << " load points over "
+     << HumanTime(r.knobs.horizon_s) << " horizon\n"
+     << "  SLOs: TTFT p99 <= " << HumanTime(r.ttft_slo_s) << ", TBT p99 <= "
+     << HumanTime(r.tbt_slo_s) << "\n"
+     << "  economics: " << FormatDouble(r.knobs.depreciation_months, 0)
+     << "-month depreciation, $" << FormatDouble(r.knobs.electricity_usd_per_kwh, 2)
+     << "/kWh, " << HumanPercent(r.knobs.gpu_utilization, 0) << " utilization\n";
+  Table table({"Candidate", "GPU", "Knee load", "Req/s", "Goodput tok/s", "GPUs",
+               "Capex $/h", "Opex $/h", "$ / Mtok", "J/token", "Frontier"});
+  for (const auto& c : r.candidates) {
+    if (!c.feasible) {
+      table.AddRow({c.name, c.gpu, "-", "-", "-", "-", "-", "-", "-", "-",
+                    "infeasible"});
+      continue;
+    }
+    table.AddRow({c.name, c.gpu, HumanPercent(c.knee_load, 0),
+                  FormatDouble(c.knee_arrival_rate_per_s, 2),
+                  FormatDouble(c.knee_goodput_tokens_per_s, 0),
+                  std::to_string(c.knee_total_gpus),
+                  FormatDouble(c.capex_usd_per_hour, 2),
+                  FormatDouble(c.opex_usd_per_hour, 2),
+                  FormatDouble(c.usd_per_mtoken, 3),
+                  FormatDouble(c.joules_per_token, 2),
+                  c.on_frontier ? "yes" : "-"});
+  }
+  os << table.ToText();
+  if (r.winner_index >= 0) {
+    const auto& w = r.candidates[static_cast<size_t>(r.winner_index)];
+    os << "winner: " << w.name << " ($" << FormatDouble(w.usd_per_mtoken, 3)
+       << "/Mtok at the knee) — cheapest frontier candidate\n";
+  } else {
+    os << "winner: none (no candidate meets the SLOs)\n";
+  }
+  for (const auto& c : r.candidates) {
+    if (!c.feasible) {
+      os << "  " << c.name << ": " << c.error << "\n";
+    }
+  }
+  return os.str();
+}
+
+Json FleetCompareToJson(const FleetCompareReport& r) {
+  Json slo = Json::Object();
+  slo.Set("ttft_p99_s", r.ttft_slo_s).Set("tbt_p99_s", r.tbt_slo_s);
+  Json candidates = Json::Array();
+  for (const auto& c : r.candidates) {
+    Json row = Json::Object();
+    row.Set("name", c.name)
+        .Set("gpu", c.gpu)
+        .Set("base_gpu", c.base_gpu)
+        .Set("split", c.split)
+        .Set("seed", c.seed)
+        .Set("feasible", c.feasible);
+    if (!c.feasible) {
+      row.Set("error", c.error);
+      candidates.Append(std::move(row));
+      continue;
+    }
+    Json knee = Json::Object();
+    knee.Set("index", c.knee_index)
+        .Set("load", c.knee_load)
+        .Set("arrival_rate_per_s", c.knee_arrival_rate_per_s)
+        .Set("goodput_tokens_per_s", c.knee_goodput_tokens_per_s)
+        .Set("total_gpus", c.knee_total_gpus)
+        .Set("analytic_capacity_tokens_per_s", c.analytic_capacity_tok_s);
+    Json economics = Json::Object();
+    economics.Set("gpu_price_usd", c.gpu_price_usd)
+        .Set("capex_usd", c.capex_usd)
+        .Set("capex_usd_per_hour", c.capex_usd_per_hour)
+        .Set("power_watts", c.power_watts)
+        .Set("opex_usd_per_hour", c.opex_usd_per_hour)
+        .Set("usd_per_mtoken", c.usd_per_mtoken)
+        .Set("joules_per_token", c.joules_per_token);
+    row.Set("prefill_tp", c.prefill_tp)
+        .Set("decode_tp", c.decode_tp)
+        .Set("decode_capacity_tokens_per_s", c.decode_capacity_tok_s)
+        .Set("knee", std::move(knee))
+        .Set("economics", std::move(economics))
+        .Set("on_frontier", c.on_frontier);
+    candidates.Append(std::move(row));
+  }
+  Json frontier = Json::Array();
+  for (int idx : r.frontier) {
+    frontier.Append(idx);
+  }
+  Json j = Json::Object();
+  j.Set("model", r.model)
+      .Set("config", FleetKnobsToJson(r.knobs))
+      .Set("slo", std::move(slo))
+      .Set("candidates", std::move(candidates))
+      .Set("frontier", std::move(frontier))
+      .Set("winner_index", r.winner_index)
+      .Set("platform_builds", r.platform_builds);
+  return j;
+}
+
 }  // namespace
 
 std::string RunReport::ToText() const {
@@ -1682,6 +1979,9 @@ std::string RunReport::ToText() const {
     case StudyKind::kServeSweep:
       os << ServeSweepToText(std::get<ServeSweepReport>(payload));
       break;
+    case StudyKind::kFleetCompare:
+      os << FleetCompareToText(std::get<FleetCompareReport>(payload));
+      break;
   }
   return os.str();
 }
@@ -1720,6 +2020,9 @@ Json RunReport::ToJson() const {
       break;
     case StudyKind::kServeSweep:
       j.Set("report", ServeSweepToJson(std::get<ServeSweepReport>(payload)));
+      break;
+    case StudyKind::kFleetCompare:
+      j.Set("report", FleetCompareToJson(std::get<FleetCompareReport>(payload)));
       break;
   }
   return j;

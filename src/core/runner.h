@@ -310,6 +310,64 @@ struct ServeSweepReport {
   double cheapest_tokens_per_gpu_hour = 0.0;
 };
 
+// Fleet-compare study: one serve sweep per catalog candidate on the shared
+// load grid, each knee joined with the silicon cost and cluster power
+// models into $/Mtoken-at-SLO and joules/token — the paper's headline
+// knee-vs-knee economics as one report. Candidates run in catalog order
+// with name-derived RNG streams, so reordering the catalog (or changing
+// the thread count) never changes a candidate's numbers.
+struct FleetCompareReport {
+  std::string model;
+  FleetKnobs knobs;
+  // The SLOs every candidate's knee is judged against.
+  double ttft_slo_s = 0.0;
+  double tbt_slo_s = 0.0;
+
+  struct Candidate {
+    std::string name;      // catalog label (also seeds the RNG stream)
+    std::string gpu;       // resolved part name (derived parts record the recipe)
+    std::string base_gpu;  // catalog base part
+    int split = 1;
+    uint64_t seed = 0;  // this candidate's derived sweep stream
+    // Feasible = a searched config exists AND some grid point met the SLOs.
+    bool feasible = false;
+    std::string error;  // why infeasible ("" when feasible)
+    // Searched per-instance config.
+    int prefill_tp = 0;
+    int decode_tp = 0;
+    double decode_capacity_tok_s = 0.0;  // per instance
+    // Knee operating point (valid only when feasible).
+    int knee_index = -1;
+    double knee_load = 0.0;
+    double knee_arrival_rate_per_s = 0.0;
+    double knee_goodput_tokens_per_s = 0.0;
+    int knee_total_gpus = 0;
+    // Analytic decode capacity of the knee's pool — the differential-test
+    // anchor the simulated knee goodput is checked against.
+    double analytic_capacity_tok_s = 0.0;
+    // Economics at the knee (valid only when feasible).
+    double gpu_price_usd = 0.0;       // one packaged, street-priced GPU
+    double capex_usd = 0.0;           // knee_total_gpus x gpu_price_usd
+    double capex_usd_per_hour = 0.0;  // capex / depreciation hours
+    double power_watts = 0.0;         // knee pool cluster power (GPU+net+cooling)
+    double opex_usd_per_hour = 0.0;   // power priced at the grid rate
+    double joules_per_token = 0.0;
+    double usd_per_mtoken = 0.0;
+    bool on_frontier = false;
+  };
+  std::vector<Candidate> candidates;  // catalog order
+
+  // Non-dominated feasible candidates over (usd_per_mtoken min,
+  // joules_per_token min, knee goodput max), as indices in catalog order.
+  std::vector<int> frontier;
+  // Frontier member with the lowest $/Mtoken (-1 when nothing is feasible).
+  int winner_index = -1;
+  // Distinct (model, resolved GPU) serve platforms actually built —
+  // candidates sharing a part share one search + step-time table, and the
+  // bench gates on this staying equal to the distinct-part count.
+  int platform_builds = 0;
+};
+
 // --- the uniform result -----------------------------------------------------
 
 struct RunReport {
@@ -322,7 +380,7 @@ struct RunReport {
   // ok (monostate otherwise).
   std::variant<std::monostate, SearchStudyReport, Fig3StudyReport, DesignStudyReport,
                McSimStudyReport, YieldStudyReport, DeriveStudyReport, ServeStudyReport,
-               ServeSweepReport>
+               ServeSweepReport, FleetCompareReport>
       payload;
 
   // Human-readable rendering (the paper-style tables the CLI prints).

@@ -28,6 +28,8 @@ std::string ToString(StudyKind kind) {
       return "serve";
     case StudyKind::kServeSweep:
       return "serve-sweep";
+    case StudyKind::kFleetCompare:
+      return "fleet-compare";
   }
   return "unknown";
 }
@@ -35,7 +37,8 @@ std::string ToString(StudyKind kind) {
 std::optional<StudyKind> ParseStudyKind(const std::string& name) {
   for (StudyKind kind : {StudyKind::kSearch, StudyKind::kFig3a, StudyKind::kFig3b,
                          StudyKind::kDesign, StudyKind::kMcSim, StudyKind::kYield,
-                         StudyKind::kDerive, StudyKind::kServe, StudyKind::kServeSweep}) {
+                         StudyKind::kDerive, StudyKind::kServe, StudyKind::kServeSweep,
+                         StudyKind::kFleetCompare}) {
     if (name == ToString(kind)) {
       return kind;
     }
@@ -104,7 +107,8 @@ std::optional<YieldModel> ParseYieldModel(const std::string& name) {
 bool UsesPerfSearch(StudyKind study) {
   return study == StudyKind::kSearch || study == StudyKind::kFig3a ||
          study == StudyKind::kFig3b || study == StudyKind::kDesign ||
-         study == StudyKind::kServe || study == StudyKind::kServeSweep;
+         study == StudyKind::kServe || study == StudyKind::kServeSweep ||
+         study == StudyKind::kFleetCompare;
 }
 
 }  // namespace
@@ -423,6 +427,13 @@ std::vector<double> ServeSweepKnobs::GridPoints() const {
   return ExpandGridRange(load_lo, load_hi, load_step);
 }
 
+std::vector<double> FleetKnobs::GridPoints() const {
+  if (!loads.empty()) {
+    return loads;
+  }
+  return ExpandGridRange(load_lo, load_hi, load_step);
+}
+
 std::vector<std::string> Scenario::ResolvedModels() const {
   if (!models.empty()) {
     return models;
@@ -434,6 +445,7 @@ std::vector<std::string> Scenario::ResolvedModels() const {
       return {};
     case StudyKind::kServe:
     case StudyKind::kServeSweep:
+    case StudyKind::kFleetCompare:
       // The serving simulations run one model end-to-end.
       return {Llama3_70B().name};
     default: {
@@ -467,6 +479,17 @@ std::vector<std::string> Scenario::ResolvedGpus() const {
     case StudyKind::kServe:
     case StudyKind::kServeSweep:
       return {H100().name};
+    case StudyKind::kFleetCompare: {
+      // The candidates carry their own base parts; the resolved list is the
+      // distinct bases, so the generic unknown-GPU check covers them.
+      std::vector<std::string> names;
+      for (const FleetCandidate& c : fleet.candidates) {
+        if (std::find(names.begin(), names.end(), c.gpu) == names.end()) {
+          names.push_back(c.gpu);
+        }
+      }
+      return names;
+    }
     case StudyKind::kYield:
     case StudyKind::kDerive:
       return {};
@@ -515,7 +538,9 @@ std::string Scenario::Validate() const {
   } else {
     std::vector<std::string> resolved = ResolvedGpus();
     if (resolved.empty()) {
-      return "scenario needs at least one GPU";
+      return study == StudyKind::kFleetCompare
+                 ? "fleet.candidates must be non-empty"
+                 : "scenario needs at least one GPU";
     }
     for (const std::string& name : resolved) {
       if (!FindGpu(name)) {
@@ -632,6 +657,74 @@ std::string Scenario::Validate() const {
       if (std::string problem = ValidateServeCommonKnobs(sweep, "sweep");
           !problem.empty()) {
         return problem;
+      }
+      break;
+    }
+    case StudyKind::kFleetCompare: {
+      if (ResolvedModels().size() != 1) {
+        return "study 'fleet-compare' simulates exactly one model (got " +
+               std::to_string(ResolvedModels().size()) + ")";
+      }
+      if (!gpus.empty()) {
+        return "study 'fleet-compare' takes its GPUs from fleet.candidates "
+               "(drop the gpus list)";
+      }
+      std::vector<std::string> seen;
+      for (size_t i = 0; i < fleet.candidates.size(); ++i) {
+        const FleetCandidate& c = fleet.candidates[i];
+        std::string label = "fleet.candidates[" + std::to_string(i) + "]";
+        if (c.name.empty()) {
+          return label + ".name must be non-empty";
+        }
+        if (std::find(seen.begin(), seen.end(), c.name) != seen.end()) {
+          // Names seed the per-candidate RNG streams, so duplicates would
+          // silently alias two candidates onto the same points.
+          return "duplicate fleet candidate name '" + c.name + "'";
+        }
+        seen.push_back(c.name);
+        if (c.split < 1) {
+          return label + ".split must be >= 1";
+        }
+        if (c.mem_bw_multiplier <= 0.0 || c.net_bw_multiplier <= 0.0 ||
+            c.overclock <= 0.0) {
+          return label + " multipliers must be positive";
+        }
+        if (c.prefill_instances < 0) {
+          return label + ".prefill_instances must be >= 0";
+        }
+        if (c.decode_instances < 1) {
+          return label + ".decode_instances must be >= 1";
+        }
+      }
+      if (fleet.loads.empty() && fleet.load_step <= 0.0) {
+        return "fleet.load_step must be positive";
+      }
+      std::vector<double> grid = fleet.GridPoints();
+      if (grid.empty()) {
+        return "fleet grid is empty (check loads or load_lo:load_hi:load_step)";
+      }
+      for (double point : grid) {
+        if (!(point > 0.0) || !std::isfinite(point)) {
+          return "fleet grid points must be positive and finite";
+        }
+      }
+      if (fleet.horizon_s <= 0.0) {
+        return "fleet.horizon_s must be positive";
+      }
+      if (fleet.prompt_sigma < 0.0 || fleet.output_sigma < 0.0) {
+        return "fleet sigmas must be >= 0";
+      }
+      if (fleet.hbm_usd_per_gb < 0.0 || fleet.gpu_price_multiplier <= 0.0) {
+        return "fleet economics knobs must be positive";
+      }
+      if (fleet.depreciation_months <= 0.0) {
+        return "fleet.depreciation_months must be positive";
+      }
+      if (fleet.electricity_usd_per_kwh < 0.0) {
+        return "fleet.electricity_usd_per_kwh must be >= 0";
+      }
+      if (fleet.gpu_utilization <= 0.0 || fleet.gpu_utilization > 1.0) {
+        return "fleet.gpu_utilization must be in (0, 1]";
       }
       break;
     }
@@ -775,6 +868,44 @@ bool FaultKnobsAreDefault(const FaultKnobs& knobs) {
          knobs.shed_ttft_deadline_s == defaults.shed_ttft_deadline_s;
 }
 
+Json FleetKnobsToJson(const FleetKnobs& knobs) {
+  Json fleet = Json::Object();
+  Json cands = Json::Array();
+  for (const FleetCandidate& c : knobs.candidates) {
+    Json cand = Json::Object();
+    cand.Set("name", c.name)
+        .Set("gpu", c.gpu)
+        .Set("split", c.split)
+        .Set("mem_bw_multiplier", c.mem_bw_multiplier)
+        .Set("net_bw_multiplier", c.net_bw_multiplier)
+        .Set("overclock", c.overclock)
+        .Set("prefill_instances", c.prefill_instances)
+        .Set("decode_instances", c.decode_instances);
+    cands.Append(std::move(cand));
+  }
+  fleet.Set("candidates", std::move(cands));
+  if (!knobs.loads.empty()) {
+    Json arr = Json::Array();
+    for (double load : knobs.loads) {
+      arr.Append(load);
+    }
+    fleet.Set("loads", std::move(arr));
+  }
+  fleet.Set("load_lo", knobs.load_lo)
+      .Set("load_hi", knobs.load_hi)
+      .Set("load_step", knobs.load_step)
+      .Set("horizon_s", knobs.horizon_s)
+      .Set("prompt_sigma", knobs.prompt_sigma)
+      .Set("output_sigma", knobs.output_sigma)
+      .Set("seed", knobs.seed)
+      .Set("hbm_usd_per_gb", knobs.hbm_usd_per_gb)
+      .Set("gpu_price_multiplier", knobs.gpu_price_multiplier)
+      .Set("depreciation_months", knobs.depreciation_months)
+      .Set("electricity_usd_per_kwh", knobs.electricity_usd_per_kwh)
+      .Set("gpu_utilization", knobs.gpu_utilization);
+  return fleet;
+}
+
 namespace {
 
 // The shared tail of the serve/sweep blocks. Key order matches the
@@ -910,6 +1041,9 @@ Json ScenarioToJson(const Scenario& s) {
       j.Set("sweep", std::move(sweep));
       break;
     }
+    case StudyKind::kFleetCompare:
+      j.Set("fleet", FleetKnobsToJson(s.fleet));
+      break;
     default:
       break;
   }
@@ -931,6 +1065,26 @@ bool CheckKeys(const Json& obj, const std::vector<std::string>& allowed,
     if (std::find(allowed.begin(), allowed.end(), member.first) == allowed.end()) {
       if (error != nullptr) {
         *error = "unknown key '" + member.first + "' in " + where;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+// CheckKeys plus a did-you-mean hint for near-miss spellings, the same
+// treatment unknown CLI flags get. The fleet block uses it; the older
+// blocks keep CheckKeys so their pinned error strings stay stable.
+bool CheckKeysSuggest(const Json& obj, const std::vector<std::string>& allowed,
+                      const std::string& where, std::string* error) {
+  for (const auto& member : obj.members()) {
+    if (std::find(allowed.begin(), allowed.end(), member.first) == allowed.end()) {
+      if (error != nullptr) {
+        *error = "unknown key '" + member.first + "' in " + where;
+        std::string best = ClosestCandidate(member.first, allowed);
+        if (!best.empty()) {
+          *error += " (did you mean '" + best + "'?)";
+        }
       }
       return false;
     }
@@ -1241,6 +1395,81 @@ bool ReadFaultsObject(const Json& obj, const std::string& label, FaultKnobs& out
                     error);
 }
 
+// Strict reader for one fleet-candidate object.
+bool ReadFleetCandidate(const Json& entry, const std::string& label,
+                        FleetCandidate& out, std::string* error) {
+  if (!entry.is_object()) {
+    if (error != nullptr) {
+      *error = label + " must be an object";
+    }
+    return false;
+  }
+  return CheckKeysSuggest(entry,
+                          {"name", "gpu", "split", "mem_bw_multiplier",
+                           "net_bw_multiplier", "overclock", "prefill_instances",
+                           "decode_instances"},
+                          label, error) &&
+         ReadString(entry, "name", label, out.name, error) &&
+         ReadString(entry, "gpu", label, out.gpu, error) &&
+         ReadInt(entry, "split", label, out.split, error) &&
+         ReadDouble(entry, "mem_bw_multiplier", label, out.mem_bw_multiplier, error) &&
+         ReadDouble(entry, "net_bw_multiplier", label, out.net_bw_multiplier, error) &&
+         ReadDouble(entry, "overclock", label, out.overclock, error) &&
+         ReadInt(entry, "prefill_instances", label, out.prefill_instances, error) &&
+         ReadInt(entry, "decode_instances", label, out.decode_instances, error);
+}
+
+// Strict reader for the fleet block.
+bool ReadFleetObject(const Json& obj, const std::string& label, FleetKnobs& out,
+                     std::string* error) {
+  if (!obj.is_object()) {
+    if (error != nullptr) {
+      *error = label + " must be an object";
+    }
+    return false;
+  }
+  if (!CheckKeysSuggest(obj,
+                        {"candidates", "loads", "load_lo", "load_hi", "load_step",
+                         "horizon_s", "prompt_sigma", "output_sigma", "seed",
+                         "hbm_usd_per_gb", "gpu_price_multiplier",
+                         "depreciation_months", "electricity_usd_per_kwh",
+                         "gpu_utilization"},
+                        label, error)) {
+    return false;
+  }
+  if (const Json* cands = obj.Find("candidates")) {
+    if (!cands->is_array()) {
+      return TypeError("candidates", label, "an array of candidate objects", error);
+    }
+    size_t index = 0;
+    for (const Json& entry : cands->elements()) {
+      FleetCandidate candidate;
+      if (!ReadFleetCandidate(
+              entry, label + ".candidates[" + std::to_string(index++) + "]",
+              candidate, error)) {
+        return false;
+      }
+      out.candidates.push_back(std::move(candidate));
+    }
+  }
+  return ReadDoubleList(obj, "loads", label, out.loads, error) &&
+         ReadDouble(obj, "load_lo", label, out.load_lo, error) &&
+         ReadDouble(obj, "load_hi", label, out.load_hi, error) &&
+         ReadDouble(obj, "load_step", label, out.load_step, error) &&
+         ReadDouble(obj, "horizon_s", label, out.horizon_s, error) &&
+         ReadDouble(obj, "prompt_sigma", label, out.prompt_sigma, error) &&
+         ReadDouble(obj, "output_sigma", label, out.output_sigma, error) &&
+         ReadUint64(obj, "seed", label, out.seed, error) &&
+         ReadDouble(obj, "hbm_usd_per_gb", label, out.hbm_usd_per_gb, error) &&
+         ReadDouble(obj, "gpu_price_multiplier", label, out.gpu_price_multiplier,
+                    error) &&
+         ReadDouble(obj, "depreciation_months", label, out.depreciation_months,
+                    error) &&
+         ReadDouble(obj, "electricity_usd_per_kwh", label,
+                    out.electricity_usd_per_kwh, error) &&
+         ReadDouble(obj, "gpu_utilization", label, out.gpu_utilization, error);
+}
+
 // The keys ReadServeCommonKnobs consumes; the serve/sweep CheckKeys lists
 // are built from this so the two blocks can't drift.
 std::vector<std::string> ServeCommonKeys(std::vector<std::string> own) {
@@ -1321,7 +1550,7 @@ std::optional<Scenario> ScenarioFromJson(const Json& json, std::string* error) {
   if (!CheckKeys(json,
                  {"name", "study", "models", "gpus", "baseline_gpu", "workload",
                   "kv_policy", "max_batch", "design", "mcsim", "yield", "derive", "serve",
-                  "sweep", "exec"},
+                  "sweep", "fleet", "exec"},
                  "scenario", error)) {
     return std::nullopt;
   }
@@ -1344,7 +1573,8 @@ std::optional<Scenario> ScenarioFromJson(const Json& json, std::string* error) {
   if (!study) {
     if (error != nullptr) {
       *error = "unknown study '" + study_name +
-               "' (expected search|fig3a|fig3b|design|mcsim|yield|derive|serve|serve-sweep)";
+               "' (expected search|fig3a|fig3b|design|mcsim|yield|derive|serve|"
+               "serve-sweep|fleet-compare)";
     }
     return std::nullopt;
   }
@@ -1475,6 +1705,12 @@ std::optional<Scenario> ScenarioFromJson(const Json& json, std::string* error) {
         !ReadDouble(*sweep, "load_hi", "sweep", s.sweep.load_hi, error) ||
         !ReadDouble(*sweep, "load_step", "sweep", s.sweep.load_step, error) ||
         !ReadServeCommonKnobs(*sweep, "sweep", s.sweep, error)) {
+      return std::nullopt;
+    }
+  }
+
+  if (const Json* fleet = json.Find("fleet")) {
+    if (!ReadFleetObject(*fleet, "fleet", s.fleet, error)) {
       return std::nullopt;
     }
   }
@@ -1706,6 +1942,10 @@ ScenarioBuilder& ScenarioBuilder::Serve(const ServeKnobs& knobs) {
 }
 ScenarioBuilder& ScenarioBuilder::ServeSweep(const ServeSweepKnobs& knobs) {
   scenario_.sweep = knobs;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::Fleet(const FleetKnobs& knobs) {
+  scenario_.fleet = knobs;
   return *this;
 }
 

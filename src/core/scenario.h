@@ -43,6 +43,7 @@ enum class StudyKind {
   kDerive,  // custom Lite-GPU derivation + shoreline feasibility
   kServe,   // end-to-end discrete-event serving vs the analytic capacity
   kServeSweep,  // one serve deployment swept over a load grid as one study
+  kFleetCompare,  // knee-vs-knee $/Mtoken + joules/token across a fleet catalog
 };
 
 std::string ToString(StudyKind kind);
@@ -350,6 +351,58 @@ struct ServeSweepKnobs : ServeCommonKnobs {
 // share it so they can't drift.
 std::vector<double> ExpandGridRange(double lo, double hi, double step);
 
+// One fleet candidate: a catalog base part, optionally split into Lite-style
+// small dies (split > 1 runs DeriveLite with the multipliers below, exactly
+// like the derive study), plus its pool shape. `name` labels the candidate
+// in the report and seeds its RNG stream — reordering the catalog never
+// changes any candidate's simulated points.
+struct FleetCandidate {
+  std::string name;          // required, unique within the catalog
+  std::string gpu = "H100";  // catalog base part
+  int split = 1;             // 1 = the part as-is; >1 = DeriveLite split
+  double mem_bw_multiplier = 1.0;
+  double net_bw_multiplier = 1.0;
+  double overclock = 1.0;
+  int prefill_instances = 0;  // 0 = auto-size from the analytic capacities
+  int decode_instances = 1;
+};
+
+// Knobs only the fleet-compare study reads: a catalog of candidates, the
+// shared load grid each candidate's serve sweep runs over, and the
+// economics that turn each knee into $/Mtoken-at-SLO — silicon cost
+// (src/silicon/cost) amortized over `depreciation_months`, plus cluster
+// power (src/power/cluster_energy) priced at `electricity_usd_per_kwh`
+// (PUE rides in the cooling model). Fleet sweeps are stationary
+// single-class Poisson on purpose: the study compares hardware, not
+// traffic shapes.
+struct FleetKnobs {
+  std::vector<FleetCandidate> candidates;
+  std::vector<double> loads;  // explicit load fractions; overrides lo:hi:step
+  double load_lo = 0.1;
+  double load_hi = 1.0;
+  double load_step = 0.1;
+  double horizon_s = 60.0;
+  double prompt_sigma = 0.0;  // lognormal sigma; 0 = constant lengths
+  double output_sigma = 0.0;
+  uint64_t seed = 0xC0FFEE;
+  // Economics. hbm_usd_per_gb / gpu_price_multiplier mirror DesignKnobs;
+  // gpu_utilization is the power-model activity factor, not the serve
+  // pools' occupancy.
+  double hbm_usd_per_gb = 12.0;
+  double gpu_price_multiplier = 8.0;
+  double depreciation_months = 48.0;
+  double electricity_usd_per_kwh = 0.08;
+  double gpu_utilization = 0.7;
+
+  // The expanded grid: loads, else lo..hi inclusive by step.
+  std::vector<double> GridPoints() const;
+};
+
+// The one FleetKnobs serializer — scenario files and the fleet-compare
+// report's config echo both use it, so a report's config can always be fed
+// back in as a scenario.
+Json FleetKnobsToJson(const FleetKnobs& knobs);
+
 struct Scenario {
   // Optional label echoed into the RunReport (handy for batches).
   std::string name;
@@ -375,6 +428,7 @@ struct Scenario {
   DeriveKnobs derive;
   ServeKnobs serve;
   ServeSweepKnobs sweep;
+  FleetKnobs fleet;
 
   ExecPolicy exec;
 
@@ -432,6 +486,7 @@ class ScenarioBuilder {
   ScenarioBuilder& Derive(const DeriveKnobs& knobs);
   ScenarioBuilder& Serve(const ServeKnobs& knobs);
   ScenarioBuilder& ServeSweep(const ServeSweepKnobs& knobs);
+  ScenarioBuilder& Fleet(const FleetKnobs& knobs);
 
   // The scenario built so far, unvalidated.
   const Scenario& Peek() const { return scenario_; }

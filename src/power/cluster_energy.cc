@@ -23,4 +23,26 @@ double EnergyPerToken(const ClusterPowerBreakdown& power, double tokens_per_s) {
   return power.TotalWatts() / tokens_per_s;
 }
 
+FleetEnergyReport FleetEnergyAtKnee(const GpuSpec& gpu, int num_gpus,
+                                    double gpu_utilization,
+                                    double goodput_tokens_per_s,
+                                    double electricity_usd_per_kwh) {
+  FleetEnergyReport out;
+  ClusterPowerParams params;
+  params.gpu_utilization = gpu_utilization;
+  out.power = ClusterPower(gpu, num_gpus, params);
+  out.opex_usd_per_hour = out.power.TotalWatts() / 1000.0 * electricity_usd_per_kwh;
+  out.joules_per_token = EnergyPerToken(out.power, goodput_tokens_per_s);
+  return out;
+}
+
+double UsdPerMtokenAtKnee(double capex_usd_per_hour, double opex_usd_per_hour,
+                          double goodput_tokens_per_s) {
+  if (goodput_tokens_per_s <= 0.0) {
+    return -1.0;
+  }
+  double tokens_per_hour = goodput_tokens_per_s * 3600.0;
+  return (capex_usd_per_hour + opex_usd_per_hour) / (tokens_per_hour / 1e6);
+}
+
 }  // namespace litegpu

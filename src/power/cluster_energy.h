@@ -39,4 +39,25 @@ ClusterPowerBreakdown ClusterPower(const GpuSpec& gpu, int num_gpus,
 // Joules per token for a deployment producing `tokens_per_s`.
 double EnergyPerToken(const ClusterPowerBreakdown& power, double tokens_per_s);
 
+// The energy/opex side of one fleet candidate's knee operating point: the
+// cluster power of its knee-sized pool (PUE rides in the cooling model's
+// cooling_watts), that power priced at the grid rate, and joules/token at
+// the knee's measured goodput.
+struct FleetEnergyReport {
+  ClusterPowerBreakdown power;
+  double opex_usd_per_hour = 0.0;
+  double joules_per_token = 0.0;
+};
+FleetEnergyReport FleetEnergyAtKnee(const GpuSpec& gpu, int num_gpus,
+                                    double gpu_utilization,
+                                    double goodput_tokens_per_s,
+                                    double electricity_usd_per_kwh);
+
+// $/Mtoken at an operating point: hourly capex amortization plus hourly
+// energy, over the tokens an hour serves. Returns -1 when
+// goodput_tokens_per_s <= 0 — a candidate with no SLO-meeting point must
+// report as infeasible, never as $0/Mtok.
+double UsdPerMtokenAtKnee(double capex_usd_per_hour, double opex_usd_per_hour,
+                          double goodput_tokens_per_s);
+
 }  // namespace litegpu

@@ -1,0 +1,51 @@
+#include "src/serve/knee.h"
+
+#include <cstddef>
+
+namespace litegpu {
+
+KneeSelection SelectKneeAndCheapest(const std::vector<KneePoint>& points,
+                                    bool autoscaled) {
+  KneeSelection out;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const KneePoint& p = points[i];
+    if (!p.slo_ok) {
+      continue;
+    }
+    if (out.knee_index < 0) {
+      out.knee_index = static_cast<int>(i);
+      continue;
+    }
+    const KneePoint& best = points[static_cast<std::size_t>(out.knee_index)];
+    // Strictly-higher rate wins; a rate tie goes to the lower load (the
+    // same offered demand met with less provisioned headroom), and a full
+    // tie keeps the earliest point.
+    if (p.arrival_rate_per_s > best.arrival_rate_per_s ||
+        (p.arrival_rate_per_s == best.arrival_rate_per_s && p.load < best.load)) {
+      out.knee_index = static_cast<int>(i);
+    }
+  }
+  if (out.knee_index >= 0) {
+    const KneePoint& knee = points[static_cast<std::size_t>(out.knee_index)];
+    out.knee_load = knee.load;
+    out.knee_goodput_tokens_per_s = knee.goodput_tokens_per_s;
+  }
+  if (autoscaled) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const KneePoint& p = points[i];
+      if (!p.slo_ok || p.gpu_hours <= 0.0) {
+        continue;
+      }
+      double tokens_per_gpu_hour =
+          p.goodput_tokens_per_s * p.makespan_s / p.gpu_hours;
+      if (out.cheapest_index < 0 ||
+          tokens_per_gpu_hour > out.cheapest_tokens_per_gpu_hour) {
+        out.cheapest_index = static_cast<int>(i);
+        out.cheapest_tokens_per_gpu_hour = tokens_per_gpu_hour;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace litegpu

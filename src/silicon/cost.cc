@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/util/units.h"
+
 namespace litegpu {
 
 double KnownGoodDieCost(const WaferSpec& wafer, YieldModel model, const DefectSpec& defects,
@@ -62,6 +64,24 @@ SplitCostReport CompareSplitCost(const WaferSpec& wafer, YieldModel model,
       report.big_die_yield > 0.0 ? report.lite_die_yield / report.big_die_yield : 0.0;
   report.lite_dies_per_wafer = DiesPerWaferSquare(wafer, lite.die_area_mm2);
   return report;
+}
+
+GpuBillOfMaterials BomFromGpuSpec(const GpuSpec& gpu, double hbm_usd_per_gb) {
+  GpuBillOfMaterials bom;
+  bom.die_area_mm2 = gpu.die_area_mm2;
+  bom.dies_per_package = gpu.dies_per_package;
+  bom.hbm_gb = gpu.mem_capacity_bytes / kGB;
+  bom.packaging.hbm_usd_per_gb = hbm_usd_per_gb;
+  // Single small dies skip advanced packaging (Section 2).
+  bom.packaging.advanced =
+      gpu.die_area_mm2 / static_cast<double>(gpu.dies_per_package) > 400.0;
+  return bom;
+}
+
+double PricedGpuUsd(const WaferSpec& wafer, YieldModel model, const DefectSpec& defects,
+                    const GpuSpec& gpu, double hbm_usd_per_gb, double price_multiplier) {
+  return PackagedGpuCost(wafer, model, defects, BomFromGpuSpec(gpu, hbm_usd_per_gb)) *
+         price_multiplier;
 }
 
 }  // namespace litegpu

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "src/hw/gpu_spec.h"
 #include "src/silicon/wafer.h"
 #include "src/silicon/yield.h"
 
@@ -66,5 +67,18 @@ struct SplitCostReport {
 SplitCostReport CompareSplitCost(const WaferSpec& wafer, YieldModel model,
                                  const DefectSpec& defects, const GpuBillOfMaterials& big,
                                  int split);
+
+// The one BOM convention for pricing a catalog (or derived) part: compute
+// area, package count, and HBM capacity come from the spec; advanced
+// packaging is charged iff the per-die area exceeds 400 mm^2 (a single
+// small die skips the CoWoS-class interposer, Section 2). The cluster
+// designer and the fleet-compare study share it, so the two studies cannot
+// price the same part differently.
+GpuBillOfMaterials BomFromGpuSpec(const GpuSpec& gpu, double hbm_usd_per_gb);
+
+// One packaged, street-priced GPU: PackagedGpuCost on the spec's BOM times
+// the manufacturing-cost-to-price multiplier.
+double PricedGpuUsd(const WaferSpec& wafer, YieldModel model, const DefectSpec& defects,
+                    const GpuSpec& gpu, double hbm_usd_per_gb, double price_multiplier);
 
 }  // namespace litegpu

@@ -71,7 +71,7 @@ TEST(CliSmoke, RunExecutesEveryCheckedInScenarioAsJson) {
                            "mcsim.json", "yield.json", "derive.json", "serve.json",
                            "serve_sweep.json", "serve_multitenant.json",
                            "serve_autoscale.json", "serve_faulty.json",
-                           "serve_chaos.json"}) {
+                           "serve_chaos.json", "fleet_compare.json"}) {
     CommandResult result = RunCommand("run " + ScenarioPath(file) + " --json");
     EXPECT_EQ(result.exit_code, 0) << file;
     std::string error;
@@ -124,6 +124,67 @@ TEST(CliSmoke, JsonFlagOnEverySubcommandEmitsParsableJson) {
     auto parsed = Json::Parse(result.stdout_text, &error);
     EXPECT_TRUE(parsed.has_value()) << args << ": " << error;
   }
+}
+
+TEST(CliSmoke, FleetSubcommandEmitsParetoFrontierAndIsThreadInvariant) {
+  // The acceptance check for fleet-compare: `litegpu fleet` on the
+  // checked-in catalog reports $/Mtoken and joules/token per candidate, a
+  // non-empty Pareto frontier with a winner, and the whole report is
+  // bit-identical at any --threads.
+  CommandResult t1 =
+      RunCommand("fleet " + ScenarioPath("fleet_compare.json") + " --json --threads 1");
+  CommandResult t0 =
+      RunCommand("fleet " + ScenarioPath("fleet_compare.json") + " --json --threads 0");
+  CommandResult t13 =
+      RunCommand("fleet " + ScenarioPath("fleet_compare.json") + " --json --threads 13");
+  ASSERT_EQ(t1.exit_code, 0);
+  ASSERT_EQ(t0.exit_code, 0);
+  ASSERT_EQ(t13.exit_code, 0);
+  EXPECT_EQ(t1.stdout_text, t0.stdout_text);
+  EXPECT_EQ(t1.stdout_text, t13.stdout_text);
+  auto parsed = Json::Parse(t1.stdout_text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->GetBool("ok", false));
+  const Json* report = parsed->Find("report");
+  ASSERT_NE(report, nullptr);
+  const Json* candidates = report->Find("candidates");
+  ASSERT_NE(candidates, nullptr);
+  ASSERT_EQ(candidates->size(), 5u);
+  for (const Json& c : candidates->elements()) {
+    EXPECT_FALSE(c.GetString("name", "").empty());
+    ASSERT_TRUE(c.GetBool("feasible", false)) << c.GetString("name", "");
+    const Json* economics = c.Find("economics");
+    ASSERT_NE(economics, nullptr);
+    EXPECT_GT(economics->GetDouble("usd_per_mtoken", 0.0), 0.0);
+    EXPECT_GT(economics->GetDouble("joules_per_token", 0.0), 0.0);
+    const Json* knee = c.Find("knee");
+    ASSERT_NE(knee, nullptr);
+    EXPECT_GT(knee->GetDouble("goodput_tokens_per_s", 0.0), 0.0);
+  }
+  const Json* frontier = report->Find("frontier");
+  ASSERT_NE(frontier, nullptr);
+  EXPECT_GT(frontier->size(), 0u);
+  EXPECT_GE(report->GetInt("winner_index", -1), 0);
+  // Candidates sharing a resolved part share a platform: five distinct
+  // parts in the checked-in catalog, five builds.
+  EXPECT_EQ(report->GetInt("platform_builds", 0), 5);
+  // `litegpu run` executes the same scenario identically.
+  CommandResult via_run =
+      RunCommand("run " + ScenarioPath("fleet_compare.json") + " --json --threads 1");
+  ASSERT_EQ(via_run.exit_code, 0);
+  EXPECT_EQ(via_run.stdout_text, t1.stdout_text);
+  // Text mode renders the comparison table and names the winner.
+  CommandResult text = RunCommand("fleet " + ScenarioPath("fleet_compare.json"));
+  EXPECT_EQ(text.exit_code, 0);
+  EXPECT_NE(text.stdout_text.find("$ / Mtok"), std::string::npos);
+  EXPECT_NE(text.stdout_text.find("winner:"), std::string::npos);
+}
+
+TEST(CliSmoke, FleetSubcommandRejectsNonFleetScenarios) {
+  CommandResult result =
+      RunCommandMergedOutput("fleet " + ScenarioPath("serve_sweep.json"));
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.stdout_text.find("not fleet-compare"), std::string::npos);
 }
 
 TEST(CliSmoke, MultitenantScenarioReportsPerClassBlocks) {

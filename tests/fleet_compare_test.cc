@@ -1,0 +1,257 @@
+// Fleet-compare study: the differential-testing pass over the serving
+// stack. Each candidate's simulated knee is checked against the analytic
+// capacity model it was planned from, and the Pareto frontier is checked
+// for the invariants the report promises: no dominated member, and the
+// same set at any thread count or catalog order.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/runner.h"
+#include "src/core/scenario.h"
+#include "src/serve/knee.h"
+
+namespace litegpu {
+namespace {
+
+FleetCandidate MakeCandidate(const std::string& name, int split,
+                             double mem_bw_multiplier) {
+  FleetCandidate c;
+  c.name = name;
+  c.gpu = "H100";
+  c.split = split;
+  c.mem_bw_multiplier = mem_bw_multiplier;
+  return c;
+}
+
+// A small three-candidate catalog on a coarse grid — big enough to produce
+// a non-trivial frontier, small enough to run in test time.
+Scenario FleetScenario(uint64_t seed, int threads,
+                       std::vector<FleetCandidate> candidates) {
+  ScenarioBuilder builder(StudyKind::kFleetCompare);
+  FleetKnobs fleet;
+  fleet.candidates = std::move(candidates);
+  fleet.load_lo = 0.25;
+  fleet.load_hi = 1.0;
+  fleet.load_step = 0.25;
+  fleet.horizon_s = 15.0;
+  fleet.seed = seed;
+  builder.Fleet(fleet).Threads(threads);
+  std::string error;
+  auto scenario = builder.Build(&error);
+  EXPECT_TRUE(scenario.has_value()) << error;
+  return *scenario;
+}
+
+std::vector<FleetCandidate> DefaultCatalog() {
+  return {MakeCandidate("H100", 1, 1.0), MakeCandidate("Lite/4", 4, 2.0),
+          MakeCandidate("Lite/8", 8, 2.0)};
+}
+
+FleetCompareReport RunFleet(const Scenario& s) {
+  RunReport report = Runner().Run(s);
+  EXPECT_TRUE(report.ok) << report.error;
+  return std::get<FleetCompareReport>(report.payload);
+}
+
+std::set<std::string> FrontierNames(const FleetCompareReport& r) {
+  std::set<std::string> names;
+  for (int idx : r.frontier) {
+    names.insert(r.candidates[static_cast<size_t>(idx)].name);
+  }
+  return names;
+}
+
+// --- differential test: simulated knee vs the analytic capacity model ----
+
+TEST(FleetCompare, KneeGoodputTracksAnalyticCapacity) {
+  FleetCompareReport r = RunFleet(FleetScenario(0xC0FFEE, 1, DefaultCatalog()));
+  ASSERT_EQ(r.candidates.size(), 3u);
+  for (const auto& c : r.candidates) {
+    ASSERT_TRUE(c.feasible) << c.name << ": " << c.error;
+    // The knee ran at knee_load x the pool's analytic decode capacity; the
+    // simulated goodput must track that offered rate. The tolerance covers
+    // finite-horizon edge effects, not model disagreement.
+    double offered = c.analytic_capacity_tok_s * c.knee_load;
+    ASSERT_GT(offered, 0.0) << c.name;
+    double agreement = c.knee_goodput_tokens_per_s / offered;
+    EXPECT_GT(agreement, 0.75) << c.name;
+    EXPECT_LT(agreement, 1.15) << c.name;
+  }
+}
+
+// --- frontier invariants -------------------------------------------------
+
+TEST(FleetCompare, DominatedCandidateNeverOnFrontier) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    FleetCompareReport r = RunFleet(FleetScenario(seed, 1, DefaultCatalog()));
+    // Recompute dominance from the reported metrics: a frontier member must
+    // not be dominated, and every feasible non-member must be.
+    for (size_t i = 0; i < r.candidates.size(); ++i) {
+      const auto& a = r.candidates[i];
+      if (!a.feasible) {
+        EXPECT_FALSE(a.on_frontier) << a.name;
+        continue;
+      }
+      bool dominated = false;
+      for (size_t j = 0; j < r.candidates.size() && !dominated; ++j) {
+        const auto& b = r.candidates[j];
+        if (i == j || !b.feasible) {
+          continue;
+        }
+        bool no_worse = b.usd_per_mtoken <= a.usd_per_mtoken &&
+                        b.joules_per_token <= a.joules_per_token &&
+                        b.knee_goodput_tokens_per_s >= a.knee_goodput_tokens_per_s;
+        bool strictly = b.usd_per_mtoken < a.usd_per_mtoken ||
+                        b.joules_per_token < a.joules_per_token ||
+                        b.knee_goodput_tokens_per_s > a.knee_goodput_tokens_per_s;
+        dominated = no_worse && strictly;
+      }
+      EXPECT_EQ(a.on_frontier, !dominated) << a.name << " seed " << seed;
+    }
+    EXPECT_FALSE(r.frontier.empty()) << "seed " << seed;
+  }
+}
+
+TEST(FleetCompare, ParetoSetInvariantToThreadCount) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    FleetCompareReport serial = RunFleet(FleetScenario(seed, 1, DefaultCatalog()));
+    FleetCompareReport parallel = RunFleet(FleetScenario(seed, 7, DefaultCatalog()));
+    EXPECT_EQ(FrontierNames(serial), FrontierNames(parallel)) << "seed " << seed;
+    ASSERT_EQ(serial.candidates.size(), parallel.candidates.size());
+    for (size_t i = 0; i < serial.candidates.size(); ++i) {
+      EXPECT_EQ(serial.candidates[i].knee_goodput_tokens_per_s,
+                parallel.candidates[i].knee_goodput_tokens_per_s)
+          << serial.candidates[i].name << " seed " << seed;
+      EXPECT_EQ(serial.candidates[i].usd_per_mtoken,
+                parallel.candidates[i].usd_per_mtoken)
+          << serial.candidates[i].name << " seed " << seed;
+    }
+  }
+}
+
+TEST(FleetCompare, ParetoSetInvariantToCatalogOrder) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    std::vector<FleetCandidate> forward = DefaultCatalog();
+    std::vector<FleetCandidate> reversed(forward.rbegin(), forward.rend());
+    FleetCompareReport a = RunFleet(FleetScenario(seed, 1, forward));
+    FleetCompareReport b = RunFleet(FleetScenario(seed, 1, reversed));
+    EXPECT_EQ(FrontierNames(a), FrontierNames(b)) << "seed " << seed;
+    // The winner is a name, not an index — indices shift with the order.
+    ASSERT_GE(a.winner_index, 0);
+    ASSERT_GE(b.winner_index, 0);
+    EXPECT_EQ(a.candidates[static_cast<size_t>(a.winner_index)].name,
+              b.candidates[static_cast<size_t>(b.winner_index)].name)
+        << "seed " << seed;
+    // Per-candidate streams derive from names, so every metric matches too.
+    for (const auto& ca : a.candidates) {
+      auto it = std::find_if(b.candidates.begin(), b.candidates.end(),
+                             [&](const auto& cb) { return cb.name == ca.name; });
+      ASSERT_NE(it, b.candidates.end()) << ca.name;
+      EXPECT_EQ(ca.seed, it->seed) << ca.name;
+      EXPECT_EQ(ca.knee_goodput_tokens_per_s, it->knee_goodput_tokens_per_s)
+          << ca.name << " seed " << seed;
+      EXPECT_EQ(ca.usd_per_mtoken, it->usd_per_mtoken) << ca.name << " seed " << seed;
+    }
+  }
+}
+
+// --- degenerate catalogs -------------------------------------------------
+
+TEST(FleetCompare, ImpossibleSloMakesEveryCandidateInfeasible) {
+  Scenario s = FleetScenario(0xC0FFEE, 1, DefaultCatalog());
+  s.workload.tbt_slo_s = 1e-9;  // no config can meet a nanosecond TBT
+  FleetCompareReport r = RunFleet(s);
+  for (const auto& c : r.candidates) {
+    EXPECT_FALSE(c.feasible) << c.name;
+    EXPECT_FALSE(c.error.empty()) << c.name;
+    EXPECT_FALSE(c.on_frontier) << c.name;
+  }
+  EXPECT_TRUE(r.frontier.empty());
+  EXPECT_EQ(r.winner_index, -1);
+}
+
+TEST(FleetCompare, CandidatesSharingAPartShareOnePlatformBuild) {
+  std::vector<FleetCandidate> catalog = {
+      MakeCandidate("pool-a", 4, 2.0), MakeCandidate("pool-b", 4, 2.0),
+      MakeCandidate("baseline", 1, 1.0)};
+  catalog[1].decode_instances = 2;  // same part, different pool shape
+  FleetCompareReport r = RunFleet(FleetScenario(0xC0FFEE, 1, catalog));
+  // Two candidates resolve to the same derived part: one search + one
+  // step-time table serves both.
+  EXPECT_EQ(r.platform_builds, 2);
+  ASSERT_TRUE(r.candidates[0].feasible);
+  ASSERT_TRUE(r.candidates[1].feasible);
+  EXPECT_EQ(r.candidates[0].gpu, r.candidates[1].gpu);
+  // The two-instance pool's knee offered twice the rate.
+  EXPECT_GT(r.candidates[1].analytic_capacity_tok_s,
+            1.9 * r.candidates[0].analytic_capacity_tok_s);
+}
+
+// --- knee selection helper ----------------------------------------------
+
+KneePoint MakeKneePoint(double rate, double load, bool slo_ok, double goodput) {
+  KneePoint p;
+  p.arrival_rate_per_s = rate;
+  p.load = load;
+  p.slo_ok = slo_ok;
+  p.goodput_tokens_per_s = goodput;
+  return p;
+}
+
+TEST(KneeSelection, HighestQualifyingRateWins) {
+  std::vector<KneePoint> grid = {MakeKneePoint(10.0, 0.25, true, 100.0),
+                                 MakeKneePoint(20.0, 0.50, true, 200.0),
+                                 MakeKneePoint(30.0, 0.75, false, 300.0)};
+  KneeSelection s = SelectKneeAndCheapest(grid, /*autoscaled=*/false);
+  EXPECT_EQ(s.knee_index, 1);
+  EXPECT_DOUBLE_EQ(s.knee_load, 0.50);
+  EXPECT_DOUBLE_EQ(s.knee_goodput_tokens_per_s, 200.0);
+}
+
+TEST(KneeSelection, RateTieGoesToLowestLoad) {
+  // Two grid points meet the SLOs at the same offered rate (an autoscaled
+  // sweep can produce this): the knee is the one using less headroom.
+  std::vector<KneePoint> grid = {MakeKneePoint(10.0, 0.80, true, 100.0),
+                                 MakeKneePoint(10.0, 0.40, true, 100.0),
+                                 MakeKneePoint(5.0, 0.20, true, 50.0)};
+  KneeSelection s = SelectKneeAndCheapest(grid, /*autoscaled=*/false);
+  EXPECT_EQ(s.knee_index, 1);
+  EXPECT_DOUBLE_EQ(s.knee_load, 0.40);
+}
+
+TEST(KneeSelection, FullTieKeepsEarliestPoint) {
+  std::vector<KneePoint> grid = {MakeKneePoint(10.0, 0.50, true, 100.0),
+                                 MakeKneePoint(10.0, 0.50, true, 120.0)};
+  KneeSelection s = SelectKneeAndCheapest(grid, /*autoscaled=*/false);
+  EXPECT_EQ(s.knee_index, 0);
+  EXPECT_DOUBLE_EQ(s.knee_goodput_tokens_per_s, 100.0);
+}
+
+TEST(KneeSelection, NoQualifyingPointReportsNoKnee) {
+  std::vector<KneePoint> grid = {MakeKneePoint(10.0, 0.50, false, 100.0)};
+  KneeSelection s = SelectKneeAndCheapest(grid, /*autoscaled=*/false);
+  EXPECT_EQ(s.knee_index, -1);
+  EXPECT_EQ(s.cheapest_index, -1);
+}
+
+TEST(KneeSelection, CheapestOnlyConsideredWhenAutoscaled) {
+  std::vector<KneePoint> grid = {MakeKneePoint(10.0, 0.50, true, 100.0),
+                                 MakeKneePoint(20.0, 1.00, true, 200.0)};
+  grid[0].makespan_s = 60.0;
+  grid[0].gpu_hours = 1.0;  // 6000 tok/GPU-hour
+  grid[1].makespan_s = 60.0;
+  grid[1].gpu_hours = 4.0;  // 3000 tok/GPU-hour
+  KneeSelection fixed = SelectKneeAndCheapest(grid, /*autoscaled=*/false);
+  EXPECT_EQ(fixed.cheapest_index, -1);
+  KneeSelection scaled = SelectKneeAndCheapest(grid, /*autoscaled=*/true);
+  EXPECT_EQ(scaled.cheapest_index, 0);
+  EXPECT_DOUBLE_EQ(scaled.cheapest_tokens_per_gpu_hour, 6000.0);
+}
+
+}  // namespace
+}  // namespace litegpu

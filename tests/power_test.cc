@@ -124,5 +124,36 @@ TEST(ClusterEnergy, EquivalentClustersComparable) {
   EXPECT_GT(lite.network_watts, h100.network_watts * 0.9);
 }
 
+// --- fleet-compare energy/opex adapter ---
+
+TEST(FleetEnergy, OpexIsClusterPowerAtTheGridRate) {
+  // Pinned by hand: the opex line is exactly the knee pool's cluster power
+  // (at the study's utilization) priced per kWh, and joules/token is the
+  // shared EnergyPerToken on that same breakdown.
+  FleetEnergyReport r = FleetEnergyAtKnee(H100(), 8, 0.7, 20000.0, 0.10);
+  ClusterPowerParams params;
+  params.gpu_utilization = 0.7;
+  ClusterPowerBreakdown expected = ClusterPower(H100(), 8, params);
+  EXPECT_DOUBLE_EQ(r.power.TotalWatts(), expected.TotalWatts());
+  EXPECT_DOUBLE_EQ(r.opex_usd_per_hour, expected.TotalWatts() / 1000.0 * 0.10);
+  EXPECT_DOUBLE_EQ(r.joules_per_token, expected.TotalWatts() / 20000.0);
+}
+
+TEST(FleetEnergy, UsdPerMtokenPinnedByHand) {
+  // $36/h total over 1000 tok/s: 3.6M tokens/hour -> exactly $10/Mtoken.
+  EXPECT_DOUBLE_EQ(UsdPerMtokenAtKnee(30.0, 6.0, 1000.0), 10.0);
+  // Capex-only and opex-only splits add linearly.
+  EXPECT_DOUBLE_EQ(UsdPerMtokenAtKnee(30.0, 0.0, 1000.0) +
+                       UsdPerMtokenAtKnee(0.0, 6.0, 1000.0),
+                   10.0);
+}
+
+TEST(FleetEnergy, NoGoodputMeansInfeasibleNotFree) {
+  // A candidate that never met the SLOs has no tokens to spread cost over:
+  // the sentinel is negative, never $0/Mtoken.
+  EXPECT_LT(UsdPerMtokenAtKnee(30.0, 6.0, 0.0), 0.0);
+  EXPECT_LT(UsdPerMtokenAtKnee(30.0, 6.0, -5.0), 0.0);
+}
+
 }  // namespace
 }  // namespace litegpu

@@ -11,7 +11,8 @@ namespace {
 TEST(StudyKind, RoundTripsThroughNames) {
   for (StudyKind kind : {StudyKind::kSearch, StudyKind::kFig3a, StudyKind::kFig3b,
                          StudyKind::kDesign, StudyKind::kMcSim, StudyKind::kYield,
-                         StudyKind::kDerive, StudyKind::kServe, StudyKind::kServeSweep}) {
+                         StudyKind::kDerive, StudyKind::kServe, StudyKind::kServeSweep,
+                         StudyKind::kFleetCompare}) {
     auto parsed = ParseStudyKind(ToString(kind));
     ASSERT_TRUE(parsed.has_value()) << ToString(kind);
     EXPECT_EQ(*parsed, kind);
@@ -454,6 +455,114 @@ TEST(Scenario, FaultKnobsRoundTripThroughJson) {
   EXPECT_FALSE(FaultKnobsAreDefault(tweaked.faults));
   Json k = ScenarioToJson(*ScenarioBuilder(StudyKind::kServe).Serve(tweaked).Build());
   EXPECT_NE(k.Dump().find("hot_spares"), std::string::npos);
+}
+
+FleetKnobs FancyFleetKnobs() {
+  FleetKnobs fleet;
+  FleetCandidate big;
+  big.name = "baseline";
+  big.gpu = "H100";
+  FleetCandidate lite;
+  lite.name = "lite-fed";
+  lite.gpu = "H100";
+  lite.split = 4;
+  lite.mem_bw_multiplier = 2.0;
+  lite.net_bw_multiplier = 1.5;
+  lite.overclock = 1.1;
+  lite.prefill_instances = 2;
+  lite.decode_instances = 3;
+  fleet.candidates = {big, lite};
+  fleet.loads = {0.4, 0.8};
+  fleet.horizon_s = 25.0;
+  fleet.prompt_sigma = 0.3;
+  fleet.output_sigma = 0.2;
+  fleet.seed = 0xF1EE7;  // any non-default value
+  fleet.hbm_usd_per_gb = 10.0;
+  fleet.gpu_price_multiplier = 6.0;
+  fleet.depreciation_months = 36.0;
+  fleet.electricity_usd_per_kwh = 0.11;
+  fleet.gpu_utilization = 0.6;
+  return fleet;
+}
+
+TEST(Scenario, FleetKnobsRoundTripThroughJson) {
+  Scenario original =
+      *ScenarioBuilder(StudyKind::kFleetCompare).Fleet(FancyFleetKnobs()).Build();
+  Json j = ScenarioToJson(original);
+  std::string error;
+  auto reparsed = Json::Parse(j.Dump());
+  ASSERT_TRUE(reparsed.has_value());
+  auto restored = ScenarioFromJson(*reparsed, &error);
+  ASSERT_TRUE(restored.has_value()) << error;
+  EXPECT_TRUE(*restored == original) << ScenarioToJson(*restored).Dump();
+  // The explicit loads list survives, and the range fields still emit.
+  EXPECT_EQ(restored->fleet.loads, original.fleet.loads);
+  EXPECT_EQ(restored->fleet.candidates.size(), 2u);
+  EXPECT_EQ(restored->fleet.candidates[1].overclock, 1.1);
+}
+
+TEST(Scenario, FleetBlockOnlySerializesForFleetStudies) {
+  // The fleet block is study-specific: no other study's serialized form
+  // grows a "fleet" key, so every pre-fleet scenario file and report stays
+  // byte-identical.
+  for (StudyKind kind : {StudyKind::kSearch, StudyKind::kFig3a, StudyKind::kFig3b,
+                         StudyKind::kDesign, StudyKind::kMcSim, StudyKind::kYield,
+                         StudyKind::kDerive, StudyKind::kServe, StudyKind::kServeSweep}) {
+    Json j = ScenarioToJson(*ScenarioBuilder(kind).Build());
+    EXPECT_EQ(j.Dump().find("fleet"), std::string::npos) << ToString(kind);
+  }
+}
+
+TEST(Scenario, FleetValidationRejectsBadCatalogs) {
+  std::string error;
+  // An empty catalog is the fleet study's "no GPUs".
+  EXPECT_FALSE(ScenarioBuilder(StudyKind::kFleetCompare).Build(&error).has_value());
+  EXPECT_NE(error.find("fleet.candidates"), std::string::npos);
+
+  FleetKnobs fleet = FancyFleetKnobs();
+  fleet.candidates[1].name = "baseline";  // duplicate names would alias RNG streams
+  EXPECT_FALSE(
+      ScenarioBuilder(StudyKind::kFleetCompare).Fleet(fleet).Build(&error).has_value());
+  EXPECT_NE(error.find("duplicate fleet candidate name"), std::string::npos);
+
+  fleet = FancyFleetKnobs();
+  fleet.candidates[0].split = 0;
+  EXPECT_FALSE(
+      ScenarioBuilder(StudyKind::kFleetCompare).Fleet(fleet).Build(&error).has_value());
+  EXPECT_NE(error.find("split"), std::string::npos);
+
+  fleet = FancyFleetKnobs();
+  fleet.gpu_utilization = 1.5;
+  EXPECT_FALSE(
+      ScenarioBuilder(StudyKind::kFleetCompare).Fleet(fleet).Build(&error).has_value());
+  EXPECT_NE(error.find("gpu_utilization"), std::string::npos);
+
+  // The explicit gpus list belongs to the other studies.
+  fleet = FancyFleetKnobs();
+  EXPECT_FALSE(ScenarioBuilder(StudyKind::kFleetCompare)
+                   .Gpu("H100")
+                   .Fleet(fleet)
+                   .Build(&error)
+                   .has_value());
+  EXPECT_NE(error.find("fleet.candidates"), std::string::npos);
+}
+
+TEST(Scenario, FleetReaderSuggestsClosestKey) {
+  std::string error;
+  auto typo = Json::Parse(
+      R"({"study": "fleet-compare",
+          "fleet": {"candidates": [{"name": "a", "splt": 4}]}})");
+  ASSERT_TRUE(typo.has_value());
+  EXPECT_FALSE(ScenarioFromJson(*typo, &error).has_value());
+  EXPECT_NE(error.find("splt"), std::string::npos);
+  EXPECT_NE(error.find("did you mean 'split'?"), std::string::npos);
+
+  auto knob_typo = Json::Parse(
+      R"({"study": "fleet-compare",
+          "fleet": {"candidates": [{"name": "a"}], "horizons_s": 10}})");
+  ASSERT_TRUE(knob_typo.has_value());
+  EXPECT_FALSE(ScenarioFromJson(*knob_typo, &error).has_value());
+  EXPECT_NE(error.find("did you mean 'horizon_s'?"), std::string::npos);
 }
 
 TEST(Scenario, FaultKnobsValidationRejectsBadValues) {

@@ -245,5 +245,67 @@ TEST(Shoreline, AbsurdBandwidthInfeasible) {
   EXPECT_FALSE(BandwidthFeasible(100.0, 100e12, 10e12, tech));
 }
 
+// --- GpuSpec -> BOM adapter (the fleet-compare pricing path) ---
+
+GpuSpec PricingSpec(const std::string& name, double die_area_mm2, int dies,
+                    double mem_gb) {
+  GpuSpec gpu;
+  gpu.name = name;
+  gpu.die_area_mm2 = die_area_mm2;
+  gpu.dies_per_package = dies;
+  gpu.mem_capacity_bytes = mem_gb * kGB;
+  return gpu;
+}
+
+TEST(BomFromGpuSpec, CopiesGeometryAndCapacityFromTheSpec) {
+  GpuBillOfMaterials bom = BomFromGpuSpec(PricingSpec("big", 814.0, 1, 80.0), 12.0);
+  EXPECT_DOUBLE_EQ(bom.die_area_mm2, 814.0);
+  EXPECT_EQ(bom.dies_per_package, 1);
+  EXPECT_DOUBLE_EQ(bom.hbm_gb, 80.0);
+  EXPECT_DOUBLE_EQ(bom.packaging.hbm_usd_per_gb, 12.0);
+}
+
+TEST(BomFromGpuSpec, AdvancedPackagingTracksPerDieArea) {
+  // The 400 mm^2 per-die threshold, the same convention the cluster
+  // designer uses: one big die needs the interposer, a Lite-class split of
+  // the same silicon does not, and a dual-die 814 mm^2 package (407 per
+  // die) is just over the line.
+  EXPECT_TRUE(BomFromGpuSpec(PricingSpec("big", 814.0, 1, 80.0), 12.0).packaging.advanced);
+  EXPECT_FALSE(
+      BomFromGpuSpec(PricingSpec("lite", 203.5, 1, 20.0), 12.0).packaging.advanced);
+  EXPECT_TRUE(
+      BomFromGpuSpec(PricingSpec("dual", 814.0, 2, 160.0), 12.0).packaging.advanced);
+  EXPECT_FALSE(
+      BomFromGpuSpec(PricingSpec("dual-small", 800.0, 2, 160.0), 12.0).packaging.advanced);
+}
+
+TEST(PricedGpuUsd, IsPackagedCostTimesMultiplier) {
+  // Pinned by hand: the street price is exactly PackagedGpuCost on the
+  // spec's BOM times the price multiplier — no hidden extra terms.
+  WaferSpec wafer;
+  DefectSpec defects;
+  GpuSpec gpu = PricingSpec("big", 814.0, 1, 80.0);
+  GpuBillOfMaterials bom = BomFromGpuSpec(gpu, 12.0);
+  double cost = PackagedGpuCost(wafer, YieldModel::kMurphy, defects, bom);
+  ASSERT_GT(cost, 0.0);
+  EXPECT_DOUBLE_EQ(PricedGpuUsd(wafer, YieldModel::kMurphy, defects, gpu, 12.0, 8.0),
+                   cost * 8.0);
+  EXPECT_DOUBLE_EQ(PricedGpuUsd(wafer, YieldModel::kMurphy, defects, gpu, 12.0, 1.0),
+                   cost);
+}
+
+TEST(PricedGpuUsd, LiteSplitUndercutsTheBigDiePerPackage) {
+  // The paper's Section-2 direction, through the fleet pricing path: one
+  // quarter-area Lite part (quarter memory, cheap package) costs well under
+  // a quarter of the big part.
+  WaferSpec wafer;
+  DefectSpec defects;
+  double big = PricedGpuUsd(wafer, YieldModel::kMurphy, defects,
+                            PricingSpec("big", 814.0, 1, 80.0), 12.0, 8.0);
+  double lite = PricedGpuUsd(wafer, YieldModel::kMurphy, defects,
+                             PricingSpec("lite", 203.5, 1, 20.0), 12.0, 8.0);
+  EXPECT_LT(4.0 * lite, big);
+}
+
 }  // namespace
 }  // namespace litegpu

@@ -95,7 +95,7 @@ check_fields() { # check_fields <header> <struct-name-regex>
 knob_structs=$(grep -oE '^struct [A-Za-z]+Knobs' src/core/scenario.h |
   awk '{ print $2 }' | paste -sd'|' -)
 [ -n "$knob_structs" ] || err "could not extract knob structs from src/core/scenario.h"
-check_fields src/core/scenario.h "RequestClass|$knob_structs|Scenario"
+check_fields src/core/scenario.h "RequestClass|FleetCandidate|$knob_structs|Scenario"
 check_fields src/roofline/inference.h "WorkloadParams"
 check_fields src/serve/workload.h "ArrivalProcess"
 
@@ -124,6 +124,24 @@ done
 for field in $(extract_fields src/serve/faults.h "ShedEvent"); do
   grep -q "\`$field\`" "$REPORTS_DOC" ||
     err "shed event field '$field' (src/serve/faults.h) is not documented in $REPORTS_DOC"
+done
+
+# --- the fleet-compare report schema is documented ---
+# FleetCompareReport (with its nested Candidate rows) is the fleet study's
+# JSON surface; every field must be named in docs/reports.md. extract_fields
+# only sees two-space top-level fields, so the nested struct gets its own
+# pass here (2-or-4-space indent, skipping the nested `struct` line itself).
+fleet_fields=$(awk '
+  /^struct FleetCompareReport \{/ { c = 1 }
+  c && /^\};/ { c = 0 }
+  c && (/^  [A-Za-z_]/ || /^    [A-Za-z_]/) && $0 !~ /\(/ && $0 !~ /struct / { print }
+' src/core/runner.h |
+  sed -e 's://.*::' -e 's/=.*//' -e 's/;.*//' |
+  awk 'NF { print $NF }' | sort -u)
+[ -n "$fleet_fields" ] || err "could not extract FleetCompareReport fields from src/core/runner.h"
+for field in $fleet_fields; do
+  grep -q "\`$field\`" "$REPORTS_DOC" ||
+    err "fleet report field '$field' (src/core/runner.h) is not documented in $REPORTS_DOC"
 done
 
 # --- the robustness-axis engine structs are documented ---

@@ -1,6 +1,8 @@
 // litegpu — command-line front end for the modeling library.
 //
 //   litegpu run <scenario.json>... [--json]     execute scenario file(s)
+//   litegpu fleet <scenario.json> [--json]      fleet-compare catalog:
+//                                               knee-vs-knee $/Mtoken at SLO
 //   litegpu fig3a [--ideal-capacity]            regenerate Figure 3a
 //   litegpu fig3b [--ideal-capacity]            regenerate Figure 3b
 //   litegpu search --model M --gpu G [...]      best config for one pair
@@ -165,6 +167,62 @@ int RunScenarioFiles(const Flags& flags) {
                    report.error.c_str());
       all_ok = false;
     }
+  }
+  return all_ok ? 0 : 1;
+}
+
+// `litegpu fleet <scenario.json>`: run's loader restricted to fleet-compare
+// scenarios — the catalog shape (candidates, grids, economics knobs) only
+// makes sense declaratively, so the subcommand takes a file, not flags.
+int RunFleet(const Flags& flags) {
+  if (int rc = CheckFlags(flags, AllowedFlags({}, /*workload=*/false))) {
+    return rc;
+  }
+  std::vector<std::string> files(flags.positionals().begin() + 1,
+                                 flags.positionals().end());
+  if (files.size() != 1) {
+    std::fprintf(stderr, "usage: litegpu fleet <scenario.json> [--json] [--threads N]\n");
+    return kUsageError;
+  }
+  std::string error;
+  auto loaded = LoadScenarioFile(files.front(), &error);
+  if (!loaded) {
+    std::fprintf(stderr, "litegpu: %s: %s\n", files.front().c_str(), error.c_str());
+    return 1;
+  }
+  for (const Scenario& s : *loaded) {
+    if (s.study != StudyKind::kFleetCompare) {
+      std::fprintf(stderr,
+                   "litegpu: %s: scenario '%s' is a %s study, not fleet-compare "
+                   "(use `litegpu run`)\n",
+                   files.front().c_str(), s.name.c_str(), ToString(s.study).c_str());
+      return kUsageError;
+    }
+  }
+  bool all_ok = true;
+  Json batch = Json::Array();
+  for (Scenario s : *loaded) {
+    if (flags.Has("threads")) {
+      s.exec.threads = flags.GetInt("threads", 0);
+    }
+    RunReport report = Runner().Run(s);
+    if (flags.GetBool("json", false)) {
+      if (loaded->size() == 1) {
+        std::printf("%s\n", report.ToJson().Dump().c_str());
+      } else {
+        batch.Append(report.ToJson());
+      }
+    } else {
+      std::printf("%s", report.ToText().c_str());
+    }
+    if (!report.ok) {
+      std::fprintf(stderr, "litegpu: scenario '%s': %s\n", report.scenario_name.c_str(),
+                   report.error.c_str());
+      all_ok = false;
+    }
+  }
+  if (flags.GetBool("json", false) && loaded->size() > 1) {
+    std::printf("%s\n", batch.Dump().c_str());
   }
   return all_ok ? 0 : 1;
 }
@@ -538,9 +596,10 @@ int RunList(const Flags& flags) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: litegpu <run|fig3a|fig3b|search|design|serve|sweep|mcsim|yield|derive|list> "
-      "[flags]\n"
+      "usage: litegpu <run|fleet|fig3a|fig3b|search|design|serve|sweep|mcsim|yield|derive|"
+      "list> [flags]\n"
       "  run:     <scenario.json>...  execute declarative scenario file(s)\n"
+      "  fleet:   <scenario.json>     fleet-compare catalog: knee-vs-knee $/Mtoken\n"
       "  search:  --model M --gpu G [--prompt N --output N --ttft S --tbt S]\n"
       "  serve:   [--model M --gpu G --load X --rate R --horizon S\n"
       "            --prefill-instances N --decode-instances N\n"
@@ -570,6 +629,9 @@ int Main(int argc, const char* const* argv) {
   std::string cmd = flags.Subcommand();
   if (cmd == "run") {
     return RunScenarioFiles(flags);
+  }
+  if (cmd == "fleet") {
+    return RunFleet(flags);
   }
   if (cmd == "fig3a") {
     return RunFig3(flags, /*prefill=*/true);
